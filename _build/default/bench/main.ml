@@ -1,0 +1,725 @@
+(* TReX benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§5) against the synthetic INEX-like collections.
+
+     dune exec bench/main.exe            -- everything
+     dune exec bench/main.exe -- table1 fig4 selfman   (selected sections)
+     dune exec bench/main.exe -- --quick all
+
+   Sections:
+     sizes         - §5.1 corpus and table sizes + summary sizes (§2.1)
+     table1        - Table 1: per-query #sids / #terms / #answers
+     fig4          - Figure 4: Q202, Q203 time vs k for ERA/Merge/TA/ITA
+     fig5          - Figure 5: Q260, Q270
+     fig6          - Figure 6: Q233, Q290, Q292
+     selfman       - §4: greedy vs optimal index selection under a budget
+                     sweep, with the paper's prefix S_RPL accounting
+     ablation      - summary-variant (tag/incoming/±alias, A(k)) and
+                     scorer ablations
+     layout        - paper's skip-scanned full-term RPLs vs per-(term,sid)
+                     lists; the §4 TA-vs-Merge race
+     io            - page-cache size vs physical I/O on an on-disk index
+     effectiveness - P@10/MAP/nDCG against the generator's topic ground
+                     truth; BM25 vs TF-IDF
+     bechamel      - one Bechamel Test.make per table/figure family
+
+   Timing protocol mirrors the paper: five runs per point, best and
+   worst dropped, the remaining three averaged (--quick: three runs,
+   drop none, smaller corpora and sweeps). *)
+
+module Gen = Trex_corpus.Gen
+module Queries = Trex_corpus.Queries
+module Summary = Trex_summary.Summary
+module Strategy = Trex.Strategy
+module Translate = Trex.Translate
+
+let quick = ref false
+let sections = ref []
+
+let () =
+  Array.iteri
+    (fun i arg ->
+      if i > 0 then
+        match arg with
+        | "--quick" -> quick := true
+        | "all" -> ()
+        | s -> sections := s :: !sections)
+    Sys.argv
+
+let want section = !sections = [] || List.mem section !sections
+
+let header title = Printf.printf "\n=== %s ===\n%!" title
+
+(* ---- timing protocol ---- *)
+
+let time_once f =
+  let t0 = Unix.gettimeofday () in
+  let result = f () in
+  (result, Unix.gettimeofday () -. t0)
+
+(* Five runs, drop best and worst, average the rest (paper §5.1). *)
+let trim_mean times =
+  let runs = List.length times in
+  let sorted = List.sort compare times in
+  let trimmed =
+    if runs < 5 then sorted else List.filteri (fun i _ -> i > 0 && i < runs - 1) sorted
+  in
+  List.fold_left ( +. ) 0.0 trimmed /. float_of_int (List.length trimmed)
+
+let robust_time f =
+  let runs = if !quick then 3 else 5 in
+  ignore (f ()) (* warmup: populate caches, trigger pending GC work *);
+  trim_mean (List.init runs (fun _ -> snd (time_once f)))
+
+(* Same protocol but over a measurement the run itself reports (ITA's
+   heap-excluded clock). *)
+let robust_reported f =
+  let runs = if !quick then 3 else 5 in
+  ignore (f ());
+  trim_mean (List.init runs (fun _ -> f ()))
+
+(* ---- engines ---- *)
+
+let build_engine (coll : Gen.collection) =
+  let env = Trex.Env.in_memory () in
+  let t0 = Unix.gettimeofday () in
+  let engine = Trex.build ~env ~alias:coll.alias (coll.docs ()) in
+  Printf.printf "built %s: %d docs in %.1fs\n%!" coll.name coll.doc_count
+    (Unix.gettimeofday () -. t0);
+  engine
+
+let engines =
+  lazy
+    (let ieee_n = if !quick then 120 else 400 in
+     let wiki_n = if !quick then 200 else 700 in
+     let ieee_coll = Gen.ieee ~doc_count:ieee_n () in
+     let wiki_coll = Gen.wikipedia ~doc_count:wiki_n () in
+     let ieee = build_engine ieee_coll in
+     let wiki = build_engine wiki_coll in
+     ((ieee_coll, ieee), (wiki_coll, wiki)))
+
+let engine_for = function
+  | Queries.Ieee -> snd (fst (Lazy.force engines))
+  | Queries.Wikipedia -> snd (snd (Lazy.force engines))
+
+let coll_for = function
+  | Queries.Ieee -> fst (fst (Lazy.force engines))
+  | Queries.Wikipedia -> fst (snd (Lazy.force engines))
+
+(* Translation of a paper query against its engine. *)
+let translated (q : Queries.t) =
+  let engine = engine_for q.collection in
+  let o = Trex.translate engine (Trex.parse engine q.nexi) in
+  (engine, Translate.all_sids o, Translate.all_terms o)
+
+let materialized = ref false
+
+let materialize_all () =
+  if not !materialized then begin
+    materialized := true;
+    Printf.printf "materializing RPLs+ERPLs for all 7 queries...\n%!";
+    List.iter
+      (fun (q : Queries.t) ->
+        let engine = engine_for q.collection in
+        ignore (Trex.materialize engine q.nexi))
+      Queries.all
+  end
+
+(* ---- section: sizes (§5.1 and §2.1) ---- *)
+
+let human_bytes n =
+  if n > 1_000_000 then Printf.sprintf "%.2f MB" (float_of_int n /. 1e6)
+  else Printf.sprintf "%.1f KB" (float_of_int n /. 1e3)
+
+let summary_sizes (coll : Gen.collection) =
+  (* Build the four summary variants of §2.1 in one pass over the
+     corpus. *)
+  let variants =
+    [
+      ("incoming", Summary.create Summary.Incoming);
+      ("tag", Summary.create Summary.Tag);
+      ("alias incoming", Summary.create ~alias:coll.alias Summary.Incoming);
+      ("alias tag", Summary.create ~alias:coll.alias Summary.Tag);
+    ]
+  in
+  Seq.iter
+    (fun (_, xml) ->
+      let doc = Trex_xml.Dom.parse xml in
+      List.iter (fun (_, s) -> ignore (Summary.observe_document s doc)) variants)
+    (coll.docs ());
+  variants
+
+let section_sizes () =
+  header "SIZES (paper 5.1 corpus/table sizes, 2.1 summary sizes)";
+  Printf.printf
+    "paper: IEEE 16,819 docs 0.76GB; Elements 1.52GB, PostingLists 8.05GB\n";
+  Printf.printf
+    "paper: Wikipedia 659,388 docs 4.6GB; Elements 3.91GB, PostingLists 48.1GB\n";
+  Printf.printf
+    "paper: IEEE summaries: incoming 11563, tag 185, alias incoming 7860, alias tag 145\n\n";
+  List.iter
+    (fun cid ->
+      let coll = coll_for cid in
+      let engine = engine_for cid in
+      let stats = Trex.Index.stats (Trex.index engine) in
+      let sizes = Trex.table_sizes engine in
+      Printf.printf "%s: %d docs, %s XML, %d elements, %d terms, %d postings\n"
+        coll.name stats.doc_count (human_bytes stats.total_bytes)
+        stats.element_count stats.term_count stats.posting_count;
+      Printf.printf "  Elements table:     %s\n" (human_bytes sizes.elements_bytes);
+      Printf.printf "  PostingLists table: %s\n" (human_bytes sizes.postings_bytes);
+      Printf.printf
+        "  (postings/elements ratio %.1fx; paper has 5.3x IEEE, 12.3x Wiki)\n"
+        (float_of_int sizes.postings_bytes /. float_of_int (max 1 sizes.elements_bytes));
+      List.iter
+        (fun (name, s) ->
+          Printf.printf "  %-16s summary: %5d nodes%s\n" name (Summary.node_count s)
+            (if Summary.nesting_free s then "" else "  [not nesting-free]"))
+        (summary_sizes coll))
+    [ Queries.Ieee; Queries.Wikipedia ]
+
+(* ---- section: table 1 ---- *)
+
+let paper_table1 =
+  (* id -> (#sids, #terms, #answers) from the paper's Table 1. *)
+  [
+    ("202", (11, 3, 9169)); ("203", (10, 3, 480)); ("233", (2, 2, 458));
+    ("260", (1863, 5, 108538)); ("270", (10, 3, 92464)); ("290", (1, 2, 4860));
+    ("292", (35, 5, 448));
+  ]
+
+let answers_cache : (string, int) Hashtbl.t = Hashtbl.create 8
+
+let count_answers (q : Queries.t) =
+  match Hashtbl.find_opt answers_cache q.id with
+  | Some n -> n
+  | None ->
+      let engine, sids, terms = translated q in
+      let o =
+        Strategy.evaluate (Trex.index engine) ~scoring:(Trex.scoring engine) ~sids
+          ~terms ~k:max_int Strategy.Era_method
+      in
+      let n = List.length o.Strategy.answers in
+      Hashtbl.add answers_cache q.id n;
+      n
+
+let section_table1 () =
+  header "TABLE 1: queries, translation sizes, answer counts";
+  Printf.printf "%-4s %-10s %7s %7s %9s | %9s %7s %9s\n" "id" "collection" "#sids"
+    "#terms" "#answers" "p#sids" "p#terms" "p#answers";
+  List.iter
+    (fun (q : Queries.t) ->
+      let _, sids, terms = translated q in
+      let n_answers = count_answers q in
+      let p_sids, p_terms, p_answers =
+        match List.assoc_opt q.id paper_table1 with
+        | Some v -> v
+        | None -> (0, 0, 0)
+      in
+      Printf.printf "%-4s %-10s %7d %7d %9d | %9d %7d %9d\n" q.id
+        (match q.collection with Queries.Ieee -> "IEEE" | Queries.Wikipedia -> "Wiki")
+        (List.length sids) (List.length terms) n_answers p_sids p_terms p_answers)
+    Queries.all;
+  Printf.printf
+    "(p* columns: paper values at full INEX scale; shapes to match, not magnitudes)\n"
+
+(* ---- sections: figures 4-6 ---- *)
+
+let k_sweep n_answers =
+  let base = [ 1; 5; 10; 25; 50; 100; 250; 500; 1000; 2500; 5000; 10000 ] in
+  let upper = max 10 n_answers in
+  List.filter (fun k -> k <= upper) base @ [ upper ]
+  |> List.sort_uniq compare
+
+let run_method engine ~sids ~terms ~k m () =
+  ignore
+    (Strategy.evaluate (Trex.index engine) ~scoring:(Trex.scoring engine) ~sids ~terms
+       ~k m)
+
+let figure_for_query (q : Queries.t) =
+  let engine, sids, terms = translated q in
+  ignore (Trex.materialize engine q.nexi);
+  let n_answers = count_answers q in
+  Printf.printf "\nQuery %s (%s): %d sids, %d terms, %d answers\n  NEXI: %s\n" q.id
+    (match q.collection with Queries.Ieee -> "IEEE" | Queries.Wikipedia -> "Wiki")
+    (List.length sids) (List.length terms) n_answers q.nexi;
+  let t_era =
+    robust_time (run_method engine ~sids ~terms ~k:max_int Strategy.Era_method)
+  in
+  let t_merge =
+    robust_time (run_method engine ~sids ~terms ~k:max_int Strategy.Merge_method)
+  in
+  Printf.printf "  ERA   (all answers): %8.2f ms\n" (t_era *. 1000.0);
+  Printf.printf "  Merge (all answers): %8.2f ms\n" (t_merge *. 1000.0);
+  Printf.printf "  %8s %12s %12s %10s %10s %8s %8s\n" "k" "TA (ms)" "ITA (ms)"
+    "TA reads" "heap ops" "heap%" "early";
+  let index = Trex.index engine in
+  List.iter
+    (fun k ->
+      let t_ta = robust_time (run_method engine ~sids ~terms ~k Strategy.Ta_method) in
+      (* ITA's time is the run's own heap-excluded clock, not wall
+         time around the call. *)
+      let t_ita =
+        robust_reported (fun () ->
+            let _, stats = Trex.Ta.run index ~sids ~terms ~k ~ideal_heap:true () in
+            stats.elapsed_seconds)
+      in
+      (* One instrumented ITA run for the machine-independent stats and
+         the measured heap-management share that ITA excludes. *)
+      let _, stats = Trex.Ta.run index ~sids ~terms ~k ~ideal_heap:true () in
+      let total = stats.elapsed_seconds +. stats.heap_seconds in
+      let heap_pct = if total > 0.0 then 100.0 *. stats.heap_seconds /. total else 0.0 in
+      Printf.printf "  %8d %12.2f %12.2f %10d %10d %7.1f%% %8s\n" k (t_ta *. 1000.0)
+        (t_ita *. 1000.0) stats.sorted_accesses stats.heap_operations heap_pct
+        (if stats.stopped_early then "yes" else "no"))
+    (k_sweep n_answers);
+  (t_era, t_merge)
+
+let expect label cond =
+  Printf.printf "  shape[%s]: %s\n" label (if cond then "OK" else "DIFFERS")
+
+let section_figure name ids note =
+  header (Printf.sprintf "%s: evaluation time vs k (%s)" name note);
+  List.iter
+    (fun id ->
+      let q = Queries.find id in
+      let t_era, t_merge = figure_for_query q in
+      expect (id ^ ": Merge beats ERA") (t_merge < t_era))
+    ids
+
+(* ---- section: selfman ---- *)
+
+let section_selfman () =
+  header "SELF-MANAGEMENT (paper 4): greedy vs optimal under a budget sweep";
+  materialize_all ();
+  let ieee_queries = Queries.for_collection Queries.Ieee in
+  let n = List.length ieee_queries in
+  let workload =
+    Trex.Workload.create
+      (List.mapi
+         (fun i (q : Queries.t) ->
+           let _, sids, terms = translated q in
+           (* Skew the frequencies so the choice is interesting. *)
+           let frequency = float_of_int (n - i) *. 2.0 /. float_of_int (n * (n + 1)) in
+           { Trex.Workload.id = q.id; sids; terms; k = 10; frequency })
+         ieee_queries)
+  in
+  let engine = engine_for Queries.Ieee in
+  let runs = if !quick then 1 else 3 in
+  Printf.printf "measuring %d workload queries (%d runs each)...\n%!"
+    (List.length (Trex.Workload.queries workload))
+    runs;
+  (* S_RPL follows the paper: only the prefix TA reads until its
+     stopping condition is charged (prefix_rpls). *)
+  let profiles =
+    List.map
+      (fun q ->
+        Trex.Cost.measure (Trex.index engine) ~scoring:(Trex.scoring engine) ~runs
+          ~prefix_rpls:true q)
+      (Trex.Workload.queries workload)
+  in
+  List.iter
+    (fun (p : Trex.Cost.profile) ->
+      Printf.printf
+        "  %s: f=%.2f ERA %7.2fms Merge %7.2fms TA %7.2fms | ERPLs %s RPLs %s%s\n"
+        p.id p.frequency (p.time_era *. 1e3) (p.time_merge *. 1e3) (p.time_ta *. 1e3)
+        (human_bytes (List.fold_left (fun a (_, b) -> a + b) 0 p.erpl_lists))
+        (human_bytes (List.fold_left (fun a (_, b) -> a + b) 0 p.rpl_lists))
+        (match p.rpl_prefix with
+        | Some d -> Printf.sprintf " (prefix %d/list)" d
+        | None -> ""))
+    profiles;
+  let full = Trex.Advisor.greedy ~budget:max_int profiles in
+  let total_bytes = full.bytes_used in
+  Printf.printf "\nfull materialization of best choices: %s, saving %.2f ms\n"
+    (human_bytes total_bytes)
+    (full.expected_saving *. 1e3);
+  Printf.printf "%8s | %-26s %11s | %-26s %11s | %5s\n" "budget" "greedy choices"
+    "saving(ms)" "optimal choices" "saving(ms)" "2-apx";
+  List.iter
+    (fun pct ->
+      let budget = total_bytes * pct / 100 in
+      let g = Trex.Advisor.greedy ~budget profiles in
+      let o = Trex.Advisor.branch_and_bound ~budget profiles in
+      let show plan =
+        String.concat ","
+          (List.filter_map
+             (fun (id, c) ->
+               match c with
+               | Trex.Advisor.No_index -> None
+               | Trex.Advisor.Use_erpl -> Some (id ^ ":M")
+               | Trex.Advisor.Use_rpl -> Some (id ^ ":T"))
+             plan.Trex.Advisor.decisions)
+      in
+      Printf.printf "%7d%% | %-26s %11.2f | %-26s %11.2f | %5s\n" pct (show g)
+        (g.expected_saving *. 1e3) (show o) (o.expected_saving *. 1e3)
+        (if o.expected_saving <= (2.0 *. g.expected_saving) +. 1e-12 then "OK"
+         else "VIOLATED"))
+    [ 10; 25; 50; 75; 100 ];
+  (* The prefix_rpls measurement left some RPLs truncated on the shared
+     engine; restore complete lists for the sections that follow. *)
+  let index = Trex.index engine in
+  List.iter
+    (fun (term, sid, _, _) ->
+      if Trex.Rpl.list_bound index Trex.Rpl.Rpl ~term ~sid > 0.0 then
+        Trex.Rpl.drop index Trex.Rpl.Rpl ~term ~sid)
+    (Trex.Rpl.catalog index Trex.Rpl.Rpl);
+  List.iter
+    (fun (q : Queries.t) ->
+      if q.collection = Queries.Ieee then ignore (Trex.materialize engine q.nexi))
+    Queries.all
+
+(* ---- section: ablation ---- *)
+
+let section_ablation () =
+  header "ABLATION: summary variant and scorer choice";
+  let coll = coll_for Queries.Ieee in
+  let variants =
+    [
+      ("tag", Summary.Tag, Trex.Alias.identity);
+      ("alias tag", Summary.Tag, coll.alias);
+      ("incoming", Summary.Incoming, Trex.Alias.identity);
+      ("alias incoming", Summary.Incoming, coll.alias);
+    ]
+  in
+  Printf.printf "%-16s %-6s %6s %9s %10s %9s\n" "summary" "query" "#sids" "#answers"
+    "ERA ms" "nest-free";
+  List.iter
+    (fun (name, criterion, alias) ->
+      let env = Trex.Env.in_memory () in
+      let engine = Trex.build ~env ~summary_criterion:criterion ~alias (coll.docs ()) in
+      (* A summary that is not nesting-free (paper §2.1) breaks ERA's
+         one-element-per-extent invariant; the row is still shown to
+         quantify what the constraint costs. *)
+      let nest_free = Summary.nesting_free (Trex.summary engine) in
+      List.iter
+        (fun id ->
+          let q = Queries.find id in
+          let tr = Trex.translate engine (Trex.parse engine q.nexi) in
+          let sids = Translate.all_sids tr and terms = Translate.all_terms tr in
+          let o =
+            Strategy.evaluate (Trex.index engine) ~scoring:(Trex.scoring engine) ~sids
+              ~terms ~k:max_int Strategy.Era_method
+          in
+          let t =
+            robust_time (run_method engine ~sids ~terms ~k:max_int Strategy.Era_method)
+          in
+          Printf.printf "%-16s %-6s %6d %9d %10.2f %9s\n" name id (List.length sids)
+            (List.length o.Strategy.answers)
+            (t *. 1000.0)
+            (if nest_free then "yes" else "NO"))
+        [ "202"; "270" ])
+    variants;
+  (* A(k) sweep: how the A(k)-index family trades summary size for
+     sid-set precision (k=1 ~ tag, large k ~ incoming). *)
+  Printf.printf "\nA(k) sweep (alias mapping applied):\n";
+  Printf.printf "%-10s %7s %6s %6s %9s\n" "summary" "nodes" "q202" "q270" "nest-free";
+  List.iter
+    (fun k ->
+      let env = Trex.Env.in_memory () in
+      let engine =
+        Trex.build ~env ~summary_criterion:(Summary.A_k k) ~alias:coll.alias
+          (coll.docs ())
+      in
+      let sid_count id =
+        let q = Queries.find id in
+        List.length
+          (Translate.all_sids (Trex.translate engine (Trex.parse engine q.nexi)))
+      in
+      Printf.printf "%-10s %7d %6d %6d %9s\n"
+        (Printf.sprintf "A(%d)" k)
+        (Summary.node_count (Trex.summary engine))
+        (sid_count "202") (sid_count "270")
+        (if Summary.nesting_free (Trex.summary engine) then "yes" else "NO"))
+    [ 1; 2; 3; 4 ];
+  (* Scorer ablation: BM25 vs TF-IDF top-10 overlap on Q270. *)
+  let q = Queries.find "270" in
+  let bm25 = engine_for Queries.Ieee in
+  let env2 = Trex.Env.in_memory () in
+  let tfidf =
+    Trex.build ~env:env2 ~alias:coll.alias ~scoring:Trex.Scorer.Tf_idf (coll.docs ())
+  in
+  let top10 engine =
+    (Trex.query engine ~k:10 ~method_:Strategy.Era_method q.nexi).Trex.strategy
+      .Strategy.answers
+    |> List.map (fun (e : Trex.Answer.entry) ->
+           (e.element.Trex.Types.docid, e.element.Trex.Types.endpos))
+  in
+  let a = top10 bm25 and b = top10 tfidf in
+  let overlap = List.length (List.filter (fun x -> List.mem x b) a) in
+  Printf.printf "\nscorer ablation (Q270): BM25 vs TF-IDF top-10 overlap = %d/10\n"
+    overlap
+
+(* ---- section: layout (RPL key layout + race) ---- *)
+
+let section_layout () =
+  header "RPL LAYOUT: paper's full-term skip-scan vs per-(term,sid) merge";
+  materialize_all ();
+  Printf.printf
+    "The paper keys RPLs (token, score, sid, ...) and TA skips foreign\n\
+     sids; this implementation defaults to per-(term, sid) lists merged\n\
+     at read time (DESIGN.md). The ablation quantifies the difference.\n\n";
+  Printf.printf "%-5s %8s | %10s %10s | %10s %10s %9s\n" "query" "k" "merged ms"
+    "reads" "full ms" "reads" "skipped";
+  List.iter
+    (fun id ->
+      let q = Queries.find id in
+      let engine, sids, terms = translated q in
+      let index = Trex.index engine in
+      ignore
+        (Trex.Rpl.Full.build index ~scoring:(Trex.scoring engine) ~terms);
+      List.iter
+        (fun k ->
+          let t_merged =
+            robust_reported (fun () ->
+                let _, s = Trex.Ta.run index ~sids ~terms ~k () in
+                s.elapsed_seconds)
+          in
+          let t_full =
+            robust_reported (fun () ->
+                let _, s = Trex.Ta.run index ~sids ~terms ~k ~use_full_rpls:true () in
+                s.elapsed_seconds)
+          in
+          let _, sm = Trex.Ta.run index ~sids ~terms ~k () in
+          let _, sf = Trex.Ta.run index ~sids ~terms ~k ~use_full_rpls:true () in
+          Printf.printf "%-5s %8d | %10.2f %10d | %10.2f %10d %9d\n" id k
+            (t_merged *. 1e3) sm.sorted_accesses (t_full *. 1e3) sf.sorted_accesses
+            sf.skipped_accesses)
+        [ 10; 1000 ])
+    [ "202"; "260" ];
+  Printf.printf
+    "\nRACE (paper 4: evaluate TA and Merge, answer from the faster):\n";
+  List.iter
+    (fun id ->
+      let q = Queries.find id in
+      let engine, sids, terms = translated q in
+      List.iter
+        (fun k ->
+          let o =
+            Strategy.race (Trex.index engine) ~scoring:(Trex.scoring engine) ~sids
+              ~terms ~k
+          in
+          Printf.printf "  %s k=%-6d -> %s\n" id k o.Strategy.detail)
+        [ 10; 100000 ])
+    [ "202"; "233"; "270" ]
+
+(* ---- section: io (pager cache sweep) ---- *)
+
+let section_io () =
+  header "STORAGE I/O: page-cache size vs physical reads (on-disk index)";
+  let dir = Filename.temp_file "trex_bench_io" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let coll = Gen.ieee ~doc_count:(if !quick then 60 else 150) ~seed:77 () in
+  (* Build once with a generous cache. *)
+  let build_env = Trex.Env.on_disk ~cache_pages:8192 dir in
+  let engine = Trex.build ~env:build_env ~alias:coll.alias (coll.docs ()) in
+  let q = Queries.find "270" in
+  let tr = Trex.translate engine (Trex.parse engine q.nexi) in
+  let sids = Translate.all_sids tr and terms = Translate.all_terms tr in
+  ignore
+    (Trex.Rpl.build (Trex.index engine) ~scoring:(Trex.scoring engine) ~sids ~terms
+       ~kinds:[ Trex.Rpl.Rpl; Trex.Rpl.Erpl ] ());
+  Trex.Env.close build_env;
+  Printf.printf "%12s | %12s %12s %12s | %10s\n" "cache pages" "phys reads"
+    "cache hits" "hit ratio" "ERA ms";
+  List.iter
+    (fun cache_pages ->
+      let env = Trex.Env.on_disk ~cache_pages dir in
+      let engine = Trex.attach ~env () in
+      let t =
+        robust_time (fun () ->
+            ignore
+              (Strategy.evaluate (Trex.index engine) ~scoring:(Trex.scoring engine)
+                 ~sids ~terms ~k:max_int Strategy.Era_method))
+      in
+      let reads, hits =
+        List.fold_left
+          (fun (r, h) (_, (s : Trex_storage.Pager.stats)) ->
+            (r + s.physical_reads, h + s.cache_hits))
+          (0, 0) (Trex.Env.io_stats env)
+      in
+      let ratio =
+        if reads + hits = 0 then 0.0
+        else float_of_int hits /. float_of_int (reads + hits)
+      in
+      Printf.printf "%12d | %12d %12d %11.1f%% | %10.2f\n" cache_pages reads hits
+        (100.0 *. ratio) (t *. 1e3);
+      Trex.Env.close env)
+    [ 8; 32; 128; 1024; 8192 ]
+
+(* ---- section: effectiveness ---- *)
+
+(* The generator records which topics each document was written around;
+   treating "document mentions the query's topic" as the relevance
+   judgment gives synthetic qrels, so retrieval effectiveness — the
+   other half of the paper's opening challenge — can be scored with
+   standard metrics. *)
+let query_topic =
+  [
+    ("202", "semantic-web"); ("203", "security"); ("233", "audio");
+    ("260", "verification"); ("270", "ir"); ("290", "evolutionary");
+    ("292", "art");
+  ]
+
+let section_effectiveness () =
+  header "EFFECTIVENESS: P@10 / MAP / nDCG@10 against topic ground truth";
+  let module Qrels = Trex_relevance.Qrels in
+  let module Metrics = Trex_relevance.Metrics in
+  let qrels_for cid topic =
+    let coll = coll_for cid in
+    let rec build t i =
+      if i >= coll.doc_count then t
+      else
+        let t =
+          if List.mem topic (coll.topics i) then
+            Qrels.add t ~query:topic ~docid:i ~grade:1
+          else t
+        in
+        build t (i + 1)
+    in
+    build Qrels.empty 0
+  in
+  let ranking_of answers =
+    List.map (fun (e : Trex.Answer.entry) -> e.element.Trex.Types.docid) answers
+  in
+  Printf.printf "%-5s %-13s %5s | %7s %7s %8s | %7s\n" "query" "topic" "#rel" "P@10"
+    "MAP" "nDCG@10" "random";
+  List.iter
+    (fun (q : Queries.t) ->
+      let topic = List.assoc q.id query_topic in
+      let engine = engine_for q.collection in
+      let qrels = qrels_for q.collection topic in
+      let o = Trex.query engine ~k:100000 ~method_:Strategy.Era_method q.nexi in
+      let ranking = ranking_of o.Trex.strategy.Strategy.answers in
+      let p10 = Metrics.precision_at qrels ~query:topic ~k:10 ranking in
+      let map = Metrics.average_precision qrels ~query:topic ranking in
+      let ndcg = Metrics.ndcg_at qrels ~query:topic ~k:10 ranking in
+      (* Baseline: expected P@10 of a random ranking = prevalence. *)
+      let coll = coll_for q.collection in
+      let prevalence =
+        float_of_int (Qrels.relevant_count qrels ~query:topic)
+        /. float_of_int coll.doc_count
+      in
+      Printf.printf "%-5s %-13s %5d | %7.3f %7.3f %8.3f | %7.3f\n" q.id topic
+        (Qrels.relevant_count qrels ~query:topic)
+        p10 map ndcg prevalence)
+    Queries.all;
+  (* Scorer ablation on effectiveness. *)
+  let coll = coll_for Queries.Ieee in
+  let env = Trex.Env.in_memory () in
+  let tfidf = Trex.build ~env ~alias:coll.alias ~scoring:Trex.Scorer.Tf_idf (coll.docs ()) in
+  Printf.printf "\nscorer comparison (IEEE queries, mean over queries):\n";
+  List.iter
+    (fun (name, engine) ->
+      let scores =
+        List.map
+          (fun (q : Queries.t) ->
+            let topic = List.assoc q.id query_topic in
+            let qrels = qrels_for Queries.Ieee topic in
+            let o = Trex.query engine ~k:100000 ~method_:Strategy.Era_method q.nexi in
+            Metrics.average_precision qrels ~query:topic
+              (ranking_of o.Trex.strategy.Strategy.answers))
+          (Queries.for_collection Queries.Ieee)
+      in
+      Printf.printf "  %-8s MAP = %.3f\n" name (Metrics.mean (fun x -> x) scores))
+    [ ("BM25", engine_for Queries.Ieee); ("TF-IDF", tfidf) ]
+
+(* ---- section: bechamel ---- *)
+
+let section_bechamel () =
+  header "BECHAMEL: one Test.make per table/figure family";
+  materialize_all ();
+  let open Bechamel in
+  let of_query id m k =
+    let q = Queries.find id in
+    let engine, sids, terms = translated q in
+    Staged.stage (fun () ->
+        ignore
+          (Strategy.evaluate (Trex.index engine) ~scoring:(Trex.scoring engine) ~sids
+             ~terms ~k m))
+  in
+  let tests =
+    [
+      (* sizes: index-build throughput on a small slice *)
+      Test.make ~name:"sizes/index_build_20docs"
+        (Staged.stage (fun () ->
+             let coll = Gen.ieee ~doc_count:20 ~seed:99 () in
+             let env = Trex.Env.in_memory () in
+             ignore (Trex.build ~env ~alias:coll.alias (coll.docs ()))));
+      (* table1: the translation phase *)
+      Test.make ~name:"table1/translate_all_queries"
+        (Staged.stage (fun () ->
+             List.iter
+               (fun (q : Queries.t) ->
+                 let engine = engine_for q.collection in
+                 ignore (Trex.translate engine (Trex.parse engine q.nexi)))
+               Queries.all));
+      (* fig4: Q202-shape (Merge << TA ~ ERA) *)
+      Test.make ~name:"fig4/q202_merge" (of_query "202" Strategy.Merge_method max_int);
+      Test.make ~name:"fig4/q202_ta_k10" (of_query "202" Strategy.Ta_method 10);
+      (* fig5: Q270-shape *)
+      Test.make ~name:"fig5/q270_merge" (of_query "270" Strategy.Merge_method max_int);
+      Test.make ~name:"fig5/q270_ta_k10" (of_query "270" Strategy.Ta_method 10);
+      (* fig6: Q233-shape (TA ~ Merge << ERA) *)
+      Test.make ~name:"fig6/q233_ta_k10" (of_query "233" Strategy.Ta_method 10);
+      Test.make ~name:"fig6/q292_merge" (of_query "292" Strategy.Merge_method max_int);
+      (* selfman: the greedy solver on a synthetic 12-query instance *)
+      Test.make ~name:"selfman/greedy_12_queries"
+        (Staged.stage (fun () ->
+             let profiles =
+               List.init 12 (fun i ->
+                   Trex.Cost.make
+                     ~id:(string_of_int i)
+                     ~frequency:(1.0 /. 12.0)
+                     ~time_era:(10.0 +. float_of_int i)
+                     ~time_merge:1.0 ~time_ta:2.0
+                     ~rpl_lists:[ ("t" ^ string_of_int i, i, 100 + i) ]
+                     ~erpl_lists:[ ("t" ^ string_of_int i, i, 150 + i) ])
+             in
+             ignore (Trex.Advisor.greedy ~budget:1000 profiles)));
+    ]
+  in
+  let benchmark test =
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 10) () in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+    Analyze.all ols Toolkit.Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-34s %14.2f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "  %-34s (no estimate)\n%!" name)
+        results)
+    tests
+
+(* ---- main ---- *)
+
+let () =
+  Printf.printf "TReX benchmark harness%s\n" (if !quick then " (quick mode)" else "");
+  ignore (Lazy.force engines);
+  if want "sizes" then section_sizes ();
+  if want "table1" then section_table1 ();
+  if want "fig4" || want "fig5" || want "fig6" then materialize_all ();
+  if want "fig4" then
+    section_figure "FIGURE 4" [ "202"; "203" ]
+      "202: Merge<<TA~ERA, ITA<<TA; 203: TA<<ERA, small-k TA~Merge";
+  if want "fig5" then
+    section_figure "FIGURE 5" [ "260"; "270" ]
+      "260: TA best only tiny k; 270: k drastically affects TA";
+  if want "fig6" then
+    section_figure "FIGURE 6" [ "233"; "290"; "292" ]
+      "233/292: TA & Merge << ERA; 290: Merge usually wins";
+  if want "selfman" then section_selfman ();
+  if want "ablation" then section_ablation ();
+  if want "layout" then section_layout ();
+  if want "effectiveness" then section_effectiveness ();
+  if want "io" then section_io ();
+  if want "bechamel" then section_bechamel ();
+  Printf.printf "\ndone.\n"

@@ -1,0 +1,362 @@
+(* trex_cli: command-line front end to the TReX engine.
+
+   Subcommands:
+     gen          generate a synthetic collection into a directory of XML files
+     index        build an on-disk index over a directory of XML files
+     add          incrementally index one more document
+     query        evaluate a NEXI query against an index
+     materialize  build the RPL/ERPL lists a query needs
+     stats        show index sizes, summary info and materialized lists
+     advise       plan index selection for a workload under a disk budget
+     vacuum       compact the redundant-index tables
+     xpath        evaluate an XPath expression over an XML file
+
+   Example session:
+     dune exec bin/trex_cli.exe -- gen --collection ieee --docs 100 --out /tmp/docs
+     dune exec bin/trex_cli.exe -- index --src /tmp/docs --env /tmp/trexdb --alias ieee
+     dune exec bin/trex_cli.exe -- query --env /tmp/trexdb -k 5 \
+       "//article//sec[about(., information retrieval)]"
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path content =
+  let oc = open_out_bin path in
+  output_string oc content;
+  close_out oc
+
+let alias_of_name = function
+  | "ieee" -> (Trex_corpus.Gen.ieee ~doc_count:1 ()).alias
+  | "wiki" -> (Trex_corpus.Gen.wikipedia ~doc_count:1 ()).alias
+  | "none" -> Trex.Alias.identity
+  | other -> failwith (Printf.sprintf "unknown alias set %S (ieee|wiki|none)" other)
+
+(* ---- gen ---- *)
+
+let gen_cmd =
+  let collection =
+    Arg.(value & opt string "ieee" & info [ "collection" ] ~doc:"ieee or wiki")
+  in
+  let docs = Arg.(value & opt int 100 & info [ "docs" ] ~doc:"number of documents") in
+  let seed = Arg.(value & opt int 42 & info [ "seed" ] ~doc:"generator seed") in
+  let out = Arg.(required & opt (some string) None & info [ "out" ] ~doc:"output directory") in
+  let run collection docs seed out =
+    let coll =
+      match collection with
+      | "ieee" -> Trex_corpus.Gen.ieee ~doc_count:docs ~seed ()
+      | "wiki" -> Trex_corpus.Gen.wikipedia ~doc_count:docs ~seed ()
+      | other -> failwith (Printf.sprintf "unknown collection %S" other)
+    in
+    if not (Sys.file_exists out) then Unix.mkdir out 0o755;
+    Seq.iter (fun (name, xml) -> write_file (Filename.concat out name) xml) (coll.docs ());
+    Printf.printf "wrote %d documents to %s\n" docs out
+  in
+  Cmd.v (Cmd.info "gen" ~doc:"Generate a synthetic XML collection")
+    Term.(const run $ collection $ docs $ seed $ out)
+
+(* ---- index ---- *)
+
+let env_arg =
+  Arg.(required & opt (some string) None & info [ "env" ] ~doc:"index directory")
+
+let index_cmd =
+  let src =
+    Arg.(required & opt (some string) None & info [ "src" ] ~doc:"directory of .xml files")
+  in
+  let alias = Arg.(value & opt string "none" & info [ "alias" ] ~doc:"ieee, wiki or none") in
+  let summary =
+    Arg.(value & opt string "incoming"
+         & info [ "summary" ] ~doc:"incoming, tag, or aK (e.g. a2) for an A(k)-index")
+  in
+  let run src env alias summary =
+    let files =
+      Sys.readdir src |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".xml")
+      |> List.sort String.compare
+    in
+    if files = [] then failwith ("no .xml files in " ^ src);
+    let docs =
+      List.to_seq files
+      |> Seq.map (fun f -> (f, read_file (Filename.concat src f)))
+    in
+    let criterion =
+      match summary with
+      | "incoming" -> Trex.Summary.Incoming
+      | "tag" -> Trex.Summary.Tag
+      | s when String.length s >= 2 && s.[0] = 'a' -> (
+          match int_of_string_opt (String.sub s 1 (String.length s - 1)) with
+          | Some k -> Trex.Summary.A_k k
+          | None -> failwith (Printf.sprintf "unknown summary %S" s))
+      | other -> failwith (Printf.sprintf "unknown summary %S" other)
+    in
+    let storage = Trex.Env.on_disk env in
+    let t0 = Unix.gettimeofday () in
+    let engine =
+      Trex.build ~env:storage ~summary_criterion:criterion
+        ~alias:(alias_of_name alias) docs
+    in
+    let stats = Trex.Index.stats (Trex.index engine) in
+    Trex.Env.close storage;
+    Printf.printf "indexed %d documents (%d elements, %d terms) into %s in %.1fs\n"
+      stats.doc_count stats.element_count stats.term_count env
+      (Unix.gettimeofday () -. t0)
+  in
+  Cmd.v (Cmd.info "index" ~doc:"Build an index over XML files")
+    Term.(const run $ src $ env_arg $ alias $ summary)
+
+(* ---- query ---- *)
+
+let query_cmd =
+  let nexi = Arg.(required & pos 0 (some string) None & info [] ~docv:"NEXI") in
+  let k = Arg.(value & opt int 10 & info [ "k" ] ~doc:"answers to return") in
+  let method_ =
+    Arg.(value & opt (some string) None & info [ "method" ] ~doc:"era|ta|ita|merge")
+  in
+  let strict = Arg.(value & flag & info [ "strict" ] ~doc:"strict interpretation") in
+  let structured =
+    Arg.(value & flag & info [ "structured" ] ~doc:"full NEXI semantics")
+  in
+  let run env nexi k method_ strict structured =
+    let storage = Trex.Env.on_disk env in
+    let engine = Trex.attach ~env:storage () in
+    let outcome =
+      if structured then Trex.query_structured engine ~k nexi
+      else
+        let m =
+          Option.map
+            (function
+              | "era" -> Trex.Strategy.Era_method
+              | "ta" -> Trex.Strategy.Ta_method
+              | "ita" -> Trex.Strategy.Ita_method
+              | "merge" -> Trex.Strategy.Merge_method
+              | other -> failwith (Printf.sprintf "unknown method %S" other))
+            method_
+        in
+        Trex.query engine ~k ?method_:m ~strict nexi
+    in
+    Printf.printf "%s: %d answers in %.2f ms (%s)\n"
+      (Trex.Strategy.method_to_string outcome.strategy.method_used)
+      (List.length outcome.strategy.answers)
+      (outcome.strategy.elapsed_seconds *. 1000.0)
+      outcome.strategy.detail;
+    List.iter
+      (fun (h : Trex.hit) ->
+        Printf.printf "%2d. [%.4f] %s %s\n    %s\n" h.rank h.score h.doc_name h.xpath
+          h.snippet)
+      (Trex.hits engine ~limit:k outcome.strategy.answers);
+    Trex.Env.close storage
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Evaluate a NEXI query")
+    Term.(const run $ env_arg $ nexi $ k $ method_ $ strict $ structured)
+
+(* ---- materialize ---- *)
+
+let materialize_cmd =
+  let nexi = Arg.(required & pos 0 (some string) None & info [] ~docv:"NEXI") in
+  let kind =
+    Arg.(value & opt string "both" & info [ "kind" ] ~doc:"rpl, erpl or both")
+  in
+  let run env nexi kind =
+    let kinds =
+      match kind with
+      | "rpl" -> [ Trex.Rpl.Rpl ]
+      | "erpl" -> [ Trex.Rpl.Erpl ]
+      | "both" -> [ Trex.Rpl.Rpl; Trex.Rpl.Erpl ]
+      | other -> failwith (Printf.sprintf "unknown kind %S" other)
+    in
+    let storage = Trex.Env.on_disk env in
+    let engine = Trex.attach ~env:storage () in
+    let report = Trex.materialize engine ~kinds nexi in
+    Printf.printf "built %d lists (%d entries, ~%d bytes); %d already existed\n"
+      (List.length report.pairs_built)
+      report.entries_written report.bytes_estimate report.pairs_reused;
+    Trex.Env.close storage
+  in
+  Cmd.v
+    (Cmd.info "materialize" ~doc:"Materialize the RPL/ERPL lists a query needs")
+    Term.(const run $ env_arg $ nexi $ kind)
+
+(* ---- vacuum ---- *)
+
+let vacuum_cmd =
+  let run env =
+    let storage = Trex.Env.on_disk env in
+    let engine = Trex.attach ~env:storage () in
+    let before = Trex.table_sizes engine in
+    Trex.vacuum engine;
+    let after = Trex.table_sizes engine in
+    Printf.printf "RPLs %d -> %d bytes, ERPLs %d -> %d bytes\n" before.rpls_bytes
+      after.rpls_bytes before.erpls_bytes after.erpls_bytes;
+    Trex.Env.close storage
+  in
+  Cmd.v
+    (Cmd.info "vacuum" ~doc:"Compact the redundant-index tables, reclaiming dropped space")
+    Term.(const run $ env_arg)
+
+(* ---- xpath ---- *)
+
+let xpath_cmd =
+  let file = Arg.(required & opt (some string) None & info [ "file" ] ~doc:"XML file") in
+  let expr = Arg.(required & pos 0 (some string) None & info [] ~docv:"XPATH") in
+  let values = Arg.(value & flag & info [ "values" ] ~doc:"print string-values") in
+  let run file expr values =
+    let doc = Trex_xml.Dom.parse (read_file file) in
+    let idx = Trex_xpath.Xpath_eval.of_doc doc in
+    let path = Trex_xpath.Xpath_parser.parse expr in
+    if values then
+      List.iter print_endline (Trex_xpath.Xpath_eval.select_values idx path)
+    else begin
+      let results = Trex_xpath.Xpath_eval.select idx path in
+      Printf.printf "%d elements\n" (List.length results);
+      List.iteri
+        (fun i (e : Trex_xml.Dom.element) ->
+          let text = Trex_xml.Dom.text_content e in
+          let text =
+            if String.length text > 60 then String.sub text 0 60 ^ "..." else text
+          in
+          Printf.printf "%3d. <%s> bytes %d-%d: %s\n" (i + 1) e.tag e.start_pos
+            e.end_pos text)
+        results
+    end
+  in
+  Cmd.v
+    (Cmd.info "xpath" ~doc:"Evaluate an XPath expression over an XML file")
+    Term.(const run $ file $ expr $ values)
+
+(* ---- add ---- *)
+
+let add_cmd =
+  let file = Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE.xml") in
+  let run env file =
+    let storage = Trex.Env.on_disk env in
+    let engine = Trex.attach ~env:storage () in
+    let docid =
+      Trex.add_document engine ~name:(Filename.basename file) ~xml:(read_file file)
+    in
+    Printf.printf "indexed %s as document %d (affected RPL/ERPL lists dropped)\n"
+      file docid;
+    Trex.Env.close storage
+  in
+  Cmd.v
+    (Cmd.info "add" ~doc:"Incrementally index one more XML document")
+    Term.(const run $ env_arg $ file)
+
+(* ---- stats ---- *)
+
+let stats_cmd =
+  let run env =
+    let storage = Trex.Env.on_disk env in
+    let engine = Trex.attach ~env:storage () in
+    let stats = Trex.Index.stats (Trex.index engine) in
+    let sizes = Trex.table_sizes engine in
+    Printf.printf "documents: %d  elements: %d  terms: %d  postings: %d\n"
+      stats.doc_count stats.element_count stats.term_count stats.posting_count;
+    Printf.printf "summary: %d nodes (%s)\n"
+      (Trex.Summary.node_count (Trex.summary engine))
+      (match Trex.Summary.criterion (Trex.summary engine) with
+      | Trex.Summary.Incoming -> "incoming"
+      | Trex.Summary.Tag -> "tag"
+      | Trex.Summary.A_k k -> Printf.sprintf "a(%d)" k);
+    Printf.printf "Elements: %d bytes  PostingLists: %d bytes\n" sizes.elements_bytes
+      sizes.postings_bytes;
+    Printf.printf "RPLs: %d bytes  ERPLs: %d bytes\n" sizes.rpls_bytes sizes.erpls_bytes;
+    let show kind name =
+      let lists = Trex.Rpl.catalog (Trex.index engine) kind in
+      Printf.printf "%s lists: %d\n" name (List.length lists);
+      List.iter
+        (fun (term, sid, entries, bytes) ->
+          Printf.printf "  %-20s sid %-6d %6d entries %8d bytes\n" term sid entries
+            bytes)
+        lists
+    in
+    show Trex.Rpl.Rpl "RPL";
+    show Trex.Rpl.Erpl "ERPL";
+    Trex.Env.close storage
+  in
+  Cmd.v (Cmd.info "stats" ~doc:"Show index statistics") Term.(const run $ env_arg)
+
+(* ---- advise ---- *)
+
+(* Workload file: one query per line, "frequency <TAB> k <TAB> nexi". *)
+let parse_workload engine path =
+  let lines = String.split_on_char '\n' (read_file path) in
+  let specs =
+    List.filter_map
+      (fun line ->
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then None
+        else
+          match String.split_on_char '\t' line with
+          | [ f; k; nexi ] -> Some (float_of_string f, int_of_string k, nexi)
+          | _ -> failwith ("bad workload line: " ^ line))
+      lines
+  in
+  Trex.Workload.create
+    (List.mapi
+       (fun i (frequency, k, nexi) ->
+         let t = Trex.translate engine (Trex.parse engine nexi) in
+         {
+           Trex.Workload.id = Printf.sprintf "q%d" (i + 1);
+           sids = Trex.Translate.all_sids t;
+           terms = Trex.Translate.all_terms t;
+           k;
+           frequency;
+         })
+       specs)
+
+let advise_cmd =
+  let workload =
+    Arg.(required & opt (some string) None
+         & info [ "workload" ] ~doc:"workload file: frequency<TAB>k<TAB>nexi per line")
+  in
+  let budget =
+    Arg.(required & opt (some int) None & info [ "budget" ] ~doc:"disk budget in bytes")
+  in
+  let optimal = Arg.(value & flag & info [ "optimal" ] ~doc:"use branch-and-bound") in
+  let apply = Arg.(value & flag & info [ "apply" ] ~doc:"materialize the plan") in
+  let run env workload budget optimal apply =
+    let storage = Trex.Env.on_disk env in
+    let engine = Trex.attach ~env:storage () in
+    let w = parse_workload engine workload in
+    let plan, profiles = Trex.advise engine ~workload:w ~budget ~optimal () in
+    List.iter
+      (fun (p : Trex.Cost.profile) ->
+        Printf.printf "%-6s f=%.2f ERA %.2fms Merge %.2fms TA %.2fms\n" p.id
+          p.frequency (p.time_era *. 1e3) (p.time_merge *. 1e3) (p.time_ta *. 1e3))
+      profiles;
+    Printf.printf "plan (%s): %d bytes, expected saving %.2f ms per query\n"
+      (if optimal then "optimal" else "greedy")
+      plan.bytes_used
+      (plan.expected_saving *. 1e3);
+    List.iter
+      (fun (id, choice) ->
+        Printf.printf "  %-6s -> %s\n" id (Trex.Advisor.choice_to_string choice))
+      plan.decisions;
+    (* Measurement materialized everything; keep only the plan if asked,
+       otherwise drop it all. *)
+    Trex.Rpl.drop_all (Trex.index engine) Trex.Rpl.Rpl;
+    Trex.Rpl.drop_all (Trex.index engine) Trex.Rpl.Erpl;
+    if apply then begin
+      Trex.Advisor.apply (Trex.index engine) ~scoring:(Trex.scoring engine) ~workload:w
+        plan;
+      Printf.printf "plan applied.\n"
+    end;
+    Trex.Env.close storage
+  in
+  Cmd.v (Cmd.info "advise" ~doc:"Plan index selection for a workload")
+    Term.(const run $ env_arg $ workload $ budget $ optimal $ apply)
+
+let () =
+  let doc = "TReX: self-managing top-k (summary, keyword) indexes for XML retrieval" in
+  let info = Cmd.info "trex" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ gen_cmd; index_cmd; add_cmd; query_cmd; materialize_cmd; stats_cmd; advise_cmd; vacuum_cmd; xpath_cmd ]))

@@ -1,0 +1,1 @@
+examples/extent_explorer.ml: List Printf Trex Trex_corpus Trex_summary Trex_xml Trex_xpath

@@ -1,0 +1,1 @@
+examples/index_advisor.ml: Array Format List Printf Sys Trex Trex_corpus

@@ -1,0 +1,1 @@
+examples/literature_search.ml: Array List Printf Sys Trex Trex_corpus

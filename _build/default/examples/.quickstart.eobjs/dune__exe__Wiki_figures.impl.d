@@ -1,0 +1,1 @@
+examples/wiki_figures.ml: List Printf String Trex Trex_corpus

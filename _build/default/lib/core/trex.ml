@@ -1,0 +1,342 @@
+module Env = Trex_storage.Env
+module Summary = Trex_summary.Summary
+module Alias = Trex_summary.Alias
+module Pattern = Trex_summary.Pattern
+module Index = Trex_invindex.Index
+module Types = Trex_invindex.Types
+module Scorer = Trex_scoring.Scorer
+module Ast = Trex_nexi.Ast
+module Nexi_parser = Trex_nexi.Parser
+module Translate = Trex_nexi.Translate
+module Answer = Trex_topk.Answer
+module Era = Trex_topk.Era
+module Ta = Trex_topk.Ta
+module Merge = Trex_topk.Merge
+module Rpl = Trex_topk.Rpl
+module Strategy = Trex_topk.Strategy
+module Workload = Trex_selfman.Workload
+module Cost = Trex_selfman.Cost
+module Advisor = Trex_selfman.Advisor
+module Autopilot = Trex_selfman.Autopilot
+
+type t = { index : Index.t; scoring : Scorer.config }
+
+let build ~env ?(summary_criterion = Summary.Incoming) ?(alias = Alias.identity)
+    ?analyzer ?(scoring = Scorer.default) docs =
+  let summary = Summary.create ~alias summary_criterion in
+  let index = Index.build ~env ~summary ?analyzer docs in
+  { index; scoring }
+
+let attach ~env ?(scoring = Scorer.default) () =
+  { index = Index.attach env; scoring }
+
+let index t = t.index
+let summary t = Index.summary t.index
+let scoring t = t.scoring
+
+(* ---- evaluation ---- *)
+
+let parse _t nexi = Nexi_parser.parse nexi
+
+let translate t query =
+  Translate.translate ~summary:(summary t)
+    ~normalize:(Index.normalize_term t.index)
+    query
+
+type outcome = {
+  translation : Translate.t;
+  strategy : Strategy.outcome;
+  k : int;
+}
+
+let query t ?(k = 10) ?method_ ?(strict = false) nexi =
+  let translation = translate t (parse t nexi) in
+  let sids = Translate.all_sids translation in
+  let terms = Translate.all_terms translation in
+  let method_ =
+    match method_ with
+    | Some m -> m
+    | None -> Strategy.choose t.index ~sids ~terms ~k
+  in
+  let strategy = Strategy.evaluate t.index ~scoring:t.scoring ~sids ~terms ~k method_ in
+  let strategy =
+    if not strict then strategy
+    else begin
+      let target = translation.Translate.target_sids in
+      let answers =
+        List.filter
+          (fun (e : Answer.entry) -> List.mem e.element.Types.sid target)
+          strategy.Strategy.answers
+      in
+      { strategy with Strategy.answers }
+    end
+  in
+  (* ERA and Merge compute all answers; present a consistent top-k. *)
+  let strategy = { strategy with Strategy.answers = Answer.top_k strategy.Strategy.answers k } in
+  { translation; strategy; k }
+
+(* Unique extent element of [sid] containing [inner], if any: extents
+   are nesting-free, so at most one candidate exists and a single B+tree
+   seek finds it. *)
+let containing_element index sid (inner : Types.element) =
+  let it = Index.Element_iter.create index sid in
+  let candidate =
+    Index.Element_iter.next_element_after it
+      { Types.docid = inner.docid; offset = Types.start_pos inner }
+  in
+  if
+    (not (Types.is_dummy candidate))
+    && candidate.Types.docid = inner.docid
+    && Types.start_pos candidate <= Types.start_pos inner
+    && inner.endpos <= candidate.Types.endpos
+  then Some candidate
+  else None
+
+(* Does the element's text contain the normalized [phrase] as adjacent
+   tokens? The element source span is re-parsed so tag names never count
+   as tokens. *)
+let element_has_phrase t (e : Types.element) phrase =
+  match Index.element_text t.index e with
+  | None -> false
+  | Some fragment -> (
+      match Trex_xml.Dom.parse fragment with
+      | exception Trex_xml.Sax.Malformed _ -> false
+      | doc ->
+          let tokens =
+            Trex_text.Analyzer.terms (Index.analyzer t.index)
+              (Trex_xml.Dom.text_content doc.root)
+          in
+          let phrase = Array.of_list phrase in
+          let m = Array.length phrase in
+          let tokens = Array.of_list tokens in
+          let n = Array.length tokens in
+          let rec scan i =
+            if i + m > n then false
+            else begin
+              let rec matches j = j >= m || (tokens.(i + j) = phrase.(j) && matches (j + 1)) in
+              matches 0 || scan (i + 1)
+            end
+          in
+          m > 0 && scan 0)
+
+let query_structured t ?(k = 10) nexi =
+  let translation = translate t (parse t nexi) in
+  let target_sids = translation.Translate.target_sids in
+  let candidates : (int * int, Types.element * float) Hashtbl.t = Hashtbl.create 64 in
+  let add (e : Types.element) score =
+    let key = (e.docid, e.endpos) in
+    match Hashtbl.find_opt candidates key with
+    | Some (e0, s0) -> Hashtbl.replace candidates key (e0, s0 +. score)
+    | None -> Hashtbl.add candidates key (e, score)
+  in
+  let clock = Trex_util.Stopclock.create () in
+  let total_entries = ref 0 in
+  List.iter
+    (fun (u : Translate.unit_) ->
+      if u.terms <> [] && u.sids <> [] then begin
+        let results, stats = Era.run t.index ~sids:u.sids ~terms:u.terms in
+        total_entries := !total_entries + stats.Era.positions_scanned;
+        (* +keywords are conjunctive: every required term must occur. *)
+        let results =
+          if u.required_terms = [] then results
+          else begin
+            let required_idx =
+              List.mapi (fun i term -> (term, i)) u.terms
+              |> List.filter (fun (term, _) -> List.mem term u.required_terms)
+              |> List.map snd
+            in
+            List.filter
+              (fun (r : Era.result) -> List.for_all (fun i -> r.tf.(i) > 0) required_idx)
+              results
+          end
+        in
+        let answers = Era.score_results t.index ~scoring:t.scoring ~terms:u.terms results in
+        (* -keywords exclude: drop unit hits containing an excluded term. *)
+        let answers =
+          if u.excluded_terms = [] then answers
+          else begin
+            let excluded, _ = Era.run t.index ~sids:u.sids ~terms:u.excluded_terms in
+            let banned = Hashtbl.create 16 in
+            List.iter
+              (fun (r : Era.result) ->
+                Hashtbl.replace banned
+                  (r.element.Types.docid, r.element.Types.endpos)
+                  ())
+              excluded;
+            List.filter
+              (fun (e : Answer.entry) ->
+                not (Hashtbl.mem banned (e.element.Types.docid, e.element.Types.endpos)))
+              answers
+          end
+        in
+        (* Quoted phrases must occur verbatim (adjacent tokens). *)
+        let answers =
+          if u.phrases = [] then answers
+          else
+            List.filter
+              (fun (e : Answer.entry) ->
+                List.for_all (fun p -> element_has_phrase t e.element p) u.phrases)
+              answers
+        in
+        let on_target = u.pattern = translation.Translate.target_pattern in
+        List.iter
+          (fun (entry : Answer.entry) ->
+            if on_target then add entry.element entry.score
+            else
+              (* Support path: flow the score up to the enclosing
+                 element(s) of the target extent. *)
+              List.iter
+                (fun sid ->
+                  match containing_element t.index sid entry.element with
+                  | Some ancestor -> add ancestor entry.score
+                  | None ->
+                      (* The support element may itself lie in the
+                         target extent (e.g. //sec[about(.//sec, ...)]
+                         degenerate cases). *)
+                      if entry.element.Types.sid = sid then
+                        add entry.element entry.score)
+                target_sids)
+          answers
+      end)
+    translation.Translate.units;
+  let answers =
+    Hashtbl.fold (fun _ (e, s) acc -> (e, s) :: acc) candidates []
+    |> Answer.of_unsorted
+  in
+  let strategy =
+    {
+      Strategy.method_used = Strategy.Era_method;
+      answers = Answer.top_k answers k;
+      elapsed_seconds = Trex_util.Stopclock.elapsed clock;
+      entries_read = !total_entries;
+      detail = Printf.sprintf "structured: %d units" (List.length translation.Translate.units);
+    }
+  in
+  { translation; strategy; k }
+
+(* ---- index management ---- *)
+
+let add_document t ~name ~xml =
+  let docid, terms = Index.add_document t.index ~name ~xml in
+  (* Invalidate every materialized list whose term occurs in the new
+     document; the catalogs make affected (term, sid) pairs cheap to
+     find. *)
+  let term_set = Hashtbl.create 16 in
+  List.iter (fun term -> Hashtbl.replace term_set term ()) terms;
+  List.iter
+    (fun kind ->
+      List.iter
+        (fun (term, sid, _, _) ->
+          if Hashtbl.mem term_set term then Rpl.drop t.index kind ~term ~sid)
+        (Rpl.catalog t.index kind))
+    [ Rpl.Rpl; Rpl.Erpl ];
+  List.iter
+    (fun term ->
+      if Rpl.Full.is_materialized t.index ~term then Rpl.Full.drop t.index ~term)
+    terms;
+  docid
+
+let materialize t ?(kinds = [ Rpl.Rpl; Rpl.Erpl ]) ?rpl_prefix nexi =
+  let translation = translate t (parse t nexi) in
+  Rpl.build t.index ~scoring:t.scoring
+    ~sids:(Translate.all_sids translation)
+    ~terms:(Translate.all_terms translation)
+    ~kinds ?rpl_prefix ()
+
+let advise t ~workload ~budget ?(optimal = false) ?(runs = 3) ?(prefix_rpls = false)
+    () =
+  let profiles =
+    List.map
+      (fun q -> Cost.measure t.index ~scoring:t.scoring ~runs ~prefix_rpls q)
+      (Workload.queries workload)
+  in
+  let plan =
+    if optimal then Advisor.branch_and_bound ~budget profiles
+    else Advisor.greedy ~budget profiles
+  in
+  (plan, profiles)
+
+let vacuum t =
+  (* Dropping lists leaves dead pages behind (B+trees never shrink);
+     compaction rebuilds the redundant-index tables at their live size
+     so the disk budget the advisor reasons about is what the disk
+     actually uses. *)
+  List.iter
+    (fun name ->
+      if Env.has_table (Index.env t.index) name then
+        Env.compact_table (Index.env t.index) name)
+    [ "rpls"; "erpls"; "rpl_catalog"; "erpl_catalog"; "rpls_full"; "rpl_full_catalog" ]
+
+(* ---- inspection ---- *)
+
+type table_sizes = {
+  elements_bytes : int;
+  postings_bytes : int;
+  rpls_bytes : int;
+  erpls_bytes : int;
+}
+
+let table_sizes t =
+  {
+    elements_bytes = Index.elements_bytes t.index;
+    postings_bytes = Index.postings_bytes t.index;
+    rpls_bytes = Env.table_bytes (Index.env t.index) "rpls";
+    erpls_bytes = Env.table_bytes (Index.env t.index) "erpls";
+  }
+
+type hit = {
+  rank : int;
+  score : float;
+  element : Types.element;
+  doc_name : string;
+  xpath : string;
+  snippet : string;
+}
+
+(* Strip tags and squeeze whitespace out of an XML fragment for a
+   one-line snippet. *)
+let snippet_of_fragment fragment =
+  let b = Buffer.create 120 in
+  let in_tag = ref false in
+  let last_space = ref true in
+  String.iter
+    (fun c ->
+      if Buffer.length b < 100 then
+        match c with
+        | '<' -> in_tag := true
+        | '>' -> in_tag := false
+        | ' ' | '\t' | '\n' | '\r' ->
+            if (not !in_tag) && not !last_space then begin
+              Buffer.add_char b ' ';
+              last_space := true
+            end
+        | c ->
+            if not !in_tag then begin
+              Buffer.add_char b c;
+              last_space := false
+            end)
+    fragment;
+  let s = Buffer.contents b in
+  if String.length s >= 100 then s ^ "..." else s
+
+let hits t ?(limit = max_int) answers =
+  let limited = if limit = max_int then answers else Answer.top_k answers limit in
+  List.mapi
+    (fun i (entry : Answer.entry) ->
+      let e = entry.element in
+      let doc_name =
+        match Index.document t.index e.Types.docid with
+        | Some row -> row.Trex_invindex.Tables.Documents.name
+        | None -> Printf.sprintf "doc-%d" e.Types.docid
+      in
+      let xpath =
+        if e.Types.sid > 0 then Summary.xpath_of_sid (summary t) e.Types.sid
+        else "?"
+      in
+      let snippet =
+        match Index.element_text t.index e with
+        | Some fragment -> snippet_of_fragment fragment
+        | None -> ""
+      in
+      { rank = i + 1; score = entry.score; element = e; doc_name; xpath; snippet })
+    limited

@@ -1,0 +1,150 @@
+(** TReX — an XML retrieval engine with self-managing top-k (summary,
+    keyword) indexes.
+
+    This is the system façade: build or attach an engine over a storage
+    environment, then parse, translate and evaluate NEXI queries with
+    any of the retrieval strategies (ERA / TA / ITA / Merge), manage the
+    redundant RPL/ERPL indexes by hand or through the workload-driven
+    advisor, and inspect sizes and statistics.
+
+    {[
+      let coll = Trex_corpus.Gen.ieee ~doc_count:100 () in
+      let env = Trex_storage.Env.in_memory () in
+      let engine = Trex.build ~env ~alias:coll.alias (coll.docs ()) in
+      let outcome = Trex.query engine ~k:10 "//article//sec[about(., information retrieval)]" in
+      List.iter
+        (fun (h : Trex.hit) -> print_endline h.snippet)
+        (Trex.hits engine outcome.strategy.answers)
+    ]} *)
+
+module Env = Trex_storage.Env
+module Summary = Trex_summary.Summary
+module Alias = Trex_summary.Alias
+module Pattern = Trex_summary.Pattern
+module Index = Trex_invindex.Index
+module Types = Trex_invindex.Types
+module Scorer = Trex_scoring.Scorer
+module Ast = Trex_nexi.Ast
+module Nexi_parser = Trex_nexi.Parser
+module Translate = Trex_nexi.Translate
+module Answer = Trex_topk.Answer
+module Era = Trex_topk.Era
+module Ta = Trex_topk.Ta
+module Merge = Trex_topk.Merge
+module Rpl = Trex_topk.Rpl
+module Strategy = Trex_topk.Strategy
+module Workload = Trex_selfman.Workload
+module Cost = Trex_selfman.Cost
+module Advisor = Trex_selfman.Advisor
+module Autopilot = Trex_selfman.Autopilot
+
+type t
+
+val build :
+  env:Env.t ->
+  ?summary_criterion:Summary.criterion ->
+  ?alias:Alias.t ->
+  ?analyzer:Trex_text.Analyzer.config ->
+  ?scoring:Scorer.config ->
+  (string * string) Seq.t ->
+  t
+(** Index a collection of (name, xml) documents. Defaults: alias
+    incoming summary, default analyzer, BM25 scoring. *)
+
+val attach : env:Env.t -> ?scoring:Scorer.config -> unit -> t
+(** Re-open a previously built engine. *)
+
+val index : t -> Index.t
+val summary : t -> Summary.t
+val scoring : t -> Scorer.config
+
+(** {1 Query evaluation} *)
+
+val parse : t -> string -> Ast.query
+(** @raise Trex_nexi.Parser.Syntax_error *)
+
+val translate : t -> Ast.query -> Translate.t
+
+type outcome = {
+  translation : Translate.t;
+  strategy : Strategy.outcome;
+  k : int;
+}
+
+val query :
+  t -> ?k:int -> ?method_:Strategy.method_ -> ?strict:bool -> string -> outcome
+(** Parse, translate and evaluate a NEXI query over the union of its
+    (sids, terms) — the paper's retrieval unit. [k] defaults to 10; the
+    method defaults to {!Strategy.choose}'s pick. With [strict:true]
+    answers are filtered to the target extent (the structural path must
+    hold exactly); the default vague interpretation accepts any sid of
+    the translation.
+    @raise Trex_nexi.Parser.Syntax_error on bad syntax. *)
+
+val query_structured : t -> ?k:int -> string -> outcome
+(** Full NEXI semantics: each [about()] path is retrieved separately,
+    support paths contribute the score of the enclosing ancestor
+    element, [-terms] exclude, and answers come from the target extent.
+    Evaluated with ERA (no materialized indexes needed). *)
+
+(** {1 Index management} *)
+
+val add_document : t -> name:string -> xml:string -> int
+(** Index one more document and {e self-manage} the redundant indexes:
+    every RPL/ERPL (and full-term RPL) list of a term occurring in the
+    new document is dropped, so stale lists can never serve queries;
+    they rebuild on the next {!materialize}. Returns the docid.
+    @raise Trex_xml.Sax.Malformed on invalid XML. *)
+
+val materialize :
+  t -> ?kinds:Rpl.kind list -> ?rpl_prefix:int -> string -> Rpl.build_report
+(** Build the RPL and/or ERPL lists (default both) needed by the given
+    NEXI query, enabling TA and Merge on it. [rpl_prefix] stores only
+    each RPL's best-scoring prefix (paper §4's space optimization);
+    see [Rpl.build]. *)
+
+val advise :
+  t ->
+  workload:Workload.t ->
+  budget:int ->
+  ?optimal:bool ->
+  ?runs:int ->
+  ?prefix_rpls:bool ->
+  unit ->
+  Advisor.plan * Cost.profile list
+(** Measure every workload query (temporarily materializing its lists),
+    then plan index selection under [budget] bytes with the greedy
+    2-approximation (or branch-and-bound when [optimal]). With
+    [prefix_rpls], TA's space cost is the paper's S_RPL: only the
+    certified top-k prefix of each list. The plan is not applied; see
+    {!Advisor.apply}. *)
+
+val vacuum : t -> unit
+(** Compact the redundant-index tables (RPLs, ERPLs and their
+    catalogs), reclaiming the space of dropped lists so
+    {!table_sizes} reflects live data — B+trees never shrink in
+    place. Safe to call any time no cursors are open. *)
+
+(** {1 Inspection} *)
+
+type table_sizes = {
+  elements_bytes : int;
+  postings_bytes : int;
+  rpls_bytes : int;
+  erpls_bytes : int;
+}
+
+val table_sizes : t -> table_sizes
+
+type hit = {
+  rank : int;
+  score : float;
+  element : Types.element;
+  doc_name : string;
+  xpath : string;  (** the extent's label path *)
+  snippet : string;
+}
+
+val hits : t -> ?limit:int -> Answer.t -> hit list
+(** Decorate raw answers for display (doc names from the Documents
+    table, extent paths from the summary). *)

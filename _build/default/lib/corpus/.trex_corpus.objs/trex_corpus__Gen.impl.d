@@ -1,0 +1,1 @@
+lib/corpus/gen.ml: Array Buffer List Printf Seq String Trex_summary Trex_util Trex_xml Vocab

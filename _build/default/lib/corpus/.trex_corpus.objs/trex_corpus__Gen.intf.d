@@ -1,0 +1,1 @@
+lib/corpus/gen.mli: Seq Trex_summary Vocab

@@ -1,0 +1,1 @@
+lib/corpus/vocab.ml: Array Buffer Hashtbl List Printf Trex_util

@@ -1,0 +1,249 @@
+module Prng = Trex_util.Prng
+module Alias = Trex_summary.Alias
+
+type collection = {
+  name : string;
+  alias : Alias.t;
+  doc_count : int;
+  vocab : Vocab.t;
+  docs : unit -> (string * string) Seq.t;
+  topics : int -> string list;
+      (* ground truth: the topic names document [i] was generated
+         around — the basis for synthetic relevance judgments *)
+}
+
+(* ---- text generation ---- *)
+
+(* A document's topical context: with probability [theme_rate], a token
+   is drawn from the document's topics instead of the global Zipf
+   vocabulary, concentrating query terms in on-topic documents. *)
+type ctx = {
+  vocab : Vocab.t;
+  topic_names : string list;
+  topic_words : string array;
+  theme_rate : float;
+}
+
+let make_ctx vocab rng ~theme_rate =
+  let topics = Array.of_list (Vocab.topics vocab) in
+  let n_topics = 1 + Prng.int rng 2 in
+  let names = ref [] and words = ref [] in
+  for _ = 1 to n_topics do
+    let t = Prng.pick rng topics in
+    names := t.Vocab.name :: !names;
+    words := t.Vocab.words @ !words
+  done;
+  {
+    vocab;
+    topic_names = List.sort_uniq String.compare !names;
+    topic_words = Array.of_list !words;
+    theme_rate;
+  }
+
+let token ctx rng =
+  if Array.length ctx.topic_words > 0 && Prng.float rng 1.0 < ctx.theme_rate then
+    Prng.pick rng ctx.topic_words
+  else Vocab.sample ctx.vocab rng
+
+let sentence ctx rng ~min_len ~max_len =
+  let n = min_len + Prng.int rng (max 1 (max_len - min_len + 1)) in
+  let b = Buffer.create (n * 8) in
+  for i = 1 to n do
+    if i > 1 then Buffer.add_char b ' ';
+    Buffer.add_string b (token ctx rng)
+  done;
+  Buffer.contents b
+
+(* ---- tiny XML writer ---- *)
+
+type xml = El of string * xml list | Txt of string
+
+let rec emit buf = function
+  | Txt s -> Buffer.add_string buf (Trex_xml.Escape.escape_text s)
+  | El (tag, children) ->
+      Buffer.add_char buf '<';
+      Buffer.add_string buf tag;
+      if children = [] then Buffer.add_string buf "/>"
+      else begin
+        Buffer.add_char buf '>';
+        List.iter (emit buf) children;
+        Buffer.add_string buf "</";
+        Buffer.add_string buf tag;
+        Buffer.add_char buf '>'
+      end
+
+let doc_string root =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "<?xml version=\"1.0\"?>\n";
+  emit buf root;
+  Buffer.contents buf
+
+(* ---- IEEE-like articles ---- *)
+
+let ieee_alias =
+  Alias.of_list [ ("ss1", "sec"); ("ss2", "sec"); ("ip1", "p"); ("ip2", "p"); ("atl", "ti") ]
+
+let ieee_paragraph ctx rng =
+  let tag = Prng.pick rng [| "p"; "p"; "p"; "ip1"; "ip2" |] in
+  El (tag, [ Txt (sentence ctx rng ~min_len:18 ~max_len:55) ])
+
+let ieee_figure ctx rng =
+  El ("fig", [ El ("fgc", [ Txt (sentence ctx rng ~min_len:5 ~max_len:12) ]) ])
+
+let ieee_table ctx rng =
+  El ("tbl", [ El ("tcap", [ Txt (sentence ctx rng ~min_len:4 ~max_len:9) ]) ])
+
+let ieee_list ctx rng =
+  El
+    ( "list",
+      List.init
+        (2 + Prng.int rng 3)
+        (fun _ -> El ("li", [ Txt (sentence ctx rng ~min_len:4 ~max_len:12) ])) )
+
+let ieee_footnote ctx rng =
+  El ("fn", [ Txt (sentence ctx rng ~min_len:5 ~max_len:12) ])
+
+let rec ieee_section ctx rng ~depth =
+  let tag = match depth with 0 -> "sec" | 1 -> "ss1" | _ -> "ss2" in
+  let title = El ("st", [ Txt (sentence ctx rng ~min_len:3 ~max_len:7) ]) in
+  let n_paras = 2 + Prng.int rng 5 in
+  let paras = List.init n_paras (fun _ -> ieee_paragraph ctx rng) in
+  let extras =
+    List.concat
+      [
+        (if Prng.int rng 4 = 0 then [ ieee_figure ctx rng ] else []);
+        (if Prng.int rng 6 = 0 then [ ieee_table ctx rng ] else []);
+        (if Prng.int rng 5 = 0 then [ ieee_list ctx rng ] else []);
+        (if Prng.int rng 7 = 0 then [ ieee_footnote ctx rng ] else []);
+      ]
+  in
+  let subsections =
+    if depth < 2 && Prng.int rng 3 = 0 then
+      List.init (1 + Prng.int rng 2) (fun _ -> ieee_section ctx rng ~depth:(depth + 1))
+    else []
+  in
+  El (tag, (title :: paras) @ extras @ subsections)
+
+let ieee_article vocab rng =
+  let ctx = make_ctx vocab rng ~theme_rate:0.18 in
+  let title_ctx = { ctx with theme_rate = 0.5 } in
+  let authors =
+    List.init
+      (1 + Prng.int rng 3)
+      (fun _ ->
+        El
+          ( "au",
+            [
+              El ("fnm", [ Txt (token ctx rng) ]);
+              El ("snm", [ Txt (token ctx rng) ]);
+            ] ))
+  in
+  let fm =
+    El
+      ( "fm",
+        El ("ti", [ El ("atl", [ Txt (sentence title_ctx rng ~min_len:4 ~max_len:9) ]) ])
+        :: authors
+        @ [ El ("abs", [ El ("p", [ Txt (sentence title_ctx rng ~min_len:20 ~max_len:45) ]) ]) ]
+      )
+  in
+  let n_secs = 3 + Prng.int rng 5 in
+  let bdy = El ("bdy", List.init n_secs (fun _ -> ieee_section ctx rng ~depth:0)) in
+  let bib =
+    El
+      ( "bib",
+        List.init
+          (3 + Prng.int rng 8)
+          (fun _ -> El ("bb", [ Txt (sentence ctx rng ~min_len:6 ~max_len:14) ])) )
+  in
+  let bm_children =
+    (if Prng.int rng 5 = 0 then
+       [ El ("app", [ ieee_section ctx rng ~depth:0 ]) ]
+     else [])
+    @ [ bib ]
+  in
+  El
+    ( "books",
+      [ El ("journal", [ El ("article", [ fm; bdy; El ("bm", bm_children) ]) ]) ] )
+
+let ieee ?(doc_count = 400) ?(seed = 42) () =
+  let vocab = Vocab.create ~seed:(seed * 7919) () in
+  let docs () =
+    Seq.init doc_count (fun i ->
+        let rng = Prng.create ((seed * 1_000_003) + i) in
+        (Printf.sprintf "ieee-%05d.xml" i, doc_string (ieee_article vocab rng)))
+  in
+  (* Replaying the per-document PRNG reproduces the topic draw that
+     [ieee_article] makes first. *)
+  let topics i =
+    let rng = Prng.create ((seed * 1_000_003) + i) in
+    (make_ctx vocab rng ~theme_rate:0.18).topic_names
+  in
+  { name = "synthetic-ieee"; alias = ieee_alias; doc_count; vocab; docs; topics }
+
+(* ---- Wikipedia-like pages ---- *)
+
+let wiki_alias = Alias.of_list [ ("ss", "section"); ("caption2", "caption") ]
+
+let wiki_figure ctx rng =
+  El
+    ( "figure",
+      [
+        El ("image", [ Txt (token ctx rng) ]);
+        El ("caption", [ Txt (sentence ctx rng ~min_len:4 ~max_len:12) ]);
+      ] )
+
+let rec wiki_section ctx rng ~depth =
+  let title = El ("title", [ Txt (sentence ctx rng ~min_len:2 ~max_len:5) ]) in
+  let paras =
+    List.init
+      (1 + Prng.int rng 4)
+      (fun _ -> El ("p", [ Txt (sentence ctx rng ~min_len:15 ~max_len:45) ]))
+  in
+  let figures =
+    if Prng.int rng 3 = 0 then List.init (1 + Prng.int rng 2) (fun _ -> wiki_figure ctx rng)
+    else []
+  in
+  let template =
+    if Prng.int rng 8 = 0 then [ El ("template", [ Txt (token ctx rng) ]) ] else []
+  in
+  let subsections =
+    if depth < 2 && Prng.int rng 3 = 0 then
+      List.init (1 + Prng.int rng 2) (fun _ -> wiki_section ctx rng ~depth:(depth + 1))
+    else []
+  in
+  El ("section", (title :: paras) @ figures @ template @ subsections)
+
+let wiki_infobox ctx rng =
+  El
+    ( "infobox",
+      [
+        El ("caption", [ Txt (sentence ctx rng ~min_len:2 ~max_len:6) ]);
+        wiki_figure ctx rng;
+      ] )
+
+let wiki_page vocab rng =
+  let ctx = make_ctx vocab rng ~theme_rate:0.16 in
+  let name = El ("name", [ Txt (sentence ctx rng ~min_len:1 ~max_len:4) ]) in
+  let n_secs = 2 + Prng.int rng 4 in
+  let lead =
+    (if Prng.int rng 3 = 0 then [ wiki_infobox ctx rng ] else [])
+    @ (if Prng.int rng 4 = 0 then [ wiki_figure ctx rng ] else [])
+    @ [ El ("p", [ Txt (sentence ctx rng ~min_len:20 ~max_len:50) ]) ]
+  in
+  let body =
+    El ("body", lead @ List.init n_secs (fun _ -> wiki_section ctx rng ~depth:0))
+  in
+  El ("article", [ name; body ])
+
+let wikipedia ?(doc_count = 700) ?(seed = 43) () =
+  let vocab = Vocab.create ~seed:(seed * 7919) () in
+  let docs () =
+    Seq.init doc_count (fun i ->
+        let rng = Prng.create ((seed * 2_000_003) + i) in
+        (Printf.sprintf "wiki-%06d.xml" i, doc_string (wiki_page vocab rng)))
+  in
+  let topics i =
+    let rng = Prng.create ((seed * 2_000_003) + i) in
+    (make_ctx vocab rng ~theme_rate:0.16).topic_names
+  in
+  { name = "synthetic-wikipedia"; alias = wiki_alias; doc_count; vocab; docs; topics }

@@ -1,0 +1,31 @@
+(** Synthetic document collections standing in for INEX IEEE 2005 and
+    INEX Wikipedia 2006 (see DESIGN.md for the substitution argument).
+
+    Both generators are deterministic in the seed: equal parameters give
+    byte-identical collections. Documents are well-formed XML whose
+    element grammar mimics the respective collection (IEEE:
+    books/journal/article/fm/bdy/sec/ss1/ss2/p/ip1/fig/...; Wikipedia:
+    article/name/body/section/figure/caption/...), with topic-skewed
+    text from {!Vocab} so the seven paper queries have answers of the
+    right relative magnitudes. *)
+
+type collection = {
+  name : string;
+  alias : Trex_summary.Alias.t;
+      (** tag synonym mapping (the INEX alias list analogue) *)
+  doc_count : int;
+  vocab : Vocab.t;
+  docs : unit -> (string * string) Seq.t;
+      (** fresh (name, xml) sequence; can be re-walked *)
+  topics : int -> string list;
+      (** ground truth: topic names document [i] was generated around,
+          usable as synthetic relevance judgments (see
+          [Trex_relevance]) *)
+}
+
+val ieee : ?doc_count:int -> ?seed:int -> unit -> collection
+(** IEEE-journal-like articles (default 400 documents, seed 42). *)
+
+val wikipedia : ?doc_count:int -> ?seed:int -> unit -> collection
+(** Wikipedia-like pages: shorter, flatter, with figures (default 700
+    documents, seed 43). *)

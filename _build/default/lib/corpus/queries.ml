@@ -1,0 +1,62 @@
+type collection_id = Ieee | Wikipedia
+
+type t = {
+  id : string;
+  nexi : string;
+  collection : collection_id;
+  description : string;
+}
+
+let all =
+  [
+    {
+      id = "202";
+      nexi = "//article[about(., ontologies)]//sec[about(., ontologies case study)]";
+      collection = Ieee;
+      description = "sections with ontology case studies in ontology articles";
+    };
+    {
+      id = "203";
+      nexi = "//sec[about(., code signing verification)]";
+      collection = Ieee;
+      description = "sections on code-signing verification";
+    };
+    {
+      id = "233";
+      nexi = "//article[about(.//bdy, synthesizers) and about(.//bdy, music)]";
+      collection = Ieee;
+      description = "articles on music synthesizers";
+    };
+    {
+      id = "260";
+      nexi = "//bdy//*[about(., model checking state space explosion)]";
+      collection = Ieee;
+      description = "any body element about state-space explosion in model checking";
+    };
+    {
+      id = "270";
+      nexi = "//article//sec[about(., introduction information retrieval)]";
+      collection = Ieee;
+      description = "introductory IR sections";
+    };
+    {
+      id = "290";
+      nexi = "//article[about(., genetic algorithm)]";
+      collection = Wikipedia;
+      description = "articles on genetic algorithms";
+    };
+    {
+      id = "292";
+      nexi =
+        "//article//figure[about(., Renaissance painting Italian Flemish -French -German)]";
+      collection = Wikipedia;
+      description = "figures of Italian/Flemish Renaissance painting";
+    };
+  ]
+
+let find id =
+  match List.find_opt (fun q -> q.id = id) all with
+  | Some q -> q
+  | None -> raise Not_found
+
+let for_collection c = List.filter (fun q -> q.collection = c) all

@@ -1,0 +1,19 @@
+(** The seven INEX queries of the paper's Table 1. *)
+
+type collection_id = Ieee | Wikipedia
+
+type t = {
+  id : string;  (** the INEX topic id the paper uses, e.g. "202" *)
+  nexi : string;
+  collection : collection_id;
+  description : string;
+}
+
+val all : t list
+(** Queries 202, 203, 233, 260, 270 (IEEE) and 290, 292 (Wikipedia), in
+    Table 1 order, with the paper's NEXI expressions verbatim. *)
+
+val find : string -> t
+(** @raise Not_found for an unknown id. *)
+
+val for_collection : collection_id -> t list

@@ -1,0 +1,1 @@
+lib/invindex/index.ml: Buffer Hashtbl List Option Printf Seq String Tables Trex_storage Trex_summary Trex_text Trex_util Trex_xml Types

@@ -1,0 +1,1 @@
+lib/invindex/index.mli: Seq Tables Trex_storage Trex_summary Trex_text Types

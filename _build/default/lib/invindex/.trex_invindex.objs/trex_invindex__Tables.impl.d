@@ -1,0 +1,1 @@
+lib/invindex/tables.ml: List Trex_util Types

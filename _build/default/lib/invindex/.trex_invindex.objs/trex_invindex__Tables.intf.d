@@ -1,0 +1,1 @@
+lib/invindex/tables.mli: Types

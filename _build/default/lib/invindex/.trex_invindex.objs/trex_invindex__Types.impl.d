@@ -1,0 +1,1 @@
+lib/invindex/types.ml: Format

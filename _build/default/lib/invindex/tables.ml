@@ -1,0 +1,113 @@
+module Codec = Trex_util.Codec
+
+module Elements = struct
+  let name = "elements"
+
+  let key ~sid ~docid ~endpos =
+    Codec.concat_keys
+      [ Codec.key_of_int sid; Codec.key_of_int docid; Codec.key_of_int endpos ]
+
+  let sid_prefix sid = Codec.key_of_int sid
+
+  let encode (e : Types.element) =
+    let b = Codec.Buf.create ~capacity:8 () in
+    Codec.Buf.add_varint b e.length;
+    (key ~sid:e.sid ~docid:e.docid ~endpos:e.endpos, Codec.Buf.contents b)
+
+  let decode k v : Types.element =
+    let sid, p = Codec.int_of_key k ~pos:0 in
+    let docid, p = Codec.int_of_key k ~pos:p in
+    let endpos, _ = Codec.int_of_key k ~pos:p in
+    let r = Codec.Reader.of_string v in
+    let length = Codec.Reader.varint r in
+    { sid; docid; endpos; length }
+end
+
+module Posting_lists = struct
+  let name = "postings"
+  let token_prefix token = Codec.key_of_string token
+
+  let key ~token ~(first : Types.pos) =
+    Codec.concat_keys
+      [
+        Codec.key_of_string token;
+        Codec.key_of_int first.docid;
+        Codec.key_of_int first.offset;
+      ]
+
+  let encode_chunk ~token positions =
+    match positions with
+    | [] -> invalid_arg "Posting_lists.encode_chunk: empty chunk"
+    | first :: _ ->
+        let b = Codec.Buf.create ~capacity:256 () in
+        Codec.Buf.add_varint b (List.length positions);
+        (* Delta-encode within the chunk: docid deltas, then offset
+           (absolute when the docid changed, delta otherwise). *)
+        let prev = ref { Types.docid = 0; offset = 0 } in
+        List.iter
+          (fun (p : Types.pos) ->
+            let ddoc = p.docid - !prev.docid in
+            Codec.Buf.add_varint b ddoc;
+            if ddoc = 0 then Codec.Buf.add_varint b (p.offset - !prev.offset)
+            else Codec.Buf.add_varint b p.offset;
+            prev := p)
+          positions;
+        (key ~token ~first, Codec.Buf.contents b)
+
+  let decode_chunk v =
+    let r = Codec.Reader.of_string v in
+    let n = Codec.Reader.varint r in
+    let prev = ref { Types.docid = 0; offset = 0 } in
+    List.init n (fun _ ->
+        let ddoc = Codec.Reader.varint r in
+        let docid = !prev.docid + ddoc in
+        let offset =
+          if ddoc = 0 then !prev.offset + Codec.Reader.varint r
+          else Codec.Reader.varint r
+        in
+        let p = { Types.docid; offset } in
+        prev := p;
+        p)
+end
+
+module Documents = struct
+  type row = { docid : int; name : string; bytes : int; elements : int }
+
+  let name = "documents"
+
+  let encode row =
+    let b = Codec.Buf.create () in
+    Codec.Buf.add_string b row.name;
+    Codec.Buf.add_varint b row.bytes;
+    Codec.Buf.add_varint b row.elements;
+    (Codec.key_of_int row.docid, Codec.Buf.contents b)
+
+  let decode k v =
+    let docid, _ = Codec.int_of_key k ~pos:0 in
+    let r = Codec.Reader.of_string v in
+    let name = Codec.Reader.string r in
+    let bytes = Codec.Reader.varint r in
+    let elements = Codec.Reader.varint r in
+    { docid; name; bytes; elements }
+end
+
+module Terms = struct
+  type row = { token : string; df : int; cf : int }
+
+  let name = "terms"
+
+  let encode row =
+    let b = Codec.Buf.create ~capacity:8 () in
+    Codec.Buf.add_varint b row.df;
+    Codec.Buf.add_varint b row.cf;
+    (Codec.key_of_string row.token, Codec.Buf.contents b)
+
+  let decode k v =
+    let token, _ = Codec.string_of_key k ~pos:0 in
+    let r = Codec.Reader.of_string v in
+    let df = Codec.Reader.varint r in
+    let cf = Codec.Reader.varint r in
+    { token; df; cf }
+end
+
+let meta_table = "meta"

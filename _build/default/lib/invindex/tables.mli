@@ -1,0 +1,55 @@
+(** Key and row codecs for the TReX tables.
+
+    The paper's schemas, with underlined primary keys, are:
+
+    - [Elements(SID, docid, endpos, length)]
+    - [PostingLists(token, docid, offset, postingdataentry)]
+    - [Documents(docid, name, bytes, elements)] (ours, for stats)
+    - [Terms(token, df, cf)] (ours, for scoring)
+
+    Keys are built with order-preserving codecs so B+tree order equals
+    schema order; long posting lists are chunked over several rows keyed
+    by their first position, exactly as the paper describes. *)
+
+module Elements : sig
+  val name : string
+  val key : sid:int -> docid:int -> endpos:int -> string
+  val sid_prefix : int -> string
+  val encode : Types.element -> string * string
+  (** Row (key, value); the value carries the length. *)
+
+  val decode : string -> string -> Types.element
+end
+
+module Posting_lists : sig
+  val name : string
+  val token_prefix : string -> string
+  val key : token:string -> first:Types.pos -> string
+
+  val encode_chunk : token:string -> Types.pos list -> string * string
+  (** One row holding consecutive positions; the chunk key is the first
+      position. The list must be non-empty and position-sorted. *)
+
+  val decode_chunk : string -> Types.pos list
+end
+
+module Documents : sig
+  type row = { docid : int; name : string; bytes : int; elements : int }
+
+  val name : string
+  val encode : row -> string * string
+  val decode : string -> string -> row
+end
+
+module Terms : sig
+  type row = { token : string; df : int; cf : int }
+  (** [df] documents containing the token, [cf] total occurrences. *)
+
+  val name : string
+  val encode : row -> string * string
+  val decode : string -> string -> row
+end
+
+val meta_table : string
+(** One-row-per-key table for index metadata (summary blob, analyzer
+    configuration, corpus statistics). *)

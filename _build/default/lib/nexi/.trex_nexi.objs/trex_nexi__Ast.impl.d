@@ -1,0 +1,1 @@
+lib/nexi/ast.ml: Buffer List Printf String Trex_summary

@@ -1,0 +1,1 @@
+lib/nexi/ast.mli: Trex_summary

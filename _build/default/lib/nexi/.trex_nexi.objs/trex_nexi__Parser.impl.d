@@ -1,0 +1,1 @@
+lib/nexi/parser.ml: Ast List Printf String Trex_summary

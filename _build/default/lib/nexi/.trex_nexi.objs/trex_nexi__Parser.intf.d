@@ -1,0 +1,1 @@
+lib/nexi/parser.mli: Ast

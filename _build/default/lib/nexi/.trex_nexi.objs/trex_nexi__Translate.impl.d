@@ -1,0 +1,1 @@
+lib/nexi/translate.ml: Ast Format Hashtbl List Printf String Trex_summary

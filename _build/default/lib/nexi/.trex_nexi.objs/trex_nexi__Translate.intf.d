@@ -1,0 +1,1 @@
+lib/nexi/translate.mli: Ast Format Trex_summary

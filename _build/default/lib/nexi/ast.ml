@@ -1,0 +1,69 @@
+module Pattern = Trex_summary.Pattern
+
+type polarity = Should | Must | Must_not
+type keyword = { polarity : polarity; words : string list }
+type about = { rel : Pattern.t; keywords : keyword list }
+type predicate = About of about | And of predicate * predicate | Or of predicate * predicate
+
+type step = {
+  axis : Pattern.axis;
+  test : string option;
+  predicate : predicate option;
+}
+
+type query = step list
+
+let structural_path query =
+  List.map (fun s -> { Pattern.axis = s.axis; test = s.test }) query
+
+let rec abouts_of_predicate = function
+  | About a -> [ a ]
+  | And (l, r) | Or (l, r) -> abouts_of_predicate l @ abouts_of_predicate r
+
+let about_paths query =
+  let rec go prefix = function
+    | [] -> []
+    | step :: rest ->
+        let prefix = prefix @ [ { Pattern.axis = step.axis; test = step.test } ] in
+        let here =
+          match step.predicate with
+          | None -> []
+          | Some p ->
+              List.map
+                (fun (a : about) -> (Pattern.append prefix a.rel, a.keywords))
+                (abouts_of_predicate p)
+        in
+        here @ go prefix rest
+  in
+  go [] query
+
+let keyword_to_string k =
+  let prefix = match k.polarity with Should -> "" | Must -> "+" | Must_not -> "-" in
+  match k.words with
+  | [ w ] -> prefix ^ w
+  | ws -> prefix ^ "\"" ^ String.concat " " ws ^ "\""
+
+let rec predicate_to_string = function
+  | About { rel; keywords } ->
+      let path = if rel = [] then "." else "." ^ Pattern.to_string rel in
+      Printf.sprintf "about(%s, %s)" path
+        (String.concat " " (List.map keyword_to_string keywords))
+  | And (l, r) ->
+      Printf.sprintf "%s and %s" (predicate_to_string l) (predicate_to_string r)
+  | Or (l, r) ->
+      Printf.sprintf "%s or %s" (predicate_to_string l) (predicate_to_string r)
+
+let to_string query =
+  let b = Buffer.create 64 in
+  List.iter
+    (fun s ->
+      Buffer.add_string b (match s.axis with Pattern.Child -> "/" | Pattern.Descendant -> "//");
+      Buffer.add_string b (match s.test with None -> "*" | Some t -> t);
+      match s.predicate with
+      | None -> ()
+      | Some p ->
+          Buffer.add_char b '[';
+          Buffer.add_string b (predicate_to_string p);
+          Buffer.add_char b ']')
+    query;
+  Buffer.contents b

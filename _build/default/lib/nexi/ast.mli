@@ -1,0 +1,41 @@
+(** Abstract syntax of NEXI (Narrowed Extended XPath I) retrieval
+    queries: XPath steps narrowed to [/]//[//] axes and name or [*]
+    tests, extended with the [about(path, keywords)] predicate. *)
+
+type polarity =
+  | Should  (** plain keyword *)
+  | Must  (** [+keyword] *)
+  | Must_not  (** [-keyword] *)
+
+type keyword = {
+  polarity : polarity;
+  words : string list;  (** several words for a quoted phrase *)
+}
+
+type about = {
+  rel : Trex_summary.Pattern.t;
+      (** steps after the context dot; [[]] for [about(., ...)] *)
+  keywords : keyword list;
+}
+
+type predicate = About of about | And of predicate * predicate | Or of predicate * predicate
+
+type step = {
+  axis : Trex_summary.Pattern.axis;
+  test : string option;  (** [None] is [*] *)
+  predicate : predicate option;
+}
+
+type query = step list
+
+val structural_path : query -> Trex_summary.Pattern.t
+(** The query's structural skeleton (steps without predicates) — the
+    path whose extent holds the ranked answer elements. *)
+
+val about_paths : query -> (Trex_summary.Pattern.t * keyword list) list
+(** Every root-to-[about()] path with its keywords, in query order: the
+    units the paper's translation phase maps to (sids, terms). The path
+    of the about clause is the steps up to its host step followed by
+    the clause's relative steps. *)
+
+val to_string : query -> string

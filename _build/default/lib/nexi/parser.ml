@@ -1,0 +1,178 @@
+module Pattern = Trex_summary.Pattern
+
+exception Syntax_error of { message : string; pos : int }
+
+let fail pos fmt =
+  Printf.ksprintf (fun message -> raise (Syntax_error { message; pos })) fmt
+
+type state = { src : string; mutable pos : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_spaces st =
+  while
+    st.pos < String.length st.src
+    && (match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+  do
+    st.pos <- st.pos + 1
+  done
+
+let looking_at st lit =
+  let n = String.length lit in
+  st.pos + n <= String.length st.src && String.sub st.src st.pos n = lit
+
+let eat st lit =
+  if looking_at st lit then st.pos <- st.pos + String.length lit
+  else fail st.pos "expected %S" lit
+
+let is_name_char = function
+  | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '-' | '.' | ':' -> true
+  | _ -> false
+
+let is_word_char = function
+  | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '\'' -> true
+  | _ -> false
+
+let read_test st =
+  if looking_at st "*" then begin
+    st.pos <- st.pos + 1;
+    None
+  end
+  else begin
+    let start = st.pos in
+    while
+      st.pos < String.length st.src
+      && is_name_char st.src.[st.pos]
+      && st.src.[st.pos] <> '.'
+    do
+      st.pos <- st.pos + 1
+    done;
+    if st.pos = start then fail st.pos "expected a tag name or *";
+    Some (String.sub st.src start (st.pos - start))
+  end
+
+let read_axis st =
+  if looking_at st "//" then begin
+    st.pos <- st.pos + 2;
+    Some Pattern.Descendant
+  end
+  else if looking_at st "/" then begin
+    st.pos <- st.pos + 1;
+    Some Pattern.Child
+  end
+  else None
+
+(* Keyword list of an about(): words, +words, -words and quoted
+   phrases, up to the closing parenthesis. *)
+let read_keywords st =
+  let keywords = ref [] in
+  let finished = ref false in
+  while not !finished do
+    skip_spaces st;
+    match peek st with
+    | None -> fail st.pos "unterminated about(...)"
+    | Some ')' -> finished := true
+    | Some c ->
+        let polarity =
+          match c with
+          | '+' ->
+              st.pos <- st.pos + 1;
+              Ast.Must
+          | '-' ->
+              st.pos <- st.pos + 1;
+              Ast.Must_not
+          | _ -> Ast.Should
+        in
+        (match peek st with
+        | Some '"' ->
+            st.pos <- st.pos + 1;
+            let start = st.pos in
+            (match String.index_from_opt st.src st.pos '"' with
+            | Some close ->
+                let phrase = String.sub st.src start (close - start) in
+                st.pos <- close + 1;
+                let words =
+                  String.split_on_char ' ' phrase
+                  |> List.filter (fun w -> w <> "")
+                in
+                if words = [] then fail start "empty phrase";
+                keywords := { Ast.polarity; words } :: !keywords
+            | None -> fail start "unterminated phrase")
+        | Some c when is_word_char c ->
+            let start = st.pos in
+            while st.pos < String.length st.src && is_word_char st.src.[st.pos] do
+              st.pos <- st.pos + 1
+            done;
+            let word = String.sub st.src start (st.pos - start) in
+            keywords := { Ast.polarity; words = [ word ] } :: !keywords
+        | _ -> fail st.pos "expected a keyword")
+  done;
+  let kws = List.rev !keywords in
+  if kws = [] then fail st.pos "about() needs at least one keyword";
+  kws
+
+let read_rel_path st =
+  eat st ".";
+  let rec steps acc =
+    match read_axis st with
+    | None -> List.rev acc
+    | Some axis ->
+        let test = read_test st in
+        steps ({ Pattern.axis; test } :: acc)
+  in
+  steps []
+
+let rec read_about st =
+  skip_spaces st;
+  eat st "about";
+  skip_spaces st;
+  eat st "(";
+  skip_spaces st;
+  let rel = read_rel_path st in
+  skip_spaces st;
+  eat st ",";
+  let keywords = read_keywords st in
+  eat st ")";
+  { Ast.rel; keywords }
+
+and read_predicate st =
+  let left = Ast.About (read_about st) in
+  skip_spaces st;
+  if looking_at st "and" then begin
+    st.pos <- st.pos + 3;
+    Ast.And (left, read_predicate st)
+  end
+  else if looking_at st "or" then begin
+    st.pos <- st.pos + 2;
+    Ast.Or (left, read_predicate st)
+  end
+  else left
+
+let parse src =
+  let st = { src; pos = 0 } in
+  skip_spaces st;
+  let rec steps acc =
+    skip_spaces st;
+    match read_axis st with
+    | None ->
+        if acc = [] then fail st.pos "query must start with / or //";
+        List.rev acc
+    | Some axis ->
+        let test = read_test st in
+        let predicate =
+          skip_spaces st;
+          if looking_at st "[" then begin
+            eat st "[";
+            let p = read_predicate st in
+            skip_spaces st;
+            eat st "]";
+            Some p
+          end
+          else None
+        in
+        steps ({ Ast.axis; test; predicate } :: acc)
+  in
+  let q = steps [] in
+  skip_spaces st;
+  if st.pos <> String.length src then fail st.pos "trailing input";
+  q

@@ -1,0 +1,10 @@
+(** Recursive-descent parser for NEXI queries such as
+
+    {v //article[about(., XML)]//sec[about(., query evaluation)]
+//article[about(.//bdy, synthesizers) and about(.//bdy, music)]
+//article//figure[about(., Renaissance painting -French)] v} *)
+
+exception Syntax_error of { message : string; pos : int }
+
+val parse : string -> Ast.query
+(** @raise Syntax_error with the byte offset of the failure. *)

@@ -1,0 +1,104 @@
+module Pattern = Trex_summary.Pattern
+module Summary = Trex_summary.Summary
+
+type unit_ = {
+  pattern : Pattern.t;
+  sids : int list;
+  terms : string list;
+  required_terms : string list;
+  excluded_terms : string list;
+  phrases : string list list;
+}
+
+type t = {
+  query : Ast.query;
+  units : unit_ list;
+  target_pattern : Pattern.t;
+  target_sids : int list;
+}
+
+let dedup_keep_order items =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun x ->
+      if Hashtbl.mem seen x then false
+      else begin
+        Hashtbl.add seen x ();
+        true
+      end)
+    items
+
+let normalize_words normalize words = List.filter_map normalize words
+
+let translate ~summary ~normalize query =
+  let units =
+    List.map
+      (fun (pattern, keywords) ->
+        let positive, negative =
+          List.partition
+            (fun (k : Ast.keyword) -> k.polarity <> Ast.Must_not)
+            keywords
+        in
+        let terms =
+          positive
+          |> List.concat_map (fun (k : Ast.keyword) -> k.words)
+          |> normalize_words normalize |> dedup_keep_order
+        in
+        let required_terms =
+          positive
+          |> List.filter (fun (k : Ast.keyword) -> k.polarity = Ast.Must)
+          |> List.concat_map (fun (k : Ast.keyword) -> k.words)
+          |> normalize_words normalize |> dedup_keep_order
+        in
+        let excluded_terms =
+          negative
+          |> List.concat_map (fun (k : Ast.keyword) -> k.words)
+          |> normalize_words normalize |> dedup_keep_order
+        in
+        let phrases =
+          positive
+          |> List.filter_map (fun (k : Ast.keyword) ->
+                 if List.length k.words >= 2 then
+                   let ws = normalize_words normalize k.words in
+                   if List.length ws >= 2 then Some ws else None
+                 else None)
+        in
+        {
+          pattern;
+          sids = Summary.match_pattern summary pattern;
+          terms;
+          required_terms;
+          excluded_terms;
+          phrases;
+        })
+      (Ast.about_paths query)
+  in
+  let target_pattern = Ast.structural_path query in
+  {
+    query;
+    units;
+    target_pattern;
+    target_sids = Summary.match_pattern summary target_pattern;
+  }
+
+let all_sids t =
+  List.concat_map (fun u -> u.sids) t.units @ t.target_sids
+  |> List.sort_uniq compare
+
+let all_terms t = dedup_keep_order (List.concat_map (fun u -> u.terms) t.units)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>query: %s@," (Ast.to_string t.query);
+  List.iter
+    (fun u ->
+      Format.fprintf fmt "path %s: %d sids, terms [%s]%s@,"
+        (Pattern.to_string u.pattern)
+        (List.length u.sids)
+        (String.concat "; " u.terms)
+        (match u.excluded_terms with
+        | [] -> ""
+        | ex -> Printf.sprintf ", excluded [%s]" (String.concat "; " ex)))
+    t.units;
+  Format.fprintf fmt "target %s: %d sids@]"
+    (Pattern.to_string t.target_pattern)
+    (List.length t.target_sids)

@@ -1,0 +1,37 @@
+(** Translation phase (paper §3.1): map each root-to-[about()] path of
+    a query to a set of summary ids and a set of normalized terms.
+
+    The retrieval phase then works on (sids, terms) only — the paper's
+    experiments use the union across paths, which {!all_sids} /
+    {!all_terms} provide; the structured evaluator uses the per-path
+    units. *)
+
+type unit_ = {
+  pattern : Trex_summary.Pattern.t;  (** root-to-about path *)
+  sids : int list;  (** extents intersecting the path result *)
+  terms : string list;  (** normalized positive keywords, deduplicated *)
+  required_terms : string list;  (** normalized [+keyword]s (a subset of [terms]) *)
+  excluded_terms : string list;  (** normalized [-keyword]s *)
+  phrases : string list list;  (** normalized quoted phrases (≥ 2 words) *)
+}
+
+type t = {
+  query : Ast.query;
+  units : unit_ list;  (** in query order *)
+  target_pattern : Trex_summary.Pattern.t;
+  target_sids : int list;  (** extent of the answer elements *)
+}
+
+val translate :
+  summary:Trex_summary.Summary.t -> normalize:(string -> string option) -> Ast.query -> t
+(** [normalize] is the index's analyzer (query and corpus must agree);
+    keywords it drops (stopwords, too short) vanish from the
+    translation. *)
+
+val all_sids : t -> int list
+(** Sorted union over units and the target pattern. *)
+
+val all_terms : t -> string list
+(** Union over units, first-occurrence order. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/relevance/metrics.ml: Float Hashtbl List Qrels

@@ -1,0 +1,1 @@
+lib/relevance/metrics.mli: Qrels

@@ -1,0 +1,1 @@
+lib/relevance/qrels.ml: Int List Map Option String

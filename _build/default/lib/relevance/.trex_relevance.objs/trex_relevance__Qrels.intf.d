@@ -1,0 +1,1 @@
+lib/relevance/qrels.mli:

@@ -1,0 +1,96 @@
+let dedup ranking =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun d ->
+      if Hashtbl.mem seen d then false
+      else begin
+        Hashtbl.add seen d ();
+        true
+      end)
+    ranking
+
+let rec take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: take (n - 1) rest
+
+let precision_at qrels ~query ~k ranking =
+  if k <= 0 then invalid_arg "Metrics.precision_at: k must be positive";
+  let hits =
+    take k (dedup ranking)
+    |> List.filter (fun docid -> Qrels.is_relevant qrels ~query ~docid)
+    |> List.length
+  in
+  float_of_int hits /. float_of_int k
+
+let recall_at qrels ~query ~k ranking =
+  if k <= 0 then invalid_arg "Metrics.recall_at: k must be positive";
+  let total = Qrels.relevant_count qrels ~query in
+  if total = 0 then 0.0
+  else begin
+    let hits =
+      take k (dedup ranking)
+      |> List.filter (fun docid -> Qrels.is_relevant qrels ~query ~docid)
+      |> List.length
+    in
+    float_of_int hits /. float_of_int total
+  end
+
+let r_precision qrels ~query ranking =
+  let r = Qrels.relevant_count qrels ~query in
+  if r = 0 then 0.0 else precision_at qrels ~query ~k:r ranking
+
+let average_precision qrels ~query ranking =
+  let total = Qrels.relevant_count qrels ~query in
+  if total = 0 then 0.0
+  else begin
+    let _, sum =
+      List.fold_left
+        (fun (rank, (hits, sum)) docid ->
+          let rank = rank + 1 in
+          if Qrels.is_relevant qrels ~query ~docid then begin
+            let hits = hits + 1 in
+            (rank, (hits, sum +. (float_of_int hits /. float_of_int rank)))
+          end
+          else (rank, (hits, sum)))
+        (0, (0, 0.0))
+        (dedup ranking)
+      |> fun (rank, acc) ->
+      ignore rank;
+      acc
+    in
+    sum /. float_of_int total
+  end
+
+let gain grade = Float.pow 2.0 (float_of_int grade) -. 1.0
+let discount rank = 1.0 /. (Float.log (float_of_int (rank + 1)) /. Float.log 2.0)
+
+let ndcg_at qrels ~query ~k ranking =
+  if k <= 0 then invalid_arg "Metrics.ndcg_at: k must be positive";
+  let dcg =
+    take k (dedup ranking)
+    |> List.mapi (fun i docid ->
+           gain (Qrels.grade qrels ~query ~docid) *. discount (i + 1))
+    |> List.fold_left ( +. ) 0.0
+  in
+  let ideal =
+    take k (Qrels.grades qrels ~query)
+    |> List.mapi (fun i g -> gain g *. discount (i + 1))
+    |> List.fold_left ( +. ) 0.0
+  in
+  if ideal <= 0.0 then 0.0 else dcg /. ideal
+
+let reciprocal_rank qrels ~query ranking =
+  let rec go rank = function
+    | [] -> 0.0
+    | docid :: rest ->
+        if Qrels.is_relevant qrels ~query ~docid then 1.0 /. float_of_int rank
+        else go (rank + 1) rest
+  in
+  go 1 (dedup ranking)
+
+let mean f items =
+  match items with
+  | [] -> 0.0
+  | _ ->
+      List.fold_left (fun acc x -> acc +. f x) 0.0 items
+      /. float_of_int (List.length items)

@@ -1,0 +1,30 @@
+(** Ranked-retrieval effectiveness metrics.
+
+    All metrics take a query's ranked list of docids (best first,
+    duplicates ignored after first occurrence) and the {!Qrels}. Binary
+    metrics treat grade > 0 as relevant; nDCG uses the grades. Results
+    are in [0, 1]; queries with no relevant documents score 0 by
+    convention. *)
+
+val precision_at : Qrels.t -> query:string -> k:int -> int list -> float
+(** Fraction of the first [k] ranks that are relevant (ranks beyond the
+    list count as misses). @raise Invalid_argument if [k <= 0]. *)
+
+val recall_at : Qrels.t -> query:string -> k:int -> int list -> float
+
+val r_precision : Qrels.t -> query:string -> int list -> float
+(** Precision at R = number of relevant documents. *)
+
+val average_precision : Qrels.t -> query:string -> int list -> float
+(** Mean of precision@rank over the ranks holding relevant documents,
+    normalized by R — the per-query component of MAP. *)
+
+val ndcg_at : Qrels.t -> query:string -> k:int -> int list -> float
+(** Normalized discounted cumulative gain with gain [2^grade - 1] and
+    log2 rank discount. *)
+
+val reciprocal_rank : Qrels.t -> query:string -> int list -> float
+
+val mean : ('a -> float) -> 'a list -> float
+(** Average a per-query metric over queries (0 on the empty list) —
+    e.g. MAP = [mean (average_precision qrels ~query:...) queries]. *)

@@ -1,0 +1,1 @@
+lib/scoring/scorer.ml: Float Format List

@@ -1,0 +1,1 @@
+lib/scoring/scorer.mli: Format

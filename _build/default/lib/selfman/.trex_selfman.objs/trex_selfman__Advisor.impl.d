@@ -1,0 +1,1 @@
+lib/selfman/advisor.ml: Array Cost Float Fun Hashtbl List Option Printf Set Trex_topk Workload

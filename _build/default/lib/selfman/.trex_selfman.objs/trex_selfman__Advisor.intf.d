@@ -1,0 +1,1 @@
+lib/selfman/advisor.mli: Cost Trex_invindex Trex_scoring Workload

@@ -1,0 +1,1 @@
+lib/selfman/autopilot.ml: Advisor Cost Float Format Hashtbl List Option String Trex_invindex Trex_scoring Trex_topk Workload

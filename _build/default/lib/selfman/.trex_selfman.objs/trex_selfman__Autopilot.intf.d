@@ -1,0 +1,1 @@
+lib/selfman/autopilot.mli: Advisor Format Trex_invindex Trex_scoring

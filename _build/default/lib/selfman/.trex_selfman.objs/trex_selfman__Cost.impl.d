@@ -1,0 +1,1 @@
+lib/selfman/cost.ml: Float List Trex_invindex Trex_topk Workload

@@ -1,0 +1,1 @@
+lib/selfman/cost.mli: Trex_invindex Trex_scoring Workload

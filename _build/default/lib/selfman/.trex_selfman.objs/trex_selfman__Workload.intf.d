@@ -1,0 +1,1 @@
+lib/selfman/workload.mli:

@@ -1,0 +1,219 @@
+module Rpl = Trex_topk.Rpl
+
+type choice = No_index | Use_erpl | Use_rpl
+
+type plan = {
+  decisions : (string * choice) list;
+  bytes_used : int;
+  expected_saving : float;
+}
+
+let choice_to_string = function
+  | No_index -> "none"
+  | Use_erpl -> "ERPL (Merge)"
+  | Use_rpl -> "RPL (TA)"
+
+(* A materializable list, identified across queries so sharing is
+   accounted once. *)
+module List_key = struct
+  type t = Rpl.kind * string * int
+
+  let compare = compare
+end
+
+module List_set = Set.Make (List_key)
+
+let dedup_lists lists =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (key, _) ->
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    lists
+
+let lists_of_choice (p : Cost.profile) = function
+  | No_index -> []
+  | Use_erpl ->
+      dedup_lists
+        (List.map
+           (fun ((l : Cost.list_id), bytes) -> ((Rpl.Erpl, l.term, l.sid), bytes))
+           p.erpl_lists)
+  | Use_rpl ->
+      dedup_lists
+        (List.map
+           (fun ((l : Cost.list_id), bytes) -> ((Rpl.Rpl, l.term, l.sid), bytes))
+           p.rpl_lists)
+
+let saving_of_choice p = function
+  | No_index -> 0.0
+  | Use_erpl -> Cost.saving_merge p
+  | Use_rpl -> Cost.saving_ta p
+
+let add_lists set lists =
+  List.fold_left
+    (fun (set, added) (key, bytes) ->
+      if List_set.mem key set then (set, added)
+      else (List_set.add key set, added + bytes))
+    (set, 0) lists
+
+let incremental_bytes set lists =
+  List.fold_left
+    (fun acc (key, bytes) -> if List_set.mem key set then acc else acc + bytes)
+    0 lists
+
+let decisions_of profiles table =
+  List.map
+    (fun (p : Cost.profile) ->
+      (p.id, match Hashtbl.find_opt table p.id with Some c -> c | None -> No_index))
+    profiles
+
+let plan_of profiles table =
+  let decisions = decisions_of profiles table in
+  let set, bytes, saving =
+    List.fold_left2
+      (fun (set, bytes, saving) (p : Cost.profile) (_, choice) ->
+        let set, added = add_lists set (lists_of_choice p choice) in
+        (set, bytes + added, saving +. saving_of_choice p choice))
+      (List_set.empty, 0, 0.0) profiles decisions
+  in
+  ignore set;
+  { decisions; bytes_used = bytes; expected_saving = saving }
+
+let plan_bytes profiles decisions =
+  let table = Hashtbl.create 8 in
+  List.iter (fun (id, c) -> Hashtbl.replace table id c) decisions;
+  (plan_of profiles table).bytes_used
+
+let plan_saving profiles decisions =
+  let table = Hashtbl.create 8 in
+  List.iter (fun (id, c) -> Hashtbl.replace table id c) decisions;
+  (plan_of profiles table).expected_saving
+
+(* Ratio-greedy alone can be arbitrarily far from optimal (a cheap
+   high-ratio option can block a huge near-budget one), so the classic
+   knapsack fallback applies: also consider every single option alone
+   and return the better plan. This is what makes Theorem 4.2's
+   2-approximation hold. *)
+let best_single ~budget profiles =
+  let best = ref None in
+  List.iter
+    (fun (p : Cost.profile) ->
+      List.iter
+        (fun choice ->
+          let saving = saving_of_choice p choice in
+          let _, bytes = add_lists List_set.empty (lists_of_choice p choice) in
+          if saving > 0.0 && bytes <= budget then
+            match !best with
+            | Some (_, _, s) when s >= saving -> ()
+            | Some _ | None -> best := Some (p.id, choice, saving))
+        [ Use_erpl; Use_rpl ])
+    profiles;
+  let table = Hashtbl.create 1 in
+  (match !best with
+  | Some (id, choice, _) -> Hashtbl.replace table id choice
+  | None -> ());
+  plan_of profiles table
+
+let greedy ~budget profiles =
+  let chosen = Hashtbl.create 8 in
+  let set = ref List_set.empty in
+  let used = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    (* Best (query, choice) by saving / incremental-bytes among those
+       that still fit; zero-cost positive-saving options dominate. *)
+    let best = ref None in
+    List.iter
+      (fun (p : Cost.profile) ->
+        if not (Hashtbl.mem chosen p.id) then
+          List.iter
+            (fun choice ->
+              let saving = saving_of_choice p choice in
+              if saving > 0.0 then begin
+                let cost = incremental_bytes !set (lists_of_choice p choice) in
+                if !used + cost <= budget then begin
+                  let ratio =
+                    if cost = 0 then infinity else saving /. float_of_int cost
+                  in
+                  match !best with
+                  | Some (_, _, best_ratio) when best_ratio >= ratio -> ()
+                  | Some _ | None -> best := Some (p, choice, ratio)
+                end
+              end)
+            [ Use_erpl; Use_rpl ])
+      profiles;
+    match !best with
+    | None -> finished := true
+    | Some (p, choice, _) ->
+        let set', added = add_lists !set (lists_of_choice p choice) in
+        set := set';
+        used := !used + added;
+        Hashtbl.replace chosen p.id choice
+  done;
+  let ratio_plan = plan_of profiles chosen in
+  let single_plan = best_single ~budget profiles in
+  if single_plan.expected_saving > ratio_plan.expected_saving then single_plan
+  else ratio_plan
+
+let branch_and_bound ~budget profiles =
+  let arr = Array.of_list profiles in
+  let l = Array.length arr in
+  (* Optimistic completion: take every remaining query's best option for
+     free. *)
+  let tail_bound = Array.make (l + 1) 0.0 in
+  for i = l - 1 downto 0 do
+    tail_bound.(i) <-
+      tail_bound.(i + 1)
+      +. Float.max (Cost.saving_merge arr.(i)) (Cost.saving_ta arr.(i))
+  done;
+  let best_saving = ref (-1.0) in
+  let best_assignment = ref [||] in
+  let current = Array.make l No_index in
+  let rec explore i set used saving =
+    if saving +. tail_bound.(i) <= !best_saving then ()
+    else if i = l then begin
+      if saving > !best_saving then begin
+        best_saving := saving;
+        best_assignment := Array.copy current
+      end
+    end
+    else
+      List.iter
+        (fun choice ->
+          let cost = incremental_bytes set (lists_of_choice arr.(i) choice) in
+          if used + cost <= budget then begin
+            let set', _ = add_lists set (lists_of_choice arr.(i) choice) in
+            current.(i) <- choice;
+            explore (i + 1) set' (used + cost) (saving +. saving_of_choice arr.(i) choice);
+            current.(i) <- No_index
+          end)
+        [ Use_rpl; Use_erpl; No_index ]
+  in
+  explore 0 List_set.empty 0 0.0;
+  let table = Hashtbl.create 8 in
+  Array.iteri (fun i (p : Cost.profile) -> Hashtbl.replace table p.id !best_assignment.(i)) arr;
+  plan_of profiles table
+
+let apply index ~scoring ~workload ?(profiles = []) plan =
+  List.iter
+    (fun (id, choice) ->
+      match choice with
+      | No_index -> ()
+      | Use_erpl | Use_rpl -> (
+          match Workload.find workload id with
+          | None -> invalid_arg (Printf.sprintf "Advisor.apply: unknown query %s" id)
+          | Some q ->
+              let kinds = [ (if choice = Use_erpl then Rpl.Erpl else Rpl.Rpl) ] in
+              let rpl_prefix =
+                if choice = Use_rpl then
+                  List.find_opt (fun (p : Cost.profile) -> p.id = id) profiles
+                  |> Fun.flip Option.bind (fun (p : Cost.profile) -> p.rpl_prefix)
+                else None
+              in
+              ignore
+                (Rpl.build index ~scoring ~sids:q.sids ~terms:q.terms ~kinds
+                   ?rpl_prefix ())))
+    plan.decisions

@@ -1,0 +1,49 @@
+(** Index-selection under a disk budget (paper §4).
+
+    For each workload query, decide whether to materialize the ERPLs it
+    needs (so Merge can run), the RPLs (so TA can run), or neither —
+    maximizing the frequency-weighted time saving over ERA subject to
+    the total bytes of the {e union} of chosen lists (queries share
+    lists) staying within the budget.
+
+    Two solvers, as in the paper: an exact 0/1 branch-and-bound (the
+    boolean linear program of §4.1) and the greedy gain-cost-ratio
+    2-approximation of §4.2. *)
+
+type choice = No_index | Use_erpl | Use_rpl
+
+type plan = {
+  decisions : (string * choice) list;  (** per query id, workload order *)
+  bytes_used : int;  (** size of the union of selected lists *)
+  expected_saving : float;  (** Σ f_i · Δ(Q_i) over supported queries *)
+}
+
+val choice_to_string : choice -> string
+
+val greedy : budget:int -> Cost.profile list -> plan
+(** Iteratively add the query option with the best ratio of
+    frequency-weighted saving to {e incremental} bytes (lists already
+    chosen are free), until nothing fits. 2-approximation
+    (Theorem 4.2). *)
+
+val branch_and_bound : budget:int -> Cost.profile list -> plan
+(** Exact optimum. Exponential in the number of queries — intended for
+    small workloads, as the paper prescribes for the LP route. *)
+
+val plan_bytes : Cost.profile list -> (string * choice) list -> int
+(** Bytes of the union of the lists implied by the decisions. *)
+
+val plan_saving : Cost.profile list -> (string * choice) list -> float
+
+val apply :
+  Trex_invindex.Index.t ->
+  scoring:Trex_scoring.Scorer.config ->
+  workload:Workload.t ->
+  ?profiles:Cost.profile list ->
+  plan ->
+  unit
+(** Materialize the lists the plan selects (building via ERA), leaving
+    everything else untouched. When [profiles] are supplied, RPL
+    choices honour each profile's [rpl_prefix] (prefix-truncated lists,
+    the paper's S_RPL); note that a list shared between queries keeps
+    the depth of whichever query materialized it first. *)

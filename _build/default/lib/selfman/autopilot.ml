@@ -1,0 +1,115 @@
+module Index = Trex_invindex.Index
+module Rpl = Trex_topk.Rpl
+
+type observed = {
+  mutable count : int;
+  mutable sids : int list;
+  mutable terms : string list;
+  mutable k : int;
+}
+
+type t = {
+  index : Index.t;
+  scoring : Trex_scoring.Scorer.config;
+  budget : int;
+  min_observations : int;
+  drift_threshold : float;
+  seen : (string, observed) Hashtbl.t;
+  mutable total : int;
+  mutable plan : Advisor.plan option;
+  mutable planned_freqs : (string * float) list; (* mix the plan was built for *)
+}
+
+let create index ~scoring ~budget ?(min_observations = 20) ?(drift_threshold = 0.25)
+    () =
+  if budget < 0 then invalid_arg "Autopilot.create: negative budget";
+  {
+    index;
+    scoring;
+    budget;
+    min_observations;
+    drift_threshold;
+    seen = Hashtbl.create 16;
+    total = 0;
+    plan = None;
+    planned_freqs = [];
+  }
+
+let record t ~id ~sids ~terms ~k =
+  t.total <- t.total + 1;
+  match Hashtbl.find_opt t.seen id with
+  | Some o ->
+      o.count <- o.count + 1;
+      o.sids <- sids;
+      o.terms <- terms;
+      o.k <- k
+  | None -> Hashtbl.add t.seen id { count = 1; sids; terms; k }
+
+let observations t = t.total
+
+let observed_frequencies t =
+  if t.total = 0 then []
+  else
+    Hashtbl.fold
+      (fun id o acc -> (id, float_of_int o.count /. float_of_int t.total) :: acc)
+      t.seen []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let current_plan t = t.plan
+
+(* Total-variation distance between two frequency maps. *)
+let drift old_freqs new_freqs =
+  let ids =
+    List.sort_uniq String.compare (List.map fst old_freqs @ List.map fst new_freqs)
+  in
+  let get l id = Option.value ~default:0.0 (List.assoc_opt id l) in
+  List.fold_left
+    (fun acc id -> acc +. Float.abs (get old_freqs id -. get new_freqs id))
+    0.0 ids
+  /. 2.0
+
+type verdict =
+  | Too_few_observations of int
+  | No_drift of float
+  | Replanned of { plan : Advisor.plan; drift : float }
+
+let observed_workload t =
+  Workload.create
+    (List.map
+       (fun (id, frequency) ->
+         let o = Hashtbl.find t.seen id in
+         { Workload.id; sids = o.sids; terms = o.terms; k = o.k; frequency })
+       (observed_frequencies t))
+
+let maybe_replan t =
+  if t.total < t.min_observations then Too_few_observations t.total
+  else begin
+    let freqs = observed_frequencies t in
+    let d = drift t.planned_freqs freqs in
+    if t.plan <> None && d < t.drift_threshold then No_drift d
+    else begin
+      let workload = observed_workload t in
+      let profiles =
+        List.map
+          (fun q -> Cost.measure t.index ~scoring:t.scoring ~runs:1 q)
+          (Workload.queries workload)
+      in
+      let plan = Advisor.greedy ~budget:t.budget profiles in
+      (* Start from a clean slate so the budget holds over successive
+         replans, then materialize only what the plan selected. *)
+      Rpl.drop_all t.index Rpl.Rpl;
+      Rpl.drop_all t.index Rpl.Erpl;
+      Advisor.apply t.index ~scoring:t.scoring ~workload ~profiles plan;
+      t.plan <- Some plan;
+      t.planned_freqs <- freqs;
+      Replanned { plan; drift = d }
+    end
+  end
+
+let pp_verdict fmt = function
+  | Too_few_observations n -> Format.fprintf fmt "too few observations (%d)" n
+  | No_drift d -> Format.fprintf fmt "no drift (%.3f)" d
+  | Replanned { plan; drift } ->
+      Format.fprintf fmt "replanned at drift %.3f: %d bytes, %.2f ms saving" drift
+        plan.Advisor.bytes_used
+        (plan.Advisor.expected_saving *. 1e3)

@@ -1,0 +1,52 @@
+(** Closed-loop self-management.
+
+    The paper assumes "a set of typical queries that are frequently
+    being posed to the system" is given as a workload; this module
+    closes the loop: it {e observes} executed queries, derives the
+    workload from their empirical frequencies, and re-plans (and
+    re-materializes) the redundant indexes when the observed mix has
+    drifted from the one the current plan was built for.
+
+    Replanning measures query costs, which temporarily materializes the
+    workload's lists; the applied plan then respects the budget (old
+    lists are dropped first). *)
+
+type t
+
+val create :
+  Trex_invindex.Index.t ->
+  scoring:Trex_scoring.Scorer.config ->
+  budget:int ->
+  ?min_observations:int ->
+  ?drift_threshold:float ->
+  unit ->
+  t
+(** [min_observations] (default 20): executions to collect before the
+    first plan. [drift_threshold] (default 0.25): half the L1 distance
+    between the frequency vector the current plan was built for and the
+    current one (total-variation distance, in [0,1]) that triggers
+    replanning. *)
+
+val record :
+  t -> id:string -> sids:int list -> terms:string list -> k:int -> unit
+(** Note one executed query. [id] identifies the query template (e.g.
+    the NEXI text); [sids]/[terms]/[k] are remembered from the latest
+    execution. *)
+
+val observations : t -> int
+val observed_frequencies : t -> (string * float) list
+(** Sorted by id; empty before any {!record}. *)
+
+val current_plan : t -> Advisor.plan option
+
+type verdict =
+  | Too_few_observations of int  (** have, need [min_observations] *)
+  | No_drift of float  (** measured distance below the threshold *)
+  | Replanned of { plan : Advisor.plan; drift : float }
+
+val maybe_replan : t -> verdict
+(** Check drift and, when warranted, measure the observed workload,
+    solve (greedy) under the budget, drop every previously materialized
+    RPL/ERPL list and apply the new plan. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

@@ -1,0 +1,22 @@
+(** Workloads (paper Definition 4.1): top-k retrieval queries with
+    frequencies summing to one. *)
+
+type query = {
+  id : string;
+  sids : int list;
+  terms : string list;
+  k : int;
+  frequency : float;
+}
+
+type t = private query list
+
+val create : query list -> t
+(** Validates: non-empty, distinct ids, positive frequencies summing to
+    1 (within 1e-6), positive [k]. @raise Invalid_argument otherwise. *)
+
+val of_unweighted : (string * int list * string list * int) list -> t
+(** Uniform frequencies. *)
+
+val queries : t -> query list
+val find : t -> string -> query option

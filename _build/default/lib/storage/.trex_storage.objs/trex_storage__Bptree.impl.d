@@ -1,0 +1,1 @@
+lib/storage/bptree.ml: Array Bytes List Pager Printf Seq String Trex_util

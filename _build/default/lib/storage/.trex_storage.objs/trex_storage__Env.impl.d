@@ -1,0 +1,1 @@
+lib/storage/env.ml: Array Bptree Filename Hashtbl List Pager Printf String Sys Unix

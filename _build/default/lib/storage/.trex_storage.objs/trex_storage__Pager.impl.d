@@ -1,0 +1,1 @@
+lib/storage/pager.ml: Array Bytes Hashtbl Int64 Printf Unix

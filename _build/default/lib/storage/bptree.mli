@@ -1,0 +1,73 @@
+(** B+tree over a {!Pager}.
+
+    Keys and values are strings; keys compare bytewise, so composite
+    keys must be produced with the order-preserving {!Trex_util.Codec}
+    encoders. Leaves are chained for cheap ordered scans — exactly the
+    sequential-access-by-primary-key contract the paper relies on for
+    its BerkeleyDB tables.
+
+    A single entry (key + value) must fit in roughly a quarter page;
+    bigger payloads must be chunked by the caller (the paper stores long
+    posting lists "divided... in several tuples", and the index layers
+    here do the same). *)
+
+type t
+
+val create : Pager.t -> t
+(** Start a fresh tree; its root id is persisted in the pager header. *)
+
+val attach : Pager.t -> t
+(** Attach to the tree whose root the pager header records.
+    @raise Failure if the pager has no root. *)
+
+val pager : t -> Pager.t
+
+val refresh : t -> unit
+(** Re-read the root from the pager header. Needed after {!bulk_load}
+    rebuilt the tree inside a pager this handle already points at. *)
+
+val insert : t -> key:string -> value:string -> unit
+(** Insert or replace. @raise Invalid_argument if the entry is too large
+    for a node. *)
+
+val find : t -> string -> string option
+
+val remove : t -> string -> bool
+(** [true] iff the key was present. Leaves may become under-full; the
+    tree never shrinks (fine for build-once index workloads). *)
+
+val length : t -> int
+(** Number of entries (O(n) on first call after {!attach}). *)
+
+val bulk_load : Pager.t -> (string * string) Seq.t -> t
+(** Build a tree from a strictly key-ascending sequence, packing leaves
+    to a high fill factor. Much faster than repeated {!insert}.
+    @raise Invalid_argument if keys are not strictly ascending. *)
+
+(** Ordered iteration. A cursor is positioned before an entry; [next]
+    yields it and advances. Cursors are snapshots of leaf contents at
+    positioning time; interleaving writes invalidates them logically
+    (no crash, possibly stale data) — the retrieval algorithms never
+    write during reads. *)
+module Cursor : sig
+  type cursor
+
+  val seek_first : t -> cursor
+  val seek : t -> string -> cursor
+  (** Positioned at the first entry with key [>=] the argument. *)
+
+  val next : cursor -> (string * string) option
+end
+
+val iter : t -> (string -> string -> unit) -> unit
+
+val iter_prefix : t -> prefix:string -> (string -> string -> unit) -> unit
+(** Visit all entries whose key starts with [prefix], in key order. *)
+
+val fold_range :
+  t -> low:string -> high:string option -> init:'a -> f:('a -> string -> string -> 'a) -> 'a
+(** Fold entries with [low <= key] and [key < high] (no upper bound when
+    [high] is [None]). *)
+
+val entry_budget : Pager.t -> int
+(** Maximum encoded entry size accepted by {!insert} for this pager. *)

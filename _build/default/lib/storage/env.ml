@@ -1,0 +1,129 @@
+type backend = Mem | Disk of { dir : string; cache_pages : int }
+
+type t = {
+  backend : backend;
+  page_size : int;
+  tables : (string, Bptree.t) Hashtbl.t;
+}
+
+let in_memory ?(page_size = 8192) () =
+  { backend = Mem; page_size; tables = Hashtbl.create 8 }
+
+let on_disk ?(page_size = 8192) ?(cache_pages = 4096) dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Env.on_disk: %s is not a directory" dir);
+  { backend = Disk { dir; cache_pages }; page_size; tables = Hashtbl.create 8 }
+
+let valid_name name =
+  name <> ""
+  && String.for_all
+       (function
+         | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '.' | '-' -> true
+         | _ -> false)
+       name
+
+let path_of dir name = Filename.concat dir (name ^ ".tbl")
+
+let table t name =
+  if not (valid_name name) then invalid_arg ("Env.table: bad name " ^ name);
+  match Hashtbl.find_opt t.tables name with
+  | Some tree -> tree
+  | None ->
+      let tree =
+        match t.backend with
+        | Mem -> Bptree.create (Pager.create_memory ~page_size:t.page_size ())
+        | Disk { dir; cache_pages } ->
+            let path = path_of dir name in
+            if Sys.file_exists path then
+              Bptree.attach (Pager.open_file ~cache_pages path)
+            else
+              Bptree.create
+                (Pager.create_file ~page_size:t.page_size ~cache_pages path)
+      in
+      Hashtbl.add t.tables name tree;
+      tree
+
+let has_table t name =
+  Hashtbl.mem t.tables name
+  ||
+  match t.backend with
+  | Mem -> false
+  | Disk { dir; _ } -> Sys.file_exists (path_of dir name)
+
+let drop_table t name =
+  (match Hashtbl.find_opt t.tables name with
+  | Some tree ->
+      Pager.close (Bptree.pager tree);
+      Hashtbl.remove t.tables name
+  | None -> ());
+  match t.backend with
+  | Mem -> ()
+  | Disk { dir; _ } ->
+      let path = path_of dir name in
+      if Sys.file_exists path then Sys.remove path
+
+let table_names t =
+  let open_names = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] in
+  let disk_names =
+    match t.backend with
+    | Mem -> []
+    | Disk { dir; _ } ->
+        Sys.readdir dir |> Array.to_list
+        |> List.filter_map (fun f ->
+               if Filename.check_suffix f ".tbl" then
+                 Some (Filename.chop_suffix f ".tbl")
+               else None)
+  in
+  List.sort_uniq String.compare (open_names @ disk_names)
+
+let table_bytes t name =
+  match Hashtbl.find_opt t.tables name with
+  | Some tree ->
+      let p = Bptree.pager tree in
+      Pager.page_count p * Pager.page_size p
+  | None -> (
+      match t.backend with
+      | Mem -> 0
+      | Disk { dir; _ } ->
+          let path = path_of dir name in
+          if Sys.file_exists path then (Unix.stat path).Unix.st_size else 0)
+
+let total_bytes t =
+  List.fold_left (fun acc n -> acc + table_bytes t n) 0 (table_names t)
+
+let compact_table t name =
+  if has_table t name then begin
+    let tree = table t name in
+    let entries = ref [] in
+    Bptree.iter tree (fun k v -> entries := (k, v) :: !entries);
+    let entries = List.rev !entries in
+    match t.backend with
+    | Mem ->
+        let fresh =
+          Bptree.bulk_load (Pager.create_memory ~page_size:t.page_size ()) (List.to_seq entries)
+        in
+        Pager.close (Bptree.pager tree);
+        Hashtbl.replace t.tables name fresh
+    | Disk { dir; cache_pages } ->
+        let tmp = path_of dir (name ^ ".compact-tmp") in
+        let pager = Pager.create_file ~page_size:t.page_size ~cache_pages tmp in
+        ignore (Bptree.bulk_load pager (List.to_seq entries));
+        Pager.close pager;
+        Pager.close (Bptree.pager tree);
+        Hashtbl.remove t.tables name;
+        Sys.rename tmp (path_of dir name);
+        ignore (table t name)
+  end
+
+let io_stats t =
+  Hashtbl.fold
+    (fun name tree acc -> (name, Pager.stats (Bptree.pager tree)) :: acc)
+    t.tables []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let flush t = Hashtbl.iter (fun _ tree -> Pager.flush (Bptree.pager tree)) t.tables
+
+let close t =
+  Hashtbl.iter (fun _ tree -> Pager.close (Bptree.pager tree)) t.tables;
+  Hashtbl.reset t.tables

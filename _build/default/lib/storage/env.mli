@@ -1,0 +1,40 @@
+(** Storage environment: a namespace of B+tree tables.
+
+    Plays the role BerkeleyDB plays in the paper — each indexed table
+    ([Elements], [PostingLists], [RPLs], [ERPLs], ...) is one B+tree,
+    either file-backed inside a directory or in memory. Disk usage per
+    table is observable because the self-management layer optimizes
+    index choice under a disk budget. *)
+
+type t
+
+val in_memory : ?page_size:int -> unit -> t
+
+val on_disk : ?page_size:int -> ?cache_pages:int -> string -> t
+(** [on_disk dir] creates [dir] if needed; each table lives in
+    [dir/<name>.tbl]. Existing table files are re-attached. *)
+
+val table : t -> string -> Bptree.t
+(** Create-or-attach. Table names must match [[A-Za-z0-9_.-]+]. *)
+
+val has_table : t -> string -> bool
+val drop_table : t -> string -> unit
+(** Close and delete the table; a no-op when absent. *)
+
+val table_names : t -> string list
+
+val table_bytes : t -> string -> int
+(** Bytes of storage held by the table (pages * page size); 0 when
+    absent. *)
+
+val compact_table : t -> string -> unit
+(** Rebuild the table into freshly bulk-loaded pages, releasing the
+    space dead entries and dropped lists still hold (B+trees never
+    shrink in place). On disk the table file is atomically replaced;
+    open cursors into the old tree are invalidated. A no-op when the
+    table does not exist. *)
+
+val total_bytes : t -> int
+val io_stats : t -> (string * Pager.stats) list
+val flush : t -> unit
+val close : t -> unit

@@ -1,0 +1,244 @@
+type stats = {
+  physical_reads : int;
+  physical_writes : int;
+  cache_hits : int;
+  cache_misses : int;
+}
+
+type backend =
+  | Memory of bytes array ref
+  | File of { fd : Unix.file_descr; cache_pages : int }
+
+type cached = { buf : bytes; mutable dirty : bool; mutable stamp : int }
+
+type t = {
+  backend : backend;
+  page_size : int;
+  mutable page_count : int;
+  mutable root : int;
+  cache : (int, cached) Hashtbl.t;
+  mutable tick : int;
+  mutable physical_reads : int;
+  mutable physical_writes : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+(* The header occupies page 0 of file-backed pagers:
+   magic "TRExPG01" | page_size (8 bytes BE) | page_count | root. *)
+let magic = "TRExPG01"
+let header_size = 32
+
+let default_page_size = 8192
+
+let create_memory ?(page_size = default_page_size) () =
+  {
+    backend = Memory (ref [||]);
+    page_size;
+    page_count = 0;
+    root = -1;
+    cache = Hashtbl.create 16;
+    tick = 0;
+    physical_reads = 0;
+    physical_writes = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+  }
+
+let write_header t =
+  match t.backend with
+  | Memory _ -> ()
+  | File { fd; _ } ->
+      let b = Bytes.make header_size '\x00' in
+      Bytes.blit_string magic 0 b 0 8;
+      Bytes.set_int64_be b 8 (Int64.of_int t.page_size);
+      Bytes.set_int64_be b 16 (Int64.of_int t.page_count);
+      Bytes.set_int64_be b 24 (Int64.of_int t.root);
+      ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+      let n = Unix.write fd b 0 header_size in
+      if n <> header_size then failwith "Pager: short header write"
+
+let create_file ?(page_size = default_page_size) ?(cache_pages = 4096) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
+  let t =
+    {
+      backend = File { fd; cache_pages };
+      page_size;
+      page_count = 0;
+      root = -1;
+      cache = Hashtbl.create 64;
+      tick = 0;
+      physical_reads = 0;
+      physical_writes = 0;
+      cache_hits = 0;
+      cache_misses = 0;
+    }
+  in
+  write_header t;
+  t
+
+let open_file ?(cache_pages = 4096) path =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let b = Bytes.create header_size in
+  let n = Unix.read fd b 0 header_size in
+  if n <> header_size || Bytes.sub_string b 0 8 <> magic then
+    failwith (Printf.sprintf "Pager.open_file: %s is not a pager file" path);
+  let page_size = Int64.to_int (Bytes.get_int64_be b 8) in
+  let page_count = Int64.to_int (Bytes.get_int64_be b 16) in
+  let root = Int64.to_int (Bytes.get_int64_be b 24) in
+  {
+    backend = File { fd; cache_pages };
+    page_size;
+    page_count;
+    root;
+    cache = Hashtbl.create 64;
+    tick = 0;
+    physical_reads = 0;
+    physical_writes = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+  }
+
+let page_size t = t.page_size
+let page_count t = t.page_count
+let set_root t r =
+  t.root <- r;
+  write_header t
+
+let get_root t = t.root
+
+let file_offset t id = header_size + (id * t.page_size)
+
+let physical_read t fd id buf =
+  ignore (Unix.lseek fd (file_offset t id) Unix.SEEK_SET);
+  let rec fill off =
+    if off < t.page_size then begin
+      let n = Unix.read fd buf off (t.page_size - off) in
+      if n = 0 then
+        (* Page was allocated but never flushed: treat as zeroes. *)
+        Bytes.fill buf off (t.page_size - off) '\x00'
+      else fill (off + n)
+    end
+  in
+  fill 0;
+  t.physical_reads <- t.physical_reads + 1
+
+let physical_write t fd id buf =
+  ignore (Unix.lseek fd (file_offset t id) Unix.SEEK_SET);
+  let n = Unix.write fd buf 0 t.page_size in
+  if n <> t.page_size then failwith "Pager: short page write";
+  t.physical_writes <- t.physical_writes + 1
+
+let evict_one t fd =
+  (* Evict the least recently used cached page. Linear scan is fine:
+     eviction is rare relative to hits and the cache is bounded. *)
+  let victim = ref (-1) and best = ref max_int in
+  Hashtbl.iter
+    (fun id c ->
+      if c.stamp < !best then begin
+        best := c.stamp;
+        victim := id
+      end)
+    t.cache;
+  if !victim >= 0 then begin
+    let c = Hashtbl.find t.cache !victim in
+    if c.dirty then physical_write t fd !victim c.buf;
+    Hashtbl.remove t.cache !victim
+  end
+
+let touch t c =
+  t.tick <- t.tick + 1;
+  c.stamp <- t.tick
+
+let allocate t =
+  let id = t.page_count in
+  t.page_count <- t.page_count + 1;
+  (match t.backend with
+  | Memory pages ->
+      let arr = !pages in
+      let cap = Array.length arr in
+      if id >= cap then begin
+        let ncap = max 64 (cap * 2) in
+        let narr = Array.make ncap Bytes.empty in
+        Array.blit arr 0 narr 0 cap;
+        pages := narr
+      end;
+      !pages.(id) <- Bytes.make t.page_size '\x00'
+  | File { fd; cache_pages } ->
+      if Hashtbl.length t.cache >= cache_pages then evict_one t fd;
+      let c = { buf = Bytes.make t.page_size '\x00'; dirty = true; stamp = 0 } in
+      touch t c;
+      Hashtbl.replace t.cache id c);
+  id
+
+let check_id t id =
+  if id < 0 || id >= t.page_count then
+    invalid_arg (Printf.sprintf "Pager: page id %d out of range [0,%d)" id t.page_count)
+
+let read t id =
+  check_id t id;
+  match t.backend with
+  | Memory pages ->
+      t.cache_hits <- t.cache_hits + 1;
+      !pages.(id)
+  | File { fd; cache_pages } -> (
+      match Hashtbl.find_opt t.cache id with
+      | Some c ->
+          t.cache_hits <- t.cache_hits + 1;
+          touch t c;
+          c.buf
+      | None ->
+          t.cache_misses <- t.cache_misses + 1;
+          if Hashtbl.length t.cache >= cache_pages then evict_one t fd;
+          let buf = Bytes.create t.page_size in
+          physical_read t fd id buf;
+          let c = { buf; dirty = false; stamp = 0 } in
+          touch t c;
+          Hashtbl.replace t.cache id c;
+          buf)
+
+let write t id buf =
+  check_id t id;
+  if Bytes.length buf <> t.page_size then
+    invalid_arg "Pager.write: buffer length mismatch";
+  match t.backend with
+  | Memory pages ->
+      if not (!pages.(id) == buf) then Bytes.blit buf 0 !pages.(id) 0 t.page_size
+  | File { fd; cache_pages } -> (
+      match Hashtbl.find_opt t.cache id with
+      | Some c ->
+          if not (c.buf == buf) then Bytes.blit buf 0 c.buf 0 t.page_size;
+          c.dirty <- true;
+          touch t c
+      | None ->
+          if Hashtbl.length t.cache >= cache_pages then evict_one t fd;
+          let c = { buf = Bytes.copy buf; dirty = true; stamp = 0 } in
+          touch t c;
+          Hashtbl.replace t.cache id c)
+
+let flush t =
+  match t.backend with
+  | Memory _ -> ()
+  | File { fd; _ } ->
+      Hashtbl.iter
+        (fun id c ->
+          if c.dirty then begin
+            physical_write t fd id c.buf;
+            c.dirty <- false
+          end)
+        t.cache;
+      write_header t
+
+let close t =
+  flush t;
+  match t.backend with
+  | Memory pages -> pages := [||]
+  | File { fd; _ } -> Unix.close fd
+
+let stats t =
+  {
+    physical_reads = t.physical_reads;
+    physical_writes = t.physical_writes;
+    cache_hits = t.cache_hits;
+    cache_misses = t.cache_misses;
+  }

@@ -1,0 +1,51 @@
+(** Paged storage with an LRU page cache.
+
+    This is the lowest layer of the BerkeleyDB-replacement substrate:
+    fixed-size pages addressed by page id, backed either by an ordinary
+    file or by memory (for tests and small corpora). All B+tree nodes
+    live in pages obtained here, and the pager records read/write/hit
+    statistics so experiments can report I/O work. *)
+
+type t
+
+type stats = {
+  physical_reads : int;  (** pages fetched from the backing store *)
+  physical_writes : int;  (** pages flushed to the backing store *)
+  cache_hits : int;
+  cache_misses : int;
+}
+
+val create_memory : ?page_size:int -> unit -> t
+(** Purely in-memory pager; pages live until {!close}. *)
+
+val create_file : ?page_size:int -> ?cache_pages:int -> string -> t
+(** [create_file path] truncates/creates [path]. [cache_pages] bounds
+    the number of resident pages (default 4096). *)
+
+val open_file : ?cache_pages:int -> string -> t
+(** Re-open a pager file written by {!create_file}; the page size is
+    read from the header. @raise Failure on a bad header. *)
+
+val page_size : t -> int
+val page_count : t -> int
+
+val allocate : t -> int
+(** Extend the store by one zeroed page and return its id. *)
+
+val read : t -> int -> bytes
+(** [read t id] returns the page contents. The returned buffer is the
+    cached copy: mutating it without a subsequent {!write} is a bug.
+    @raise Invalid_argument on an out-of-range id. *)
+
+val write : t -> int -> bytes -> unit
+(** Replace page [id]. The buffer length must equal [page_size t]. *)
+
+val set_root : t -> int -> unit
+(** Persist a distinguished page id (the B+tree root) in the header. *)
+
+val get_root : t -> int
+(** Last value passed to {!set_root}, or [-1]. *)
+
+val stats : t -> stats
+val flush : t -> unit
+val close : t -> unit

@@ -1,0 +1,1 @@
+lib/summary/alias.ml: Hashtbl List Printf String

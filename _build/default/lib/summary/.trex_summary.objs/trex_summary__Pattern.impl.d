@@ -1,0 +1,1 @@
+lib/summary/pattern.ml: Alias Array Buffer Fun List String

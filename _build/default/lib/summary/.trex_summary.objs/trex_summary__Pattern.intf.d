@@ -1,0 +1,1 @@
+lib/summary/pattern.mli: Alias

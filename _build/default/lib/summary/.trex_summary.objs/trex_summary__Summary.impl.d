@@ -1,0 +1,1 @@
+lib/summary/summary.ml: Alias Hashtbl Int List Pattern Printf Set String Trex_util Trex_xml

@@ -1,0 +1,1 @@
+lib/summary/summary.mli: Alias Pattern Trex_xml

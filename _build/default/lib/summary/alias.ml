@@ -1,0 +1,24 @@
+type t = (string, string) Hashtbl.t
+
+let identity : t = Hashtbl.create 1
+
+let of_list pairs =
+  let h = Hashtbl.create (List.length pairs) in
+  List.iter
+    (fun (syn, canon) ->
+      match Hashtbl.find_opt h syn with
+      | Some existing when existing <> canon ->
+          invalid_arg
+            (Printf.sprintf "Alias.of_list: %s maps to both %s and %s" syn
+               existing canon)
+      | Some _ -> ()
+      | None -> Hashtbl.add h syn canon)
+    pairs;
+  h
+
+let apply t tag = match Hashtbl.find_opt t tag with Some c -> c | None -> tag
+let is_identity t = Hashtbl.length t = 0
+
+let bindings t =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) t []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,22 @@
+(** Tag alias mappings.
+
+    INEX provides a mapping that collapses synonym tags (e.g. [ss1],
+    [ss2] → [sec]); applying it before summarization yields the paper's
+    "alias" summaries and realizes the vague interpretation of
+    structural constraints. *)
+
+type t
+
+val identity : t
+(** Maps every tag to itself. *)
+
+val of_list : (string * string) list -> t
+(** [of_list pairs] maps each [(synonym, canonical)]; unlisted tags map
+    to themselves. Chains are not followed: the canonical side is used
+    as given. @raise Invalid_argument on a duplicate synonym with a
+    different canonical tag. *)
+
+val apply : t -> string -> string
+val is_identity : t -> bool
+val bindings : t -> (string * string) list
+(** Sorted by synonym. *)

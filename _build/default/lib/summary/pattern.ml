@@ -1,0 +1,110 @@
+type axis = Child | Descendant
+type step = { axis : axis; test : string option }
+type t = step list
+
+let parse src =
+  let n = String.length src in
+  if n = 0 then failwith "Pattern.parse: empty pattern";
+  let steps = ref [] in
+  let pos = ref 0 in
+  if src.[0] <> '/' then failwith "Pattern.parse: pattern must start with / or //";
+  while !pos < n do
+    let axis =
+      if !pos + 1 < n && src.[!pos] = '/' && src.[!pos + 1] = '/' then begin
+        pos := !pos + 2;
+        Descendant
+      end
+      else if src.[!pos] = '/' then begin
+        incr pos;
+        Child
+      end
+      else failwith "Pattern.parse: expected / between steps"
+    in
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match src.[!pos] with
+      | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' | '_' | '-' | '.' | '*' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    let name = String.sub src start (!pos - start) in
+    if name = "" then failwith "Pattern.parse: empty step name";
+    let test = if name = "*" then None else Some name in
+    steps := { axis; test } :: !steps
+  done;
+  List.rev !steps
+
+let to_string t =
+  let b = Buffer.create 32 in
+  List.iter
+    (fun { axis; test } ->
+      Buffer.add_string b (match axis with Child -> "/" | Descendant -> "//");
+      Buffer.add_string b (match test with None -> "*" | Some tag -> tag))
+    t;
+  Buffer.contents b
+
+let append a b = a @ b
+
+let test_ok test label = match test with None -> true | Some tag -> tag = label
+
+(* Shared matcher: remaining steps with the head step anchored at
+   position [p]; the last step must land on the last position. *)
+let rec steps_match steps path n p =
+  match steps with
+  | [] -> assert false
+  | [ { test; _ } ] -> p = n - 1 && test_ok test path.(p)
+  | { test; _ } :: ({ axis = next_axis; _ } :: _ as rest) ->
+      test_ok test path.(p)
+      &&
+      (match next_axis with
+      | Child -> p + 1 < n && steps_match rest path n (p + 1)
+      | Descendant ->
+          let rec try_pos p' =
+            p' < n && (steps_match rest path n p' || try_pos (p' + 1))
+          in
+          try_pos (p + 1))
+
+let matches_path t path =
+  match (t, path) with
+  | [], _ | _, [] -> false
+  | { axis; _ } :: _, _ -> (
+      let arr = Array.of_list path in
+      let n = Array.length arr in
+      match axis with
+      | Child -> steps_match t arr n 0
+      | Descendant ->
+          let rec try_pos p = p < n && (steps_match t arr n p || try_pos (p + 1)) in
+          try_pos 0)
+
+let matches_suffix t suffix =
+  match (t, suffix) with
+  | [], _ | _, [] -> false
+  | _ ->
+      let arr = Array.of_list suffix in
+      let n = Array.length arr in
+      (* Drop a prefix of steps into the unknown labels above the
+         suffix; the first retained step anchors at p0, which must be 0
+         when its axis is Child (its parent would otherwise be a fixed
+         suffix position no step matched). *)
+      let rec try_drop steps =
+        match steps with
+        | [] -> false
+        | { axis; _ } :: rest -> (
+            let anchors =
+              match axis with Child -> [ 0 ] | Descendant -> List.init n Fun.id
+            in
+            List.exists (fun p0 -> steps_match steps arr n p0) anchors
+            || match rest with [] -> false | _ -> try_drop rest)
+      in
+      try_drop t
+
+let apply_alias alias t =
+  List.map
+    (fun step ->
+      match step.test with
+      | None -> step
+      | Some tag -> { step with test = Some (Alias.apply alias tag) })
+    t

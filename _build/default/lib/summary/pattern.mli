@@ -1,0 +1,37 @@
+(** Structural path patterns — the XPath fragment NEXI uses.
+
+    A pattern is a sequence of steps, each an axis ([/] child or [//]
+    descendant-or-self+child) and a node test (a tag or [*]). Patterns
+    are matched against summary trees to produce sid sets. *)
+
+type axis = Child | Descendant
+
+type step = { axis : axis; test : string option (** [None] is [*] *) }
+
+type t = step list
+
+val parse : string -> t
+(** Parse ["//article//sec"], ["/books/journal"], ["//bdy//*"]...
+    @raise Failure on syntax errors (empty pattern, bad names). *)
+
+val to_string : t -> string
+
+val append : t -> t -> t
+(** Concatenate: the second pattern is interpreted relative to matches
+    of the first (NEXI's nested paths, e.g. [//article] then [//sec]). *)
+
+val apply_alias : Alias.t -> t -> t
+(** Rewrite node tests through an alias mapping so queries written with
+    synonym tags hit alias summaries. *)
+
+val matches_path : t -> string list -> bool
+(** [matches_path pat path] — the pattern selects the last element of
+    the absolute label path (root tag first). This is the reference
+    semantics summaries approximate. *)
+
+val matches_suffix : t -> string list -> bool
+(** [matches_suffix pat suffix] — some absolute path {e ending with}
+    [suffix] (arbitrary labels above it) is selected by the pattern.
+    Used by A(k) summaries, which know only the last [k] labels of
+    their extents' paths; a sound over-approximation of
+    {!matches_path}. *)

@@ -1,0 +1,312 @@
+module Codec = Trex_util.Codec
+module Dom = Trex_xml.Dom
+
+type criterion = Tag | Incoming | A_k of int
+
+type node = {
+  n_label : string;
+  n_parent : int;
+  n_children : (string, int) Hashtbl.t;
+  mutable n_extent : int;
+  mutable n_self_nesting : bool;
+      (* an element of this extent was observed nested inside another
+         element of the same extent *)
+}
+
+type t = {
+  criterion : criterion;
+  alias : Alias.t;
+  nodes : (int, node) Hashtbl.t; (* sid 0 = virtual root *)
+  mutable next_sid : int;
+}
+
+let new_node t ~label ~parent =
+  let sid = t.next_sid in
+  t.next_sid <- sid + 1;
+  let node =
+    {
+      n_label = label;
+      n_parent = parent;
+      n_children = Hashtbl.create 4;
+      n_extent = 0;
+      n_self_nesting = false;
+    }
+  in
+  Hashtbl.add t.nodes sid node;
+  sid
+
+let create ?(alias = Alias.identity) criterion =
+  (match criterion with
+  | A_k k when k < 1 -> invalid_arg "Summary.create: A(k) requires k >= 1"
+  | A_k _ | Tag | Incoming -> ());
+  let t = { criterion; alias; nodes = Hashtbl.create 64; next_sid = 0 } in
+  ignore (new_node t ~label:"" ~parent:(-1));
+  t
+
+let criterion t = t.criterion
+let alias t = t.alias
+let node t sid =
+  match Hashtbl.find_opt t.nodes sid with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Summary: unknown sid %d" sid)
+
+let child_of t sid label = Hashtbl.find_opt (node t sid).n_children label
+
+let ensure_child t sid label =
+  match child_of t sid label with
+  | Some c -> c
+  | None ->
+      let c = new_node t ~label ~parent:sid in
+      Hashtbl.add (node t sid).n_children label c;
+      c
+
+let aliased_path t path = List.map (Alias.apply t.alias) path
+
+(* For a Tag summary, an element's sid depends only on its own tag; the
+   element is self-nested iff its tag occurs earlier on its own path. *)
+let has_dup_last path =
+  match List.rev path with [] -> false | last :: ancestors -> List.mem last ancestors
+
+(* The last [k] labels of [path], element tag last. *)
+let suffix_of k path =
+  let n = List.length path in
+  if n <= k then path else List.filteri (fun i _ -> i >= n - k) path
+
+(* For A(k): is the element nested inside an ancestor with the same
+   k-suffix? Ancestors are the proper prefixes of the path. *)
+let ak_self_nesting k apath =
+  let own = suffix_of k apath in
+  let n = List.length apath in
+  let rec check m =
+    if m >= n then false
+    else
+      let prefix = List.filteri (fun i _ -> i < m) apath in
+      if suffix_of k prefix = own then true else check (m + 1)
+  in
+  check 1
+
+(* A(k) tries are keyed by the reversed suffix: trie depth 1 is the
+   element's own tag, depth 2 its parent's, and so on up to k. *)
+let ak_walk_existing t k apath =
+  let rev_suffix = List.rev (suffix_of k apath) in
+  List.fold_left
+    (fun cur label ->
+      match cur with None -> None | Some sid -> child_of t sid label)
+    (Some 0) rev_suffix
+
+let observe t path =
+  if path = [] then invalid_arg "Summary.observe: empty path";
+  let apath = aliased_path t path in
+  match t.criterion with
+  | Tag ->
+      let tag = List.nth apath (List.length apath - 1) in
+      let sid = ensure_child t 0 tag in
+      let n = node t sid in
+      n.n_extent <- n.n_extent + 1;
+      if has_dup_last apath then n.n_self_nesting <- true;
+      sid
+  | Incoming ->
+      let sid = List.fold_left (fun cur label -> ensure_child t cur label) 0 apath in
+      let n = node t sid in
+      n.n_extent <- n.n_extent + 1;
+      sid
+  | A_k k ->
+      let rev_suffix = List.rev (suffix_of k apath) in
+      let sid =
+        List.fold_left (fun cur label -> ensure_child t cur label) 0 rev_suffix
+      in
+      let n = node t sid in
+      n.n_extent <- n.n_extent + 1;
+      if ak_self_nesting k apath then n.n_self_nesting <- true;
+      sid
+
+let sid_of_path t path =
+  if path = [] then None
+  else
+    let apath = aliased_path t path in
+    match t.criterion with
+    | Tag -> child_of t 0 (List.nth apath (List.length apath - 1))
+    | Incoming ->
+        List.fold_left
+          (fun cur label ->
+            match cur with None -> None | Some sid -> child_of t sid label)
+          (Some 0) apath
+    | A_k k -> ak_walk_existing t k apath
+
+let node_count t = Hashtbl.length t.nodes - 1
+let extent_size t sid =
+  match Hashtbl.find_opt t.nodes sid with Some n -> n.n_extent | None -> 0
+
+let rec up_labels t sid acc =
+  if sid <= 0 then acc
+  else
+    let n = node t sid in
+    up_labels t n.n_parent (n.n_label :: acc)
+
+(* Trie depth of a node (root = 0). *)
+let rec node_depth t sid = if sid <= 0 then 0 else 1 + node_depth t (node t sid).n_parent
+
+let label_path t sid =
+  if sid <= 0 then invalid_arg "Summary.label_path: not a real sid";
+  match t.criterion with
+  | Tag | Incoming -> up_labels t sid []
+  | A_k _ ->
+      (* The trie stores the suffix reversed; present it root-most
+         label first, like the other criteria. *)
+      List.rev (up_labels t sid [])
+
+let label t sid =
+  if sid <= 0 then invalid_arg "Summary.label: not a real sid";
+  match t.criterion with
+  | Tag | Incoming -> (node t sid).n_label
+  | A_k _ -> (
+      match List.rev (label_path t sid) with
+      | tag :: _ -> tag
+      | [] -> assert false)
+
+let xpath_of_sid t sid =
+  match t.criterion with
+  | Tag -> "//" ^ label t sid
+  | Incoming -> "/" ^ String.concat "/" (label_path t sid)
+  | A_k k ->
+      let suffix = label_path t sid in
+      (* A short suffix pins the whole path; a full-length one only the
+         tail. *)
+      if List.length suffix < k then "/" ^ String.concat "/" suffix
+      else "//" ^ String.concat "/" suffix
+
+let test_matches test lbl =
+  match test with None -> true | Some tag -> tag = lbl
+
+let children_sids t sid =
+  Hashtbl.fold (fun _ c acc -> c :: acc) (node t sid).n_children []
+
+let rec descendant_sids t sid acc =
+  List.fold_left
+    (fun acc c -> descendant_sids t c (c :: acc))
+    acc (children_sids t sid)
+
+module Int_set = Set.Make (Int)
+
+let match_pattern t pattern =
+  let pattern = Pattern.apply_alias t.alias pattern in
+  match t.criterion with
+  | Tag -> (
+      (* No ancestry: only the final node test can be honoured. *)
+      match List.rev pattern with
+      | [] -> []
+      | { Pattern.test; _ } :: _ ->
+          children_sids t 0
+          |> List.filter (fun sid -> test_matches test (label t sid))
+          |> List.sort compare)
+  | Incoming ->
+      let step frontier { Pattern.axis; test } =
+        Int_set.fold
+          (fun sid acc ->
+            let candidates =
+              match axis with
+              | Pattern.Child -> children_sids t sid
+              | Pattern.Descendant -> descendant_sids t sid []
+            in
+            List.fold_left
+              (fun acc c ->
+                if test_matches test (label t c) then Int_set.add c acc else acc)
+              acc candidates)
+          frontier Int_set.empty
+      in
+      List.fold_left step (Int_set.singleton 0) pattern
+      |> Int_set.elements
+  | A_k k ->
+      (* A node at trie depth < k pins the full path (shallow
+         elements); at depth k only the tail is known, so the match is
+         the sound over-approximation of {!Pattern.matches_suffix}. *)
+      List.filter
+        (fun sid ->
+          let n = node t sid in
+          if n.n_extent = 0 then false
+          else
+            let suffix = label_path t sid in
+            if node_depth t sid < k then Pattern.matches_path pattern suffix
+            else Pattern.matches_suffix pattern suffix)
+        (Hashtbl.fold
+           (fun sid _ acc -> if sid = 0 then acc else sid :: acc)
+           t.nodes [])
+      |> List.sort compare
+
+let sids t =
+  Hashtbl.fold (fun sid _ acc -> if sid = 0 then acc else sid :: acc) t.nodes []
+  |> List.sort compare
+
+let nesting_free t =
+  Hashtbl.fold (fun _ n acc -> acc && not n.n_self_nesting) t.nodes true
+
+let observe_document t doc =
+  let out = ref [] in
+  Dom.iter_elements doc (fun path el -> out := (observe t path, el) :: !out);
+  List.rev !out
+
+let criterion_byte = function Tag -> 'T' | Incoming -> 'I' | A_k _ -> 'K'
+
+let to_string t =
+  let b = Codec.Buf.create ~capacity:4096 () in
+  Codec.Buf.add_raw b "TRExSM01";
+  Codec.Buf.add_raw b (String.make 1 (criterion_byte t.criterion));
+  (match t.criterion with
+  | A_k k -> Codec.Buf.add_varint b k
+  | Tag | Incoming -> ());
+  let alias_bindings = Alias.bindings t.alias in
+  Codec.Buf.add_varint b (List.length alias_bindings);
+  List.iter
+    (fun (s, c) ->
+      Codec.Buf.add_string b s;
+      Codec.Buf.add_string b c)
+    alias_bindings;
+  Codec.Buf.add_varint b (t.next_sid - 1);
+  (* Nodes were assigned sids in creation order, so parents always have
+     smaller sids; serializing in sid order lets of_string rebuild the
+     child maps directly. *)
+  for sid = 1 to t.next_sid - 1 do
+    let n = node t sid in
+    Codec.Buf.add_string b n.n_label;
+    Codec.Buf.add_varint b n.n_parent;
+    Codec.Buf.add_varint b n.n_extent;
+    Codec.Buf.add_varint b (if n.n_self_nesting then 1 else 0)
+  done;
+  Codec.Buf.contents b
+
+let of_string s =
+  let r = Codec.Reader.of_string s in
+  (try
+     if Codec.Reader.raw r 8 <> "TRExSM01" then
+       failwith "Summary.of_string: bad magic"
+   with Codec.Reader.Truncated -> failwith "Summary.of_string: truncated");
+  try
+    let criterion =
+      match Codec.Reader.raw r 1 with
+      | "T" -> Tag
+      | "I" -> Incoming
+      | "K" -> A_k (Codec.Reader.varint r)
+      | c -> failwith ("Summary.of_string: bad criterion " ^ c)
+    in
+    let n_alias = Codec.Reader.varint r in
+    let alias_bindings =
+      List.init n_alias (fun _ ->
+          let s = Codec.Reader.string r in
+          let c = Codec.Reader.string r in
+          (s, c))
+    in
+    let t = create ~alias:(Alias.of_list alias_bindings) criterion in
+    let n_nodes = Codec.Reader.varint r in
+    for _ = 1 to n_nodes do
+      let label = Codec.Reader.string r in
+      let parent = Codec.Reader.varint r in
+      let extent = Codec.Reader.varint r in
+      let self_nesting = Codec.Reader.varint r = 1 in
+      let sid = new_node t ~label ~parent in
+      Hashtbl.add (node t parent).n_children label sid;
+      let n = node t sid in
+      n.n_extent <- extent;
+      n.n_self_nesting <- self_nesting
+    done;
+    t
+  with Codec.Reader.Truncated -> failwith "Summary.of_string: truncated"

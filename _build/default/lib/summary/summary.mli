@@ -1,0 +1,95 @@
+(** Structural summaries.
+
+    A summary partitions the elements of a corpus into {e extents}; each
+    extent is named by a summary id ({e sid}). Two criteria are
+    implemented:
+
+    - {e Tag}: elements with the same tag share an extent (185 / 145
+      nodes for INEX IEEE without / with aliases);
+    - {e Incoming}: elements with the same root-to-node label path share
+      an extent (the dataguide-style summary TReX uses; 11 563 / 7 860
+      nodes for INEX IEEE).
+
+    Applying an {!Alias} mapping before summarization yields the alias
+    variants. Summaries grow incrementally as documents are observed
+    during indexing. *)
+
+type criterion =
+  | Tag
+  | Incoming
+  | A_k of int
+      (** the A(k)-index criterion (Kaushik et al., cited in the
+          paper): elements share an extent iff the last [k] labels of
+          their incoming paths agree. [A_k 1] behaves like {!Tag};
+          growing [k] converges to {!Incoming}. Structural matches are
+          a sound over-approximation for deep extents. *)
+
+type t
+
+val create : ?alias:Alias.t -> criterion -> t
+(** Empty summary. Sid 0 is reserved for the virtual root (it is not an
+    extent); real sids start at 1. @raise Invalid_argument for
+    [A_k k] with [k < 1]. *)
+
+val criterion : t -> criterion
+val alias : t -> Alias.t
+
+val observe : t -> string list -> int
+(** [observe t path] records one element whose root-to-node label path
+    (root tag first, raw tags — aliasing happens inside) is [path],
+    creating summary nodes as needed, bumping the extent size, and
+    returning the element's sid. @raise Invalid_argument on an empty
+    path. *)
+
+val sid_of_path : t -> string list -> int option
+(** Lookup without recording. *)
+
+val node_count : t -> int
+(** Number of extents (excluding the virtual root). *)
+
+val extent_size : t -> int -> int
+(** Elements observed in the extent of the given sid; 0 for unknown. *)
+
+val label : t -> int -> string
+(** Tag of the summary node (post-alias). @raise Invalid_argument on a
+    bad sid. *)
+
+val label_path : t -> int -> string list
+(** Root-to-node label path of the summary node. For the Tag criterion
+    this is the singleton tag; for A(k) it is the known suffix of the
+    path (at most [k] labels, root-most first). *)
+
+val xpath_of_sid : t -> int -> string
+(** Human-readable XPath describing the extent, e.g.
+    ["/books/journal/article"] (Incoming) or ["//sec"] (Tag). *)
+
+val match_pattern : t -> Pattern.t -> int list
+(** Sids whose extents can contain elements matching the pattern,
+    sorted. For Incoming summaries the match is structural on the
+    summary tree; a Tag summary retains no ancestry, so only the last
+    step's node test is used; an A(k) summary matches exactly on
+    shallow extents and via {!Pattern.matches_suffix} on depth-[k]
+    ones (coarser sid sets — the price of the smaller summary). The
+    pattern's tests are aliased with the summary's mapping first. *)
+
+val sids : t -> int list
+(** All sids, sorted. *)
+
+val nesting_free : t -> bool
+(** Whether no observed element was nested inside another element of
+    the same extent — the property TReX requires of usable summaries.
+    Incoming summaries always satisfy it; Tag summaries satisfy it only
+    when no tag (post-alias) nests within itself. Tracked during
+    {!observe_document}; paths observed directly are checked against
+    their own prefixes. *)
+
+val observe_document : t -> Trex_xml.Dom.doc -> (int * Trex_xml.Dom.element) list
+(** Observe every element of a parsed document, returning
+    document-order (sid, element) pairs. Also updates nesting-freedom
+    tracking. *)
+
+val to_string : t -> string
+(** Binary serialization (criterion, alias, nodes, extent sizes). *)
+
+val of_string : string -> t
+(** @raise Failure on corrupt input. *)

@@ -1,0 +1,1 @@
+lib/text/analyzer.mli:

@@ -1,0 +1,1 @@
+lib/text/porter.ml: Bytes List String

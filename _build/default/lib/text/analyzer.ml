@@ -1,0 +1,43 @@
+type config = {
+  fold_case : bool;
+  strip_stopwords : bool;
+  stem : bool;
+  min_token_length : int;
+}
+
+let default =
+  { fold_case = true; strip_stopwords = true; stem = true; min_token_length = 2 }
+
+let exact =
+  { fold_case = true; strip_stopwords = false; stem = false; min_token_length = 1 }
+
+let is_word_char = function 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' -> true | _ -> false
+
+let fold_case s = String.lowercase_ascii s
+
+let normalize config raw =
+  let tok = if config.fold_case then fold_case raw else raw in
+  if String.length tok < config.min_token_length then None
+  else if config.strip_stopwords && Stopwords.is_stopword tok then None
+  else Some (if config.stem then Porter.stem tok else tok)
+
+let tokenize config ?(base_offset = 0) text =
+  let n = String.length text in
+  let out = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    if is_word_char text.[!i] then begin
+      let start = !i in
+      while !i < n && is_word_char text.[!i] do
+        incr i
+      done;
+      let raw = String.sub text start (!i - start) in
+      match normalize config raw with
+      | Some term -> out := (term, base_offset + start) :: !out
+      | None -> ()
+    end
+    else incr i
+  done;
+  List.rev !out
+
+let terms config text = List.map fst (tokenize config text)

@@ -1,0 +1,31 @@
+(** Text analysis pipeline: tokenization and term normalization.
+
+    Documents and queries must be analyzed with the {e same} pipeline,
+    otherwise query terms never match postings; every index stores the
+    configuration it was built with. *)
+
+type config = {
+  fold_case : bool;  (** lowercase ASCII letters *)
+  strip_stopwords : bool;
+  stem : bool;  (** apply {!Porter.stem} *)
+  min_token_length : int;  (** drop shorter tokens (applied pre-stem) *)
+}
+
+val default : config
+(** [fold_case], [strip_stopwords], [stem] on; [min_token_length = 2]. *)
+
+val exact : config
+(** Fold case only — useful in tests where stems would obscure
+    expectations. *)
+
+val normalize : config -> string -> string option
+(** Normalize one raw token; [None] when the pipeline drops it. *)
+
+val tokenize : config -> ?base_offset:int -> string -> (string * int) list
+(** Split text into word tokens (letter/digit runs; embedded
+    apostrophes and hyphens split tokens), normalize each, and return
+    surviving terms with the byte offset of the raw token start,
+    shifted by [base_offset] (default 0). *)
+
+val terms : config -> string -> string list
+(** {!tokenize} without offsets. *)

@@ -1,0 +1,195 @@
+(* Porter's algorithm as specified in "An algorithm for suffix
+   stripping" (Program 14(3), 1980). The word is processed as a mutable
+   buffer [b] with logical end [k]; helper predicates follow the paper's
+   naming (cons, m, vowelinstem, doublec, cvc). *)
+
+type state = { b : Bytes.t; mutable k : int (* index of last char *) }
+
+(* y after a consonant is a vowel, y after a vowel is a consonant. *)
+let rec is_consonant st i =
+  match Bytes.get st.b i with
+  | 'a' | 'e' | 'i' | 'o' | 'u' -> false
+  | 'y' -> if i = 0 then true else not (is_consonant st (i - 1))
+  | _ -> true
+
+(* Measure: the number of VC sequences in [0..j], i.e. m in the paper's
+   [C](VC)^m[V] decomposition of the stem. *)
+let measure st j =
+  let rec skip_consonants i =
+    if i > j then i else if is_consonant st i then skip_consonants (i + 1) else i
+  in
+  let rec skip_vowels i =
+    if i > j then i else if is_consonant st i then i else skip_vowels (i + 1)
+  in
+  let rec count i n =
+    if i > j then n
+    else
+      let i = skip_vowels i in
+      if i > j then n
+      else count (skip_consonants i) (n + 1)
+  in
+  count (skip_consonants 0) 0
+
+let vowel_in_stem st j =
+  let found = ref false in
+  for i = 0 to j do
+    if not (is_consonant st i) then found := true
+  done;
+  !found
+
+let double_consonant st j =
+  j >= 1
+  && Bytes.get st.b j = Bytes.get st.b (j - 1)
+  && is_consonant st j
+
+(* cvc(i) is true when i-2..i is consonant-vowel-consonant and the last
+   consonant is not w, x or y; used to restore a final e (cav(e) etc.) *)
+let cvc st i =
+  i >= 2
+  && is_consonant st i
+  && (not (is_consonant st (i - 1)))
+  && is_consonant st (i - 2)
+  &&
+  match Bytes.get st.b i with 'w' | 'x' | 'y' -> false | _ -> true
+
+let ends st suffix =
+  let ls = String.length suffix in
+  let start = st.k - ls + 1 in
+  start >= 0
+  && Bytes.sub_string st.b start ls = suffix
+
+let set_to st j suffix =
+  (* Replace the suffix ending at [st.k] whose stem ends at [j] with
+     [suffix]. *)
+  Bytes.blit_string suffix 0 st.b (j + 1) (String.length suffix);
+  st.k <- j + String.length suffix
+
+let replace_if_m_gt_0 st suffix replacement =
+  if ends st suffix then begin
+    let j = st.k - String.length suffix in
+    if measure st j > 0 then begin
+      set_to st j replacement;
+      true
+    end
+    else true (* matched but not replaced: stop trying other suffixes *)
+  end
+  else false
+
+(* Step 1a: plurals. *)
+let step1a st =
+  if ends st "sses" then st.k <- st.k - 2
+  else if ends st "ies" then set_to st (st.k - 3) "i"
+  else if ends st "ss" then ()
+  else if ends st "s" then st.k <- st.k - 1
+
+(* Step 1b: -ed, -ing. *)
+let step1b st =
+  let second_pass = ref false in
+  if ends st "eed" then begin
+    if measure st (st.k - 3) > 0 then st.k <- st.k - 1
+  end
+  else if ends st "ed" && vowel_in_stem st (st.k - 2) then begin
+    st.k <- st.k - 2;
+    second_pass := true
+  end
+  else if ends st "ing" && vowel_in_stem st (st.k - 3) then begin
+    st.k <- st.k - 3;
+    second_pass := true
+  end;
+  if !second_pass then begin
+    if ends st "at" then set_to st (st.k - 2) "ate"
+    else if ends st "bl" then set_to st (st.k - 2) "ble"
+    else if ends st "iz" then set_to st (st.k - 2) "ize"
+    else if double_consonant st st.k then begin
+      match Bytes.get st.b st.k with
+      | 'l' | 's' | 'z' -> ()
+      | _ -> st.k <- st.k - 1
+    end
+    else if measure st st.k = 1 && cvc st st.k then begin
+      st.k <- st.k + 1;
+      Bytes.set st.b st.k 'e'
+    end
+  end
+
+(* Step 1c: terminal y -> i when there is a vowel in the stem. *)
+let step1c st =
+  if ends st "y" && vowel_in_stem st (st.k - 1) then Bytes.set st.b st.k 'i'
+
+let step2_pairs =
+  [
+    ("ational", "ate"); ("tional", "tion"); ("enci", "ence"); ("anci", "ance");
+    ("izer", "ize"); ("abli", "able"); ("alli", "al"); ("entli", "ent");
+    ("eli", "e"); ("ousli", "ous"); ("ization", "ize"); ("ation", "ate");
+    ("ator", "ate"); ("alism", "al"); ("iveness", "ive"); ("fulness", "ful");
+    ("ousness", "ous"); ("aliti", "al"); ("iviti", "ive"); ("biliti", "ble");
+  ]
+
+let step3_pairs =
+  [
+    ("icate", "ic"); ("ative", ""); ("alize", "al"); ("iciti", "ic");
+    ("ical", "ic"); ("ful", ""); ("ness", "");
+  ]
+
+let apply_pairs st pairs =
+  ignore (List.exists (fun (s, r) -> replace_if_m_gt_0 st s r) pairs)
+
+let step4 st =
+  let try_suffix s =
+    if ends st s then begin
+      let j = st.k - String.length s in
+      if measure st j > 1 then st.k <- j;
+      true
+    end
+    else false
+  in
+  (* -ion only drops after s or t; other suffixes drop whenever m > 1.
+     Order matters: longer suffixes shadow their shorter tails. *)
+  let try_ion () =
+    if ends st "ion" then begin
+      let j = st.k - 3 in
+      if j >= 0 && (Bytes.get st.b j = 's' || Bytes.get st.b j = 't') && measure st j > 1
+      then st.k <- j;
+      true
+    end
+    else false
+  in
+  ignore
+    (List.exists try_suffix
+       [ "al"; "ance"; "ence"; "er"; "ic"; "able"; "ible"; "ant"; "ement"; "ment"; "ent" ]
+    || try_ion ()
+    || List.exists try_suffix [ "ou"; "ism"; "ate"; "iti"; "ous"; "ive"; "ize" ])
+
+(* Step 5a: remove final e when m > 1, or m = 1 and not cvc. *)
+let step5a st =
+  if ends st "e" then begin
+    let j = st.k - 1 in
+    let m = measure st j in
+    if m > 1 || (m = 1 && not (cvc st j)) then st.k <- st.k - 1
+  end
+
+(* Step 5b: -ll -> -l when m > 1. *)
+let step5b st =
+  if Bytes.get st.b st.k = 'l' && double_consonant st st.k && measure st (st.k - 1) > 1
+  then st.k <- st.k - 1
+
+let stem word =
+  let n = String.length word in
+  if n <= 2 then word
+  else if not (String.for_all (function 'a' .. 'z' -> true | _ -> false) word)
+  then word
+  else begin
+    (* Slack for step1b's possible +1 'e'. *)
+    let st = { b = Bytes.make (n + 1) '\x00'; k = n - 1 } in
+    Bytes.blit_string word 0 st.b 0 n;
+    step1a st;
+    if st.k >= 1 then begin
+      step1b st;
+      step1c st;
+      apply_pairs st step2_pairs;
+      apply_pairs st step3_pairs;
+      step4 st;
+      step5a st;
+      step5b st
+    end;
+    Bytes.sub_string st.b 0 (st.k + 1)
+  end

@@ -1,0 +1,9 @@
+(** Porter stemming algorithm (M. F. Porter, 1980).
+
+    Conflates English inflections ("retrieval", "retrieve",
+    "retrieving" → "retriev") so that query terms match document terms
+    the way INEX-era IR systems did. Input must already be lowercase
+    ASCII; other strings are returned unchanged where rules do not
+    apply. *)
+
+val stem : string -> string

@@ -1,0 +1,8 @@
+(** English stopword list (the classic van Rijsbergen-style list used by
+    INEX-era retrieval systems). *)
+
+val is_stopword : string -> bool
+(** Membership test on a lowercase token, before stemming. *)
+
+val all : unit -> string list
+(** The list, sorted. *)

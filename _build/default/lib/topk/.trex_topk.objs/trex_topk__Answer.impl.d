@@ -1,0 +1,1 @@
+lib/topk/answer.ml: Float Format List Trex_invindex

@@ -1,0 +1,1 @@
+lib/topk/answer.mli: Format Trex_invindex

@@ -1,0 +1,1 @@
+lib/topk/era.ml: Answer Array List Trex_invindex Trex_scoring

@@ -1,0 +1,1 @@
+lib/topk/era.mli: Answer Trex_invindex Trex_scoring

@@ -1,0 +1,1 @@
+lib/topk/merge.ml: Answer Array List Rpl Trex_invindex Trex_util

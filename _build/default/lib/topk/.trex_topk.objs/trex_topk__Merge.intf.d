@@ -1,0 +1,1 @@
+lib/topk/merge.mli: Answer Trex_invindex

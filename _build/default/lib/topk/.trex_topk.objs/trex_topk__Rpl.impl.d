@@ -1,0 +1,1 @@
+lib/topk/rpl.ml: Array Era Float Hashtbl List String Trex_invindex Trex_storage Trex_summary Trex_util

@@ -1,0 +1,1 @@
+lib/topk/rpl.mli: Trex_invindex Trex_scoring

@@ -1,0 +1,1 @@
+lib/topk/strategy.ml: Answer Era List Merge Printf Rpl Ta Trex_util

@@ -1,0 +1,1 @@
+lib/topk/strategy.mli: Answer Trex_invindex Trex_scoring

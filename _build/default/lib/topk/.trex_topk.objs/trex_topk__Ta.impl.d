@@ -1,0 +1,1 @@
+lib/topk/ta.ml: Answer Array Hashtbl List Rpl Trex_invindex Trex_util

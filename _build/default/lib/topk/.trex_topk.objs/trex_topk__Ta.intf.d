@@ -1,0 +1,1 @@
+lib/topk/ta.mli: Answer Trex_invindex

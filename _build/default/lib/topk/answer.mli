@@ -1,0 +1,22 @@
+(** Ranked answer lists. *)
+
+type entry = { element : Trex_invindex.Types.element; score : float }
+
+type t = entry list
+(** Descending score; ties broken by document order so every strategy
+    returns the same ranking. *)
+
+val of_unsorted : (Trex_invindex.Types.element * float) list -> t
+val top_k : t -> int -> t
+val size : t -> int
+
+val equal : ?eps:float -> t -> t -> bool
+(** Same elements in the same order with scores within [eps]
+    (default 1e-9). *)
+
+val agree_on_top_k : ?eps:float -> int -> t -> t -> bool
+(** The first [k] entries agree as sets with matching scores — the
+    right notion for comparing strategies, which may order equal-score
+    ties differently beyond the guarantee. *)
+
+val pp : Format.formatter -> t -> unit

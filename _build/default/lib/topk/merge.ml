@@ -1,0 +1,66 @@
+module Types = Trex_invindex.Types
+module Stopclock = Trex_util.Stopclock
+
+type stats = {
+  entries_read : int;
+  elements_merged : int;
+  elapsed_seconds : float;
+}
+
+let run index ~sids ~terms =
+  if terms = [] then invalid_arg "Merge.run: no terms";
+  let clock = Stopclock.create () in
+  let n = List.length terms in
+  let cursors =
+    Array.of_list
+      (List.map (fun term -> Rpl.Cursor.create index Rpl.Erpl ~term ~sids) terms)
+  in
+  let current = Array.map Rpl.Cursor.next cursors in
+  let merged = ref [] in
+  let merged_count = ref 0 in
+  let position (e : Rpl.entry) = (e.element.Types.docid, e.element.Types.endpos) in
+  let running = ref true in
+  while !running do
+    (* Find the minimal position among the current heads. *)
+    let min_pos = ref None in
+    Array.iter
+      (fun c ->
+        match c with
+        | None -> ()
+        | Some e -> (
+            let p = position e in
+            match !min_pos with
+            | None -> min_pos := Some p
+            | Some q -> if p < q then min_pos := Some p))
+      current;
+    match !min_pos with
+    | None -> running := false
+    | Some p ->
+        let score = ref 0.0 in
+        let element = ref None in
+        for i = 0 to n - 1 do
+          match current.(i) with
+          | Some e when position e = p ->
+              score := !score +. e.score;
+              element := Some e.element;
+              current.(i) <- Rpl.Cursor.next cursors.(i)
+          | Some _ | None -> ()
+        done;
+        (match !element with
+        | Some el ->
+            incr merged_count;
+            merged := (el, !score) :: !merged
+        | None -> assert false)
+  done;
+  (* The paper sorts V with QuickSort; Answer.of_unsorted is our
+     equivalent (List.sort, descending score). *)
+  let answers = Answer.of_unsorted !merged in
+  let entries_read =
+    Array.fold_left (fun acc c -> acc + Rpl.Cursor.entries_read c) 0 cursors
+  in
+  ( answers,
+    {
+      entries_read;
+      elements_merged = !merged_count;
+      elapsed_seconds = Stopclock.elapsed clock;
+    } )

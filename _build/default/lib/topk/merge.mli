@@ -1,0 +1,23 @@
+(** The Merge algorithm over ERPLs (paper Figure 3).
+
+    One position-ordered cursor per query term; elements arriving at the
+    same document position have their per-term scores summed; the merged
+    vector is then sorted by score. Computes {e all} answers in one
+    sequential pass — no per-entry heap bookkeeping, which is exactly
+    why it beats TA once TA must read most of its lists anyway.
+    Requires the ERPLs of every (term, sid) pair of the query. *)
+
+type stats = {
+  entries_read : int;  (** ERPL entries consumed across all terms *)
+  elements_merged : int;  (** distinct elements in the merged vector *)
+  elapsed_seconds : float;
+}
+
+val run :
+  Trex_invindex.Index.t ->
+  sids:int list ->
+  terms:string list ->
+  Answer.t * stats
+(** All answers, descending score.
+    @raise Rpl.Cursor.Missing_list when a required ERPL is absent.
+    @raise Invalid_argument when [terms] is empty. *)

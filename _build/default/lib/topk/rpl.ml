@@ -1,0 +1,542 @@
+module Codec = Trex_util.Codec
+module Env = Trex_storage.Env
+module Bptree = Trex_storage.Bptree
+module Types = Trex_invindex.Types
+module Index = Trex_invindex.Index
+
+type entry = { element : Types.element; score : float }
+type kind = Rpl | Erpl
+
+let kind_to_string = function Rpl -> "RPL" | Erpl -> "ERPL"
+let table_name = function Rpl -> "rpls" | Erpl -> "erpls"
+let catalog_name = function Rpl -> "rpl_catalog" | Erpl -> "erpl_catalog"
+
+let chunk_size = 32
+
+(* ---- keys ---- *)
+
+let pair_prefix ~term ~sid =
+  Codec.concat_keys [ Codec.key_of_string term; Codec.key_of_int sid ]
+
+(* Chunk keys embed the first entry so chunks sort correctly within the
+   (term, sid) prefix: by descending score for RPLs, by position for
+   ERPLs. *)
+let chunk_key kind ~term ~sid (first : entry) =
+  let e = first.element in
+  let tail =
+    match kind with
+    | Rpl ->
+        [ Codec.key_of_float (-.first.score); Codec.key_of_int e.docid; Codec.key_of_int e.endpos ]
+    | Erpl -> [ Codec.key_of_int e.docid; Codec.key_of_int e.endpos ]
+  in
+  Codec.concat_keys (pair_prefix ~term ~sid :: tail)
+
+(* ---- entry chunk codec ---- *)
+
+let encode_chunk ~sid entries =
+  let b = Codec.Buf.create ~capacity:256 () in
+  Codec.Buf.add_varint b (List.length entries);
+  List.iter
+    (fun { element = e; score } ->
+      assert (e.Types.sid = sid);
+      Codec.Buf.add_float b score;
+      Codec.Buf.add_varint b e.docid;
+      Codec.Buf.add_varint b e.endpos;
+      Codec.Buf.add_varint b e.length)
+    entries;
+  Codec.Buf.contents b
+
+let decode_chunk ~sid v =
+  let r = Codec.Reader.of_string v in
+  let n = Codec.Reader.varint r in
+  List.init n (fun _ ->
+      let score = Codec.Reader.float r in
+      let docid = Codec.Reader.varint r in
+      let endpos = Codec.Reader.varint r in
+      let length = Codec.Reader.varint r in
+      { element = { Types.sid; docid; endpos; length }; score })
+
+(* ---- catalog ---- *)
+
+let catalog_key ~term ~sid = pair_prefix ~term ~sid
+
+(* Catalog rows: entry count, encoded bytes, and — for truncated RPL
+   prefixes — the score bound below which entries were dropped. *)
+type catalog_row = { cat_entries : int; cat_bytes : int; cat_bound : float }
+
+let catalog_find index kind ~term ~sid =
+  let tbl = Env.table (Index.env index) (catalog_name kind) in
+  match Bptree.find tbl (catalog_key ~term ~sid) with
+  | None -> None
+  | Some v ->
+      let r = Codec.Reader.of_string v in
+      let cat_entries = Codec.Reader.varint r in
+      let cat_bytes = Codec.Reader.varint r in
+      let truncated = Codec.Reader.varint r = 1 in
+      let cat_bound = if truncated then Codec.Reader.float r else 0.0 in
+      Some { cat_entries; cat_bytes; cat_bound }
+
+let catalog_put index kind ~term ~sid ~entries ~bytes ~bound =
+  let tbl = Env.table (Index.env index) (catalog_name kind) in
+  let b = Codec.Buf.create ~capacity:16 () in
+  Codec.Buf.add_varint b entries;
+  Codec.Buf.add_varint b bytes;
+  if bound > 0.0 then begin
+    Codec.Buf.add_varint b 1;
+    Codec.Buf.add_float b bound
+  end
+  else Codec.Buf.add_varint b 0;
+  Bptree.insert tbl ~key:(catalog_key ~term ~sid) ~value:(Codec.Buf.contents b)
+
+let is_materialized index kind ~term ~sid =
+  catalog_find index kind ~term ~sid <> None
+
+let covers index kind ~sids ~terms =
+  List.for_all
+    (fun term -> List.for_all (fun sid -> is_materialized index kind ~term ~sid) sids)
+    terms
+
+let list_bytes index kind ~term ~sid =
+  match catalog_find index kind ~term ~sid with Some c -> c.cat_bytes | None -> 0
+
+let list_entries index kind ~term ~sid =
+  match catalog_find index kind ~term ~sid with Some c -> c.cat_entries | None -> 0
+
+let list_bound index kind ~term ~sid =
+  match catalog_find index kind ~term ~sid with Some c -> c.cat_bound | None -> 0.0
+
+let catalog index kind =
+  let tbl = Env.table (Index.env index) (catalog_name kind) in
+  let out = ref [] in
+  Bptree.iter tbl (fun k v ->
+      let term, p = Codec.string_of_key k ~pos:0 in
+      let sid, _ = Codec.int_of_key k ~pos:p in
+      let r = Codec.Reader.of_string v in
+      let entries = Codec.Reader.varint r in
+      let bytes = Codec.Reader.varint r in
+      out := (term, sid, entries, bytes) :: !out);
+  List.rev !out
+
+let total_bytes index kind =
+  List.fold_left (fun acc (_, _, _, b) -> acc + b) 0 (catalog index kind)
+
+(* ---- building ---- *)
+
+type build_report = {
+  pairs_built : (string * int) list;
+  pairs_reused : int;
+  entries_written : int;
+  bytes_estimate : int;
+}
+
+let rec chunks_of n l =
+  match l with
+  | [] -> []
+  | _ ->
+      let rec take k acc rest =
+        match (k, rest) with
+        | 0, _ | _, [] -> (List.rev acc, rest)
+        | k, x :: tl -> take (k - 1) (x :: acc) tl
+      in
+      let chunk, rest = take n [] l in
+      chunk :: chunks_of n rest
+
+let compare_rpl_order a b =
+  match compare b.score a.score with
+  | 0 -> Types.compare_element a.element b.element
+  | c -> c
+
+let compare_erpl_order a b = Types.compare_element a.element b.element
+
+let rec list_take n = function
+  | [] -> []
+  | x :: rest -> if n <= 0 then [] else x :: list_take (n - 1) rest
+
+let write_list index kind ~term ~sid ?prefix entries =
+  let tbl = Env.table (Index.env index) (table_name kind) in
+  let sorted =
+    List.sort
+      (match kind with Rpl -> compare_rpl_order | Erpl -> compare_erpl_order)
+      entries
+  in
+  (* RPL prefixes (paper §4): keep only the best [n] entries and record
+     the bound every dropped entry is below. *)
+  let sorted, bound =
+    match (kind, prefix) with
+    | Rpl, Some n when List.length sorted > n ->
+        let kept = list_take n sorted in
+        let bound =
+          match List.rev kept with last :: _ -> last.score | [] -> 0.0
+        in
+        (kept, bound)
+    | (Rpl | Erpl), _ -> (sorted, 0.0)
+  in
+  let bytes = ref 0 in
+  List.iter
+    (fun chunk ->
+      match chunk with
+      | [] -> ()
+      | first :: _ ->
+          let key = chunk_key kind ~term ~sid first in
+          let value = encode_chunk ~sid chunk in
+          bytes := !bytes + String.length key + String.length value;
+          Bptree.insert tbl ~key ~value)
+    (chunks_of chunk_size sorted);
+  catalog_put index kind ~term ~sid ~entries:(List.length sorted) ~bytes:!bytes
+    ~bound;
+  (List.length sorted, !bytes)
+
+let build index ~scoring ~sids ~terms ~kinds ?rpl_prefix () =
+  let sids = List.sort_uniq compare sids in
+  let missing kind term sid = not (is_materialized index kind ~term ~sid) in
+  let work =
+    List.concat_map
+      (fun kind ->
+        List.concat_map
+          (fun term ->
+            List.filter_map
+              (fun sid -> if missing kind term sid then Some (kind, term, sid) else None)
+              sids)
+          terms)
+      kinds
+  in
+  let pairs_total = List.length kinds * List.length terms * List.length sids in
+  if work = [] then
+    {
+      pairs_built = [];
+      pairs_reused = pairs_total;
+      entries_written = 0;
+      bytes_estimate = 0;
+    }
+  else begin
+    let results, _stats = Era.run index ~sids ~terms in
+    let per_term = Era.per_term_scores index ~scoring ~terms results in
+    (* Group each term's entries by sid for per-(term, sid) lists. *)
+    let by_pair : (string * int, entry list ref) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (term, entries) ->
+        List.iter
+          (fun (element, score) ->
+            let key = (term, element.Types.sid) in
+            let cell =
+              match Hashtbl.find_opt by_pair key with
+              | Some c -> c
+              | None ->
+                  let c = ref [] in
+                  Hashtbl.add by_pair key c;
+                  c
+            in
+            cell := { element; score } :: !cell)
+          entries)
+      per_term;
+    let built = ref [] and entries_written = ref 0 and bytes = ref 0 in
+    List.iter
+      (fun (kind, term, sid) ->
+        let entries =
+          match Hashtbl.find_opt by_pair (term, sid) with
+          | Some c -> !c
+          | None -> []
+        in
+        let n, sz = write_list index kind ~term ~sid ?prefix:rpl_prefix entries in
+        built := (term, sid) :: !built;
+        entries_written := !entries_written + n;
+        bytes := !bytes + sz)
+      work;
+    Env.flush (Index.env index);
+    {
+      pairs_built = List.rev !built;
+      pairs_reused = pairs_total - List.length work;
+      entries_written = !entries_written;
+      bytes_estimate = !bytes;
+    }
+  end
+
+let drop index kind ~term ~sid =
+  let tbl = Env.table (Index.env index) (table_name kind) in
+  let prefix = pair_prefix ~term ~sid in
+  let keys = ref [] in
+  Bptree.iter_prefix tbl ~prefix (fun k _ -> keys := k :: !keys);
+  List.iter (fun k -> ignore (Bptree.remove tbl k)) !keys;
+  let cat = Env.table (Index.env index) (catalog_name kind) in
+  ignore (Bptree.remove cat (catalog_key ~term ~sid))
+
+let drop_all index kind =
+  List.iter (fun (term, sid, _, _) -> drop index kind ~term ~sid) (catalog index kind)
+
+module Full = struct
+  let table_name = "rpls_full"
+  let catalog_name = "rpl_full_catalog"
+
+  (* Paper schema: key (token, ir, SID, docid, endpos); the value chunk
+     carries the 5-tuples (score, sid, docid, endpos, length). *)
+  let chunk_key ~term (first : entry) =
+    let e = first.element in
+    Codec.concat_keys
+      [
+        Codec.key_of_string term;
+        Codec.key_of_float (-.first.score);
+        Codec.key_of_int e.Types.sid;
+        Codec.key_of_int e.docid;
+        Codec.key_of_int e.endpos;
+      ]
+
+  let encode_chunk entries =
+    let b = Codec.Buf.create ~capacity:256 () in
+    Codec.Buf.add_varint b (List.length entries);
+    List.iter
+      (fun { element = e; score } ->
+        Codec.Buf.add_float b score;
+        Codec.Buf.add_varint b e.Types.sid;
+        Codec.Buf.add_varint b e.docid;
+        Codec.Buf.add_varint b e.endpos;
+        Codec.Buf.add_varint b e.length)
+      entries;
+    Codec.Buf.contents b
+
+  let decode_chunk v =
+    let r = Codec.Reader.of_string v in
+    let n = Codec.Reader.varint r in
+    List.init n (fun _ ->
+        let score = Codec.Reader.float r in
+        let sid = Codec.Reader.varint r in
+        let docid = Codec.Reader.varint r in
+        let endpos = Codec.Reader.varint r in
+        let length = Codec.Reader.varint r in
+        { element = { Types.sid; docid; endpos; length }; score })
+
+  let catalog_find index ~term =
+    let tbl = Env.table (Index.env index) catalog_name in
+    match Bptree.find tbl (Codec.key_of_string term) with
+    | None -> None
+    | Some v ->
+        let r = Codec.Reader.of_string v in
+        let entries = Codec.Reader.varint r in
+        let bytes = Codec.Reader.varint r in
+        Some (entries, bytes)
+
+  let is_materialized index ~term = catalog_find index ~term <> None
+  let list_entries index ~term =
+    match catalog_find index ~term with Some (n, _) -> n | None -> 0
+
+  let list_bytes index ~term =
+    match catalog_find index ~term with Some (_, b) -> b | None -> 0
+
+  let build index ~scoring ~terms =
+    let missing = List.filter (fun t -> not (is_materialized index ~term:t)) terms in
+    if missing = [] then
+      {
+        pairs_built = [];
+        pairs_reused = List.length terms;
+        entries_written = 0;
+        bytes_estimate = 0;
+      }
+    else begin
+      let all_sids = Trex_summary.Summary.sids (Index.summary index) in
+      let results, _ = Era.run index ~sids:all_sids ~terms:missing in
+      let per_term = Era.per_term_scores index ~scoring ~terms:missing results in
+      let tbl = Env.table (Index.env index) table_name in
+      let cat = Env.table (Index.env index) catalog_name in
+      let entries_written = ref 0 and bytes = ref 0 and built = ref [] in
+      List.iter
+        (fun (term, scored) ->
+          let sorted =
+            List.map (fun (element, score) -> { element; score }) scored
+            |> List.sort compare_rpl_order
+          in
+          let list_bytes = ref 0 in
+          List.iter
+            (fun chunk ->
+              match chunk with
+              | [] -> ()
+              | first :: _ ->
+                  let key = chunk_key ~term first in
+                  let value = encode_chunk chunk in
+                  list_bytes := !list_bytes + String.length key + String.length value;
+                  Bptree.insert tbl ~key ~value)
+            (chunks_of chunk_size sorted);
+          let b = Codec.Buf.create ~capacity:8 () in
+          Codec.Buf.add_varint b (List.length sorted);
+          Codec.Buf.add_varint b !list_bytes;
+          Bptree.insert cat ~key:(Codec.key_of_string term) ~value:(Codec.Buf.contents b);
+          entries_written := !entries_written + List.length sorted;
+          bytes := !bytes + !list_bytes;
+          built := (term, -1) :: !built)
+        per_term;
+      Env.flush (Index.env index);
+      {
+        pairs_built = List.rev !built;
+        pairs_reused = List.length terms - List.length missing;
+        entries_written = !entries_written;
+        bytes_estimate = !bytes;
+      }
+    end
+
+  let drop index ~term =
+    let tbl = Env.table (Index.env index) table_name in
+    let prefix = Codec.key_of_string term in
+    let keys = ref [] in
+    Bptree.iter_prefix tbl ~prefix (fun k _ -> keys := k :: !keys);
+    List.iter (fun k -> ignore (Bptree.remove tbl k)) !keys;
+    ignore (Bptree.remove (Env.table (Index.env index) catalog_name) prefix)
+
+  type cursor = {
+    f_cursor : Bptree.Cursor.cursor;
+    f_prefix : string;
+    f_sids : (int, unit) Hashtbl.t;
+    mutable f_chunk : entry list;
+    mutable f_done : bool;
+    mutable f_read : int;
+    mutable f_skipped : int;
+  }
+
+  exception Missing of string
+
+  let cursor index ~term ~sids =
+    if not (is_materialized index ~term) then raise (Missing term);
+    let tbl = Env.table (Index.env index) table_name in
+    let prefix = Codec.key_of_string term in
+    let f_sids = Hashtbl.create 16 in
+    List.iter (fun s -> Hashtbl.replace f_sids s ()) sids;
+    {
+      f_cursor = Bptree.Cursor.seek tbl prefix;
+      f_prefix = prefix;
+      f_sids;
+      f_chunk = [];
+      f_done = false;
+      f_read = 0;
+      f_skipped = 0;
+    }
+
+  let rec next c =
+    match c.f_chunk with
+    | e :: rest ->
+        c.f_chunk <- rest;
+        c.f_read <- c.f_read + 1;
+        if Hashtbl.mem c.f_sids e.element.Types.sid then Some e
+        else begin
+          c.f_skipped <- c.f_skipped + 1;
+          next c
+        end
+    | [] ->
+        if c.f_done then None
+        else begin
+          match Bptree.Cursor.next c.f_cursor with
+          | Some (k, v)
+            when String.length k >= String.length c.f_prefix
+                 && String.sub k 0 (String.length c.f_prefix) = c.f_prefix ->
+              c.f_chunk <- decode_chunk v;
+              next c
+          | Some _ | None ->
+              c.f_done <- true;
+              None
+        end
+
+  let entries_read c = c.f_read
+  let entries_skipped c = c.f_skipped
+end
+
+(* ---- cursors ---- *)
+
+module Cursor = struct
+  exception Missing_list of { kind : kind; term : string; sid : int }
+
+  (* One (term, sid) stream: lazily decoded chunks behind a B+tree
+     cursor constrained to the pair prefix. *)
+  type stream = {
+    s_cursor : Bptree.Cursor.cursor;
+    s_prefix : string;
+    s_sid : int;
+    mutable s_chunk : entry list;
+    mutable s_done : bool;
+  }
+
+  let stream_next s =
+    match s.s_chunk with
+    | e :: rest ->
+        s.s_chunk <- rest;
+        Some e
+    | [] ->
+        if s.s_done then None
+        else begin
+          match Bptree.Cursor.next s.s_cursor with
+          | Some (k, v)
+            when String.length k >= String.length s.s_prefix
+                 && String.sub k 0 (String.length s.s_prefix) = s.s_prefix -> (
+              match decode_chunk ~sid:s.s_sid v with
+              | e :: rest ->
+                  s.s_chunk <- rest;
+                  Some e
+              | [] ->
+                  s.s_done <- true;
+                  None)
+          | Some _ | None ->
+              s.s_done <- true;
+              None
+        end
+
+  (* K-way merge of the streams with a heap ordered by the kind's entry
+     order. *)
+  module Merge_heap = Trex_util.Heap.Make (struct
+    type t = int * entry * (kind[@warning "-69"])
+
+    let compare (_, a, ka) (_, b, _) =
+      match ka with
+      | Rpl -> compare_rpl_order a b
+      | Erpl -> compare_erpl_order a b
+  end)
+
+  type t = {
+    kind : kind;
+    streams : stream array;
+    heap : Merge_heap.t;
+    mutable read : int;
+    bound : float;
+        (* max truncation bound among the merged lists: every entry the
+           stored prefixes dropped scores at most this *)
+  }
+
+  let create index kind ~term ~sids =
+    let tbl = Env.table (Index.env index) (table_name kind) in
+    let sids = List.sort_uniq compare sids in
+    let bound =
+      List.fold_left
+        (fun acc sid -> Float.max acc (list_bound index kind ~term ~sid))
+        0.0 sids
+    in
+    let streams =
+      sids
+      |> List.map (fun sid ->
+             if not (is_materialized index kind ~term ~sid) then
+               raise (Missing_list { kind; term; sid });
+             let prefix = pair_prefix ~term ~sid in
+             {
+               s_cursor = Bptree.Cursor.seek tbl prefix;
+               s_prefix = prefix;
+               s_sid = sid;
+               s_chunk = [];
+               s_done = false;
+             })
+      |> Array.of_list
+    in
+    let heap = Merge_heap.create () in
+    Array.iteri
+      (fun i s ->
+        match stream_next s with
+        | Some e -> Merge_heap.push heap (i, e, kind)
+        | None -> ())
+      streams;
+    { kind; streams; heap; read = 0; bound }
+
+  let next t =
+    match Merge_heap.pop t.heap with
+    | None -> None
+    | Some (i, e, _) ->
+        (match stream_next t.streams.(i) with
+        | Some e' -> Merge_heap.push t.heap (i, e', t.kind)
+        | None -> ());
+        t.read <- t.read + 1;
+        Some e
+
+  let entries_read t = t.read
+  let truncation_bound t = t.bound
+end

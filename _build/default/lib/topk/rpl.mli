@@ -1,0 +1,137 @@
+(** Relevance posting lists (RPLs) and element-relevance posting lists
+    (ERPLs) — the redundant (term, sid, score) indexes of paper §2.2.
+
+    Both store, per (term, sid), the scored elements of the extent that
+    contain the term; an RPL keeps them in {e descending score} order
+    (TA's sorted access), an ERPL in {e document position} order
+    (Merge's sequential scan). Lists are chunked over several B+tree
+    rows keyed by their first entry, and a catalog table records which
+    (term, sid) lists are materialized — the unit of the
+    self-management decisions.
+
+    A deliberate deviation from the paper: the paper keys full-term
+    RPLs as [(token, ir, SID, ...)] and lets TA {e skip} entries with
+    foreign sids, while we key by [(token, SID, ir, ...)] and merge the
+    requested sid lists. Skipping would make TA read entries partial
+    materialization can avoid; with per-(term, sid) lists the
+    self-manager's space accounting is exact, and TA's access pattern
+    (global descending score over the query's sids) is unchanged. *)
+
+type entry = { element : Trex_invindex.Types.element; score : float }
+
+type kind = Rpl | Erpl
+
+val kind_to_string : kind -> string
+
+type build_report = {
+  pairs_built : (string * int) list;  (** (term, sid) lists created *)
+  pairs_reused : int;  (** lists that already existed *)
+  entries_written : int;
+  bytes_estimate : int;  (** encoded bytes of the new lists *)
+}
+
+val build :
+  Trex_invindex.Index.t ->
+  scoring:Trex_scoring.Scorer.config ->
+  sids:int list ->
+  terms:string list ->
+  kinds:kind list ->
+  ?rpl_prefix:int ->
+  unit ->
+  build_report
+(** Run ERA once over (sids, terms) and materialize the missing lists
+    of the requested kinds. Idempotent per (kind, term, sid).
+
+    [rpl_prefix] stores only the [n] highest-scoring entries of each
+    RPL — the paper's observation (§4) that "only the part of the RPLs
+    that is needed for computing the top-k elements must be stored".
+    Truncated lists record the score of their last stored entry; TA
+    remains {e correct}: past a truncated prefix the unseen scores are
+    bounded by that score, and if the threshold cannot prove the top-k
+    complete, TA reports it (see {!Ta.Truncated_rpl}). ERPLs are never
+    truncated (Merge needs full lists). *)
+
+val is_materialized : Trex_invindex.Index.t -> kind -> term:string -> sid:int -> bool
+
+val covers :
+  Trex_invindex.Index.t -> kind -> sids:int list -> terms:string list -> bool
+(** All (term, sid) lists needed to evaluate the query exist. *)
+
+val list_bytes : Trex_invindex.Index.t -> kind -> term:string -> sid:int -> int
+(** Encoded size estimate recorded in the catalog; 0 when absent. *)
+
+val list_entries : Trex_invindex.Index.t -> kind -> term:string -> sid:int -> int
+
+val list_bound : Trex_invindex.Index.t -> kind -> term:string -> sid:int -> float
+(** Truncation bound of a prefix-materialized RPL: entries that were
+    dropped all score at most this. [0.] for complete lists or absent
+    catalogs. *)
+
+val drop : Trex_invindex.Index.t -> kind -> term:string -> sid:int -> unit
+(** Remove one list and its catalog entry. *)
+
+val drop_all : Trex_invindex.Index.t -> kind -> unit
+(** Remove every materialized list of the kind (e.g. to reclaim the
+    space used by a measurement pass before applying an advisor plan). *)
+
+val catalog : Trex_invindex.Index.t -> kind -> (string * int * int * int) list
+(** All materialized lists as (term, sid, entries, bytes). *)
+
+val total_bytes : Trex_invindex.Index.t -> kind -> int
+
+(** Full-term RPLs keyed exactly as the paper's
+    [RPLs(token, ir, SID, docid, endpos, rpldataentry)]: one
+    descending-score list per term covering {e every} extent, which TA
+    consumes while {e skipping} entries whose sid is not in the query —
+    the paper's original access pattern, kept alongside the
+    per-(term, sid) layout for comparison (see the ablation bench). *)
+module Full : sig
+  val build :
+    Trex_invindex.Index.t ->
+    scoring:Trex_scoring.Scorer.config ->
+    terms:string list ->
+    build_report
+  (** Materialize the full RPL of each term not yet built (one ERA pass
+      over all summary extents). *)
+
+  val is_materialized : Trex_invindex.Index.t -> term:string -> bool
+  val list_entries : Trex_invindex.Index.t -> term:string -> int
+  val list_bytes : Trex_invindex.Index.t -> term:string -> int
+  val drop : Trex_invindex.Index.t -> term:string -> unit
+
+  type cursor
+
+  exception Missing of string
+
+  val cursor : Trex_invindex.Index.t -> term:string -> sids:int list -> cursor
+  (** @raise Missing when the term's full RPL is absent. *)
+
+  val next : cursor -> entry option
+  (** Next entry whose sid belongs to the query, descending score. *)
+
+  val entries_read : cursor -> int
+  (** All entries consumed, including skipped ones. *)
+
+  val entries_skipped : cursor -> int
+end
+
+(** Merged read cursors over the materialized lists of one term,
+    restricted to a sid set. *)
+module Cursor : sig
+  type t
+
+  exception Missing_list of { kind : kind; term : string; sid : int }
+
+  val create : Trex_invindex.Index.t -> kind -> term:string -> sids:int list -> t
+  (** @raise Missing_list if any required (term, sid) list is absent. *)
+
+  val next : t -> entry option
+  (** Descending score for {!Rpl}; document position order for
+      {!Erpl}. *)
+
+  val entries_read : t -> int
+
+  val truncation_bound : t -> float
+  (** Upper bound on the score of any entry the materialized prefixes
+      dropped; [0.] when every merged list is complete. *)
+end

@@ -1,0 +1,111 @@
+module Stopclock = Trex_util.Stopclock
+
+type method_ = Era_method | Ta_method | Ita_method | Merge_method
+
+let method_to_string = function
+  | Era_method -> "ERA"
+  | Ta_method -> "TA"
+  | Ita_method -> "ITA"
+  | Merge_method -> "Merge"
+
+let all_methods = [ Era_method; Ta_method; Ita_method; Merge_method ]
+
+type outcome = {
+  method_used : method_;
+  answers : Answer.t;
+  elapsed_seconds : float;
+  entries_read : int;
+  detail : string;
+}
+
+let evaluate index ~scoring ~sids ~terms ~k method_ =
+  match method_ with
+  | Era_method ->
+      let clock = Stopclock.create () in
+      let results, stats = Era.run index ~sids ~terms in
+      let answers = Era.score_results index ~scoring ~terms results in
+      {
+        method_used = Era_method;
+        answers;
+        elapsed_seconds = Stopclock.elapsed clock;
+        entries_read = stats.positions_scanned;
+        detail =
+          Printf.sprintf "positions=%d seeks=%d emitted=%d" stats.positions_scanned
+            stats.iterator_seeks stats.elements_emitted;
+      }
+  | Ta_method | Ita_method ->
+      let ideal_heap = method_ = Ita_method in
+      let answers, stats = Ta.run index ~sids ~terms ~k ~ideal_heap () in
+      {
+        method_used = method_;
+        answers;
+        elapsed_seconds = stats.elapsed_seconds;
+        entries_read = stats.sorted_accesses;
+        detail =
+          Printf.sprintf
+            "accesses=%d heap_ops=%d pushes=%d evictions=%d candidates=%d early=%b"
+            stats.sorted_accesses stats.heap_operations stats.heap_pushes
+            stats.heap_evictions stats.candidates stats.stopped_early;
+      }
+  | Merge_method ->
+      let answers, stats = Merge.run index ~sids ~terms in
+      {
+        method_used = Merge_method;
+        answers;
+        elapsed_seconds = stats.elapsed_seconds;
+        entries_read = stats.entries_read;
+        detail =
+          Printf.sprintf "entries=%d merged=%d" stats.entries_read
+            stats.elements_merged;
+      }
+
+let available index ~sids ~terms =
+  let rpl_ok = Rpl.covers index Rpl.Rpl ~sids ~terms in
+  let erpl_ok = Rpl.covers index Rpl.Erpl ~sids ~terms in
+  List.filter
+    (function
+      | Era_method -> true
+      | Ta_method | Ita_method -> rpl_ok
+      | Merge_method -> erpl_ok)
+    all_methods
+
+let materialized_entries index kind ~sids ~terms =
+  List.fold_left
+    (fun acc term ->
+      List.fold_left
+        (fun acc sid -> acc + Rpl.list_entries index kind ~term ~sid)
+        acc sids)
+    0 terms
+
+let race index ~scoring ~sids ~terms ~k =
+  let methods = available index ~sids ~terms in
+  let has m = List.mem m methods in
+  if has Ta_method && has Merge_method then begin
+    let ta = evaluate index ~scoring ~sids ~terms ~k Ta_method in
+    let merge = evaluate index ~scoring ~sids ~terms ~k Merge_method in
+    let winner, loser = if ta.elapsed_seconds <= merge.elapsed_seconds then (ta, merge) else (merge, ta) in
+    {
+      winner with
+      detail =
+        Printf.sprintf "race winner=%s (%.3fms) loser=%s (%.3fms)"
+          (method_to_string winner.method_used)
+          (winner.elapsed_seconds *. 1e3)
+          (method_to_string loser.method_used)
+          (loser.elapsed_seconds *. 1e3);
+    }
+  end
+  else if has Merge_method then evaluate index ~scoring ~sids ~terms ~k Merge_method
+  else if has Ta_method then evaluate index ~scoring ~sids ~terms ~k Ta_method
+  else evaluate index ~scoring ~sids ~terms ~k Era_method
+
+let choose index ~sids ~terms ~k =
+  let methods = available index ~sids ~terms in
+  let has m = List.mem m methods in
+  let total_rpl = materialized_entries index Rpl.Rpl ~sids ~terms in
+  (* TA wins when it can stop after a small prefix; once k approaches
+     the list sizes it reads everything and pays heap management on
+     top, where Merge's single pass wins (paper §5.2). *)
+  if has Ta_method && k * 20 <= max 1 total_rpl then Ta_method
+  else if has Merge_method then Merge_method
+  else if has Ta_method then Ta_method
+  else Era_method

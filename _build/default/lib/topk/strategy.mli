@@ -1,0 +1,53 @@
+(** Strategy selection and uniform evaluation (paper §3).
+
+    TReX evaluates each (sids, terms) retrieval with one of three
+    methods — ERA, TA, or Merge (plus the ITA measurement variant) —
+    whichever the available indexes permit and the query profile
+    favours. *)
+
+type method_ = Era_method | Ta_method | Ita_method | Merge_method
+
+val method_to_string : method_ -> string
+val all_methods : method_ list
+
+type outcome = {
+  method_used : method_;
+  answers : Answer.t;  (** top-k for TA/ITA; all answers otherwise *)
+  elapsed_seconds : float;
+  entries_read : int;  (** index entries consumed (postings or lists) *)
+  detail : string;  (** human-readable per-method statistics *)
+}
+
+val evaluate :
+  Trex_invindex.Index.t ->
+  scoring:Trex_scoring.Scorer.config ->
+  sids:int list ->
+  terms:string list ->
+  k:int ->
+  method_ ->
+  outcome
+(** @raise Rpl.Cursor.Missing_list when the method's indexes are not
+    materialized. *)
+
+val available : Trex_invindex.Index.t -> sids:int list -> terms:string list -> method_ list
+(** Methods whose required indexes exist (ERA always qualifies). *)
+
+val choose :
+  Trex_invindex.Index.t -> sids:int list -> terms:string list -> k:int -> method_
+(** Heuristic choice among {!available}: TA when the RPLs exist and [k]
+    is small relative to the materialized list sizes, otherwise Merge
+    when the ERPLs exist, otherwise ERA — the paper's observation that
+    no method dominates, operationalized. *)
+
+val race :
+  Trex_invindex.Index.t ->
+  scoring:Trex_scoring.Scorer.config ->
+  sids:int list ->
+  terms:string list ->
+  k:int ->
+  outcome
+(** The paper's §4 idea: when both RPLs and ERPLs exist, run TA and
+    Merge "in parallel" and answer from whichever finishes first. The
+    storage layer is single-threaded, so the race is simulated: both
+    run and the faster outcome is returned, with both times in
+    [detail]. Falls back to whatever single method is available. *)

@@ -1,0 +1,239 @@
+module Types = Trex_invindex.Types
+module Stopclock = Trex_util.Stopclock
+
+type stats = {
+  sorted_accesses : int;
+  skipped_accesses : int;
+  heap_operations : int;
+  heap_pushes : int;
+  heap_evictions : int;
+  candidates : int;
+  stopped_early : bool;
+  elapsed_seconds : float;
+  heap_seconds : float;
+}
+
+type candidate = {
+  c_element : Types.element;
+  mutable c_worst : float; (* sum of the scores seen so far *)
+  c_seen : bool array;
+  mutable c_nseen : int;
+  mutable c_version : int; (* version of the live heap entry *)
+  mutable c_live : bool; (* member of the current top-k heap *)
+}
+
+(* Top-k min-heap entries carry a version for lazy deletion: updating a
+   candidate pushes a fresh entry and strands the old one. *)
+module Topk_heap = Trex_util.Heap.Make (struct
+  type t = float * (int * int) * int (* score, element key, version *)
+
+  let compare (s1, k1, _) (s2, k2, _) =
+    match compare s1 s2 with 0 -> compare k1 k2 | c -> c
+end)
+
+exception Truncated_rpl
+
+(* A term stream abstracts over the two RPL layouts: per-(term, sid)
+   merged cursors or the paper's full-term skip-scanned lists. *)
+type term_stream = {
+  pull : unit -> Rpl.entry option;
+  reads : unit -> int; (* entries consumed, skipped included *)
+  skipped : unit -> int;
+  bound : float; (* scores past the stored prefix are at most this *)
+}
+
+let run index ~sids ~terms ~k ?(ideal_heap = false) ?(use_full_rpls = false) () =
+  if k <= 0 then invalid_arg "Ta.run: k must be positive";
+  if terms = [] then invalid_arg "Ta.run: no terms";
+  let clock = Stopclock.create () in
+  let with_heap_op f =
+    if ideal_heap then begin
+      Stopclock.pause clock;
+      let r = f () in
+      Stopclock.resume clock;
+      r
+    end
+    else f ()
+  in
+  let n = List.length terms in
+  let stream_of term =
+    if use_full_rpls then begin
+      let c = Rpl.Full.cursor index ~term ~sids in
+      {
+        pull = (fun () -> Rpl.Full.next c);
+        reads = (fun () -> Rpl.Full.entries_read c);
+        skipped = (fun () -> Rpl.Full.entries_skipped c);
+        bound = 0.0 (* full-term lists are never prefix-truncated *);
+      }
+    end
+    else begin
+      let c = Rpl.Cursor.create index Rpl.Rpl ~term ~sids in
+      {
+        pull = (fun () -> Rpl.Cursor.next c);
+        reads = (fun () -> Rpl.Cursor.entries_read c);
+        skipped = (fun () -> 0);
+        bound = Rpl.Cursor.truncation_bound c;
+      }
+    end
+  in
+  let cursors = Array.of_list (List.map stream_of terms) in
+  let last_seen = Array.make n infinity in
+  let exhausted = Array.make n false in
+  let candidates : (int * int, candidate) Hashtbl.t = Hashtbl.create 256 in
+  let heap = Topk_heap.create () in
+  let live_count = ref 0 in
+  let pushes = ref 0 and evictions = ref 0 in
+  let version = ref 0 in
+  let stopped_early = ref false in
+  (* Pop stale entries off the heap top so its minimum is live. *)
+  let rec settle_top () =
+    match Topk_heap.peek heap with
+    | None -> ()
+    | Some (score, key, v) -> (
+        match Hashtbl.find_opt candidates key with
+        | Some c when c.c_live && c.c_version = v ->
+            ignore score (* live minimum found *)
+        | Some _ | None ->
+            ignore (with_heap_op (fun () -> Topk_heap.pop heap));
+            settle_top ())
+  in
+  let current_w () =
+    if !live_count < k then 0.0
+    else begin
+      settle_top ();
+      match Topk_heap.peek heap with Some (s, _, _) -> s | None -> 0.0
+    end
+  in
+  let threshold () =
+    Array.fold_left (fun acc s -> acc +. if s = infinity then infinity else s) 0.0 last_seen
+  in
+  (* Would any candidate with unseen terms still be able to beat w?
+     [last_seen] already holds the truncation bound once a stream is
+     exhausted, so it bounds the unseen contribution either way. *)
+  let some_candidate_can_beat w =
+    let result = ref false in
+    (try
+       Hashtbl.iter
+         (fun _ c ->
+           if c.c_nseen < n then begin
+             let best = ref c.c_worst in
+             for t = 0 to n - 1 do
+               if not c.c_seen.(t) then best := !best +. last_seen.(t)
+             done;
+             if !best > w then begin
+               result := true;
+               raise Exit
+             end
+           end)
+         candidates
+     with Exit -> ());
+    !result
+  in
+  let accept_entry t (entry : Rpl.entry) =
+    last_seen.(t) <- entry.score;
+    let key = (entry.element.Types.docid, entry.element.Types.endpos) in
+    let c =
+      match Hashtbl.find_opt candidates key with
+      | Some c -> c
+      | None ->
+          let c =
+            {
+              c_element = entry.element;
+              c_worst = 0.0;
+              c_seen = Array.make n false;
+              c_nseen = 0;
+              c_version = -1;
+              c_live = false;
+            }
+          in
+          Hashtbl.add candidates key c;
+          c
+    in
+    if not c.c_seen.(t) then begin
+      c.c_seen.(t) <- true;
+      c.c_nseen <- c.c_nseen + 1;
+      c.c_worst <- c.c_worst +. entry.score;
+      incr version;
+      c.c_version <- !version;
+      incr pushes;
+      with_heap_op (fun () -> Topk_heap.push heap (c.c_worst, key, !version));
+      if not c.c_live then begin
+        c.c_live <- true;
+        incr live_count;
+        (* Evict the live minimum while the top-k set is over-full. *)
+        while !live_count > k do
+          settle_top ();
+          match with_heap_op (fun () -> Topk_heap.pop heap) with
+          | None -> live_count := 0 (* unreachable: live_count > 0 *)
+          | Some (_, ekey, ev) -> (
+              match Hashtbl.find_opt candidates ekey with
+              | Some ec when ec.c_live && ec.c_version = ev ->
+                  ec.c_live <- false;
+                  decr live_count;
+                  incr evictions
+              | Some _ | None -> ())
+        done
+      end
+    end
+  in
+  let check_interval = 16 in
+  let until_next_check = ref check_interval in
+  let running = ref true in
+  while !running do
+    let progressed = ref false in
+    for t = 0 to n - 1 do
+      if not exhausted.(t) then begin
+        match cursors.(t).pull () with
+        | Some entry ->
+            progressed := true;
+            accept_entry t entry
+        | None ->
+            exhausted.(t) <- true;
+            (* Entries past a truncated prefix score at most the
+               recorded bound. *)
+            last_seen.(t) <- cursors.(t).bound
+      end
+    done;
+    if not !progressed then running := false
+    else begin
+      decr until_next_check;
+      if !until_next_check <= 0 then begin
+        until_next_check := check_interval;
+        let tau = threshold () in
+        let w = current_w () in
+        if !live_count >= k && w >= tau && not (some_candidate_can_beat w) then begin
+          stopped_early := true;
+          running := false
+        end
+      end
+    end
+  done;
+  (* With truncated prefixes an exhausted run must still certify the
+     top-k before answering: unseen (dropped) entries are bounded by
+     the truncation bounds, so the usual threshold test applies. *)
+  if (not !stopped_early) && Array.exists (fun c -> c.bound > 0.0) cursors then begin
+    let tau = threshold () in
+    let w = current_w () in
+    if not (!live_count >= k && w >= tau && not (some_candidate_can_beat w)) then
+      raise Truncated_rpl
+  end;
+  let answers =
+    Hashtbl.fold (fun _ c acc -> (c.c_element, c.c_worst) :: acc) candidates []
+    |> Answer.of_unsorted
+  in
+  let top = Answer.top_k answers k in
+  let elapsed = Stopclock.elapsed clock in
+  let total_reads = Array.fold_left (fun acc c -> acc + c.reads ()) 0 cursors in
+  let total_skipped = Array.fold_left (fun acc c -> acc + c.skipped ()) 0 cursors in
+  ( top,
+    {
+      sorted_accesses = total_reads;
+      skipped_accesses = total_skipped;
+      heap_operations = Topk_heap.operations heap;
+      heap_pushes = !pushes;
+      heap_evictions = !evictions;
+      candidates = Hashtbl.length candidates;
+      stopped_early = !stopped_early;
+      elapsed_seconds = elapsed;
+      heap_seconds = Stopclock.paused_time clock;
+    } )

@@ -1,0 +1,53 @@
+(** Threshold algorithm over RPLs (paper §3.3, TopX-style).
+
+    One descending-score cursor per query term (restricted to the query
+    sids) is consumed round-robin; partial sums accumulate per element,
+    a min-heap maintains the current top-k, and the run stops when the
+    threshold — the sum of the last score seen in each list — proves no
+    unseen or partially-seen element can enter the top-k. Requires the
+    RPLs of every (term, sid) pair of the query.
+
+    With [ideal_heap] the paper's ITA variant is measured: the
+    stop-clock is paused around top-k-heap operations so their cost is
+    excluded from the reported time. *)
+
+type stats = {
+  sorted_accesses : int;  (** RPL entries consumed (skipped included) *)
+  skipped_accesses : int;
+      (** foreign-sid entries read and discarded; always 0 with the
+          per-(term, sid) layout, positive with full-term RPLs *)
+  heap_operations : int;  (** sift operations on the top-k heap *)
+  heap_pushes : int;
+  heap_evictions : int;
+  candidates : int;  (** distinct elements touched *)
+  stopped_early : bool;  (** threshold fired before exhausting lists *)
+  elapsed_seconds : float;  (** heap time excluded when [ideal_heap] *)
+  heap_seconds : float;  (** measured only when [ideal_heap] *)
+}
+
+exception Truncated_rpl
+(** Raised when prefix-materialized RPLs (see [Rpl.build ~rpl_prefix])
+    were too shallow to certify the requested top-k: the threshold over
+    the truncation bounds could not prove that no dropped entry belongs
+    in the answer. Rebuild with a deeper prefix (or full lists) and
+    retry. *)
+
+val run :
+  Trex_invindex.Index.t ->
+  sids:int list ->
+  terms:string list ->
+  k:int ->
+  ?ideal_heap:bool ->
+  ?use_full_rpls:bool ->
+  unit ->
+  Answer.t * stats
+(** Top-k answers (descending score, document-order tie-break).
+
+    By default TA merges the query's per-(term, sid) RPLs. With
+    [use_full_rpls] it consumes each term's full RPL and {e skips}
+    foreign-sid entries — the paper's original access pattern (§3.3),
+    materialized by {!Rpl.Full.build}.
+
+    @raise Rpl.Cursor.Missing_list (default layout) or {!Rpl.Full.Missing}
+    (full layout) when a required list is absent.
+    @raise Invalid_argument when [k <= 0] or [terms] is empty. *)

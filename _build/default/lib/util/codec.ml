@@ -1,0 +1,151 @@
+let key_of_int n =
+  (* Flip the sign bit so that negative ints sort below positive ones
+     under unsigned byte comparison. *)
+  let u = Int64.logxor (Int64.of_int n) Int64.min_int in
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 u;
+  Bytes.unsafe_to_string b
+
+let int_of_key s ~pos =
+  if pos + 8 > String.length s then invalid_arg "Codec.int_of_key";
+  let u = String.get_int64_be s pos in
+  (Int64.to_int (Int64.logxor u Int64.min_int), pos + 8)
+
+let key_of_float f =
+  let bits = Int64.bits_of_float f in
+  (* Positive floats: set the sign bit; negative floats: flip all bits.
+     Standard order-preserving IEEE-754 transform. *)
+  let u =
+    if Int64.compare bits 0L >= 0 then Int64.logxor bits Int64.min_int
+    else Int64.lognot bits
+  in
+  let b = Bytes.create 8 in
+  Bytes.set_int64_be b 0 u;
+  Bytes.unsafe_to_string b
+
+let float_of_key s ~pos =
+  if pos + 8 > String.length s then invalid_arg "Codec.float_of_key";
+  let u = String.get_int64_be s pos in
+  let bits =
+    if Int64.compare u 0L < 0 then Int64.logxor u Int64.min_int
+    else Int64.lognot u
+  in
+  (Int64.float_of_bits bits, pos + 8)
+
+let key_of_string s =
+  let n = String.length s in
+  let b = Buffer.create (n + 2) in
+  for i = 0 to n - 1 do
+    match s.[i] with
+    | '\x00' ->
+        (* Escape NUL as 0x00 0xFF so the 0x00 0x01 terminator stays
+           prefix-free. *)
+        Buffer.add_char b '\x00';
+        Buffer.add_char b '\xff'
+    | c -> Buffer.add_char b c
+  done;
+  Buffer.add_char b '\x00';
+  Buffer.add_char b '\x01';
+  Buffer.contents b
+
+let string_of_key s ~pos =
+  let b = Buffer.create 16 in
+  let n = String.length s in
+  let rec loop i =
+    if i >= n then invalid_arg "Codec.string_of_key: unterminated"
+    else
+      match s.[i] with
+      | '\x00' ->
+          if i + 1 >= n then invalid_arg "Codec.string_of_key: truncated"
+          else if s.[i + 1] = '\x01' then i + 2
+          else if s.[i + 1] = '\xff' then (
+            Buffer.add_char b '\x00';
+            loop (i + 2))
+          else invalid_arg "Codec.string_of_key: bad escape"
+      | c ->
+          Buffer.add_char b c;
+          loop (i + 1)
+  in
+  let next = loop pos in
+  (Buffer.contents b, next)
+
+let concat_keys = String.concat ""
+
+module Buf = struct
+  type t = Buffer.t
+
+  let create ?(capacity = 64) () = Buffer.create capacity
+  let contents = Buffer.contents
+
+  (* Zig-zag LEB128: small magnitudes of either sign stay short. The
+     zig-zagged value is treated as an unsigned 63-bit pattern ([lsr]
+     shifts in zeroes), so the full int range round-trips. *)
+  let add_varint b n =
+    let z = (n lsl 1) lxor (n asr 62) in
+    let rec go z =
+      let low = z land 0x7f in
+      let rest = z lsr 7 in
+      if rest = 0 then Buffer.add_char b (Char.chr low)
+      else (
+        Buffer.add_char b (Char.chr (low lor 0x80));
+        go rest)
+    in
+    go z
+
+  let add_int64_le b i =
+    let tmp = Bytes.create 8 in
+    Bytes.set_int64_le tmp 0 i;
+    Buffer.add_bytes b tmp
+
+  let add_float b f = add_int64_le b (Int64.bits_of_float f)
+
+  let add_string b s =
+    add_varint b (String.length s);
+    Buffer.add_string b s
+
+  let add_raw b s = Buffer.add_string b s
+end
+
+module Reader = struct
+  type t = { s : string; mutable pos : int }
+
+  exception Truncated
+
+  let of_string s = { s; pos = 0 }
+  let pos r = r.pos
+  let at_end r = r.pos >= String.length r.s
+
+  let byte r =
+    if r.pos >= String.length r.s then raise Truncated;
+    let c = Char.code r.s.[r.pos] in
+    r.pos <- r.pos + 1;
+    c
+
+  let varint r =
+    let rec go shift acc =
+      let c = byte r in
+      let acc = acc lor ((c land 0x7f) lsl shift) in
+      if c land 0x80 <> 0 then go (shift + 7) acc else acc
+    in
+    let z = go 0 0 in
+    (z lsr 1) lxor (-(z land 1))
+
+  let int64_le r =
+    if r.pos + 8 > String.length r.s then raise Truncated;
+    let v = String.get_int64_le r.s r.pos in
+    r.pos <- r.pos + 8;
+    v
+
+  let float r = Int64.float_of_bits (int64_le r)
+
+  let raw r n =
+    if r.pos + n > String.length r.s then raise Truncated;
+    let v = String.sub r.s r.pos n in
+    r.pos <- r.pos + n;
+    v
+
+  let string r =
+    let n = varint r in
+    if n < 0 then raise Truncated;
+    raw r n
+end

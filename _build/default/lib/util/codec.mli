@@ -1,0 +1,71 @@
+(** Binary codecs.
+
+    Two families are provided:
+
+    - {e order-preserving} key encodings, used by the storage layer so
+      that lexicographic comparison of encoded keys matches the natural
+      ordering of the decoded values (composite keys compare
+      field-by-field);
+    - plain {e value} encodings (varints, length-prefixed strings) used
+      for row payloads where ordering does not matter. *)
+
+(** {1 Order-preserving key encoding} *)
+
+val key_of_int : int -> string
+(** [key_of_int n] is an 8-byte big-endian encoding of [n] with the sign
+    bit flipped, so that [compare (key_of_int a) (key_of_int b)] equals
+    [compare a b] for all ints. *)
+
+val int_of_key : string -> pos:int -> int * int
+(** [int_of_key s ~pos] decodes an int written by {!key_of_int} at
+    offset [pos] and returns it with the offset past the field.
+    @raise Invalid_argument if fewer than 8 bytes remain. *)
+
+val key_of_float : float -> string
+(** Order-preserving encoding of a finite float (IEEE bits, sign
+    massaged so that numeric order matches byte order). *)
+
+val float_of_key : string -> pos:int -> float * int
+
+val key_of_string : string -> string
+(** [key_of_string s] escapes NUL bytes and appends a [0x00 0x01]
+    terminator so that concatenated composite keys never compare a field
+    against the next field's bytes. Prefix-free and order-preserving. *)
+
+val string_of_key : string -> pos:int -> string * int
+
+val concat_keys : string list -> string
+(** Concatenate already-encoded key fields into one composite key. *)
+
+(** {1 Value (payload) encoding} *)
+
+module Buf : sig
+  type t
+
+  val create : ?capacity:int -> unit -> t
+  val contents : t -> string
+  val add_varint : t -> int -> unit
+  val add_int64_le : t -> int64 -> unit
+  val add_float : t -> float -> unit
+  val add_string : t -> string -> unit
+
+  (** Length-prefixed. *)
+
+  val add_raw : t -> string -> unit
+  (** No length prefix. *)
+end
+
+module Reader : sig
+  type t
+
+  val of_string : string -> t
+  val pos : t -> int
+  val at_end : t -> bool
+  val varint : t -> int
+  val int64_le : t -> int64
+  val float : t -> float
+  val string : t -> string
+  val raw : t -> int -> string
+
+  exception Truncated
+end

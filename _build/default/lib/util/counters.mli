@@ -1,0 +1,19 @@
+(** Named monotonic counters.
+
+    Algorithms record machine-independent work measures (tuples read,
+    iterator advances, heap operations, pages touched) so experiments
+    can report stable shape data alongside wall-clock times. *)
+
+type t
+
+val create : unit -> t
+val bump : t -> string -> unit
+val add : t -> string -> int -> unit
+val get : t -> string -> int
+(** 0 when the counter was never bumped. *)
+
+val reset : t -> unit
+val to_list : t -> (string * int) list
+(** Sorted by counter name. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,34 @@
+(** Binary heaps.
+
+    TA maintains two heaps: a min-heap of the current top-k candidates
+    (keyed by combined score) and bookkeeping for the threshold. The
+    heap also exposes the operation count so the self-management layer
+    and ITA measurements can reason about heap cost. *)
+
+module Make (Ord : sig
+  type t
+
+  val compare : t -> t -> int
+end) : sig
+  type t
+
+  val create : unit -> t
+  val length : t -> int
+  val is_empty : t -> bool
+
+  val push : t -> Ord.t -> unit
+  val peek : t -> Ord.t option
+  val pop : t -> Ord.t option
+  (** Remove and return the minimum element. *)
+
+  val push_pop : t -> Ord.t -> Ord.t
+  (** [push_pop t x] pushes [x] then pops the minimum; more efficient
+      than the two calls and never changes the size. *)
+
+  val to_sorted_list : t -> Ord.t list
+  (** Ascending order; destroys the heap. *)
+
+  val operations : t -> int
+  (** Total number of sift operations performed, a machine-independent
+      proxy for heap-management cost. *)
+end

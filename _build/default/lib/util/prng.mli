@@ -1,0 +1,30 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    The corpus generators and property tests need reproducible streams
+    that are independent of the stdlib [Random] state. *)
+
+type t
+
+val create : int -> t
+(** [create seed] starts a stream; equal seeds give equal streams. *)
+
+val copy : t -> t
+val next_int64 : t -> int64
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. @raise Invalid_argument
+    if [bound <= 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+
+val pick : t -> 'a array -> 'a
+(** Uniform element of a non-empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher-Yates shuffle. *)
+
+val split : t -> t
+(** A fresh stream seeded from [t]; advancing either afterwards does not
+    affect the other. *)

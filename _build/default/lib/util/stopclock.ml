@@ -1,0 +1,31 @@
+type t = {
+  mutable acc : float; (* seconds accumulated while running *)
+  mutable paused_acc : float; (* seconds accumulated while paused *)
+  mutable mark : float; (* time of the last state change *)
+  mutable running : bool;
+}
+
+let now () = Unix.gettimeofday ()
+
+let create () = { acc = 0.0; paused_acc = 0.0; mark = now (); running = true }
+
+let pause t =
+  if t.running then begin
+    let n = now () in
+    t.acc <- t.acc +. (n -. t.mark);
+    t.mark <- n;
+    t.running <- false
+  end
+
+let resume t =
+  if not t.running then begin
+    let n = now () in
+    t.paused_acc <- t.paused_acc +. (n -. t.mark);
+    t.mark <- n;
+    t.running <- true
+  end
+
+let elapsed t = if t.running then t.acc +. (now () -. t.mark) else t.acc
+
+let paused_time t =
+  if t.running then t.paused_acc else t.paused_acc +. (now () -. t.mark)

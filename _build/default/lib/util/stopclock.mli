@@ -1,0 +1,22 @@
+(** Pausable wall-clock timer.
+
+    Realizes the paper's ITA ("ideal heap management") measurement: TA
+    is run normally but the clock is paused around heap operations, so
+    their cost is excluded from the reported time. *)
+
+type t
+
+val create : unit -> t
+(** A fresh, running timer started at zero elapsed time. *)
+
+val pause : t -> unit
+(** Stop accumulating. Idempotent. *)
+
+val resume : t -> unit
+(** Restart accumulating. Idempotent. *)
+
+val elapsed : t -> float
+(** Seconds accumulated while running. *)
+
+val paused_time : t -> float
+(** Seconds spent paused (useful to report heap-management overhead). *)

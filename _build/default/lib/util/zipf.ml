@@ -1,0 +1,30 @@
+type t = { cdf : float array }
+
+let create ?(exponent = 1.0) n =
+  if n <= 0 then invalid_arg "Zipf.create";
+  let cdf = Array.make n 0.0 in
+  let acc = ref 0.0 in
+  for r = 0 to n - 1 do
+    acc := !acc +. (1.0 /. Float.pow (float_of_int (r + 1)) exponent);
+    cdf.(r) <- !acc
+  done;
+  let total = !acc in
+  for r = 0 to n - 1 do
+    cdf.(r) <- cdf.(r) /. total
+  done;
+  { cdf }
+
+let size t = Array.length t.cdf
+
+let sample t rng =
+  let u = Prng.float rng 1.0 in
+  (* Binary search for the first rank whose cumulative mass exceeds u. *)
+  let lo = ref 0 and hi = ref (Array.length t.cdf - 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.cdf.(mid) < u then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+let expected_frequency t r =
+  if r = 0 then t.cdf.(0) else t.cdf.(r) -. t.cdf.(r - 1)

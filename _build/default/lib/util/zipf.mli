@@ -1,0 +1,19 @@
+(** Zipf-distributed sampling over ranks [0 .. n-1].
+
+    Term frequencies in text follow a Zipf law; the synthetic corpora
+    use this sampler so that posting-list lengths exhibit the same skew
+    that drives the paper's experimental crossovers. *)
+
+type t
+
+val create : ?exponent:float -> int -> t
+(** [create ~exponent n] prepares a sampler over [n] ranks with
+    probability of rank [r] proportional to [1 / (r+1)^exponent].
+    Default exponent is [1.0]. @raise Invalid_argument if [n <= 0]. *)
+
+val size : t -> int
+val sample : t -> Prng.t -> int
+(** Draw a rank; rank 0 is the most frequent. *)
+
+val expected_frequency : t -> int -> float
+(** [expected_frequency t r] is the probability mass of rank [r]. *)

@@ -1,0 +1,141 @@
+type node = Element of element | Text of { content : string; start_pos : int }
+
+and element = {
+  tag : string;
+  attrs : (string * string) list;
+  children : node list;
+  start_pos : int;
+  end_pos : int;
+}
+
+type doc = { root : element; source_length : int }
+
+(* Frame of a partially-built element while its children are being
+   parsed; children accumulate reversed. *)
+type frame = {
+  f_tag : string;
+  f_attrs : (string * string) list;
+  f_start : int;
+  mutable f_children : node list;
+}
+
+let parse src =
+  let stack = ref [] in
+  let result = ref None in
+  let handle = function
+    | Sax.Start_element { tag; attrs; start_pos } ->
+        stack := { f_tag = tag; f_attrs = attrs; f_start = start_pos; f_children = [] } :: !stack
+    | Sax.Text { content; start_pos } -> (
+        match !stack with
+        | frame :: _ -> frame.f_children <- Text { content; start_pos } :: frame.f_children
+        | [] -> ())
+    | Sax.End_element { end_pos; _ } -> (
+        match !stack with
+        | frame :: rest ->
+            let el =
+              {
+                tag = frame.f_tag;
+                attrs = frame.f_attrs;
+                children = List.rev frame.f_children;
+                start_pos = frame.f_start;
+                end_pos;
+              }
+            in
+            stack := rest;
+            (match rest with
+            | parent :: _ -> parent.f_children <- Element el :: parent.f_children
+            | [] -> result := Some el)
+        | [] -> assert false)
+  in
+  Sax.parse src handle;
+  match !result with
+  | Some root -> { root; source_length = String.length src }
+  | None -> assert false (* Sax.parse raises before this can happen *)
+
+let length el = el.end_pos - el.start_pos
+
+let attr el name =
+  List.find_map (fun (k, v) -> if k = name then Some v else None) el.attrs
+
+let text_content el =
+  let b = Buffer.create 128 in
+  let rec go node =
+    match node with
+    | Text { content; _ } ->
+        if Buffer.length b > 0 then Buffer.add_char b ' ';
+        Buffer.add_string b content
+    | Element e -> List.iter go e.children
+  in
+  List.iter go el.children;
+  Buffer.contents b
+
+let iter_elements doc f =
+  let rec go path el =
+    let path = el.tag :: path in
+    f (List.rev path) el;
+    List.iter
+      (function Element child -> go path child | Text _ -> ())
+      el.children
+  in
+  go [] doc.root
+
+let fold_elements doc ~init ~f =
+  let acc = ref init in
+  iter_elements doc (fun path el -> acc := f !acc path el);
+  !acc
+
+let count_elements doc = fold_elements doc ~init:0 ~f:(fun n _ _ -> n + 1)
+
+let find_all doc pred =
+  fold_elements doc ~init:[] ~f:(fun acc _ el ->
+      if pred el then el :: acc else acc)
+  |> List.rev
+
+let to_string ?(indent = false) el =
+  let b = Buffer.create 1024 in
+  let rec go depth el =
+    if indent && Buffer.length b > 0 then begin
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make (depth * 2) ' ')
+    end;
+    Buffer.add_char b '<';
+    Buffer.add_string b el.tag;
+    List.iter
+      (fun (k, v) ->
+        Buffer.add_char b ' ';
+        Buffer.add_string b k;
+        Buffer.add_string b "=\"";
+        Buffer.add_string b (Escape.escape_attr v);
+        Buffer.add_char b '"')
+      el.attrs;
+    if el.children = [] then Buffer.add_string b "/>"
+    else begin
+      Buffer.add_char b '>';
+      List.iter
+        (function
+          | Text { content; _ } -> Buffer.add_string b (Escape.escape_text content)
+          | Element child -> go (depth + 1) child)
+        el.children;
+      if indent then begin
+        Buffer.add_char b '\n';
+        Buffer.add_string b (String.make (depth * 2) ' ')
+      end;
+      Buffer.add_string b "</";
+      Buffer.add_string b el.tag;
+      Buffer.add_char b '>'
+    end
+  in
+  go 0 el;
+  Buffer.contents b
+
+let rec equal_structure a b =
+  a.tag = b.tag
+  && a.attrs = b.attrs
+  && List.length a.children = List.length b.children
+  && List.for_all2
+       (fun x y ->
+         match (x, y) with
+         | Text t1, Text t2 -> t1.content = t2.content
+         | Element e1, Element e2 -> equal_structure e1 e2
+         | Text _, Element _ | Element _, Text _ -> false)
+       a.children b.children

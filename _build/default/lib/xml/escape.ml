@@ -1,0 +1,72 @@
+let escape_gen ~quot s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '&' -> Buffer.add_string b "&amp;"
+      | '<' -> Buffer.add_string b "&lt;"
+      | '>' -> Buffer.add_string b "&gt;"
+      | '"' when quot -> Buffer.add_string b "&quot;"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let escape_text s = escape_gen ~quot:false s
+let escape_attr s = escape_gen ~quot:true s
+
+let add_utf8 b code =
+  if code < 0x80 then Buffer.add_char b (Char.chr code)
+  else if code < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (code lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else if code < 0x10000 then begin
+    Buffer.add_char b (Char.chr (0xE0 lor (code lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xF0 lor (code lsr 18)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 12) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (code land 0x3F)))
+  end
+
+let unescape s =
+  let n = String.length s in
+  let b = Buffer.create n in
+  let rec go i =
+    if i >= n then ()
+    else if s.[i] <> '&' then begin
+      Buffer.add_char b s.[i];
+      go (i + 1)
+    end
+    else begin
+      let j =
+        match String.index_from_opt s i ';' with
+        | Some j -> j
+        | None -> failwith "Escape.unescape: unterminated entity"
+      in
+      let name = String.sub s (i + 1) (j - i - 1) in
+      (match name with
+      | "amp" -> Buffer.add_char b '&'
+      | "lt" -> Buffer.add_char b '<'
+      | "gt" -> Buffer.add_char b '>'
+      | "quot" -> Buffer.add_char b '"'
+      | "apos" -> Buffer.add_char b '\''
+      | _ when String.length name >= 2 && name.[0] = '#' ->
+          let code =
+            try
+              if name.[1] = 'x' || name.[1] = 'X' then
+                int_of_string ("0x" ^ String.sub name 2 (String.length name - 2))
+              else int_of_string (String.sub name 1 (String.length name - 1))
+            with Failure _ ->
+              failwith ("Escape.unescape: bad character reference &" ^ name ^ ";")
+          in
+          add_utf8 b code
+      | _ -> failwith ("Escape.unescape: unknown entity &" ^ name ^ ";"));
+      go (j + 1)
+    end
+  in
+  go 0;
+  Buffer.contents b

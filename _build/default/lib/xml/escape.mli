@@ -1,0 +1,14 @@
+(** XML character-data escaping and entity resolution. *)
+
+val escape_text : string -> string
+(** Escape [& < >] for element content. *)
+
+val escape_attr : string -> string
+(** Escape ampersand, angle brackets and double quotes for
+    double-quoted attribute values. *)
+
+val unescape : string -> string
+(** Resolve the predefined entities ([&amp;amp; &amp;lt; &amp;gt;
+    &amp;quot; &amp;apos;]) and numeric character references (decimal
+    and hex; non-ASCII code points are emitted as UTF-8).
+    @raise Failure on an unterminated or unknown entity. *)

@@ -1,0 +1,1 @@
+lib/xpath/xpath_eval.ml: Float List Option Printf String Trex_xml Xpath_ast Xpath_parser

@@ -1,0 +1,1 @@
+lib/xpath/xpath_eval.mli: Trex_xml Xpath_ast

@@ -1,0 +1,1 @@
+lib/xpath/xpath_parser.ml: List Option Printf String Xpath_ast

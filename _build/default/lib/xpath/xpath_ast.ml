@@ -1,0 +1,76 @@
+type axis =
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Self
+  | Parent
+  | Ancestor
+  | Following_sibling
+  | Preceding_sibling
+  | Attribute
+
+type node_test = Name of string | Any | Text | Node
+
+type expr =
+  | Path of path
+  | Literal of string
+  | Number of float
+  | Position
+  | Last
+  | Count of path
+  | Contains of expr * expr
+  | Equals of expr * expr
+  | Not_equals of expr * expr
+  | Less of expr * expr
+  | Greater of expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+
+and step = { axis : axis; test : node_test; predicates : expr list }
+and path = { absolute : bool; steps : step list }
+
+let axis_to_string = function
+  | Child -> "child"
+  | Descendant -> "descendant"
+  | Descendant_or_self -> "descendant-or-self"
+  | Self -> "self"
+  | Parent -> "parent"
+  | Ancestor -> "ancestor"
+  | Following_sibling -> "following-sibling"
+  | Preceding_sibling -> "preceding-sibling"
+  | Attribute -> "attribute"
+
+let test_to_string = function
+  | Name n -> n
+  | Any -> "*"
+  | Text -> "text()"
+  | Node -> "node()"
+
+let rec path_to_string p =
+  let step_str s =
+    let preds =
+      String.concat "" (List.map (fun e -> "[" ^ expr_to_string e ^ "]") s.predicates)
+    in
+    Printf.sprintf "%s::%s%s" (axis_to_string s.axis) (test_to_string s.test) preds
+  in
+  (if p.absolute then "/" else "")
+  ^ String.concat "/" (List.map step_str p.steps)
+
+and expr_to_string = function
+  | Path p -> path_to_string p
+  | Literal s -> Printf.sprintf "%S" s
+  | Number f -> Printf.sprintf "%g" f
+  | Position -> "position()"
+  | Last -> "last()"
+  | Count p -> Printf.sprintf "count(%s)" (path_to_string p)
+  | Contains (a, b) ->
+      Printf.sprintf "contains(%s, %s)" (expr_to_string a) (expr_to_string b)
+  | Equals (a, b) -> Printf.sprintf "(%s = %s)" (expr_to_string a) (expr_to_string b)
+  | Not_equals (a, b) ->
+      Printf.sprintf "(%s != %s)" (expr_to_string a) (expr_to_string b)
+  | Less (a, b) -> Printf.sprintf "(%s < %s)" (expr_to_string a) (expr_to_string b)
+  | Greater (a, b) -> Printf.sprintf "(%s > %s)" (expr_to_string a) (expr_to_string b)
+  | And (a, b) -> Printf.sprintf "(%s and %s)" (expr_to_string a) (expr_to_string b)
+  | Or (a, b) -> Printf.sprintf "(%s or %s)" (expr_to_string a) (expr_to_string b)
+  | Not e -> Printf.sprintf "not(%s)" (expr_to_string e)

@@ -1,0 +1,51 @@
+(** Abstract syntax for the XPath 1.0 subset TReX uses.
+
+    The paper notes that "most of the summaries proposed in the
+    literature can be described using XPath expressions"; this engine
+    evaluates such descriptions (and NEXI's structural skeletons)
+    directly over documents — the reference semantics the summaries
+    approximate. *)
+
+type axis =
+  | Child
+  | Descendant
+  | Descendant_or_self
+  | Self
+  | Parent
+  | Ancestor
+  | Following_sibling
+  | Preceding_sibling
+  | Attribute
+
+type node_test =
+  | Name of string  (** element (or attribute) name *)
+  | Any  (** [*] *)
+  | Text  (** [text()] *)
+  | Node  (** [node()] *)
+
+type expr =
+  | Path of path
+  | Literal of string
+  | Number of float
+  | Position
+  | Last
+  | Count of path
+  | Contains of expr * expr
+  | Equals of expr * expr
+  | Not_equals of expr * expr
+  | Less of expr * expr
+  | Greater of expr * expr
+  | And of expr * expr
+  | Or of expr * expr
+  | Not of expr
+
+and step = { axis : axis; test : node_test; predicates : expr list }
+
+and path = {
+  absolute : bool;  (** starts with [/] (or [//]) from the root *)
+  steps : step list;
+}
+
+val axis_to_string : axis -> string
+val path_to_string : path -> string
+val expr_to_string : expr -> string

@@ -1,0 +1,263 @@
+module Dom = Trex_xml.Dom
+open Xpath_ast
+
+(* Navigable node model: elements, text nodes and attributes with
+   parent links and global document order. *)
+type el_node = {
+  element : Dom.element;
+  parent : el_node option;
+  order : int;
+  mutable kids : node list; (* element and text children, document order *)
+  mutable attrs : node list;
+}
+
+and node =
+  | El of el_node
+  | Txt of { content : string; t_parent : el_node; t_order : int }
+  | Attr of { a_name : string; a_value : string; a_parent : el_node; a_order : int }
+
+type t = { root : el_node }
+
+let node_order = function
+  | El e -> e.order
+  | Txt { t_order; _ } -> t_order
+  | Attr { a_order; _ } -> a_order
+
+let of_doc (doc : Dom.doc) =
+  let counter = ref 0 in
+  let next () =
+    incr counter;
+    !counter
+  in
+  let rec build parent (element : Dom.element) =
+    let en = { element; parent; order = next (); kids = []; attrs = [] } in
+    en.attrs <-
+      List.map
+        (fun (a_name, a_value) ->
+          Attr { a_name; a_value; a_parent = en; a_order = next () })
+        element.attrs;
+    en.kids <-
+      List.map
+        (function
+          | Dom.Element child -> El (build (Some en) child)
+          | Dom.Text { content; _ } ->
+              Txt { content; t_parent = en; t_order = next () })
+        element.children;
+    en
+  in
+  { root = build None doc.root }
+
+(* ---- axes ---- *)
+
+let rec descendants en acc =
+  List.fold_left
+    (fun acc kid ->
+      match kid with
+      | El child -> descendants child (El child :: acc)
+      | Txt _ -> kid :: acc
+      | Attr _ -> acc)
+    acc en.kids
+
+let parent_node = function
+  | El e -> Option.map (fun p -> El p) e.parent
+  | Txt { t_parent; _ } -> Some (El t_parent)
+  | Attr { a_parent; _ } -> Some (El a_parent)
+
+let siblings node ~before =
+  match parent_node node with
+  | None -> []
+  | Some (El p) ->
+      let me = node_order node in
+      let all = p.kids in
+      if before then
+        List.rev (List.filter (fun k -> node_order k < me) all)
+      else List.filter (fun k -> node_order k > me) all
+  | Some (Txt _ | Attr _) -> []
+
+(* Candidates along an axis, in axis direction order. *)
+let axis_candidates node axis =
+  match (axis, node) with
+  | Child, El e -> e.kids
+  | Child, (Txt _ | Attr _) -> []
+  | Descendant, El e -> List.rev (descendants e [])
+  | Descendant, (Txt _ | Attr _) -> []
+  | Descendant_or_self, El e -> node :: List.rev (descendants e [])
+  | Descendant_or_self, (Txt _ | Attr _) -> [ node ]
+  | Self, _ -> [ node ]
+  | Parent, _ -> ( match parent_node node with Some p -> [ p ] | None -> [])
+  | Ancestor, _ ->
+      let rec up acc n =
+        match parent_node n with Some p -> up (p :: acc) p | None -> List.rev acc
+      in
+      up [] node
+  | Following_sibling, _ -> siblings node ~before:false
+  | Preceding_sibling, _ -> siblings node ~before:true
+  | Attribute, El e -> e.attrs
+  | Attribute, (Txt _ | Attr _) -> []
+
+let test_matches axis test node =
+  match (test, node) with
+  | Name n, El e -> e.element.Dom.tag = n
+  | Name n, Attr { a_name; _ } -> axis = Attribute && a_name = n
+  | Name _, Txt _ -> false
+  | Any, El _ -> true
+  | Any, Attr _ -> axis = Attribute
+  | Any, Txt _ -> false
+  | Text, Txt _ -> true
+  | Text, (El _ | Attr _) -> false
+  | Node, _ -> true
+
+(* ---- values and coercion ---- *)
+
+type value = Nodes of node list | Str of string | Num of float | Bool of bool
+
+let string_value = function
+  | El e -> Dom.text_content e.element
+  | Txt { content; _ } -> content
+  | Attr { a_value; _ } -> a_value
+
+let to_bool = function
+  | Nodes l -> l <> []
+  | Str s -> s <> ""
+  | Num f -> f <> 0.0 && not (Float.is_nan f)
+  | Bool b -> b
+
+let to_string = function
+  | Nodes [] -> ""
+  | Nodes (n :: _) -> string_value n
+  | Str s -> s
+  | Num f -> Printf.sprintf "%g" f
+  | Bool b -> if b then "true" else "false"
+
+let to_num v =
+  match v with
+  | Num f -> f
+  | Bool b -> if b then 1.0 else 0.0
+  | (Str _ | Nodes _) as v -> (
+      match float_of_string_opt (String.trim (to_string v)) with
+      | Some f -> f
+      | None -> Float.nan)
+
+let contains_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* ---- evaluation ---- *)
+
+let dedup_sorted nodes =
+  let sorted = List.sort (fun a b -> compare (node_order a) (node_order b)) nodes in
+  let rec uniq = function
+    | a :: (b :: _ as rest) when node_order a = node_order b -> uniq rest
+    | a :: rest -> a :: uniq rest
+    | [] -> []
+  in
+  uniq sorted
+
+(* An absolute path starts at a virtual parent of the document element:
+   /books selects the root element iff its tag is books, //x walks the
+   whole tree including the root. *)
+let rec eval_path t ~context (p : path) =
+  if not p.absolute then
+    List.fold_left (fun ctx step -> eval_step t ctx step) context p.steps
+  else
+    match p.steps with
+    | [] -> []
+    | first :: rest ->
+        let initial =
+          match first.axis with
+          | Child ->
+              let cand =
+                List.filter (test_matches Child first.test) [ El t.root ]
+              in
+              List.fold_left (fun c pr -> apply_predicate t c pr) cand
+                first.predicates
+          | Descendant ->
+              let cand = El t.root :: List.rev (descendants t.root []) in
+              let cand = List.filter (test_matches Descendant first.test) cand in
+              List.fold_left (fun c pr -> apply_predicate t c pr) cand
+                first.predicates
+          | Self | Descendant_or_self -> eval_step t [ El t.root ] first
+          | Parent | Ancestor | Following_sibling | Preceding_sibling | Attribute ->
+              []
+        in
+        List.fold_left (fun ctx step -> eval_step t ctx step) initial rest
+
+and eval_step t context step =
+  let per_context node =
+    let candidates =
+      List.filter (test_matches step.axis step.test) (axis_candidates node step.axis)
+    in
+    List.fold_left
+      (fun cands pred -> apply_predicate t cands pred)
+      candidates step.predicates
+  in
+  dedup_sorted (List.concat_map per_context context)
+
+and apply_predicate t candidates pred =
+  let last = List.length candidates in
+  List.filteri
+    (fun i node ->
+      let position = i + 1 in
+      match pred with
+      | Number f -> float_of_int position = f
+      | e -> to_bool (eval_expr t ~node ~position ~last e))
+    candidates
+
+and eval_expr t ~node ~position ~last = function
+  | Path p -> Nodes (eval_path t ~context:[ node ] p)
+  | Literal s -> Str s
+  | Number f -> Num f
+  | Position -> Num (float_of_int position)
+  | Last -> Num (float_of_int last)
+  | Count p -> Num (float_of_int (List.length (eval_path t ~context:[ node ] p)))
+  | Contains (a, b) ->
+      let sa = to_string (eval_expr t ~node ~position ~last a) in
+      let sb = to_string (eval_expr t ~node ~position ~last b) in
+      Bool (contains_sub sa sb)
+  | Equals (a, b) -> Bool (values_equal t ~node ~position ~last a b)
+  | Not_equals (a, b) -> Bool (not (values_equal t ~node ~position ~last a b))
+  | Less (a, b) ->
+      let fa = to_num (eval_expr t ~node ~position ~last a) in
+      let fb = to_num (eval_expr t ~node ~position ~last b) in
+      Bool (fa < fb)
+  | Greater (a, b) ->
+      let fa = to_num (eval_expr t ~node ~position ~last a) in
+      let fb = to_num (eval_expr t ~node ~position ~last b) in
+      Bool (fa > fb)
+  | And (a, b) ->
+      Bool
+        (to_bool (eval_expr t ~node ~position ~last a)
+        && to_bool (eval_expr t ~node ~position ~last b))
+  | Or (a, b) ->
+      Bool
+        (to_bool (eval_expr t ~node ~position ~last a)
+        || to_bool (eval_expr t ~node ~position ~last b))
+  | Not e -> Bool (not (to_bool (eval_expr t ~node ~position ~last e)))
+
+and values_equal t ~node ~position ~last a b =
+  let va = eval_expr t ~node ~position ~last a in
+  let vb = eval_expr t ~node ~position ~last b in
+  match (va, vb) with
+  | Nodes la, Nodes lb ->
+      List.exists
+        (fun na -> List.exists (fun nb -> string_value na = string_value nb) lb)
+        la
+  | Nodes l, (Num _ as n) | (Num _ as n), Nodes l ->
+      List.exists (fun nd -> to_num (Str (string_value nd)) = to_num n) l
+  | Nodes l, other | other, Nodes l ->
+      List.exists (fun nd -> string_value nd = to_string other) l
+  | (Num _, _ | _, Num _) -> to_num va = to_num vb
+  | _ -> to_string va = to_string vb
+
+(* ---- public API ---- *)
+
+let select_nodes t p = eval_path t ~context:[ El t.root ] p
+
+let select t p =
+  List.filter_map (function El e -> Some e.element | Txt _ | Attr _ -> None)
+    (select_nodes t p)
+
+let select_values t p = List.map string_value (select_nodes t p)
+let count t p = List.length (select_nodes t p)
+let run t src = select t (Xpath_parser.parse src)

@@ -1,0 +1,28 @@
+(** XPath evaluation over parsed documents.
+
+    Implements the reference semantics for the subset in
+    {!Xpath_parser}: node-set results in document order, predicates
+    with position/last, attribute and text selection, and the usual
+    value coercions. Used as the ground-truth oracle that summary-based
+    translation over-approximates, and by the extent-inspection
+    tooling. *)
+
+type t
+(** A document indexed for navigation (parent links, document order). *)
+
+val of_doc : Trex_xml.Dom.doc -> t
+
+val select : t -> Xpath_ast.path -> Trex_xml.Dom.element list
+(** Element results of an absolute path, in document order. Non-element
+    results (text, attributes) are omitted — see {!select_values}. *)
+
+val select_values : t -> Xpath_ast.path -> string list
+(** String-values of all result nodes (elements: concatenated text;
+    attributes: the value; text nodes: the content), document order. *)
+
+val count : t -> Xpath_ast.path -> int
+(** Number of result nodes of any kind. *)
+
+val run : t -> string -> Trex_xml.Dom.element list
+(** Parse and {!select} in one call.
+    @raise Xpath_parser.Syntax_error *)

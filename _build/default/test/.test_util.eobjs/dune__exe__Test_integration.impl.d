@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Filename Lazy List Printf String Sys Trex Trex_corpus Unix

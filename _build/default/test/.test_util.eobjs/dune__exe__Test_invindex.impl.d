@@ -1,0 +1,1 @@
+test/test_invindex.ml: Alcotest Filename List Option Printf Seq String Sys Trex_invindex Trex_storage Trex_summary Trex_text Unix

@@ -1,0 +1,1 @@
+test/test_nexi.ml: Alcotest List Trex_corpus Trex_nexi Trex_summary Trex_text Trex_xml

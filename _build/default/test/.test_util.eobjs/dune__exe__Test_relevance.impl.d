@@ -1,0 +1,1 @@
+test/test_relevance.ml: Alcotest List QCheck QCheck_alcotest Trex_relevance Trex_util

@@ -1,0 +1,1 @@
+test/test_scoring.ml: Alcotest Float List QCheck QCheck_alcotest Trex_scoring

@@ -1,0 +1,1 @@
+test/test_selfman.ml: Alcotest Array Float Format List Option Printf QCheck QCheck_alcotest Trex_corpus Trex_invindex Trex_nexi Trex_scoring Trex_selfman Trex_storage Trex_summary Trex_topk Trex_util

@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bytes Char Filename Gen Hashtbl List Printf QCheck QCheck_alcotest Seq String Sys Test Trex_storage Trex_util Unix

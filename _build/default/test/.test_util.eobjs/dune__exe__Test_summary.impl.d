@@ -1,0 +1,1 @@
+test/test_summary.ml: Alcotest List Option Printf QCheck QCheck_alcotest String Trex_summary Trex_util Trex_xml

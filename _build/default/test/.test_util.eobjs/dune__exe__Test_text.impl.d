@@ -1,0 +1,1 @@
+test/test_text.ml: Alcotest Gen List QCheck QCheck_alcotest String Trex_text

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Gen Int List Printf QCheck QCheck_alcotest String Trex_util Unix

@@ -1,0 +1,1 @@
+test/test_xml.ml: Alcotest Gen List QCheck QCheck_alcotest String Trex_util Trex_xml

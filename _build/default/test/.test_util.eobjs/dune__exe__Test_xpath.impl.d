@@ -1,0 +1,1 @@
+test/test_xpath.ml: Alcotest List QCheck QCheck_alcotest Trex_corpus Trex_summary Trex_xml Trex_xpath

@@ -1,0 +1,226 @@
+(* Tests for trex_nexi: parser, AST helpers, translation. *)
+
+module Ast = Trex_nexi.Ast
+module Parser = Trex_nexi.Parser
+module Translate = Trex_nexi.Translate
+module Pattern = Trex_summary.Pattern
+module Summary = Trex_summary.Summary
+module Alias = Trex_summary.Alias
+module Analyzer = Trex_text.Analyzer
+module Dom = Trex_xml.Dom
+
+let check = Alcotest.check
+
+let parse = Parser.parse
+
+(* ---- parsing ---- *)
+
+let test_parse_simple () =
+  let q = parse "//sec[about(., code signing verification)]" in
+  check Alcotest.int "one step" 1 (List.length q);
+  let step = List.hd q in
+  check (Alcotest.option Alcotest.string) "test" (Some "sec") step.Ast.test;
+  match step.Ast.predicate with
+  | Some (Ast.About { rel = []; keywords }) ->
+      check
+        (Alcotest.list Alcotest.string)
+        "keywords"
+        [ "code"; "signing"; "verification" ]
+        (List.concat_map (fun (k : Ast.keyword) -> k.words) keywords)
+  | _ -> Alcotest.fail "expected a single about"
+
+let test_parse_nested_paths () =
+  let q = parse "//article[about(., XML)]//sec[about(., query evaluation)]" in
+  check Alcotest.int "two steps" 2 (List.length q);
+  let abouts = Ast.about_paths q in
+  check Alcotest.int "two about paths" 2 (List.length abouts);
+  let paths = List.map (fun (p, _) -> Pattern.to_string p) abouts in
+  check (Alcotest.list Alcotest.string) "paths" [ "//article"; "//article//sec" ] paths
+
+let test_parse_relative_path_in_about () =
+  let q = parse "//article[about(.//bdy, synthesizers) and about(.//bdy, music)]" in
+  let abouts = Ast.about_paths q in
+  check Alcotest.int "two abouts" 2 (List.length abouts);
+  List.iter
+    (fun (p, _) ->
+      check Alcotest.string "rel path appended" "//article//bdy" (Pattern.to_string p))
+    abouts
+
+let test_parse_wildcard () =
+  let q = parse "//bdy//*[about(., model checking)]" in
+  let step = List.nth q 1 in
+  check (Alcotest.option Alcotest.string) "wildcard" None step.Ast.test
+
+let test_parse_polarity () =
+  let q = parse "//article//figure[about(., Renaissance painting -French -German)]" in
+  match Ast.about_paths q with
+  | [ (_, keywords) ] ->
+      let pol p = List.filter (fun (k : Ast.keyword) -> k.polarity = p) keywords in
+      check Alcotest.int "positives" 2 (List.length (pol Ast.Should));
+      check Alcotest.int "negatives" 2 (List.length (pol Ast.Must_not));
+      check
+        (Alcotest.list Alcotest.string)
+        "negative words" [ "French"; "German" ]
+        (List.concat_map (fun (k : Ast.keyword) -> k.words) (pol Ast.Must_not))
+  | _ -> Alcotest.fail "one about expected"
+
+let test_parse_phrase_and_plus () =
+  let q = parse "//p[about(., +\"information retrieval\" ranking)]" in
+  match Ast.about_paths q with
+  | [ (_, [ k1; k2 ]) ] ->
+      check Alcotest.bool "phrase is must" true (k1.Ast.polarity = Ast.Must);
+      check
+        (Alcotest.list Alcotest.string)
+        "phrase words" [ "information"; "retrieval" ] k1.Ast.words;
+      check (Alcotest.list Alcotest.string) "plain word" [ "ranking" ] k2.Ast.words
+  | _ -> Alcotest.fail "expected phrase + word"
+
+let test_parse_or_predicate () =
+  let q = parse "//a[about(., x) or about(., y)]" in
+  match (List.hd q).Ast.predicate with
+  | Some (Ast.Or (Ast.About _, Ast.About _)) -> ()
+  | _ -> Alcotest.fail "expected or"
+
+let test_all_paper_queries_parse () =
+  List.iter
+    (fun (q : Trex_corpus.Queries.t) ->
+      match parse q.nexi with
+      | [] -> Alcotest.fail ("query " ^ q.id ^ " parsed to empty")
+      | _ -> ())
+    Trex_corpus.Queries.all
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) src true
+        (try
+           ignore (parse src);
+           false
+         with Parser.Syntax_error _ -> true))
+    [
+      "";
+      "article";
+      "//";
+      "//a[";
+      "//a[about(,x)]";
+      "//a[about(.)]";
+      "//a[about(., )]";
+      "//a[about(., x) and]";
+      "//a[notabout(., x)]";
+      "//a]trailing";
+      "//a[about(., \"unterminated)]";
+    ]
+
+let test_to_string_roundtrip () =
+  List.iter
+    (fun src ->
+      let q = parse src in
+      let q2 = parse (Ast.to_string q) in
+      check Alcotest.string src (Ast.to_string q) (Ast.to_string q2))
+    [
+      "//sec[about(., code signing verification)]";
+      "//article[about(., XML)]//sec[about(., query evaluation)]";
+      "//article[about(.//bdy, synthesizers) and about(.//bdy, music)]";
+      "//bdy//*[about(., model checking state space explosion)]";
+      "//article//figure[about(., Renaissance painting -French)]";
+    ]
+
+(* ---- translation ---- *)
+
+let ieee_alias = Alias.of_list [ ("ss1", "sec"); ("ss2", "sec") ]
+
+let toy_summary () =
+  let s = Summary.create ~alias:ieee_alias Summary.Incoming in
+  let doc =
+    Dom.parse
+      "<books><journal><article><bdy><sec><p>x</p></sec><ss1><p>y</p></ss1><fig>z</fig></bdy></article></journal></books>"
+  in
+  ignore (Summary.observe_document s doc);
+  s
+
+let normalize = Analyzer.normalize Analyzer.default
+
+let test_translate_sids_and_terms () =
+  let s = toy_summary () in
+  let q = parse "//article//sec[about(., query evaluation retrieval)]" in
+  let t = Translate.translate ~summary:s ~normalize q in
+  check Alcotest.int "one unit" 1 (List.length t.units);
+  let u = List.hd t.units in
+  check Alcotest.int "sec extent found" 1 (List.length u.sids);
+  check
+    (Alcotest.list Alcotest.string)
+    "terms normalized" [ "queri"; "evalu"; "retriev" ] u.terms;
+  check (Alcotest.list Alcotest.int) "target = unit sids" u.sids t.target_sids
+
+let test_translate_union_and_dedup () =
+  let s = toy_summary () in
+  let q = parse "//article[about(., retrieval)]//sec[about(., retrieval ranking)]" in
+  let t = Translate.translate ~summary:s ~normalize q in
+  (* all_terms dedups "retriev" across units. *)
+  check
+    (Alcotest.list Alcotest.string)
+    "terms" [ "retriev"; "rank" ] (Translate.all_terms t);
+  (* all_sids unions article + sec extents. *)
+  check Alcotest.int "sids" 2 (List.length (Translate.all_sids t))
+
+let test_translate_drops_stopword_keywords () =
+  let s = toy_summary () in
+  let q = parse "//sec[about(., the of retrieval)]" in
+  let t = Translate.translate ~summary:s ~normalize q in
+  check
+    (Alcotest.list Alcotest.string)
+    "stopwords dropped" [ "retriev" ]
+    (Translate.all_terms t)
+
+let test_translate_excluded_terms () =
+  let s = toy_summary () in
+  let q = parse "//sec[about(., painting -french -german)]" in
+  let t = Translate.translate ~summary:s ~normalize q in
+  let u = List.hd t.units in
+  check (Alcotest.list Alcotest.string) "positive" [ "paint" ] u.terms;
+  check
+    (Alcotest.list Alcotest.string)
+    "excluded" [ "french"; "german" ] u.excluded_terms
+
+let test_translate_vague_via_alias () =
+  let s = toy_summary () in
+  (* ss1 was folded into sec: querying //article//ss1 matches the merged
+     extent (the paper's vague interpretation). *)
+  let q = parse "//article//ss1[about(., retrieval)]" in
+  let t = Translate.translate ~summary:s ~normalize q in
+  check Alcotest.int "alias extent" 1 (List.length t.target_sids)
+
+let test_translate_unknown_tag_gives_no_sids () =
+  let s = toy_summary () in
+  let q = parse "//nosuchtag[about(., retrieval)]" in
+  let t = Translate.translate ~summary:s ~normalize q in
+  check (Alcotest.list Alcotest.int) "no sids" [] t.target_sids
+
+let () =
+  Alcotest.run "trex_nexi"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "simple" `Quick test_parse_simple;
+          Alcotest.test_case "nested paths" `Quick test_parse_nested_paths;
+          Alcotest.test_case "relative about path" `Quick
+            test_parse_relative_path_in_about;
+          Alcotest.test_case "wildcard" `Quick test_parse_wildcard;
+          Alcotest.test_case "polarity" `Quick test_parse_polarity;
+          Alcotest.test_case "phrase and plus" `Quick test_parse_phrase_and_plus;
+          Alcotest.test_case "or predicate" `Quick test_parse_or_predicate;
+          Alcotest.test_case "paper queries parse" `Quick test_all_paper_queries_parse;
+          Alcotest.test_case "syntax errors" `Quick test_parse_errors;
+          Alcotest.test_case "to_string roundtrip" `Quick test_to_string_roundtrip;
+        ] );
+      ( "translate",
+        [
+          Alcotest.test_case "sids and terms" `Quick test_translate_sids_and_terms;
+          Alcotest.test_case "union and dedup" `Quick test_translate_union_and_dedup;
+          Alcotest.test_case "stopword keywords dropped" `Quick
+            test_translate_drops_stopword_keywords;
+          Alcotest.test_case "excluded terms" `Quick test_translate_excluded_terms;
+          Alcotest.test_case "vague via alias" `Quick test_translate_vague_via_alias;
+          Alcotest.test_case "unknown tag" `Quick test_translate_unknown_tag_gives_no_sids;
+        ] );
+    ]

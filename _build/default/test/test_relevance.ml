@@ -1,0 +1,129 @@
+(* Tests for trex_relevance: qrels and ranked-retrieval metrics. *)
+
+module Qrels = Trex_relevance.Qrels
+module Metrics = Trex_relevance.Metrics
+module Prng = Trex_util.Prng
+
+let check = Alcotest.check
+let flo = Alcotest.float 1e-9
+
+(* One query, docs 1..4 relevant (grades 1..3), others not. *)
+let qrels =
+  Qrels.of_list
+    [ ("q", 1, 3); ("q", 2, 1); ("q", 3, 2); ("q", 4, 1); ("q", 9, 0) ]
+
+let test_qrels_basics () =
+  check Alcotest.int "grade" 3 (Qrels.grade qrels ~query:"q" ~docid:1);
+  check Alcotest.int "unjudged" 0 (Qrels.grade qrels ~query:"q" ~docid:42);
+  check Alcotest.int "grade-0 judged not relevant" 0 (Qrels.grade qrels ~query:"q" ~docid:9);
+  Alcotest.(check bool) "relevant" true (Qrels.is_relevant qrels ~query:"q" ~docid:2);
+  Alcotest.(check bool) "not relevant" false (Qrels.is_relevant qrels ~query:"q" ~docid:9);
+  check Alcotest.int "relevant count" 4 (Qrels.relevant_count qrels ~query:"q");
+  check (Alcotest.list Alcotest.int) "grades descending" [ 3; 2; 1; 1 ]
+    (Qrels.grades qrels ~query:"q");
+  check Alcotest.int "unknown query" 0 (Qrels.relevant_count qrels ~query:"zz")
+
+let test_qrels_replace_and_invalid () =
+  let q2 = Qrels.add qrels ~query:"q" ~docid:1 ~grade:1 in
+  check Alcotest.int "replaced" 1 (Qrels.grade q2 ~query:"q" ~docid:1);
+  Alcotest.(check bool) "negative grade" true
+    (try
+       ignore (Qrels.add qrels ~query:"q" ~docid:5 ~grade:(-1));
+       false
+     with Invalid_argument _ -> true)
+
+let test_precision_at () =
+  (* ranking: rel, not, rel, not, not *)
+  let ranking = [ 1; 100; 2; 101; 102 ] in
+  check flo "p@1" 1.0 (Metrics.precision_at qrels ~query:"q" ~k:1 ranking);
+  check flo "p@2" 0.5 (Metrics.precision_at qrels ~query:"q" ~k:2 ranking);
+  check flo "p@5" 0.4 (Metrics.precision_at qrels ~query:"q" ~k:5 ranking);
+  (* Short lists count missing ranks as misses. *)
+  check flo "p@10 short list" 0.2 (Metrics.precision_at qrels ~query:"q" ~k:10 ranking)
+
+let test_recall_at () =
+  let ranking = [ 1; 100; 2; 101 ] in
+  check flo "r@1" 0.25 (Metrics.recall_at qrels ~query:"q" ~k:1 ranking);
+  check flo "r@4" 0.5 (Metrics.recall_at qrels ~query:"q" ~k:4 ranking);
+  check flo "no relevant docs" 0.0 (Metrics.recall_at qrels ~query:"none" ~k:5 ranking)
+
+let test_r_precision () =
+  (* R = 4; among the first four ranks, two are relevant. *)
+  check flo "r-prec" 0.5 (Metrics.r_precision qrels ~query:"q" [ 1; 100; 2; 101; 3 ])
+
+let test_average_precision () =
+  (* Perfect ranking of all four relevant docs: AP = 1. *)
+  check flo "perfect" 1.0 (Metrics.average_precision qrels ~query:"q" [ 1; 2; 3; 4 ]);
+  (* rel at ranks 1 and 3: (1/1 + 2/3) / 4. *)
+  check flo "partial" ((1.0 +. (2.0 /. 3.0)) /. 4.0)
+    (Metrics.average_precision qrels ~query:"q" [ 1; 100; 2 ]);
+  check flo "nothing found" 0.0 (Metrics.average_precision qrels ~query:"q" [ 100; 101 ])
+
+let test_ndcg () =
+  (* Ideal order: grades 3,2,1,1. *)
+  check flo "perfect ndcg" 1.0 (Metrics.ndcg_at qrels ~query:"q" ~k:4 [ 1; 3; 2; 4 ]);
+  Alcotest.(check bool) "worse order scores lower" true
+    (Metrics.ndcg_at qrels ~query:"q" ~k:4 [ 4; 2; 3; 1 ]
+    < Metrics.ndcg_at qrels ~query:"q" ~k:4 [ 1; 3; 2; 4 ]);
+  check flo "unjudged query" 0.0 (Metrics.ndcg_at qrels ~query:"none" ~k:4 [ 1; 2 ])
+
+let test_reciprocal_rank () =
+  check flo "first" 1.0 (Metrics.reciprocal_rank qrels ~query:"q" [ 1; 100 ]);
+  check flo "third" (1.0 /. 3.0) (Metrics.reciprocal_rank qrels ~query:"q" [ 100; 101; 2 ]);
+  check flo "never" 0.0 (Metrics.reciprocal_rank qrels ~query:"q" [ 100; 101 ])
+
+let test_duplicates_ignored () =
+  (* A duplicate of a relevant doc must not double-count. *)
+  check flo "ap dedup" 1.0 (Metrics.average_precision qrels ~query:"q" [ 1; 1; 2; 3; 4 ])
+
+let test_mean () =
+  check flo "mean" 0.5 (Metrics.mean (fun x -> x) [ 0.0; 1.0 ]);
+  check flo "empty" 0.0 (Metrics.mean (fun x -> x) [])
+
+(* Properties over random rankings. *)
+let random_ranking seed =
+  let rng = Prng.create seed in
+  List.init (Prng.int rng 20) (fun _ -> Prng.int rng 30)
+
+let prop_metrics_bounded =
+  QCheck.Test.make ~name:"metrics stay in [0,1]" ~count:300 QCheck.int (fun seed ->
+      let ranking = random_ranking seed in
+      let in01 v = v >= 0.0 && v <= 1.0 +. 1e-9 in
+      in01 (Metrics.precision_at qrels ~query:"q" ~k:5 ranking)
+      && in01 (Metrics.recall_at qrels ~query:"q" ~k:5 ranking)
+      && in01 (Metrics.average_precision qrels ~query:"q" ranking)
+      && in01 (Metrics.ndcg_at qrels ~query:"q" ~k:5 ranking)
+      && in01 (Metrics.reciprocal_rank qrels ~query:"q" ranking)
+      && in01 (Metrics.r_precision qrels ~query:"q" ranking))
+
+let prop_perfect_prefix_maximizes_ndcg =
+  QCheck.Test.make ~name:"ideal ranking maximizes ndcg" ~count:200 QCheck.int
+    (fun seed ->
+      let ranking = random_ranking seed in
+      Metrics.ndcg_at qrels ~query:"q" ~k:4 ranking
+      <= Metrics.ndcg_at qrels ~query:"q" ~k:4 [ 1; 3; 2; 4 ] +. 1e-9)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "trex_relevance"
+    [
+      ( "qrels",
+        [
+          Alcotest.test_case "basics" `Quick test_qrels_basics;
+          Alcotest.test_case "replace and invalid" `Quick test_qrels_replace_and_invalid;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "precision@k" `Quick test_precision_at;
+          Alcotest.test_case "recall@k" `Quick test_recall_at;
+          Alcotest.test_case "r-precision" `Quick test_r_precision;
+          Alcotest.test_case "average precision" `Quick test_average_precision;
+          Alcotest.test_case "ndcg" `Quick test_ndcg;
+          Alcotest.test_case "reciprocal rank" `Quick test_reciprocal_rank;
+          Alcotest.test_case "duplicates ignored" `Quick test_duplicates_ignored;
+          Alcotest.test_case "mean" `Quick test_mean;
+          qtest prop_metrics_bounded;
+          qtest prop_perfect_prefix_maximizes_ndcg;
+        ] );
+    ]

@@ -1,0 +1,86 @@
+(* Tests for trex_scoring. *)
+
+module Scorer = Trex_scoring.Scorer
+
+let check = Alcotest.check
+
+let corpus = { Scorer.doc_count = 1000; avg_element_length = 200.0 }
+
+let test_idf_decreasing_in_df () =
+  let i1 = Scorer.idf ~doc_count:1000 ~df:1 in
+  let i10 = Scorer.idf ~doc_count:1000 ~df:10 in
+  let i500 = Scorer.idf ~doc_count:1000 ~df:500 in
+  Alcotest.(check bool) "rare > common" true (i1 > i10 && i10 > i500);
+  Alcotest.(check bool) "non-negative" true (i500 > 0.0)
+
+let test_idf_edge_cases () =
+  Alcotest.(check bool) "df=0 finite" true
+    (Float.is_finite (Scorer.idf ~doc_count:100 ~df:0));
+  Alcotest.(check bool) "df=N positive" true (Scorer.idf ~doc_count:100 ~df:100 > 0.0)
+
+let test_score_zero_when_tf_zero () =
+  List.iter
+    (fun config ->
+      check (Alcotest.float 0.0) "tf=0" 0.0
+        (Scorer.score config ~corpus ~df:10 ~tf:0 ~element_length:100))
+    [ Scorer.default; Scorer.Tf_idf ]
+
+let test_score_monotone_in_tf () =
+  List.iter
+    (fun config ->
+      let s tf = Scorer.score config ~corpus ~df:10 ~tf ~element_length:100 in
+      Alcotest.(check bool) "1<2" true (s 1 < s 2);
+      Alcotest.(check bool) "2<10" true (s 2 < s 10);
+      Alcotest.(check bool) "positive" true (s 1 > 0.0))
+    [ Scorer.default; Scorer.Tf_idf ]
+
+let test_score_penalizes_length () =
+  List.iter
+    (fun config ->
+      let s len = Scorer.score config ~corpus ~df:10 ~tf:3 ~element_length:len in
+      Alcotest.(check bool) "short beats long at equal tf" true (s 50 > s 5000))
+    [ Scorer.default; Scorer.Tf_idf ]
+
+let test_score_rewards_rarity () =
+  let s df = Scorer.score Scorer.default ~corpus ~df ~tf:3 ~element_length:100 in
+  Alcotest.(check bool) "rare term scores higher" true (s 2 > s 500)
+
+let test_bm25_saturates () =
+  (* BM25's tf component is bounded by (k1 + 1) * idf. *)
+  let s tf = Scorer.score Scorer.default ~corpus ~df:10 ~tf ~element_length:200 in
+  let bound = 2.2 *. Scorer.idf ~doc_count:1000 ~df:10 in
+  Alcotest.(check bool) "bounded" true (s 1_000_000 <= bound +. 1e-9);
+  Alcotest.(check bool) "diminishing returns" true (s 20 -. s 10 < s 10 -. s 5)
+
+let test_combine () =
+  check (Alcotest.float 1e-12) "sum" 6.0 (Scorer.combine [ 1.0; 2.0; 3.0 ]);
+  check (Alcotest.float 0.0) "empty" 0.0 (Scorer.combine [])
+
+let prop_score_finite_nonneg =
+  QCheck.Test.make ~name:"score finite and non-negative" ~count:500
+    QCheck.(triple (int_range 0 1000) (int_range 0 100) (int_range 0 100000))
+    (fun (df, tf, len) ->
+      List.for_all
+        (fun config ->
+          let s = Scorer.score config ~corpus ~df ~tf ~element_length:len in
+          Float.is_finite s && s >= 0.0)
+        [ Scorer.default; Scorer.Tf_idf ])
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "trex_scoring"
+    [
+      ( "scorer",
+        [
+          Alcotest.test_case "idf decreasing" `Quick test_idf_decreasing_in_df;
+          Alcotest.test_case "idf edges" `Quick test_idf_edge_cases;
+          Alcotest.test_case "zero at tf=0" `Quick test_score_zero_when_tf_zero;
+          Alcotest.test_case "monotone in tf" `Quick test_score_monotone_in_tf;
+          Alcotest.test_case "length penalty" `Quick test_score_penalizes_length;
+          Alcotest.test_case "rarity reward" `Quick test_score_rewards_rarity;
+          Alcotest.test_case "bm25 saturation" `Quick test_bm25_saturates;
+          Alcotest.test_case "combine" `Quick test_combine;
+          qtest prop_score_finite_nonneg;
+        ] );
+    ]

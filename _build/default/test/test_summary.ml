@@ -1,0 +1,372 @@
+(* Tests for trex_summary: alias mappings, path patterns, summaries. *)
+
+module Alias = Trex_summary.Alias
+module Pattern = Trex_summary.Pattern
+module Summary = Trex_summary.Summary
+module Dom = Trex_xml.Dom
+
+let check = Alcotest.check
+
+(* ---- alias ---- *)
+
+let test_alias_basic () =
+  let a = Alias.of_list [ ("ss1", "sec"); ("ss2", "sec") ] in
+  check Alcotest.string "mapped" "sec" (Alias.apply a "ss1");
+  check Alcotest.string "unmapped" "p" (Alias.apply a "p");
+  Alcotest.(check bool) "not identity" false (Alias.is_identity a);
+  Alcotest.(check bool) "identity" true (Alias.is_identity Alias.identity)
+
+let test_alias_conflict () =
+  Alcotest.(check bool) "conflicting synonym rejected" true
+    (try
+       ignore (Alias.of_list [ ("x", "a"); ("x", "b") ]);
+       false
+     with Invalid_argument _ -> true)
+
+(* ---- pattern ---- *)
+
+let test_pattern_parse () =
+  let p = Pattern.parse "//article//sec" in
+  check Alcotest.string "roundtrip" "//article//sec" (Pattern.to_string p);
+  check Alcotest.int "two steps" 2 (List.length p);
+  let p2 = Pattern.parse "/books/journal//*" in
+  check Alcotest.string "mixed axes" "/books/journal//*" (Pattern.to_string p2)
+
+let test_pattern_parse_errors () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) src true
+        (try
+           ignore (Pattern.parse src);
+           false
+         with Failure _ -> true))
+    [ ""; "article"; "//"; "//a/"; "//a b" ]
+
+let test_pattern_alias () =
+  let a = Alias.of_list [ ("ss1", "sec") ] in
+  let p = Pattern.apply_alias a (Pattern.parse "//article//ss1") in
+  check Alcotest.string "aliased" "//article//sec" (Pattern.to_string p)
+
+let test_matches_path () =
+  let m pat path = Pattern.matches_path (Pattern.parse pat) path in
+  Alcotest.(check bool) "//sec matches tail" true (m "//sec" [ "a"; "b"; "sec" ]);
+  Alcotest.(check bool) "//sec needs tail" false (m "//sec" [ "a"; "sec"; "b" ]);
+  Alcotest.(check bool) "descendant chain" true
+    (m "//article//sec" [ "books"; "article"; "bdy"; "sec" ]);
+  Alcotest.(check bool) "order matters" false
+    (m "//sec//article" [ "books"; "article"; "bdy"; "sec" ]);
+  Alcotest.(check bool) "child axis strict" true (m "/a/b" [ "a"; "b" ]);
+  Alcotest.(check bool) "child axis gap rejected" false (m "/a/b" [ "a"; "x"; "b" ]);
+  Alcotest.(check bool) "absolute root" false (m "/b" [ "a"; "b" ]);
+  Alcotest.(check bool) "wildcard" true (m "//a/*" [ "a"; "anything" ]);
+  Alcotest.(check bool) "empty path" false (m "//a" [])
+
+let test_matches_suffix () =
+  let m pat suffix = Pattern.matches_suffix (Pattern.parse pat) suffix in
+  (* Some path ending with [bdy; sec] can match //article//sec. *)
+  Alcotest.(check bool) "descendant absorbed above" true
+    (m "//article//sec" [ "bdy"; "sec" ]);
+  (* ...but nothing ending in [bdy; p] can match //sec as last step. *)
+  Alcotest.(check bool) "last step must match" false (m "//sec" [ "bdy"; "p" ]);
+  (* /books/journal can be absorbed only if the suffix allows a root
+     anchoring: suffix [journal; article] might sit at the root. *)
+  Alcotest.(check bool) "child into suffix head" true
+    (m "/journal/article" [ "journal"; "article" ]);
+  (* A child step anchored mid-suffix with no predecessor is invalid. *)
+  Alcotest.(check bool) "child cannot skip into middle" false
+    (m "/x/article" [ "journal"; "article" ]);
+  Alcotest.(check bool) "descendant into middle ok" true
+    (m "//x//article" [ "journal"; "article" ]);
+  Alcotest.(check bool) "suffix shorter than pattern tail" false
+    (m "//a/b/c" [ "b" ])
+
+(* ---- summaries ---- *)
+
+let doc_of s = Dom.parse s
+
+let sample_doc =
+  doc_of
+    "<books><journal><article><bdy><sec><p>x</p><p>y</p></sec><ss1><p>z</p></ss1></bdy></article></journal></books>"
+
+let ieee_alias = Alias.of_list [ ("ss1", "sec"); ("ss2", "sec") ]
+
+let test_incoming_summary_extents () =
+  let s = Summary.create Summary.Incoming in
+  let observed = Summary.observe_document s sample_doc in
+  (* Every element observed exactly once: extent sizes partition. *)
+  let total = List.fold_left (fun acc sid -> acc + Summary.extent_size s sid) 0 (Summary.sids s) in
+  check Alcotest.int "extents partition elements" (List.length observed) total;
+  (* Without aliases, sec and ss1 have different sids. *)
+  let sid_sec = Summary.sid_of_path s [ "books"; "journal"; "article"; "bdy"; "sec" ] in
+  let sid_ss1 = Summary.sid_of_path s [ "books"; "journal"; "article"; "bdy"; "ss1" ] in
+  Alcotest.(check bool) "sec has sid" true (sid_sec <> None);
+  Alcotest.(check bool) "distinct sids" true (sid_sec <> sid_ss1)
+
+let test_alias_summary_merges_synonyms () =
+  let s = Summary.create ~alias:ieee_alias Summary.Incoming in
+  ignore (Summary.observe_document s sample_doc);
+  let sid_sec = Summary.sid_of_path s [ "books"; "journal"; "article"; "bdy"; "sec" ] in
+  let sid_ss1 = Summary.sid_of_path s [ "books"; "journal"; "article"; "bdy"; "ss1" ] in
+  check (Alcotest.option Alcotest.int) "ss1 folded into sec" sid_sec sid_ss1;
+  (match sid_sec with
+  | Some sid -> check Alcotest.int "merged extent size" 2 (Summary.extent_size s sid)
+  | None -> Alcotest.fail "sec sid missing")
+
+let test_tag_summary () =
+  let s = Summary.create Summary.Tag in
+  ignore (Summary.observe_document s sample_doc);
+  (* One node per distinct tag: books, journal, article, bdy, sec, ss1, p. *)
+  check Alcotest.int "node count" 7 (Summary.node_count s);
+  let sid_p = Summary.sid_of_path s [ "anything"; "p" ] in
+  (match sid_p with
+  | Some sid ->
+      check Alcotest.int "p extent counts all p elements" 3 (Summary.extent_size s sid);
+      check Alcotest.string "xpath" "//p" (Summary.xpath_of_sid s sid)
+  | None -> Alcotest.fail "p sid missing")
+
+let test_incoming_refines_tag () =
+  (* Every incoming extent maps into exactly one tag extent. *)
+  let si = Summary.create Summary.Incoming and st = Summary.create Summary.Tag in
+  ignore (Summary.observe_document si sample_doc);
+  ignore (Summary.observe_document st sample_doc);
+  List.iter
+    (fun sid ->
+      let path = Summary.label_path si sid in
+      let tag_sid = Summary.sid_of_path st path in
+      Alcotest.(check bool) "tag extent exists" true (tag_sid <> None);
+      Alcotest.(check bool) "refinement: incoming extent no larger" true
+        (Summary.extent_size si sid
+        <= Summary.extent_size st (Option.get tag_sid)))
+    (Summary.sids si)
+
+let test_match_pattern_incoming () =
+  let s = Summary.create ~alias:ieee_alias Summary.Incoming in
+  ignore (Summary.observe_document s sample_doc);
+  let match_count p = List.length (Summary.match_pattern s (Pattern.parse p)) in
+  check Alcotest.int "//sec (alias merges ss1)" 1 (match_count "//sec");
+  check Alcotest.int "//article//p" 1 (match_count "//article//p");
+  check Alcotest.int "//bdy//*" 2 (match_count "//bdy//*");
+  check Alcotest.int "/books/journal/article" 1 (match_count "/books/journal/article");
+  check Alcotest.int "/sec at root" 0 (match_count "/sec");
+  check Alcotest.int "//nonexistent" 0 (match_count "//nothere");
+  (* //ss1 aliased to //sec finds the merged extent. *)
+  check Alcotest.int "//ss1 via alias" 1 (match_count "//ss1")
+
+let test_match_pattern_tag_uses_last_test () =
+  let s = Summary.create Summary.Tag in
+  ignore (Summary.observe_document s sample_doc);
+  let sids = Summary.match_pattern s (Pattern.parse "//article//p") in
+  check Alcotest.int "tag summary keys on last label" 1 (List.length sids);
+  check Alcotest.string "it is the p extent" "p" (Summary.label s (List.hd sids))
+
+let test_nesting_free () =
+  let nested = doc_of "<a><sec><sec><p>x</p></sec></sec></a>" in
+  let st = Summary.create Summary.Tag in
+  ignore (Summary.observe_document st nested);
+  Alcotest.(check bool) "tag summary with nested sec not nesting-free" false
+    (Summary.nesting_free st);
+  let si = Summary.create Summary.Incoming in
+  ignore (Summary.observe_document si nested);
+  Alcotest.(check bool) "incoming summary always nesting-free" true
+    (Summary.nesting_free si)
+
+let test_observe_empty_path () =
+  let s = Summary.create Summary.Incoming in
+  Alcotest.check_raises "empty path" (Invalid_argument "Summary.observe: empty path")
+    (fun () -> ignore (Summary.observe s []))
+
+let test_serialization_roundtrip () =
+  let s = Summary.create ~alias:ieee_alias Summary.Incoming in
+  ignore (Summary.observe_document s sample_doc);
+  let s2 = Summary.of_string (Summary.to_string s) in
+  check Alcotest.int "node count" (Summary.node_count s) (Summary.node_count s2);
+  List.iter
+    (fun sid ->
+      check Alcotest.int
+        (Printf.sprintf "extent %d" sid)
+        (Summary.extent_size s sid) (Summary.extent_size s2 sid);
+      check
+        (Alcotest.list Alcotest.string)
+        (Printf.sprintf "path %d" sid)
+        (Summary.label_path s sid) (Summary.label_path s2 sid))
+    (Summary.sids s);
+  (* Pattern matching agrees after the roundtrip. *)
+  let p = Pattern.parse "//bdy//*" in
+  check (Alcotest.list Alcotest.int) "match agrees" (Summary.match_pattern s p)
+    (Summary.match_pattern s2 p)
+
+(* ---- A(k) summaries ---- *)
+
+let ak_doc =
+  doc_of
+    "<books><journal><article><bdy><sec><p>x</p></sec></bdy></article><article><bdy><p>y</p></bdy></article></journal></books>"
+
+let test_ak_invalid_k () =
+  Alcotest.check_raises "k=0" (Invalid_argument "Summary.create: A(k) requires k >= 1")
+    (fun () -> ignore (Summary.create (Summary.A_k 0)))
+
+let test_ak1_equals_tag_partition () =
+  (* A(1) partitions by own tag, like the Tag summary. *)
+  let a1 = Summary.create (Summary.A_k 1) in
+  let tag = Summary.create Summary.Tag in
+  ignore (Summary.observe_document a1 ak_doc);
+  ignore (Summary.observe_document tag ak_doc);
+  List.iter
+    (fun sid ->
+      let l = Summary.label tag sid in
+      let a1_sid = Summary.sid_of_path a1 [ l ] in
+      Alcotest.(check bool) ("A(1) has " ^ l) true (a1_sid <> None);
+      check Alcotest.int ("extent of " ^ l)
+        (Summary.extent_size tag sid)
+        (Summary.extent_size a1 (Option.get a1_sid)))
+    (Summary.sids tag)
+
+let test_ak_distinguishes_by_suffix () =
+  let a2 = Summary.create (Summary.A_k 2) in
+  ignore (Summary.observe_document a2 ak_doc);
+  (* p under sec vs p under bdy have different 2-suffixes. *)
+  let p_sec = Summary.sid_of_path a2 [ "whatever"; "sec"; "p" ] in
+  let p_bdy = Summary.sid_of_path a2 [ "whatever"; "bdy"; "p" ] in
+  Alcotest.(check bool) "both exist" true (p_sec <> None && p_bdy <> None);
+  Alcotest.(check bool) "distinct" true (p_sec <> p_bdy);
+  check (Alcotest.list Alcotest.string) "suffix path (root-most first)"
+    [ "sec"; "p" ]
+    (Summary.label_path a2 (Option.get p_sec));
+  check Alcotest.string "label is own tag" "p" (Summary.label a2 (Option.get p_sec))
+
+let test_ak_match_pattern_over_approximates () =
+  let a2 = Summary.create (Summary.A_k 2) in
+  ignore (Summary.observe_document a2 ak_doc);
+  let inc = Summary.create Summary.Incoming in
+  ignore (Summary.observe_document inc ak_doc);
+  let covered pattern =
+    (* Every element matched under the exact (incoming) summary lies in
+       some extent the A(2) translation returns. *)
+    let exact = Summary.match_pattern inc (Pattern.parse pattern) in
+    let approx = Summary.match_pattern a2 (Pattern.parse pattern) in
+    List.for_all
+      (fun inc_sid ->
+        let path = Summary.label_path inc inc_sid in
+        match Summary.sid_of_path a2 path with
+        | Some ak_sid -> List.mem ak_sid approx
+        | None -> false)
+      exact
+  in
+  List.iter
+    (fun p -> Alcotest.(check bool) p true (covered p))
+    [ "//sec//p"; "//article//p"; "//bdy"; "/books/journal/article"; "//p" ]
+
+let test_ak_extents_partition () =
+  let a2 = Summary.create (Summary.A_k 2) in
+  let observed = Summary.observe_document a2 ak_doc in
+  let total =
+    List.fold_left (fun acc sid -> acc + Summary.extent_size a2 sid) 0 (Summary.sids a2)
+  in
+  check Alcotest.int "partition" (List.length observed) total
+
+let test_ak_nesting_detection () =
+  let nested = doc_of "<r><sec><sec><p>x</p></sec></sec></r>" in
+  let a1 = Summary.create (Summary.A_k 1) in
+  ignore (Summary.observe_document a1 nested);
+  Alcotest.(check bool) "A(1) sees sec-in-sec nesting" false (Summary.nesting_free a1);
+  let a2 = Summary.create (Summary.A_k 2) in
+  ignore (Summary.observe_document a2 nested);
+  (* 2-suffixes differ: [r;sec] vs [sec;sec]. *)
+  Alcotest.(check bool) "A(2) separates them" true (Summary.nesting_free a2)
+
+let test_ak_serialization_roundtrip () =
+  let a2 = Summary.create ~alias:ieee_alias (Summary.A_k 2) in
+  ignore (Summary.observe_document a2 sample_doc);
+  let a2' = Summary.of_string (Summary.to_string a2) in
+  Alcotest.(check bool) "criterion survives" true
+    (Summary.criterion a2' = Summary.A_k 2);
+  check Alcotest.int "nodes" (Summary.node_count a2) (Summary.node_count a2');
+  let p = Pattern.parse "//bdy//p" in
+  check (Alcotest.list Alcotest.int) "match agrees" (Summary.match_pattern a2 p)
+    (Summary.match_pattern a2' p)
+
+let test_of_string_rejects_garbage () =
+  Alcotest.(check bool) "bad magic" true
+    (try
+       ignore (Summary.of_string "garbage!");
+       false
+     with Failure _ -> true)
+
+(* Property: observing random documents, extent sizes always sum to the
+   number of observed elements, and sid_of_path finds every observed
+   path. *)
+let gen_random_doc seed =
+  let rng = Trex_util.Prng.create seed in
+  let tags = [| "a"; "b"; "c"; "d" |] in
+  let rec build depth =
+    let tag = Trex_util.Prng.pick rng tags in
+    let n = if depth > 3 then 0 else Trex_util.Prng.int rng 4 in
+    let children = List.concat (List.init n (fun _ -> [ build (depth + 1) ])) in
+    Printf.sprintf "<%s>%s</%s>" tag (String.concat "" children) tag
+  in
+  build 0
+
+let prop_extents_partition =
+  QCheck.Test.make ~name:"extents partition observed elements" ~count:100 QCheck.int
+    (fun seed ->
+      let doc = doc_of (gen_random_doc seed) in
+      let s = Summary.create Summary.Incoming in
+      let observed = Summary.observe_document s doc in
+      let total =
+        List.fold_left (fun acc sid -> acc + Summary.extent_size s sid) 0 (Summary.sids s)
+      in
+      total = List.length observed
+      && List.for_all
+           (fun (sid, _) -> List.mem sid (Summary.sids s))
+           observed)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "trex_summary"
+    [
+      ( "alias",
+        [
+          Alcotest.test_case "basic" `Quick test_alias_basic;
+          Alcotest.test_case "conflict" `Quick test_alias_conflict;
+        ] );
+      ( "pattern",
+        [
+          Alcotest.test_case "parse" `Quick test_pattern_parse;
+          Alcotest.test_case "parse errors" `Quick test_pattern_parse_errors;
+          Alcotest.test_case "alias rewrite" `Quick test_pattern_alias;
+          Alcotest.test_case "matches_path" `Quick test_matches_path;
+          Alcotest.test_case "matches_suffix" `Quick test_matches_suffix;
+        ] );
+      ( "summary",
+        [
+          Alcotest.test_case "incoming extents" `Quick test_incoming_summary_extents;
+          Alcotest.test_case "alias merges synonyms" `Quick
+            test_alias_summary_merges_synonyms;
+          Alcotest.test_case "tag summary" `Quick test_tag_summary;
+          Alcotest.test_case "incoming refines tag" `Quick test_incoming_refines_tag;
+          Alcotest.test_case "match_pattern incoming" `Quick test_match_pattern_incoming;
+          Alcotest.test_case "match_pattern tag" `Quick
+            test_match_pattern_tag_uses_last_test;
+          Alcotest.test_case "nesting freedom" `Quick test_nesting_free;
+          Alcotest.test_case "observe empty path" `Quick test_observe_empty_path;
+          Alcotest.test_case "serialization roundtrip" `Quick
+            test_serialization_roundtrip;
+          Alcotest.test_case "of_string rejects garbage" `Quick
+            test_of_string_rejects_garbage;
+          qtest prop_extents_partition;
+        ] );
+      ( "a(k)",
+        [
+          Alcotest.test_case "invalid k" `Quick test_ak_invalid_k;
+          Alcotest.test_case "A(1) = tag partition" `Quick test_ak1_equals_tag_partition;
+          Alcotest.test_case "distinguishes by suffix" `Quick
+            test_ak_distinguishes_by_suffix;
+          Alcotest.test_case "match over-approximates" `Quick
+            test_ak_match_pattern_over_approximates;
+          Alcotest.test_case "extents partition" `Quick test_ak_extents_partition;
+          Alcotest.test_case "nesting detection" `Quick test_ak_nesting_detection;
+          Alcotest.test_case "serialization roundtrip" `Quick
+            test_ak_serialization_roundtrip;
+        ] );
+    ]

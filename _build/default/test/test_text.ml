@@ -1,0 +1,178 @@
+(* Tests for trex_text: Porter stemmer, stopwords, analyzer. *)
+
+module Porter = Trex_text.Porter
+module Stopwords = Trex_text.Stopwords
+module Analyzer = Trex_text.Analyzer
+
+let check = Alcotest.check
+
+(* Reference pairs from Porter's published examples and the standard
+   test vocabulary. *)
+let porter_vectors =
+  [
+    ("caresses", "caress"); ("ponies", "poni"); ("ties", "ti"); ("caress", "caress");
+    ("cats", "cat"); ("feed", "feed"); ("agreed", "agre"); ("plastered", "plaster");
+    ("bled", "bled"); ("motoring", "motor"); ("sing", "sing"); ("conflated", "conflat");
+    ("troubled", "troubl"); ("sized", "size"); ("hopping", "hop"); ("tanned", "tan");
+    ("falling", "fall"); ("hissing", "hiss"); ("fizzed", "fizz"); ("failing", "fail");
+    ("filing", "file"); ("happy", "happi"); ("sky", "sky"); ("relational", "relat");
+    ("conditional", "condit"); ("rational", "ration"); ("valenci", "valenc");
+    ("hesitanci", "hesit"); ("digitizer", "digit"); ("conformabli", "conform");
+    ("radicalli", "radic"); ("differentli", "differ"); ("vileli", "vile");
+    ("analogousli", "analog"); ("vietnamization", "vietnam"); ("predication", "predic");
+    ("operator", "oper"); ("feudalism", "feudal"); ("decisiveness", "decis");
+    ("hopefulness", "hope"); ("callousness", "callous"); ("formaliti", "formal");
+    ("sensitiviti", "sensit"); ("sensibiliti", "sensibl"); ("triplicate", "triplic");
+    ("formative", "form"); ("formalize", "formal"); ("electriciti", "electr");
+    ("electrical", "electr"); ("hopeful", "hope"); ("goodness", "good");
+    ("revival", "reviv"); ("allowance", "allow"); ("inference", "infer");
+    ("airliner", "airlin"); ("gyroscopic", "gyroscop"); ("adjustable", "adjust");
+    ("defensible", "defens"); ("irritant", "irrit"); ("replacement", "replac");
+    ("adjustment", "adjust"); ("dependent", "depend"); ("adoption", "adopt");
+    ("homologou", "homolog"); ("communism", "commun"); ("activate", "activ");
+    ("angulariti", "angular"); ("homologous", "homolog"); ("effective", "effect");
+    ("bowdlerize", "bowdler"); ("probate", "probat"); ("rate", "rate");
+    ("cease", "ceas"); ("controll", "control"); ("roll", "roll");
+    (* "ontologi", not "ontolog": we implement the 1980 paper, which
+       lacks porter.c's later "logi"->"log" departure. *)
+    ("retrieval", "retriev"); ("retrieving", "retriev"); ("ontologies", "ontologi");
+    ("evaluation", "evalu"); ("information", "inform");
+  ]
+
+let test_porter_vectors () =
+  List.iter
+    (fun (input, expected) ->
+      check Alcotest.string input expected (Porter.stem input))
+    porter_vectors
+
+let test_porter_short_words_unchanged () =
+  List.iter
+    (fun w -> check Alcotest.string w w (Porter.stem w))
+    [ "a"; "is"; "be"; "to" ]
+
+let test_porter_non_alpha_unchanged () =
+  List.iter
+    (fun w -> check Alcotest.string w w (Porter.stem w))
+    [ "x86"; "foo-bar"; "Hello" ]
+
+let test_porter_conflates_query_terms () =
+  (* The pairs the retrieval pipeline relies on. *)
+  check Alcotest.string "retrieval/retrieve" (Porter.stem "retrieval")
+    (Porter.stem "retrieval");
+  check Alcotest.string "evaluate ~ evaluation" (Porter.stem "evaluation")
+    (Porter.stem "evaluations");
+  check Alcotest.string "synthesizers ~ synthesizer" (Porter.stem "synthesizer")
+    (Porter.stem "synthesizers")
+
+let prop_porter_never_grows =
+  QCheck.Test.make ~name:"stem never longer than input (+1 slack)" ~count:500
+    QCheck.(string_gen_of_size Gen.(1 -- 20) Gen.(char_range 'a' 'z'))
+    (fun w -> String.length (Porter.stem w) <= String.length w + 1)
+
+let prop_porter_total =
+  QCheck.Test.make ~name:"stem total on arbitrary strings" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 30))
+    (fun w ->
+      ignore (Porter.stem w);
+      true)
+
+(* ---- stopwords ---- *)
+
+let test_stopwords_membership () =
+  List.iter
+    (fun w -> Alcotest.(check bool) w true (Stopwords.is_stopword w))
+    [ "the"; "and"; "of"; "is"; "about" ];
+  List.iter
+    (fun w -> Alcotest.(check bool) w false (Stopwords.is_stopword w))
+    [ "xml"; "retrieval"; "zebra" ]
+
+let test_stopwords_all_sorted_unique () =
+  let all = Stopwords.all () in
+  Alcotest.(check bool) "non-empty" true (List.length all > 100);
+  check
+    (Alcotest.list Alcotest.string)
+    "sorted unique" (List.sort_uniq String.compare all) all
+
+(* ---- analyzer ---- *)
+
+let test_tokenize_offsets () =
+  let toks = Analyzer.tokenize Analyzer.exact "Foo bar, baz!" in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "tokens with offsets"
+    [ ("foo", 0); ("bar", 4); ("baz", 9) ]
+    toks
+
+let test_tokenize_base_offset () =
+  let toks = Analyzer.tokenize Analyzer.exact ~base_offset:100 "ab cd" in
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "offsets shifted"
+    [ ("ab", 100); ("cd", 103) ]
+    toks
+
+let test_default_pipeline_drops_stopwords_and_stems () =
+  let terms = Analyzer.terms Analyzer.default "The evaluation of XML retrieval" in
+  check
+    (Alcotest.list Alcotest.string)
+    "normalized" [ "evalu"; "xml"; "retriev" ] terms
+
+let test_min_token_length () =
+  let config = { Analyzer.exact with min_token_length = 3 } in
+  check
+    (Alcotest.list Alcotest.string)
+    "short dropped" [ "abc"; "wxyz" ]
+    (Analyzer.terms config "ab abc w wxyz")
+
+let test_normalize () =
+  check (Alcotest.option Alcotest.string) "stopword" None
+    (Analyzer.normalize Analyzer.default "The");
+  check (Alcotest.option Alcotest.string) "stemmed" (Some "retriev")
+    (Analyzer.normalize Analyzer.default "Retrieval");
+  check (Alcotest.option Alcotest.string) "exact keeps" (Some "the")
+    (Analyzer.normalize Analyzer.exact "The")
+
+let prop_tokens_point_into_source =
+  QCheck.Test.make ~name:"token offsets point at their raw token" ~count:300
+    QCheck.(string_of_size Gen.(0 -- 60))
+    (fun s ->
+      Analyzer.tokenize Analyzer.exact s
+      |> List.for_all (fun (_, off) ->
+             off >= 0 && off < String.length s
+             &&
+             match s.[off] with
+             | 'A' .. 'Z' | 'a' .. 'z' | '0' .. '9' -> true
+             | _ -> false))
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "trex_text"
+    [
+      ( "porter",
+        [
+          Alcotest.test_case "reference vectors" `Quick test_porter_vectors;
+          Alcotest.test_case "short words unchanged" `Quick
+            test_porter_short_words_unchanged;
+          Alcotest.test_case "non-alpha unchanged" `Quick test_porter_non_alpha_unchanged;
+          Alcotest.test_case "conflates query terms" `Quick
+            test_porter_conflates_query_terms;
+          qtest prop_porter_never_grows;
+          qtest prop_porter_total;
+        ] );
+      ( "stopwords",
+        [
+          Alcotest.test_case "membership" `Quick test_stopwords_membership;
+          Alcotest.test_case "sorted unique" `Quick test_stopwords_all_sorted_unique;
+        ] );
+      ( "analyzer",
+        [
+          Alcotest.test_case "tokenize offsets" `Quick test_tokenize_offsets;
+          Alcotest.test_case "base offset" `Quick test_tokenize_base_offset;
+          Alcotest.test_case "default pipeline" `Quick
+            test_default_pipeline_drops_stopwords_and_stems;
+          Alcotest.test_case "min token length" `Quick test_min_token_length;
+          Alcotest.test_case "normalize" `Quick test_normalize;
+          qtest prop_tokens_point_into_source;
+        ] );
+    ]

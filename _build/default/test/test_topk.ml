@@ -1,0 +1,724 @@
+(* Tests for trex_topk: ERA, RPL/ERPL store, TA/ITA, Merge, strategy.
+
+   The central invariant, checked many ways: all strategies agree. ERA
+   and Merge return identical full rankings; TA/ITA return a top-k whose
+   scores match the ERA ranking (elements may differ only on exact score
+   ties at the k boundary). *)
+
+module Env = Trex_storage.Env
+module Summary = Trex_summary.Summary
+module Types = Trex_invindex.Types
+module Index = Trex_invindex.Index
+module Analyzer = Trex_text.Analyzer
+module Scorer = Trex_scoring.Scorer
+module Answer = Trex_topk.Answer
+module Era = Trex_topk.Era
+module Rpl = Trex_topk.Rpl
+module Ta = Trex_topk.Ta
+module Merge = Trex_topk.Merge
+module Strategy = Trex_topk.Strategy
+
+let check = Alcotest.check
+let scoring = Scorer.default
+
+(* ---- tiny hand-checkable fixture ---- *)
+
+let tiny_docs =
+  [
+    ("d0.xml", "<a><b>red fox red</b><b>dog</b></a>");
+    ("d1.xml", "<a><b>fox</b><c>red fox</c></a>");
+  ]
+
+let tiny () =
+  let env = Env.in_memory () in
+  let summary = Summary.create Summary.Incoming in
+  let index = Index.build ~env ~summary ~analyzer:Analyzer.exact (List.to_seq tiny_docs) in
+  (index, summary)
+
+let sid_of summary path = Option.get (Summary.sid_of_path summary path)
+
+let test_era_tiny_tf_counts () =
+  let index, summary = tiny () in
+  let sid_b = sid_of summary [ "a"; "b" ] in
+  let results, stats = Era.run index ~sids:[ sid_b ] ~terms:[ "red"; "fox" ] in
+  (* b elements containing red or fox: d0's first b (red x2, fox x1) and
+     d1's b (fox x1). d0's second b has neither. *)
+  check Alcotest.int "two results" 2 (List.length results);
+  let tf_of docid =
+    let r = List.find (fun (r : Era.result) -> r.element.Types.docid = docid) results in
+    Array.to_list r.tf
+  in
+  check (Alcotest.list Alcotest.int) "d0 tf" [ 2; 1 ] (tf_of 0);
+  check (Alcotest.list Alcotest.int) "d1 tf" [ 0; 1 ] (tf_of 1);
+  Alcotest.(check bool) "positions scanned" true (stats.positions_scanned > 0)
+
+let test_era_multiple_sids () =
+  let index, summary = tiny () in
+  let sid_b = sid_of summary [ "a"; "b" ] in
+  let sid_c = sid_of summary [ "a"; "c" ] in
+  let results, _ = Era.run index ~sids:[ sid_b; sid_c ] ~terms:[ "red" ] in
+  (* red appears in d0's first b and d1's c. *)
+  check Alcotest.int "two hits" 2 (List.length results);
+  let sids = List.map (fun (r : Era.result) -> r.element.Types.sid) results in
+  Alcotest.(check bool) "both extents" true
+    (List.mem sid_b sids && List.mem sid_c sids)
+
+let test_era_degenerate_inputs () =
+  let index, summary = tiny () in
+  let sid_b = sid_of summary [ "a"; "b" ] in
+  check Alcotest.int "no sids" 0
+    (List.length (fst (Era.run index ~sids:[] ~terms:[ "red" ])));
+  check Alcotest.int "no terms" 0
+    (List.length (fst (Era.run index ~sids:[ sid_b ] ~terms:[])));
+  check Alcotest.int "unknown term" 0
+    (List.length (fst (Era.run index ~sids:[ sid_b ] ~terms:[ "zzz" ])));
+  check Alcotest.int "unknown sid" 0
+    (List.length (fst (Era.run index ~sids:[ 9999 ] ~terms:[ "red" ])))
+
+let test_era_duplicate_sids_ignored () =
+  let index, summary = tiny () in
+  let sid_b = sid_of summary [ "a"; "b" ] in
+  let r1, _ = Era.run index ~sids:[ sid_b ] ~terms:[ "red"; "fox" ] in
+  let r2, _ = Era.run index ~sids:[ sid_b; sid_b; sid_b ] ~terms:[ "red"; "fox" ] in
+  check Alcotest.int "same results" (List.length r1) (List.length r2)
+
+(* ---- generated fixture shared by the agreement tests ---- *)
+
+let generated =
+  lazy
+    (let coll = Trex_corpus.Gen.ieee ~doc_count:40 ~seed:7 () in
+     let env = Env.in_memory () in
+     let summary = Summary.create ~alias:coll.alias Summary.Incoming in
+     let index = Index.build ~env ~summary (coll.docs ()) in
+     (index, summary))
+
+let queries_for_agreement index summary =
+  let translate nexi =
+    let q = Trex_nexi.Parser.parse nexi in
+    let t =
+      Trex_nexi.Translate.translate ~summary ~normalize:(Index.normalize_term index) q
+    in
+    (Trex_nexi.Translate.all_sids t, Trex_nexi.Translate.all_terms t)
+  in
+  List.map translate
+    [
+      "//article//sec[about(., introduction information retrieval)]";
+      "//sec[about(., code signing verification)]";
+      "//bdy//*[about(., model checking state)]";
+      "//article[about(., ontologies)]";
+    ]
+
+let era_answers index ~sids ~terms =
+  let results, _ = Era.run index ~sids ~terms in
+  Era.score_results index ~scoring ~terms results
+
+(* TA agreement modulo ties: identical score sequence, and each TA
+   element carries its exact ERA score. *)
+let ta_matches_era ~k (ta : Answer.t) (era : Answer.t) =
+  let era_top = Answer.top_k era k in
+  List.length ta = List.length era_top
+  && List.for_all2
+       (fun (a : Answer.entry) (b : Answer.entry) ->
+         Float.abs (a.score -. b.score) < 1e-9)
+       ta era_top
+  && List.for_all
+       (fun (a : Answer.entry) ->
+         List.exists
+           (fun (b : Answer.entry) ->
+             Types.compare_element a.element b.element = 0
+             && Float.abs (a.score -. b.score) < 1e-9)
+           era)
+       ta
+
+let test_merge_equals_era () =
+  let index, summary = Lazy.force generated in
+  List.iter
+    (fun (sids, terms) ->
+      ignore (Rpl.build index ~scoring ~sids ~terms ~kinds:[ Rpl.Erpl ] ());
+      let era = era_answers index ~sids ~terms in
+      let merge, _ = Merge.run index ~sids ~terms in
+      Alcotest.(check bool)
+        (Printf.sprintf "merge=era on %d sids/%d terms (%d answers)"
+           (List.length sids) (List.length terms) (Answer.size era))
+        true
+        (Answer.equal ~eps:1e-9 era merge))
+    (queries_for_agreement index summary)
+
+let test_ta_matches_era_at_many_k () =
+  let index, summary = Lazy.force generated in
+  List.iter
+    (fun (sids, terms) ->
+      ignore (Rpl.build index ~scoring ~sids ~terms ~kinds:[ Rpl.Rpl ] ());
+      let era = era_answers index ~sids ~terms in
+      List.iter
+        (fun k ->
+          let ta, _ = Ta.run index ~sids ~terms ~k () in
+          Alcotest.(check bool)
+            (Printf.sprintf "ta=era k=%d (%d answers)" k (Answer.size era))
+            true
+            (ta_matches_era ~k ta era))
+        [ 1; 2; 5; 10; 100; 100000 ])
+    (queries_for_agreement index summary)
+
+let test_ita_same_answers_as_ta () =
+  let index, summary = Lazy.force generated in
+  match queries_for_agreement index summary with
+  | (sids, terms) :: _ ->
+      ignore (Rpl.build index ~scoring ~sids ~terms ~kinds:[ Rpl.Rpl ] ());
+      let ta, _ = Ta.run index ~sids ~terms ~k:20 () in
+      let ita, stats = Ta.run index ~sids ~terms ~k:20 ~ideal_heap:true () in
+      Alcotest.(check bool) "same ranking" true (Answer.equal ta ita);
+      Alcotest.(check bool) "heap time measured" true (stats.heap_seconds >= 0.0)
+  | [] -> Alcotest.fail "no queries"
+
+let test_ta_invalid_k () =
+  let index, summary = Lazy.force generated in
+  ignore summary;
+  Alcotest.(check bool) "k=0 rejected" true
+    (try
+       ignore (Ta.run index ~sids:[ 1 ] ~terms:[ "x" ] ~k:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let test_ta_missing_rpl_raises () =
+  let index, _summary = tiny () in
+  Alcotest.(check bool) "missing list" true
+    (try
+       ignore (Ta.run index ~sids:[ 1 ] ~terms:[ "red" ] ~k:5 ());
+       false
+     with Rpl.Cursor.Missing_list _ -> true)
+
+let test_merge_missing_erpl_raises () =
+  let index, _summary = tiny () in
+  Alcotest.(check bool) "missing list" true
+    (try
+       ignore (Merge.run index ~sids:[ 1 ] ~terms:[ "red" ]);
+       false
+     with Rpl.Cursor.Missing_list _ -> true)
+
+(* ---- RPL / ERPL store ---- *)
+
+let test_rpl_build_and_catalog () =
+  let index, summary = tiny () in
+  let sid_b = sid_of summary [ "a"; "b" ] in
+  let sid_c = sid_of summary [ "a"; "c" ] in
+  let report =
+    Rpl.build index ~scoring ~sids:[ sid_b; sid_c ] ~terms:[ "red"; "fox" ]
+      ~kinds:[ Rpl.Rpl; Rpl.Erpl ] ()
+  in
+  check Alcotest.int "2 kinds x 2 terms x 2 sids" 8 (List.length report.pairs_built);
+  Alcotest.(check bool) "entries written" true (report.entries_written > 0);
+  Alcotest.(check bool) "is_materialized" true
+    (Rpl.is_materialized index Rpl.Rpl ~term:"red" ~sid:sid_b);
+  Alcotest.(check bool) "covers" true
+    (Rpl.covers index Rpl.Rpl ~sids:[ sid_b; sid_c ] ~terms:[ "red"; "fox" ]);
+  Alcotest.(check bool) "does not cover unknown term" false
+    (Rpl.covers index Rpl.Rpl ~sids:[ sid_b ] ~terms:[ "zzz" ]);
+  (* Idempotence. *)
+  let report2 =
+    Rpl.build index ~scoring ~sids:[ sid_b; sid_c ] ~terms:[ "red"; "fox" ]
+      ~kinds:[ Rpl.Rpl; Rpl.Erpl ] ()
+  in
+  check Alcotest.int "all reused" 8 report2.pairs_reused;
+  check Alcotest.int "nothing rebuilt" 0 (List.length report2.pairs_built);
+  check Alcotest.int "catalog size" 4 (List.length (Rpl.catalog index Rpl.Rpl))
+
+let test_rpl_cursor_descending_scores () =
+  let index, summary = Lazy.force generated in
+  match queries_for_agreement index summary with
+  | (sids, terms) :: _ ->
+      ignore (Rpl.build index ~scoring ~sids ~terms ~kinds:[ Rpl.Rpl ] ());
+      List.iter
+        (fun term ->
+          let c = Rpl.Cursor.create index Rpl.Rpl ~term ~sids in
+          let rec drain prev n =
+            match Rpl.Cursor.next c with
+            | None -> n
+            | Some e ->
+                Alcotest.(check bool) "descending" true (e.Rpl.score <= prev +. 1e-12);
+                drain e.Rpl.score (n + 1)
+          in
+          let n = drain infinity 0 in
+          check Alcotest.int "entries_read" n (Rpl.Cursor.entries_read c))
+        terms
+  | [] -> Alcotest.fail "no queries"
+
+let test_erpl_cursor_position_order () =
+  let index, summary = Lazy.force generated in
+  match queries_for_agreement index summary with
+  | (sids, terms) :: _ ->
+      ignore (Rpl.build index ~scoring ~sids ~terms ~kinds:[ Rpl.Erpl ] ());
+      List.iter
+        (fun term ->
+          let c = Rpl.Cursor.create index Rpl.Erpl ~term ~sids in
+          let rec drain prev =
+            match Rpl.Cursor.next c with
+            | None -> ()
+            | Some e ->
+                let pos = (e.Rpl.element.Types.docid, e.Rpl.element.Types.endpos) in
+                Alcotest.(check bool) "position order" true (pos > prev);
+                drain pos
+          in
+          drain (-1, -1))
+        terms
+  | [] -> Alcotest.fail "no queries"
+
+let test_rpl_drop () =
+  let index, summary = tiny () in
+  let sid_b = sid_of summary [ "a"; "b" ] in
+  ignore
+    (Rpl.build index ~scoring ~sids:[ sid_b ] ~terms:[ "red" ] ~kinds:[ Rpl.Rpl ] ());
+  Alcotest.(check bool) "present" true
+    (Rpl.is_materialized index Rpl.Rpl ~term:"red" ~sid:sid_b);
+  let bytes_before = Rpl.total_bytes index Rpl.Rpl in
+  Rpl.drop index Rpl.Rpl ~term:"red" ~sid:sid_b;
+  Alcotest.(check bool) "gone" false
+    (Rpl.is_materialized index Rpl.Rpl ~term:"red" ~sid:sid_b);
+  Alcotest.(check bool) "bytes decreased" true
+    (Rpl.total_bytes index Rpl.Rpl < bytes_before);
+  (* TA on the dropped list now fails. *)
+  Alcotest.(check bool) "ta fails after drop" true
+    (try
+       ignore (Ta.run index ~sids:[ sid_b ] ~terms:[ "red" ] ~k:1 ());
+       false
+     with Rpl.Cursor.Missing_list _ -> true)
+
+let test_rpl_empty_list_materialized () =
+  let index, summary = tiny () in
+  let sid_c = sid_of summary [ "a"; "c" ] in
+  (* "dog" never occurs under c: the list is empty but exists. *)
+  ignore
+    (Rpl.build index ~scoring ~sids:[ sid_c ] ~terms:[ "dog" ] ~kinds:[ Rpl.Rpl ] ());
+  Alcotest.(check bool) "materialized though empty" true
+    (Rpl.is_materialized index Rpl.Rpl ~term:"dog" ~sid:sid_c);
+  check Alcotest.int "no entries" 0 (Rpl.list_entries index Rpl.Rpl ~term:"dog" ~sid:sid_c);
+  (* TA can now run and returns nothing. *)
+  let answers, _ = Ta.run index ~sids:[ sid_c ] ~terms:[ "dog" ] ~k:5 () in
+  check Alcotest.int "no answers" 0 (List.length answers)
+
+(* ---- ERA vs a brute-force DOM oracle ---- *)
+
+(* Reference implementation: walk every document's DOM, and for every
+   element of the requested extents count the query-term occurrences in
+   its descendant text. ERA must produce exactly this. *)
+let naive_results docs summary analyzer ~sids ~terms =
+  let terms_arr = Array.of_list terms in
+  let out = ref [] in
+  List.iteri
+    (fun docid (_, xml) ->
+      let doc = Trex_xml.Dom.parse xml in
+      Trex_xml.Dom.iter_elements doc (fun path el ->
+          match Summary.sid_of_path summary path with
+          | Some sid when List.mem sid sids ->
+              let tokens =
+                Trex_text.Analyzer.terms analyzer (Trex_xml.Dom.text_content el)
+              in
+              let tf =
+                Array.map
+                  (fun term -> List.length (List.filter (( = ) term) tokens))
+                  terms_arr
+              in
+              if Array.exists (fun c -> c > 0) tf then
+                out :=
+                  ( {
+                      Types.sid;
+                      docid;
+                      endpos = el.end_pos;
+                      length = Trex_xml.Dom.length el;
+                    },
+                    Array.to_list tf )
+                  :: !out
+          | Some _ | None -> ()))
+    docs;
+  List.sort compare !out
+
+let test_era_matches_naive_oracle () =
+  let docs =
+    let coll = Trex_corpus.Gen.ieee ~doc_count:8 ~seed:31 () in
+    List.of_seq (coll.docs ())
+  in
+  let env = Env.in_memory () in
+  let summary = Summary.create Summary.Incoming in
+  let index = Index.build ~env ~summary (List.to_seq docs) in
+  let analyzer = Index.analyzer index in
+  List.iter
+    (fun (pattern, terms_raw) ->
+      let sids =
+        Summary.match_pattern summary (Trex_summary.Pattern.parse pattern)
+      in
+      let terms = List.filter_map (Trex_text.Analyzer.normalize analyzer) terms_raw in
+      let era, _ = Era.run index ~sids ~terms in
+      let era_normalized =
+        List.map (fun (r : Era.result) -> (r.element, Array.to_list r.tf)) era
+        |> List.sort compare
+      in
+      let naive = naive_results docs summary analyzer ~sids ~terms in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s x [%s]: %d results" pattern (String.concat "," terms)
+           (List.length naive))
+        true
+        (era_normalized = naive))
+    [
+      ("//sec", [ "information"; "retrieval" ]);
+      ("//article//p", [ "model"; "checking"; "state" ]);
+      ("//bdy//*", [ "music" ]);
+      ("//article", [ "ontologies"; "case"; "study" ]);
+      ("//fig//fgc", [ "evaluation" ]);
+    ]
+
+let test_per_term_scores_sum_to_combined () =
+  (* The per-term scores that fill RPLs must sum to the combined score
+     ERA reports for the same element. *)
+  let index, summary = Lazy.force generated in
+  match queries_for_agreement index summary with
+  | (sids, terms) :: _ ->
+      let results, _ = Era.run index ~sids ~terms in
+      let combined = Era.score_results index ~scoring ~terms results in
+      let per_term = Era.per_term_scores index ~scoring ~terms results in
+      let key (e : Types.element) = (e.docid, e.endpos) in
+      let sums = Hashtbl.create 64 in
+      List.iter
+        (fun (_, entries) ->
+          List.iter
+            (fun (el, s) ->
+              Hashtbl.replace sums (key el)
+                (s +. Option.value ~default:0.0 (Hashtbl.find_opt sums (key el))))
+            entries)
+        per_term;
+      List.iter
+        (fun (entry : Answer.entry) ->
+          let sum = Option.value ~default:0.0 (Hashtbl.find_opt sums (key entry.element)) in
+          Alcotest.(check (float 1e-9)) "per-term sums match" entry.score sum)
+        combined
+  | [] -> Alcotest.fail "no queries"
+
+(* Randomized cross-strategy agreement: fresh corpus per seed, all four
+   strategies on a pool of queries. *)
+let prop_strategies_agree_on_random_corpora =
+  QCheck.Test.make ~name:"strategies agree on random corpora" ~count:6
+    QCheck.small_nat (fun seed ->
+      let coll = Trex_corpus.Gen.ieee ~doc_count:12 ~seed:(seed + 100) () in
+      let env = Env.in_memory () in
+      let summary = Summary.create ~alias:coll.alias Summary.Incoming in
+      let index = Index.build ~env ~summary (coll.docs ()) in
+      let translate nexi =
+        let t =
+          Trex_nexi.Translate.translate ~summary
+            ~normalize:(Index.normalize_term index)
+            (Trex_nexi.Parser.parse nexi)
+        in
+        (Trex_nexi.Translate.all_sids t, Trex_nexi.Translate.all_terms t)
+      in
+      List.for_all
+        (fun nexi ->
+          let sids, terms = translate nexi in
+          if sids = [] || terms = [] then true
+          else begin
+            ignore (Rpl.build index ~scoring ~sids ~terms ~kinds:[ Rpl.Rpl; Rpl.Erpl ] ());
+            let era = era_answers index ~sids ~terms in
+            let merge, _ = Merge.run index ~sids ~terms in
+            let ta, _ = Ta.run index ~sids ~terms ~k:7 () in
+            Answer.equal ~eps:1e-9 era merge && ta_matches_era ~k:7 ta era
+          end)
+        [
+          "//sec[about(., information retrieval)]";
+          "//article[about(., music)]";
+          "//bdy//*[about(., state space)]";
+        ])
+
+(* ---- prefix-materialized RPLs (paper §4's space optimization) ---- *)
+
+let test_prefix_rpl_saves_space_and_stays_correct () =
+  let index, summary = Lazy.force generated in
+  match queries_for_agreement index summary with
+  | (sids, terms) :: _ ->
+      (* Reference: full lists. *)
+      ignore (Rpl.build index ~scoring ~sids ~terms ~kinds:[ Rpl.Rpl ] ());
+      let bytes_now () =
+        List.fold_left
+          (fun acc term ->
+            List.fold_left
+              (fun acc sid -> acc + Rpl.list_bytes index Rpl.Rpl ~term ~sid)
+              acc sids)
+          0 terms
+      in
+      let full_bytes = bytes_now () in
+      let era = era_answers index ~sids ~terms in
+      let reference, _ = Ta.run index ~sids ~terms ~k:3 () in
+      let drop_all () =
+        List.iter
+          (fun term -> List.iter (fun sid -> Rpl.drop index Rpl.Rpl ~term ~sid) sids)
+          terms
+      in
+      (* Whatever happens, leave the shared fixture with full lists. *)
+      Fun.protect
+        ~finally:(fun () ->
+          drop_all ();
+          ignore (Rpl.build index ~scoring ~sids ~terms ~kinds:[ Rpl.Rpl ] ()))
+        (fun () ->
+          (* Rebuild truncated to a 40-entry prefix per list. *)
+          drop_all ();
+          ignore
+            (Rpl.build index ~scoring ~sids ~terms ~kinds:[ Rpl.Rpl ]
+               ~rpl_prefix:40 ());
+          Alcotest.(check bool) "prefix saves space" true (bytes_now () < full_bytes);
+          (* Small k: either the prefixes certify the answer — then it
+             must be exactly right — or TA honestly refuses. *)
+          (match Ta.run index ~sids ~terms ~k:3 () with
+          | ta, _ ->
+              Alcotest.(check bool) "k=3 correct when certified" true
+                (Answer.equal ta reference && ta_matches_era ~k:3 ta era)
+          | exception Ta.Truncated_rpl -> ());
+          (* Huge k: the prefixes can never certify the answer. *)
+          Alcotest.(check bool) "huge k refused" true
+            (try
+               ignore (Ta.run index ~sids ~terms ~k:(Answer.size era + 1000) ());
+               false
+             with Ta.Truncated_rpl -> true))
+  | [] -> Alcotest.fail "no queries"
+
+(* Deterministic certification semantics on the tiny fixture: "fox" has
+   two b-extent entries; a 1-entry prefix certifies k=1 (the bound
+   proves nothing dropped can beat the top entry's seen score... the
+   threshold equals the bound, which the stored top score matches) and
+   must refuse k=2. *)
+let test_prefix_rpl_certification_boundary () =
+  let index, summary = tiny () in
+  let sid_b = sid_of summary [ "a"; "b" ] in
+  ignore
+    (Rpl.build index ~scoring ~sids:[ sid_b ] ~terms:[ "fox" ] ~kinds:[ Rpl.Rpl ]
+       ~rpl_prefix:1 ());
+  Alcotest.(check bool) "bound positive" true
+    (Rpl.list_bound index Rpl.Rpl ~term:"fox" ~sid:sid_b > 0.0);
+  check Alcotest.int "one entry kept" 1
+    (Rpl.list_entries index Rpl.Rpl ~term:"fox" ~sid:sid_b);
+  let top1, stats = Ta.run index ~sids:[ sid_b ] ~terms:[ "fox" ] ~k:1 () in
+  check Alcotest.int "k=1 answered" 1 (List.length top1);
+  check Alcotest.int "read only the prefix" 1 stats.sorted_accesses;
+  Alcotest.(check bool) "k=2 refused" true
+    (try
+       ignore (Ta.run index ~sids:[ sid_b ] ~terms:[ "fox" ] ~k:2 ());
+       false
+     with Ta.Truncated_rpl -> true)
+
+(* ---- full-term RPLs (the paper's skip-scanned layout) ---- *)
+
+let test_full_rpl_build_and_skipping_ta () =
+  let index, summary = Lazy.force generated in
+  match queries_for_agreement index summary with
+  | (sids, terms) :: _ ->
+      ignore (Rpl.build index ~scoring ~sids ~terms ~kinds:[ Rpl.Rpl ] ());
+      let report = Rpl.Full.build index ~scoring ~terms in
+      Alcotest.(check bool) "entries written" true (report.entries_written > 0);
+      List.iter
+        (fun term ->
+          Alcotest.(check bool) ("materialized " ^ term) true
+            (Rpl.Full.is_materialized index ~term);
+          (* The full list covers every extent, so it is at least as
+             large as the query's merged per-sid lists. *)
+          let merged =
+            List.fold_left
+              (fun acc sid -> acc + Rpl.list_entries index Rpl.Rpl ~term ~sid)
+              0 sids
+          in
+          Alcotest.(check bool) "full >= merged" true
+            (Rpl.Full.list_entries index ~term >= merged))
+        terms;
+      (* Idempotent. *)
+      let report2 = Rpl.Full.build index ~scoring ~terms in
+      check Alcotest.int "reused" (List.length terms) report2.pairs_reused;
+      (* Skip-scanning TA agrees with the default layout. *)
+      List.iter
+        (fun k ->
+          let default_ta, _ = Ta.run index ~sids ~terms ~k () in
+          let full_ta, stats = Ta.run index ~sids ~terms ~k ~use_full_rpls:true () in
+          Alcotest.(check bool)
+            (Printf.sprintf "same scores at k=%d" k)
+            true
+            (List.for_all2
+               (fun (a : Answer.entry) (b : Answer.entry) ->
+                 Float.abs (a.score -. b.score) < 1e-9)
+               default_ta full_ta);
+          Alcotest.(check bool) "reads include skips" true
+            (stats.sorted_accesses >= stats.skipped_accesses))
+        [ 1; 10; 1000 ];
+      (* Querying a single sid forces skipping. *)
+      let one_sid = [ List.hd sids ] in
+      ignore (Rpl.build index ~scoring ~sids:one_sid ~terms ~kinds:[ Rpl.Rpl ] ());
+      let _, stats = Ta.run index ~sids:one_sid ~terms ~k:100000 ~use_full_rpls:true () in
+      Alcotest.(check bool) "skips happen on narrow queries" true
+        (stats.skipped_accesses > 0)
+  | [] -> Alcotest.fail "no queries"
+
+let test_full_rpl_missing_and_drop () =
+  let index, summary = tiny () in
+  ignore summary;
+  Alcotest.(check bool) "missing raises" true
+    (try
+       ignore (Rpl.Full.cursor index ~term:"red" ~sids:[ 1 ]);
+       false
+     with Rpl.Full.Missing _ -> true);
+  ignore (Rpl.Full.build index ~scoring ~terms:[ "red" ]);
+  Alcotest.(check bool) "built" true (Rpl.Full.is_materialized index ~term:"red");
+  Rpl.Full.drop index ~term:"red";
+  Alcotest.(check bool) "dropped" false (Rpl.Full.is_materialized index ~term:"red")
+
+let test_full_rpl_descending_and_complete () =
+  let index, summary = tiny () in
+  let sid_b = sid_of summary [ "a"; "b" ] in
+  let sid_c = sid_of summary [ "a"; "c" ] in
+  ignore (Rpl.Full.build index ~scoring ~terms:[ "fox" ]);
+  let c = Rpl.Full.cursor index ~term:"fox" ~sids:[ sid_b; sid_c ] in
+  let rec drain prev acc =
+    match Rpl.Full.next c with
+    | None -> List.rev acc
+    | Some e ->
+        Alcotest.(check bool) "descending" true (e.Rpl.score <= prev +. 1e-12);
+        drain e.Rpl.score (e :: acc)
+  in
+  let entries = drain infinity [] in
+  (* fox appears in 3 elements (2 b's, 1 c). *)
+  check Alcotest.int "all extents covered" 3 (List.length entries)
+
+(* ---- strategy ---- *)
+
+let test_strategy_availability () =
+  let index, summary = tiny () in
+  let sid_b = sid_of summary [ "a"; "b" ] in
+  let avail () = Strategy.available index ~sids:[ sid_b ] ~terms:[ "red" ] in
+  check (Alcotest.list Alcotest.string) "only era"
+    [ "ERA" ]
+    (List.map Strategy.method_to_string (avail ()));
+  ignore
+    (Rpl.build index ~scoring ~sids:[ sid_b ] ~terms:[ "red" ] ~kinds:[ Rpl.Rpl ] ());
+  check (Alcotest.list Alcotest.string) "era+ta"
+    [ "ERA"; "TA"; "ITA" ]
+    (List.map Strategy.method_to_string (avail ()));
+  ignore
+    (Rpl.build index ~scoring ~sids:[ sid_b ] ~terms:[ "red" ] ~kinds:[ Rpl.Erpl ] ());
+  check (Alcotest.list Alcotest.string) "all"
+    [ "ERA"; "TA"; "ITA"; "Merge" ]
+    (List.map Strategy.method_to_string (avail ()))
+
+let test_strategy_choose () =
+  let index, summary = Lazy.force generated in
+  match queries_for_agreement index summary with
+  | (sids, terms) :: _ ->
+      ignore (Rpl.build index ~scoring ~sids ~terms ~kinds:[ Rpl.Rpl; Rpl.Erpl ] ());
+      let total =
+        List.fold_left
+          (fun acc term ->
+            List.fold_left
+              (fun acc sid -> acc + Rpl.list_entries index Rpl.Rpl ~term ~sid)
+              acc sids)
+          0 terms
+      in
+      let small_k = Strategy.choose index ~sids ~terms ~k:1 in
+      let large_k = Strategy.choose index ~sids ~terms ~k:(max 1 total) in
+      Alcotest.(check bool) "tiny k prefers TA" true (small_k = Strategy.Ta_method);
+      Alcotest.(check bool) "huge k prefers Merge" true (large_k = Strategy.Merge_method)
+  | [] -> Alcotest.fail "no queries"
+
+let test_strategy_choose_without_indexes () =
+  let index, _ = tiny () in
+  check Alcotest.string "era fallback" "ERA"
+    (Strategy.method_to_string (Strategy.choose index ~sids:[ 1 ] ~terms:[ "red" ] ~k:5))
+
+let test_strategy_race () =
+  let index, summary = tiny () in
+  let sid_b = sid_of summary [ "a"; "b" ] in
+  (* With only the base index the race falls back to ERA. *)
+  let o = Strategy.race index ~scoring ~sids:[ sid_b ] ~terms:[ "red" ] ~k:5 in
+  check Alcotest.string "fallback" "ERA" (Strategy.method_to_string o.Strategy.method_used);
+  ignore
+    (Rpl.build index ~scoring ~sids:[ sid_b ] ~terms:[ "red" ]
+       ~kinds:[ Rpl.Rpl; Rpl.Erpl ] ());
+  let o = Strategy.race index ~scoring ~sids:[ sid_b ] ~terms:[ "red" ] ~k:5 in
+  Alcotest.(check bool) "winner is ta or merge" true
+    (o.Strategy.method_used = Strategy.Ta_method
+    || o.Strategy.method_used = Strategy.Merge_method);
+  Alcotest.(check bool) "race detail" true
+    (String.length o.Strategy.detail > 0 && o.Strategy.answers <> [])
+
+let test_strategy_evaluate_dispatch () =
+  let index, summary = tiny () in
+  let sid_b = sid_of summary [ "a"; "b" ] in
+  ignore
+    (Rpl.build index ~scoring ~sids:[ sid_b ] ~terms:[ "red"; "fox" ]
+       ~kinds:[ Rpl.Rpl; Rpl.Erpl ] ());
+  List.iter
+    (fun m ->
+      let o =
+        Strategy.evaluate index ~scoring ~sids:[ sid_b ] ~terms:[ "red"; "fox" ] ~k:5 m
+      in
+      Alcotest.(check bool)
+        (Strategy.method_to_string m ^ " returns answers")
+        true
+        (List.length o.Strategy.answers > 0);
+      Alcotest.(check bool) "elapsed sane" true (o.Strategy.elapsed_seconds >= 0.0))
+    Strategy.all_methods
+
+let () =
+  Alcotest.run "trex_topk"
+    [
+      ( "era",
+        [
+          Alcotest.test_case "tf counts" `Quick test_era_tiny_tf_counts;
+          Alcotest.test_case "multiple sids" `Quick test_era_multiple_sids;
+          Alcotest.test_case "degenerate inputs" `Quick test_era_degenerate_inputs;
+          Alcotest.test_case "duplicate sids" `Quick test_era_duplicate_sids_ignored;
+          Alcotest.test_case "matches brute-force oracle" `Quick
+            test_era_matches_naive_oracle;
+          Alcotest.test_case "per-term scores sum to combined" `Quick
+            test_per_term_scores_sum_to_combined;
+          QCheck_alcotest.to_alcotest prop_strategies_agree_on_random_corpora;
+        ] );
+      ( "agreement",
+        [
+          Alcotest.test_case "merge equals era" `Quick test_merge_equals_era;
+          Alcotest.test_case "ta matches era across k" `Quick
+            test_ta_matches_era_at_many_k;
+          Alcotest.test_case "ita equals ta" `Quick test_ita_same_answers_as_ta;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "ta invalid k" `Quick test_ta_invalid_k;
+          Alcotest.test_case "ta missing rpl" `Quick test_ta_missing_rpl_raises;
+          Alcotest.test_case "merge missing erpl" `Quick test_merge_missing_erpl_raises;
+        ] );
+      ( "rpl",
+        [
+          Alcotest.test_case "build and catalog" `Quick test_rpl_build_and_catalog;
+          Alcotest.test_case "rpl cursor descending" `Quick
+            test_rpl_cursor_descending_scores;
+          Alcotest.test_case "erpl cursor position order" `Quick
+            test_erpl_cursor_position_order;
+          Alcotest.test_case "drop" `Quick test_rpl_drop;
+          Alcotest.test_case "empty list materialized" `Quick
+            test_rpl_empty_list_materialized;
+        ] );
+      ( "prefix-rpl",
+        [
+          Alcotest.test_case "saves space, stays correct" `Quick
+            test_prefix_rpl_saves_space_and_stays_correct;
+          Alcotest.test_case "certification boundary" `Quick
+            test_prefix_rpl_certification_boundary;
+        ] );
+      ( "full-rpl",
+        [
+          Alcotest.test_case "build + skipping TA" `Quick
+            test_full_rpl_build_and_skipping_ta;
+          Alcotest.test_case "missing and drop" `Quick test_full_rpl_missing_and_drop;
+          Alcotest.test_case "descending and complete" `Quick
+            test_full_rpl_descending_and_complete;
+        ] );
+      ( "strategy",
+        [
+          Alcotest.test_case "availability" `Quick test_strategy_availability;
+          Alcotest.test_case "choose by k" `Quick test_strategy_choose;
+          Alcotest.test_case "choose without indexes" `Quick
+            test_strategy_choose_without_indexes;
+          Alcotest.test_case "race" `Quick test_strategy_race;
+          Alcotest.test_case "evaluate dispatch" `Quick test_strategy_evaluate_dispatch;
+        ] );
+    ]

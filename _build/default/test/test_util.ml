@@ -1,0 +1,315 @@
+(* Tests for trex_util: codecs, PRNG, Zipf, heap, stop-clock, counters. *)
+
+module Codec = Trex_util.Codec
+module Prng = Trex_util.Prng
+module Zipf = Trex_util.Zipf
+module Heap = Trex_util.Heap
+module Stopclock = Trex_util.Stopclock
+module Counters = Trex_util.Counters
+
+let check = Alcotest.check
+
+(* ---- codec unit tests ---- *)
+
+let test_int_key_roundtrip () =
+  List.iter
+    (fun n ->
+      let k = Codec.key_of_int n in
+      check Alcotest.int "8 bytes" 8 (String.length k);
+      let n', next = Codec.int_of_key k ~pos:0 in
+      check Alcotest.int "roundtrip" n n';
+      check Alcotest.int "consumed" 8 next)
+    [ 0; 1; -1; 42; max_int; min_int; 1 lsl 40; -(1 lsl 40) ]
+
+let test_int_key_order () =
+  let pairs = [ (min_int, -1); (-1, 0); (0, 1); (1, max_int); (-500, 500) ] in
+  List.iter
+    (fun (a, b) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%d < %d" a b)
+        true
+        (String.compare (Codec.key_of_int a) (Codec.key_of_int b) < 0))
+    pairs
+
+let test_string_key_escaping () =
+  let s = "a\x00b\x00\x00c" in
+  let k = Codec.key_of_string s in
+  let s', _ = Codec.string_of_key k ~pos:0 in
+  check Alcotest.string "NUL roundtrip" s s'
+
+let test_string_key_prefix_free () =
+  (* "ab" vs "ab\x00c": neither encoded key may be a prefix of the other
+     in a way that breaks composite ordering. *)
+  let a = Codec.key_of_string "ab" and b = Codec.key_of_string "abc" in
+  Alcotest.(check bool) "ab < abc" true (String.compare a b < 0);
+  let a2 = Codec.concat_keys [ Codec.key_of_string "ab"; Codec.key_of_int 9 ] in
+  let b2 = Codec.concat_keys [ Codec.key_of_string "abc"; Codec.key_of_int 0 ] in
+  Alcotest.(check bool) "composite order follows first field" true
+    (String.compare a2 b2 < 0)
+
+let test_float_key_order () =
+  let vals = [ -1e10; -1.5; -0.0; 0.0; 1e-9; 1.0; 3.14; 1e10 ] in
+  let rec pairs = function
+    | a :: (b :: _ as rest) ->
+        if a < b then
+          Alcotest.(check bool)
+            (Printf.sprintf "%g < %g" a b)
+            true
+            (String.compare (Codec.key_of_float a) (Codec.key_of_float b) < 0);
+        pairs rest
+    | _ -> ()
+  in
+  pairs vals
+
+let test_varint_roundtrip () =
+  let b = Codec.Buf.create () in
+  let values = [ 0; 1; -1; 63; 64; -64; 1000000; -1000000; max_int / 2 ] in
+  List.iter (Codec.Buf.add_varint b) values;
+  let r = Codec.Reader.of_string (Codec.Buf.contents b) in
+  List.iter
+    (fun v -> check Alcotest.int "varint" v (Codec.Reader.varint r))
+    values;
+  Alcotest.(check bool) "at end" true (Codec.Reader.at_end r)
+
+let test_buf_string_float () =
+  let b = Codec.Buf.create () in
+  Codec.Buf.add_string b "hello";
+  Codec.Buf.add_float b 2.5;
+  Codec.Buf.add_string b "";
+  let r = Codec.Reader.of_string (Codec.Buf.contents b) in
+  check Alcotest.string "string" "hello" (Codec.Reader.string r);
+  check (Alcotest.float 0.0) "float" 2.5 (Codec.Reader.float r);
+  check Alcotest.string "empty string" "" (Codec.Reader.string r)
+
+let test_reader_truncated () =
+  let r = Codec.Reader.of_string "\x05ab" in
+  Alcotest.check_raises "truncated string" Codec.Reader.Truncated (fun () ->
+      ignore (Codec.Reader.string r))
+
+(* ---- codec property tests ---- *)
+
+let prop_int_key_order =
+  QCheck.Test.make ~name:"int key order matches int order" ~count:500
+    QCheck.(pair int int)
+    (fun (a, b) ->
+      let ka = Codec.key_of_int a and kb = Codec.key_of_int b in
+      compare a b = compare (String.compare ka kb) 0 |> ignore;
+      (* signum comparison *)
+      let sgn x = compare x 0 in
+      sgn (compare a b) = sgn (String.compare ka kb))
+
+let prop_string_key_order =
+  QCheck.Test.make ~name:"string key order matches string order" ~count:500
+    QCheck.(pair (string_of_size Gen.(0 -- 20)) (string_of_size Gen.(0 -- 20)))
+    (fun (a, b) ->
+      let sgn x = compare x 0 in
+      sgn (String.compare a b)
+      = sgn (String.compare (Codec.key_of_string a) (Codec.key_of_string b)))
+
+let prop_string_key_roundtrip =
+  QCheck.Test.make ~name:"string key roundtrip" ~count:500
+    QCheck.(string_of_size Gen.(0 -- 40))
+    (fun s ->
+      let decoded, _ = Codec.string_of_key (Codec.key_of_string s) ~pos:0 in
+      decoded = s)
+
+let prop_varint_roundtrip =
+  QCheck.Test.make ~name:"varint roundtrip" ~count:500 QCheck.int (fun n ->
+      let b = Codec.Buf.create () in
+      Codec.Buf.add_varint b n;
+      Codec.Reader.varint (Codec.Reader.of_string (Codec.Buf.contents b)) = n)
+
+let prop_float_key_order =
+  QCheck.Test.make ~name:"float key order matches float order" ~count:500
+    QCheck.(pair (float_bound_exclusive 1e15) (float_bound_exclusive 1e15))
+    (fun (a, b) ->
+      let sgn x = compare x 0 in
+      sgn (compare a b)
+      = sgn (String.compare (Codec.key_of_float a) (Codec.key_of_float b)))
+
+(* ---- PRNG ---- *)
+
+let test_prng_deterministic () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 50 do
+    check Alcotest.int "same stream" (Prng.int a 1000) (Prng.int b 1000)
+  done
+
+let test_prng_bounds () =
+  let rng = Prng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  for _ = 1 to 1000 do
+    let f = Prng.float rng 3.0 in
+    Alcotest.(check bool) "float in range" true (f >= 0.0 && f < 3.0)
+  done
+
+let test_prng_split_independent () =
+  let a = Prng.create 99 in
+  let b = Prng.split a in
+  let va = Prng.int a 1000000 in
+  let vb = Prng.int b 1000000 in
+  Alcotest.(check bool) "streams differ" true (va <> vb)
+
+let test_prng_shuffle_permutation () =
+  let rng = Prng.create 3 in
+  let arr = Array.init 30 (fun i -> i) in
+  Prng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  check (Alcotest.array Alcotest.int) "permutation" (Array.init 30 (fun i -> i)) sorted
+
+(* ---- Zipf ---- *)
+
+let test_zipf_rank0_most_frequent () =
+  let z = Zipf.create 100 in
+  let rng = Prng.create 5 in
+  let counts = Array.make 100 0 in
+  for _ = 1 to 20000 do
+    let r = Zipf.sample z rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  Alcotest.(check bool) "rank0 beats rank10" true (counts.(0) > counts.(10));
+  Alcotest.(check bool) "rank1 beats rank50" true (counts.(1) > counts.(50))
+
+let test_zipf_mass_sums_to_one () =
+  let z = Zipf.create 50 in
+  let total = ref 0.0 in
+  for r = 0 to 49 do
+    total := !total +. Zipf.expected_frequency z r
+  done;
+  check (Alcotest.float 1e-9) "mass" 1.0 !total
+
+let test_zipf_invalid () =
+  Alcotest.check_raises "n=0" (Invalid_argument "Zipf.create") (fun () ->
+      ignore (Zipf.create 0))
+
+(* ---- Heap ---- *)
+
+module Int_heap = Heap.Make (Int)
+
+let test_heap_basic () =
+  let h = Int_heap.create () in
+  List.iter (Int_heap.push h) [ 5; 3; 8; 1; 9; 2 ];
+  check Alcotest.int "length" 6 (Int_heap.length h);
+  check (Alcotest.option Alcotest.int) "peek" (Some 1) (Int_heap.peek h);
+  check (Alcotest.list Alcotest.int) "sorted drain" [ 1; 2; 3; 5; 8; 9 ]
+    (Int_heap.to_sorted_list h)
+
+let test_heap_push_pop () =
+  let h = Int_heap.create () in
+  check Alcotest.int "push_pop empty" 7 (Int_heap.push_pop h 7);
+  List.iter (Int_heap.push h) [ 4; 6 ];
+  check Alcotest.int "push_pop below min" 1 (Int_heap.push_pop h 1);
+  check Alcotest.int "push_pop above min" 4 (Int_heap.push_pop h 9);
+  check Alcotest.int "size unchanged" 2 (Int_heap.length h)
+
+let test_heap_counts_operations () =
+  let h = Int_heap.create () in
+  List.iter (Int_heap.push h) [ 3; 1; 2 ];
+  Alcotest.(check bool) "ops counted" true (Int_heap.operations h > 0)
+
+let prop_heap_sorts =
+  QCheck.Test.make ~name:"heap drain equals sort" ~count:300
+    QCheck.(list int)
+    (fun l ->
+      let h = Int_heap.create () in
+      List.iter (Int_heap.push h) l;
+      Int_heap.to_sorted_list h = List.sort compare l)
+
+(* ---- Stopclock ---- *)
+
+let spin seconds =
+  let t0 = Unix.gettimeofday () in
+  while Unix.gettimeofday () -. t0 < seconds do
+    ()
+  done
+
+let test_stopclock_pause_excludes_time () =
+  let c = Stopclock.create () in
+  spin 0.01;
+  Stopclock.pause c;
+  spin 0.03;
+  Stopclock.resume c;
+  spin 0.01;
+  let e = Stopclock.elapsed c in
+  let p = Stopclock.paused_time c in
+  Alcotest.(check bool) "elapsed excludes pause" true (e < 0.03);
+  Alcotest.(check bool) "paused time recorded" true (p >= 0.025)
+
+let test_stopclock_idempotent_pause () =
+  let c = Stopclock.create () in
+  Stopclock.pause c;
+  Stopclock.pause c;
+  Stopclock.resume c;
+  Stopclock.resume c;
+  Alcotest.(check bool) "still sane" true (Stopclock.elapsed c >= 0.0)
+
+(* ---- Counters ---- *)
+
+let test_counters () =
+  let c = Counters.create () in
+  Counters.bump c "a";
+  Counters.bump c "a";
+  Counters.add c "b" 5;
+  check Alcotest.int "a" 2 (Counters.get c "a");
+  check Alcotest.int "b" 5 (Counters.get c "b");
+  check Alcotest.int "missing" 0 (Counters.get c "zzz");
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "to_list sorted"
+    [ ("a", 2); ("b", 5) ]
+    (Counters.to_list c);
+  Counters.reset c;
+  check Alcotest.int "after reset" 0 (Counters.get c "a")
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "trex_util"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "int key roundtrip" `Quick test_int_key_roundtrip;
+          Alcotest.test_case "int key order" `Quick test_int_key_order;
+          Alcotest.test_case "string key escaping" `Quick test_string_key_escaping;
+          Alcotest.test_case "string key prefix-free" `Quick test_string_key_prefix_free;
+          Alcotest.test_case "float key order" `Quick test_float_key_order;
+          Alcotest.test_case "varint roundtrip" `Quick test_varint_roundtrip;
+          Alcotest.test_case "buf string/float" `Quick test_buf_string_float;
+          Alcotest.test_case "reader truncated" `Quick test_reader_truncated;
+          qtest prop_int_key_order;
+          qtest prop_string_key_order;
+          qtest prop_string_key_roundtrip;
+          qtest prop_varint_roundtrip;
+          qtest prop_float_key_order;
+        ] );
+      ( "prng",
+        [
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "bounds" `Quick test_prng_bounds;
+          Alcotest.test_case "split independent" `Quick test_prng_split_independent;
+          Alcotest.test_case "shuffle is a permutation" `Quick test_prng_shuffle_permutation;
+        ] );
+      ( "zipf",
+        [
+          Alcotest.test_case "rank0 most frequent" `Quick test_zipf_rank0_most_frequent;
+          Alcotest.test_case "mass sums to one" `Quick test_zipf_mass_sums_to_one;
+          Alcotest.test_case "invalid size" `Quick test_zipf_invalid;
+        ] );
+      ( "heap",
+        [
+          Alcotest.test_case "basic" `Quick test_heap_basic;
+          Alcotest.test_case "push_pop" `Quick test_heap_push_pop;
+          Alcotest.test_case "operation counting" `Quick test_heap_counts_operations;
+          qtest prop_heap_sorts;
+        ] );
+      ( "stopclock",
+        [
+          Alcotest.test_case "pause excludes time" `Quick test_stopclock_pause_excludes_time;
+          Alcotest.test_case "idempotent pause/resume" `Quick test_stopclock_idempotent_pause;
+        ] );
+      ("counters", [ Alcotest.test_case "basic" `Quick test_counters ]);
+    ]

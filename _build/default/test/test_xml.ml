@@ -1,0 +1,246 @@
+(* Tests for trex_xml: escaping, SAX parser, DOM, positions. *)
+
+module Sax = Trex_xml.Sax
+module Dom = Trex_xml.Dom
+module Escape = Trex_xml.Escape
+module Prng = Trex_util.Prng
+
+let check = Alcotest.check
+
+(* ---- escaping ---- *)
+
+let test_escape_roundtrip () =
+  let s = "a < b && c > \"d\" 'e'" in
+  check Alcotest.string "text" s (Escape.unescape (Escape.escape_text s));
+  check Alcotest.string "attr" s (Escape.unescape (Escape.escape_attr s))
+
+let test_numeric_entities () =
+  check Alcotest.string "decimal" "A" (Escape.unescape "&#65;");
+  check Alcotest.string "hex" "A" (Escape.unescape "&#x41;");
+  check Alcotest.string "two-byte utf8" "\xc3\xa9" (Escape.unescape "&#233;")
+
+let test_unknown_entity () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Escape.unescape "&bogus;");
+       false
+     with Failure _ -> true)
+
+(* ---- SAX ---- *)
+
+let events src =
+  let out = ref [] in
+  Sax.parse src (fun e -> out := e :: !out);
+  List.rev !out
+
+let test_sax_simple () =
+  let evs = events "<a><b>hi</b></a>" in
+  match evs with
+  | [
+   Sax.Start_element { tag = "a"; start_pos = 0; _ };
+   Sax.Start_element { tag = "b"; start_pos = 3; _ };
+   Sax.Text { content = "hi"; start_pos = 6 };
+   Sax.End_element { tag = "b"; end_pos = 12 };
+   Sax.End_element { tag = "a"; end_pos = 16 };
+  ] ->
+      ()
+  | _ -> Alcotest.fail "unexpected event stream"
+
+let test_sax_attributes () =
+  let evs = events {|<a x="1" y='two &amp; three'/>|} in
+  match evs with
+  | [ Sax.Start_element { tag = "a"; attrs; _ }; Sax.End_element _ ] ->
+      check
+        (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+        "attrs"
+        [ ("x", "1"); ("y", "two & three") ]
+        attrs
+  | _ -> Alcotest.fail "unexpected events"
+
+let test_sax_prolog_comment_pi_doctype () =
+  let src =
+    "<?xml version=\"1.0\"?>\n<!DOCTYPE a [<!ELEMENT a ANY>]>\n<!-- c -->\n<a><?pi data?><!-- inner -->t</a>"
+  in
+  let evs = events src in
+  match evs with
+  | [ Sax.Start_element { tag = "a"; _ }; Sax.Text { content = "t"; _ }; Sax.End_element _ ]
+    ->
+      ()
+  | _ -> Alcotest.fail "prolog constructs should be skipped"
+
+let test_sax_cdata () =
+  let evs = events "<a><![CDATA[x < y & z]]></a>" in
+  match evs with
+  | [ Sax.Start_element _; Sax.Text { content; _ }; Sax.End_element _ ] ->
+      check Alcotest.string "cdata raw" "x < y & z" content
+  | _ -> Alcotest.fail "unexpected events"
+
+let test_sax_whitespace_suppressed () =
+  let evs = events "<a>\n  <b/>\n</a>" in
+  let texts =
+    List.filter (function Sax.Text _ -> true | _ -> false) evs
+  in
+  check Alcotest.int "no whitespace text events" 0 (List.length texts)
+
+let malformed src =
+  try
+    ignore (events src);
+    false
+  with Sax.Malformed _ -> true
+
+let test_sax_malformed () =
+  List.iter
+    (fun src -> Alcotest.(check bool) src true (malformed src))
+    [
+      "";
+      "just text";
+      "<a>";
+      "<a></b>";
+      "<a></a></a>";
+      "<a><b></a></b>";
+      "<a attr></a>";
+      "<a 'v'></a>";
+      "<a></a><b></b>";
+      "<a>&unterminated</a>";
+      "<a><![CDATA[x]]</a>";
+      "<>empty</>";
+    ]
+
+let test_sax_positions_track_bytes () =
+  let src = "<root><item>abc</item><item>de</item></root>" in
+  let spans = ref [] in
+  let starts = ref [] in
+  Sax.parse src (fun e ->
+      match e with
+      | Sax.Start_element { start_pos; tag; _ } -> starts := (tag, start_pos) :: !starts
+      | Sax.End_element { end_pos; tag } -> spans := (tag, end_pos) :: !spans
+      | Sax.Text _ -> ());
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "start offsets"
+    [ ("root", 0); ("item", 6); ("item", 22) ]
+    (List.rev !starts);
+  (* End of the first item is just after "</item>" at byte 22. *)
+  check
+    (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+    "end offsets"
+    [ ("item", 22); ("item", 37); ("root", 44) ]
+    (List.rev !spans)
+
+(* ---- DOM ---- *)
+
+let test_dom_structure () =
+  let doc = Dom.parse "<a x=\"1\"><b>hi</b><b>ho</b></a>" in
+  check Alcotest.string "root tag" "a" doc.root.tag;
+  check (Alcotest.option Alcotest.string) "attr" (Some "1") (Dom.attr doc.root "x");
+  check Alcotest.int "element count" 3 (Dom.count_elements doc);
+  check Alcotest.string "text content" "hi ho" (Dom.text_content doc.root)
+
+let test_dom_positions_give_source_spans () =
+  let src = "<a><b>hi</b></a>" in
+  let doc = Dom.parse src in
+  let bs = Dom.find_all doc (fun e -> e.tag = "b") in
+  match bs with
+  | [ b ] ->
+      check Alcotest.string "span extracts source" "<b>hi</b>"
+        (String.sub src b.start_pos (Dom.length b))
+  | _ -> Alcotest.fail "expected one b"
+
+let test_dom_paths () =
+  let doc = Dom.parse "<a><b><c/></b><c/></a>" in
+  let paths = ref [] in
+  Dom.iter_elements doc (fun path _ -> paths := String.concat "/" path :: !paths);
+  check
+    (Alcotest.list Alcotest.string)
+    "paths in document order"
+    [ "a"; "a/b"; "a/b/c"; "a/c" ]
+    (List.rev !paths)
+
+let test_dom_serialize_roundtrip () =
+  let src = "<a x=\"v&quot;w\"><b>text &amp; more</b><c/>tail</a>" in
+  let doc = Dom.parse src in
+  let doc2 = Dom.parse (Dom.to_string doc.root) in
+  Alcotest.(check bool) "structure preserved" true
+    (Dom.equal_structure doc.root doc2.root)
+
+(* Random XML tree generator for the round-trip property. *)
+let gen_tree rng =
+  let tags = [| "a"; "b"; "c"; "data"; "x1" |] in
+  let texts = [| "hello"; "a < b"; "x & y"; "\"quoted\""; "plain text" |] in
+  let rec gen depth : Dom.node =
+    if depth > 3 || Prng.int rng 3 = 0 then
+      Dom.Text { content = Prng.pick rng texts; start_pos = 0 }
+    else
+      Dom.Element (gen_el depth)
+  and gen_el depth =
+    let n_children = Prng.int rng 4 in
+    let children = List.init n_children (fun _ -> gen (depth + 1)) in
+    (* Avoid adjacent text nodes, which merge on reparse. *)
+    let rec dedup = function
+      | Dom.Text _ :: (Dom.Text _ :: _ as rest) -> dedup rest
+      | x :: rest -> x :: dedup rest
+      | [] -> []
+    in
+    let attrs = if Prng.bool rng then [ ("k", "v \"w\" & z") ] else [] in
+    {
+      Dom.tag = Prng.pick rng tags;
+      attrs;
+      children = dedup children;
+      start_pos = 0;
+      end_pos = 0;
+    }
+  in
+  gen_el 0
+
+let prop_dom_roundtrip =
+  QCheck.Test.make ~name:"serialize/parse round-trip preserves structure" ~count:200
+    QCheck.(make Gen.(map (fun seed -> gen_tree (Prng.create seed)) int))
+    (fun el ->
+      let doc = Dom.parse (Dom.to_string el) in
+      Dom.equal_structure el doc.root)
+
+let prop_parser_never_wrong_exception =
+  QCheck.Test.make ~name:"parser raises only Malformed on junk" ~count:300
+    QCheck.(string_of_size Gen.(0 -- 60))
+    (fun s ->
+      try
+        ignore (Dom.parse s);
+        true
+      with
+      | Sax.Malformed _ -> true
+      | _ -> false)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "trex_xml"
+    [
+      ( "escape",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_escape_roundtrip;
+          Alcotest.test_case "numeric entities" `Quick test_numeric_entities;
+          Alcotest.test_case "unknown entity" `Quick test_unknown_entity;
+        ] );
+      ( "sax",
+        [
+          Alcotest.test_case "simple events" `Quick test_sax_simple;
+          Alcotest.test_case "attributes" `Quick test_sax_attributes;
+          Alcotest.test_case "prolog/comment/pi/doctype" `Quick
+            test_sax_prolog_comment_pi_doctype;
+          Alcotest.test_case "cdata" `Quick test_sax_cdata;
+          Alcotest.test_case "whitespace suppressed" `Quick
+            test_sax_whitespace_suppressed;
+          Alcotest.test_case "malformed inputs raise" `Quick test_sax_malformed;
+          Alcotest.test_case "byte positions" `Quick test_sax_positions_track_bytes;
+        ] );
+      ( "dom",
+        [
+          Alcotest.test_case "structure" `Quick test_dom_structure;
+          Alcotest.test_case "positions give source spans" `Quick
+            test_dom_positions_give_source_spans;
+          Alcotest.test_case "paths" `Quick test_dom_paths;
+          Alcotest.test_case "serialize roundtrip" `Quick test_dom_serialize_roundtrip;
+          qtest prop_dom_roundtrip;
+          qtest prop_parser_never_wrong_exception;
+        ] );
+    ]

@@ -1,0 +1,196 @@
+(* Tests for trex_xpath: parser, evaluator, and the oracle property that
+   summary-based translation over-approximates true XPath semantics. *)
+
+module Dom = Trex_xml.Dom
+module Ast = Trex_xpath.Xpath_ast
+module Parser = Trex_xpath.Xpath_parser
+module Eval = Trex_xpath.Xpath_eval
+module Summary = Trex_summary.Summary
+module Pattern = Trex_summary.Pattern
+
+let check = Alcotest.check
+
+let doc =
+  Dom.parse
+    {|<library kind="public">
+  <shelf id="s1">
+    <book year="2001"><title>Logic</title><author>Ann</author></book>
+    <book year="1999"><title>Sets</title><author>Bob</author><author>Cid</author></book>
+  </shelf>
+  <shelf id="s2">
+    <book year="2010"><title>Trees</title><author>Ann</author></book>
+    <magazine><title>Monthly</title></magazine>
+  </shelf>
+  <newspaper/>
+</library>|}
+
+let idx = Eval.of_doc doc
+
+let tags path = List.map (fun (e : Dom.element) -> e.tag) (Eval.run idx path)
+let titles path = Eval.select_values idx (Parser.parse path)
+let count path = Eval.count idx (Parser.parse path)
+
+(* ---- parser ---- *)
+
+let test_parse_roundtrippable () =
+  List.iter
+    (fun src ->
+      let p = Parser.parse src in
+      (* Re-parse of the canonical form gives the same AST. *)
+      let canonical = Ast.path_to_string p in
+      Alcotest.(check bool) src true (Parser.parse canonical = p))
+    [
+      "/library/shelf/book";
+      "//book/title";
+      "//book[@year > 2000]";
+      "//shelf[book]/@id";
+      "//book[author = 'Ann']/title";
+      "/library//book[position() = 2]";
+      "//book[count(author) > 1 and @year < 2000]";
+      "//*[not(title)]";
+      "//shelf/book/ancestor::library";
+      "//title/parent::book";
+      "//book/following-sibling::book";
+      "//text()";
+      "/";
+    ]
+
+let test_parse_errors () =
+  List.iter
+    (fun src ->
+      Alcotest.(check bool) src true
+        (try
+           ignore (Parser.parse src);
+           false
+         with Parser.Syntax_error _ -> true))
+    [ ""; "book["; "//book[]"; "//book[@]"; "//book]"; "//book[bogus::x]"; "//book[position() !]" ]
+
+(* ---- evaluation ---- *)
+
+let test_child_and_descendant () =
+  check (Alcotest.list Alcotest.string) "absolute child chain"
+    [ "book"; "book"; "book" ]
+    (tags "/library/shelf/book");
+  check Alcotest.int "descendant titles" 4 (count "//title");
+  check (Alcotest.list Alcotest.string) "root test" [ "library" ] (tags "/library");
+  check (Alcotest.list Alcotest.string) "wrong root" [] (tags "/shelf")
+
+let test_wildcard_and_node () =
+  check Alcotest.int "shelf children" 4 (count "/library/shelf/*");
+  (* node() also counts text nodes. *)
+  Alcotest.(check bool) "node() >= elements" true
+    (count "//book/node()" >= count "//book/*")
+
+let test_attributes () =
+  check (Alcotest.list Alcotest.string) "attribute values" [ "s1"; "s2" ]
+    (titles "//shelf/@id");
+  check Alcotest.int "attr wildcard" 6 (count "//@*");
+  check (Alcotest.list Alcotest.string) "filter by attribute"
+    [ "Logic"; "Trees" ]
+    (titles "//book[@year > 2000]/title")
+
+let test_positional_predicates () =
+  check (Alcotest.list Alcotest.string) "second book per shelf"
+    [ "Sets" ]
+    (titles "//shelf/book[2]/title");
+  check (Alcotest.list Alcotest.string) "last()"
+    [ "Sets"; "Trees" ]
+    (titles "//shelf/book[position() = last()]/title")
+
+let test_value_comparisons () =
+  check (Alcotest.list Alcotest.string) "author equality"
+    [ "Logic"; "Trees" ]
+    (titles "//book[author = 'Ann']/title");
+  check (Alcotest.list Alcotest.string) "count() and <"
+    [ "Sets" ]
+    (titles "//book[count(author) > 1 and @year < 2000]/title");
+  check (Alcotest.list Alcotest.string) "contains"
+    [ "Monthly" ]
+    (titles "//*[contains(title, 'onth')]/title")
+
+let test_boolean_connectives () =
+  check Alcotest.int "or" 2 (count "//shelf/*[self::magazine or @year = 2010]");
+  (* Elements without a title child: library, 2 shelves, 4 titles,
+     4 authors, newspaper = 12. *)
+  check Alcotest.int "not()" 12 (count "//*[not(title)]")
+
+let test_reverse_axes () =
+  check (Alcotest.list Alcotest.string) "parent" [ "book"; "book"; "book"; "magazine" ]
+    (tags "//title/parent::*");
+  check Alcotest.int "ancestor" 1 (count "//author/ancestor::library");
+  check (Alcotest.list Alcotest.string) "following-sibling" [ "Sets" ]
+    (titles "//book[title = 'Logic']/following-sibling::book/title");
+  check (Alcotest.list Alcotest.string) "preceding-sibling" [ "Logic" ]
+    (titles "//book[title = 'Sets']/preceding-sibling::book/title")
+
+let test_text_nodes () =
+  check (Alcotest.list Alcotest.string) "text()" [ "Logic" ]
+    (Eval.select_values idx (Parser.parse "//book[1]/title/text()"))
+
+let test_document_order_and_dedup () =
+  (* A path that could produce duplicates: every author's ancestor
+     shelf. *)
+  check Alcotest.int "deduped" 2 (count "//author/ancestor::shelf");
+  check (Alcotest.list Alcotest.string) "document order"
+    [ "Logic"; "Sets"; "Trees"; "Monthly" ]
+    (titles "//title")
+
+(* ---- oracle: summary translation over-approximates XPath ---- *)
+
+let prop_summary_translation_covers_xpath =
+  QCheck.Test.make ~name:"summary sids cover true XPath result" ~count:40 QCheck.int
+    (fun seed ->
+      let coll = Trex_corpus.Gen.ieee ~doc_count:3 ~seed:(abs seed mod 1000) () in
+      let docs = List.of_seq (coll.docs ()) in
+      let summary = Summary.create Summary.Incoming in
+      let parsed = List.map (fun (_, xml) -> Dom.parse xml) docs in
+      List.iter (fun d -> ignore (Summary.observe_document summary d)) parsed;
+      List.for_all
+        (fun pattern_src ->
+          let pattern = Pattern.parse pattern_src in
+          let sids = Summary.match_pattern summary pattern in
+          (* Every element the XPath engine selects must lie in one of
+             the translated extents. *)
+          List.for_all
+            (fun d ->
+              let idx = Eval.of_doc d in
+              let selected = Eval.run idx pattern_src in
+              let ok (el : Dom.element) =
+                let path = ref None in
+                Dom.iter_elements { Dom.root = d.Dom.root; source_length = 0 }
+                  (fun p e -> if e == el then path := Some p);
+                match !path with
+                | None -> false
+                | Some p -> (
+                    match Summary.sid_of_path summary p with
+                    | Some sid -> List.mem sid sids
+                    | None -> false)
+              in
+              List.for_all ok selected)
+            parsed)
+        [ "//sec"; "//article//p"; "/books/journal/article"; "//bdy//*"; "//fig/fgc" ])
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "trex_xpath"
+    [
+      ( "parser",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_parse_roundtrippable;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+        ] );
+      ( "eval",
+        [
+          Alcotest.test_case "child and descendant" `Quick test_child_and_descendant;
+          Alcotest.test_case "wildcard and node()" `Quick test_wildcard_and_node;
+          Alcotest.test_case "attributes" `Quick test_attributes;
+          Alcotest.test_case "positional predicates" `Quick test_positional_predicates;
+          Alcotest.test_case "value comparisons" `Quick test_value_comparisons;
+          Alcotest.test_case "boolean connectives" `Quick test_boolean_connectives;
+          Alcotest.test_case "reverse axes" `Quick test_reverse_axes;
+          Alcotest.test_case "text nodes" `Quick test_text_nodes;
+          Alcotest.test_case "order and dedup" `Quick test_document_order_and_dedup;
+        ] );
+      ("oracle", [ qtest prop_summary_translation_covers_xpath ]);
+    ]
