@@ -9,6 +9,7 @@
      stats        show index sizes, summary info and materialized lists
      advise       plan index selection for a workload under a disk budget
      vacuum       compact the redundant-index tables
+     verify       checksum-sweep and structurally verify every table
      xpath        evaluate an XPath expression over an XML file
 
    Example session:
@@ -200,6 +201,64 @@ let vacuum_cmd =
     (Cmd.info "vacuum" ~doc:"Compact the redundant-index tables, reclaiming dropped space")
     Term.(const run $ env_arg)
 
+(* ---- verify ---- *)
+
+let verify_cmd =
+  let recover =
+    Arg.(value & flag
+         & info [ "recover" ]
+             ~doc:
+               "Fall back to the older committed header epoch where the \
+                newest slot is damaged, and reinitialize tables whose \
+                creation never committed")
+  in
+  let run env recover =
+    (* Env.on_disk creates missing directories; verifying a typo'd path
+       must fail, not mint an empty index that "verifies". *)
+    if not (Sys.file_exists env && Sys.is_directory env) then begin
+      Printf.eprintf "trex verify: no index directory at %s\n" env;
+      exit 1
+    end;
+    let storage, reports =
+      if recover then Trex.Env.open_with_recovery env
+      else
+        let s = Trex.Env.on_disk env in
+        (s, Trex.Env.verify s)
+    in
+    List.iter
+      (fun (r : Trex.Env.table_report) ->
+        let status =
+          if not r.ok then "CORRUPT"
+          else if r.recovered then "RECOVERED"
+          else "OK"
+        in
+        Printf.printf "%-20s %-10s %6d pages %8d entries\n" r.table status
+          r.pages r.entries;
+        List.iter (fun n -> Printf.printf "    note: %s\n" n) r.notes;
+        List.iter (fun p -> Printf.printf "    problem: %s\n" p) r.problems)
+      reports;
+    let failures, recoveries =
+      List.fold_left
+        (fun (f, rcv) (_, (s : Trex_storage.Pager.stats)) ->
+          (f + s.checksum_failures, rcv + s.recoveries))
+        (0, 0) (Trex.Env.io_stats storage)
+    in
+    Printf.printf "storage.checksum_failures: %d\nstorage.recoveries: %d\n"
+      failures recoveries;
+    let bad = List.filter (fun (r : Trex.Env.table_report) -> not r.ok) reports in
+    Trex.Env.close storage;
+    if bad <> [] then begin
+      Printf.printf "%d table(s) corrupt%s\n" (List.length bad)
+        (if recover then "" else " (try --recover)");
+      exit 1
+    end
+    else Printf.printf "all tables verified\n"
+  in
+  Cmd.v
+    (Cmd.info "verify"
+       ~doc:"Verify checksums and B+tree structure of every table in an index")
+    Term.(const run $ env_arg $ recover)
+
 (* ---- xpath ---- *)
 
 let xpath_cmd =
@@ -359,4 +418,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; index_cmd; add_cmd; query_cmd; materialize_cmd; stats_cmd; advise_cmd; vacuum_cmd; xpath_cmd ]))
+          [ gen_cmd; index_cmd; add_cmd; query_cmd; materialize_cmd; stats_cmd; advise_cmd; vacuum_cmd; verify_cmd; xpath_cmd ]))

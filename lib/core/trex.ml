@@ -27,8 +27,25 @@ let build ~env ?(summary_criterion = Summary.Incoming) ?(alias = Alias.identity)
   let index = Index.build ~env ~summary ?analyzer docs in
   { index; scoring }
 
-let attach ~env ?(scoring = Scorer.default) () =
+let attach ~env ?(verify = false) ?(scoring = Scorer.default) () =
+  if verify then begin
+    let bad = List.filter (fun (r : Env.table_report) -> not r.ok) (Env.verify env) in
+    match bad with
+    | [] -> ()
+    | r :: _ ->
+        raise
+          (Trex_storage.Pager.Corruption
+             {
+               path = r.table;
+               page = -1;
+               detail =
+                 Printf.sprintf "table %s failed verification: %s" r.table
+                   (String.concat "; " r.problems);
+             })
+  end;
   { index = Index.attach env; scoring }
+
+let verify_storage ~env = Env.verify env
 
 let index t = t.index
 let summary t = Index.summary t.index

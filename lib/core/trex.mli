@@ -51,8 +51,15 @@ val build :
 (** Index a collection of (name, xml) documents. Defaults: alias
     incoming summary, default analyzer, BM25 scoring. *)
 
-val attach : env:Env.t -> ?scoring:Scorer.config -> unit -> t
-(** Re-open a previously built engine. *)
+val attach : env:Env.t -> ?verify:bool -> ?scoring:Scorer.config -> unit -> t
+(** Re-open a previously built engine. With [~verify:true] every storage
+    table is checksum-swept and structurally verified first.
+    @raise Trex_storage.Pager.Corruption if verification finds damage —
+    the engine is never attached over corrupt tables silently. *)
+
+val verify_storage : env:Env.t -> Env.table_report list
+(** Per-table checksum sweep + B+tree structural verification (see
+    {!Env.verify}); read-only, safe on a live engine. *)
 
 val index : t -> Index.t
 val summary : t -> Summary.t

@@ -45,26 +45,39 @@ let write_node t id node =
   Bytes.blit_string s 0 page 0 (String.length s);
   Pager.write t.pager id page
 
+let corrupt t ~page detail =
+  raise (Pager.Corruption { path = Pager.path t.pager; page; detail })
+
+(* Deserialization copies every field out of the page buffer (fresh
+   tuple/array cells, and [Codec.Reader.string] substrings), so holding
+   a node never aliases the pager's live cache — see Pager.read_copy for
+   callers that do need raw page bytes across writes. *)
 let read_node t id =
   let page = Pager.read t.pager id in
   let r = Codec.Reader.of_string (Bytes.unsafe_to_string page) in
-  match Codec.Reader.raw r 1 with
-  | "L" ->
-      let n = Codec.Reader.varint r in
-      let entries =
-        Array.init n (fun _ ->
-            let k = Codec.Reader.string r in
-            let v = Codec.Reader.string r in
-            (k, v))
-      in
-      let next = Codec.Reader.varint r in
-      Leaf { entries; next }
-  | "I" ->
-      let nc = Codec.Reader.varint r in
-      let children = Array.init nc (fun _ -> Codec.Reader.varint r) in
-      let keys = Array.init (nc - 1) (fun _ -> Codec.Reader.string r) in
-      Internal { keys; children }
-  | tag -> failwith (Printf.sprintf "Bptree: corrupt node tag %S (page %d)" tag id)
+  match
+    match Codec.Reader.raw r 1 with
+    | "L" ->
+        let n = Codec.Reader.varint r in
+        let entries =
+          Array.init n (fun _ ->
+              let k = Codec.Reader.string r in
+              let v = Codec.Reader.string r in
+              (k, v))
+        in
+        let next = Codec.Reader.varint r in
+        Leaf { entries; next }
+    | "I" ->
+        let nc = Codec.Reader.varint r in
+        if nc < 1 then corrupt t ~page:id "internal node with no children";
+        let children = Array.init nc (fun _ -> Codec.Reader.varint r) in
+        let keys = Array.init (nc - 1) (fun _ -> Codec.Reader.string r) in
+        Internal { keys; children }
+    | tag -> corrupt t ~page:id (Printf.sprintf "corrupt node tag %S" tag)
+  with
+  | node -> node
+  | exception Codec.Reader.Truncated ->
+      corrupt t ~page:id "truncated node encoding"
 
 let create pager =
   let root = Pager.allocate pager in
@@ -75,7 +88,14 @@ let create pager =
 
 let attach pager =
   let root = Pager.get_root pager in
-  if root < 0 then failwith "Bptree.attach: pager has no root";
+  if root < 0 then
+    raise
+      (Pager.Corruption
+         {
+           path = Pager.path pager;
+           page = -1;
+           detail = "no committed root (tree creation never reached a commit)";
+         });
   { pager; root; count = -1 }
 
 let pager t = t.pager
@@ -415,4 +435,118 @@ let bulk_load pager seq =
     | _ -> assert false)
   end;
   Pager.set_root pager t.root;
+  (* Durable commit point: the freshly packed pages reach the disk
+     before the header that publishes the new root. A crash anywhere in
+     the load leaves the previous committed epoch intact. *)
+  Pager.flush ~sync:true pager;
   t
+
+(* ---- structural verification ---- *)
+
+type verify_report = {
+  pages : int;
+  entries : int;
+  depth : int;
+  problems : string list;
+}
+
+let max_reported_problems = 32
+
+let verify t =
+  let problems = ref [] and n_problems = ref 0 in
+  let add p =
+    incr n_problems;
+    if !n_problems <= max_reported_problems then problems := p :: !problems
+  in
+  let page_count = Pager.page_count t.pager in
+  let visited = Hashtbl.create 256 in
+  let leaves = ref [] in
+  (* (id, next) in key order *)
+  let entries = ref 0 in
+  let max_depth = ref 0 in
+  let in_bounds key low high =
+    (match low with Some l -> String.compare l key <= 0 | None -> true)
+    && match high with Some h -> String.compare key h < 0 | None -> true
+  in
+  let check_sorted id what keys =
+    Array.iteri
+      (fun i k ->
+        if i > 0 && String.compare keys.(i - 1) k >= 0 then
+          add
+            (Printf.sprintf "page %d: %s out of order at slot %d (%S >= %S)" id
+               what i
+               keys.(i - 1)
+               k))
+      keys
+  in
+  let rec walk id ~low ~high ~depth =
+    if id < 0 || id >= page_count then
+      add (Printf.sprintf "child link to page %d outside [0,%d)" id page_count)
+    else if Hashtbl.mem visited id then
+      add (Printf.sprintf "page %d reached twice (cycle or shared subtree)" id)
+    else begin
+      Hashtbl.add visited id ();
+      if depth > !max_depth then max_depth := depth;
+      match read_node t id with
+      | exception Pager.Corruption { detail; _ } ->
+          add (Printf.sprintf "page %d: %s" id detail)
+      | Leaf { entries = es; next } ->
+          leaves := (id, next) :: !leaves;
+          entries := !entries + Array.length es;
+          check_sorted id "leaf keys" (Array.map fst es);
+          Array.iter
+            (fun (k, _) ->
+              if not (in_bounds k low high) then
+                add
+                  (Printf.sprintf "page %d: leaf key %S escapes separator bounds"
+                     id k))
+            es
+      | Internal { keys; children } ->
+          if Array.length children <> Array.length keys + 1 then
+            add
+              (Printf.sprintf "page %d: %d children for %d separators" id
+                 (Array.length children) (Array.length keys));
+          check_sorted id "separators" keys;
+          Array.iter
+            (fun k ->
+              if not (in_bounds k low high) then
+                add
+                  (Printf.sprintf "page %d: separator %S escapes bounds" id k))
+            keys;
+          Array.iteri
+            (fun i child ->
+              let lo = if i = 0 then low else Some keys.(i - 1) in
+              let hi =
+                if i < Array.length keys then Some keys.(i) else high
+              in
+              walk child ~low:lo ~high:hi ~depth:(depth + 1))
+            children
+    end
+  in
+  walk t.root ~low:None ~high:None ~depth:1;
+  (* The DFS visits leaves left to right; the sibling chain must link
+     them in exactly that order and terminate. *)
+  let rec check_chain = function
+    | [] -> ()
+    | [ (id, next) ] ->
+        if next <> -1 then
+          add (Printf.sprintf "last leaf %d has dangling next %d" id next)
+    | (id, next) :: ((id', _) :: _ as rest) ->
+        if next <> id' then
+          add
+            (Printf.sprintf "leaf %d links to %d, expected next leaf %d" id next
+               id');
+        check_chain rest
+  in
+  check_chain (List.rev !leaves);
+  if !n_problems > max_reported_problems then
+    problems :=
+      Printf.sprintf "... and %d more problems"
+        (!n_problems - max_reported_problems)
+      :: !problems;
+  {
+    pages = Hashtbl.length visited;
+    entries = !entries;
+    depth = !max_depth;
+    problems = List.rev !problems;
+  }

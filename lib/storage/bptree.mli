@@ -18,7 +18,8 @@ val create : Pager.t -> t
 
 val attach : Pager.t -> t
 (** Attach to the tree whose root the pager header records.
-    @raise Failure if the pager has no root. *)
+    @raise Pager.Corruption if the pager has no committed root (a crash
+    destroyed the creating commit). *)
 
 val pager : t -> Pager.t
 
@@ -41,8 +42,24 @@ val length : t -> int
 
 val bulk_load : Pager.t -> (string * string) Seq.t -> t
 (** Build a tree from a strictly key-ascending sequence, packing leaves
-    to a high fill factor. Much faster than repeated {!insert}.
+    to a high fill factor. Much faster than repeated {!insert}. Ends
+    with a durable commit ([Pager.flush ~sync:true]): pages are synced
+    before the header that publishes the new root.
     @raise Invalid_argument if keys are not strictly ascending. *)
+
+type verify_report = {
+  pages : int;  (** distinct pages reachable from the root *)
+  entries : int;
+  depth : int;
+  problems : string list;  (** empty iff the tree is structurally sound *)
+}
+
+val verify : t -> verify_report
+(** Full structural check: node decodability, strict key order inside
+    nodes, separator bounds along every root-to-leaf path, child links
+    in range, no page reached twice, and the leaf sibling chain linking
+    the leaves in exactly DFS order. Read-only; decode failures are
+    reported as problems rather than raised. *)
 
 (** Ordered iteration. A cursor is positioned before an entry; [next]
     yields it and advances. Cursors are snapshots of leaf contents at

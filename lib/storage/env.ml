@@ -6,13 +6,33 @@ type t = {
   tables : (string, Bptree.t) Hashtbl.t;
 }
 
+let tmp_suffix = ".compact-tmp"
+
+(* A crash between building a compaction temp file and the atomic rename
+   leaves "<name>.compact-tmp.tbl" behind; the original table is intact,
+   so the leftover is garbage to sweep at open. *)
+let cleanup_stale_tmp dir =
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f (tmp_suffix ^ ".tbl") then
+        Sys.remove (Filename.concat dir f))
+    (Sys.readdir dir)
+
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | exception Unix.Unix_error _ -> ()
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+
 let in_memory ?(page_size = 8192) () =
   { backend = Mem; page_size; tables = Hashtbl.create 8 }
 
 let on_disk ?(page_size = 8192) ?(cache_pages = 4096) dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
   else if not (Sys.is_directory dir) then
-    invalid_arg (Printf.sprintf "Env.on_disk: %s is not a directory" dir);
+    invalid_arg (Printf.sprintf "Env.on_disk: %s is not a directory" dir)
+  else cleanup_stale_tmp dir;
   { backend = Disk { dir; cache_pages }; page_size; tables = Hashtbl.create 8 }
 
 let valid_name name =
@@ -72,7 +92,9 @@ let table_names t =
         Sys.readdir dir |> Array.to_list
         |> List.filter_map (fun f ->
                if Filename.check_suffix f ".tbl" then
-                 Some (Filename.chop_suffix f ".tbl")
+                 let name = Filename.chop_suffix f ".tbl" in
+                 if Filename.check_suffix name tmp_suffix then None
+                 else Some name
                else None)
   in
   List.sort_uniq String.compare (open_names @ disk_names)
@@ -106,15 +128,100 @@ let compact_table t name =
         Pager.close (Bptree.pager tree);
         Hashtbl.replace t.tables name fresh
     | Disk { dir; cache_pages } ->
-        let tmp = path_of dir (name ^ ".compact-tmp") in
+        let tmp = path_of dir (name ^ tmp_suffix) in
         let pager = Pager.create_file ~page_size:t.page_size ~cache_pages tmp in
         ignore (Bptree.bulk_load pager (List.to_seq entries));
+        (* close syncs, so the temp file is fully durable before the
+           rename publishes it; the directory fsync makes the rename
+           itself survive a crash. *)
         Pager.close pager;
         Pager.close (Bptree.pager tree);
         Hashtbl.remove t.tables name;
         Sys.rename tmp (path_of dir name);
+        fsync_dir dir;
         ignore (table t name)
   end
+
+(* ---- verification & recovery ---- *)
+
+type table_report = {
+  table : string;
+  ok : bool;
+  pages : int;
+  entries : int;
+  problems : string list;
+  notes : string list;
+  recovered : bool;
+}
+
+let verify_tree name tree ~recovered ~notes =
+  let checksum_problems =
+    List.map
+      (fun (page, detail) -> Printf.sprintf "page %d: %s" page detail)
+      (Pager.verify_checksums (Bptree.pager tree))
+  in
+  let r = Bptree.verify tree in
+  let problems = checksum_problems @ r.Bptree.problems in
+  {
+    table = name;
+    ok = problems = [];
+    pages = r.Bptree.pages;
+    entries = r.Bptree.entries;
+    problems;
+    notes;
+    recovered;
+  }
+
+let broken_report name ~recovered detail =
+  { table = name; ok = false; pages = 0; entries = 0;
+    problems = [ detail ]; notes = []; recovered }
+
+let verify t =
+  List.map
+    (fun name ->
+      match table t name with
+      | tree -> verify_tree name tree ~recovered:false ~notes:[]
+      | exception Pager.Corruption { detail; page; _ } ->
+          broken_report name ~recovered:false
+            (if page >= 0 then Printf.sprintf "page %d: %s" page detail
+             else detail))
+    (table_names t)
+
+let open_with_recovery ?(page_size = 8192) ?(cache_pages = 4096) dir =
+  let env = on_disk ~page_size ~cache_pages dir in
+  let reports =
+    List.map
+      (fun name ->
+        let path = path_of dir name in
+        match Pager.open_with_recovery ~cache_pages path with
+        | exception Pager.Corruption { detail; _ } ->
+            broken_report name ~recovered:false detail
+        | pager, (recovery : Pager.recovery) -> (
+            let notes =
+              if recovery.Pager.recovered then [ recovery.Pager.note ] else []
+            in
+            match Bptree.attach pager with
+            | tree ->
+                Hashtbl.replace env.tables name tree;
+                verify_tree name tree ~recovered:recovery.Pager.recovered ~notes
+            | exception Pager.Corruption _ ->
+                (* No committed root: the creating commit never reached
+                   the disk, so the table is logically empty. Reinit it
+                   rather than leaving an unopenable file behind. *)
+                Pager.abort pager;
+                let fresh =
+                  Bptree.create
+                    (Pager.create_file ~page_size ~cache_pages path)
+                in
+                Pager.flush ~sync:true (Bptree.pager fresh);
+                Hashtbl.replace env.tables name fresh;
+                { table = name; ok = true; pages = 1; entries = 0;
+                  problems = [];
+                  notes = [ "reinitialized: no committed root" ];
+                  recovered = true }))
+      (table_names env)
+  in
+  (env, reports)
 
 let io_stats t =
   Hashtbl.fold
@@ -122,7 +229,8 @@ let io_stats t =
     t.tables []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let flush t = Hashtbl.iter (fun _ tree -> Pager.flush (Bptree.pager tree)) t.tables
+let flush ?(sync = false) t =
+  Hashtbl.iter (fun _ tree -> Pager.flush ~sync (Bptree.pager tree)) t.tables
 
 let close t =
   Hashtbl.iter (fun _ tree -> Pager.close (Bptree.pager tree)) t.tables;

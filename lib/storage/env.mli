@@ -12,10 +12,15 @@ val in_memory : ?page_size:int -> unit -> t
 
 val on_disk : ?page_size:int -> ?cache_pages:int -> string -> t
 (** [on_disk dir] creates [dir] if needed; each table lives in
-    [dir/<name>.tbl]. Existing table files are re-attached. *)
+    [dir/<name>.tbl]. Existing table files are re-attached lazily by
+    {!table}. Stale [*.compact-tmp.tbl] leftovers from a compaction that
+    crashed before its atomic rename are deleted (the original table is
+    intact in that case). *)
 
 val table : t -> string -> Bptree.t
-(** Create-or-attach. Table names must match [[A-Za-z0-9_.-]+]. *)
+(** Create-or-attach. Table names must match [[A-Za-z0-9_.-]+].
+    @raise Pager.Corruption when an existing table file fails header
+    validation — use {!open_with_recovery} to fall back. *)
 
 val has_table : t -> string -> bool
 val drop_table : t -> string -> unit
@@ -30,11 +35,44 @@ val table_bytes : t -> string -> int
 val compact_table : t -> string -> unit
 (** Rebuild the table into freshly bulk-loaded pages, releasing the
     space dead entries and dropped lists still hold (B+trees never
-    shrink in place). On disk the table file is atomically replaced;
-    open cursors into the old tree are invalidated. A no-op when the
-    table does not exist. *)
+    shrink in place). On disk the table file is atomically replaced
+    (temp file synced before a rename, directory fsynced after); open
+    cursors into the old tree are invalidated. A no-op when the table
+    does not exist. *)
 
 val total_bytes : t -> int
+
 val io_stats : t -> (string * Pager.stats) list
-val flush : t -> unit
+(** Per-open-table pager statistics, including the
+    [storage.checksum_failures] and [storage.recoveries] counters
+    ({!Pager.stats} fields [checksum_failures]/[recoveries]). *)
+
+val flush : ?sync:bool -> t -> unit
+(** Flush every open table; [~sync:true] makes each a durable commit
+    point (see {!Pager.flush}). *)
+
 val close : t -> unit
+
+(** {1 Verification & recovery} *)
+
+type table_report = {
+  table : string;
+  ok : bool;  (** checksum sweep and structural verify both clean *)
+  pages : int;  (** pages reachable from the root *)
+  entries : int;
+  problems : string list;
+  notes : string list;  (** informational (e.g. recovery summary) *)
+  recovered : bool;  (** opened via header-epoch fallback or reinit *)
+}
+
+val verify : t -> table_report list
+(** For every table: physical checksum sweep of all pages plus
+    {!Bptree.verify}. Tables that cannot even be opened are reported
+    with [ok = false] rather than raising. Read-only. *)
+
+val open_with_recovery :
+  ?page_size:int -> ?cache_pages:int -> string -> t * table_report list
+(** Open every table in [dir], falling back to the older header epoch
+    where the newest slot is damaged ({!Pager.open_with_recovery}), and
+    reinitializing tables whose creation never committed. Returns the
+    env with all tables attached plus a verification report per table. *)

@@ -1,0 +1,31 @@
+(* Standard reflected CRC-32, polynomial 0xEDB88320. The digest is
+   computed in native ints (63-bit, unboxed) and only converted to int32
+   at the edges: boxed Int32 arithmetic in the inner loop would allocate
+   per byte, and this runs over every page the storage layer writes. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           if !c land 1 = 1 then c := 0xEDB88320 lxor (!c lsr 1)
+           else c := !c lsr 1
+         done;
+         !c))
+
+let mask = 0xFFFFFFFF
+
+let bytes ?(init = 0l) b ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length b then
+    invalid_arg "Crc32.bytes: range out of bounds";
+  let table = Lazy.force table in
+  let c = ref (Int32.to_int init land mask lxor mask) in
+  for i = pos to pos + len - 1 do
+    c :=
+      Array.unsafe_get table ((!c lxor Char.code (Bytes.unsafe_get b i)) land 0xFF)
+      lxor (!c lsr 8)
+  done;
+  Int32.of_int (!c lxor mask)
+
+let string ?init s =
+  bytes ?init (Bytes.unsafe_of_string s) ~pos:0 ~len:(String.length s)

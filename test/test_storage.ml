@@ -50,15 +50,94 @@ let test_pager_file_persistence () =
     (Bytes.to_string (Pager.read p2 id));
   Pager.close p2
 
+let raises_corruption f =
+  try
+    ignore (f ());
+    false
+  with Pager.Corruption _ -> true
+
 let test_pager_open_bad_file () =
   let dir = temp_dir () in
   let path = Filename.concat dir "junk" in
   let oc = open_out path in
-  output_string oc "this is not a pager file at all.....";
+  (* Long enough to hold both header slots, but garbage. *)
+  output_string oc (String.concat "" (List.init 8 (fun _ -> "not a pager file....")));
   close_out oc;
-  Alcotest.check_raises "bad magic"
-    (Failure (Printf.sprintf "Pager.open_file: %s is not a pager file" path))
-    (fun () -> ignore (Pager.open_file path))
+  Alcotest.(check bool) "bad magic is typed Corruption" true
+    (raises_corruption (fun () -> Pager.open_file path))
+
+let test_pager_open_truncated_file () =
+  let dir = temp_dir () in
+  let path = Filename.concat dir "short" in
+  let oc = open_out path in
+  output_string oc "TRExPG02tiny";
+  close_out oc;
+  Alcotest.(check bool) "truncated header is typed Corruption" true
+    (raises_corruption (fun () -> Pager.open_file path));
+  Alcotest.(check bool) "recovery refuses it too" true
+    (raises_corruption (fun () -> Pager.open_with_recovery path))
+
+let test_pager_open_truncated_pages () =
+  let dir = temp_dir () in
+  let path = Filename.concat dir "chopped.pg" in
+  let p = Pager.create_file ~page_size:256 path in
+  let id = Pager.allocate p in
+  Pager.write p id (Bytes.make 256 'z');
+  Pager.set_root p id;
+  Pager.close p;
+  (* Chop the page region off: the header says 1 page, the file has 0. *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  Unix.ftruncate fd 140;
+  Unix.close fd;
+  Alcotest.(check bool) "page_count inconsistent with length" true
+    (raises_corruption (fun () -> Pager.open_file path))
+
+let test_pager_open_absurd_header () =
+  let dir = temp_dir () in
+  let path = Filename.concat dir "absurd.pg" in
+  let p = Pager.create_file ~page_size:256 path in
+  Pager.close p;
+  (* Both slots valid; overwrite both with an absurd page_size but a
+     correct checksum, which must still be rejected (typed). *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let slot = Bytes.create 64 in
+  ignore (Unix.read fd slot 0 64);
+  Bytes.set_int64_be slot 16 (Int64.of_int (2 * 1024 * 1024));
+  Bytes.set_int32_be slot 60 (Trex_util.Crc32.bytes slot ~pos:0 ~len:60);
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  ignore (Unix.write fd slot 0 64);
+  ignore (Unix.write fd slot 0 64);
+  Unix.close fd;
+  Alcotest.(check bool) "absurd page_size rejected" true
+    (raises_corruption (fun () -> Pager.open_file path));
+  Alcotest.(check bool) "even with recovery" true
+    (raises_corruption (fun () -> Pager.open_with_recovery path))
+
+let test_pager_read_copy_isolated () =
+  let run p =
+    let id = Pager.allocate p in
+    Pager.write p id (Bytes.make (Pager.page_size p) 'a');
+    let copy = Pager.read_copy p id in
+    Bytes.fill copy 0 (Bytes.length copy) '!';
+    check Alcotest.string "mutating the copy leaves the page alone"
+      (String.make (Pager.page_size p) 'a')
+      (Bytes.to_string (Pager.read p id));
+    (* The live buffer from [read] aliases the cache: a later write is
+       visible through it, which is exactly why read_copy exists. *)
+    let live = Pager.read p id in
+    Pager.write p id (Bytes.make (Pager.page_size p) 'b');
+    check Alcotest.string "live buffer sees the write"
+      (String.make (Pager.page_size p) 'b')
+      (Bytes.to_string live);
+    check Alcotest.string "earlier copy does not"
+      (String.make (Pager.page_size p) '!')
+      (Bytes.to_string copy)
+  in
+  run (Pager.create_memory ~page_size:128 ());
+  let dir = temp_dir () in
+  let p = Pager.create_file ~page_size:128 (Filename.concat dir "rc.pg") in
+  run p;
+  Pager.close p
 
 let test_pager_eviction_under_small_cache () =
   let dir = temp_dir () in
@@ -362,6 +441,14 @@ let () =
           Alcotest.test_case "out of range" `Quick test_pager_out_of_range;
           Alcotest.test_case "file persistence" `Quick test_pager_file_persistence;
           Alcotest.test_case "open bad file" `Quick test_pager_open_bad_file;
+          Alcotest.test_case "open truncated file" `Quick
+            test_pager_open_truncated_file;
+          Alcotest.test_case "open truncated pages" `Quick
+            test_pager_open_truncated_pages;
+          Alcotest.test_case "open absurd header" `Quick
+            test_pager_open_absurd_header;
+          Alcotest.test_case "read_copy isolation" `Quick
+            test_pager_read_copy_isolated;
           Alcotest.test_case "eviction with small cache" `Quick
             test_pager_eviction_under_small_cache;
         ] );

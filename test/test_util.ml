@@ -265,6 +265,36 @@ let test_counters () =
   Counters.reset c;
   check Alcotest.int "after reset" 0 (Counters.get c "a")
 
+(* ---- crc32 ---- *)
+
+let test_crc32_vectors () =
+  (* The "check" value of the CRC-32/ISO-HDLC catalogue entry. *)
+  check Alcotest.int32 "123456789" 0xCBF43926l
+    (Trex_util.Crc32.string "123456789");
+  check Alcotest.int32 "empty" 0l (Trex_util.Crc32.string "");
+  check Alcotest.int32 "four zero bytes" 0x2144DF1Cl
+    (Trex_util.Crc32.string (String.make 4 '\x00'))
+
+let test_crc32_chaining () =
+  let whole = Trex_util.Crc32.string "hello, world" in
+  let part = Trex_util.Crc32.string "hello, " in
+  check Alcotest.int32 "chained equals whole" whole
+    (Trex_util.Crc32.string ~init:part "world");
+  let b = Bytes.of_string "xxhello, worldyy" in
+  check Alcotest.int32 "range" whole
+    (Trex_util.Crc32.bytes b ~pos:2 ~len:12)
+
+let prop_crc32_bit_flip_detected =
+  let open QCheck in
+  Test.make ~name:"crc32 detects any single bit flip" ~count:200
+    (pair (string_of_size Gen.(1 -- 64)) (pair small_nat small_nat))
+    (fun (s, (byte, bit)) ->
+      let byte = byte mod String.length s and bit = bit mod 8 in
+      let b = Bytes.of_string s in
+      Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+      Trex_util.Crc32.string s
+      <> Trex_util.Crc32.bytes b ~pos:0 ~len:(Bytes.length b))
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let () =
@@ -312,4 +342,10 @@ let () =
           Alcotest.test_case "idempotent pause/resume" `Quick test_stopclock_idempotent_pause;
         ] );
       ("counters", [ Alcotest.test_case "basic" `Quick test_counters ]);
+      ( "crc32",
+        [
+          Alcotest.test_case "known vectors" `Quick test_crc32_vectors;
+          Alcotest.test_case "chaining" `Quick test_crc32_chaining;
+          qtest prop_crc32_bit_flip_detected;
+        ] );
     ]
