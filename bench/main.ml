@@ -170,12 +170,23 @@ let section_sizes () =
       Printf.printf
         "  (postings/elements ratio %.1fx; paper has 5.3x IEEE, 12.3x Wiki)\n"
         (float_of_int sizes.postings_bytes /. float_of_int (max 1 sizes.elements_bytes));
+      Bench_out.record ~section:"sizes" ~query:coll.name ~strategy:"index_build"
+        ~k:0 ~ms:0.0
+        [
+          ("docs", stats.doc_count);
+          ("elements", stats.element_count);
+          ("terms", stats.term_count);
+          ("postings", stats.posting_count);
+          ("elements_bytes", sizes.elements_bytes);
+          ("postings_bytes", sizes.postings_bytes);
+        ];
       List.iter
         (fun (name, s) ->
           Printf.printf "  %-16s summary: %5d nodes%s\n" name (Summary.node_count s)
             (if Summary.nesting_free s then "" else "  [not nesting-free]"))
         (summary_sizes coll))
-    [ Queries.Ieee; Queries.Wikipedia ]
+    [ Queries.Ieee; Queries.Wikipedia ];
+  Bench_out.flush ~quick:!quick "sizes"
 
 (* ---- section: table 1 ---- *)
 
@@ -215,12 +226,20 @@ let section_table1 () =
         | Some v -> v
         | None -> (0, 0, 0)
       in
+      Bench_out.record ~section:"table1" ~query:q.id ~strategy:"translate" ~k:0
+        ~ms:0.0
+        [
+          ("sids", List.length sids);
+          ("terms", List.length terms);
+          ("answers", n_answers);
+        ];
       Printf.printf "%-4s %-10s %7d %7d %9d | %9d %7d %9d\n" q.id
         (match q.collection with Queries.Ieee -> "IEEE" | Queries.Wikipedia -> "Wiki")
         (List.length sids) (List.length terms) n_answers p_sids p_terms p_answers)
     Queries.all;
   Printf.printf
-    "(p* columns: paper values at full INEX scale; shapes to match, not magnitudes)\n"
+    "(p* columns: paper values at full INEX scale; shapes to match, not magnitudes)\n";
+  Bench_out.flush ~quick:!quick "table1"
 
 (* ---- sections: figures 4-6 ---- *)
 
@@ -235,7 +254,7 @@ let run_method engine ~sids ~terms ~k m () =
     (Strategy.evaluate (Trex.index engine) ~scoring:(Trex.scoring engine) ~sids ~terms
        ~k m)
 
-let figure_for_query (q : Queries.t) =
+let figure_for_query ~section (q : Queries.t) =
   let engine, sids, terms = translated q in
   ignore (Trex.materialize engine q.nexi);
   let n_answers = count_answers q in
@@ -248,6 +267,11 @@ let figure_for_query (q : Queries.t) =
   let t_merge =
     robust_time (run_method engine ~sids ~terms ~k:max_int Strategy.Merge_method)
   in
+  (* "All answers" rows: ERA and Merge ignore k, report k = #answers. *)
+  Bench_out.record ~section ~query:q.id ~strategy:"ERA" ~k:n_answers
+    ~ms:(t_era *. 1000.0) [];
+  Bench_out.record ~section ~query:q.id ~strategy:"Merge" ~k:n_answers
+    ~ms:(t_merge *. 1000.0) [];
   Printf.printf "  ERA   (all answers): %8.2f ms\n" (t_era *. 1000.0);
   Printf.printf "  Merge (all answers): %8.2f ms\n" (t_merge *. 1000.0);
   Printf.printf "  %8s %12s %12s %10s %10s %8s %8s\n" "k" "TA (ms)" "ITA (ms)"
@@ -268,6 +292,23 @@ let figure_for_query (q : Queries.t) =
       let _, stats = Trex.Ta.run index ~sids ~terms ~k ~ideal_heap:true () in
       let total = stats.elapsed_seconds +. stats.heap_seconds in
       let heap_pct = if total > 0.0 then 100.0 *. stats.heap_seconds /. total else 0.0 in
+      (* TA and ITA do identical algorithmic work (ideal_heap only
+         changes the clock), so one stats record serves both rows. *)
+      let counters =
+        [
+          ("sorted_accesses", stats.sorted_accesses);
+          ("skipped_accesses", stats.skipped_accesses);
+          ("heap_operations", stats.heap_operations);
+          ("heap_pushes", stats.heap_pushes);
+          ("heap_evictions", stats.heap_evictions);
+          ("candidates", stats.candidates);
+          ("stopped_early", if stats.stopped_early then 1 else 0);
+        ]
+      in
+      Bench_out.record ~section ~query:q.id ~strategy:"TA" ~k ~ms:(t_ta *. 1000.0)
+        counters;
+      Bench_out.record ~section ~query:q.id ~strategy:"ITA" ~k ~ms:(t_ita *. 1000.0)
+        counters;
       Printf.printf "  %8d %12.2f %12.2f %10d %10d %7.1f%% %8s\n" k (t_ta *. 1000.0)
         (t_ita *. 1000.0) stats.sorted_accesses stats.heap_operations heap_pct
         (if stats.stopped_early then "yes" else "no"))
@@ -277,14 +318,15 @@ let figure_for_query (q : Queries.t) =
 let expect label cond =
   Printf.printf "  shape[%s]: %s\n" label (if cond then "OK" else "DIFFERS")
 
-let section_figure name ids note =
+let section_figure ~section name ids note =
   header (Printf.sprintf "%s: evaluation time vs k (%s)" name note);
   List.iter
     (fun id ->
       let q = Queries.find id in
-      let t_era, t_merge = figure_for_query q in
+      let t_era, t_merge = figure_for_query ~section q in
       expect (id ^ ": Merge beats ERA") (t_merge < t_era))
-    ids
+    ids;
+  Bench_out.flush ~quick:!quick section
 
 (* ---- section: selfman ---- *)
 
@@ -542,10 +584,18 @@ let section_io () =
         if reads + hits = 0 then 0.0
         else float_of_int hits /. float_of_int (reads + hits)
       in
+      Bench_out.record ~section:"io" ~query:"270" ~strategy:"ERA" ~k:0
+        ~ms:(t *. 1e3)
+        [
+          ("cache_pages", cache_pages);
+          ("physical_reads", reads);
+          ("cache_hits", hits);
+        ];
       Printf.printf "%12d | %12d %12d %11.1f%% | %10.2f\n" cache_pages reads hits
         (100.0 *. ratio) (t *. 1e3);
       Trex.Env.close env)
-    [ 8; 32; 128; 1024; 8192 ]
+    [ 8; 32; 128; 1024; 8192 ];
+  Bench_out.flush ~quick:!quick "io"
 
 (* ---- section: effectiveness ---- *)
 
@@ -708,13 +758,13 @@ let () =
   if want "table1" then section_table1 ();
   if want "fig4" || want "fig5" || want "fig6" then materialize_all ();
   if want "fig4" then
-    section_figure "FIGURE 4" [ "202"; "203" ]
+    section_figure ~section:"fig4" "FIGURE 4" [ "202"; "203" ]
       "202: Merge<<TA~ERA, ITA<<TA; 203: TA<<ERA, small-k TA~Merge";
   if want "fig5" then
-    section_figure "FIGURE 5" [ "260"; "270" ]
+    section_figure ~section:"fig5" "FIGURE 5" [ "260"; "270" ]
       "260: TA best only tiny k; 270: k drastically affects TA";
   if want "fig6" then
-    section_figure "FIGURE 6" [ "233"; "290"; "292" ]
+    section_figure ~section:"fig6" "FIGURE 6" [ "233"; "290"; "292" ]
       "233/292: TA & Merge << ERA; 290: Merge usually wins";
   if want "selfman" then section_selfman ();
   if want "ablation" then section_ablation ();

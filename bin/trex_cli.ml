@@ -124,9 +124,14 @@ let query_cmd =
   let structured =
     Arg.(value & flag & info [ "structured" ] ~doc:"full NEXI semantics")
   in
-  let run env nexi k method_ strict structured =
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ] ~doc:"print a tree of timed spans after the answers")
+  in
+  let run env nexi k method_ strict structured trace =
     let storage = Trex.Env.on_disk env in
     let engine = Trex.attach ~env:storage () in
+    if trace then Trex.Obs.Span.set_enabled true;
     let outcome =
       if structured then Trex.query_structured engine ~k nexi
       else
@@ -152,10 +157,14 @@ let query_cmd =
         Printf.printf "%2d. [%.4f] %s %s\n    %s\n" h.rank h.score h.doc_name h.xpath
           h.snippet)
       (Trex.hits engine ~limit:k outcome.strategy.answers);
+    if trace then begin
+      Printf.printf "trace:\n";
+      Format.printf "%a@." Trex.Obs.Span.pp_tree (Trex.Obs.Span.roots ())
+    end;
     Trex.Env.close storage
   in
   Cmd.v (Cmd.info "query" ~doc:"Evaluate a NEXI query")
-    Term.(const run $ env_arg $ nexi $ k $ method_ $ strict $ structured)
+    Term.(const run $ env_arg $ nexi $ k $ method_ $ strict $ structured $ trace)
 
 (* ---- materialize ---- *)
 
@@ -337,6 +346,11 @@ let stats_cmd =
     in
     show Trex.Rpl.Rpl "RPL";
     show Trex.Rpl.Erpl "ERPL";
+    (* Everything the registry saw while this process attached and read
+       the catalogs: pager cache traffic plus the per-strategy run
+       counters (zero until queries run in this process). *)
+    Printf.printf "observability:\n";
+    Format.printf "  @[<v>%a@]@." Trex.Obs.Metrics.pp ();
     Trex.Env.close storage
   in
   Cmd.v (Cmd.info "stats" ~doc:"Show index statistics") Term.(const run $ env_arg)

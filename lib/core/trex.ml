@@ -18,6 +18,7 @@ module Workload = Trex_selfman.Workload
 module Cost = Trex_selfman.Cost
 module Advisor = Trex_selfman.Advisor
 module Autopilot = Trex_selfman.Autopilot
+module Obs = Trex_obs
 
 type t = { index : Index.t; scoring : Scorer.config }
 
@@ -67,7 +68,10 @@ type outcome = {
 }
 
 let query t ?(k = 10) ?method_ ?(strict = false) nexi =
-  let translation = translate t (parse t nexi) in
+  Obs.Span.with_ ~name:"query" @@ fun () ->
+  let translation =
+    Obs.Span.with_ ~name:"parse+translate" (fun () -> translate t (parse t nexi))
+  in
   let sids = Translate.all_sids translation in
   let terms = Translate.all_terms translation in
   let method_ =
@@ -137,6 +141,7 @@ let element_has_phrase t (e : Types.element) phrase =
           m > 0 && scan 0)
 
 let query_structured t ?(k = 10) nexi =
+  Obs.Span.with_ ~name:"query_structured" @@ fun () ->
   let translation = translate t (parse t nexi) in
   let target_sids = translation.Translate.target_sids in
   let candidates : (int * int, Types.element * float) Hashtbl.t = Hashtbl.create 64 in
@@ -254,6 +259,7 @@ let add_document t ~name ~xml =
   docid
 
 let materialize t ?(kinds = [ Rpl.Rpl; Rpl.Erpl ]) ?rpl_prefix nexi =
+  Obs.Span.with_ ~name:"materialize" @@ fun () ->
   let translation = translate t (parse t nexi) in
   Rpl.build t.index ~scoring:t.scoring
     ~sids:(Translate.all_sids translation)

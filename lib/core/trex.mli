@@ -38,6 +38,12 @@ module Cost = Trex_selfman.Cost
 module Advisor = Trex_selfman.Advisor
 module Autopilot = Trex_selfman.Autopilot
 
+module Obs = Trex_obs
+(** Observability: process-wide metrics registry ({!Trex_obs.Metrics})
+    and query-span tracing ({!Trex_obs.Span}). [query] /
+    [query_structured] / [materialize] run under spans when tracing is
+    enabled with [Obs.Span.set_enabled true]. *)
+
 type t
 
 val build :

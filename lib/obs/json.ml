@@ -1,0 +1,274 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---- printing ---- *)
+
+let escape_to b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* %.17g round-trips every float; non-finite values have no JSON
+   representation and degrade to null. *)
+let float_repr f =
+  if Float.is_nan f || Float.abs f = infinity then "null"
+  else Printf.sprintf "%.17g" f
+
+let to_string ?(pretty = false) t =
+  let b = Buffer.create 256 in
+  let indent depth =
+    if pretty then begin
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make (2 * depth) ' ')
+    end
+  in
+  let rec emit depth = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int n -> Buffer.add_string b (string_of_int n)
+    | Float f -> Buffer.add_string b (float_repr f)
+    | String s -> escape_to b s
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char b ',';
+            indent (depth + 1);
+            emit (depth + 1) item)
+          items;
+        indent depth;
+        Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (name, value) ->
+            if i > 0 then Buffer.add_char b ',';
+            indent (depth + 1);
+            escape_to b name;
+            Buffer.add_string b (if pretty then ": " else ":");
+            emit (depth + 1) value)
+          fields;
+        indent depth;
+        Buffer.add_char b '}'
+  in
+  emit 0 t;
+  Buffer.contents b
+
+(* ---- parsing ---- *)
+
+exception Parse_error of string
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg =
+  raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let skip_ws st =
+  while
+    st.pos < String.length st.src
+    && match st.src.[st.pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false
+  do
+    st.pos <- st.pos + 1
+  done
+
+let expect st c =
+  match peek st with
+  | Some d when d = c -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected %C" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else fail st (Printf.sprintf "expected %s" word)
+
+let hex_digit st c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail st "bad \\u escape"
+
+(* Encode a BMP code point as UTF-8. Surrogate pairs are passed through
+   as two 3-byte sequences — tolerable for diagnostics output. *)
+let add_utf8 b cp =
+  if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    if st.pos >= String.length st.src then fail st "unterminated string";
+    let c = st.src.[st.pos] in
+    st.pos <- st.pos + 1;
+    match c with
+    | '"' -> Buffer.contents b
+    | '\\' -> (
+        if st.pos >= String.length st.src then fail st "unterminated escape";
+        let e = st.src.[st.pos] in
+        st.pos <- st.pos + 1;
+        match e with
+        | '"' | '\\' | '/' -> Buffer.add_char b e; loop ()
+        | 'n' -> Buffer.add_char b '\n'; loop ()
+        | 't' -> Buffer.add_char b '\t'; loop ()
+        | 'r' -> Buffer.add_char b '\r'; loop ()
+        | 'b' -> Buffer.add_char b '\b'; loop ()
+        | 'f' -> Buffer.add_char b '\012'; loop ()
+        | 'u' ->
+            if st.pos + 4 > String.length st.src then fail st "short \\u escape";
+            let cp =
+              (hex_digit st st.src.[st.pos] lsl 12)
+              lor (hex_digit st st.src.[st.pos + 1] lsl 8)
+              lor (hex_digit st st.src.[st.pos + 2] lsl 4)
+              lor hex_digit st st.src.[st.pos + 3]
+            in
+            st.pos <- st.pos + 4;
+            add_utf8 b cp;
+            loop ()
+        | _ -> fail st "bad escape")
+    | c when Char.code c < 0x20 -> fail st "control character in string"
+    | c -> Buffer.add_char b c; loop ()
+  in
+  loop ()
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let consume () = st.pos <- st.pos + 1 in
+  (match peek st with Some '-' -> consume () | _ -> ());
+  let digits () =
+    let n0 = st.pos in
+    while (match peek st with Some '0' .. '9' -> true | _ -> false) do consume () done;
+    if st.pos = n0 then fail st "expected digit"
+  in
+  digits ();
+  (match peek st with
+  | Some '.' ->
+      is_float := true;
+      consume ();
+      digits ()
+  | _ -> ());
+  (match peek st with
+  | Some ('e' | 'E') ->
+      is_float := true;
+      consume ();
+      (match peek st with Some ('+' | '-') -> consume () | _ -> ());
+      digits ()
+  | _ -> ());
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then Float (float_of_string text)
+  else
+    match int_of_string_opt text with
+    | Some n -> Int n
+    | None -> Float (float_of_string text)
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> fail st "unexpected end of input"
+  | Some 'n' -> literal st "null" Null
+  | Some 't' -> literal st "true" (Bool true)
+  | Some 'f' -> literal st "false" (Bool false)
+  | Some '"' -> String (parse_string st)
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some '[' ->
+      expect st '[';
+      skip_ws st;
+      if peek st = Some ']' then begin
+        expect st ']';
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              expect st ',';
+              items (v :: acc)
+          | Some ']' ->
+              expect st ']';
+              List.rev (v :: acc)
+          | _ -> fail st "expected ',' or ']'"
+        in
+        List (items [])
+      end
+  | Some '{' ->
+      expect st '{';
+      skip_ws st;
+      if peek st = Some '}' then begin
+        expect st '}';
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws st;
+          let name = parse_string st in
+          skip_ws st;
+          expect st ':';
+          let v = parse_value st in
+          (name, v)
+        in
+        let rec fields acc =
+          let f = field () in
+          skip_ws st;
+          match peek st with
+          | Some ',' ->
+              expect st ',';
+              fields (f :: acc)
+          | Some '}' ->
+              expect st '}';
+              List.rev (f :: acc)
+          | _ -> fail st "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+  | Some c -> fail st (Printf.sprintf "unexpected character %C" c)
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing garbage";
+  v
+
+let parse_result s =
+  match parse s with v -> Ok v | exception Parse_error msg -> Error msg
+
+let member name = function
+  | Obj fields -> List.assoc_opt name fields
+  | _ -> None

@@ -1,0 +1,31 @@
+(** Minimal JSON tree, printer and parser.
+
+    The repository deliberately depends only on the baked-in toolchain,
+    so machine-readable observability output (metrics dumps, span
+    traces, [BENCH_*.json]) carries its own tiny JSON implementation.
+    The printer always emits valid JSON (non-finite floats become
+    [null]); the parser accepts exactly the JSON this module prints plus
+    standard escapes, enough for tests and CI to validate emitted
+    files. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : ?pretty:bool -> t -> string
+(** [pretty] (default false) indents objects and lists. *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Raises {!Parse_error} on malformed input or trailing garbage. *)
+
+val parse_result : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field lookup on [Obj]; [None] on missing fields or non-objects. *)

@@ -1,0 +1,72 @@
+(** Process-wide metrics registry.
+
+    One global registry holds monotonic counters, gauges and log-bucket
+    histograms, each addressed by a dotted name ("pager.cache_hits",
+    "ta.heap_pushes", "span.query"). Looking a metric up returns a
+    handle with a single mutable field, so hot loops pay one record
+    mutation per event — the same cost as the local [int ref]s the
+    handles replace. Module-level handles register their names at
+    program start, so a metrics dump lists every instrumented site even
+    when its count is still zero.
+
+    The registry is not thread-safe; the engine is single-threaded. *)
+
+type counter
+type gauge
+type histogram
+
+(** {1 Counters} *)
+
+val counter : string -> counter
+(** Find or register the named monotonic counter. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val value : counter -> int
+
+(** {1 Gauges} *)
+
+val gauge : string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+(** {1 Histograms}
+
+    Values land in log-scaled buckets (powers of two above 1e-9, which
+    spans nanoseconds to decades for durations in seconds); quantiles
+    are estimated from the bucket the requested rank falls into and
+    clamped to the observed min/max. *)
+
+val histogram : string -> histogram
+val observe : histogram -> float -> unit
+val quantile : histogram -> float -> float
+(** [quantile h q] for q in [0, 1]; 0.0 on an empty histogram. *)
+
+type histogram_snapshot = {
+  n : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p95 : float;
+  p99 : float;
+}
+
+val histogram_snapshot : histogram -> histogram_snapshot
+
+(** {1 Registry} *)
+
+val counters : unit -> (string * int) list
+(** Every registered counter with its current value, sorted by name. *)
+
+val gauges : unit -> (string * float) list
+val histograms : unit -> (string * histogram_snapshot) list
+
+val counters_with_prefix : string -> (string * int) list
+
+val reset : unit -> unit
+(** Zero every metric in place. Handles stay registered and live —
+    holders keep incrementing the same cells the registry reads. *)
+
+val to_json : unit -> Json.t
+val pp : Format.formatter -> unit -> unit

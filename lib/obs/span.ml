@@ -1,0 +1,70 @@
+module Stopclock = Trex_util.Stopclock
+
+type t = { name : string; seconds : float; children : t list }
+
+type frame = {
+  f_name : string;
+  f_clock : Stopclock.t;
+  mutable f_children : t list; (* newest first *)
+}
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+let stack : frame list ref = ref []
+let finished : t list ref = ref [] (* newest first *)
+
+let reset () =
+  stack := [];
+  finished := []
+
+let with_ ~name f =
+  if not !enabled_flag then f ()
+  else begin
+    let fr = { f_name = name; f_clock = Stopclock.create (); f_children = [] } in
+    stack := fr :: !stack;
+    Fun.protect
+      ~finally:(fun () ->
+        let seconds = Stopclock.elapsed fr.f_clock in
+        (* Pop down to fr. Fun.protect runs inner finalizers first, so
+           anything above fr is a frame whose finalizer was skipped by a
+           non-exception escape — discard defensively. *)
+        let rec pop () =
+          match !stack with
+          | [] -> ()
+          | top :: rest ->
+              stack := rest;
+              if top != fr then pop ()
+        in
+        pop ();
+        let span = { name; seconds; children = List.rev fr.f_children } in
+        Metrics.observe (Metrics.histogram ("span." ^ name)) seconds;
+        match !stack with
+        | parent :: _ -> parent.f_children <- span :: parent.f_children
+        | [] -> finished := span :: !finished)
+      f
+  end
+
+let roots () = List.rev !finished
+
+let rec to_json_one span =
+  Json.Obj
+    [
+      ("name", Json.String span.name);
+      ("ms", Json.Float (span.seconds *. 1e3));
+      ("children", Json.List (List.map to_json_one span.children));
+    ]
+
+let to_json spans = Json.List (List.map to_json_one spans)
+
+let pp_tree fmt spans =
+  let rec pp depth span =
+    Format.fprintf fmt "%s%-*s %10.3f ms@," (String.make (2 * depth) ' ')
+      (max 1 (32 - (2 * depth)))
+      span.name (span.seconds *. 1e3);
+    List.iter (pp (depth + 1)) span.children
+  in
+  Format.fprintf fmt "@[<v>";
+  List.iter (pp 0) spans;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,28 @@
+(** Span-based tracing.
+
+    [with_ ~name f] times [f] with a {!Trex_util.Stopclock} and records
+    a span; spans opened inside [f] nest as children, forming a tree per
+    top-level call. Each completed span also lands in the registry
+    histogram ["span." ^ name], so repeated operations accumulate
+    p50/p95/p99 latencies for free.
+
+    Tracing is off by default and [with_] then runs [f] with no
+    overhead at all — instrumented code paths need no flag checks of
+    their own. *)
+
+type t = { name : string; seconds : float; children : t list }
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val with_ : name:string -> (unit -> 'a) -> 'a
+(** Exceptions propagate; the span is still recorded. *)
+
+val roots : unit -> t list
+(** Completed top-level spans, oldest first. *)
+
+val reset : unit -> unit
+(** Drop completed and in-progress spans. Leaves [enabled] unchanged. *)
+
+val to_json : t list -> Json.t
+val pp_tree : Format.formatter -> t list -> unit

@@ -1,4 +1,8 @@
 module Codec = Trex_util.Codec
+module Metrics = Trex_obs.Metrics
+
+(* Process-wide total across every tree; per-tree stats are not kept. *)
+let m_node_splits = Metrics.counter "bptree.node_splits"
 
 (* In-memory image of a node; nodes are (de)serialized to pager pages on
    every access. Cursors keep the deserialized leaf, so scans parse each
@@ -187,6 +191,7 @@ let insert t ~key ~value =
           let right_id = Pager.allocate t.pager in
           write_node t right_id (Leaf { entries = right; next = leaf.next });
           write_node t id (Leaf { entries = left; next = right_id });
+          Metrics.incr m_node_splits;
           Split (fst right.(0), right_id)
         end
     | Internal node -> (
@@ -216,6 +221,7 @@ let insert t ~key ~value =
                 (Internal { keys = right_keys; children = right_children });
               write_node t id
                 (Internal { keys = left_keys; children = left_children });
+              Metrics.incr m_node_splits;
               Split (sep_up, right_id)
             end)
   in

@@ -1,3 +1,8 @@
+module Metrics = Trex_obs.Metrics
+
+let m_table_opens = Metrics.counter "env.table_opens"
+let m_compactions = Metrics.counter "env.compactions"
+
 type backend = Mem | Disk of { dir : string; cache_pages : int }
 
 type t = {
@@ -62,6 +67,7 @@ let table t name =
                 (Pager.create_file ~page_size:t.page_size ~cache_pages path)
       in
       Hashtbl.add t.tables name tree;
+      Metrics.incr m_table_opens;
       tree
 
 let has_table t name =
@@ -116,6 +122,7 @@ let total_bytes t =
 
 let compact_table t name =
   if has_table t name then begin
+    Metrics.incr m_compactions;
     let tree = table t name in
     let entries = ref [] in
     Bptree.iter tree (fun k v -> entries := (k, v) :: !entries);

@@ -1,4 +1,15 @@
 module Crc32 = Trex_util.Crc32
+module Metrics = Trex_obs.Metrics
+
+(* Process-wide totals across every pager; the per-pager mutable stats
+   below stay the per-file view that [stats] reports. *)
+let m_physical_reads = Metrics.counter "pager.physical_reads"
+let m_physical_writes = Metrics.counter "pager.physical_writes"
+let m_cache_hits = Metrics.counter "pager.cache_hits"
+let m_cache_misses = Metrics.counter "pager.cache_misses"
+let m_checksum_failures = Metrics.counter "pager.checksum_failures"
+let m_fsyncs = Metrics.counter "pager.fsyncs"
+let m_recoveries = Metrics.counter "pager.recoveries"
 
 type stats = {
   physical_reads : int;
@@ -118,7 +129,11 @@ let io_seq t = t.io_seq
 let fsync_dropped t =
   List.exists (function Drop_fsync -> true | _ -> false) t.faults
 
-let do_fsync t fd = if not (fsync_dropped t) then Unix.fsync fd
+let do_fsync t fd =
+  if not (fsync_dropped t) then begin
+    Metrics.incr m_fsyncs;
+    Unix.fsync fd
+  end
 
 (* All bytes that reach the file go through here, so the fault plan sees
    a single write sequence covering pages and header slots. *)
@@ -259,6 +274,7 @@ let open_internal ~allow_fallback ?(cache_pages = 4096) path =
   let s0 = decode_slot ~file_len hdr 0 in
   let s1 = decode_slot ~file_len hdr slot_size in
   let finish ~slot ~fell_back ~note =
+    if fell_back then Metrics.incr m_recoveries;
     let t =
       mk
         (File { fd; cache_pages; path })
@@ -321,6 +337,7 @@ let physical_read t fd id buf =
   in
   let got = fill 0 in
   t.physical_reads <- t.physical_reads + 1;
+  Metrics.incr m_physical_reads;
   if got < slot then
     corrupt t ~page:id
       (Printf.sprintf "truncated page: %d of %d bytes on disk" got slot);
@@ -328,6 +345,7 @@ let physical_read t fd id buf =
   let actual = Crc32.bytes t.scratch ~pos:0 ~len:t.page_size in
   if stored <> actual then begin
     t.checksum_failures <- t.checksum_failures + 1;
+    Metrics.incr m_checksum_failures;
     corrupt t ~page:id
       (Printf.sprintf "page checksum mismatch (stored %08lx, computed %08lx)"
          stored actual)
@@ -339,7 +357,8 @@ let physical_write t fd id buf =
   Bytes.set_int32_be t.scratch t.page_size
     (Crc32.bytes t.scratch ~pos:0 ~len:t.page_size);
   raw_write t fd ~off:(file_offset t id) t.scratch (t.page_size + page_trailer);
-  t.physical_writes <- t.physical_writes + 1
+  t.physical_writes <- t.physical_writes + 1;
+  Metrics.incr m_physical_writes
 
 let evict_one t fd =
   (* Evict the least recently used cached page. Linear scan is fine:
@@ -392,15 +411,18 @@ let read t id =
   match t.backend with
   | Memory pages ->
       t.cache_hits <- t.cache_hits + 1;
+      Metrics.incr m_cache_hits;
       !pages.(id)
   | File { fd; cache_pages; _ } -> (
       match Hashtbl.find_opt t.cache id with
       | Some c ->
           t.cache_hits <- t.cache_hits + 1;
+          Metrics.incr m_cache_hits;
           touch t c;
           c.buf
       | None ->
           t.cache_misses <- t.cache_misses + 1;
+          Metrics.incr m_cache_misses;
           if Hashtbl.length t.cache >= cache_pages then evict_one t fd;
           let buf = Bytes.create t.page_size in
           physical_read t fd id buf;

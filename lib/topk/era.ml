@@ -1,6 +1,13 @@
 module Types = Trex_invindex.Types
 module Index = Trex_invindex.Index
 module Scorer = Trex_scoring.Scorer
+module Metrics = Trex_obs.Metrics
+
+(* Registry totals across every run; [run_stats] is the per-run delta. *)
+let m_runs = Metrics.counter "era.runs"
+let m_positions = Metrics.counter "era.positions_scanned"
+let m_seeks = Metrics.counter "era.iterator_seeks"
+let m_emitted = Metrics.counter "era.elements_emitted"
 
 type result = { element : Types.element; tf : int array }
 
@@ -13,6 +20,7 @@ type run_stats = {
 let run index ~sids ~terms =
   let sids = List.sort_uniq compare sids in
   let m = List.length sids and n = List.length terms in
+  Metrics.incr m_runs;
   if m = 0 || n = 0 then
     ([], { positions_scanned = 0; iterator_seeks = 0; elements_emitted = 0 })
   else begin
@@ -27,11 +35,12 @@ let run index ~sids ~terms =
     let c = Array.make_matrix m n 0 in
     let pos = Array.map Index.Posting_iter.next_position term_iters in
     let results = ref [] in
-    let positions_scanned = ref 0 and iterator_seeks = ref 0 in
-    let emitted = ref 0 in
+    let positions0 = Metrics.value m_positions
+    and seeks0 = Metrics.value m_seeks
+    and emitted0 = Metrics.value m_emitted in
     let flush i =
       if Array.exists (fun v -> v > 0) c.(i) then begin
-        incr emitted;
+        Metrics.incr m_emitted;
         results := { element = e.(i); tf = Array.copy c.(i) } :: !results;
         Array.fill c.(i) 0 n 0
       end
@@ -48,7 +57,7 @@ let run index ~sids ~terms =
     while not (Array.for_all Types.is_m_pos pos) do
       let x = min_term () in
       let p = pos.(x) in
-      incr positions_scanned;
+      Metrics.incr m_positions;
       for i = 0 to m - 1 do
         let ei = e.(i) in
         if Types.is_dummy ei then ()
@@ -62,7 +71,7 @@ let run index ~sids ~terms =
             (* p lies beyond the element's interior: emit and move on. *)
             flush i;
             e.(i) <- Index.Element_iter.next_element_after sid_iters.(i) p;
-            incr iterator_seeks;
+            Metrics.incr m_seeks;
             if Types.contains e.(i) p then c.(i).(x) <- c.(i).(x) + 1
           end
         end
@@ -75,9 +84,9 @@ let run index ~sids ~terms =
     done;
     ( List.rev !results,
       {
-        positions_scanned = !positions_scanned;
-        iterator_seeks = !iterator_seeks;
-        elements_emitted = !emitted;
+        positions_scanned = Metrics.value m_positions - positions0;
+        iterator_seeks = Metrics.value m_seeks - seeks0;
+        elements_emitted = Metrics.value m_emitted - emitted0;
       } )
   end
 

@@ -3,6 +3,13 @@ module Env = Trex_storage.Env
 module Bptree = Trex_storage.Bptree
 module Types = Trex_invindex.Types
 module Index = Trex_invindex.Index
+module Metrics = Trex_obs.Metrics
+
+(* Process-wide cursor traffic, split by layout; the per-cursor
+   [entries_read]/[entries_skipped] accessors stay the per-run view. *)
+let m_full_read = Metrics.counter "rpl.full.entries_read"
+let m_full_skipped = Metrics.counter "rpl.full.entries_skipped"
+let m_merged_read = Metrics.counter "rpl.merged.entries_read"
 
 type entry = { element : Types.element; score : float }
 type kind = Rpl | Erpl
@@ -412,9 +419,11 @@ module Full = struct
     | e :: rest ->
         c.f_chunk <- rest;
         c.f_read <- c.f_read + 1;
+        Metrics.incr m_full_read;
         if Hashtbl.mem c.f_sids e.element.Types.sid then Some e
         else begin
           c.f_skipped <- c.f_skipped + 1;
+          Metrics.incr m_full_skipped;
           next c
         end
     | [] ->
@@ -535,6 +544,7 @@ module Cursor = struct
         | Some e' -> Merge_heap.push t.heap (i, e', t.kind)
         | None -> ());
         t.read <- t.read + 1;
+        Metrics.incr m_merged_read;
         Some e
 
   let entries_read t = t.read

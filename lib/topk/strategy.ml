@@ -1,4 +1,6 @@
 module Stopclock = Trex_util.Stopclock
+module Metrics = Trex_obs.Metrics
+module Span = Trex_obs.Span
 
 type method_ = Era_method | Ta_method | Ita_method | Merge_method
 
@@ -10,6 +12,13 @@ let method_to_string = function
 
 let all_methods = [ Era_method; Ta_method; Ita_method; Merge_method ]
 
+(* Register every strategy's run counter at load time so `trex_cli
+   stats` lists them all, including the ones still at zero. *)
+let () =
+  List.iter
+    (fun m -> ignore (Metrics.counter ("strategy.runs." ^ method_to_string m)))
+    all_methods
+
 type outcome = {
   method_used : method_;
   answers : Answer.t;
@@ -18,7 +27,7 @@ type outcome = {
   detail : string;
 }
 
-let evaluate index ~scoring ~sids ~terms ~k method_ =
+let evaluate_inner index ~scoring ~sids ~terms ~k method_ =
   match method_ with
   | Era_method ->
       let clock = Stopclock.create () in
@@ -58,6 +67,18 @@ let evaluate index ~scoring ~sids ~terms ~k method_ =
           Printf.sprintf "entries=%d merged=%d" stats.entries_read
             stats.elements_merged;
       }
+
+let evaluate index ~scoring ~sids ~terms ~k method_ =
+  let name = method_to_string method_ in
+  let outcome =
+    Span.with_ ~name:("eval." ^ name) (fun () ->
+        evaluate_inner index ~scoring ~sids ~terms ~k method_)
+  in
+  Metrics.incr (Metrics.counter ("strategy.runs." ^ name));
+  Metrics.observe
+    (Metrics.histogram ("strategy.seconds." ^ name))
+    outcome.elapsed_seconds;
+  outcome
 
 let available index ~sids ~terms =
   let rpl_ok = Rpl.covers index Rpl.Rpl ~sids ~terms in

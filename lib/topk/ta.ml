@@ -1,5 +1,19 @@
 module Types = Trex_invindex.Types
 module Stopclock = Trex_util.Stopclock
+module Metrics = Trex_obs.Metrics
+
+(* Registry totals accumulate across every run in the process; the
+   [stats] record returned by [run] is the per-run view, computed as the
+   delta of these counters over the run (single-threaded). *)
+let m_runs = Metrics.counter "ta.runs"
+let m_ita_runs = Metrics.counter "ita.runs"
+let m_early_stops = Metrics.counter "ta.early_stops"
+let m_sorted = Metrics.counter "ta.sorted_accesses"
+let m_skipped = Metrics.counter "ta.skipped_accesses"
+let m_heap_ops = Metrics.counter "ta.heap_operations"
+let m_heap_pushes = Metrics.counter "ta.heap_pushes"
+let m_heap_evictions = Metrics.counter "ta.heap_evictions"
+let m_candidates = Metrics.counter "ta.candidates"
 
 type stats = {
   sorted_accesses : int;
@@ -82,7 +96,8 @@ let run index ~sids ~terms ~k ?(ideal_heap = false) ?(use_full_rpls = false) () 
   let candidates : (int * int, candidate) Hashtbl.t = Hashtbl.create 256 in
   let heap = Topk_heap.create () in
   let live_count = ref 0 in
-  let pushes = ref 0 and evictions = ref 0 in
+  let pushes0 = Metrics.value m_heap_pushes
+  and evictions0 = Metrics.value m_heap_evictions in
   let version = ref 0 in
   let stopped_early = ref false in
   (* Pop stale entries off the heap top so its minimum is live. *)
@@ -155,7 +170,7 @@ let run index ~sids ~terms ~k ?(ideal_heap = false) ?(use_full_rpls = false) () 
       c.c_worst <- c.c_worst +. entry.score;
       incr version;
       c.c_version <- !version;
-      incr pushes;
+      Metrics.incr m_heap_pushes;
       with_heap_op (fun () -> Topk_heap.push heap (c.c_worst, key, !version));
       if not c.c_live then begin
         c.c_live <- true;
@@ -170,7 +185,7 @@ let run index ~sids ~terms ~k ?(ideal_heap = false) ?(use_full_rpls = false) () 
               | Some ec when ec.c_live && ec.c_version = ev ->
                   ec.c_live <- false;
                   decr live_count;
-                  incr evictions
+                  Metrics.incr m_heap_evictions
               | Some _ | None -> ())
         done
       end
@@ -225,13 +240,19 @@ let run index ~sids ~terms ~k ?(ideal_heap = false) ?(use_full_rpls = false) () 
   let elapsed = Stopclock.elapsed clock in
   let total_reads = Array.fold_left (fun acc c -> acc + c.reads ()) 0 cursors in
   let total_skipped = Array.fold_left (fun acc c -> acc + c.skipped ()) 0 cursors in
+  Metrics.incr (if ideal_heap then m_ita_runs else m_runs);
+  if !stopped_early then Metrics.incr m_early_stops;
+  Metrics.add m_sorted total_reads;
+  Metrics.add m_skipped total_skipped;
+  Metrics.add m_heap_ops (Topk_heap.operations heap);
+  Metrics.add m_candidates (Hashtbl.length candidates);
   ( top,
     {
       sorted_accesses = total_reads;
       skipped_accesses = total_skipped;
       heap_operations = Topk_heap.operations heap;
-      heap_pushes = !pushes;
-      heap_evictions = !evictions;
+      heap_pushes = Metrics.value m_heap_pushes - pushes0;
+      heap_evictions = Metrics.value m_heap_evictions - evictions0;
       candidates = Hashtbl.length candidates;
       stopped_early = !stopped_early;
       elapsed_seconds = elapsed;

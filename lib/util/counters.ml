@@ -16,7 +16,9 @@ let add t name n =
 
 let bump t name = add t name 1
 let get t name = match Hashtbl.find_opt t name with Some r -> !r | None -> 0
-let reset t = Hashtbl.reset t
+(* Zero cells in place rather than clearing the table: refs handed out
+   by [cell] must stay the ones [get]/[to_list] read after a reset. *)
+let reset t = Hashtbl.iter (fun _ r -> r := 0) t
 
 let to_list t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t []

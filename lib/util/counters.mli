@@ -7,6 +7,13 @@
 type t
 
 val create : unit -> t
+
+val cell : t -> string -> int ref
+(** The counter's cell, created at zero on first use. The same ref is
+    returned on every call — including across {!reset}, which zeroes
+    cells in place — so hot loops can hoist the lookup and increment
+    directly. *)
+
 val bump : t -> string -> unit
 val add : t -> string -> int -> unit
 val get : t -> string -> int

@@ -71,6 +71,10 @@ struct
     end
 
   let push_pop t x =
+    (* Every invocation is one heap operation, even when the early
+       returns touch no array slot — the paper's accounting charges the
+       comparison against the root either way. *)
+    t.ops <- t.ops + 1;
     if t.size = 0 then x
     else if Ord.compare x t.data.(0) <= 0 then x
     else begin

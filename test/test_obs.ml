@@ -1,0 +1,244 @@
+(* Tests for trex_obs: the metrics registry, span tracing, and the
+   hand-rolled JSON printer/parser the observability output rides on. *)
+
+module Metrics = Trex_obs.Metrics
+module Span = Trex_obs.Span
+module Json = Trex_obs.Json
+
+let check = Alcotest.check
+
+(* ---- metrics: counters ---- *)
+
+let test_counter_basic () =
+  let c = Metrics.counter "test.counter.basic" in
+  let v0 = Metrics.value c in
+  Metrics.incr c;
+  Metrics.add c 4;
+  check Alcotest.int "incr+add" (v0 + 5) (Metrics.value c);
+  (* Same name resolves to the same cell. *)
+  let c' = Metrics.counter "test.counter.basic" in
+  Metrics.incr c';
+  check Alcotest.int "aliased handle" (v0 + 6) (Metrics.value c)
+
+let test_counter_listed () =
+  ignore (Metrics.counter "test.counter.listed");
+  let names = List.map fst (Metrics.counters ()) in
+  Alcotest.(check bool) "registered name appears" true
+    (List.mem "test.counter.listed" names);
+  let sorted = List.sort String.compare names in
+  check (Alcotest.list Alcotest.string) "sorted by name" sorted names
+
+let test_counters_with_prefix () =
+  ignore (Metrics.counter "test.prefix.a");
+  ignore (Metrics.counter "test.prefix.b");
+  let hits = Metrics.counters_with_prefix "test.prefix." in
+  check Alcotest.int "both found" 2 (List.length hits)
+
+let test_registry_reset_keeps_handles () =
+  let c = Metrics.counter "test.counter.reset" in
+  Metrics.add c 7;
+  Metrics.reset ();
+  check Alcotest.int "zeroed" 0 (Metrics.value c);
+  Metrics.incr c;
+  check Alcotest.int "handle still live" 1 (Metrics.value c);
+  Alcotest.(check bool) "registry sees the bump" true
+    (List.assoc_opt "test.counter.reset" (Metrics.counters ()) = Some 1)
+
+(* ---- metrics: gauges ---- *)
+
+let test_gauge () =
+  let g = Metrics.gauge "test.gauge" in
+  Metrics.set g 2.5;
+  check (Alcotest.float 0.0) "set/read" 2.5 (Metrics.gauge_value g);
+  Metrics.set g (-1.0);
+  check (Alcotest.float 0.0) "overwrite" (-1.0) (Metrics.gauge_value g)
+
+(* ---- metrics: histograms ---- *)
+
+let test_histogram_snapshot () =
+  let h = Metrics.histogram "test.hist.snapshot" in
+  List.iter (Metrics.observe h) [ 1.0; 2.0; 3.0; 4.0 ];
+  let s = Metrics.histogram_snapshot h in
+  check Alcotest.int "n" 4 s.Metrics.n;
+  check (Alcotest.float 1e-9) "sum" 10.0 s.Metrics.sum;
+  check (Alcotest.float 0.0) "min" 1.0 s.Metrics.min;
+  check (Alcotest.float 0.0) "max" 4.0 s.Metrics.max
+
+let test_histogram_quantiles_bounded () =
+  let h = Metrics.histogram "test.hist.quantiles" in
+  for i = 1 to 1000 do
+    Metrics.observe h (float_of_int i)
+  done;
+  (* Log buckets only estimate, but quantiles must stay ordered, inside
+     the observed range, and the median must sit in a sane band. *)
+  let q50 = Metrics.quantile h 0.5
+  and q95 = Metrics.quantile h 0.95
+  and q99 = Metrics.quantile h 0.99 in
+  Alcotest.(check bool) "ordered" true (q50 <= q95 && q95 <= q99);
+  Alcotest.(check bool) "in range" true (q50 >= 1.0 && q99 <= 1000.0);
+  Alcotest.(check bool) "median sane" true (q50 >= 250.0 && q50 <= 1000.0)
+
+let test_histogram_empty () =
+  let h = Metrics.histogram "test.hist.empty" in
+  check (Alcotest.float 0.0) "empty quantile" 0.0 (Metrics.quantile h 0.5);
+  check Alcotest.int "empty n" 0 (Metrics.histogram_snapshot h).Metrics.n
+
+(* ---- spans ---- *)
+
+let with_tracing f =
+  Span.reset ();
+  Span.set_enabled true;
+  Fun.protect ~finally:(fun () -> Span.set_enabled false) f
+
+let test_span_disabled_is_transparent () =
+  Span.reset ();
+  Span.set_enabled false;
+  check Alcotest.int "result flows through" 42 (Span.with_ ~name:"off" (fun () -> 42));
+  check Alcotest.int "nothing recorded" 0 (List.length (Span.roots ()))
+
+let test_span_nesting () =
+  with_tracing (fun () ->
+      Span.with_ ~name:"outer" (fun () ->
+          Span.with_ ~name:"inner1" (fun () -> ());
+          Span.with_ ~name:"inner2" (fun () -> ()));
+      match Span.roots () with
+      | [ root ] ->
+          check Alcotest.string "root name" "outer" root.Span.name;
+          check
+            (Alcotest.list Alcotest.string)
+            "children in order" [ "inner1"; "inner2" ]
+            (List.map (fun (s : Span.t) -> s.Span.name) root.Span.children);
+          Alcotest.(check bool) "root covers children" true
+            (root.Span.seconds
+            >= List.fold_left
+                 (fun a (s : Span.t) -> a +. s.Span.seconds)
+                 0.0 root.Span.children
+               -. 1e-3)
+      | roots -> Alcotest.failf "expected one root, got %d" (List.length roots))
+
+let test_span_survives_exception () =
+  with_tracing (fun () ->
+      (try Span.with_ ~name:"boom" (fun () -> failwith "boom") with Failure _ -> ());
+      Span.with_ ~name:"after" (fun () -> ());
+      check
+        (Alcotest.list Alcotest.string)
+        "both recorded at top level" [ "boom"; "after" ]
+        (List.map (fun (s : Span.t) -> s.Span.name) (Span.roots ())))
+
+let test_span_feeds_histogram () =
+  with_tracing (fun () ->
+      let n0 = (Metrics.histogram_snapshot (Metrics.histogram "span.obs-test")).Metrics.n in
+      Span.with_ ~name:"obs-test" (fun () -> ());
+      let n1 = (Metrics.histogram_snapshot (Metrics.histogram "span.obs-test")).Metrics.n in
+      check Alcotest.int "one observation" (n0 + 1) n1)
+
+let test_span_json () =
+  with_tracing (fun () ->
+      Span.with_ ~name:"a" (fun () -> Span.with_ ~name:"b" (fun () -> ()));
+      let json = Span.to_json (Span.roots ()) in
+      (* Round-trips through the printer/parser and keeps the shape. *)
+      match Json.parse (Json.to_string ~pretty:true json) with
+      | Json.List [ root ] ->
+          check
+            (Alcotest.option Alcotest.string)
+            "name field" (Some "a")
+            (match Json.member "name" root with
+            | Some (Json.String s) -> Some s
+            | _ -> None)
+      | _ -> Alcotest.fail "unexpected shape")
+
+(* ---- JSON ---- *)
+
+let test_json_roundtrip () =
+  (* Exactly-representable floats so parse (to_string x) = x holds. *)
+  let doc =
+    Json.Obj
+      [
+        ("null", Json.Null);
+        ("bools", Json.List [ Json.Bool true; Json.Bool false ]);
+        ("int", Json.Int (-42));
+        ("float", Json.Float 1.5);
+        ("string", Json.String "a \"quoted\"\nline\twith \\ and unicode \xc3\xa9");
+        ("nested", Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ]);
+      ]
+  in
+  Alcotest.(check bool) "compact roundtrip" true (Json.parse (Json.to_string doc) = doc);
+  Alcotest.(check bool) "pretty roundtrip" true
+    (Json.parse (Json.to_string ~pretty:true doc) = doc)
+
+let test_json_non_finite_floats () =
+  check Alcotest.string "nan is null" "null" (Json.to_string (Json.Float Float.nan));
+  check Alcotest.string "inf is null" "null" (Json.to_string (Json.Float Float.infinity))
+
+let test_json_parse_errors () =
+  let bad s =
+    match Json.parse_result s with Ok _ -> false | Error _ -> true
+  in
+  Alcotest.(check bool) "empty" true (bad "");
+  Alcotest.(check bool) "trailing garbage" true (bad "{} x");
+  Alcotest.(check bool) "unterminated string" true (bad "\"abc");
+  Alcotest.(check bool) "bare word" true (bad "flase");
+  Alcotest.(check bool) "unclosed list" true (bad "[1, 2")
+
+let test_json_escapes_and_unicode () =
+  check Alcotest.string "escaped output" "\"a\\\"b\\\\c\\nd\""
+    (Json.to_string (Json.String "a\"b\\c\nd"));
+  (* \u escapes decode to UTF-8. *)
+  Alcotest.(check bool) "u00e9 decodes" true
+    (Json.parse "\"caf\\u00e9\"" = Json.String "caf\xc3\xa9")
+
+let test_json_member () =
+  let doc = Json.Obj [ ("a", Json.Int 1) ] in
+  Alcotest.(check bool) "present" true (Json.member "a" doc = Some (Json.Int 1));
+  Alcotest.(check bool) "absent" true (Json.member "b" doc = None);
+  Alcotest.(check bool) "non-object" true (Json.member "a" (Json.Int 3) = None)
+
+(* ---- metrics to_json ---- *)
+
+let test_metrics_to_json_parses () =
+  ignore (Metrics.counter "test.tojson.counter");
+  Metrics.observe (Metrics.histogram "test.tojson.hist") 0.5;
+  let dump = Json.to_string ~pretty:true (Metrics.to_json ()) in
+  match Json.parse dump with
+  | parsed ->
+      Alcotest.(check bool) "has counters section" true
+        (Json.member "counters" parsed <> None);
+      Alcotest.(check bool) "has histograms section" true
+        (Json.member "histograms" parsed <> None)
+  | exception Json.Parse_error msg -> Alcotest.failf "dump does not parse: %s" msg
+
+let () =
+  Alcotest.run "trex_obs"
+    [
+      ( "metrics",
+        [
+          Alcotest.test_case "counter basic" `Quick test_counter_basic;
+          Alcotest.test_case "counter listed" `Quick test_counter_listed;
+          Alcotest.test_case "counters_with_prefix" `Quick test_counters_with_prefix;
+          Alcotest.test_case "reset keeps handles" `Quick
+            test_registry_reset_keeps_handles;
+          Alcotest.test_case "gauge" `Quick test_gauge;
+          Alcotest.test_case "histogram snapshot" `Quick test_histogram_snapshot;
+          Alcotest.test_case "histogram quantiles bounded" `Quick
+            test_histogram_quantiles_bounded;
+          Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+          Alcotest.test_case "to_json parses" `Quick test_metrics_to_json_parses;
+        ] );
+      ( "span",
+        [
+          Alcotest.test_case "disabled is transparent" `Quick
+            test_span_disabled_is_transparent;
+          Alcotest.test_case "nesting" `Quick test_span_nesting;
+          Alcotest.test_case "survives exception" `Quick test_span_survives_exception;
+          Alcotest.test_case "feeds histogram" `Quick test_span_feeds_histogram;
+          Alcotest.test_case "to_json" `Quick test_span_json;
+        ] );
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "non-finite floats" `Quick test_json_non_finite_floats;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "escapes and unicode" `Quick test_json_escapes_and_unicode;
+          Alcotest.test_case "member" `Quick test_json_member;
+        ] );
+    ]

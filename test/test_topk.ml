@@ -171,6 +171,93 @@ let test_ita_same_answers_as_ta () =
       Alcotest.(check bool) "heap time measured" true (stats.heap_seconds >= 0.0)
   | [] -> Alcotest.fail "no queries"
 
+(* ITA accounting invariants (paper §3.3): the heap-excluded clock never
+   reports more than the wall time around the run, the excluded heap
+   time is what paused the clock, and a non-ideal run excludes nothing.
+   Timing comparisons use by-construction bounds and a min-over-runs so
+   the test cannot flake on a loaded machine. *)
+let test_ita_clock_invariants () =
+  let index, summary = Lazy.force generated in
+  match queries_for_agreement index summary with
+  | (sids, terms) :: _ ->
+      ignore (Rpl.build index ~scoring ~sids ~terms ~kinds:[ Rpl.Rpl ] ());
+      let w0 = Unix.gettimeofday () in
+      let _, ita = Ta.run index ~sids ~terms ~k:20 ~ideal_heap:true () in
+      let wall = Unix.gettimeofday () -. w0 in
+      let eps = 1e-3 in
+      Alcotest.(check bool) "heap time non-negative" true (ita.heap_seconds >= 0.0);
+      Alcotest.(check bool) "elapsed+heap within wall" true
+        (ita.elapsed_seconds +. ita.heap_seconds <= wall +. eps);
+      let _, ta = Ta.run index ~sids ~terms ~k:20 () in
+      Alcotest.(check (float 0.0)) "non-ideal excludes nothing" 0.0 ta.heap_seconds;
+      (* ITA's reported time excludes heap management, so its minimum
+         over a few runs cannot exceed TA's by more than scheduling
+         noise on identical deterministic work. *)
+      let min_over f = List.fold_left min infinity (List.init 3 (fun _ -> f ())) in
+      let e_ita =
+        min_over (fun () ->
+            (snd (Ta.run index ~sids ~terms ~k:20 ~ideal_heap:true ())).Ta.elapsed_seconds)
+      in
+      let e_ta =
+        min_over (fun () -> (snd (Ta.run index ~sids ~terms ~k:20 ())).Ta.elapsed_seconds)
+      in
+      Alcotest.(check bool) "ita <= ta + noise" true (e_ita <= e_ta +. 2e-3)
+  | [] -> Alcotest.fail "no queries"
+
+(* The public stats records are views over the registry: one run must
+   advance the process-wide counters by exactly the per-run values. *)
+let test_stats_are_registry_views () =
+  let module Metrics = Trex_obs.Metrics in
+  let index, summary = Lazy.force generated in
+  match queries_for_agreement index summary with
+  | (sids, terms) :: _ ->
+      ignore (Rpl.build index ~scoring ~sids ~terms ~kinds:[ Rpl.Rpl; Rpl.Erpl ] ());
+      let delta name f =
+        let c = Metrics.counter name in
+        let v0 = Metrics.value c in
+        let r = f () in
+        (r, Metrics.value c - v0)
+      in
+      let ta_stats, d_sorted =
+        delta "ta.sorted_accesses" (fun () -> snd (Ta.run index ~sids ~terms ~k:10 ()))
+      in
+      check Alcotest.int "ta sorted_accesses delta" ta_stats.Ta.sorted_accesses d_sorted;
+      let ta_stats2, d_pushes =
+        delta "ta.heap_pushes" (fun () -> snd (Ta.run index ~sids ~terms ~k:10 ()))
+      in
+      check Alcotest.int "ta heap_pushes delta" ta_stats2.Ta.heap_pushes d_pushes;
+      let era_stats, d_pos =
+        delta "era.positions_scanned" (fun () -> snd (Era.run index ~sids ~terms))
+      in
+      check Alcotest.int "era positions delta" era_stats.Era.positions_scanned d_pos;
+      let merge_stats, d_read =
+        delta "merge.entries_read" (fun () -> snd (Merge.run index ~sids ~terms))
+      in
+      check Alcotest.int "merge entries delta" merge_stats.Merge.entries_read d_read
+  | [] -> Alcotest.fail "no queries"
+
+(* The k-way merge must preserve the old stats contract: entries_read is
+   every stored ERPL entry of the query (Merge always drains its lists),
+   elements_merged is the answer count. *)
+let test_merge_stats_exact () =
+  let index, summary = Lazy.force generated in
+  match queries_for_agreement index summary with
+  | (sids, terms) :: _ ->
+      ignore (Rpl.build index ~scoring ~sids ~terms ~kinds:[ Rpl.Erpl ] ());
+      let answers, stats = Merge.run index ~sids ~terms in
+      let stored =
+        List.fold_left
+          (fun acc term ->
+            List.fold_left
+              (fun acc sid -> acc + Rpl.list_entries index Rpl.Erpl ~term ~sid)
+              acc sids)
+          0 terms
+      in
+      check Alcotest.int "entries_read = stored entries" stored stats.Merge.entries_read;
+      check Alcotest.int "elements_merged = answers" (List.length answers)
+        stats.Merge.elements_merged
+  | [] -> Alcotest.fail "no queries"
+
 let test_ta_invalid_k () =
   let index, summary = Lazy.force generated in
   ignore summary;
@@ -679,6 +766,13 @@ let () =
           Alcotest.test_case "ta matches era across k" `Quick
             test_ta_matches_era_at_many_k;
           Alcotest.test_case "ita equals ta" `Quick test_ita_same_answers_as_ta;
+          Alcotest.test_case "ita clock invariants" `Quick test_ita_clock_invariants;
+        ] );
+      ( "observability",
+        [
+          Alcotest.test_case "stats are registry views" `Quick
+            test_stats_are_registry_views;
+          Alcotest.test_case "merge stats exact" `Quick test_merge_stats_exact;
         ] );
       ( "errors",
         [

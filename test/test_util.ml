@@ -211,6 +211,22 @@ let test_heap_counts_operations () =
   List.iter (Int_heap.push h) [ 3; 1; 2 ];
   Alcotest.(check bool) "ops counted" true (Int_heap.operations h > 0)
 
+(* Regression: the early-return paths of push_pop (empty heap, x below
+   the minimum) used to skip the ops bump, under-counting exactly the
+   invocations TA's accounting needs to charge. *)
+let test_heap_push_pop_counts_ops () =
+  let h = Int_heap.create () in
+  let ops0 = Int_heap.operations h in
+  ignore (Int_heap.push_pop h 7);
+  Alcotest.(check bool) "empty heap counted" true (Int_heap.operations h > ops0);
+  Int_heap.push h 5;
+  let ops1 = Int_heap.operations h in
+  ignore (Int_heap.push_pop h 1);
+  Alcotest.(check bool) "below-min counted" true (Int_heap.operations h > ops1);
+  let ops2 = Int_heap.operations h in
+  ignore (Int_heap.push_pop h 9);
+  Alcotest.(check bool) "replace counted" true (Int_heap.operations h > ops2)
+
 let prop_heap_sorts =
   QCheck.Test.make ~name:"heap drain equals sort" ~count:300
     QCheck.(list int)
@@ -247,6 +263,27 @@ let test_stopclock_idempotent_pause () =
   Stopclock.resume c;
   Alcotest.(check bool) "still sane" true (Stopclock.elapsed c >= 0.0)
 
+(* Accounting invariants across a pause/resume cycle: elapsed covers at
+   least the running spins, paused covers at least the paused spin, and
+   neither exceeds the wall time around the whole sequence. *)
+let test_stopclock_accounting () =
+  let w0 = Unix.gettimeofday () in
+  let c = Stopclock.create () in
+  spin 0.01;
+  Stopclock.pause c;
+  spin 0.01;
+  Stopclock.resume c;
+  spin 0.005;
+  Stopclock.pause c;
+  let wall = Unix.gettimeofday () -. w0 in
+  let e = Stopclock.elapsed c in
+  let p = Stopclock.paused_time c in
+  let eps = 1e-3 in
+  Alcotest.(check bool) "elapsed covers running spins" true (e >= 0.012);
+  Alcotest.(check bool) "paused covers paused spin" true (p >= 0.008);
+  Alcotest.(check bool) "elapsed within wall" true (e <= wall +. eps);
+  Alcotest.(check bool) "elapsed+paused within wall" true (e +. p <= wall +. eps)
+
 (* ---- Counters ---- *)
 
 let test_counters () =
@@ -264,6 +301,21 @@ let test_counters () =
     (Counters.to_list c);
   Counters.reset c;
   check Alcotest.int "after reset" 0 (Counters.get c "a")
+
+(* Regression: reset used to Hashtbl.reset the table, orphaning every
+   ref handed out by [cell] — bumps through a pre-reset handle became
+   invisible to [get]/[to_list]. Reset must zero the cells in place. *)
+let test_counters_reset_keeps_cells () =
+  let c = Counters.create () in
+  let r = Counters.cell c "hot" in
+  r := 5;
+  check Alcotest.int "cell visible" 5 (Counters.get c "hot");
+  Counters.reset c;
+  check Alcotest.int "zeroed" 0 (Counters.get c "hot");
+  r := !r + 1;
+  check Alcotest.int "pre-reset handle still live" 1 (Counters.get c "hot");
+  Counters.bump c "hot";
+  check Alcotest.int "bump hits the same cell" 2 !r
 
 (* ---- crc32 ---- *)
 
@@ -334,14 +386,22 @@ let () =
           Alcotest.test_case "basic" `Quick test_heap_basic;
           Alcotest.test_case "push_pop" `Quick test_heap_push_pop;
           Alcotest.test_case "operation counting" `Quick test_heap_counts_operations;
+          Alcotest.test_case "push_pop counts ops" `Quick
+            test_heap_push_pop_counts_ops;
           qtest prop_heap_sorts;
         ] );
       ( "stopclock",
         [
           Alcotest.test_case "pause excludes time" `Quick test_stopclock_pause_excludes_time;
           Alcotest.test_case "idempotent pause/resume" `Quick test_stopclock_idempotent_pause;
+          Alcotest.test_case "pause/resume accounting" `Quick test_stopclock_accounting;
         ] );
-      ("counters", [ Alcotest.test_case "basic" `Quick test_counters ]);
+      ( "counters",
+        [
+          Alcotest.test_case "basic" `Quick test_counters;
+          Alcotest.test_case "reset keeps cells live" `Quick
+            test_counters_reset_keeps_cells;
+        ] );
       ( "crc32",
         [
           Alcotest.test_case "known vectors" `Quick test_crc32_vectors;
