@@ -6,12 +6,15 @@
      { "schema": "trex-bench-v1",
        "section": "<section>",
        "quick": bool,
+       "resilience": { "retries": int, "breaker_trips": int,
+                       "degraded_runs": int },
        "queries": {
          "<query>": [ { "strategy": str, "k": int, "ms": float,
                         "counters": { "<name>": int, ... } }, ... ] } }
 *)
 
 module Json = Trex_obs.Json
+module Metrics = Trex_obs.Metrics
 
 type record = {
   query : string;
@@ -69,12 +72,25 @@ let flush ~quick section =
             (q, Json.List (List.map json_of_record rows)))
           !order
       in
+      (* Process-wide resilience totals at flush time: a clean bench run
+         should show zeros; nonzero values flag I/O trouble behind the
+         timings. *)
+      let resilience =
+        let v name = Metrics.value (Metrics.counter name) in
+        Json.Obj
+          [
+            ("retries", Json.Int (v "resilience.retries"));
+            ("breaker_trips", Json.Int (v "resilience.breaker_trips"));
+            ("degraded_runs", Json.Int (v "resilience.degraded_runs"));
+          ]
+      in
       let doc =
         Json.Obj
           [
             ("schema", Json.String "trex-bench-v1");
             ("section", Json.String section);
             ("quick", Json.Bool quick);
+            ("resilience", resilience);
             ("queries", Json.Obj queries);
           ]
       in

@@ -10,7 +10,12 @@
      advise       plan index selection for a workload under a disk budget
      vacuum       compact the redundant-index tables
      verify       checksum-sweep and structurally verify every table
+     health       probe tables, trip breakers, report resilience state
      xpath        evaluate an XPath expression over an XML file
+
+   Exit codes: 0 ok; 1 generic failure; 2 verify found corruption;
+   3 query answered degraded (budget expired); 4 health found an open
+   circuit breaker.
 
    Example session:
      dune exec bin/trex_cli.exe -- gen --collection ieee --docs 100 --out /tmp/docs
@@ -128,12 +133,25 @@ let query_cmd =
     Arg.(value & flag
          & info [ "trace" ] ~doc:"print a tree of timed spans after the answers")
   in
-  let run env nexi k method_ strict structured trace =
+  let deadline_ms =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ]
+             ~doc:"wall-clock budget; on expiry return best-effort answers \
+                   tagged DEGRADED (exit 3)")
+  in
+  let page_budget =
+    Arg.(value & opt (some int) None
+         & info [ "page-budget" ]
+             ~doc:"physical page-read budget; on exhaustion return \
+                   best-effort answers tagged DEGRADED (exit 3)")
+  in
+  let run env nexi k method_ strict structured trace deadline_ms page_budget =
     let storage = Trex.Env.on_disk env in
     let engine = Trex.attach ~env:storage () in
     if trace then Trex.Obs.Span.set_enabled true;
     let outcome =
-      if structured then Trex.query_structured engine ~k nexi
+      if structured then
+        Trex.query_structured engine ~k ?deadline_ms ?page_budget nexi
       else
         let m =
           Option.map
@@ -145,7 +163,7 @@ let query_cmd =
               | other -> failwith (Printf.sprintf "unknown method %S" other))
             method_
         in
-        Trex.query engine ~k ?method_:m ~strict nexi
+        Trex.query engine ~k ?method_:m ~strict ?deadline_ms ?page_budget nexi
     in
     Printf.printf "%s: %d answers in %.2f ms (%s)\n"
       (Trex.Strategy.method_to_string outcome.strategy.method_used)
@@ -153,18 +171,30 @@ let query_cmd =
       (outcome.strategy.elapsed_seconds *. 1000.0)
       outcome.strategy.detail;
     List.iter
+      (fun (f : Trex.Strategy.failover) ->
+        Printf.printf "fallback: %s failed (%s)\n"
+          (Trex.Strategy.method_to_string f.failed)
+          f.error)
+      outcome.fallbacks;
+    List.iter
       (fun (h : Trex.hit) ->
         Printf.printf "%2d. [%.4f] %s %s\n    %s\n" h.rank h.score h.doc_name h.xpath
           h.snippet)
       (Trex.hits engine ~limit:k outcome.strategy.answers);
+    if outcome.degraded then
+      Printf.printf
+        "DEGRADED: budget expired; answers are a sound but possibly-partial \
+         prefix\n";
     if trace then begin
       Printf.printf "trace:\n";
       Format.printf "%a@." Trex.Obs.Span.pp_tree (Trex.Obs.Span.roots ())
     end;
-    Trex.Env.close storage
+    Trex.Env.close storage;
+    if outcome.degraded then exit 3
   in
   Cmd.v (Cmd.info "query" ~doc:"Evaluate a NEXI query")
-    Term.(const run $ env_arg $ nexi $ k $ method_ $ strict $ structured $ trace)
+    Term.(const run $ env_arg $ nexi $ k $ method_ $ strict $ structured $ trace
+          $ deadline_ms $ page_budget)
 
 (* ---- materialize ---- *)
 
@@ -259,7 +289,8 @@ let verify_cmd =
     if bad <> [] then begin
       Printf.printf "%d table(s) corrupt%s\n" (List.length bad)
         (if recover then "" else " (try --recover)");
-      exit 1
+      (* exit 2 = corruption found, distinct from generic failures (1) *)
+      exit 2
     end
     else Printf.printf "all tables verified\n"
   in
@@ -267,6 +298,79 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:"Verify checksums and B+tree structure of every table in an index")
     Term.(const run $ env_arg $ recover)
+
+(* ---- health ---- *)
+
+let health_cmd =
+  let run env =
+    if not (Sys.file_exists env && Sys.is_directory env) then begin
+      Printf.eprintf "trex health: no index directory at %s\n" env;
+      exit 1
+    end;
+    let storage = Trex.Env.on_disk env in
+    (* Probe every table so breakers reflect the current state of the
+       files, not just what queries happened to touch. *)
+    let reports = Trex.Env.verify storage in
+    List.iter
+      (fun (r : Trex.Env.table_report) ->
+        if not r.ok then
+          Trex.Env.trip_table storage r.table
+            ~reason:(String.concat "; " r.problems))
+      reports;
+    Printf.printf "tables:\n";
+    List.iter
+      (fun (r : Trex.Env.table_report) ->
+        Printf.printf "  %-20s %-7s %6d pages %8d entries\n" r.table
+          (if r.ok then "OK" else "CORRUPT")
+          r.pages r.entries)
+      reports;
+    Printf.printf "breakers:\n";
+    let states = Trex.Env.breaker_states storage in
+    if states = [] then Printf.printf "  (none tripped)\n"
+    else
+      List.iter
+        (fun (name, state) ->
+          let b = Trex.Env.breaker storage name in
+          Printf.printf "  %-20s %-9s%s\n" name
+            (Trex.Breaker.state_to_string state)
+            (match Trex.Breaker.last_reason b with
+            | Some r -> " last: " ^ r
+            | None -> ""))
+        states;
+    Printf.printf "resilience counters:\n";
+    let v name = Trex.Obs.Metrics.value (Trex.Obs.Metrics.counter name) in
+    List.iter
+      (fun name -> Printf.printf "  %-32s %d\n" name (v name))
+      [
+        "resilience.retries";
+        "resilience.retry_exhaustions";
+        "resilience.breaker_trips";
+        "resilience.breaker_closes";
+        "resilience.degraded_runs";
+        "resilience.fallbacks";
+        "resilience.deadline_exceeded";
+        "resilience.page_budget_exceeded";
+        "resilience.rebuilds";
+        "pager.transient_faults";
+        "env.quarantines";
+      ];
+    let open_breakers =
+      List.filter (fun (_, s) -> s <> Trex.Breaker.Closed) states
+    in
+    Trex.Env.close storage;
+    if open_breakers <> [] then begin
+      Printf.printf "%d breaker(s) open\n" (List.length open_breakers);
+      exit 4
+    end
+    else Printf.printf "healthy\n"
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:
+         "Probe every table, trip circuit breakers on damage, and report \
+          breaker states and resilience counters (exit 4 if any breaker is \
+          open)")
+    Term.(const run $ env_arg)
 
 (* ---- xpath ---- *)
 
@@ -432,4 +536,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; index_cmd; add_cmd; query_cmd; materialize_cmd; stats_cmd; advise_cmd; vacuum_cmd; verify_cmd; xpath_cmd ]))
+          [ gen_cmd; index_cmd; add_cmd; query_cmd; materialize_cmd; stats_cmd; advise_cmd; vacuum_cmd; verify_cmd; health_cmd; xpath_cmd ]))

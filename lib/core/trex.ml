@@ -19,6 +19,9 @@ module Cost = Trex_selfman.Cost
 module Advisor = Trex_selfman.Advisor
 module Autopilot = Trex_selfman.Autopilot
 module Obs = Trex_obs
+module Guard = Trex_resilience.Guard
+module Retry = Trex_resilience.Retry
+module Breaker = Trex_resilience.Breaker
 
 type t = { index : Index.t; scoring : Scorer.config }
 
@@ -65,21 +68,27 @@ type outcome = {
   translation : Translate.t;
   strategy : Strategy.outcome;
   k : int;
+  degraded : bool;
+  fallbacks : Strategy.failover list;
 }
 
-let query t ?(k = 10) ?method_ ?(strict = false) nexi =
+let mk_guard ?deadline_ms ?page_budget () =
+  match (deadline_ms, page_budget) with
+  | None, None -> None
+  | _ -> Some (Guard.create ?deadline_ms ?page_budget ())
+
+let query t ?(k = 10) ?method_ ?(strict = false) ?deadline_ms ?page_budget nexi =
   Obs.Span.with_ ~name:"query" @@ fun () ->
   let translation =
     Obs.Span.with_ ~name:"parse+translate" (fun () -> translate t (parse t nexi))
   in
   let sids = Translate.all_sids translation in
   let terms = Translate.all_terms translation in
-  let method_ =
-    match method_ with
-    | Some m -> m
-    | None -> Strategy.choose t.index ~sids ~terms ~k
+  let guard = mk_guard ?deadline_ms ?page_budget () in
+  let strategy, fallbacks =
+    Strategy.evaluate_resilient t.index ~scoring:t.scoring ~sids ~terms ~k
+      ?guard ?method_ ()
   in
-  let strategy = Strategy.evaluate t.index ~scoring:t.scoring ~sids ~terms ~k method_ in
   let strategy =
     if not strict then strategy
     else begin
@@ -94,7 +103,7 @@ let query t ?(k = 10) ?method_ ?(strict = false) nexi =
   in
   (* ERA and Merge compute all answers; present a consistent top-k. *)
   let strategy = { strategy with Strategy.answers = Answer.top_k strategy.Strategy.answers k } in
-  { translation; strategy; k }
+  { translation; strategy; k; degraded = strategy.Strategy.degraded; fallbacks }
 
 (* Unique extent element of [sid] containing [inner], if any: extents
    are nesting-free, so at most one candidate exists and a single B+tree
@@ -140,9 +149,11 @@ let element_has_phrase t (e : Types.element) phrase =
           in
           m > 0 && scan 0)
 
-let query_structured t ?(k = 10) nexi =
+let query_structured t ?(k = 10) ?deadline_ms ?page_budget nexi =
   Obs.Span.with_ ~name:"query_structured" @@ fun () ->
   let translation = translate t (parse t nexi) in
+  let guard = mk_guard ?deadline_ms ?page_budget () in
+  let degraded = ref false in
   let target_sids = translation.Translate.target_sids in
   let candidates : (int * int, Types.element * float) Hashtbl.t = Hashtbl.create 64 in
   let add (e : Types.element) score =
@@ -156,8 +167,9 @@ let query_structured t ?(k = 10) nexi =
   List.iter
     (fun (u : Translate.unit_) ->
       if u.terms <> [] && u.sids <> [] then begin
-        let results, stats = Era.run t.index ~sids:u.sids ~terms:u.terms in
+        let results, stats = Era.run ?guard t.index ~sids:u.sids ~terms:u.terms in
         total_entries := !total_entries + stats.Era.positions_scanned;
+        if stats.Era.degraded then degraded := true;
         (* +keywords are conjunctive: every required term must occur. *)
         let results =
           if u.required_terms = [] then results
@@ -177,6 +189,9 @@ let query_structured t ?(k = 10) nexi =
         let answers =
           if u.excluded_terms = [] then answers
           else begin
+            (* Exclusion lists must be complete — an abbreviated banned
+               set would let excluded elements through, which is wrong,
+               not degraded. They run unguarded. *)
             let excluded, _ = Era.run t.index ~sids:u.sids ~terms:u.excluded_terms in
             let banned = Hashtbl.create 16 in
             List.iter
@@ -225,16 +240,20 @@ let query_structured t ?(k = 10) nexi =
     Hashtbl.fold (fun _ (e, s) acc -> (e, s) :: acc) candidates []
     |> Answer.of_unsorted
   in
+  (if !degraded then
+     let m = Obs.Metrics.counter "resilience.degraded_runs" in
+     Obs.Metrics.incr m);
   let strategy =
     {
       Strategy.method_used = Strategy.Era_method;
       answers = Answer.top_k answers k;
       elapsed_seconds = Trex_util.Stopclock.elapsed clock;
       entries_read = !total_entries;
+      degraded = !degraded;
       detail = Printf.sprintf "structured: %d units" (List.length translation.Translate.units);
     }
   in
-  { translation; strategy; k }
+  { translation; strategy; k; degraded = !degraded; fallbacks = [] }
 
 (* ---- index management ---- *)
 

@@ -44,6 +44,15 @@ module Obs = Trex_obs
     [query_structured] / [materialize] run under spans when tracing is
     enabled with [Obs.Span.set_enabled true]. *)
 
+module Guard = Trex_resilience.Guard
+module Retry = Trex_resilience.Retry
+module Breaker = Trex_resilience.Breaker
+(** Resilience: query deadlines/page budgets ({!Guard}), transient-I/O
+    retry ({!Retry}) and the per-table circuit breakers ({!Breaker},
+    managed by {!Env}) behind {!query}'s degradation and fallback
+    behavior. The contract is DESIGN.md §6: never wrong, possibly
+    partial, always tagged. *)
+
 type t
 
 val build :
@@ -82,23 +91,47 @@ type outcome = {
   translation : Translate.t;
   strategy : Strategy.outcome;
   k : int;
+  degraded : bool;
+      (** a guard expired mid-run: [strategy.answers] is a sound but
+          possibly-partial best-effort prefix *)
+  fallbacks : Strategy.failover list;
+      (** methods abandoned after storage failures on this query *)
 }
 
 val query :
-  t -> ?k:int -> ?method_:Strategy.method_ -> ?strict:bool -> string -> outcome
+  t ->
+  ?k:int ->
+  ?method_:Strategy.method_ ->
+  ?strict:bool ->
+  ?deadline_ms:float ->
+  ?page_budget:int ->
+  string ->
+  outcome
 (** Parse, translate and evaluate a NEXI query over the union of its
     (sids, terms) — the paper's retrieval unit. [k] defaults to 10; the
     method defaults to {!Strategy.choose}'s pick. With [strict:true]
     answers are filtered to the target extent (the structural path must
     hold exactly); the default vague interpretation accepts any sid of
     the translation.
+
+    Resilience: [deadline_ms]/[page_budget] arm a {!Guard}; on expiry
+    the run stops where it is and returns best-effort answers with
+    [degraded = true] instead of raising. Storage failures
+    ([Pager.Corruption], retry exhaustion) inside TA/ITA/Merge trip the
+    affected tables' circuit breakers and the query transparently falls
+    back to the next surviving method (recorded in [fallbacks]); only
+    failures of the base tables — which have no redundant substitute —
+    propagate.
     @raise Trex_nexi.Parser.Syntax_error on bad syntax. *)
 
-val query_structured : t -> ?k:int -> string -> outcome
+val query_structured :
+  t -> ?k:int -> ?deadline_ms:float -> ?page_budget:int -> string -> outcome
 (** Full NEXI semantics: each [about()] path is retrieved separately,
     support paths contribute the score of the enclosing ancestor
     element, [-terms] exclude, and answers come from the target extent.
-    Evaluated with ERA (no materialized indexes needed). *)
+    Evaluated with ERA (no materialized indexes needed). The guard
+    flags apply per [about()] scan; exclusion scans run unguarded (an
+    incomplete exclusion list would be wrong, not partial). *)
 
 (** {1 Index management} *)
 

@@ -1,0 +1,69 @@
+module Metrics = Trex_obs.Metrics
+
+let m_trips = Metrics.counter "resilience.breaker_trips"
+let m_closes = Metrics.counter "resilience.breaker_closes"
+
+type state = Closed | Open | Half_open
+
+type t = {
+  name : string;
+  failure_threshold : int;
+  mutable cooldown_s : float;
+  mutable state : state;
+  mutable consecutive_failures : int;
+  mutable opened_at : float;
+  mutable last_reason : string option;
+}
+
+let create ?(failure_threshold = 3) ?(cooldown_s = 30.0) name =
+  {
+    name;
+    failure_threshold = max 1 failure_threshold;
+    cooldown_s;
+    state = Closed;
+    consecutive_failures = 0;
+    opened_at = 0.0;
+    last_reason = None;
+  }
+
+let name t = t.name
+let state t = t.state
+let last_reason t = t.last_reason
+let set_cooldown t s = t.cooldown_s <- s
+let cooldown_s t = t.cooldown_s
+
+let state_to_string = function
+  | Closed -> "closed"
+  | Open -> "open"
+  | Half_open -> "half-open"
+
+let pp_state fmt s = Format.pp_print_string fmt (state_to_string s)
+
+let trip t ~reason =
+  if t.state <> Open then Metrics.incr m_trips;
+  t.state <- Open;
+  t.opened_at <- Unix.gettimeofday ();
+  t.last_reason <- Some reason
+
+let record_failure t ~reason =
+  t.consecutive_failures <- t.consecutive_failures + 1;
+  match t.state with
+  | Half_open -> trip t ~reason
+  | Closed when t.consecutive_failures >= t.failure_threshold ->
+      trip t ~reason
+  | Closed | Open -> ()
+
+let record_success t =
+  if t.state <> Closed then Metrics.incr m_closes;
+  t.state <- Closed;
+  t.consecutive_failures <- 0
+
+let allow t =
+  match t.state with
+  | Closed | Half_open -> true
+  | Open ->
+      if Unix.gettimeofday () -. t.opened_at >= t.cooldown_s then begin
+        t.state <- Half_open;
+        true
+      end
+      else false

@@ -1,0 +1,57 @@
+module Metrics = Trex_obs.Metrics
+
+let m_retries = Metrics.counter "resilience.retries"
+let m_exhaustions = Metrics.counter "resilience.retry_exhaustions"
+
+type policy = {
+  max_attempts : int;
+  base_delay_ms : float;
+  max_delay_ms : float;
+  sleep : float -> unit;
+}
+
+let default_policy =
+  {
+    max_attempts = 4;
+    base_delay_ms = 1.0;
+    max_delay_ms = 16.0;
+    sleep = Unix.sleepf;
+  }
+
+let no_sleep policy = { policy with sleep = (fun _ -> ()) }
+
+exception Exhausted of { name : string; attempts : int; last : exn }
+
+let () =
+  Printexc.register_printer (function
+    | Exhausted { name; attempts; last } ->
+        Some
+          (Printf.sprintf "Retry.Exhausted(%s after %d attempts: %s)" name
+             attempts (Printexc.to_string last))
+    | _ -> None)
+
+let delay_ms policy ~retry_index =
+  Float.min policy.max_delay_ms
+    (policy.base_delay_ms *. Float.pow 2.0 (float_of_int retry_index))
+
+let backoff_delays_ms policy =
+  List.init
+    (max 0 (policy.max_attempts - 1))
+    (fun i -> delay_ms policy ~retry_index:i)
+
+let with_retries ?(policy = default_policy) ?(name = "io") ~retryable f =
+  let max_attempts = max 1 policy.max_attempts in
+  let rec go attempt =
+    try f ()
+    with e when retryable e ->
+      if attempt >= max_attempts then begin
+        Metrics.incr m_exhaustions;
+        raise (Exhausted { name; attempts = attempt; last = e })
+      end
+      else begin
+        Metrics.incr m_retries;
+        policy.sleep (delay_ms policy ~retry_index:(attempt - 1) /. 1000.);
+        go (attempt + 1)
+      end
+  in
+  go 1

@@ -1,0 +1,35 @@
+(** Capped deterministic exponential-backoff retry.
+
+    Wraps the pager's physical page I/O (and any other operation that
+    can fail transiently). The backoff schedule is fully determined by
+    the policy — no jitter — so fault-injection tests replay exactly.
+
+    Every retried attempt bumps ["resilience.retries"]; giving up bumps
+    ["resilience.retry_exhaustions"] and raises {!Exhausted} carrying
+    the last underlying error, which the circuit-breaker layer treats
+    as a table-tripping failure. *)
+
+type policy = {
+  max_attempts : int;  (** total attempts, including the first *)
+  base_delay_ms : float;  (** delay before the first retry *)
+  max_delay_ms : float;  (** cap on the doubling schedule *)
+  sleep : float -> unit;  (** seconds; injectable so tests don't wait *)
+}
+
+val default_policy : policy
+(** 4 attempts, 1ms base, 16ms cap, [Unix.sleepf]. *)
+
+val no_sleep : policy -> policy
+(** The same schedule with [sleep] replaced by a no-op (for tests). *)
+
+exception Exhausted of { name : string; attempts : int; last : exn }
+
+val backoff_delays_ms : policy -> float list
+(** The deterministic delay schedule (length [max_attempts - 1]). *)
+
+val with_retries :
+  ?policy:policy -> ?name:string -> retryable:(exn -> bool) -> (unit -> 'a) -> 'a
+(** [with_retries ~retryable f] runs [f], retrying on exceptions that
+    [retryable] accepts, sleeping the backoff schedule between
+    attempts. Non-retryable exceptions propagate untouched.
+    @raise Exhausted when [max_attempts] retryable failures occur. *)

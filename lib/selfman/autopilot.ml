@@ -1,5 +1,10 @@
 module Index = Trex_invindex.Index
 module Rpl = Trex_topk.Rpl
+module Env = Trex_storage.Env
+module Breaker = Trex_resilience.Breaker
+module Metrics = Trex_obs.Metrics
+
+let m_rebuilds = Metrics.counter "resilience.rebuilds"
 
 type observed = {
   mutable count : int;
@@ -105,6 +110,111 @@ let maybe_replan t =
       Replanned { plan; drift = d }
     end
   end
+
+(* {2 Healing}
+
+   The redundant tables come in (lists, catalog) pairs; quarantining one
+   without the other would leave a catalog advertising lists that no
+   longer exist — cursors would silently serve empty results, which is
+   wrong, not degraded. So a trip on either member condemns the pair. *)
+let quarantine_group name =
+  let pair kind = [ Rpl.table_name kind; Rpl.catalog_name kind ] in
+  let full_pair = [ Rpl.Full.table_name; Rpl.Full.catalog_name ] in
+  if List.mem name (pair Rpl.Rpl) then Some (pair Rpl.Rpl, Some Rpl.Rpl)
+  else if List.mem name (pair Rpl.Erpl) then Some (pair Rpl.Erpl, Some Rpl.Erpl)
+  else if List.mem name full_pair then Some (full_pair, None)
+  else None
+
+type heal_action =
+  | Cooling_down  (** breaker open, cooldown not yet elapsed *)
+  | Rebuilt of { tables : string list; entries_written : int }
+  | Probe_ok  (** non-redundant table verified clean; breaker closed *)
+  | Still_failing of string
+
+type heal = { table : string; action : heal_action }
+
+let rebuild_from_workload t kind =
+  Hashtbl.fold
+    (fun _ (o : observed) acc ->
+      let report =
+        Rpl.build t.index ~scoring:t.scoring ~sids:o.sids ~terms:o.terms
+          ~kinds:[ kind ] ()
+      in
+      acc + report.Rpl.entries_written)
+    t.seen 0
+
+let heal_one t env name b =
+  if not (Breaker.allow b) then { table = name; action = Cooling_down }
+  else
+    (* [allow] admitted us as the half-open probe for this table. *)
+    match quarantine_group name with
+    | Some (tables, rebuild_kind) -> (
+        match
+          List.iter (Env.quarantine_table env) tables;
+          let entries_written =
+            match rebuild_kind with
+            | Some kind -> rebuild_from_workload t kind
+            | None -> 0 (* full-term RPLs rebuild on the next materialize *)
+          in
+          let probes = List.map (Env.verify_table env) tables in
+          (entries_written, List.filter (fun r -> not r.Env.ok) probes)
+        with
+        | entries_written, [] ->
+            Metrics.incr m_rebuilds;
+            List.iter (fun tbl -> Breaker.record_success (Env.breaker env tbl)) tables;
+            { table = name; action = Rebuilt { tables; entries_written } }
+        | _, bad :: _ ->
+            let reason = String.concat "; " bad.Env.problems in
+            List.iter
+              (fun tbl -> Breaker.record_failure (Env.breaker env tbl) ~reason)
+              tables;
+            { table = name; action = Still_failing reason }
+        | exception e ->
+            let reason = Printexc.to_string e in
+            List.iter
+              (fun tbl -> Breaker.record_failure (Env.breaker env tbl) ~reason)
+              tables;
+            { table = name; action = Still_failing reason })
+    | None -> (
+        (* Base tables have no redundant substitute: probe in place. *)
+        match Env.verify_table env name with
+        | { Env.ok = true; _ } ->
+            Breaker.record_success b;
+            { table = name; action = Probe_ok }
+        | report ->
+            let reason = String.concat "; " report.Env.problems in
+            Breaker.record_failure b ~reason;
+            { table = name; action = Still_failing reason }
+        | exception e ->
+            let reason = Printexc.to_string e in
+            Breaker.record_failure b ~reason;
+            { table = name; action = Still_failing reason })
+
+let maybe_heal t =
+  let env = Index.env t.index in
+  let tripped =
+    List.filter_map
+      (fun (name, state) ->
+        if state = Breaker.Closed then None else Some name)
+      (Env.breaker_states env)
+  in
+  (* A pair member healed earlier in the pass closes its partner's
+     breaker too; re-check state so we don't heal the same pair twice. *)
+  List.filter_map
+    (fun name ->
+      let b = Env.breaker env name in
+      if Breaker.state b = Breaker.Closed then None
+      else Some (heal_one t env name b))
+    tripped
+
+let pp_heal fmt { table; action } =
+  match action with
+  | Cooling_down -> Format.fprintf fmt "%s: cooling down" table
+  | Rebuilt { tables; entries_written } ->
+      Format.fprintf fmt "%s: quarantined and rebuilt [%s], %d entries" table
+        (String.concat " " tables) entries_written
+  | Probe_ok -> Format.fprintf fmt "%s: probe verified clean, breaker closed" table
+  | Still_failing reason -> Format.fprintf fmt "%s: still failing (%s)" table reason
 
 let pp_verdict fmt = function
   | Too_few_observations n -> Format.fprintf fmt "too few observations (%d)" n

@@ -50,3 +50,35 @@ val maybe_replan : t -> verdict
     RPL/ERPL list and apply the new plan. *)
 
 val pp_verdict : Format.formatter -> verdict -> unit
+
+(** {1 Healing}
+
+    The other half of the closed loop: when a query trips a table's
+    circuit breaker (corruption, retry exhaustion — see
+    [Trex_storage.Env]), the autopilot schedules the repair. Redundant
+    tables (RPL/ERPL lists and their catalogs) are quarantined as
+    (lists, catalog) pairs — dropping one without the other would leave
+    a catalog advertising lists that don't exist, i.e. silent wrong
+    answers — then rebuilt from the observed workload. Base tables have
+    no substitute, so they are only probed in place. *)
+
+type heal_action =
+  | Cooling_down  (** breaker open, cooldown not yet elapsed *)
+  | Rebuilt of { tables : string list; entries_written : int }
+      (** pair quarantined, lists rebuilt from the observed workload,
+          probe verified clean; breakers closed. Bumps
+          ["resilience.rebuilds"]. *)
+  | Probe_ok  (** non-redundant table verified clean; breaker closed *)
+  | Still_failing of string  (** probe or rebuild failed; breaker re-opened *)
+
+type heal = { table : string; action : heal_action }
+
+val maybe_heal : t -> heal list
+(** Visit every non-Closed breaker in the engine's environment. A
+    breaker still inside its cooldown reports {!Cooling_down}; once
+    [Breaker.allow] admits the probe, redundant pairs are quarantined,
+    rebuilt and re-verified, base tables just re-verified, and the
+    breakers closed or re-opened accordingly. Idempotent when all
+    breakers are closed (returns [[]]). *)
+
+val pp_heal : Format.formatter -> heal -> unit

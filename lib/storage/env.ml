@@ -1,7 +1,9 @@
 module Metrics = Trex_obs.Metrics
+module Breaker = Trex_resilience.Breaker
 
 let m_table_opens = Metrics.counter "env.table_opens"
 let m_compactions = Metrics.counter "env.compactions"
+let m_quarantines = Metrics.counter "env.quarantines"
 
 type backend = Mem | Disk of { dir : string; cache_pages : int }
 
@@ -9,6 +11,7 @@ type t = {
   backend : backend;
   page_size : int;
   tables : (string, Bptree.t) Hashtbl.t;
+  breakers : (string, Breaker.t) Hashtbl.t;
 }
 
 let tmp_suffix = ".compact-tmp"
@@ -31,14 +34,24 @@ let fsync_dir dir =
       Unix.close fd
 
 let in_memory ?(page_size = 8192) () =
-  { backend = Mem; page_size; tables = Hashtbl.create 8 }
+  {
+    backend = Mem;
+    page_size;
+    tables = Hashtbl.create 8;
+    breakers = Hashtbl.create 8;
+  }
 
 let on_disk ?(page_size = 8192) ?(cache_pages = 4096) dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
   else if not (Sys.is_directory dir) then
     invalid_arg (Printf.sprintf "Env.on_disk: %s is not a directory" dir)
   else cleanup_stale_tmp dir;
-  { backend = Disk { dir; cache_pages }; page_size; tables = Hashtbl.create 8 }
+  {
+    backend = Disk { dir; cache_pages };
+    page_size;
+    tables = Hashtbl.create 8;
+    breakers = Hashtbl.create 8;
+  }
 
 let valid_name name =
   name <> ""
@@ -89,6 +102,51 @@ let drop_table t name =
       let path = path_of dir name in
       if Sys.file_exists path then Sys.remove path
 
+(* ---- circuit breakers ---- *)
+
+let breaker t name =
+  match Hashtbl.find_opt t.breakers name with
+  | Some b -> b
+  | None ->
+      let b = Breaker.create name in
+      Hashtbl.add t.breakers name b;
+      b
+
+let breaker_states t =
+  Hashtbl.fold (fun name b acc -> (name, Breaker.state b) :: acc) t.breakers []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Breakers are created lazily on the first failure, so a table with no
+   breaker has never misbehaved and is trivially available. *)
+let table_available t name =
+  match Hashtbl.find_opt t.breakers name with
+  | None -> true
+  | Some b -> Breaker.allow b
+
+let trip_table t name ~reason = Breaker.trip (breaker t name) ~reason
+
+let note_table_success t name =
+  match Hashtbl.find_opt t.breakers name with
+  | None -> ()
+  | Some b -> Breaker.record_success b
+
+(* Drop a suspect table without trusting its contents: the open handle
+   is aborted (closing would flush — pointless or harmful on a corrupt
+   pager) and the backing file deleted. [table] recreates it empty; the
+   self-management layer rebuilds redundant lists from the workload. *)
+let quarantine_table t name =
+  Metrics.incr m_quarantines;
+  (match Hashtbl.find_opt t.tables name with
+  | Some tree ->
+      Pager.abort (Bptree.pager tree);
+      Hashtbl.remove t.tables name
+  | None -> ());
+  match t.backend with
+  | Mem -> ()
+  | Disk { dir; _ } ->
+      let path = path_of dir name in
+      if Sys.file_exists path then Sys.remove path
+
 let table_names t =
   let open_names = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] in
   let disk_names =
@@ -120,7 +178,7 @@ let table_bytes t name =
 let total_bytes t =
   List.fold_left (fun acc n -> acc + table_bytes t n) 0 (table_names t)
 
-let compact_table t name =
+let compact_table ?faults t name =
   if has_table t name then begin
     Metrics.incr m_compactions;
     let tree = table t name in
@@ -137,11 +195,21 @@ let compact_table t name =
     | Disk { dir; cache_pages } ->
         let tmp = path_of dir (name ^ tmp_suffix) in
         let pager = Pager.create_file ~page_size:t.page_size ~cache_pages tmp in
-        ignore (Bptree.bulk_load pager (List.to_seq entries));
-        (* close syncs, so the temp file is fully durable before the
-           rename publishes it; the directory fsync makes the rename
-           itself survive a crash. *)
-        Pager.close pager;
+        (* [faults] targets the temp-file pager so the crash matrix can
+           cover the compaction window; a crash there must leave the
+           original table untouched and only the swept temp file behind. *)
+        (match faults with
+        | Some fs -> ignore (Pager.create_faulty ~faults:fs pager)
+        | None -> ());
+        (try
+           ignore (Bptree.bulk_load pager (List.to_seq entries));
+           (* close syncs, so the temp file is fully durable before the
+              rename publishes it; the directory fsync makes the rename
+              itself survive a crash. *)
+           Pager.close pager
+         with e ->
+           Pager.abort pager;
+           raise e);
         Pager.close (Bptree.pager tree);
         Hashtbl.remove t.tables name;
         Sys.rename tmp (path_of dir name);
@@ -183,16 +251,20 @@ let broken_report name ~recovered detail =
   { table = name; ok = false; pages = 0; entries = 0;
     problems = [ detail ]; notes = []; recovered }
 
-let verify t =
-  List.map
-    (fun name ->
-      match table t name with
-      | tree -> verify_tree name tree ~recovered:false ~notes:[]
-      | exception Pager.Corruption { detail; page; _ } ->
-          broken_report name ~recovered:false
-            (if page >= 0 then Printf.sprintf "page %d: %s" page detail
-             else detail))
-    (table_names t)
+let verify_table t name =
+  match
+    let tree = table t name in
+    verify_tree name tree ~recovered:false ~notes:[]
+  with
+  | report -> report
+  | exception Pager.Corruption { detail; page; _ } ->
+      broken_report name ~recovered:false
+        (if page >= 0 then Printf.sprintf "page %d: %s" page detail else detail)
+  | exception Trex_resilience.Retry.Exhausted { name = op; attempts; _ } ->
+      broken_report name ~recovered:false
+        (Printf.sprintf "%s failed after %d attempts" op attempts)
+
+let verify t = List.map (verify_table t) (table_names t)
 
 let open_with_recovery ?(page_size = 8192) ?(cache_pages = 4096) dir =
   let env = on_disk ~page_size ~cache_pages dir in

@@ -26,19 +26,31 @@ val has_table : t -> string -> bool
 val drop_table : t -> string -> unit
 (** Close and delete the table; a no-op when absent. *)
 
+val quarantine_table : t -> string -> unit
+(** Drop a suspect table {e without} flushing it: the open handle (if
+    any) is aborted and the backing file deleted. The next {!table}
+    recreates it empty; redundant index tables (RPLs/ERPLs) are then
+    rebuilt by the self-management layer. A no-op when absent. *)
+
 val table_names : t -> string list
 
 val table_bytes : t -> string -> int
 (** Bytes of storage held by the table (pages * page size); 0 when
     absent. *)
 
-val compact_table : t -> string -> unit
+val compact_table : ?faults:Pager.fault list -> t -> string -> unit
 (** Rebuild the table into freshly bulk-loaded pages, releasing the
     space dead entries and dropped lists still hold (B+trees never
     shrink in place). On disk the table file is atomically replaced
     (temp file synced before a rename, directory fsynced after); open
     cursors into the old tree are invalidated. A no-op when the table
-    does not exist. *)
+    does not exist.
+
+    [faults] (test hook) arms a {!Pager.fault} plan on the temp-file
+    pager so the crash matrix can cover the compaction window; on an
+    injected crash the temp pager is aborted and the exception
+    re-raised, leaving the original table intact plus a stale
+    [*.compact-tmp.tbl] for {!on_disk} to sweep. *)
 
 val total_bytes : t -> int
 
@@ -70,9 +82,40 @@ val verify : t -> table_report list
     {!Bptree.verify}. Tables that cannot even be opened are reported
     with [ok = false] rather than raising. Read-only. *)
 
+val verify_table : t -> string -> table_report
+(** {!verify} for a single table; also used as the half-open probe
+    before a breaker closes. *)
+
 val open_with_recovery :
   ?page_size:int -> ?cache_pages:int -> string -> t * table_report list
 (** Open every table in [dir], falling back to the older header epoch
     where the newest slot is damaged ({!Pager.open_with_recovery}), and
     reinitializing tables whose creation never committed. Returns the
     env with all tables attached plus a verification report per table. *)
+
+(** {1 Circuit breakers}
+
+    One lazily-created {!Trex_resilience.Breaker} per table. The query
+    layer trips a table's breaker when it observes [Pager.Corruption]
+    or retry exhaustion there; [Strategy.available]/[choose] consult
+    {!table_available} so planning routes around quarantined tables,
+    and [Autopilot.maybe_heal] rebuilds + probes before closing. *)
+
+val breaker : t -> string -> Trex_resilience.Breaker.t
+(** Find or create the table's breaker. *)
+
+val breaker_states : t -> (string * Trex_resilience.Breaker.state) list
+(** Every breaker that exists (i.e. every table that ever failed),
+    sorted by table name. *)
+
+val table_available : t -> string -> bool
+(** Whether queries may rely on the table now: true when it has no
+    breaker or its breaker admits the caller ({!Trex_resilience.Breaker.allow} —
+    so the first caller after a cooldown is admitted as the half-open
+    probe). *)
+
+val trip_table : t -> string -> reason:string -> unit
+(** Open the table's breaker immediately. *)
+
+val note_table_success : t -> string -> unit
+(** Record a successful use; closes a half-open breaker. *)

@@ -15,14 +15,21 @@ type run_stats = {
   positions_scanned : int;
   iterator_seeks : int;
   elements_emitted : int;
+  degraded : bool;
 }
 
-let run index ~sids ~terms =
+let run ?guard index ~sids ~terms =
   let sids = List.sort_uniq compare sids in
   let m = List.length sids and n = List.length terms in
   Metrics.incr m_runs;
   if m = 0 || n = 0 then
-    ([], { positions_scanned = 0; iterator_seeks = 0; elements_emitted = 0 })
+    ( [],
+      {
+        positions_scanned = 0;
+        iterator_seeks = 0;
+        elements_emitted = 0;
+        degraded = false;
+      } )
   else begin
     let sid_iters =
       Array.of_list (List.map (fun sid -> Index.Element_iter.create index sid) sids)
@@ -52,32 +59,41 @@ let run index ~sids ~terms =
       done;
       !x
     in
+    let degraded = ref false in
     (* Main scan: handle the smallest unconsumed position, advance its
-       term iterator; stop when every term is exhausted (m-pos). *)
-    while not (Array.for_all Types.is_m_pos pos) do
-      let x = min_term () in
-      let p = pos.(x) in
-      Metrics.incr m_positions;
-      for i = 0 to m - 1 do
-        let ei = e.(i) in
-        if Types.is_dummy ei then ()
-        else begin
-          let cmp_start =
-            Types.compare_pos p { docid = ei.docid; offset = Types.start_pos ei }
-          in
-          if cmp_start <= 0 then (* before the element: do nothing *) ()
-          else if Types.contains ei p then c.(i).(x) <- c.(i).(x) + 1
-          else begin
-            (* p lies beyond the element's interior: emit and move on. *)
-            flush i;
-            e.(i) <- Index.Element_iter.next_element_after sid_iters.(i) p;
-            Metrics.incr m_seeks;
-            if Types.contains e.(i) p then c.(i).(x) <- c.(i).(x) + 1
-          end
-        end
-      done;
-      pos.(x) <- Index.Posting_iter.next_position term_iters.(x)
-    done;
+       term iterator; stop when every term is exhausted (m-pos). On
+       guard expiry the scan stops where it is; every element flushed
+       below carries the term frequencies accumulated so far, so the
+       partial answer set is sound, just incomplete. *)
+    (try
+       while not (Array.for_all Types.is_m_pos pos) do
+         (match guard with
+         | Some g -> Trex_resilience.Guard.tick g
+         | None -> ());
+         let x = min_term () in
+         let p = pos.(x) in
+         Metrics.incr m_positions;
+         for i = 0 to m - 1 do
+           let ei = e.(i) in
+           if Types.is_dummy ei then ()
+           else begin
+             let cmp_start =
+               Types.compare_pos p { docid = ei.docid; offset = Types.start_pos ei }
+             in
+             if cmp_start <= 0 then (* before the element: do nothing *) ()
+             else if Types.contains ei p then c.(i).(x) <- c.(i).(x) + 1
+             else begin
+               (* p lies beyond the element's interior: emit and move on. *)
+               flush i;
+               e.(i) <- Index.Element_iter.next_element_after sid_iters.(i) p;
+               Metrics.incr m_seeks;
+               if Types.contains e.(i) p then c.(i).(x) <- c.(i).(x) + 1
+             end
+           end
+         done;
+         pos.(x) <- Index.Posting_iter.next_position term_iters.(x)
+       done
+     with Trex_resilience.Guard.Budget_exceeded _ -> degraded := true);
     (* m-pos exceeds every end position: flush the pending rows. *)
     for i = 0 to m - 1 do
       flush i
@@ -87,6 +103,7 @@ let run index ~sids ~terms =
         positions_scanned = Metrics.value m_positions - positions0;
         iterator_seeks = Metrics.value m_seeks - seeks0;
         elements_emitted = Metrics.value m_emitted - emitted0;
+        degraded = !degraded;
       } )
   end
 

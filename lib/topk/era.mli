@@ -17,16 +17,22 @@ type run_stats = {
   positions_scanned : int;  (** posting occurrences consumed *)
   iterator_seeks : int;  (** [nextElementAfter] B+tree searches *)
   elements_emitted : int;
+  degraded : bool;
+      (** the guard expired mid-scan and [result list] covers only a
+          prefix of the position space *)
 }
 
 val run :
+  ?guard:Trex_resilience.Guard.t ->
   Trex_invindex.Index.t ->
   sids:int list ->
   terms:string list ->
   result list * run_stats
 (** Elements (in flush order) of the given extents containing at least
     one of the given (normalized) terms, with their term frequencies.
-    Duplicate sids are ignored; empty [sids] or [terms] give []. *)
+    Duplicate sids are ignored; empty [sids] or [terms] give [].
+    [guard] is ticked once per posting position; on expiry the scan
+    stops and returns the elements emitted so far, [degraded]. *)
 
 val score_results :
   Trex_invindex.Index.t ->

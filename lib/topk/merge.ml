@@ -11,6 +11,7 @@ type stats = {
   entries_read : int;
   elements_merged : int;
   elapsed_seconds : float;
+  degraded : bool;
 }
 
 (* The merge frontier: one heap element per non-exhausted term stream,
@@ -25,7 +26,7 @@ module Pos_heap = Trex_util.Heap.Make (struct
     match compare p1 p2 with 0 -> compare i1 i2 | c -> c
 end)
 
-let run index ~sids ~terms =
+let run ?guard index ~sids ~terms =
   if terms = [] then invalid_arg "Merge.run: no terms";
   let clock = Stopclock.create () in
   let cursors =
@@ -45,7 +46,15 @@ let run index ~sids ~terms =
   let merged = ref [] in
   let merged_count = ref 0 in
   let running = ref true in
+  let degraded = ref false in
+  (* The guard is checked between elements, never mid-drain, so every
+     merged element carries its exact summed score; a degraded run is a
+     position-prefix of the full merge with exact scores. *)
+  (try
   while !running do
+    (match guard with
+    | Some g -> Trex_resilience.Guard.tick g
+    | None -> ());
     match Pos_heap.pop heap with
     | None -> running := false
     | Some (p, i) ->
@@ -73,7 +82,8 @@ let run index ~sids ~terms =
         done;
         incr merged_count;
         merged := (!element, !score) :: !merged
-  done;
+  done
+   with Trex_resilience.Guard.Budget_exceeded _ -> degraded := true);
   (* The paper sorts V with QuickSort; Answer.of_unsorted is our
      equivalent (List.sort, descending score). *)
   let answers = Answer.of_unsorted !merged in
@@ -88,4 +98,5 @@ let run index ~sids ~terms =
       entries_read;
       elements_merged = !merged_count;
       elapsed_seconds = Stopclock.elapsed clock;
+      degraded = !degraded;
     } )

@@ -11,13 +11,19 @@ type stats = {
   entries_read : int;  (** ERPL entries consumed across all terms *)
   elements_merged : int;  (** distinct elements in the merged vector *)
   elapsed_seconds : float;
+  degraded : bool;
+      (** the guard expired and the answers are a position-prefix of
+          the full merge (scores of returned elements are exact) *)
 }
 
 val run :
+  ?guard:Trex_resilience.Guard.t ->
   Trex_invindex.Index.t ->
   sids:int list ->
   terms:string list ->
   Answer.t * stats
-(** All answers, descending score.
+(** All answers, descending score. [guard] is ticked once per merged
+    element, between element drains, so a degraded run still reports
+    exact scores for every element it returns.
     @raise Rpl.Cursor.Missing_list when a required ERPL is absent.
     @raise Invalid_argument when [terms] is empty. *)

@@ -23,6 +23,13 @@ type kind = Rpl | Erpl
 
 val kind_to_string : kind -> string
 
+val table_name : kind -> string
+(** Env table holding the lists ("rpls" / "erpls"); exposed so the
+    resilience layer can map a strategy to the tables it relies on. *)
+
+val catalog_name : kind -> string
+(** Env table holding the catalog ("rpl_catalog" / "erpl_catalog"). *)
+
 type build_report = {
   pairs_built : (string * int) list;  (** (term, sid) lists created *)
   pairs_reused : int;  (** lists that already existed *)
@@ -86,6 +93,9 @@ val total_bytes : Trex_invindex.Index.t -> kind -> int
     the paper's original access pattern, kept alongside the
     per-(term, sid) layout for comparison (see the ablation bench). *)
 module Full : sig
+  val table_name : string
+  val catalog_name : string
+
   val build :
     Trex_invindex.Index.t ->
     scoring:Trex_scoring.Scorer.config ->

@@ -1,6 +1,13 @@
 module Stopclock = Trex_util.Stopclock
 module Metrics = Trex_obs.Metrics
 module Span = Trex_obs.Span
+module Env = Trex_storage.Env
+module Pager = Trex_storage.Pager
+module Guard = Trex_resilience.Guard
+module Retry = Trex_resilience.Retry
+
+let m_degraded_runs = Metrics.counter "resilience.degraded_runs"
+let m_fallbacks = Metrics.counter "resilience.fallbacks"
 
 type method_ = Era_method | Ta_method | Ita_method | Merge_method
 
@@ -19,37 +26,49 @@ let () =
     (fun m -> ignore (Metrics.counter ("strategy.runs." ^ method_to_string m)))
     all_methods
 
+(* The Env tables a method reads beyond the base index; an open breaker
+   on any of them takes the method out of planning, and a failure
+   inside the method trips exactly these. ERA reads only the base
+   tables, which have no redundant substitute — it maps to []. *)
+let tables_of_method = function
+  | Era_method -> []
+  | Ta_method | Ita_method -> [ Rpl.table_name Rpl.Rpl; Rpl.catalog_name Rpl.Rpl ]
+  | Merge_method -> [ Rpl.table_name Rpl.Erpl; Rpl.catalog_name Rpl.Erpl ]
+
 type outcome = {
   method_used : method_;
   answers : Answer.t;
   elapsed_seconds : float;
   entries_read : int;
+  degraded : bool;
   detail : string;
 }
 
-let evaluate_inner index ~scoring ~sids ~terms ~k method_ =
+let evaluate_inner index ~scoring ~sids ~terms ~k ?guard method_ =
   match method_ with
   | Era_method ->
       let clock = Stopclock.create () in
-      let results, stats = Era.run index ~sids ~terms in
+      let results, stats = Era.run ?guard index ~sids ~terms in
       let answers = Era.score_results index ~scoring ~terms results in
       {
         method_used = Era_method;
         answers;
         elapsed_seconds = Stopclock.elapsed clock;
         entries_read = stats.positions_scanned;
+        degraded = stats.degraded;
         detail =
           Printf.sprintf "positions=%d seeks=%d emitted=%d" stats.positions_scanned
             stats.iterator_seeks stats.elements_emitted;
       }
   | Ta_method | Ita_method ->
       let ideal_heap = method_ = Ita_method in
-      let answers, stats = Ta.run index ~sids ~terms ~k ~ideal_heap () in
+      let answers, stats = Ta.run index ~sids ~terms ~k ~ideal_heap ?guard () in
       {
         method_used = method_;
         answers;
         elapsed_seconds = stats.elapsed_seconds;
         entries_read = stats.sorted_accesses;
+        degraded = stats.degraded;
         detail =
           Printf.sprintf
             "accesses=%d heap_ops=%d pushes=%d evictions=%d candidates=%d early=%b"
@@ -57,28 +76,34 @@ let evaluate_inner index ~scoring ~sids ~terms ~k method_ =
             stats.heap_evictions stats.candidates stats.stopped_early;
       }
   | Merge_method ->
-      let answers, stats = Merge.run index ~sids ~terms in
+      let answers, stats = Merge.run ?guard index ~sids ~terms in
       {
         method_used = Merge_method;
         answers;
         elapsed_seconds = stats.elapsed_seconds;
         entries_read = stats.entries_read;
+        degraded = stats.degraded;
         detail =
           Printf.sprintf "entries=%d merged=%d" stats.entries_read
             stats.elements_merged;
       }
 
-let evaluate index ~scoring ~sids ~terms ~k method_ =
+let evaluate index ~scoring ~sids ~terms ~k ?guard method_ =
   let name = method_to_string method_ in
   let outcome =
     Span.with_ ~name:("eval." ^ name) (fun () ->
-        evaluate_inner index ~scoring ~sids ~terms ~k method_)
+        evaluate_inner index ~scoring ~sids ~terms ~k ?guard method_)
   in
   Metrics.incr (Metrics.counter ("strategy.runs." ^ name));
+  if outcome.degraded then Metrics.incr m_degraded_runs;
   Metrics.observe
     (Metrics.histogram ("strategy.seconds." ^ name))
     outcome.elapsed_seconds;
   outcome
+
+let breakers_permit index method_ =
+  let env = Trex_invindex.Index.env index in
+  List.for_all (Env.table_available env) (tables_of_method method_)
 
 let available index ~sids ~terms =
   let rpl_ok = Rpl.covers index Rpl.Rpl ~sids ~terms in
@@ -86,8 +111,8 @@ let available index ~sids ~terms =
   List.filter
     (function
       | Era_method -> true
-      | Ta_method | Ita_method -> rpl_ok
-      | Merge_method -> erpl_ok)
+      | Ta_method | Ita_method -> rpl_ok && breakers_permit index Ta_method
+      | Merge_method -> erpl_ok && breakers_permit index Merge_method)
     all_methods
 
 let materialized_entries index kind ~sids ~terms =
@@ -98,12 +123,12 @@ let materialized_entries index kind ~sids ~terms =
         acc sids)
     0 terms
 
-let race index ~scoring ~sids ~terms ~k =
+let race ?guard index ~scoring ~sids ~terms ~k =
   let methods = available index ~sids ~terms in
   let has m = List.mem m methods in
   if has Ta_method && has Merge_method then begin
-    let ta = evaluate index ~scoring ~sids ~terms ~k Ta_method in
-    let merge = evaluate index ~scoring ~sids ~terms ~k Merge_method in
+    let ta = evaluate index ~scoring ~sids ~terms ~k ?guard Ta_method in
+    let merge = evaluate index ~scoring ~sids ~terms ~k ?guard Merge_method in
     let winner, loser = if ta.elapsed_seconds <= merge.elapsed_seconds then (ta, merge) else (merge, ta) in
     {
       winner with
@@ -115,9 +140,9 @@ let race index ~scoring ~sids ~terms ~k =
           (loser.elapsed_seconds *. 1e3);
     }
   end
-  else if has Merge_method then evaluate index ~scoring ~sids ~terms ~k Merge_method
-  else if has Ta_method then evaluate index ~scoring ~sids ~terms ~k Ta_method
-  else evaluate index ~scoring ~sids ~terms ~k Era_method
+  else if has Merge_method then evaluate index ~scoring ~sids ~terms ~k ?guard Merge_method
+  else if has Ta_method then evaluate index ~scoring ~sids ~terms ~k ?guard Ta_method
+  else evaluate index ~scoring ~sids ~terms ~k ?guard Era_method
 
 let choose index ~sids ~terms ~k =
   let methods = available index ~sids ~terms in
@@ -130,3 +155,32 @@ let choose index ~sids ~terms ~k =
   else if has Merge_method then Merge_method
   else if has Ta_method then Ta_method
   else Era_method
+
+type failover = { failed : method_; error : string }
+
+let evaluate_resilient index ~scoring ~sids ~terms ~k ?guard ?method_ () =
+  let env = Trex_invindex.Index.env index in
+  (* A failure inside a redundant-index method trips that method's
+     tables and re-plans over the survivors, so TA falls back to Merge
+     falls back to ERA. ERA has no substitute: its failures (and any
+     non-storage exception, e.g. Truncated_rpl on a forced method)
+     propagate typed. Termination: every fallback trips at least one
+     table, shrinking [available] until only ERA is left. *)
+  let rec go forced failovers =
+    let m =
+      match forced with Some m -> m | None -> choose index ~sids ~terms ~k
+    in
+    match evaluate index ~scoring ~sids ~terms ~k ?guard m with
+    | outcome ->
+        List.iter (Env.note_table_success env) (tables_of_method m);
+        (outcome, List.rev failovers)
+    | exception ((Pager.Corruption _ | Retry.Exhausted _) as e)
+      when tables_of_method m <> [] ->
+        let error = Printexc.to_string e in
+        List.iter
+          (fun tbl -> Env.trip_table env tbl ~reason:error)
+          (tables_of_method m);
+        Metrics.incr m_fallbacks;
+        go None ({ failed = m; error } :: failovers)
+  in
+  go method_ []

@@ -15,8 +15,15 @@ type outcome = {
   answers : Answer.t;  (** top-k for TA/ITA; all answers otherwise *)
   elapsed_seconds : float;
   entries_read : int;  (** index entries consumed (postings or lists) *)
+  degraded : bool;
+      (** the run's guard expired and [answers] is a sound but
+          possibly-partial prefix (see the per-method stats docs) *)
   detail : string;  (** human-readable per-method statistics *)
 }
+
+val tables_of_method : method_ -> string list
+(** The Env tables the method reads beyond the base index ([[]] for
+    ERA) — the unit at which circuit breakers trip. *)
 
 val evaluate :
   Trex_invindex.Index.t ->
@@ -24,13 +31,37 @@ val evaluate :
   sids:int list ->
   terms:string list ->
   k:int ->
+  ?guard:Trex_resilience.Guard.t ->
   method_ ->
   outcome
 (** @raise Rpl.Cursor.Missing_list when the method's indexes are not
     materialized. *)
 
 val available : Trex_invindex.Index.t -> sids:int list -> terms:string list -> method_ list
-(** Methods whose required indexes exist (ERA always qualifies). *)
+(** Methods whose required indexes exist (ERA always qualifies) {e and}
+    whose tables' circuit breakers admit callers — a tripped RPL table
+    takes TA/ITA out of planning until its breaker closes. *)
+
+type failover = { failed : method_; error : string }
+
+val evaluate_resilient :
+  Trex_invindex.Index.t ->
+  scoring:Trex_scoring.Scorer.config ->
+  sids:int list ->
+  terms:string list ->
+  k:int ->
+  ?guard:Trex_resilience.Guard.t ->
+  ?method_:method_ ->
+  unit ->
+  outcome * failover list
+(** Like {!evaluate} ([method_] forces the first attempt; otherwise
+    {!choose}), but a [Pager.Corruption] or retry exhaustion inside a
+    redundant-index method trips that method's tables' breakers and
+    re-plans over the surviving methods — TA falls back to Merge falls
+    back to ERA — recording one {!failover} per abandoned method and
+    bumping ["resilience.fallbacks"]. A success records itself with the
+    method's breakers (closing a half-open probe). ERA failures
+    propagate: the base tables have no redundant substitute. *)
 
 val choose :
   Trex_invindex.Index.t -> sids:int list -> terms:string list -> k:int -> method_
@@ -40,6 +71,7 @@ val choose :
     no method dominates, operationalized. *)
 
 val race :
+  ?guard:Trex_resilience.Guard.t ->
   Trex_invindex.Index.t ->
   scoring:Trex_scoring.Scorer.config ->
   sids:int list ->

@@ -1,6 +1,7 @@
 module Types = Trex_invindex.Types
 module Stopclock = Trex_util.Stopclock
 module Metrics = Trex_obs.Metrics
+module Guard = Trex_resilience.Guard
 
 (* Registry totals accumulate across every run in the process; the
    [stats] record returned by [run] is the per-run view, computed as the
@@ -25,6 +26,7 @@ type stats = {
   stopped_early : bool;
   elapsed_seconds : float;
   heap_seconds : float;
+  degraded : bool;
 }
 
 type candidate = {
@@ -56,18 +58,23 @@ type term_stream = {
   bound : float; (* scores past the stored prefix are at most this *)
 }
 
-let run index ~sids ~terms ~k ?(ideal_heap = false) ?(use_full_rpls = false) () =
+let run index ~sids ~terms ~k ?(ideal_heap = false) ?(use_full_rpls = false)
+    ?guard () =
   if k <= 0 then invalid_arg "Ta.run: k must be positive";
   if terms = [] then invalid_arg "Ta.run: no terms";
   let clock = Stopclock.create () in
+  let tick_guard () = match guard with Some g -> Guard.tick g | None -> () in
+  (* [with_paused] resumes on the way out even when the guard aborts
+     mid-heap-op, keeping the ITA paused-time invariant. *)
   let with_heap_op f =
-    if ideal_heap then begin
-      Stopclock.pause clock;
-      let r = f () in
-      Stopclock.resume clock;
-      r
+    if ideal_heap then
+      Stopclock.with_paused clock (fun () ->
+          tick_guard ();
+          f ())
+    else begin
+      tick_guard ();
+      f ()
     end
-    else f ()
   in
   let n = List.length terms in
   let stream_of term =
@@ -194,44 +201,55 @@ let run index ~sids ~terms ~k ?(ideal_heap = false) ?(use_full_rpls = false) () 
   let check_interval = 16 in
   let until_next_check = ref check_interval in
   let running = ref true in
-  while !running do
-    let progressed = ref false in
-    for t = 0 to n - 1 do
-      if not exhausted.(t) then begin
-        match cursors.(t).pull () with
-        | Some entry ->
-            progressed := true;
-            accept_entry t entry
-        | None ->
-            exhausted.(t) <- true;
-            (* Entries past a truncated prefix score at most the
-               recorded bound. *)
-            last_seen.(t) <- cursors.(t).bound
-      end
-    done;
-    if not !progressed then running := false
-    else begin
-      decr until_next_check;
-      if !until_next_check <= 0 then begin
-        until_next_check := check_interval;
-        let tau = threshold () in
-        let w = current_w () in
-        if !live_count >= k && w >= tau && not (some_candidate_can_beat w) then begin
-          stopped_early := true;
-          running := false
-        end
-      end
-    end
-  done;
-  (* With truncated prefixes an exhausted run must still certify the
-     top-k before answering: unseen (dropped) entries are bounded by
-     the truncation bounds, so the usual threshold test applies. *)
-  if (not !stopped_early) && Array.exists (fun c -> c.bound > 0.0) cursors then begin
-    let tau = threshold () in
-    let w = current_w () in
-    if not (!live_count >= k && w >= tau && not (some_candidate_can_beat w)) then
-      raise Truncated_rpl
-  end;
+  let degraded = ref false in
+  (* On guard expiry the partial sums accumulated so far are salvaged
+     as a best-effort (degraded) answer: every partial sum is a lower
+     bound of the true score, so the prefix is sound, just possibly
+     incomplete. Certification is skipped — degraded answers are not
+     certified, they are tagged. *)
+  (try
+     while !running do
+       let progressed = ref false in
+       for t = 0 to n - 1 do
+         if not exhausted.(t) then begin
+           tick_guard ();
+           match cursors.(t).pull () with
+           | Some entry ->
+               progressed := true;
+               accept_entry t entry
+           | None ->
+               exhausted.(t) <- true;
+               (* Entries past a truncated prefix score at most the
+                  recorded bound. *)
+               last_seen.(t) <- cursors.(t).bound
+         end
+       done;
+       if not !progressed then running := false
+       else begin
+         decr until_next_check;
+         if !until_next_check <= 0 then begin
+           until_next_check := check_interval;
+           let tau = threshold () in
+           let w = current_w () in
+           if !live_count >= k && w >= tau && not (some_candidate_can_beat w)
+           then begin
+             stopped_early := true;
+             running := false
+           end
+         end
+       end
+     done;
+     (* With truncated prefixes an exhausted run must still certify the
+        top-k before answering: unseen (dropped) entries are bounded by
+        the truncation bounds, so the usual threshold test applies. *)
+     if (not !stopped_early) && Array.exists (fun c -> c.bound > 0.0) cursors
+     then begin
+       let tau = threshold () in
+       let w = current_w () in
+       if not (!live_count >= k && w >= tau && not (some_candidate_can_beat w))
+       then raise Truncated_rpl
+     end
+   with Guard.Budget_exceeded _ -> degraded := true);
   let answers =
     Hashtbl.fold (fun _ c acc -> (c.c_element, c.c_worst) :: acc) candidates []
     |> Answer.of_unsorted
@@ -257,4 +275,5 @@ let run index ~sids ~terms ~k ?(ideal_heap = false) ?(use_full_rpls = false) () 
       stopped_early = !stopped_early;
       elapsed_seconds = elapsed;
       heap_seconds = Stopclock.paused_time clock;
+      degraded = !degraded;
     } )

@@ -23,6 +23,10 @@ type stats = {
   stopped_early : bool;  (** threshold fired before exhausting lists *)
   elapsed_seconds : float;  (** heap time excluded when [ideal_heap] *)
   heap_seconds : float;  (** measured only when [ideal_heap] *)
+  degraded : bool;
+      (** the guard expired and [answers] is a best-effort partial
+          top-k (partial sums are lower bounds, so the prefix is sound
+          but uncertified) *)
 }
 
 exception Truncated_rpl
@@ -39,6 +43,7 @@ val run :
   k:int ->
   ?ideal_heap:bool ->
   ?use_full_rpls:bool ->
+  ?guard:Trex_resilience.Guard.t ->
   unit ->
   Answer.t * stats
 (** Top-k answers (descending score, document-order tie-break).
@@ -47,6 +52,12 @@ val run :
     [use_full_rpls] it consumes each term's full RPL and {e skips}
     foreign-sid entries — the paper's original access pattern (§3.3),
     materialized by {!Rpl.Full.build}.
+
+    [guard] is ticked on every cursor advance and heap operation; on
+    expiry the run returns the current candidates' partial-sum top-k
+    with [degraded = true] instead of raising. With [ideal_heap] the
+    pause/resume around heap operations is exception-safe, so an abort
+    mid-heap-op cannot corrupt the paused-time measurement.
 
     @raise Rpl.Cursor.Missing_list (default layout) or {!Rpl.Full.Missing}
     (full layout) when a required list is absent.

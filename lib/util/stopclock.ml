@@ -25,6 +25,12 @@ let resume t =
     t.running <- true
   end
 
+let is_running t = t.running
+
+let with_paused t f =
+  pause t;
+  Fun.protect ~finally:(fun () -> resume t) f
+
 let elapsed t = if t.running then t.acc +. (now () -. t.mark) else t.acc
 
 let paused_time t =

@@ -15,6 +15,14 @@ val pause : t -> unit
 val resume : t -> unit
 (** Restart accumulating. Idempotent. *)
 
+val is_running : t -> bool
+(** Whether the timer is currently accumulating. *)
+
+val with_paused : t -> (unit -> 'a) -> 'a
+(** [with_paused t f] runs [f] with the clock paused and resumes it on
+    the way out even when [f] raises, so an abort mid-measurement
+    cannot leave the clock stuck paused. *)
+
 val elapsed : t -> float
 (** Seconds accumulated while running. *)
 

@@ -348,6 +348,73 @@ let test_env_compact_tmp_leftover_cleaned () =
   check Alcotest.int "table intact" 100 (Bptree.length (Env.table env2 "fat"));
   Env.close env2
 
+let test_env_compact_valid_tmp_swept () =
+  let dir = temp_dir () in
+  let env = Env.on_disk ~page_size:512 dir in
+  let t = Env.table env "fat" in
+  List.iter (fun (k, v) -> Bptree.insert t ~key:k ~value:v) (entries 100);
+  Env.close env;
+  (* A compaction that crashed after fully building (and syncing) its
+     temp file but before the rename: the temp is a perfectly valid
+     pager file, and must still be swept — only the rename publishes a
+     compaction, so the original stays the truth. *)
+  let tmp = Filename.concat dir "fat.compact-tmp.tbl" in
+  let p = Pager.create_file ~page_size:512 tmp in
+  ignore (Bptree.bulk_load p (List.to_seq (entries 100)));
+  Pager.close p;
+  let env2 = Env.on_disk ~page_size:512 dir in
+  Alcotest.(check bool) "valid temp swept" false (Sys.file_exists tmp);
+  check (Alcotest.list Alcotest.string) "only the real table" [ "fat" ]
+    (Env.table_names env2);
+  check Alcotest.int "table intact" 100 (Bptree.length (Env.table env2 "fat"));
+  Env.close env2
+
+(* Crash matrix over the compaction window itself: the fault plan
+   targets the temp-file pager inside [Env.compact_table], so every raw
+   write between "temp created" and "temp durable" becomes a crash
+   point. Whatever the point, reopening must sweep the temp and present
+   the original table, complete and unfabricated. *)
+let test_crash_matrix_compact_table () =
+  let dir = temp_dir () in
+  let n_entries = 150 in
+  let build sub =
+    Unix.mkdir sub 0o755;
+    let env = Env.on_disk ~page_size:512 sub in
+    let t = Env.table env "fat" in
+    List.iter (fun (k, v) -> Bptree.insert t ~key:k ~value:v) (entries n_entries);
+    Env.flush ~sync:true env;
+    env
+  in
+  let crash_points = ref 0 and finished = ref false and n = ref 0 in
+  while (not !finished) && !n < 5000 do
+    let sub = Filename.concat dir (Printf.sprintf "run-%d" !n) in
+    let env = build sub in
+    (match Env.compact_table ~faults:[ Pager.Crash_after_writes !n ] env "fat" with
+    | () -> finished := true
+    | exception Pager.Injected_crash _ -> incr crash_points);
+    Env.close env;
+    let env2 = Env.on_disk ~page_size:512 sub in
+    Alcotest.(check bool)
+      (Printf.sprintf "crash point %d: temp swept" !n)
+      false
+      (Sys.file_exists (Filename.concat sub "fat.compact-tmp.tbl"));
+    check (Alcotest.list Alcotest.string)
+      (Printf.sprintf "crash point %d: only the real table" !n)
+      [ "fat" ] (Env.table_names env2);
+    let t = Env.table env2 "fat" in
+    check Alcotest.int
+      (Printf.sprintf "crash point %d: rows intact" !n)
+      n_entries (Bptree.length t);
+    Bptree.iter t (fun k v ->
+        match known_of n_entries k with
+        | Some expected -> check Alcotest.string ("value of " ^ k) expected v
+        | None -> Alcotest.failf "fabricated key %S after compaction crash" k);
+    Env.close env2;
+    incr n
+  done;
+  Alcotest.(check bool) "the last run compacts cleanly" true !finished;
+  Alcotest.(check bool) "matrix exercised crash points" true (!crash_points > 3)
+
 let test_env_open_with_recovery_reinits_uncommitted () =
   let dir = temp_dir () in
   let env = Env.on_disk ~page_size:512 dir in
@@ -444,6 +511,10 @@ let () =
             test_env_verify_clean_then_corrupt;
           Alcotest.test_case "compact tmp leftover cleaned" `Quick
             test_env_compact_tmp_leftover_cleaned;
+          Alcotest.test_case "compact valid tmp swept" `Quick
+            test_env_compact_valid_tmp_swept;
+          Alcotest.test_case "compact crash matrix" `Quick
+            test_crash_matrix_compact_table;
           Alcotest.test_case "recovery reinits uncommitted table" `Quick
             test_env_open_with_recovery_reinits_uncommitted;
         ] );
