@@ -16,6 +16,20 @@
 module Json = Trex_obs.Json
 module Metrics = Trex_obs.Metrics
 
+(* Output directory for BENCH_<section>.json files; "." keeps the
+   historical write-to-cwd behavior. *)
+let out_dir = ref "."
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let set_dir dir =
+  mkdir_p dir;
+  out_dir := dir
+
 type record = {
   query : string;
   strategy : string;
@@ -94,7 +108,7 @@ let flush ~quick section =
             ("queries", Json.Obj queries);
           ]
       in
-      let path = Printf.sprintf "BENCH_%s.json" section in
+      let path = Filename.concat !out_dir (Printf.sprintf "BENCH_%s.json" section) in
       let oc = open_out path in
       output_string oc (Json.to_string ~pretty:true doc);
       output_string oc "\n";

@@ -1,0 +1,47 @@
+(* Diff two trex-bench-v1 documents and gate on latency regression.
+
+     dune exec bench/compare.exe -- [--threshold F] [--min-ms F] \
+       BASELINE.json CURRENT.json
+
+   Exit codes: 0 no regression; 1 usage or schema error; 3 the median
+   current/baseline latency ratio exceeded 1 + threshold. Per-row
+   regressions are printed either way (see Trex_obs.Bench_compare). *)
+
+module Bench_compare = Trex_obs.Bench_compare
+
+let usage () =
+  prerr_endline
+    "usage: compare [--threshold F] [--min-ms F] BASELINE.json CURRENT.json";
+  exit 1
+
+let () =
+  let threshold = ref 0.25 in
+  let min_ms = ref 0.05 in
+  let files = ref [] in
+  let rec parse = function
+    | [] -> ()
+    | "--threshold" :: v :: rest ->
+        threshold := float_of_string v;
+        parse rest
+    | "--min-ms" :: v :: rest ->
+        min_ms := float_of_string v;
+        parse rest
+    | [ ("--threshold" | "--min-ms") ] -> usage ()
+    | f :: rest ->
+        files := f :: !files;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  match List.rev !files with
+  | [ baseline; current ] -> (
+      match
+        Bench_compare.compare_files ~threshold:!threshold ~min_ms:!min_ms
+          baseline current
+      with
+      | Error msg ->
+          Printf.eprintf "bench-compare: %s\n" msg;
+          exit 1
+      | Ok report ->
+          Format.printf "%a@." Bench_compare.pp_report report;
+          if report.regressed then exit 3)
+  | _ -> usage ()

@@ -4,6 +4,7 @@
      dune exec bench/main.exe            -- everything
      dune exec bench/main.exe -- table1 fig4 selfman   (selected sections)
      dune exec bench/main.exe -- --quick all
+     dune exec bench/main.exe -- --quick --out /tmp/bench sizes table1 io
 
    Sections:
      sizes         - §5.1 corpus and table sizes + summary sizes (§2.1)
@@ -36,14 +37,21 @@ let quick = ref false
 let sections = ref []
 
 let () =
-  Array.iteri
-    (fun i arg ->
-      if i > 0 then
-        match arg with
-        | "--quick" -> quick := true
-        | "all" -> ()
-        | s -> sections := s :: !sections)
-    Sys.argv
+  let rec parse = function
+    | [] -> ()
+    | "--quick" :: rest ->
+        quick := true;
+        parse rest
+    | "--out" :: dir :: rest ->
+        Bench_out.set_dir dir;
+        parse rest
+    | [ "--out" ] -> failwith "--out requires a directory argument"
+    | "all" :: rest -> parse rest
+    | s :: rest ->
+        sections := s :: !sections;
+        parse rest
+  in
+  parse (List.tl (Array.to_list Sys.argv))
 
 let want section = !sections = [] || List.mem section !sections
 

@@ -11,11 +11,14 @@
      vacuum       compact the redundant-index tables
      verify       checksum-sweep and structurally verify every table
      health       probe tables, trip breakers, report resilience state
+     journal      inspect the persistent query journal (tail|profile|slow)
+     autopilot    replay the journal into the advisor and replan
      xpath        evaluate an XPath expression over an XML file
 
    Exit codes: 0 ok; 1 generic failure; 2 verify found corruption;
    3 query answered degraded (budget expired); 4 health found an open
-   circuit breaker.
+   circuit breaker; 5 autopilot had too few journaled observations to
+   replan.
 
    Example session:
      dune exec bin/trex_cli.exe -- gen --collection ieee --docs 100 --out /tmp/docs
@@ -145,10 +148,18 @@ let query_cmd =
              ~doc:"physical page-read budget; on exhaustion return \
                    best-effort answers tagged DEGRADED (exit 3)")
   in
-  let run env nexi k method_ strict structured trace deadline_ms page_budget =
+  let journal =
+    Arg.(value & flag
+         & info [ "journal" ]
+             ~doc:"append a telemetry record for this query to the env's \
+                   persistent journal (inspect with the journal subcommand)")
+  in
+  let run env nexi k method_ strict structured trace deadline_ms page_budget
+      journal =
     let storage = Trex.Env.on_disk env in
     let engine = Trex.attach ~env:storage () in
     if trace then Trex.Obs.Span.set_enabled true;
+    if journal then Trex.Obs.Journal.set_enabled true;
     let outcome =
       if structured then
         Trex.query_structured engine ~k ?deadline_ms ?page_budget nexi
@@ -189,12 +200,16 @@ let query_cmd =
       Printf.printf "trace:\n";
       Format.printf "%a@." Trex.Obs.Span.pp_tree (Trex.Obs.Span.roots ())
     end;
+    if journal then
+      Printf.printf "journaled to %s (%d record(s) on file)\n"
+        (Option.value ~default:"<memory>" (Trex.Env.journal_path storage))
+        (Trex.Obs.Journal.length (Trex.Env.journal storage));
     Trex.Env.close storage;
     if outcome.degraded then exit 3
   in
   Cmd.v (Cmd.info "query" ~doc:"Evaluate a NEXI query")
     Term.(const run $ env_arg $ nexi $ k $ method_ $ strict $ structured $ trace
-          $ deadline_ms $ page_budget)
+          $ deadline_ms $ page_budget $ journal)
 
 (* ---- materialize ---- *)
 
@@ -372,6 +387,151 @@ let health_cmd =
           open)")
     Term.(const run $ env_arg)
 
+(* ---- journal ---- *)
+
+(* Shared loader: a typo'd env path or a journal-less env is a user
+   error (exit 1), not a reason to mint an empty journal. *)
+let load_journal_records cmd env =
+  if not (Sys.file_exists env && Sys.is_directory env) then begin
+    Printf.eprintf "trex %s: no index directory at %s\n" cmd env;
+    exit 1
+  end;
+  let storage = Trex.Env.on_disk env in
+  if not (Trex.Env.has_journal storage) then begin
+    Printf.eprintf
+      "trex %s: no query journal in %s (run queries with --journal first)\n"
+      cmd env;
+    Trex.Env.close storage;
+    exit 1
+  end;
+  let records = Trex.Obs.Journal.records (Trex.Env.journal storage) in
+  Trex.Env.close storage;
+  records
+
+let journal_tail_cmd =
+  let n =
+    Arg.(value & opt int 20
+         & info [ "n"; "last" ] ~doc:"number of records to show")
+  in
+  let run env n =
+    let records = load_journal_records "journal tail" env in
+    let total = List.length records in
+    let skip = max 0 (total - n) in
+    Printf.printf "%d record(s) journaled; showing last %d\n" total
+      (total - skip);
+    List.iteri
+      (fun i r -> if i >= skip then Format.printf "%a@." Trex.Obs.Journal.pp_record r)
+      records
+  in
+  Cmd.v
+    (Cmd.info "tail" ~doc:"Show the most recent journal records")
+    Term.(const run $ env_arg $ n)
+
+let journal_profile_cmd =
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"emit JSON") in
+  let run env json =
+    let records = load_journal_records "journal profile" env in
+    let profile = Trex.Obs.Profile.of_records records in
+    if json then
+      print_endline (Trex.Obs.Json.to_string (Trex.Obs.Profile.to_json profile))
+    else Format.printf "%a@." Trex.Obs.Profile.pp profile
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Aggregate the journal into per-query and per-strategy latency \
+          percentiles and shares")
+    Term.(const run $ env_arg $ json)
+
+let journal_slow_cmd =
+  let n =
+    Arg.(value & opt int 10
+         & info [ "n"; "last" ] ~doc:"number of slow queries to show")
+  in
+  let run env n =
+    let records = load_journal_records "journal slow" env in
+    let slow =
+      Trex.Obs.Profile.slowest (Trex.Obs.Profile.of_records ~slow_capacity:n records)
+    in
+    Printf.printf "%d slowest of %d journaled record(s)\n" (List.length slow)
+      (List.length records);
+    List.iter (fun r -> Format.printf "%a@." Trex.Obs.Journal.pp_record r) slow
+  in
+  Cmd.v
+    (Cmd.info "slow" ~doc:"Show the slowest journaled queries")
+    Term.(const run $ env_arg $ n)
+
+let journal_cmd =
+  Cmd.group
+    (Cmd.info "journal"
+       ~doc:
+         "Inspect the persistent query journal (written by query --journal)")
+    [ journal_tail_cmd; journal_profile_cmd; journal_slow_cmd ]
+
+(* ---- autopilot ---- *)
+
+let autopilot_cmd =
+  let budget =
+    Arg.(required & opt (some int) None
+         & info [ "budget" ] ~doc:"disk budget in bytes")
+  in
+  let min_observations =
+    Arg.(value & opt int 20
+         & info [ "min-observations" ]
+             ~doc:"journaled executions required before planning (exit 5 below)")
+  in
+  let drift_threshold =
+    Arg.(value & opt float 0.25
+         & info [ "drift-threshold" ]
+             ~doc:"total-variation distance from the planned workload that \
+                   triggers replanning")
+  in
+  let run env budget min_observations drift_threshold =
+    if not (Sys.file_exists env && Sys.is_directory env) then begin
+      Printf.eprintf "trex autopilot: no index directory at %s\n" env;
+      exit 1
+    end;
+    let storage = Trex.Env.on_disk env in
+    if not (Trex.Env.has_journal storage) then begin
+      Printf.eprintf
+        "trex autopilot: no query journal in %s (run queries with --journal \
+         first)\n"
+        env;
+      Trex.Env.close storage;
+      exit 1
+    end;
+    let engine = Trex.attach ~env:storage () in
+    let records = Trex.Obs.Journal.records (Trex.Env.journal storage) in
+    let pilot =
+      Trex.Autopilot.create (Trex.index engine) ~scoring:(Trex.scoring engine)
+        ~budget ~min_observations ~drift_threshold ()
+    in
+    let absorbed = Trex.Autopilot.absorb_journal pilot records in
+    Printf.printf "absorbed %d journaled queries (%d distinct)\n" absorbed
+      (List.length (Trex.Autopilot.observed_frequencies pilot));
+    let verdict = Trex.Autopilot.maybe_replan pilot in
+    Format.printf "%a@." Trex.Autopilot.pp_verdict verdict;
+    (match verdict with
+    | Trex.Autopilot.Replanned { plan; _ } ->
+        List.iter
+          (fun (id, choice) ->
+            Printf.printf "  %-10s -> %s\n" id
+              (Trex.Advisor.choice_to_string choice))
+          plan.decisions
+    | _ -> ());
+    Trex.Env.close storage;
+    match verdict with
+    | Trex.Autopilot.Too_few_observations _ -> exit 5
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "autopilot"
+       ~doc:
+         "Replay the query journal into the advisor and replan the redundant \
+          indexes for the workload actually served (exit 5 when the journal \
+          holds too few observations)")
+    Term.(const run $ env_arg $ budget $ min_observations $ drift_threshold)
+
 (* ---- xpath ---- *)
 
 let xpath_cmd =
@@ -536,4 +696,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; index_cmd; add_cmd; query_cmd; materialize_cmd; stats_cmd; advise_cmd; vacuum_cmd; verify_cmd; health_cmd; xpath_cmd ]))
+          [ gen_cmd; index_cmd; add_cmd; query_cmd; materialize_cmd; stats_cmd; advise_cmd; vacuum_cmd; verify_cmd; health_cmd; journal_cmd; autopilot_cmd; xpath_cmd ]))

@@ -79,6 +79,11 @@ let mk_guard ?deadline_ms ?page_budget () =
 
 let query t ?(k = 10) ?method_ ?(strict = false) ?deadline_ms ?page_budget nexi =
   Obs.Span.with_ ~name:"query" @@ fun () ->
+  (* The journal label makes records carry the NEXI text the caller
+     actually posed (and digest by it), not just the translated
+     (sids, terms) shape. *)
+  Obs.Journal.set_label (Some nexi);
+  Fun.protect ~finally:(fun () -> Obs.Journal.set_label None) @@ fun () ->
   let translation =
     Obs.Span.with_ ~name:"parse+translate" (fun () -> translate t (parse t nexi))
   in
@@ -151,6 +156,14 @@ let element_has_phrase t (e : Types.element) phrase =
 
 let query_structured t ?(k = 10) ?deadline_ms ?page_budget nexi =
   Obs.Span.with_ ~name:"query_structured" @@ fun () ->
+  Obs.Journal.set_label (Some nexi);
+  Fun.protect ~finally:(fun () -> Obs.Journal.set_label None) @@ fun () ->
+  (* The structured evaluator drives ERA directly, bypassing Strategy's
+     journaling hook, so it writes its own record under the synthetic
+     strategy name "structured". *)
+  let journal_started =
+    if Obs.Journal.enabled () then Some (Obs.Journal.start_query ()) else None
+  in
   let translation = translate t (parse t nexi) in
   let guard = mk_guard ?deadline_ms ?page_budget () in
   let degraded = ref false in
@@ -253,6 +266,16 @@ let query_structured t ?(k = 10) ?deadline_ms ?page_budget nexi =
       detail = Printf.sprintf "structured: %d units" (List.length translation.Translate.units);
     }
   in
+  (match journal_started with
+  | None -> ()
+  | Some started ->
+      ignore
+        (Obs.Journal.finish_query
+           (Env.journal (Index.env t.index))
+           started ~strategy:"structured"
+           ~sids:(Translate.all_sids translation)
+           ~terms:(Translate.all_terms translation)
+           ~k ~degraded:!degraded ()));
   { translation; strategy; k; degraded = !degraded; fallbacks = [] }
 
 (* ---- index management ---- *)

@@ -1,0 +1,192 @@
+type row_diff = {
+  query : string;
+  strategy : string;
+  k : int;
+  occurrence : int;
+  base_ms : float;
+  cur_ms : float;
+  ratio : float;
+}
+
+type report = {
+  section : string;
+  matched : int;
+  compared : int;
+  only_baseline : int;
+  only_current : int;
+  median_ratio : float;
+  regressions : row_diff list;
+  regressed : bool;
+}
+
+type row = { r_query : string; r_strategy : string; r_k : int; r_ms : float }
+
+let ( let* ) = Result.bind
+
+let field name doc =
+  match Json.member name doc with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing %S field" name)
+
+(* Flatten a trex-bench-v1 document into rows in document order. *)
+let rows_of doc =
+  let* schema = field "schema" doc in
+  let* () =
+    match schema with
+    | Json.String "trex-bench-v1" -> Ok ()
+    | Json.String s -> Error (Printf.sprintf "unsupported schema %S" s)
+    | _ -> Error "schema field is not a string"
+  in
+  let* section =
+    match Json.member "section" doc with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error "missing or non-string \"section\" field"
+  in
+  let* queries =
+    match Json.member "queries" doc with
+    | Some (Json.Obj fields) -> Ok fields
+    | _ -> Error "missing or non-object \"queries\" field"
+  in
+  let rows =
+    List.concat_map
+      (fun (q, v) ->
+        match v with
+        | Json.List records ->
+            List.filter_map
+              (fun r ->
+                let str k =
+                  match Json.member k r with
+                  | Some (Json.String s) -> Some s
+                  | _ -> None
+                in
+                let num k =
+                  match Json.member k r with
+                  | Some (Json.Float f) -> Some f
+                  | Some (Json.Int i) -> Some (float_of_int i)
+                  | _ -> None
+                in
+                match (str "strategy", num "k", num "ms") with
+                | Some strategy, Some kf, Some ms ->
+                    Some
+                      {
+                        r_query = q;
+                        r_strategy = strategy;
+                        r_k = int_of_float kf;
+                        r_ms = ms;
+                      }
+                | _ -> None)
+              records
+        | _ -> [])
+      queries
+  in
+  Ok (section, rows)
+
+(* Key rows by (query, strategy, k, occurrence); occurrence numbers
+   repeated identical keys in document order, so e.g. the io section's
+   cache sweep (same query/strategy/k at five cache sizes) pairs up
+   positionally. *)
+let keyed rows =
+  let seen = Hashtbl.create 64 in
+  List.map
+    (fun r ->
+      let base = (r.r_query, r.r_strategy, r.r_k) in
+      let occ =
+        match Hashtbl.find_opt seen base with Some n -> n | None -> 0
+      in
+      Hashtbl.replace seen base (occ + 1);
+      ((r.r_query, r.r_strategy, r.r_k, occ), r))
+    rows
+
+let median = function
+  | [] -> 1.0
+  | l ->
+      let a = Array.of_list l in
+      Array.sort compare a;
+      let n = Array.length a in
+      if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
+
+let compare_docs ~threshold ?(min_ms = 0.05) base_doc cur_doc =
+  let* base_section, base_rows = rows_of base_doc in
+  let* cur_section, cur_rows = rows_of cur_doc in
+  let* () =
+    if base_section = cur_section then Ok ()
+    else
+      Error
+        (Printf.sprintf "section mismatch: baseline %S vs current %S"
+           base_section cur_section)
+  in
+  let base_tbl = Hashtbl.create 64 in
+  List.iter (fun (k, r) -> Hashtbl.replace base_tbl k r) (keyed base_rows);
+  let matched = ref 0 and only_current = ref 0 in
+  let ratios = ref [] and regressions = ref [] in
+  List.iter
+    (fun ((key, cur) : _ * row) ->
+      match Hashtbl.find_opt base_tbl key with
+      | None -> incr only_current
+      | Some base ->
+          incr matched;
+          Hashtbl.remove base_tbl key;
+          if base.r_ms >= min_ms then begin
+            let ratio = cur.r_ms /. base.r_ms in
+            ratios := ratio :: !ratios;
+            if ratio > 1.0 +. threshold then
+              let _, _, _, occ = key in
+              regressions :=
+                {
+                  query = cur.r_query;
+                  strategy = cur.r_strategy;
+                  k = cur.r_k;
+                  occurrence = occ;
+                  base_ms = base.r_ms;
+                  cur_ms = cur.r_ms;
+                  ratio;
+                }
+                :: !regressions
+          end)
+    (keyed cur_rows);
+  let median_ratio = median !ratios in
+  Ok
+    {
+      section = base_section;
+      matched = !matched;
+      compared = List.length !ratios;
+      only_baseline = Hashtbl.length base_tbl;
+      only_current = !only_current;
+      median_ratio;
+      regressions =
+        List.sort (fun a b -> compare b.ratio a.ratio) !regressions;
+      regressed = median_ratio > 1.0 +. threshold;
+    }
+
+let read_file p =
+  let ic = open_in_bin p in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let compare_files ~threshold ?min_ms base_path cur_path =
+  let load what p =
+    match read_file p with
+    | exception Sys_error e -> Error (Printf.sprintf "%s: %s" what e)
+    | s -> (
+        match Json.parse_result s with
+        | Ok doc -> Ok doc
+        | Error e -> Error (Printf.sprintf "%s %s: %s" what p e))
+  in
+  let* base = load "baseline" base_path in
+  let* cur = load "current" cur_path in
+  compare_docs ~threshold ?min_ms base cur
+
+let pp_report fmt r =
+  Format.fprintf fmt "@[<v>section %s: %s (median ratio %.2fx over %d rows)@,"
+    r.section
+    (if r.regressed then "REGRESSED" else "ok")
+    r.median_ratio r.compared;
+  Format.fprintf fmt "  matched %d, baseline-only %d, current-only %d@,"
+    r.matched r.only_baseline r.only_current;
+  List.iter
+    (fun d ->
+      Format.fprintf fmt "  %s %s k=%d#%d: %.3f ms -> %.3f ms (%.2fx)@,"
+        d.query d.strategy d.k d.occurrence d.base_ms d.cur_ms d.ratio)
+    r.regressions;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,47 @@
+(** Regression diffing between two [trex-bench-v1] documents.
+
+    Rows are matched on (query, strategy, k, occurrence index) — the
+    occurrence index disambiguates sections such as [io] that record
+    the same (query, strategy, k) several times under different cache
+    configurations. Rows whose baseline latency is below [min_ms]
+    (default 0.05 ms) are matched but excluded from ratio statistics,
+    so the instrumentation-only sections ([sizes], [table1], which
+    record [ms = 0]) never divide by noise.
+
+    The verdict is the median of the per-row current/baseline latency
+    ratios: [regressed] is true when that median exceeds
+    [1 + threshold]. Individual rows beyond the threshold are listed
+    regardless of the verdict, so a single pathological query is
+    visible even when the median is fine. *)
+
+type row_diff = {
+  query : string;
+  strategy : string;
+  k : int;
+  occurrence : int;
+  base_ms : float;
+  cur_ms : float;
+  ratio : float;
+}
+
+type report = {
+  section : string;
+  matched : int;  (** Rows present in both documents. *)
+  compared : int;  (** Matched rows with [base_ms >= min_ms]. *)
+  only_baseline : int;
+  only_current : int;
+  median_ratio : float;  (** 1.0 when nothing was comparable. *)
+  regressions : row_diff list;  (** Rows with [ratio > 1 + threshold]. *)
+  regressed : bool;
+}
+
+val compare_docs :
+  threshold:float -> ?min_ms:float -> Json.t -> Json.t -> (report, string) result
+(** [compare_docs ~threshold baseline current]. [Error] on schema or
+    section mismatch. *)
+
+val compare_files :
+  threshold:float -> ?min_ms:float -> string -> string -> (report, string) result
+(** Same, reading both documents from files. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,361 @@
+module Crc32 = Trex_util.Crc32
+
+let m_appends = Metrics.counter "journal.appends"
+let m_corrupt = Metrics.counter "journal.corrupt_records"
+let m_torn = Metrics.counter "journal.torn_tails"
+let m_recovered = Metrics.counter "journal.records_recovered"
+
+type record = {
+  qid : int;
+  ts : float;
+  digest : string;
+  label : string;
+  strategy : string;
+  k : int;
+  wall_ms : float;
+  pages_read : int;
+  cache_hit_ratio : float;
+  heap_ops : int;
+  degraded : bool;
+  fallbacks : int;
+  retried : bool;
+  sids : int list;
+  terms : string list;
+  spans : (string * float) list;
+}
+
+let magic = "TREXQJ1\n"
+let magic_len = String.length magic
+
+(* A length field above this is a corrupt header, not a huge record. *)
+let max_payload = 1 lsl 24
+
+type backend = Mem | File of { fd : Unix.file_descr; file_path : string }
+
+type t = {
+  backend : backend;
+  mutable stored : record list; (* newest first *)
+  mutable count : int;
+  mutable next_qid : int;
+  mutable closed : bool;
+}
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec                                                          *)
+
+let record_to_json r =
+  Json.Obj
+    [
+      ("qid", Json.Int r.qid);
+      ("ts", Json.Float r.ts);
+      ("digest", Json.String r.digest);
+      ("label", Json.String r.label);
+      ("strategy", Json.String r.strategy);
+      ("k", Json.Int r.k);
+      ("wall_ms", Json.Float r.wall_ms);
+      ("pages_read", Json.Int r.pages_read);
+      ("cache_hit_ratio", Json.Float r.cache_hit_ratio);
+      ("heap_ops", Json.Int r.heap_ops);
+      ("degraded", Json.Bool r.degraded);
+      ("fallbacks", Json.Int r.fallbacks);
+      ("retried", Json.Bool r.retried);
+      ("sids", Json.List (List.map (fun s -> Json.Int s) r.sids));
+      ("terms", Json.List (List.map (fun t -> Json.String t) r.terms));
+      ("spans", Json.Obj (List.map (fun (p, ms) -> (p, Json.Float ms)) r.spans));
+    ]
+
+let jstr j k d = match Json.member k j with Some (Json.String s) -> s | _ -> d
+
+let jint j k d =
+  match Json.member k j with
+  | Some (Json.Int i) -> i
+  | Some (Json.Float f) -> int_of_float f
+  | _ -> d
+
+let jflt j k d =
+  match Json.member k j with
+  | Some (Json.Float f) -> f
+  | Some (Json.Int i) -> float_of_int i
+  | _ -> d
+
+let jbool j k d = match Json.member k j with Some (Json.Bool b) -> b | _ -> d
+
+let record_of_json j =
+  match (Json.member "digest" j, Json.member "strategy" j) with
+  | Some (Json.String digest), Some (Json.String strategy) ->
+      let sids =
+        match Json.member "sids" j with
+        | Some (Json.List l) ->
+            List.filter_map (function Json.Int i -> Some i | _ -> None) l
+        | _ -> []
+      in
+      let terms =
+        match Json.member "terms" j with
+        | Some (Json.List l) ->
+            List.filter_map (function Json.String s -> Some s | _ -> None) l
+        | _ -> []
+      in
+      let spans =
+        match Json.member "spans" j with
+        | Some (Json.Obj fields) ->
+            List.filter_map
+              (fun (p, v) ->
+                match v with
+                | Json.Float ms -> Some (p, ms)
+                | Json.Int ms -> Some (p, float_of_int ms)
+                | _ -> None)
+              fields
+        | _ -> []
+      in
+      Some
+        {
+          qid = jint j "qid" 0;
+          ts = jflt j "ts" 0.0;
+          digest;
+          label = jstr j "label" "";
+          strategy;
+          k = jint j "k" 0;
+          wall_ms = jflt j "wall_ms" 0.0;
+          pages_read = jint j "pages_read" 0;
+          cache_hit_ratio = jflt j "cache_hit_ratio" 0.0;
+          heap_ops = jint j "heap_ops" 0;
+          degraded = jbool j "degraded" false;
+          fallbacks = jint j "fallbacks" 0;
+          retried = jbool j "retried" false;
+          sids;
+          terms;
+          spans;
+        }
+  | _ -> None
+
+let pp_record fmt r =
+  Format.fprintf fmt "#%d %s %-10s k=%-4d %8.3f ms  pages=%-5d hit=%4.0f%%%s%s%s"
+    r.qid r.digest r.strategy r.k r.wall_ms r.pages_read
+    (100.0 *. r.cache_hit_ratio)
+    (if r.degraded then "  DEGRADED" else "")
+    (if r.fallbacks > 0 then Printf.sprintf "  fallbacks=%d" r.fallbacks else "")
+    (if r.label = "" then "" else "  " ^ r.label)
+
+let digest_of s = Printf.sprintf "%08lx" (Crc32.string s)
+
+(* ------------------------------------------------------------------ *)
+(* Framing                                                             *)
+
+let frame payload =
+  let len = String.length payload in
+  let b = Bytes.create (8 + len) in
+  Bytes.set_int32_le b 0 (Int32.of_int len);
+  Bytes.set_int32_le b 4 (Crc32.string payload);
+  Bytes.blit_string payload 0 b 8 len;
+  b
+
+(* Sweep [contents] (already past the magic) and return the valid
+   records oldest-first, how many frames were corrupt, and the byte
+   offset where the valid region ends ([None] when it runs to EOF). *)
+let scan contents =
+  let n = String.length contents in
+  let records = ref [] in
+  let corrupt = ref 0 in
+  let rec go pos =
+    if pos = n then (pos, false)
+    else if pos + 8 > n then (pos, true) (* torn header *)
+    else
+      let len = Int32.to_int (String.get_int32_le contents pos) in
+      let crc = String.get_int32_le contents (pos + 4) in
+      if len < 0 || len > max_payload then (pos, true) (* corrupt header *)
+      else if pos + 8 + len > n then (pos, true) (* torn payload *)
+      else begin
+        let payload = String.sub contents (pos + 8) len in
+        (if Crc32.string payload <> crc then incr corrupt
+         else
+           match record_of_json (Json.parse payload) with
+           | Some r -> records := r :: !records
+           | None -> incr corrupt
+           | exception Json.Parse_error _ -> incr corrupt);
+        go (pos + 8 + len)
+      end
+  in
+  let valid_end, torn = go 0 in
+  (List.rev !records, !corrupt, valid_end, torn)
+
+(* ------------------------------------------------------------------ *)
+(* Lifecycle                                                           *)
+
+let next_qid_of records =
+  1 + List.fold_left (fun acc r -> max acc r.qid) (-1) records
+
+let make backend records =
+  {
+    backend;
+    stored = List.rev records;
+    count = List.length records;
+    next_qid = next_qid_of records;
+    closed = false;
+  }
+
+let in_memory () = make Mem []
+
+let read_all fd =
+  let size = (Unix.fstat fd).Unix.st_size in
+  let b = Bytes.create size in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let rec fill off =
+    if off < size then
+      match Unix.read fd b off (size - off) with
+      | 0 -> off
+      | n -> fill (off + n)
+    else off
+  in
+  let got = fill 0 in
+  Bytes.sub_string b 0 got
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then go (off + Unix.write fd b off (len - off))
+  in
+  go 0
+
+let open_file file_path =
+  let fd = Unix.openfile file_path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let contents = read_all fd in
+  let records =
+    if contents = "" then begin
+      write_all fd (Bytes.of_string magic);
+      []
+    end
+    else if
+      String.length contents < magic_len
+      || String.sub contents 0 magic_len <> magic
+    then begin
+      (* Not a journal we wrote (or a magic torn mid-write): there is no
+         valid prefix to preserve, so start the file over. *)
+      Metrics.incr m_corrupt;
+      Unix.ftruncate fd 0;
+      ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+      write_all fd (Bytes.of_string magic);
+      []
+    end
+    else begin
+      let body =
+        String.sub contents magic_len (String.length contents - magic_len)
+      in
+      let records, corrupt, valid_end, torn = scan body in
+      Metrics.add m_corrupt corrupt;
+      Metrics.add m_recovered (List.length records);
+      if torn then begin
+        Metrics.incr m_torn;
+        Unix.ftruncate fd (magic_len + valid_end)
+      end;
+      records
+    end
+  in
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  make (File { fd; file_path }) records
+
+let records t = List.rev t.stored
+let length t = t.count
+let path t = match t.backend with Mem -> None | File f -> Some f.file_path
+
+let append t r =
+  if t.closed then invalid_arg "Journal.append: journal is closed";
+  let r = { r with qid = t.next_qid } in
+  t.next_qid <- t.next_qid + 1;
+  (match t.backend with
+  | Mem -> ()
+  | File { fd; _ } ->
+      write_all fd (frame (Json.to_string (record_to_json r))));
+  t.stored <- r :: t.stored;
+  t.count <- t.count + 1;
+  Metrics.incr m_appends;
+  r
+
+let sync t =
+  match t.backend with
+  | Mem -> ()
+  | File { fd; _ } -> if not t.closed then Unix.fsync fd
+
+let close t =
+  if not t.closed then begin
+    (match t.backend with
+    | Mem -> ()
+    | File { fd; _ } ->
+        (try Unix.fsync fd with Unix.Unix_error _ -> ());
+        Unix.close fd);
+    t.closed <- true
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Global switches                                                     *)
+
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+let label_ref : string option ref = ref None
+let set_label l = label_ref := l
+let label () = !label_ref
+
+(* ------------------------------------------------------------------ *)
+(* Measuring one query                                                 *)
+
+let c_reads = Metrics.counter "pager.physical_reads"
+let c_hits = Metrics.counter "pager.cache_hits"
+let c_misses = Metrics.counter "pager.cache_misses"
+let c_heap = Metrics.counter "ta.heap_operations"
+let c_retries = Metrics.counter "resilience.retries"
+
+type started = {
+  s_t0 : float;
+  s_reads : int;
+  s_hits : int;
+  s_misses : int;
+  s_heap : int;
+  s_retries : int;
+}
+
+let start_query () =
+  {
+    s_t0 = Unix.gettimeofday ();
+    s_reads = Metrics.value c_reads;
+    s_hits = Metrics.value c_hits;
+    s_misses = Metrics.value c_misses;
+    s_heap = Metrics.value c_heap;
+    s_retries = Metrics.value c_retries;
+  }
+
+let canonical ~sids ~terms =
+  String.concat "," (List.map string_of_int (List.sort compare sids))
+  ^ "|"
+  ^ String.concat "," (List.sort String.compare terms)
+
+let finish_query t started ~strategy ~sids ~terms ~k ~degraded ?(fallbacks = 0)
+    ?(spans = []) () =
+  let now = Unix.gettimeofday () in
+  let hits = Metrics.value c_hits - started.s_hits in
+  let misses = Metrics.value c_misses - started.s_misses in
+  let lookups = hits + misses in
+  let label = match !label_ref with Some l -> l | None -> "" in
+  let digest =
+    if label <> "" then digest_of label else digest_of (canonical ~sids ~terms)
+  in
+  append t
+    {
+      qid = 0;
+      ts = now;
+      digest;
+      label;
+      strategy;
+      k;
+      wall_ms = (now -. started.s_t0) *. 1e3;
+      pages_read = Metrics.value c_reads - started.s_reads;
+      cache_hit_ratio =
+        (if lookups = 0 then 0.0
+         else float_of_int hits /. float_of_int lookups);
+      heap_ops = Metrics.value c_heap - started.s_heap;
+      degraded;
+      fallbacks;
+      retried = Metrics.value c_retries > started.s_retries;
+      sids;
+      terms;
+      spans;
+    }

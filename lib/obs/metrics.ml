@@ -89,6 +89,7 @@ let bucket_mid h i =
 
 let quantile h q =
   if h.h_n = 0 then 0.0
+  else if h.h_n = 1 then h.h_min (* the sample itself, not a bucket mid *)
   else begin
     let rank =
       let r = int_of_float (ceil (q *. float_of_int h.h_n)) in

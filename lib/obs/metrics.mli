@@ -40,7 +40,9 @@ val gauge_value : gauge -> float
 val histogram : string -> histogram
 val observe : histogram -> float -> unit
 val quantile : histogram -> float -> float
-(** [quantile h q] for q in [0, 1]; 0.0 on an empty histogram. *)
+(** [quantile h q] for q in [0, 1]. Defined edge cases: an empty
+    histogram yields 0.0 and a single-sample histogram yields the
+    sample itself (never a bucket artifact). *)
 
 type histogram_snapshot = {
   n : int;

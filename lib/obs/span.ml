@@ -1,9 +1,15 @@
 module Stopclock = Trex_util.Stopclock
 
-type t = { name : string; seconds : float; children : t list }
+type t = {
+  name : string;
+  seconds : float;
+  attrs : (string * string) list;
+  children : t list;
+}
 
 type frame = {
   f_name : string;
+  f_attrs : (string * string) list;
   f_clock : Stopclock.t;
   mutable f_children : t list; (* newest first *)
 }
@@ -14,15 +20,20 @@ let enabled () = !enabled_flag
 
 let stack : frame list ref = ref []
 let finished : t list ref = ref [] (* newest first *)
+let last_completed : t option ref = ref None
 
 let reset () =
   stack := [];
-  finished := []
+  finished := [];
+  last_completed := None
 
-let with_ ~name f =
+let with_ ~name ?(attrs = []) f =
   if not !enabled_flag then f ()
   else begin
-    let fr = { f_name = name; f_clock = Stopclock.create (); f_children = [] } in
+    let fr =
+      { f_name = name; f_attrs = attrs; f_clock = Stopclock.create ();
+        f_children = [] }
+    in
     stack := fr :: !stack;
     Fun.protect
       ~finally:(fun () ->
@@ -38,8 +49,14 @@ let with_ ~name f =
               if top != fr then pop ()
         in
         pop ();
-        let span = { name; seconds; children = List.rev fr.f_children } in
-        Metrics.observe (Metrics.histogram ("span." ^ name)) seconds;
+        let span =
+          { name; seconds; attrs = fr.f_attrs;
+            children = List.rev fr.f_children }
+        in
+        Metrics.observe
+          (Metrics.histogram ("span." ^ name ^ ".ms"))
+          (seconds *. 1e3);
+        last_completed := Some span;
         match !stack with
         | parent :: _ -> parent.f_children <- span :: parent.f_children
         | [] -> finished := span :: !finished)
@@ -47,22 +64,51 @@ let with_ ~name f =
   end
 
 let roots () = List.rev !finished
+let last () = !last_completed
+
+let summarize ?(max_entries = 32) span =
+  let acc = ref [] in
+  let n = ref 0 in
+  let rec go prefix s =
+    if !n < max_entries then begin
+      let path = if prefix = "" then s.name else prefix ^ "/" ^ s.name in
+      acc := (path, s.seconds *. 1e3) :: !acc;
+      incr n;
+      List.iter (go path) s.children
+    end
+  in
+  go "" span;
+  List.rev !acc
 
 let rec to_json_one span =
   Json.Obj
-    [
-      ("name", Json.String span.name);
-      ("ms", Json.Float (span.seconds *. 1e3));
-      ("children", Json.List (List.map to_json_one span.children));
-    ]
+    (("name", Json.String span.name)
+     :: ("ms", Json.Float (span.seconds *. 1e3))
+     ::
+     (if span.attrs = [] then []
+      else
+        [
+          ( "attrs",
+            Json.Obj
+              (List.map (fun (k, v) -> (k, Json.String v)) span.attrs) );
+        ])
+    @ [ ("children", Json.List (List.map to_json_one span.children)) ])
 
 let to_json spans = Json.List (List.map to_json_one spans)
 
 let pp_tree fmt spans =
   let rec pp depth span =
-    Format.fprintf fmt "%s%-*s %10.3f ms@," (String.make (2 * depth) ' ')
+    let attrs =
+      if span.attrs = [] then ""
+      else
+        " ["
+        ^ String.concat ", "
+            (List.map (fun (k, v) -> k ^ "=" ^ v) span.attrs)
+        ^ "]"
+    in
+    Format.fprintf fmt "%s%-*s %10.3f ms%s@," (String.make (2 * depth) ' ')
       (max 1 (32 - (2 * depth)))
-      span.name (span.seconds *. 1e3);
+      span.name (span.seconds *. 1e3) attrs;
     List.iter (pp (depth + 1)) span.children
   in
   Format.fprintf fmt "@[<v>";

@@ -3,23 +3,39 @@
     [with_ ~name f] times [f] with a {!Trex_util.Stopclock} and records
     a span; spans opened inside [f] nest as children, forming a tree per
     top-level call. Each completed span also lands in the registry
-    histogram ["span." ^ name], so repeated operations accumulate
-    p50/p95/p99 latencies for free.
+    histogram ["span." ^ name ^ ".ms"] (milliseconds), so repeated
+    operations accumulate per-phase p50/p95/p99 latencies for free.
+    Spans may carry string attributes (e.g. [("strategy", "ta")];
+    [("k", "10")]) that show up in [to_json] and [pp_tree].
 
     Tracing is off by default and [with_] then runs [f] with no
     overhead at all — instrumented code paths need no flag checks of
     their own. *)
 
-type t = { name : string; seconds : float; children : t list }
+type t = {
+  name : string;
+  seconds : float;
+  attrs : (string * string) list;
+  children : t list;
+}
 
 val set_enabled : bool -> unit
 val enabled : unit -> bool
 
-val with_ : name:string -> (unit -> 'a) -> 'a
+val with_ : name:string -> ?attrs:(string * string) list -> (unit -> 'a) -> 'a
 (** Exceptions propagate; the span is still recorded. *)
 
 val roots : unit -> t list
 (** Completed top-level spans, oldest first. *)
+
+val last : unit -> t option
+(** The most recently completed span (at any depth), or [None] if no
+    span has completed since the last [reset]. Lets a caller that just
+    closed a span retrieve its timing tree without threading it out. *)
+
+val summarize : ?max_entries:int -> t -> (string * float) list
+(** Depth-first flattening to [("parent/child" path, ms)] pairs,
+    capped at [max_entries] (default 32). *)
 
 val reset : unit -> unit
 (** Drop completed and in-progress spans. Leaves [enabled] unchanged. *)

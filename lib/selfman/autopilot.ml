@@ -50,6 +50,15 @@ let record t ~id ~sids ~terms ~k =
       o.k <- k
   | None -> Hashtbl.add t.seen id { count = 1; sids; terms; k }
 
+let absorb_journal t records =
+  List.iter
+    (fun (r : Trex_obs.Journal.record) ->
+      record t ~id:r.Trex_obs.Journal.digest ~sids:r.Trex_obs.Journal.sids
+        ~terms:r.Trex_obs.Journal.terms
+        ~k:(max 1 r.Trex_obs.Journal.k))
+    records;
+  List.length records
+
 let observations t = t.total
 
 let observed_frequencies t =

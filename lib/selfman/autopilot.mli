@@ -33,6 +33,13 @@ val record :
     the NEXI text); [sids]/[terms]/[k] are remembered from the latest
     execution. *)
 
+val absorb_journal : t -> Trex_obs.Journal.record list -> int
+(** {!record} every journal entry (id = digest, shape from the entry,
+    [k] clamped to at least 1) and return how many were absorbed — the
+    bridge from persisted telemetry to drift detection: replay the
+    env's journal into a fresh autopilot and {!maybe_replan} plans for
+    the workload the system {e actually} served. *)
+
 val observations : t -> int
 val observed_frequencies : t -> (string * float) list
 (** Sorted by id; empty before any {!record}. *)

@@ -1,4 +1,5 @@
 module Metrics = Trex_obs.Metrics
+module Journal = Trex_obs.Journal
 module Breaker = Trex_resilience.Breaker
 
 let m_table_opens = Metrics.counter "env.table_opens"
@@ -12,9 +13,11 @@ type t = {
   page_size : int;
   tables : (string, Bptree.t) Hashtbl.t;
   breakers : (string, Breaker.t) Hashtbl.t;
+  mutable journal : Journal.t option;
 }
 
 let tmp_suffix = ".compact-tmp"
+let journal_file = "query_journal.qj"
 
 (* A crash between building a compaction temp file and the atomic rename
    leaves "<name>.compact-tmp.tbl" behind; the original table is intact,
@@ -39,6 +42,7 @@ let in_memory ?(page_size = 8192) () =
     page_size;
     tables = Hashtbl.create 8;
     breakers = Hashtbl.create 8;
+    journal = None;
   }
 
 let on_disk ?(page_size = 8192) ?(cache_pages = 4096) dir =
@@ -46,12 +50,42 @@ let on_disk ?(page_size = 8192) ?(cache_pages = 4096) dir =
   else if not (Sys.is_directory dir) then
     invalid_arg (Printf.sprintf "Env.on_disk: %s is not a directory" dir)
   else cleanup_stale_tmp dir;
-  {
-    backend = Disk { dir; cache_pages };
-    page_size;
-    tables = Hashtbl.create 8;
-    breakers = Hashtbl.create 8;
-  }
+  let env =
+    {
+      backend = Disk { dir; cache_pages };
+      page_size;
+      tables = Hashtbl.create 8;
+      breakers = Hashtbl.create 8;
+      journal = None;
+    }
+  in
+  (* An existing query journal is swept at open, like stale compaction
+     temp files: a torn or corrupt tail from a crash is repaired here
+     rather than on the first journaled query. *)
+  if Sys.file_exists (Filename.concat dir journal_file) then
+    env.journal <- Some (Journal.open_file (Filename.concat dir journal_file));
+  env
+
+let journal_path t =
+  match t.backend with
+  | Mem -> None
+  | Disk { dir; _ } -> Some (Filename.concat dir journal_file)
+
+let journal t =
+  match t.journal with
+  | Some j -> j
+  | None ->
+      let j =
+        match journal_path t with
+        | None -> Journal.in_memory ()
+        | Some path -> Journal.open_file path
+      in
+      t.journal <- Some j;
+      j
+
+let has_journal t =
+  t.journal <> None
+  || match journal_path t with None -> false | Some p -> Sys.file_exists p
 
 let valid_name name =
   name <> ""
@@ -313,4 +347,9 @@ let flush ?(sync = false) t =
 
 let close t =
   Hashtbl.iter (fun _ tree -> Pager.close (Bptree.pager tree)) t.tables;
-  Hashtbl.reset t.tables
+  Hashtbl.reset t.tables;
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      Journal.close j;
+      t.journal <- None

@@ -64,6 +64,26 @@ val flush : ?sync:bool -> t -> unit
     point (see {!Pager.flush}). *)
 
 val close : t -> unit
+(** Closes every open table and the query journal (if open). *)
+
+(** {1 Query journal}
+
+    One {!Trex_obs.Journal} per environment: file-backed under the env
+    directory ([dir/query_journal.qj]) for disk envs, memory-backed
+    otherwise. {!on_disk} sweeps an existing journal file eagerly, so a
+    torn or corrupt tail left by a crash is repaired at open (counted
+    in [journal.torn_tails] / [journal.corrupt_records]) rather than on
+    first use. *)
+
+val journal : t -> Trex_obs.Journal.t
+(** Find-or-open the environment's query journal. *)
+
+val journal_path : t -> string option
+(** Where the journal lives; [None] for memory-backed envs. *)
+
+val has_journal : t -> bool
+(** Whether a journal is open or its backing file exists — i.e.
+    whether {!journal} would return any history. *)
 
 (** {1 Verification & recovery} *)
 

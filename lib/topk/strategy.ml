@@ -1,6 +1,7 @@
 module Stopclock = Trex_util.Stopclock
 module Metrics = Trex_obs.Metrics
 module Span = Trex_obs.Span
+module Journal = Trex_obs.Journal
 module Env = Trex_storage.Env
 module Pager = Trex_storage.Pager
 module Guard = Trex_resilience.Guard
@@ -88,18 +89,58 @@ let evaluate_inner index ~scoring ~sids ~terms ~k ?guard method_ =
             stats.elements_merged;
       }
 
+(* One journal record per *top-level* evaluation. [evaluate], [race]
+   and [evaluate_resilient] all funnel through [with_journal]; the
+   scope flag keeps the inner [evaluate] calls (race legs, resilient
+   failover attempts) from writing their own records, because each
+   journal record is one observed query — [Workload.of_journal] turns
+   record counts into frequencies, so double-counting would skew the
+   advisor. An evaluation that escapes by exception writes nothing;
+   [evaluate_resilient]'s salvaged fallbacks record the method that
+   finally answered plus the failover count. *)
+let journal_scope = ref false
+
+let with_journal index ~sids ~terms ~k ~summary run =
+  if (not (Journal.enabled ())) || !journal_scope then run ()
+  else begin
+    journal_scope := true;
+    Fun.protect
+      ~finally:(fun () -> journal_scope := false)
+      (fun () ->
+        let started = Journal.start_query () in
+        let result = run () in
+        let outcome, fallbacks = summary result in
+        let spans =
+          if Span.enabled () then
+            match Span.last () with
+            | Some s -> Span.summarize s
+            | None -> []
+          else []
+        in
+        let j = Env.journal (Trex_invindex.Index.env index) in
+        ignore
+          (Journal.finish_query j started
+             ~strategy:(method_to_string outcome.method_used)
+             ~sids ~terms ~k ~degraded:outcome.degraded ~fallbacks ~spans ());
+        result)
+  end
+
 let evaluate index ~scoring ~sids ~terms ~k ?guard method_ =
   let name = method_to_string method_ in
-  let outcome =
-    Span.with_ ~name:("eval." ^ name) (fun () ->
-        evaluate_inner index ~scoring ~sids ~terms ~k ?guard method_)
-  in
-  Metrics.incr (Metrics.counter ("strategy.runs." ^ name));
-  if outcome.degraded then Metrics.incr m_degraded_runs;
-  Metrics.observe
-    (Metrics.histogram ("strategy.seconds." ^ name))
-    outcome.elapsed_seconds;
-  outcome
+  with_journal index ~sids ~terms ~k
+    ~summary:(fun o -> (o, 0))
+    (fun () ->
+      let outcome =
+        Span.with_ ~name:("eval." ^ name)
+          ~attrs:[ ("strategy", name); ("k", string_of_int k) ]
+          (fun () -> evaluate_inner index ~scoring ~sids ~terms ~k ?guard method_)
+      in
+      Metrics.incr (Metrics.counter ("strategy.runs." ^ name));
+      if outcome.degraded then Metrics.incr m_degraded_runs;
+      Metrics.observe
+        (Metrics.histogram ("strategy.seconds." ^ name))
+        outcome.elapsed_seconds;
+      outcome)
 
 let breakers_permit index method_ =
   let env = Trex_invindex.Index.env index in
@@ -124,6 +165,7 @@ let materialized_entries index kind ~sids ~terms =
     0 terms
 
 let race ?guard index ~scoring ~sids ~terms ~k =
+  with_journal index ~sids ~terms ~k ~summary:(fun o -> (o, 0)) @@ fun () ->
   let methods = available index ~sids ~terms in
   let has m = List.mem m methods in
   if has Ta_method && has Merge_method then begin
@@ -183,4 +225,6 @@ let evaluate_resilient index ~scoring ~sids ~terms ~k ?guard ?method_ () =
         Metrics.incr m_fallbacks;
         go None ({ failed = m; error } :: failovers)
   in
-  go method_ []
+  with_journal index ~sids ~terms ~k
+    ~summary:(fun (o, fos) -> (o, List.length fos))
+    (fun () -> go method_ [])

@@ -3,7 +3,14 @@
     TReX evaluates each (sids, terms) retrieval with one of three
     methods — ERA, TA, or Merge (plus the ITA measurement variant) —
     whichever the available indexes permit and the query profile
-    favours. *)
+    favours.
+
+    When {!Trex_obs.Journal.set_enabled} is on, every top-level entry
+    point here ({!evaluate}, {!race}, {!evaluate_resilient}) appends
+    exactly one record per evaluation to the index environment's query
+    journal ({!Trex_storage.Env.journal}) — one record per observed
+    query, never one per internal attempt, so journaled counts are the
+    workload frequencies [Workload.of_journal] reconstructs. *)
 
 type method_ = Era_method | Ta_method | Ita_method | Merge_method
 

@@ -4,6 +4,7 @@
 module Metrics = Trex_obs.Metrics
 module Span = Trex_obs.Span
 module Json = Trex_obs.Json
+module Bench_compare = Trex_obs.Bench_compare
 
 let check = Alcotest.check
 
@@ -81,7 +82,29 @@ let test_histogram_quantiles_bounded () =
 let test_histogram_empty () =
   let h = Metrics.histogram "test.hist.empty" in
   check (Alcotest.float 0.0) "empty quantile" 0.0 (Metrics.quantile h 0.5);
+  List.iter
+    (fun q -> check (Alcotest.float 0.0) "every q defined" 0.0 (Metrics.quantile h q))
+    [ 0.0; 0.01; 0.99; 1.0 ];
   check Alcotest.int "empty n" 0 (Metrics.histogram_snapshot h).Metrics.n
+
+let test_histogram_single_sample () =
+  (* A single sample must come back exactly — never a log-bucket
+     midpoint — at every quantile, including values far outside the
+     bucket grid's sweet spot. *)
+  List.iteri
+    (fun i v ->
+      let h = Metrics.histogram (Printf.sprintf "test.hist.single.%d" i) in
+      Metrics.observe h v;
+      List.iter
+        (fun q ->
+          check (Alcotest.float 0.0)
+            (Printf.sprintf "sample %g at q=%g" v q)
+            v (Metrics.quantile h q))
+        [ 0.0; 0.5; 0.95; 1.0 ];
+      let s = Metrics.histogram_snapshot h in
+      check (Alcotest.float 0.0) "p50 snapshot" v s.Metrics.p50;
+      check (Alcotest.float 0.0) "p99 snapshot" v s.Metrics.p99)
+    [ 0.37; 1e-12; 5e9; 1.0 ]
 
 (* ---- spans ---- *)
 
@@ -127,10 +150,59 @@ let test_span_survives_exception () =
 
 let test_span_feeds_histogram () =
   with_tracing (fun () ->
-      let n0 = (Metrics.histogram_snapshot (Metrics.histogram "span.obs-test")).Metrics.n in
-      Span.with_ ~name:"obs-test" (fun () -> ());
-      let n1 = (Metrics.histogram_snapshot (Metrics.histogram "span.obs-test")).Metrics.n in
-      check Alcotest.int "one observation" (n0 + 1) n1)
+      let snap () =
+        Metrics.histogram_snapshot (Metrics.histogram "span.obs-test.ms")
+      in
+      let n0 = (snap ()).Metrics.n in
+      Span.with_ ~name:"obs-test" (fun () -> Unix.sleepf 0.002);
+      let s = snap () in
+      check Alcotest.int "one observation" (n0 + 1) s.Metrics.n;
+      (* The histogram is in milliseconds: a 2 ms sleep must record at
+         least 1 ms (and well under a second's worth of ms). *)
+      Alcotest.(check bool) "ms scale" true
+        (s.Metrics.max >= 1.0 && s.Metrics.max < 1000.0))
+
+let test_span_attrs () =
+  with_tracing (fun () ->
+      Span.with_ ~name:"attributed"
+        ~attrs:[ ("strategy", "ta"); ("k", "10") ]
+        (fun () -> ());
+      match Span.roots () with
+      | [ root ] -> (
+          check
+            (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+            "attrs kept" [ ("strategy", "ta"); ("k", "10") ]
+            root.Span.attrs;
+          let json = Span.to_json [ root ] in
+          match Json.parse (Json.to_string json) with
+          | Json.List [ j ] ->
+              Alcotest.(check bool) "attrs serialized" true
+                (match Json.member "attrs" j with
+                | Some (Json.Obj fields) ->
+                    List.assoc_opt "strategy" fields = Some (Json.String "ta")
+                    && List.assoc_opt "k" fields = Some (Json.String "10")
+                | _ -> false)
+          | _ -> Alcotest.fail "unexpected json shape")
+      | roots -> Alcotest.failf "expected one root, got %d" (List.length roots))
+
+let test_span_last_and_summarize () =
+  with_tracing (fun () ->
+      check (Alcotest.option Alcotest.string) "empty after reset" None
+        (Option.map (fun (s : Span.t) -> s.Span.name) (Span.last ()));
+      Span.with_ ~name:"outer" (fun () ->
+          Span.with_ ~name:"mid" (fun () -> Span.with_ ~name:"leaf" (fun () -> ())));
+      match Span.last () with
+      | None -> Alcotest.fail "no last span"
+      | Some s ->
+          check Alcotest.string "last is the outermost completed" "outer"
+            s.Span.name;
+          check
+            (Alcotest.list Alcotest.string)
+            "paths depth-first"
+            [ "outer"; "outer/mid"; "outer/mid/leaf" ]
+            (List.map fst (Span.summarize s));
+          check Alcotest.int "max_entries caps" 2
+            (List.length (Span.summarize ~max_entries:2 s)))
 
 let test_span_json () =
   with_tracing (fun () ->
@@ -193,6 +265,142 @@ let test_json_member () =
   Alcotest.(check bool) "absent" true (Json.member "b" doc = None);
   Alcotest.(check bool) "non-object" true (Json.member "a" (Json.Int 3) = None)
 
+(* ---- bench compare ---- *)
+
+(* A synthetic trex-bench-v1 document: [rows] is
+   (query, strategy, k, ms) in document order. *)
+let bench_doc ?(section = "synthetic") rows =
+  let order = ref [] in
+  let by_query = Hashtbl.create 8 in
+  List.iter
+    (fun (q, strategy, k, ms) ->
+      let r =
+        Json.Obj
+          [
+            ("strategy", Json.String strategy);
+            ("k", Json.Int k);
+            ("ms", Json.Float ms);
+            ("counters", Json.Obj []);
+          ]
+      in
+      match Hashtbl.find_opt by_query q with
+      | Some l -> l := r :: !l
+      | None ->
+          order := q :: !order;
+          Hashtbl.add by_query q (ref [ r ]))
+    rows;
+  Json.Obj
+    [
+      ("schema", Json.String "trex-bench-v1");
+      ("section", Json.String section);
+      ("quick", Json.Bool true);
+      ( "resilience",
+        Json.Obj
+          [
+            ("retries", Json.Int 0);
+            ("breaker_trips", Json.Int 0);
+            ("degraded_runs", Json.Int 0);
+          ] );
+      ( "queries",
+        Json.Obj
+          (List.rev_map
+             (fun q -> (q, Json.List (List.rev !(Hashtbl.find by_query q))))
+             !order) );
+    ]
+
+let baseline_rows =
+  [
+    ("202", "TA", 10, 1.0);
+    ("202", "Merge", 10, 2.0);
+    ("203", "TA", 10, 4.0);
+    ("203", "ERA", 10, 8.0);
+    ("290", "TA", 100, 3.0);
+  ]
+
+let report = function
+  | Ok r -> r
+  | Error e -> Alcotest.failf "compare failed: %s" e
+
+let test_compare_identical () =
+  let doc = bench_doc baseline_rows in
+  let r = report (Bench_compare.compare_docs ~threshold:0.25 doc doc) in
+  Alcotest.(check bool) "not regressed" false r.Bench_compare.regressed;
+  check (Alcotest.float 1e-9) "median 1.0" 1.0 r.Bench_compare.median_ratio;
+  check Alcotest.int "all matched" 5 r.Bench_compare.matched;
+  check Alcotest.int "no regressions" 0
+    (List.length r.Bench_compare.regressions)
+
+let test_compare_detects_2x_slowdown () =
+  (* The acceptance case: every current row is 2x its baseline. *)
+  let base = bench_doc baseline_rows in
+  let cur =
+    bench_doc (List.map (fun (q, s, k, ms) -> (q, s, k, ms *. 2.0)) baseline_rows)
+  in
+  let r = report (Bench_compare.compare_docs ~threshold:0.25 base cur) in
+  Alcotest.(check bool) "regressed" true r.Bench_compare.regressed;
+  check (Alcotest.float 1e-9) "median ratio 2x" 2.0 r.Bench_compare.median_ratio;
+  check Alcotest.int "every row listed" 5
+    (List.length r.Bench_compare.regressions);
+  let worst = List.hd r.Bench_compare.regressions in
+  check (Alcotest.float 1e-9) "per-row ratio" 2.0 worst.Bench_compare.ratio
+
+let test_compare_single_outlier_is_reported_not_fatal () =
+  let base = bench_doc baseline_rows in
+  let cur =
+    bench_doc
+      (List.map
+         (fun (q, s, k, ms) ->
+           (q, s, k, if q = "290" then ms *. 10.0 else ms))
+         baseline_rows)
+  in
+  let r = report (Bench_compare.compare_docs ~threshold:0.25 base cur) in
+  Alcotest.(check bool) "median verdict holds" false r.Bench_compare.regressed;
+  check Alcotest.int "outlier listed" 1 (List.length r.Bench_compare.regressions);
+  check Alcotest.string "outlier query" "290"
+    (List.hd r.Bench_compare.regressions).Bench_compare.query
+
+let test_compare_min_ms_floor () =
+  (* Instrumentation-only rows (ms = 0, like sizes/table1) must not
+     produce ratios — even when the current side grew. *)
+  let base = bench_doc [ ("202", "TA", 10, 0.0); ("203", "TA", 10, 1.0) ] in
+  let cur = bench_doc [ ("202", "TA", 10, 0.04); ("203", "TA", 10, 1.0) ] in
+  let r = report (Bench_compare.compare_docs ~threshold:0.25 base cur) in
+  check Alcotest.int "matched both" 2 r.Bench_compare.matched;
+  check Alcotest.int "compared only the timed row" 1 r.Bench_compare.compared;
+  Alcotest.(check bool) "not regressed" false r.Bench_compare.regressed
+
+let test_compare_occurrence_matching () =
+  (* Repeated (query, strategy, k) rows — the io section's cache sweep —
+     pair positionally, so a swap-free 2x on the second occurrence only
+     is attributed to occurrence #1. *)
+  let base = bench_doc [ ("io", "ERA", 0, 1.0); ("io", "ERA", 0, 4.0) ] in
+  let cur = bench_doc [ ("io", "ERA", 0, 1.0); ("io", "ERA", 0, 8.0) ] in
+  let r = report (Bench_compare.compare_docs ~threshold:0.25 base cur) in
+  check Alcotest.int "matched both occurrences" 2 r.Bench_compare.matched;
+  check Alcotest.int "one regression" 1 (List.length r.Bench_compare.regressions);
+  check Alcotest.int "second occurrence flagged" 1
+    (List.hd r.Bench_compare.regressions).Bench_compare.occurrence
+
+let test_compare_added_and_missing_rows () =
+  let base = bench_doc [ ("202", "TA", 10, 1.0); ("gone", "TA", 10, 1.0) ] in
+  let cur = bench_doc [ ("202", "TA", 10, 1.0); ("new", "TA", 10, 1.0) ] in
+  let r = report (Bench_compare.compare_docs ~threshold:0.25 base cur) in
+  check Alcotest.int "matched" 1 r.Bench_compare.matched;
+  check Alcotest.int "baseline-only" 1 r.Bench_compare.only_baseline;
+  check Alcotest.int "current-only" 1 r.Bench_compare.only_current
+
+let test_compare_rejects_mismatch () =
+  let is_error = function Error _ -> true | Ok _ -> false in
+  let a = bench_doc ~section:"alpha" [ ("q", "TA", 10, 1.0) ] in
+  let b = bench_doc ~section:"beta" [ ("q", "TA", 10, 1.0) ] in
+  Alcotest.(check bool) "section mismatch rejected" true
+    (is_error (Bench_compare.compare_docs ~threshold:0.25 a b));
+  Alcotest.(check bool) "wrong schema rejected" true
+    (is_error
+       (Bench_compare.compare_docs ~threshold:0.25
+          (Json.Obj [ ("schema", Json.String "nope") ])
+          a))
+
 (* ---- metrics to_json ---- *)
 
 let test_metrics_to_json_parses () =
@@ -222,6 +430,8 @@ let () =
           Alcotest.test_case "histogram quantiles bounded" `Quick
             test_histogram_quantiles_bounded;
           Alcotest.test_case "histogram empty" `Quick test_histogram_empty;
+          Alcotest.test_case "histogram single sample" `Quick
+            test_histogram_single_sample;
           Alcotest.test_case "to_json parses" `Quick test_metrics_to_json_parses;
         ] );
       ( "span",
@@ -231,7 +441,25 @@ let () =
           Alcotest.test_case "nesting" `Quick test_span_nesting;
           Alcotest.test_case "survives exception" `Quick test_span_survives_exception;
           Alcotest.test_case "feeds histogram" `Quick test_span_feeds_histogram;
+          Alcotest.test_case "attrs" `Quick test_span_attrs;
+          Alcotest.test_case "last and summarize" `Quick
+            test_span_last_and_summarize;
           Alcotest.test_case "to_json" `Quick test_span_json;
+        ] );
+      ( "bench_compare",
+        [
+          Alcotest.test_case "identical runs pass" `Quick test_compare_identical;
+          Alcotest.test_case "2x slowdown detected" `Quick
+            test_compare_detects_2x_slowdown;
+          Alcotest.test_case "single outlier reported" `Quick
+            test_compare_single_outlier_is_reported_not_fatal;
+          Alcotest.test_case "min_ms floor" `Quick test_compare_min_ms_floor;
+          Alcotest.test_case "occurrence matching" `Quick
+            test_compare_occurrence_matching;
+          Alcotest.test_case "added and missing rows" `Quick
+            test_compare_added_and_missing_rows;
+          Alcotest.test_case "schema/section mismatch" `Quick
+            test_compare_rejects_mismatch;
         ] );
       ( "json",
         [
