@@ -15,10 +15,10 @@
      autopilot    replay the journal into the advisor and replan
      xpath        evaluate an XPath expression over an XML file
 
-   Exit codes: 0 ok; 1 generic failure; 2 verify found corruption;
-   3 query answered degraded (budget expired); 4 health found an open
-   circuit breaker; 5 autopilot had too few journaled observations to
-   replan.
+   Exit codes: 0 ok; 1 generic failure; 2 verify found corruption or an
+   unresolvable manifest operation; 3 query answered degraded (budget
+   expired); 4 health found an open circuit breaker; 5 autopilot had
+   too few journaled observations to replan.
 
    Example session:
      dune exec bin/trex_cli.exe -- gen --collection ieee --docs 100 --out /tmp/docs
@@ -299,12 +299,32 @@ let verify_cmd =
     in
     Printf.printf "storage.checksum_failures: %d\nstorage.recoveries: %d\n"
       failures recoveries;
+    (* Manifest replay happened at open; report what it did. *)
+    let resolutions = Trex.Env.manifest_resolutions storage in
+    let count p = List.length (List.filter p resolutions) in
+    let fwd =
+      count (fun (r : Trex.Env.resolution) -> r.res_ok && r.res_outcome = "rolled forward")
+    and back =
+      count (fun (r : Trex.Env.resolution) -> r.res_ok && r.res_outcome <> "rolled forward")
+    in
+    let unresolved = Trex.Env.manifest_unresolved storage in
+    Printf.printf "manifest: generation %d, %d op(s) rolled forward, %d rolled back, %d unresolved\n"
+      (Trex.Env.generation storage) fwd back unresolved;
+    List.iter
+      (fun (r : Trex.Env.resolution) ->
+        Printf.printf "    op #%d %s: %s\n" r.res_op_id r.res_op r.res_outcome)
+      resolutions;
     let bad = List.filter (fun (r : Trex.Env.table_report) -> not r.ok) reports in
     Trex.Env.close storage;
-    if bad <> [] then begin
-      Printf.printf "%d table(s) corrupt%s\n" (List.length bad)
-        (if recover then "" else " (try --recover)");
-      (* exit 2 = corruption found, distinct from generic failures (1) *)
+    if bad <> [] || unresolved > 0 then begin
+      if bad <> [] then
+        Printf.printf "%d table(s) corrupt%s\n" (List.length bad)
+          (if recover then "" else " (try --recover)");
+      if unresolved > 0 then
+        Printf.printf "%d manifest operation(s) unresolvable; their tables are blocked\n"
+          unresolved;
+      (* exit 2 = corruption found (or an unresolvable manifest op),
+         distinct from generic failures (1) *)
       exit 2
     end
     else Printf.printf "all tables verified\n"
@@ -339,6 +359,21 @@ let health_cmd =
           (if r.ok then "OK" else "CORRUPT")
           r.pages r.entries)
       reports;
+    Printf.printf "manifest:\n";
+    Printf.printf "  generation %d\n" (Trex.Env.generation storage);
+    let blocked =
+      List.filter (Trex.Env.table_blocked storage)
+        (List.sort_uniq compare (Trex.Env.table_names storage))
+    in
+    (match Trex.Env.manifest_resolutions storage with
+    | [] -> Printf.printf "  (no operations replayed at open)\n"
+    | rs ->
+        List.iter
+          (fun (r : Trex.Env.resolution) ->
+            Printf.printf "  op #%d %-16s %s\n" r.res_op_id r.res_op r.res_outcome)
+          rs);
+    if blocked <> [] then
+      Printf.printf "  blocked tables: %s\n" (String.concat " " blocked);
     Printf.printf "breakers:\n";
     let states = Trex.Env.breaker_states storage in
     if states = [] then Printf.printf "  (none tripped)\n"
@@ -368,6 +403,9 @@ let health_cmd =
         "resilience.rebuilds";
         "pager.transient_faults";
         "env.quarantines";
+        "manifest.rolled_forward";
+        "manifest.rolled_back";
+        "manifest.unresolved";
       ];
     let open_breakers =
       List.filter (fun (_, s) -> s <> Trex.Breaker.Closed) states

@@ -281,23 +281,36 @@ let query_structured t ?(k = 10) ?deadline_ms ?page_budget nexi =
 (* ---- index management ---- *)
 
 let add_document t ~name ~xml =
-  let docid, terms = Index.add_document t.index ~name ~xml in
   (* Invalidate every materialized list whose term occurs in the new
      document; the catalogs make affected (term, sid) pairs cheap to
-     find. *)
-  let term_set = Hashtbl.create 16 in
-  List.iter (fun term -> Hashtbl.replace term_set term ()) terms;
-  List.iter
-    (fun kind ->
-      List.iter
-        (fun (term, sid, _, _) ->
-          if Hashtbl.mem term_set term then Rpl.drop t.index kind ~term ~sid)
-        (Rpl.catalog t.index kind))
-    [ Rpl.Rpl; Rpl.Erpl ];
-  List.iter
-    (fun term ->
-      if Rpl.Full.is_materialized t.index ~term then Rpl.Full.drop t.index ~term)
-    terms;
+     find. The drops become the leading steps of the document's
+     redo-logged manifest operation, so they land atomically with the
+     base-table writes — a crash can never leave the document visible
+     with stale lists still servable, or vice versa. *)
+  let invalidation terms =
+    let term_set = Hashtbl.create 16 in
+    List.iter (fun term -> Hashtbl.replace term_set term ()) terms;
+    let pair_drops =
+      List.concat_map
+        (fun kind ->
+          List.concat_map
+            (fun (term, sid, _, _) ->
+              if Hashtbl.mem term_set term then Rpl.drop_actions kind ~term ~sid
+              else [])
+            (Rpl.catalog t.index kind))
+        [ Rpl.Rpl; Rpl.Erpl ]
+    in
+    let full_drops =
+      List.concat_map
+        (fun term ->
+          if Rpl.Full.is_materialized t.index ~term then
+            Rpl.Full.drop_actions ~term
+          else [])
+        terms
+    in
+    pair_drops @ full_drops
+  in
+  let docid, _terms = Index.add_document t.index ~invalidation ~name ~xml in
   docid
 
 let materialize t ?(kinds = [ Rpl.Rpl; Rpl.Erpl ]) ?rpl_prefix nexi =
@@ -325,12 +338,26 @@ let vacuum t =
   (* Dropping lists leaves dead pages behind (B+trees never shrink);
      compaction rebuilds the redundant-index tables at their live size
      so the disk budget the advisor reasons about is what the disk
-     actually uses. *)
-  List.iter
-    (fun name ->
-      if Env.has_table (Index.env t.index) name then
-        Env.compact_table (Index.env t.index) name)
-    [ "rpls"; "erpls"; "rpl_catalog"; "erpl_catalog"; "rpls_full"; "rpl_full_catalog" ]
+     actually uses. Each compaction is individually atomic (temp file +
+     rename); the surrounding manifest op records the multi-table pass
+     so an interruption is visible at recovery. Nothing needs rolling
+     back — every table is either the old or the new file. *)
+  let env = Index.env t.index in
+  let present =
+    List.filter (Env.has_table env)
+      [ "rpls"; "erpls"; "rpl_catalog"; "erpl_catalog"; "rpls_full"; "rpl_full_catalog" ]
+  in
+  if present <> [] then begin
+    let o = Env.begin_op env ~op:"vacuum" ~tables:present () in
+    try
+      List.iter (Env.compact_table env) present;
+      Env.commit_op env o
+    with
+    | Trex_storage.Pager.Injected_crash _ as e -> raise e
+    | e ->
+        Env.abort_op env o ~note:(Printexc.to_string e);
+        raise e
+  end
 
 (* ---- inspection ---- *)
 

@@ -356,26 +356,32 @@ module Element_iter = struct
     end
 end
 
-let persist_meta t =
-  let meta = Env.table t.env Tables.meta_table in
-  Bptree.insert meta ~key:(meta_key "summary") ~value:(Summary.to_string t.summary);
-  Bptree.insert meta ~key:(meta_key "stats") ~value:(encode_stats t.stats)
-
-let add_document t ~name ~xml =
+(* Incremental ingest as one redo-logged manifest operation
+   ([Env.run_logged_op]): nothing is written to any table until the
+   whole plan — drops of invalidated redundant lists first, then every
+   base-table put with absolute post-state values — is durable in the
+   manifest together with its Commit record. A crash before the commit
+   leaves the index exactly at the pre-document state; after it,
+   recovery replays the idempotent steps. This closes the old
+   stale-list window where a crash between dropping RPLs and writing
+   [Elements]/[PostingLists] could leave a half-indexed document with
+   stale lists still servable. *)
+let add_document ?invalidation t ~name ~xml =
   let docid = t.stats.doc_count in
   let doc = Dom.parse xml in
   let observed = Summary.observe_document t.summary doc in
+  let steps = ref [] in
+  let put table (key, value) =
+    steps := Trex_storage.Manifest.Put { table; key; value } :: !steps
+  in
   (* Elements. *)
-  let elements_tbl = Env.table t.env Tables.Elements.name in
   let length_sum = ref 0 in
   List.iter
     (fun (sid, (el : Dom.element)) ->
       length_sum := !length_sum + Dom.length el;
-      let k, v =
-        Tables.Elements.encode
-          { Types.sid; docid; endpos = el.end_pos; length = Dom.length el }
-      in
-      Bptree.insert elements_tbl ~key:k ~value:v)
+      put Tables.Elements.name
+        (Tables.Elements.encode
+           { Types.sid; docid; endpos = el.end_pos; length = Dom.length el }))
     observed;
   (* Postings: the new docid exceeds every existing one, so fresh
      chunks sort after each term's existing chunks. *)
@@ -393,7 +399,6 @@ let add_document t ~name ~xml =
       in
       cell := { Types.docid; offset } :: !cell)
     tokens;
-  let postings_tbl = Env.table t.env Tables.Posting_lists.name in
   let terms_tbl = Env.table t.env Tables.Terms.name in
   let new_terms = ref 0 in
   let doc_terms = ref [] in
@@ -410,11 +415,13 @@ let add_document t ~name ~xml =
               | n, x :: tl -> take (n - 1) (x :: acc) tl
             in
             let chunk, rest = take chunk_size [] l in
-            let k, v = Tables.Posting_lists.encode_chunk ~token:term chunk in
-            Bptree.insert postings_tbl ~key:k ~value:v;
+            put Tables.Posting_lists.name
+              (Tables.Posting_lists.encode_chunk ~token:term chunk);
             chunked rest
       in
       chunked positions;
+      (* Terms rows are logged as absolute post-state (not +1 deltas)
+         so replaying the step is idempotent. *)
       let row =
         match Bptree.find terms_tbl (Codec.key_of_string term) with
         | Some v ->
@@ -424,30 +431,24 @@ let add_document t ~name ~xml =
             incr new_terms;
             { Tables.Terms.token = term; df = 1; cf = List.length positions }
       in
-      let k, v = Tables.Terms.encode row in
-      Bptree.insert terms_tbl ~key:k ~value:v)
+      put Tables.Terms.name (Tables.Terms.encode row))
     by_term;
   (* Documents and sources. *)
-  let documents_tbl = Env.table t.env Tables.Documents.name in
-  let k, v =
-    Tables.Documents.encode
-      { Tables.Documents.docid; name; bytes = String.length xml; elements = List.length observed }
-  in
-  Bptree.insert documents_tbl ~key:k ~value:v;
-  let sources_tbl = Env.table t.env "sources" in
+  put Tables.Documents.name
+    (Tables.Documents.encode
+       { Tables.Documents.docid; name; bytes = String.length xml; elements = List.length observed });
   let source_chunk = 1024 in
   let len = String.length xml in
   let n_chunks = (len + source_chunk - 1) / source_chunk in
   for c = 0 to n_chunks - 1 do
     let piece = String.sub xml (c * source_chunk) (min source_chunk (len - (c * source_chunk))) in
-    Bptree.insert sources_tbl
-      ~key:(Codec.concat_keys [ Codec.key_of_int docid; Codec.key_of_int c ])
-      ~value:piece
+    put "sources"
+      (Codec.concat_keys [ Codec.key_of_int docid; Codec.key_of_int c ], piece)
   done;
-  (* Statistics. *)
+  (* Statistics and summary, also absolute post-state. *)
   let old = t.stats in
   let new_element_count = old.element_count + List.length observed in
-  t.stats <-
+  let new_stats =
     {
       doc_count = old.doc_count + 1;
       total_bytes = old.total_bytes + String.length xml;
@@ -460,10 +461,20 @@ let add_document t ~name ~xml =
            /. float_of_int new_element_count);
       term_count = old.term_count + !new_terms;
       posting_count = old.posting_count + List.length tokens;
-    };
-  persist_meta t;
-  Env.flush t.env;
-  (docid, List.sort String.compare !doc_terms)
+    }
+  in
+  put Tables.meta_table (meta_key "summary", Summary.to_string t.summary);
+  put Tables.meta_table (meta_key "stats", encode_stats new_stats);
+  let doc_terms = List.sort String.compare !doc_terms in
+  (* Drops of invalidated redundant lists go first: the stale RPL/ERPL
+     lists and their catalog rows disappear before any base table
+     changes, and atomically with them. *)
+  let drops =
+    match invalidation with None -> [] | Some f -> f doc_terms
+  in
+  Env.run_logged_op t.env ~op:"add_document" ~steps:(drops @ List.rev !steps) ();
+  t.stats <- new_stats;
+  (docid, doc_terms)
 
 let extent_elements t sid =
   let tbl = Env.table t.env Tables.Elements.name in

@@ -32,16 +32,29 @@ val attach : Trex_storage.Env.t -> t
     summary and statistics are read back from the [meta] table).
     @raise Failure if the environment holds no index. *)
 
-val add_document : t -> name:string -> xml:string -> int * string list
+val add_document :
+  ?invalidation:(string list -> Trex_storage.Manifest.action list) ->
+  t ->
+  name:string ->
+  xml:string ->
+  int * string list
 (** Incrementally index one more document: grows the summary, inserts
     its elements and postings, updates per-term and corpus statistics
     and persists the refreshed metadata. Returns the new docid and the
-    document's distinct normalized terms (callers holding materialized
-    RPLs/ERPLs must invalidate the lists of those terms — see
-    [Trex.add_document]). Existing lists of untouched terms remain
-    consistent at the content level; relevance scores keep using the
-    statistics of the index they were computed against until their
-    lists are rebuilt. @raise Trex_xml.Sax.Malformed on bad input. *)
+    document's distinct normalized terms.
+
+    The whole ingest is one redo-logged manifest operation
+    ([Env.run_logged_op]): either every table reflects the document or
+    none does, across crashes. [invalidation], given the document's
+    distinct normalized terms, returns drop actions for redundant
+    lists (RPLs/ERPLs) those terms make stale; they execute {e first}
+    and atomically with the base-table writes, so a crash can never
+    leave a half-indexed document with stale lists still servable (see
+    [Trex.add_document], which wires this to the RPL catalogs).
+    Existing lists of untouched terms remain consistent at the content
+    level; relevance scores keep using the statistics of the index
+    they were computed against until their lists are rebuilt.
+    @raise Trex_xml.Sax.Malformed on bad input. *)
 
 val env : t -> Trex_storage.Env.t
 val summary : t -> Trex_summary.Summary.t

@@ -198,22 +198,39 @@ let branch_and_bound ~budget profiles =
   plan_of profiles table
 
 let apply index ~scoring ~workload ?(profiles = []) plan =
-  List.iter
-    (fun (id, choice) ->
-      match choice with
-      | No_index -> ()
-      | Use_erpl | Use_rpl -> (
-          match Workload.find workload id with
-          | None -> invalid_arg (Printf.sprintf "Advisor.apply: unknown query %s" id)
-          | Some q ->
-              let kinds = [ (if choice = Use_erpl then Rpl.Erpl else Rpl.Rpl) ] in
-              let rpl_prefix =
-                if choice = Use_rpl then
-                  List.find_opt (fun (p : Cost.profile) -> p.id = id) profiles
-                  |> Fun.flip Option.bind (fun (p : Cost.profile) -> p.rpl_prefix)
-                else None
-              in
-              ignore
-                (Rpl.build index ~scoring ~sids:q.sids ~terms:q.terms ~kinds
-                   ?rpl_prefix ())))
-    plan.decisions
+  (* One outer manifest op brackets the whole plan; each [Rpl.build]
+     inside is its own (nested, rollback-carrying) op, so a crash
+     mid-apply quarantines only the build in flight while the outer
+     Begin..Commit records whether the plan as a whole finished. *)
+  let env = Trex_invindex.Index.env index in
+  let op_tables =
+    [ Rpl.table_name Rpl.Rpl; Rpl.catalog_name Rpl.Rpl;
+      Rpl.table_name Rpl.Erpl; Rpl.catalog_name Rpl.Erpl ]
+  in
+  let o = Trex_storage.Env.begin_op env ~op:"advisor_apply" ~tables:op_tables () in
+  try
+    List.iter
+      (fun (id, choice) ->
+        match choice with
+        | No_index -> ()
+        | Use_erpl | Use_rpl -> (
+            match Workload.find workload id with
+            | None -> invalid_arg (Printf.sprintf "Advisor.apply: unknown query %s" id)
+            | Some q ->
+                let kinds = [ (if choice = Use_erpl then Rpl.Erpl else Rpl.Rpl) ] in
+                let rpl_prefix =
+                  if choice = Use_rpl then
+                    List.find_opt (fun (p : Cost.profile) -> p.id = id) profiles
+                    |> Fun.flip Option.bind (fun (p : Cost.profile) -> p.rpl_prefix)
+                  else None
+                in
+                ignore
+                  (Rpl.build index ~scoring ~sids:q.sids ~terms:q.terms ~kinds
+                     ?rpl_prefix ())))
+      plan.decisions;
+    Trex_storage.Env.commit_op env o
+  with
+  | Trex_storage.Pager.Injected_crash _ as e -> raise e
+  | e ->
+      Trex_storage.Env.abort_op env o ~note:(Printexc.to_string e);
+      raise e

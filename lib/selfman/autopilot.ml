@@ -110,10 +110,30 @@ let maybe_replan t =
       in
       let plan = Advisor.greedy ~budget:t.budget profiles in
       (* Start from a clean slate so the budget holds over successive
-         replans, then materialize only what the plan selected. *)
-      Rpl.drop_all t.index Rpl.Rpl;
-      Rpl.drop_all t.index Rpl.Erpl;
-      Advisor.apply t.index ~scoring:t.scoring ~workload ~profiles plan;
+         replans, then materialize only what the plan selected. The
+         drop + rebuild spans all four pair tables, so it runs as one
+         manifest op with the pair tables as rollback: a crash anywhere
+         inside quarantines them (they are rebuildable) rather than
+         leaving half the old plan interleaved with half the new. *)
+      let env = Index.env t.index in
+      let op_tables =
+        [ Rpl.table_name Rpl.Rpl; Rpl.catalog_name Rpl.Rpl;
+          Rpl.table_name Rpl.Erpl; Rpl.catalog_name Rpl.Erpl ]
+      in
+      let o =
+        Env.begin_op env ~op:"autopilot_replan" ~tables:op_tables
+          ~rollback:op_tables ()
+      in
+      (try
+         Rpl.drop_all t.index Rpl.Rpl;
+         Rpl.drop_all t.index Rpl.Erpl;
+         Advisor.apply t.index ~scoring:t.scoring ~workload ~profiles plan;
+         Env.commit_op env o
+       with
+      | Trex_storage.Pager.Injected_crash _ as e -> raise e
+      | e ->
+          Env.abort_op env o ~note:(Printexc.to_string e);
+          raise e);
       t.plan <- Some plan;
       t.planned_freqs <- freqs;
       Replanned { plan; drift = d }
@@ -158,6 +178,13 @@ let heal_one t env name b =
     (* [allow] admitted us as the half-open probe for this table. *)
     match quarantine_group name with
     | Some (tables, rebuild_kind) -> (
+        (* The quarantine + rebuild is one manifest op with the pair as
+           rollback: an interruption (including an injected crash during
+           the rebuild) either stays pending for recovery to quarantine,
+           or — on an in-process failure — is aborted here, leaving the
+           pair empty-quarantined rather than half-rebuilt. Either way
+           the breakers stay open and the next [maybe_heal] retries. *)
+        let o = Env.begin_op env ~op:"heal" ~tables ~rollback:tables () in
         match
           List.iter (Env.quarantine_table env) tables;
           let entries_written =
@@ -169,17 +196,20 @@ let heal_one t env name b =
           (entries_written, List.filter (fun r -> not r.Env.ok) probes)
         with
         | entries_written, [] ->
+            Env.commit_op env o;
             Metrics.incr m_rebuilds;
             List.iter (fun tbl -> Breaker.record_success (Env.breaker env tbl)) tables;
             { table = name; action = Rebuilt { tables; entries_written } }
         | _, bad :: _ ->
             let reason = String.concat "; " bad.Env.problems in
+            Env.abort_op env o ~note:reason;
             List.iter
               (fun tbl -> Breaker.record_failure (Env.breaker env tbl) ~reason)
               tables;
             { table = name; action = Still_failing reason }
         | exception e ->
             let reason = Printexc.to_string e in
+            Env.abort_op env o ~note:reason;
             List.iter
               (fun tbl -> Breaker.record_failure (Env.breaker env tbl) ~reason)
               tables;

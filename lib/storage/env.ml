@@ -5,8 +5,20 @@ module Breaker = Trex_resilience.Breaker
 let m_table_opens = Metrics.counter "env.table_opens"
 let m_compactions = Metrics.counter "env.compactions"
 let m_quarantines = Metrics.counter "env.quarantines"
+let m_dir_fsyncs = Metrics.counter "env.dir_fsyncs"
+let m_rolled_forward = Metrics.counter "manifest.rolled_forward"
+let m_rolled_back = Metrics.counter "manifest.rolled_back"
+let m_unresolved = Metrics.counter "manifest.unresolved"
 
 type backend = Mem | Disk of { dir : string; cache_pages : int }
+
+type resolution = {
+  res_op_id : int;
+  res_op : string;
+  res_tables : string list;
+  res_outcome : string;
+  res_ok : bool;
+}
 
 type t = {
   backend : backend;
@@ -14,10 +26,16 @@ type t = {
   tables : (string, Bptree.t) Hashtbl.t;
   breakers : (string, Breaker.t) Hashtbl.t;
   mutable journal : Journal.t option;
+  mutable manifest : Manifest.t option;
+  (* Tables named by a manifest operation that is still pending after
+     replay (an unresolvable op): queries must not rely on them. *)
+  blocked : (string, unit) Hashtbl.t;
+  mutable resolutions : resolution list;
 }
 
 let tmp_suffix = ".compact-tmp"
 let journal_file = "query_journal.qj"
+let manifest_file = "MANIFEST.mf"
 
 (* A crash between building a compaction temp file and the atomic rename
    leaves "<name>.compact-tmp.tbl" behind; the original table is intact,
@@ -33,7 +51,10 @@ let fsync_dir dir =
   match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
   | exception Unix.Unix_error _ -> ()
   | fd ->
-      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      (try
+         Unix.fsync fd;
+         Metrics.incr m_dir_fsyncs
+       with Unix.Unix_error _ -> ());
       Unix.close fd
 
 let in_memory ?(page_size = 8192) () =
@@ -43,9 +64,16 @@ let in_memory ?(page_size = 8192) () =
     tables = Hashtbl.create 8;
     breakers = Hashtbl.create 8;
     journal = None;
+    manifest = None;
+    blocked = Hashtbl.create 4;
+    resolutions = [];
   }
 
-let on_disk ?(page_size = 8192) ?(cache_pages = 4096) dir =
+(* Defined below (it needs [table]/[quarantine_table]); stored in a ref
+   so [on_disk] can replay the manifest it just opened. *)
+let replay_ref : (t -> unit) ref = ref (fun _ -> ())
+
+let on_disk ?(page_size = 8192) ?(cache_pages = 4096) ?(replay = true) dir =
   if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
   else if not (Sys.is_directory dir) then
     invalid_arg (Printf.sprintf "Env.on_disk: %s is not a directory" dir)
@@ -57,6 +85,9 @@ let on_disk ?(page_size = 8192) ?(cache_pages = 4096) dir =
       tables = Hashtbl.create 8;
       breakers = Hashtbl.create 8;
       journal = None;
+      manifest = None;
+      blocked = Hashtbl.create 4;
+      resolutions = [];
     }
   in
   (* An existing query journal is swept at open, like stale compaction
@@ -64,6 +95,14 @@ let on_disk ?(page_size = 8192) ?(cache_pages = 4096) dir =
      rather than on the first journaled query. *)
   if Sys.file_exists (Filename.concat dir journal_file) then
     env.journal <- Some (Journal.open_file (Filename.concat dir journal_file));
+  (* Same for the operation manifest — and, unless the caller defers to
+     run table recovery first ({!open_with_recovery}), pending
+     operations are resolved right here so a reopened environment never
+     serves the middle of a multi-table operation. *)
+  if Sys.file_exists (Filename.concat dir manifest_file) then begin
+    env.manifest <- Some (Manifest.open_file (Filename.concat dir manifest_file));
+    if replay then !replay_ref env
+  end;
   env
 
 let journal_path t =
@@ -86,6 +125,34 @@ let journal t =
 let has_journal t =
   t.journal <> None
   || match journal_path t with None -> false | Some p -> Sys.file_exists p
+
+let manifest_path t =
+  match t.backend with
+  | Mem -> None
+  | Disk { dir; _ } -> Some (Filename.concat dir manifest_file)
+
+let manifest t =
+  match t.manifest with
+  | Some m -> m
+  | None ->
+      let m =
+        match manifest_path t with
+        | None -> Manifest.in_memory ()
+        | Some path -> Manifest.open_file path
+      in
+      t.manifest <- Some m;
+      m
+
+let has_manifest t =
+  t.manifest <> None
+  || match manifest_path t with None -> false | Some p -> Sys.file_exists p
+
+let generation t = match t.manifest with Some m -> Manifest.generation m | None -> 0
+let table_blocked t name = Hashtbl.mem t.blocked name
+let manifest_resolutions t = List.rev t.resolutions
+
+let manifest_unresolved t =
+  List.length (List.filter (fun r -> not r.res_ok) t.resolutions)
 
 let valid_name name =
   name <> ""
@@ -134,7 +201,12 @@ let drop_table t name =
   | Mem -> ()
   | Disk { dir; _ } ->
       let path = path_of dir name in
-      if Sys.file_exists path then Sys.remove path
+      if Sys.file_exists path then begin
+        Sys.remove path;
+        (* Make the unlink durable: without the directory fsync a crash
+           can resurrect the deleted (possibly corrupt) table file. *)
+        fsync_dir dir
+      end
 
 (* ---- circuit breakers ---- *)
 
@@ -151,8 +223,12 @@ let breaker_states t =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 (* Breakers are created lazily on the first failure, so a table with no
-   breaker has never misbehaved and is trivially available. *)
+   breaker has never misbehaved and is trivially available. A table
+   named by an unresolved manifest operation is never available: its
+   contents belong to an uncommitted generation. *)
 let table_available t name =
+  (not (Hashtbl.mem t.blocked name))
+  &&
   match Hashtbl.find_opt t.breakers name with
   | None -> true
   | Some b -> Breaker.allow b
@@ -179,7 +255,10 @@ let quarantine_table t name =
   | Mem -> ()
   | Disk { dir; _ } ->
       let path = path_of dir name in
-      if Sys.file_exists path then Sys.remove path
+      if Sys.file_exists path then begin
+        Sys.remove path;
+        fsync_dir dir
+      end
 
 let table_names t =
   let open_names = Hashtbl.fold (fun k _ acc -> k :: acc) t.tables [] in
@@ -251,6 +330,183 @@ let compact_table ?faults t name =
         ignore (table t name)
   end
 
+(* ---- multi-table operations (manifest protocol) ---- *)
+
+(* Test hook: called at every sequence point of the commit protocol
+   with a point name ("op:<name>:<point>"); a crash-matrix test raises
+   {!Pager.Injected_crash} from it to stop the protocol cold at that
+   exact boundary. *)
+let op_hook : (string -> unit) option ref = ref None
+let set_op_hook h = op_hook := h
+
+let hook point = match !op_hook with Some f -> f point | None -> ()
+
+type op = {
+  op_id : int;
+  op_name : string;
+  op_tables : string list;
+  op_rollback : string list;
+}
+
+let sync_table t name =
+  if Hashtbl.mem t.tables name || has_table t name then
+    Pager.flush ~sync:true (Bptree.pager (table t name))
+
+let begin_op t ~op ~tables ?(rollback = []) () =
+  let m = manifest t in
+  let op_id = Manifest.fresh_op_id m in
+  Manifest.append m
+    (Manifest.Begin
+       { op_id; op; tables; rollback; generation = Manifest.next_generation m });
+  (* The Begin must be durable before any table is touched: it is what
+     tells recovery which partial builds to quarantine. *)
+  Manifest.sync m;
+  hook (Printf.sprintf "op:%s:begun" op);
+  { op_id; op_name = op; op_tables = tables; op_rollback = rollback }
+
+let commit_op t o =
+  let m = manifest t in
+  (* Sync-flush each table in turn; each gap between two flushes is an
+     inter-table commit boundary the crash matrix covers. Only once
+     every table is durable does the Commit record — the single
+     durability point — go down. *)
+  List.iter
+    (fun name ->
+      sync_table t name;
+      hook (Printf.sprintf "op:%s:flushed:%s" o.op_name name))
+    o.op_tables;
+  Manifest.append m (Manifest.Commit { op_id = o.op_id });
+  Manifest.sync m;
+  hook (Printf.sprintf "op:%s:committed" o.op_name);
+  Manifest.append m (Manifest.End { op_id = o.op_id });
+  Manifest.sync m;
+  hook (Printf.sprintf "op:%s:done" o.op_name)
+
+let abort_op t o ~note =
+  let m = manifest t in
+  List.iter (quarantine_table t) o.op_rollback;
+  Manifest.append m (Manifest.Abort { op_id = o.op_id; note });
+  Manifest.sync m
+
+let apply_action t (a : Manifest.action) =
+  match a with
+  | Manifest.Put { table = name; key; value } ->
+      Bptree.insert (table t name) ~key ~value
+  | Manifest.Remove { table = name; key } -> ignore (Bptree.remove (table t name) key)
+  | Manifest.Remove_prefix { table = name; prefix } ->
+      let tbl = table t name in
+      let keys = ref [] in
+      Bptree.iter_prefix tbl ~prefix (fun k _ -> keys := k :: !keys);
+      List.iter (fun k -> ignore (Bptree.remove tbl k)) !keys
+
+let action_table (a : Manifest.action) =
+  match a with
+  | Manifest.Put { table; _ } | Manifest.Remove { table; _ }
+  | Manifest.Remove_prefix { table; _ } ->
+      table
+
+let tables_of_steps steps =
+  List.fold_left
+    (fun acc a ->
+      let tbl = action_table a in
+      if List.mem tbl acc then acc else tbl :: acc)
+    [] steps
+  |> List.rev
+
+(* Redo-logged operation: every write is recorded (with absolute
+   post-state bytes) and made durable *before* the first table is
+   touched, so a crash before the Commit record leaves the tables
+   exactly at the pre-operation state, and a crash anywhere after it is
+   repaired by replaying the steps — they are pure sets/removes, hence
+   idempotent. *)
+let run_logged_op t ~op ~steps () =
+  let m = manifest t in
+  let tables = tables_of_steps steps in
+  let op_id = Manifest.fresh_op_id m in
+  Manifest.append m
+    (Manifest.Begin
+       { op_id; op; tables; rollback = []; generation = Manifest.next_generation m });
+  List.iter (fun a -> Manifest.append m (Manifest.Step { op_id; action = a })) steps;
+  Manifest.sync m;
+  hook (Printf.sprintf "op:%s:logged" op);
+  Manifest.append m (Manifest.Commit { op_id });
+  Manifest.sync m;
+  hook (Printf.sprintf "op:%s:committed" op);
+  List.iter (apply_action t) steps;
+  hook (Printf.sprintf "op:%s:applied" op);
+  List.iter
+    (fun name ->
+      sync_table t name;
+      hook (Printf.sprintf "op:%s:flushed:%s" op name))
+    tables;
+  Manifest.append m (Manifest.End { op_id });
+  Manifest.sync m;
+  hook (Printf.sprintf "op:%s:done" op)
+
+(* Resolve every pending manifest operation: committed ones roll
+   forward (replay steps, re-flush, End), uncommitted ones roll back
+   (quarantine their rollback tables, Abort). An op that cannot be
+   resolved — e.g. its table raises [Pager.Corruption] during replay —
+   stays pending and its tables are blocked from query planning. *)
+let replay_manifest t =
+  match t.manifest with
+  | None -> ()
+  | Some m ->
+      Hashtbl.reset t.blocked;
+      t.resolutions <- [];
+      List.iter
+        (fun (p : Manifest.pending) ->
+          let record outcome ok =
+            t.resolutions <-
+              {
+                res_op_id = p.p_op_id;
+                res_op = p.p_op;
+                res_tables = p.p_tables;
+                res_outcome = outcome;
+                res_ok = ok;
+              }
+              :: t.resolutions
+          in
+          match p.p_status with
+          | Manifest.Roll_forward -> (
+              match
+                List.iter (apply_action t) p.p_steps;
+                List.iter (sync_table t) p.p_tables
+              with
+              | () ->
+                  Manifest.append m (Manifest.End { op_id = p.p_op_id });
+                  Manifest.sync m;
+                  Metrics.incr m_rolled_forward;
+                  record "rolled forward" true
+              | exception e ->
+                  Metrics.incr m_unresolved;
+                  List.iter (fun tbl -> Hashtbl.replace t.blocked tbl ()) p.p_tables;
+                  record
+                    (Printf.sprintf "unresolved (roll-forward failed: %s)"
+                       (Printexc.to_string e))
+                    false)
+          | Manifest.Roll_back -> (
+              match List.iter (quarantine_table t) p.p_rollback with
+              | () ->
+                  Manifest.append m
+                    (Manifest.Abort { op_id = p.p_op_id; note = "recovery roll-back" });
+                  Manifest.sync m;
+                  Metrics.incr m_rolled_back;
+                  record "rolled back" true
+              | exception e ->
+                  Metrics.incr m_unresolved;
+                  List.iter (fun tbl -> Hashtbl.replace t.blocked tbl ()) p.p_tables;
+                  record
+                    (Printf.sprintf "unresolved (roll-back failed: %s)"
+                       (Printexc.to_string e))
+                    false))
+        (Manifest.pending m);
+      (* Fully resolved history is dead weight; shrink it to a
+         checkpoint so the manifest never grows without bound. *)
+      if Manifest.pending m = [] then Manifest.compact m
+
+let () = replay_ref := replay_manifest
+
 (* ---- verification & recovery ---- *)
 
 type table_report = {
@@ -301,7 +557,10 @@ let verify_table t name =
 let verify t = List.map (verify_table t) (table_names t)
 
 let open_with_recovery ?(page_size = 8192) ?(cache_pages = 4096) dir =
-  let env = on_disk ~page_size ~cache_pages dir in
+  (* Table recovery must run before manifest replay: a table created
+     mid-operation whose root never committed has to be reinitialized
+     before roll-forward can write into it. *)
+  let env = on_disk ~page_size ~cache_pages ~replay:false dir in
   let reports =
     List.map
       (fun name ->
@@ -334,6 +593,27 @@ let open_with_recovery ?(page_size = 8192) ?(cache_pages = 4096) dir =
                   recovered = true }))
       (table_names env)
   in
+  replay_manifest env;
+  (* Surface manifest resolutions on the reports of the tables each
+     operation touched. *)
+  let notes_for name =
+    List.filter_map
+      (fun r ->
+        if List.mem name r.res_tables then
+          Some (Printf.sprintf "manifest: op #%d %s %s" r.res_op_id r.res_op r.res_outcome)
+        else None)
+      (manifest_resolutions env)
+  in
+  let reports =
+    List.map
+      (fun r ->
+        match notes_for r.table with
+        | [] -> r
+        | notes ->
+            let ok = r.ok && not (table_blocked env r.table) in
+            { r with ok; notes = r.notes @ notes })
+      reports
+  in
   (env, reports)
 
 let io_stats t =
@@ -348,6 +628,28 @@ let flush ?(sync = false) t =
 let close t =
   Hashtbl.iter (fun _ tree -> Pager.close (Bptree.pager tree)) t.tables;
   Hashtbl.reset t.tables;
+  (match t.manifest with
+  | None -> ()
+  | Some m ->
+      Manifest.close m;
+      t.manifest <- None);
+  match t.journal with
+  | None -> ()
+  | Some j ->
+      Journal.close j;
+      t.journal <- None
+
+(* Simulated process death for crash tests: every open pager is
+   aborted (dirty cached pages vanish, the files keep whatever was last
+   flushed) and the logs are dropped without their closing fsync. *)
+let abort t =
+  Hashtbl.iter (fun _ tree -> Pager.abort (Bptree.pager tree)) t.tables;
+  Hashtbl.reset t.tables;
+  (match t.manifest with
+  | None -> ()
+  | Some m ->
+      Manifest.abort m;
+      t.manifest <- None);
   match t.journal with
   | None -> ()
   | Some j ->

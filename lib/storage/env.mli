@@ -10,12 +10,19 @@ type t
 
 val in_memory : ?page_size:int -> unit -> t
 
-val on_disk : ?page_size:int -> ?cache_pages:int -> string -> t
+val on_disk : ?page_size:int -> ?cache_pages:int -> ?replay:bool -> string -> t
 (** [on_disk dir] creates [dir] if needed; each table lives in
     [dir/<name>.tbl]. Existing table files are re-attached lazily by
     {!table}. Stale [*.compact-tmp.tbl] leftovers from a compaction that
     crashed before its atomic rename are deleted (the original table is
-    intact in that case). *)
+    intact in that case).
+
+    An existing operation manifest ([MANIFEST.mf]) is swept and — with
+    [replay] (default true) — replayed: operations that committed but
+    never finished roll forward, uncommitted ones roll back (see
+    {!Manifest} and {!manifest_resolutions}). [~replay:false] defers
+    replay (used by {!open_with_recovery}, which must repair table
+    headers first). *)
 
 val table : t -> string -> Bptree.t
 (** Create-or-attach. Table names must match [[A-Za-z0-9_.-]+].
@@ -139,3 +146,96 @@ val trip_table : t -> string -> reason:string -> unit
 
 val note_table_success : t -> string -> unit
 (** Record a successful use; closes a half-open breaker. *)
+
+(** {1 Operation manifest}
+
+    One {!Manifest} per environment ([dir/MANIFEST.mf]; memory-backed
+    for {!in_memory}) makes multi-table operations atomic. Two
+    disciplines (see {!Manifest} for the full protocol):
+
+    - {!run_logged_op} — redo-logged: all writes are recorded as
+      idempotent physical steps and fsynced before any table is
+      touched. Used by [add_document], where base tables hold ground
+      truth that cannot be rebuilt.
+    - {!begin_op}/{!commit_op} — build ops: rebuildable redundant
+      tables (RPLs/ERPLs + catalogs) are written directly; on a crash
+      before [Commit], recovery quarantines the [rollback] tables.
+
+    Replay happens at open ({!on_disk} / {!open_with_recovery});
+    outcomes are exposed via {!manifest_resolutions} and the
+    [manifest.rolled_forward] / [manifest.rolled_back] /
+    [manifest.unresolved] counters. Tables of an operation that could
+    not be resolved are {e blocked} ({!table_blocked}) so query
+    planning never reads an uncommitted generation. *)
+
+val manifest : t -> Manifest.t
+(** Find-or-open the environment's manifest. *)
+
+val manifest_path : t -> string option
+(** Where the manifest lives; [None] for memory-backed envs. *)
+
+val has_manifest : t -> bool
+(** Whether a manifest is open or its backing file exists. *)
+
+val generation : t -> int
+(** Highest committed index generation (0 when no manifest exists). *)
+
+val table_blocked : t -> string -> bool
+(** True when the table belongs to a pending manifest operation that
+    recovery could not resolve — its contents may be from an
+    uncommitted generation and must not be served. *)
+
+(** Outcome of resolving one pending operation during manifest replay. *)
+type resolution = {
+  res_op_id : int;
+  res_op : string;  (** operation name from its [Begin] record *)
+  res_tables : string list;
+  res_outcome : string;  (** e.g. ["rolled forward"], ["rolled back"] *)
+  res_ok : bool;  (** false when the op stayed pending (unresolvable) *)
+}
+
+val manifest_resolutions : t -> resolution list
+(** What the last replay did, oldest first; empty when the manifest had
+    nothing pending. *)
+
+val manifest_unresolved : t -> int
+(** Operations the last replay failed to resolve (their tables are
+    blocked); [verify] exits 2 in the CLI when this is non-zero. *)
+
+type op
+(** Handle for an in-flight build operation. *)
+
+val begin_op :
+  t -> op:string -> tables:string list -> ?rollback:string list -> unit -> op
+(** Append + fsync a [Begin] record naming the operation, every table
+    it touches, and the tables recovery must quarantine if the commit
+    record never becomes durable. Call {e before} the first table
+    write. *)
+
+val commit_op : t -> op -> unit
+(** Sync-flush each of the operation's tables in turn, then append +
+    fsync [Commit] (the single durability point) and [End]. *)
+
+val abort_op : t -> op -> note:string -> unit
+(** In-process failure path: quarantine the rollback tables now and
+    mark the operation [Abort]ed so recovery does not redo the work. Do
+    {e not} call this for a simulated crash ({!Pager.Injected_crash})
+    — the point of the crash matrix is to leave the op pending. *)
+
+val run_logged_op :
+  t -> op:string -> steps:Manifest.action list -> unit -> unit
+(** Redo-logged operation: append [Begin] + every [Step] + [Commit]
+    (fsynced) {e before} applying any step to its table, then apply,
+    sync-flush, and [End]. Steps must be physical and idempotent —
+    absolute post-state values, not deltas. *)
+
+val set_op_hook : (string -> unit) option -> unit
+(** Test hook fired at every operation sequence point, with labels like
+    ["op:add_document:logged"], ["op:rpl_build:flushed:rpls"],
+    ["op:advisor_apply:committed"]. The crash matrix raises
+    {!Pager.Injected_crash} from here. *)
+
+val abort : t -> unit
+(** Test hook: abandon the environment as a crashed process would —
+    abort every pager (no flush), drop journal and manifest handles
+    without their closing appends. *)

@@ -1,6 +1,8 @@
 module Codec = Trex_util.Codec
 module Env = Trex_storage.Env
 module Bptree = Trex_storage.Bptree
+module Pager = Trex_storage.Pager
+module Manifest = Trex_storage.Manifest
 module Types = Trex_invindex.Types
 module Index = Trex_invindex.Index
 module Metrics = Trex_obs.Metrics
@@ -17,6 +19,16 @@ type kind = Rpl | Erpl
 let kind_to_string = function Rpl -> "RPL" | Erpl -> "ERPL"
 let table_name = function Rpl -> "rpls" | Erpl -> "erpls"
 let catalog_name = function Rpl -> "rpl_catalog" | Erpl -> "erpl_catalog"
+
+exception Stale_generation of { table : string; generation : int }
+
+(* Generation check (paper's "never serve an uncommitted index"): a
+   table still belonging to an unresolved manifest operation may hold
+   lists from an uncommitted generation and must not back a cursor. *)
+let check_generation index name =
+  let env = Index.env index in
+  if Env.table_blocked env name then
+    raise (Stale_generation { table = name; generation = Env.generation env })
 
 let chunk_size = 32
 
@@ -161,6 +173,13 @@ let rec list_take n = function
 
 let write_list index kind ~term ~sid ?prefix entries =
   let tbl = Env.table (Index.env index) (table_name kind) in
+  (* Clear any chunks left under this pair (e.g. from a list whose drop
+     removed the catalog row but crashed before the chunks) so the new
+     list never interleaves with stale entries. *)
+  let stale = ref [] in
+  Bptree.iter_prefix tbl ~prefix:(pair_prefix ~term ~sid) (fun k _ ->
+      stale := k :: !stale);
+  List.iter (fun k -> ignore (Bptree.remove tbl k)) !stale;
   let sorted =
     List.sort
       (match kind with Rpl -> compare_rpl_order | Erpl -> compare_erpl_order)
@@ -237,19 +256,37 @@ let build index ~scoring ~sids ~terms ~kinds ?rpl_prefix () =
           entries)
       per_term;
     let built = ref [] and entries_written = ref 0 and bytes = ref 0 in
-    List.iter
-      (fun (kind, term, sid) ->
-        let entries =
-          match Hashtbl.find_opt by_pair (term, sid) with
-          | Some c -> !c
-          | None -> []
-        in
-        let n, sz = write_list index kind ~term ~sid ?prefix:rpl_prefix entries in
-        built := (term, sid) :: !built;
-        entries_written := !entries_written + n;
-        bytes := !bytes + sz)
-      work;
-    Env.flush (Index.env index);
+    (* Build op: lists are written directly between Begin and Commit;
+       if the commit record never lands, recovery quarantines the
+       rollback tables (they are redundant — rebuildable from ERA). *)
+    let env = Index.env index in
+    let op_tables =
+      List.map (fun (k, _, _) -> k) work
+      |> List.sort_uniq compare
+      |> List.concat_map (fun k -> [ table_name k; catalog_name k ])
+    in
+    let o = Env.begin_op env ~op:"rpl_build" ~tables:op_tables ~rollback:op_tables () in
+    (try
+       List.iter
+         (fun (kind, term, sid) ->
+           let entries =
+             match Hashtbl.find_opt by_pair (term, sid) with
+             | Some c -> !c
+             | None -> []
+           in
+           let n, sz = write_list index kind ~term ~sid ?prefix:rpl_prefix entries in
+           built := (term, sid) :: !built;
+           entries_written := !entries_written + n;
+           bytes := !bytes + sz)
+         work;
+       Env.commit_op env o
+     with
+    | Pager.Injected_crash _ as e ->
+        (* Simulated process death: leave the op pending for recovery. *)
+        raise e
+    | e ->
+        Env.abort_op env o ~note:(Printexc.to_string e);
+        raise e);
     {
       pairs_built = List.rev !built;
       pairs_reused = pairs_total - List.length work;
@@ -258,14 +295,27 @@ let build index ~scoring ~sids ~terms ~kinds ?rpl_prefix () =
     }
   end
 
+(* Catalog row first: once it is gone the list is not servable
+   (planning and cursors go through the catalog), so a crash mid-drop
+   can orphan unreferenced chunks but never leave a half-deleted list
+   visible. [write_list] clears orphans when the pair is rebuilt. *)
 let drop index kind ~term ~sid =
+  let cat = Env.table (Index.env index) (catalog_name kind) in
+  ignore (Bptree.remove cat (catalog_key ~term ~sid));
   let tbl = Env.table (Index.env index) (table_name kind) in
   let prefix = pair_prefix ~term ~sid in
   let keys = ref [] in
   Bptree.iter_prefix tbl ~prefix (fun k _ -> keys := k :: !keys);
-  List.iter (fun k -> ignore (Bptree.remove tbl k)) !keys;
-  let cat = Env.table (Index.env index) (catalog_name kind) in
-  ignore (Bptree.remove cat (catalog_key ~term ~sid))
+  List.iter (fun k -> ignore (Bptree.remove tbl k)) !keys
+
+(* The same drop as physical manifest actions, for redo-logged
+   operations (catalog removal ordered first, as in {!drop}). *)
+let drop_actions kind ~term ~sid =
+  [
+    Manifest.Remove { table = catalog_name kind; key = catalog_key ~term ~sid };
+    Manifest.Remove_prefix
+      { table = table_name kind; prefix = pair_prefix ~term ~sid };
+  ]
 
 let drop_all index kind =
   List.iter (fun (term, sid, _, _) -> drop index kind ~term ~sid) (catalog index kind)
@@ -341,35 +391,48 @@ module Full = struct
       let all_sids = Trex_summary.Summary.sids (Index.summary index) in
       let results, _ = Era.run index ~sids:all_sids ~terms:missing in
       let per_term = Era.per_term_scores index ~scoring ~terms:missing results in
-      let tbl = Env.table (Index.env index) table_name in
-      let cat = Env.table (Index.env index) catalog_name in
+      let env = Index.env index in
+      let tbl = Env.table env table_name in
+      let cat = Env.table env catalog_name in
       let entries_written = ref 0 and bytes = ref 0 and built = ref [] in
-      List.iter
-        (fun (term, scored) ->
-          let sorted =
-            List.map (fun (element, score) -> { element; score }) scored
-            |> List.sort compare_rpl_order
-          in
-          let list_bytes = ref 0 in
-          List.iter
-            (fun chunk ->
-              match chunk with
-              | [] -> ()
-              | first :: _ ->
-                  let key = chunk_key ~term first in
-                  let value = encode_chunk chunk in
-                  list_bytes := !list_bytes + String.length key + String.length value;
-                  Bptree.insert tbl ~key ~value)
-            (chunks_of chunk_size sorted);
-          let b = Codec.Buf.create ~capacity:8 () in
-          Codec.Buf.add_varint b (List.length sorted);
-          Codec.Buf.add_varint b !list_bytes;
-          Bptree.insert cat ~key:(Codec.key_of_string term) ~value:(Codec.Buf.contents b);
-          entries_written := !entries_written + List.length sorted;
-          bytes := !bytes + !list_bytes;
-          built := (term, -1) :: !built)
-        per_term;
-      Env.flush (Index.env index);
+      let op_tables = [ table_name; catalog_name ] in
+      let o =
+        Env.begin_op env ~op:"rpl_full_build" ~tables:op_tables
+          ~rollback:op_tables ()
+      in
+      (try
+         List.iter
+           (fun (term, scored) ->
+             let sorted =
+               List.map (fun (element, score) -> { element; score }) scored
+               |> List.sort compare_rpl_order
+             in
+             let list_bytes = ref 0 in
+             List.iter
+               (fun chunk ->
+                 match chunk with
+                 | [] -> ()
+                 | first :: _ ->
+                     let key = chunk_key ~term first in
+                     let value = encode_chunk chunk in
+                     list_bytes := !list_bytes + String.length key + String.length value;
+                     Bptree.insert tbl ~key ~value)
+               (chunks_of chunk_size sorted);
+             let b = Codec.Buf.create ~capacity:8 () in
+             Codec.Buf.add_varint b (List.length sorted);
+             Codec.Buf.add_varint b !list_bytes;
+             Bptree.insert cat ~key:(Codec.key_of_string term)
+               ~value:(Codec.Buf.contents b);
+             entries_written := !entries_written + List.length sorted;
+             bytes := !bytes + !list_bytes;
+             built := (term, -1) :: !built)
+           per_term;
+         Env.commit_op env o
+       with
+      | Pager.Injected_crash _ as e -> raise e
+      | e ->
+          Env.abort_op env o ~note:(Printexc.to_string e);
+          raise e);
       {
         pairs_built = List.rev !built;
         pairs_reused = List.length terms - List.length missing;
@@ -379,12 +442,20 @@ module Full = struct
     end
 
   let drop index ~term =
-    let tbl = Env.table (Index.env index) table_name in
     let prefix = Codec.key_of_string term in
+    (* Catalog first, as in the pair-list {!drop}. *)
+    ignore (Bptree.remove (Env.table (Index.env index) catalog_name) prefix);
+    let tbl = Env.table (Index.env index) table_name in
     let keys = ref [] in
     Bptree.iter_prefix tbl ~prefix (fun k _ -> keys := k :: !keys);
-    List.iter (fun k -> ignore (Bptree.remove tbl k)) !keys;
-    ignore (Bptree.remove (Env.table (Index.env index) catalog_name) prefix)
+    List.iter (fun k -> ignore (Bptree.remove tbl k)) !keys
+
+  let drop_actions ~term =
+    let prefix = Codec.key_of_string term in
+    [
+      Manifest.Remove { table = catalog_name; key = prefix };
+      Manifest.Remove_prefix { table = table_name; prefix };
+    ]
 
   type cursor = {
     f_cursor : Bptree.Cursor.cursor;
@@ -399,6 +470,8 @@ module Full = struct
   exception Missing of string
 
   let cursor index ~term ~sids =
+    check_generation index table_name;
+    check_generation index catalog_name;
     if not (is_materialized index ~term) then raise (Missing term);
     let tbl = Env.table (Index.env index) table_name in
     let prefix = Codec.key_of_string term in
@@ -505,6 +578,8 @@ module Cursor = struct
   }
 
   let create index kind ~term ~sids =
+    check_generation index (table_name kind);
+    check_generation index (catalog_name kind);
     let tbl = Env.table (Index.env index) (table_name kind) in
     let sids = List.sort_uniq compare sids in
     let bound =

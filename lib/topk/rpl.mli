@@ -30,6 +30,14 @@ val table_name : kind -> string
 val catalog_name : kind -> string
 (** Env table holding the catalog ("rpl_catalog" / "erpl_catalog"). *)
 
+exception Stale_generation of { table : string; generation : int }
+(** Raised by cursor creation when the table belongs to a manifest
+    operation recovery could not resolve ([Env.table_blocked]) — its
+    lists may be from an uncommitted generation. [generation] is the
+    environment's highest {e committed} generation. The resilient
+    evaluator treats this like corruption: fail over to a strategy that
+    does not need the table. *)
+
 type build_report = {
   pairs_built : (string * int) list;  (** (term, sid) lists created *)
   pairs_reused : int;  (** lists that already existed *)
@@ -75,7 +83,14 @@ val list_bound : Trex_invindex.Index.t -> kind -> term:string -> sid:int -> floa
     catalogs. *)
 
 val drop : Trex_invindex.Index.t -> kind -> term:string -> sid:int -> unit
-(** Remove one list and its catalog entry. *)
+(** Remove one list and its catalog entry (catalog row first, so a
+    crash mid-drop never leaves a servable half-deleted list). *)
+
+val drop_actions :
+  kind -> term:string -> sid:int -> Trex_storage.Manifest.action list
+(** {!drop} expressed as physical manifest actions, for redo-logged
+    operations ([Env.run_logged_op]) that must drop stale lists
+    atomically with base-table writes (e.g. [add_document]). *)
 
 val drop_all : Trex_invindex.Index.t -> kind -> unit
 (** Remove every materialized list of the kind (e.g. to reclaim the
@@ -109,12 +124,18 @@ module Full : sig
   val list_bytes : Trex_invindex.Index.t -> term:string -> int
   val drop : Trex_invindex.Index.t -> term:string -> unit
 
+  val drop_actions : term:string -> Trex_storage.Manifest.action list
+  (** {!drop} as physical manifest actions (see the pair-list
+      {!Rpl.drop_actions}). *)
+
   type cursor
 
   exception Missing of string
 
   val cursor : Trex_invindex.Index.t -> term:string -> sids:int list -> cursor
-  (** @raise Missing when the term's full RPL is absent. *)
+  (** @raise Missing when the term's full RPL is absent.
+      @raise Stale_generation when the table is blocked pending
+        manifest resolution. *)
 
   val next : cursor -> entry option
   (** Next entry whose sid belongs to the query, descending score. *)
@@ -133,7 +154,9 @@ module Cursor : sig
   exception Missing_list of { kind : kind; term : string; sid : int }
 
   val create : Trex_invindex.Index.t -> kind -> term:string -> sids:int list -> t
-  (** @raise Missing_list if any required (term, sid) list is absent. *)
+  (** @raise Missing_list if any required (term, sid) list is absent.
+      @raise Stale_generation when the kind's tables are blocked
+        pending manifest resolution. *)
 
   val next : t -> entry option
   (** Descending score for {!Rpl}; document position order for

@@ -216,7 +216,7 @@ let evaluate_resilient index ~scoring ~sids ~terms ~k ?guard ?method_ () =
     | outcome ->
         List.iter (Env.note_table_success env) (tables_of_method m);
         (outcome, List.rev failovers)
-    | exception ((Pager.Corruption _ | Retry.Exhausted _) as e)
+    | exception ((Pager.Corruption _ | Retry.Exhausted _ | Rpl.Stale_generation _) as e)
       when tables_of_method m <> [] ->
         let error = Printexc.to_string e in
         List.iter

@@ -62,8 +62,9 @@ val evaluate_resilient :
   unit ->
   outcome * failover list
 (** Like {!evaluate} ([method_] forces the first attempt; otherwise
-    {!choose}), but a [Pager.Corruption] or retry exhaustion inside a
-    redundant-index method trips that method's tables' breakers and
+    {!choose}), but a [Pager.Corruption], retry exhaustion, or
+    {!Rpl.Stale_generation} (table blocked pending manifest resolution)
+    inside a redundant-index method trips that method's tables' breakers and
     re-plans over the surviving methods — TA falls back to Merge falls
     back to ERA — recording one {!failover} per abandoned method and
     bumping ["resilience.fallbacks"]. A success records itself with the

@@ -1,0 +1,768 @@
+(* Crash-matrix tests for the cross-table operation manifest.
+
+   Strategy, in the style of test_crash.ml: run each multi-table
+   operation once against a pristine copy of an on-disk index with a
+   counting hook to learn its sequence points, then once per point with
+   a hook that raises [Pager.Injected_crash] there. After every
+   simulated crash the environment is abandoned ([Env.abort]) and
+   reopened with recovery; the result must verify clean and answer
+   queries exactly as the pre-operation or post-operation index —
+   never a mix (no stale-generation list is ever read). A byte-level
+   truncation matrix over MANIFEST.mf covers torn commit records the
+   hook points cannot reach.
+
+   TREX_SOAK_SEEDS widens the truncation matrix (CI runs 8). *)
+
+module Pager = Trex_storage.Pager
+module Bptree = Trex_storage.Bptree
+module Env = Trex_storage.Env
+module Manifest = Trex_storage.Manifest
+module Breaker = Trex_resilience.Breaker
+module Metrics = Trex_obs.Metrics
+module Rpl = Trex_topk.Rpl
+module Index = Trex_invindex.Index
+
+let check = Alcotest.check
+
+let soak_seeds () =
+  match Sys.getenv_opt "TREX_SOAK_SEEDS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> 2)
+  | None -> 2
+
+let temp_dir () =
+  let dir = Filename.temp_file "trex_manifest" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+let copy_file src dst =
+  let ic = open_in_bin src in
+  let oc = open_out_bin dst in
+  let buf = Bytes.create 65536 in
+  let rec loop () =
+    let n = input ic buf 0 (Bytes.length buf) in
+    if n > 0 then begin
+      output oc buf 0 n;
+      loop ()
+    end
+  in
+  loop ();
+  close_in ic;
+  close_out oc
+
+(* Flat directory copy: env dirs hold only regular files. *)
+let copy_dir src dst =
+  if Sys.file_exists dst then
+    Array.iter (fun f -> Sys.remove (Filename.concat dst f)) (Sys.readdir dst)
+  else Unix.mkdir dst 0o755;
+  Array.iter
+    (fun f -> copy_file (Filename.concat src f) (Filename.concat dst f))
+    (Sys.readdir src)
+
+let truncate_file path len =
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  Unix.ftruncate fd len;
+  Unix.close fd
+
+let file_length path = (Unix.stat path).Unix.st_size
+
+let nexi = "//article//sec[about(., information retrieval)]"
+
+let sig_of (o : Trex.outcome) =
+  List.map
+    (fun (e : Trex.Answer.entry) ->
+      (e.element.Trex.Types.docid, e.element.Trex.Types.endpos))
+    o.strategy.answers
+
+let sig_testable = Alcotest.(list (pair int int))
+
+let build_collection dir ~docs ~seed =
+  let coll = Trex_corpus.Gen.ieee ~doc_count:docs ~seed () in
+  let env = Trex.Env.on_disk dir in
+  let engine = Trex.build ~env ~alias:coll.alias (coll.docs ()) in
+  (env, engine)
+
+let era_sig engine =
+  sig_of (Trex.query engine ~k:5 ~method_:Trex.Strategy.Era_method nexi)
+
+let assert_verify_clean ctx reports =
+  List.iter
+    (fun (r : Env.table_report) ->
+      if not r.Env.ok then
+        Alcotest.failf "%s: table %s not clean after recovery: %s" ctx r.Env.table
+          (String.concat "; " (r.Env.problems @ r.Env.notes)))
+    reports
+
+(* Run [f ()] with a hook that raises [Injected_crash] at the [at]-th
+   sequence point; returns the number of points seen. With [at] beyond
+   the end, nothing fires and [f]'s result stands. *)
+let run_with_crash_at at f =
+  let count = ref 0 in
+  Env.set_op_hook
+    (Some
+       (fun point ->
+         let i = !count in
+         incr count;
+         if i = at then raise (Pager.Injected_crash ("hook:" ^ point))));
+  Fun.protect ~finally:(fun () -> Env.set_op_hook None) (fun () ->
+      match f () with
+      | () -> (!count, false)
+      | exception Pager.Injected_crash _ -> (!count, true))
+
+(* ---- manifest framing ---- *)
+
+let sample_records =
+  [
+    Manifest.Begin
+      {
+        op_id = 1;
+        op = "add_document";
+        tables = [ "elements"; "postings" ];
+        rollback = [];
+        generation = 1;
+      };
+    Manifest.Step
+      { op_id = 1; action = Manifest.Put { table = "elements"; key = "\x00k"; value = "v\xff" } };
+    Manifest.Step
+      { op_id = 1; action = Manifest.Remove { table = "postings"; key = "gone" } };
+    Manifest.Step
+      { op_id = 1; action = Manifest.Remove_prefix { table = "postings"; prefix = "pre" } };
+    Manifest.Commit { op_id = 1 };
+    Manifest.End { op_id = 1 };
+    Manifest.Begin
+      { op_id = 2; op = "rpl_build"; tables = [ "rpls" ]; rollback = [ "rpls" ]; generation = 2 };
+    Manifest.Abort { op_id = 2; note = "build failed: boom" };
+  ]
+
+let test_roundtrip () =
+  let dir = temp_dir () in
+  let path = Filename.concat dir "m.mf" in
+  let m = Manifest.open_file path in
+  List.iter (Manifest.append m) sample_records;
+  Manifest.sync m;
+  check Alcotest.int "generation committed" 1 (Manifest.generation m);
+  check Alcotest.int "nothing pending" 0 (List.length (Manifest.pending m));
+  Manifest.close m;
+  let m2 = Manifest.open_file path in
+  check Alcotest.bool "records survive reopen" true
+    (Manifest.records m2 = sample_records);
+  check Alcotest.int "generation survives" 1 (Manifest.generation m2);
+  check Alcotest.int "op ids continue past the highest" 3 (Manifest.fresh_op_id m2);
+  Manifest.close m2
+
+let test_pending_classification () =
+  let m = Manifest.in_memory () in
+  (* Committed but no End -> roll forward, with its steps. *)
+  let a = Manifest.Put { table = "t"; key = "k"; value = "v" } in
+  Manifest.append m
+    (Manifest.Begin { op_id = 1; op = "fwd"; tables = [ "t" ]; rollback = []; generation = 1 });
+  Manifest.append m (Manifest.Step { op_id = 1; action = a });
+  Manifest.append m (Manifest.Commit { op_id = 1 });
+  (* Begun but never committed -> roll back. *)
+  Manifest.append m
+    (Manifest.Begin
+       { op_id = 2; op = "back"; tables = [ "u" ]; rollback = [ "u" ]; generation = 2 });
+  match Manifest.pending m with
+  | [ p1; p2 ] ->
+      check Alcotest.bool "op 1 rolls forward" true
+        (p1.Manifest.p_op_id = 1
+        && p1.Manifest.p_status = Manifest.Roll_forward
+        && p1.Manifest.p_steps = [ a ]);
+      check Alcotest.bool "op 2 rolls back" true
+        (p2.Manifest.p_op_id = 2
+        && p2.Manifest.p_status = Manifest.Roll_back
+        && p2.Manifest.p_rollback = [ "u" ])
+  | l -> Alcotest.failf "expected 2 pending ops, got %d" (List.length l)
+
+let test_torn_tail_matrix () =
+  let dir = temp_dir () in
+  let path = Filename.concat dir "m.mf" in
+  let m = Manifest.open_file path in
+  List.iter (Manifest.append m) sample_records;
+  Manifest.sync m;
+  let full = Manifest.records m in
+  Manifest.close m;
+  let total = file_length path in
+  (* Truncating at any byte must yield a valid prefix of the records —
+     never a decode error, never a fabricated record. *)
+  for len = 0 to total do
+    let p = Filename.concat dir (Printf.sprintf "torn-%d.mf" len) in
+    copy_file path p;
+    truncate_file p len;
+    let m = Manifest.open_file p in
+    let recs = Manifest.records m in
+    let rec is_prefix a b =
+      match (a, b) with
+      | [], _ -> true
+      | x :: xs, y :: ys -> x = y && is_prefix xs ys
+      | _ :: _, [] -> false
+    in
+    check Alcotest.bool
+      (Printf.sprintf "truncation at %d yields a record prefix" len)
+      true
+      (is_prefix recs full);
+    Manifest.close m
+  done
+
+let test_corrupt_frame_skipped () =
+  let dir = temp_dir () in
+  let path = Filename.concat dir "m.mf" in
+  let m = Manifest.open_file path in
+  List.iter (Manifest.append m) sample_records;
+  Manifest.sync m;
+  Manifest.close m;
+  (* Flip one payload byte mid-file: that frame dies, the rest live. *)
+  let fd = Unix.openfile path [ Unix.O_RDWR ] 0o644 in
+  let off = file_length path / 2 in
+  let b = Bytes.create 1 in
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.read fd b 0 1);
+  Bytes.set b 0 (Char.chr (Char.code (Bytes.get b 0) lxor 0x40));
+  ignore (Unix.lseek fd off Unix.SEEK_SET);
+  ignore (Unix.write fd b 0 1);
+  Unix.close fd;
+  let before = Metrics.value (Metrics.counter "manifest.corrupt_records") in
+  let m = Manifest.open_file path in
+  check Alcotest.bool "some records survive" true (Manifest.records m <> []);
+  check Alcotest.bool "fewer records than written" true
+    (List.length (Manifest.records m) < List.length sample_records);
+  check Alcotest.bool "corruption counted" true
+    (Metrics.value (Metrics.counter "manifest.corrupt_records") > before);
+  Manifest.close m
+
+let test_compact_checkpoint () =
+  let dir = temp_dir () in
+  let path = Filename.concat dir "m.mf" in
+  let m = Manifest.open_file path in
+  List.iter (Manifest.append m) sample_records;
+  Manifest.sync m;
+  let gen = Manifest.generation m in
+  let next_id = Manifest.fresh_op_id m in
+  Manifest.compact m;
+  check Alcotest.bool "compacted below raw size" true (file_length path < 200);
+  Manifest.close m;
+  let m2 = Manifest.open_file path in
+  check Alcotest.int "generation preserved across compaction" gen
+    (Manifest.generation m2);
+  check Alcotest.int "op ids preserved across compaction" (next_id + 1)
+    (Manifest.fresh_op_id m2);
+  check Alcotest.int "nothing pending" 0 (List.length (Manifest.pending m2));
+  Manifest.close m2
+
+(* ---- run_logged_op ---- *)
+
+let test_run_logged_op_applies () =
+  let env = Trex.Env.in_memory () in
+  let t = Env.table env "a" in
+  Bptree.insert t ~key:"stale" ~value:"x";
+  Bptree.insert t ~key:"stale2" ~value:"y";
+  Env.run_logged_op env ~op:"test"
+    ~steps:
+      [
+        Manifest.Remove_prefix { table = "a"; prefix = "stale" };
+        Manifest.Put { table = "a"; key = "k1"; value = "v1" };
+        Manifest.Put { table = "b"; key = "k2"; value = "v2" };
+        Manifest.Remove { table = "b"; key = "absent" };
+      ]
+    ();
+  check Alcotest.(option string) "put applied" (Some "v1") (Bptree.find t "k1");
+  check Alcotest.(option string) "prefix removed" None (Bptree.find t "stale");
+  check Alcotest.(option string) "prefix removed 2" None (Bptree.find t "stale2");
+  check
+    Alcotest.(option string)
+    "second table written" (Some "v2")
+    (Bptree.find (Env.table env "b") "k2");
+  check Alcotest.int "generation bumped" 1 (Env.generation env)
+
+(* ---- add_document crash matrix (hook points) ---- *)
+
+(* Shared fixture: a small on-disk index with materialized lists, the
+   document to add, and the pre/post expectations. *)
+type add_fixture = {
+  pristine : string;
+  doc_xml : string;
+  pre_docs : int;
+  post_docs : int;
+  pre_sig : (int * int) list;
+  post_sig : (int * int) list;
+  pre_catalog : (Rpl.kind * string * int) list;  (** materialized pairs *)
+  post_catalog : (Rpl.kind * string * int) list;
+}
+
+let catalog_pairs engine =
+  List.concat_map
+    (fun kind ->
+      List.map
+        (fun (term, sid, _, _) -> (kind, term, sid))
+        (Rpl.catalog (Trex.index engine) kind))
+    [ Rpl.Rpl; Rpl.Erpl ]
+
+let make_add_fixture () =
+  let pristine = temp_dir () in
+  let env, engine = build_collection pristine ~docs:6 ~seed:11 in
+  ignore (Trex.materialize engine nexi);
+  let pre_sig = era_sig engine in
+  let pre_docs = (Index.stats (Trex.index engine)).Index.doc_count in
+  let pre_catalog = catalog_pairs engine in
+  Trex.Env.close env;
+  let doc_xml =
+    "<article><sec>information retrieval of indexed xml data</sec></article>"
+  in
+  (* One clean post-run to learn the expected post state. *)
+  let post = temp_dir () in
+  copy_dir pristine post;
+  let env = Trex.Env.on_disk post in
+  let engine = Trex.attach ~env () in
+  ignore (Trex.add_document engine ~name:"crash-doc" ~xml:doc_xml);
+  let post_sig = era_sig engine in
+  let post_docs = (Index.stats (Trex.index engine)).Index.doc_count in
+  let post_catalog = catalog_pairs engine in
+  Trex.Env.close env;
+  check Alcotest.int "fixture: document counted" (pre_docs + 1) post_docs;
+  check Alcotest.bool "fixture: lists invalidated" true
+    (List.length post_catalog < List.length pre_catalog);
+  check Alcotest.bool "fixture: new document is relevant" true
+    (pre_sig <> post_sig);
+  { pristine; doc_xml; pre_docs; post_docs; pre_sig; post_sig; pre_catalog; post_catalog }
+
+(* Recover [dir] and check it is exactly the pre- or post-operation
+   index; returns [true] for post. *)
+let assert_pre_or_post ctx fx dir =
+  let env, reports = Env.open_with_recovery dir in
+  assert_verify_clean ctx reports;
+  check Alcotest.int (ctx ^ ": nothing unresolved") 0 (Env.manifest_unresolved env);
+  let engine = Trex.attach ~env () in
+  let docs = (Index.stats (Trex.index engine)).Index.doc_count in
+  let catalog = catalog_pairs engine in
+  let s = era_sig engine in
+  let is_post =
+    if docs = fx.post_docs then true
+    else if docs = fx.pre_docs then false
+    else Alcotest.failf "%s: doc_count %d is neither pre nor post" ctx docs
+  in
+  if is_post then begin
+    (* The document is visible, so every list it invalidates must be
+       gone with it — a servable stale list here is the bug this PR
+       exists to close. *)
+    check
+      (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+      (ctx ^ ": stale lists dropped with the visible document")
+      (List.map (fun (_, t, s) -> (t, s)) fx.post_catalog)
+      (List.map (fun (_, t, s) -> (t, s)) catalog);
+    check sig_testable (ctx ^ ": post answers") fx.post_sig s
+  end
+  else begin
+    check
+      (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.int))
+      (ctx ^ ": pre catalog intact")
+      (List.map (fun (_, t, s) -> (t, s)) fx.pre_catalog)
+      (List.map (fun (_, t, s) -> (t, s)) catalog);
+    check sig_testable (ctx ^ ": pre answers") fx.pre_sig s
+  end;
+  Trex.Env.close env;
+  is_post
+
+let crash_add_at fx work at =
+  copy_dir fx.pristine work;
+  let env = Trex.Env.on_disk work in
+  let engine = Trex.attach ~env () in
+  let seen, crashed =
+    run_with_crash_at at (fun () ->
+        ignore (Trex.add_document engine ~name:"crash-doc" ~xml:fx.doc_xml))
+  in
+  Env.abort env;
+  (seen, crashed)
+
+let test_add_document_crash_matrix () =
+  let fx = make_add_fixture () in
+  let work = temp_dir () in
+  (* Counting pass: no crash point fires. *)
+  let total, crashed = crash_add_at fx work max_int in
+  check Alcotest.bool "counting pass completes" false crashed;
+  check Alcotest.bool "add_document has sequence points" true (total >= 5);
+  ignore (assert_pre_or_post "counting pass" fx work);
+  let pre = ref 0 and post = ref 0 in
+  for at = 0 to total - 1 do
+    let seen, crashed = crash_add_at fx work at in
+    check Alcotest.int (Printf.sprintf "point %d: crashed at that point" at) (at + 1) seen;
+    check Alcotest.bool (Printf.sprintf "point %d: crash fired" at) true crashed;
+    let ctx = Printf.sprintf "add_document crash at point %d" at in
+    if assert_pre_or_post ctx fx work then incr post else incr pre
+  done;
+  (* The matrix must witness both resolutions or it proved nothing. *)
+  check Alcotest.bool "some crash points roll back" true (!pre > 0);
+  check Alcotest.bool "some crash points roll forward" true (!post > 0)
+
+(* ---- add_document crash matrix (manifest byte positions) ---- *)
+
+let test_add_document_truncation_matrix () =
+  let fx = make_add_fixture () in
+  (* Crash right after the steps were applied but before any flush: the
+     manifest holds Begin..Commit and the tables hold nothing durable,
+     so every truncation point of MANIFEST.mf decides pre vs post. *)
+  let crashed_dir = temp_dir () in
+  let at =
+    (* find the "applied" point of the add_document op *)
+    let points = ref [] in
+    copy_dir fx.pristine crashed_dir;
+    let env = Trex.Env.on_disk crashed_dir in
+    let engine = Trex.attach ~env () in
+    Env.set_op_hook (Some (fun p -> points := p :: !points));
+    ignore (Trex.add_document engine ~name:"crash-doc" ~xml:fx.doc_xml);
+    Env.set_op_hook None;
+    Trex.Env.close env;
+    let points = List.rev !points in
+    let rec find i = function
+      | [] -> Alcotest.fail "no applied point"
+      | p :: _ when p = "op:add_document:applied" -> i
+      | _ :: rest -> find (i + 1) rest
+    in
+    find 0 points
+  in
+  let _seen, crashed = crash_add_at fx crashed_dir at in
+  check Alcotest.bool "crashed at applied" true crashed;
+  let mf = Filename.concat crashed_dir "MANIFEST.mf" in
+  let total = file_length mf in
+  check Alcotest.bool "manifest non-trivial" true (total > 64);
+  let work = temp_dir () in
+  let stride = if soak_seeds () > 2 then 4 else 16 in
+  let lens =
+    (* every byte of the tail (the Commit record region), strided
+       earlier positions, and the exact ends *)
+    let l = ref [] in
+    let add x = if x >= 0 && x <= total && not (List.mem x !l) then l := x :: !l in
+    for i = 0 to 64 do add (total - i) done;
+    let i = ref 0 in
+    while !i < total do
+      add !i;
+      i := !i + stride
+    done;
+    List.sort compare !l
+  in
+  let pre = ref 0 and post = ref 0 in
+  List.iter
+    (fun len ->
+      copy_dir crashed_dir work;
+      truncate_file (Filename.concat work "MANIFEST.mf") len;
+      let ctx = Printf.sprintf "manifest truncated to %d bytes" len in
+      if assert_pre_or_post ctx fx work then incr post else incr pre)
+    lens;
+  check Alcotest.bool "truncation matrix reaches pre state" true (!pre > 0);
+  check Alcotest.bool "truncation matrix reaches post state" true (!post > 0)
+
+(* ---- materialize (Rpl.build) crash matrix ---- *)
+
+let test_materialize_crash_matrix () =
+  let pristine = temp_dir () in
+  let env, engine = build_collection pristine ~docs:6 ~seed:23 in
+  let pre_sig = era_sig engine in
+  Trex.Env.close env;
+  let work = temp_dir () in
+  let run at =
+    copy_dir pristine work;
+    let env = Trex.Env.on_disk work in
+    let engine = Trex.attach ~env () in
+    let r = run_with_crash_at at (fun () -> ignore (Trex.materialize engine nexi)) in
+    Env.abort env;
+    r
+  in
+  let total, crashed = run max_int in
+  check Alcotest.bool "counting pass completes" false crashed;
+  check Alcotest.bool "materialize has sequence points" true (total >= 4);
+  let committed = ref 0 and rolled_back = ref 0 in
+  for at = 0 to total - 1 do
+    let _, crashed = run at in
+    check Alcotest.bool (Printf.sprintf "point %d: crash fired" at) true crashed;
+    let ctx = Printf.sprintf "materialize crash at point %d" at in
+    let env, reports = Env.open_with_recovery work in
+    assert_verify_clean ctx reports;
+    check Alcotest.int (ctx ^ ": nothing unresolved") 0 (Env.manifest_unresolved env);
+    let engine = Trex.attach ~env () in
+    let t = Trex.translate engine (Trex.parse engine nexi) in
+    let sids = Trex.Translate.all_sids t and terms = Trex.Translate.all_terms t in
+    let covers kind = Rpl.covers (Trex.index engine) kind ~sids ~terms in
+    let empty kind = Rpl.catalog (Trex.index engine) kind = [] in
+    (* Per kind: the build either committed whole or was rolled back
+       whole — a catalog advertising a partial generation is the bug. *)
+    List.iter
+      (fun kind ->
+        check Alcotest.bool
+          (Printf.sprintf "%s: %s lists all-or-nothing" ctx (Rpl.kind_to_string kind))
+          true
+          (covers kind || empty kind);
+        if covers kind then incr committed else incr rolled_back)
+      [ Rpl.Rpl; Rpl.Erpl ];
+    (* Ground truth is untouched either way. *)
+    check sig_testable (ctx ^ ": ERA answers unchanged") pre_sig (era_sig engine);
+    (* And the resilient path serves the query whatever survived. *)
+    let o = Trex.query engine ~k:5 nexi in
+    check sig_testable (ctx ^ ": resilient answers unchanged") pre_sig (sig_of o);
+    Trex.Env.close env
+  done;
+  check Alcotest.bool "matrix saw committed builds" true (!committed > 0);
+  check Alcotest.bool "matrix saw rolled-back builds" true (!rolled_back > 0)
+
+(* ---- Advisor.apply crash matrix ---- *)
+
+let test_advisor_apply_crash_matrix () =
+  let pristine = temp_dir () in
+  let env, engine = build_collection pristine ~docs:6 ~seed:31 in
+  let pre_sig = era_sig engine in
+  (* Plan once (measurement passes drop/build lists; do it on the
+     pristine env so crash runs only replay [apply]). *)
+  let t = Trex.translate engine (Trex.parse engine nexi) in
+  let workload =
+    Trex.Workload.create
+      [
+        {
+          Trex.Workload.id = "q1";
+          sids = Trex.Translate.all_sids t;
+          terms = Trex.Translate.all_terms t;
+          k = 5;
+          frequency = 1.0;
+        };
+      ]
+  in
+  let plan, profiles = Trex.advise engine ~workload ~budget:max_int ~runs:1 () in
+  Trex.vacuum engine;
+  Trex.Env.close env;
+  check Alcotest.bool "plan selects an index" true
+    (List.exists (fun (_, c) -> c <> Trex.Advisor.No_index) plan.Trex.Advisor.decisions);
+  let work = temp_dir () in
+  let run at =
+    copy_dir pristine work;
+    let env = Trex.Env.on_disk work in
+    let engine = Trex.attach ~env () in
+    let r =
+      run_with_crash_at at (fun () ->
+          Trex.Advisor.apply (Trex.index engine) ~scoring:(Trex.scoring engine)
+            ~workload ~profiles plan)
+    in
+    Env.abort env;
+    r
+  in
+  let total, crashed = run max_int in
+  check Alcotest.bool "counting pass completes" false crashed;
+  check Alcotest.bool "apply has sequence points" true (total >= 6);
+  for at = 0 to total - 1 do
+    let _, crashed = run at in
+    check Alcotest.bool (Printf.sprintf "point %d: crash fired" at) true crashed;
+    let ctx = Printf.sprintf "advisor apply crash at point %d" at in
+    let env, reports = Env.open_with_recovery work in
+    assert_verify_clean ctx reports;
+    check Alcotest.int (ctx ^ ": nothing unresolved") 0 (Env.manifest_unresolved env);
+    let engine = Trex.attach ~env () in
+    (* Every list a catalog still advertises must be fully readable:
+       a cursor over it drains without error. *)
+    List.iter
+      (fun kind ->
+        List.iter
+          (fun (term, sid, entries, _) ->
+            let c = Rpl.Cursor.create (Trex.index engine) kind ~term ~sids:[ sid ] in
+            let n = ref 0 in
+            while Rpl.Cursor.next c <> None do incr n done;
+            check Alcotest.int
+              (Printf.sprintf "%s: %s list (%s, %d) complete" ctx
+                 (Rpl.kind_to_string kind) term sid)
+              entries !n)
+          (Rpl.catalog (Trex.index engine) kind))
+      [ Rpl.Rpl; Rpl.Erpl ];
+    check sig_testable (ctx ^ ": answers unchanged") pre_sig (era_sig engine);
+    Trex.Env.close env
+  done
+
+(* ---- Autopilot.maybe_heal interrupted mid-rebuild ---- *)
+
+let test_heal_interrupted_converges () =
+  (* In-memory env: the interruption is in-process (the breaker layer's
+     concern), not a process crash. *)
+  let coll = Trex_corpus.Gen.ieee ~doc_count:10 ~seed:47 () in
+  let env = Trex.Env.in_memory () in
+  let engine = Trex.build ~env ~alias:coll.alias (coll.docs ()) in
+  ignore (Trex.materialize engine nexi);
+  let baseline = Trex.query engine ~k:5 ~method_:Trex.Strategy.Ta_method nexi in
+  let pilot =
+    Trex.Autopilot.create (Trex.index engine) ~scoring:(Trex.scoring engine)
+      ~budget:max_int ()
+  in
+  let t = Trex.translate engine (Trex.parse engine nexi) in
+  Trex.Autopilot.record pilot ~id:nexi ~sids:(Trex.Translate.all_sids t)
+    ~terms:(Trex.Translate.all_terms t) ~k:5;
+  Env.trip_table env "rpls" ~reason:"injected for the interruption test";
+  Breaker.set_cooldown (Env.breaker env "rpls") 0.0;
+  (* First heal attempt: crash inside the rebuild's table writes. *)
+  Env.set_op_hook
+    (Some
+       (fun point ->
+         if point = "op:rpl_build:flushed:rpls" then
+           raise (Pager.Injected_crash ("hook:" ^ point))));
+  (match
+     Fun.protect
+       ~finally:(fun () -> Env.set_op_hook None)
+       (fun () -> Trex.Autopilot.maybe_heal pilot)
+   with
+  | [ { Trex.Autopilot.action = Trex.Autopilot.Still_failing _; _ } ] -> ()
+  | reports ->
+      Alcotest.failf "expected one still-failing report, got %d"
+        (List.length reports));
+  (* The interruption must leave the pair quarantined, not half-built.
+     (The breaker's cooldown is 0 here, so [table_available] would
+     admit a half-open probe; the state is what must not be Closed.) *)
+  Alcotest.(check bool) "breaker stays open" true
+    (Breaker.state (Env.breaker env "rpls") <> Breaker.Closed);
+  check Alcotest.int "rpls left empty, not half-rebuilt" 0
+    (List.length (Rpl.catalog (Trex.index engine) Rpl.Rpl));
+  (* Next pass (cooldown elapsed) converges: rebuild completes. *)
+  Breaker.set_cooldown (Env.breaker env "rpls") 0.0;
+  Breaker.set_cooldown (Env.breaker env "rpl_catalog") 0.0;
+  (match Trex.Autopilot.maybe_heal pilot with
+  | [ { Trex.Autopilot.action = Trex.Autopilot.Rebuilt _; _ } ] -> ()
+  | reports ->
+      Alcotest.failf "expected one rebuilt report, got %d" (List.length reports));
+  Alcotest.(check bool) "breaker closed" true (Env.table_available env "rpls");
+  check Alcotest.int "nothing left to heal" 0
+    (List.length (Trex.Autopilot.maybe_heal pilot));
+  let after = Trex.query engine ~k:5 ~method_:Trex.Strategy.Ta_method nexi in
+  check sig_testable "TA serves exactly as before the damage" (sig_of baseline)
+    (sig_of after)
+
+(* ---- stale generation blocks cursors, verify flags it ---- *)
+
+let test_unresolved_blocks_generation () =
+  let dir = temp_dir () in
+  let env, engine = build_collection dir ~docs:6 ~seed:59 in
+  ignore (Trex.materialize engine nexi);
+  let pre_sig = era_sig engine in
+  Trex.Env.close env;
+  (* Forge a committed operation whose replay cannot succeed (a step
+     into an invalid table name): recovery must leave it pending,
+     block its tables, and refuse to serve their lists. *)
+  let m = Manifest.open_file (Filename.concat dir "MANIFEST.mf") in
+  let op_id = Manifest.fresh_op_id m in
+  Manifest.append m
+    (Manifest.Begin
+       {
+         op_id;
+         op = "forged";
+         tables = [ "rpls"; "rpl_catalog" ];
+         rollback = [];
+         generation = Manifest.next_generation m;
+       });
+  Manifest.append m
+    (Manifest.Step
+       { op_id; action = Manifest.Put { table = "no/such table"; key = "k"; value = "v" } });
+  Manifest.append m (Manifest.Commit { op_id });
+  Manifest.sync m;
+  Manifest.close m;
+  let env, reports = Env.open_with_recovery dir in
+  check Alcotest.int "one unresolved op" 1 (Env.manifest_unresolved env);
+  check Alcotest.bool "rpls blocked" true (Env.table_blocked env "rpls");
+  check Alcotest.bool "unrelated table not blocked" false
+    (Env.table_blocked env "elements");
+  (* The blocked table's report is demoted so operators see it. *)
+  let rpls_report =
+    List.find (fun (r : Env.table_report) -> r.Env.table = "rpls") reports
+  in
+  check Alcotest.bool "blocked table reported not-ok" false rpls_report.Env.ok;
+  let engine = Trex.attach ~env () in
+  let t = Trex.translate engine (Trex.parse engine nexi) in
+  let terms = Trex.Translate.all_terms t and sids = Trex.Translate.all_sids t in
+  (* Cursors refuse the uncommitted generation... *)
+  (match Rpl.Cursor.create (Trex.index engine) Rpl.Rpl ~term:(List.hd terms) ~sids with
+  | exception Rpl.Stale_generation { table = "rpls"; _ } -> ()
+  | exception e -> Alcotest.failf "unexpected exception %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "cursor served a blocked table");
+  (* ...and the resilient path routes around them with right answers. *)
+  let o = Trex.query engine ~k:5 nexi in
+  check sig_testable "blocked lists never reach answers" pre_sig (sig_of o);
+  Trex.Env.close env
+
+(* ---- satellite: directory fsync after unlink ---- *)
+
+let test_drop_table_syncs_directory () =
+  let dir = temp_dir () in
+  let env = Trex.Env.on_disk dir in
+  let t = Env.table env "doomed" in
+  Bptree.insert t ~key:"k" ~value:"v";
+  Env.flush ~sync:true env;
+  let path = Filename.concat dir "doomed.tbl" in
+  check Alcotest.bool "table file exists" true (Sys.file_exists path);
+  let d0 = Metrics.value (Metrics.counter "env.dir_fsyncs") in
+  Env.drop_table env "doomed";
+  check Alcotest.bool "drop fsyncs the directory" true
+    (Metrics.value (Metrics.counter "env.dir_fsyncs") > d0);
+  check Alcotest.bool "file unlinked" false (Sys.file_exists path);
+  let t2 = Env.table env "doomed2" in
+  Bptree.insert t2 ~key:"k" ~value:"v";
+  Env.flush ~sync:true env;
+  let d1 = Metrics.value (Metrics.counter "env.dir_fsyncs") in
+  Env.quarantine_table env "doomed2";
+  check Alcotest.bool "quarantine fsyncs the directory" true
+    (Metrics.value (Metrics.counter "env.dir_fsyncs") > d1);
+  Trex.Env.close env;
+  (* The deletion is durable: a reopen cannot resurrect the table. *)
+  let env2 = Trex.Env.on_disk dir in
+  check Alcotest.bool "dropped table stays dropped" false (Env.has_table env2 "doomed");
+  check Alcotest.bool "quarantined table stays dropped" false
+    (Env.has_table env2 "doomed2");
+  Trex.Env.close env2
+
+(* ---- manifest compaction at open ---- *)
+
+let test_manifest_compacts_at_open () =
+  let dir = temp_dir () in
+  let env, engine = build_collection dir ~docs:4 ~seed:71 in
+  ignore (Trex.add_document engine ~name:"extra" ~xml:"<a><b>word</b></a>");
+  ignore (Trex.materialize engine nexi);
+  let gen = Env.generation env in
+  check Alcotest.bool "operations committed generations" true (gen >= 2);
+  Trex.Env.close env;
+  let env2 = Trex.Env.on_disk dir in
+  check Alcotest.int "generation survives reopen" gen (Env.generation env2);
+  check Alcotest.int "resolved history compacted to a checkpoint" 1
+    (Manifest.length (Env.manifest env2));
+  check Alcotest.bool "manifest file shrunk" true
+    (file_length (Filename.concat dir "MANIFEST.mf") < 128);
+  Trex.Env.close env2
+
+let () =
+  Alcotest.run "trex_manifest"
+    [
+      ( "framing",
+        [
+          Alcotest.test_case "record roundtrip + reopen" `Quick test_roundtrip;
+          Alcotest.test_case "pending classification" `Quick
+            test_pending_classification;
+          Alcotest.test_case "torn tail matrix" `Quick test_torn_tail_matrix;
+          Alcotest.test_case "corrupt frame skipped" `Quick
+            test_corrupt_frame_skipped;
+          Alcotest.test_case "compact to checkpoint" `Quick test_compact_checkpoint;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "run_logged_op applies steps" `Quick
+            test_run_logged_op_applies;
+          Alcotest.test_case "manifest compacts at open" `Quick
+            test_manifest_compacts_at_open;
+          Alcotest.test_case "dir fsync after unlink" `Quick
+            test_drop_table_syncs_directory;
+        ] );
+      ( "crash-matrix",
+        [
+          Alcotest.test_case "add_document hook points" `Slow
+            test_add_document_crash_matrix;
+          Alcotest.test_case "add_document manifest bytes" `Slow
+            test_add_document_truncation_matrix;
+          Alcotest.test_case "materialize hook points" `Slow
+            test_materialize_crash_matrix;
+          Alcotest.test_case "advisor apply hook points" `Slow
+            test_advisor_apply_crash_matrix;
+        ] );
+      ( "generations",
+        [
+          Alcotest.test_case "heal interruption converges" `Quick
+            test_heal_interrupted_converges;
+          Alcotest.test_case "unresolved op blocks generation" `Quick
+            test_unresolved_blocks_generation;
+        ] );
+    ]
