@@ -19,6 +19,8 @@
      layout        - paper's skip-scanned full-term RPLs vs per-(term,sid)
                      lists; the §4 TA-vs-Merge race
      io            - page-cache size vs physical I/O on an on-disk index
+     shard         - sharded scatter-gather: shard count vs latency,
+                     degraded serving, split/merge rebalance cost
      effectiveness - P@10/MAP/nDCG against the generator's topic ground
                      truth; BM25 vs TF-IDF
      bechamel      - one Bechamel Test.make per table/figure family
@@ -29,6 +31,7 @@
 
 module Gen = Trex_corpus.Gen
 module Queries = Trex_corpus.Queries
+module Shard = Trex_shard.Shard
 module Summary = Trex_summary.Summary
 module Strategy = Trex.Strategy
 module Translate = Trex.Translate
@@ -605,6 +608,76 @@ let section_io () =
     [ 8; 32; 128; 1024; 8192 ];
   Bench_out.flush ~quick:!quick "io"
 
+(* ---- section: shard ---- *)
+
+let section_shard () =
+  header "SHARDED SCATTER-GATHER: shard count vs latency, degradation, rebalance";
+  let coll = Gen.ieee ~doc_count:(if !quick then 40 else 120) ~seed:88 () in
+  let docs = List.of_seq (coll.docs ()) in
+  let q = Queries.find "270" in
+  let k = 10 in
+  (* Single-environment reference point. *)
+  let env = Trex.Env.in_memory () in
+  let engine = Trex.build ~env ~alias:coll.alias (List.to_seq docs) in
+  let t_single = robust_time (fun () -> ignore (Trex.query engine ~k q.nexi)) in
+  Bench_out.record ~section:"shard" ~query:q.id ~strategy:"single-env" ~k
+    ~ms:(t_single *. 1e3)
+    [ ("shards", 1); ("degraded_shards", 0) ];
+  Printf.printf "%12s | %10s %14s %15s\n" "shards" "ms" "entries read"
+    "degraded shards";
+  Printf.printf "%12s | %10.2f %14s %15d\n" "single-env" (t_single *. 1e3) "-" 0;
+  List.iter
+    (fun n ->
+      let dir = Filename.temp_file "trex_bench_shard" "" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o755;
+      let t = Shard.create ~dir ~shards:n ~alias:coll.alias docs in
+      let tq = robust_time (fun () -> ignore (Shard.query t ~k q.nexi)) in
+      let r = Shard.query t ~k q.nexi in
+      let entries =
+        List.fold_left
+          (fun acc (s : Shard.shard_report) -> acc + s.Shard.r_entries_read)
+          0 r.Shard.reports
+      in
+      Bench_out.record ~section:"shard" ~query:q.id ~strategy:"scatter-gather" ~k
+        ~ms:(tq *. 1e3)
+        [
+          ("shards", n);
+          ("entries_read", entries);
+          ("degraded_shards", List.length r.Shard.degraded_shards);
+        ];
+      Printf.printf "%12d | %10.2f %14d %15d\n" n (tq *. 1e3) entries
+        (List.length r.Shard.degraded_shards);
+      if n = 4 then begin
+        (* Degraded serving: an already-expired deadline skips every
+           shard — the floor cost of answering from nothing. *)
+        let td =
+          robust_time (fun () -> ignore (Shard.query t ~k ~deadline_ms:0.0 q.nexi))
+        in
+        let rd = Shard.query t ~k ~deadline_ms:0.0 q.nexi in
+        Bench_out.record ~section:"shard" ~query:q.id ~strategy:"degraded" ~k
+          ~ms:(td *. 1e3)
+          [ ("shards", n); ("degraded_shards", List.length rd.Shard.degraded_shards) ];
+        Printf.printf "%12s | %10.2f %14s %15d\n" "deadline=0" (td *. 1e3) "-"
+          (List.length rd.Shard.degraded_shards);
+        (* Rebalance cost, timed once — split and merge mutate the map. *)
+        let t0 = Unix.gettimeofday () in
+        let a, b = Shard.split t "shard-001" in
+        let t_split = (Unix.gettimeofday () -. t0) *. 1e3 in
+        let t0 = Unix.gettimeofday () in
+        ignore (Shard.merge t a.Shard.name b.Shard.name);
+        let t_merge = (Unix.gettimeofday () -. t0) *. 1e3 in
+        Bench_out.record ~section:"shard" ~query:q.id ~strategy:"split" ~k
+          ~ms:t_split [ ("shards", n) ];
+        Bench_out.record ~section:"shard" ~query:q.id ~strategy:"merge" ~k
+          ~ms:t_merge [ ("shards", n) ];
+        Printf.printf "%12s | %10.2f\n" "split" t_split;
+        Printf.printf "%12s | %10.2f\n" "merge" t_merge
+      end;
+      Shard.close t)
+    [ 1; 2; 4; 8 ];
+  Bench_out.flush ~quick:!quick "shard"
+
 (* ---- section: effectiveness ---- *)
 
 (* The generator records which topics each document was written around;
@@ -779,5 +852,6 @@ let () =
   if want "layout" then section_layout ();
   if want "effectiveness" then section_effectiveness ();
   if want "io" then section_io ();
+  if want "shard" then section_shard ();
   if want "bechamel" then section_bechamel ();
   Printf.printf "\ndone.\n"

@@ -14,11 +14,13 @@
      journal      inspect the persistent query journal (tail|profile|slow)
      autopilot    replay the journal into the advisor and replan
      xpath        evaluate an XPath expression over an XML file
+     shard        sharded coordinator: create | query | health | rebalance
 
    Exit codes: 0 ok; 1 generic failure; 2 verify found corruption or an
-   unresolvable manifest operation; 3 query answered degraded (budget
-   expired); 4 health found an open circuit breaker; 5 autopilot had
-   too few journaled observations to replan.
+   unresolvable manifest operation (also shard health with quarantined
+   shards); 3 query answered degraded (budget expired, or a sharded
+   query missing shards); 4 health found an open circuit breaker; 5
+   autopilot had too few journaled observations to replan.
 
    Example session:
      dune exec bin/trex_cli.exe -- gen --collection ieee --docs 100 --out /tmp/docs
@@ -728,10 +730,196 @@ let advise_cmd =
   Cmd.v (Cmd.info "advise" ~doc:"Plan index selection for a workload")
     Term.(const run $ env_arg $ workload $ budget $ optimal $ apply)
 
+(* ---- shard ---- *)
+
+module Shard = Trex_shard.Shard
+
+let shard_dir_arg =
+  Arg.(required & opt (some string) None
+       & info [ "dir" ] ~doc:"shard coordinator directory")
+
+let shard_create_cmd =
+  let src =
+    Arg.(required & opt (some string) None & info [ "src" ] ~doc:"directory of .xml files")
+  in
+  let shards =
+    Arg.(value & opt int 2 & info [ "shards" ] ~doc:"number of shards")
+  in
+  let alias = Arg.(value & opt string "none" & info [ "alias" ] ~doc:"ieee, wiki or none") in
+  let run src dir shards alias =
+    let files =
+      Sys.readdir src |> Array.to_list
+      |> List.filter (fun f -> Filename.check_suffix f ".xml")
+      |> List.sort String.compare
+    in
+    if files = [] then failwith ("no .xml files in " ^ src);
+    let docs = List.map (fun f -> (f, read_file (Filename.concat src f))) files in
+    let t0 = Unix.gettimeofday () in
+    let t = Shard.create ~dir ~shards ~alias:(alias_of_name alias) docs in
+    List.iter
+      (fun (i : Shard.shard_info) ->
+        Printf.printf "%s: docids %d..%d (%d documents)\n" i.name i.base
+          (i.base + i.docs - 1) i.docs)
+      (Shard.shards t);
+    Shard.close t;
+    Printf.printf "sharded %d documents into %d shards under %s in %.1fs\n"
+      (List.length docs) shards dir
+      (Unix.gettimeofday () -. t0)
+  in
+  Cmd.v (Cmd.info "create" ~doc:"Partition a collection into shard indexes")
+    Term.(const run $ src $ shard_dir_arg $ shards $ alias)
+
+let shard_query_cmd =
+  let nexi = Arg.(required & pos 0 (some string) None & info [] ~docv:"NEXI") in
+  let k = Arg.(value & opt int 10 & info [ "k" ] ~doc:"answers to return") in
+  let method_ =
+    Arg.(value & opt (some string) None & info [ "method" ] ~doc:"era|ta|ita|merge")
+  in
+  let strict = Arg.(value & flag & info [ "strict" ] ~doc:"strict interpretation") in
+  let deadline_ms =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ]
+             ~doc:"wall-clock budget for the whole scatter-gather; shards \
+                   reached after expiry are skipped (exit 3)")
+  in
+  let page_budget =
+    Arg.(value & opt (some int) None
+         & info [ "page-budget" ] ~doc:"page-read budget for the whole query (exit 3)")
+  in
+  let run dir nexi k method_ strict deadline_ms page_budget =
+    let m =
+      Option.map
+        (function
+          | "era" -> Trex.Strategy.Era_method
+          | "ta" -> Trex.Strategy.Ta_method
+          | "ita" -> Trex.Strategy.Ita_method
+          | "merge" -> Trex.Strategy.Merge_method
+          | other -> failwith (Printf.sprintf "unknown method %S" other))
+        method_
+    in
+    let t = Shard.open_ dir in
+    let r = Shard.query t ~k ?method_:m ~strict ?deadline_ms ?page_budget nexi in
+    Printf.printf "%d answers from %d shard(s)\n" (List.length r.answers)
+      (List.length r.reports);
+    List.iter
+      (fun (s : Shard.shard_report) ->
+        Printf.printf "  %s: %s %d entries %.2f ms kept=%d floor=%.4f\n" s.r_shard
+          (match s.r_method with
+          | Some m -> Trex.Strategy.method_to_string m
+          | None -> "-")
+          s.r_entries_read
+          (s.r_elapsed_seconds *. 1000.0)
+          s.r_kept s.r_floor)
+      r.reports;
+    List.iteri
+      (fun i (e : Trex.Answer.entry) ->
+        Printf.printf "%2d. [%.4f] doc=%d sid=%d end=%d\n" (i + 1) e.score
+          e.element.Trex.Types.docid e.element.Trex.Types.sid
+          e.element.Trex.Types.endpos)
+      r.answers;
+    if r.degraded then begin
+      Printf.printf "DEGRADED: answers are a sound ranking of the surviving shards\n";
+      List.iter
+        (fun (name, reason) -> Printf.printf "  missing %s: %s\n" name reason)
+        r.degraded_shards
+    end;
+    Shard.close t;
+    if r.degraded then exit 3
+  in
+  Cmd.v (Cmd.info "query" ~doc:"Scatter-gather a NEXI query across the shards")
+    Term.(const run $ shard_dir_arg $ nexi $ k $ method_ $ strict $ deadline_ms
+          $ page_budget)
+
+let shard_health_cmd =
+  let run dir =
+    let t = Shard.open_ dir in
+    let rows = Shard.health t in
+    List.iter
+      (fun (h : Shard.health) ->
+        Printf.printf "%s: docids %d..%d %s breaker=%s%s\n" h.h_shard h.h_base
+          (h.h_base + h.h_docs - 1)
+          (if h.h_attached then "attached" else "QUARANTINED")
+          (Trex.Breaker.state_to_string h.h_breaker)
+          (match h.h_note with Some n -> " (" ^ n ^ ")" | None -> ""))
+      rows;
+    List.iter (Printf.printf "unresolved: %s\n") (Shard.unresolved t);
+    let unresolved = Shard.unresolved t <> [] in
+    let quarantined = List.exists (fun (h : Shard.health) -> not h.h_attached) rows in
+    let open_breaker =
+      List.exists (fun (h : Shard.health) -> h.h_breaker = Trex.Breaker.Open) rows
+    in
+    Shard.close t;
+    if unresolved || quarantined then exit 2 else if open_breaker then exit 4
+  in
+  Cmd.v
+    (Cmd.info "health"
+       ~doc:"Report shard map, attachment and breaker state (exit 2 quarantined, 4 open breaker)")
+    Term.(const run $ shard_dir_arg)
+
+let shard_rebalance_cmd =
+  let split =
+    Arg.(value & opt (some string) None & info [ "split" ] ~doc:"shard to split in two")
+  in
+  let merge =
+    Arg.(value & opt (some string) None
+         & info [ "merge" ] ~doc:"two adjacent shards to merge, as A,B")
+  in
+  let crash_at =
+    Arg.(value & opt (some string) None
+         & info [ "crash-at" ]
+             ~doc:"test hook: simulate a crash at this rebalance point (e.g. \
+                   rebalance:committed)")
+  in
+  let run dir split merge crash_at =
+    let t = Shard.open_ dir in
+    if Shard.unresolved t <> [] then begin
+      List.iter (Printf.printf "unresolved: %s\n") (Shard.unresolved t);
+      Shard.close t;
+      exit 2
+    end;
+    (match crash_at with
+    | Some point ->
+        Shard.set_op_hook t
+          (Some
+             (fun p ->
+               if p = point then
+                 raise (Trex_storage.Pager.Injected_crash ("crash-at " ^ point))))
+    | None -> ());
+    (try
+       match (split, merge) with
+       | Some name, None ->
+           let a, b = Shard.split t name in
+           Printf.printf "split %s -> %s (%d docs) + %s (%d docs)\n" name a.name
+             a.docs b.name b.docs
+       | None, Some pair -> (
+           match String.split_on_char ',' pair with
+           | [ a; b ] ->
+               let m = Shard.merge t (String.trim a) (String.trim b) in
+               Printf.printf "merged %s -> %s (%d docs)\n" pair m.name m.docs
+           | _ -> failwith "merge expects two shard names: A,B")
+       | _ -> failwith "rebalance needs exactly one of --split or --merge"
+     with Trex_storage.Pager.Injected_crash note ->
+       (* The simulated crash abandons everything unflushed, like the
+          real thing; the next open resolves the pending operation. *)
+       Shard.abort t;
+       Printf.printf "simulated crash: %s\n" note;
+       exit 1);
+    Shard.close t
+  in
+  Cmd.v
+    (Cmd.info "rebalance"
+       ~doc:"Split or merge shards through the crash-atomic manifest protocol")
+    Term.(const run $ shard_dir_arg $ split $ merge $ crash_at)
+
+let shard_cmd =
+  Cmd.group
+    (Cmd.info "shard" ~doc:"Sharded scatter-gather coordinator")
+    [ shard_create_cmd; shard_query_cmd; shard_health_cmd; shard_rebalance_cmd ]
+
 let () =
   let doc = "TReX: self-managing top-k (summary, keyword) indexes for XML retrieval" in
   let info = Cmd.info "trex" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; index_cmd; add_cmd; query_cmd; materialize_cmd; stats_cmd; advise_cmd; vacuum_cmd; verify_cmd; health_cmd; journal_cmd; autopilot_cmd; xpath_cmd ]))
+          [ gen_cmd; index_cmd; add_cmd; query_cmd; materialize_cmd; stats_cmd; advise_cmd; vacuum_cmd; verify_cmd; health_cmd; journal_cmd; autopilot_cmd; xpath_cmd; shard_cmd ]))

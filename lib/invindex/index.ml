@@ -14,17 +14,26 @@ type stats = {
   posting_count : int;
 }
 
+type scoring_overrides = {
+  corpus_doc_count : int;
+  corpus_avg_element_length : float;
+  global_df : string -> int option;
+}
+
 type t = {
   env : Env.t;
   summary : Summary.t;
   analyzer : Analyzer.config;
   mutable stats : stats;
+  mutable overrides : scoring_overrides option;
 }
 
 let env t = t.env
 let summary t = t.summary
 let analyzer t = t.analyzer
 let stats t = t.stats
+let set_scoring_overrides t o = t.overrides <- Some o
+let clear_scoring_overrides t = t.overrides <- None
 
 (* ---- metadata (de)serialization ---- *)
 
@@ -232,7 +241,7 @@ let build ~env ~summary ?(analyzer = Analyzer.default) docs =
   Bptree.insert meta ~key:(meta_key "analyzer") ~value:(encode_analyzer analyzer);
   Bptree.insert meta ~key:(meta_key "stats") ~value:(encode_stats stats);
   Env.flush env;
-  { env; summary; analyzer; stats }
+  { env; summary; analyzer; stats; overrides = None }
 
 let attach env =
   let meta = Env.table env Tables.meta_table in
@@ -246,6 +255,7 @@ let attach env =
     summary = Summary.of_string (get "summary");
     analyzer = decode_analyzer (get "analyzer");
     stats = decode_stats (get "stats");
+    overrides = None;
   }
 
 (* ---- lookups ---- *)
@@ -254,6 +264,30 @@ let term_stats t token =
   match Bptree.find (Env.table t.env Tables.Terms.name) (Codec.key_of_string token) with
   | Some v -> Some (Tables.Terms.decode (Codec.key_of_string token) v)
   | None -> None
+
+(* Override-aware scoring statistics: a sharded coordinator installs
+   corpus-wide doc_count / avg_element_length / df so every shard
+   scores exactly as the single-env index would; standalone indexes
+   fall through to their own tables. *)
+let scoring_corpus t =
+  match t.overrides with
+  | Some o -> (o.corpus_doc_count, o.corpus_avg_element_length)
+  | None -> (t.stats.doc_count, t.stats.avg_element_length)
+
+let term_df t token =
+  let local () =
+    match term_stats t token with
+    | Some row -> row.Tables.Terms.df
+    | None -> 0
+  in
+  match t.overrides with
+  | Some o -> ( match o.global_df token with Some df -> df | None -> local ())
+  | None -> local ()
+
+let iter_terms t f =
+  Bptree.iter (Env.table t.env Tables.Terms.name) (fun k v ->
+      let row = Tables.Terms.decode k v in
+      f row.Tables.Terms.token ~df:row.Tables.Terms.df ~cf:row.Tables.Terms.cf)
 
 let normalize_term t raw = Analyzer.normalize t.analyzer raw
 

@@ -64,6 +64,39 @@ val stats : t -> stats
 val term_stats : t -> string -> Tables.Terms.row option
 (** Lookup by {e normalized} term. *)
 
+(** {1 Scoring statistics}
+
+    Relevance scoring must use corpus-wide statistics even when this
+    index holds only one shard of a partitioned corpus. A coordinator
+    installs overrides at open time; all scoring flows through
+    {!scoring_corpus} and {!term_df}, so overridden statistics cover
+    every strategy and RPL build uniformly. The overrides are in-memory
+    only — they never touch {!stats} (whose [doc_count] also allocates
+    the next local docid in {!add_document}). *)
+
+type scoring_overrides = {
+  corpus_doc_count : int;
+  corpus_avg_element_length : float;
+  global_df : string -> int option;
+      (** corpus-wide document frequency of a normalized term; [None]
+          falls back to this index's own Terms row *)
+}
+
+val set_scoring_overrides : t -> scoring_overrides -> unit
+val clear_scoring_overrides : t -> unit
+
+val scoring_corpus : t -> int * float
+(** (doc_count, avg_element_length) to score against: the overrides
+    when installed, this index's {!stats} otherwise. *)
+
+val term_df : t -> string -> int
+(** Document frequency to score with (overridden or local; 0 for an
+    unknown term). *)
+
+val iter_terms : t -> (string -> df:int -> cf:int -> unit) -> unit
+(** Enumerate the Terms table in token order (for a coordinator
+    summing per-shard document frequencies). *)
+
 val normalize_term : t -> string -> string option
 (** Push a raw query token through the index's analyzer. *)
 

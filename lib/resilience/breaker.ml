@@ -13,6 +13,11 @@ type t = {
   mutable consecutive_failures : int;
   mutable opened_at : float;
   mutable last_reason : string option;
+  mutable probe_inflight : bool;
+      (* Half_open has admitted a probe whose outcome is unresolved;
+         further callers are rejected until record_success/record_failure
+         (or trip) settles it, so an abandoned probe cannot leak the
+         half-open slot. *)
 }
 
 let create ?(failure_threshold = 3) ?(cooldown_s = 30.0) name =
@@ -24,6 +29,7 @@ let create ?(failure_threshold = 3) ?(cooldown_s = 30.0) name =
     consecutive_failures = 0;
     opened_at = 0.0;
     last_reason = None;
+    probe_inflight = false;
   }
 
 let name t = t.name
@@ -43,7 +49,8 @@ let trip t ~reason =
   if t.state <> Open then Metrics.incr m_trips;
   t.state <- Open;
   t.opened_at <- Unix.gettimeofday ();
-  t.last_reason <- Some reason
+  t.last_reason <- Some reason;
+  t.probe_inflight <- false
 
 let record_failure t ~reason =
   t.consecutive_failures <- t.consecutive_failures + 1;
@@ -56,14 +63,30 @@ let record_failure t ~reason =
 let record_success t =
   if t.state <> Closed then Metrics.incr m_closes;
   t.state <- Closed;
-  t.consecutive_failures <- 0
+  t.consecutive_failures <- 0;
+  t.probe_inflight <- false
 
 let allow t =
   match t.state with
-  | Closed | Half_open -> true
+  | Closed -> true
+  | Half_open ->
+      if t.probe_inflight then false
+      else begin
+        t.probe_inflight <- true;
+        true
+      end
   | Open ->
       if Unix.gettimeofday () -. t.opened_at >= t.cooldown_s then begin
         t.state <- Half_open;
+        t.probe_inflight <- true;
         true
       end
       else false
+
+let probing t = t.state = Half_open && t.probe_inflight
+
+let ready t =
+  match t.state with
+  | Closed -> true
+  | Half_open -> not t.probe_inflight
+  | Open -> Unix.gettimeofday () -. t.opened_at >= t.cooldown_s

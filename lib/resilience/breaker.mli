@@ -26,7 +26,20 @@ val state : t -> state
 val allow : t -> bool
 (** Whether a caller may use the resource now. Closed: yes. Open: no,
     unless the cooldown has elapsed, in which case the breaker moves to
-    Half_open and admits this caller as the probe. Half_open: yes. *)
+    Half_open and admits this caller as the single probe. Half_open:
+    only if no probe is in flight — the admitted caller owns the probe
+    slot until {!record_success} closes the circuit or
+    {!record_failure}/{!trip} re-opens it, so a probe that dies without
+    reporting (e.g. its guard budget expires and the caller walks away)
+    must be failed explicitly or the slot stays taken. *)
+
+val probing : t -> bool
+(** A half-open probe has been admitted and not yet resolved. *)
+
+val ready : t -> bool
+(** Whether {!allow} would admit a caller right now, {e without} taking
+    the probe slot — the planning-time check. Callers that will
+    actually touch the resource must still call {!allow}. *)
 
 val trip : t -> reason:string -> unit
 (** Open the circuit immediately (corruption, retry exhaustion). *)

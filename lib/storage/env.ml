@@ -231,9 +231,30 @@ let table_available t name =
   &&
   match Hashtbl.find_opt t.breakers name with
   | None -> true
+  | Some b -> Breaker.ready b
+
+(* Consuming admission: an open breaker past its cooldown (or an idle
+   half-open one) hands this caller the single probe slot, which the
+   caller must resolve via [note_table_success] or [fail_table] /
+   [trip_table]. Planning uses [table_available] and never consumes. *)
+let admit_table t name =
+  (not (Hashtbl.mem t.blocked name))
+  &&
+  match Hashtbl.find_opt t.breakers name with
+  | None -> true
   | Some b -> Breaker.allow b
 
+let table_probing t name =
+  match Hashtbl.find_opt t.breakers name with
+  | None -> false
+  | Some b -> Breaker.probing b
+
 let trip_table t name ~reason = Breaker.trip (breaker t name) ~reason
+
+let fail_table t name ~reason =
+  match Hashtbl.find_opt t.breakers name with
+  | None -> ()
+  | Some b -> Breaker.record_failure b ~reason
 
 let note_table_success t name =
   match Hashtbl.find_opt t.breakers name with

@@ -136,13 +136,27 @@ val breaker_states : t -> (string * Trex_resilience.Breaker.state) list
     sorted by table name. *)
 
 val table_available : t -> string -> bool
-(** Whether queries may rely on the table now: true when it has no
-    breaker or its breaker admits the caller ({!Trex_resilience.Breaker.allow} —
-    so the first caller after a cooldown is admitted as the half-open
-    probe). *)
+(** Whether queries could rely on the table now: true when it is not
+    manifest-blocked and has no breaker, or its breaker is
+    {!Trex_resilience.Breaker.ready}. Planning-time check — never
+    consumes the half-open probe slot. *)
+
+val admit_table : t -> string -> bool
+(** Consuming admission for a caller about to touch the table: like
+    {!table_available}, but an admitted caller on a half-open breaker
+    takes the single probe slot ({!Trex_resilience.Breaker.allow}) and
+    must resolve it with {!note_table_success}, {!fail_table} or
+    {!trip_table}. *)
+
+val table_probing : t -> string -> bool
+(** The table's breaker has an unresolved half-open probe in flight. *)
 
 val trip_table : t -> string -> reason:string -> unit
 (** Open the table's breaker immediately. *)
+
+val fail_table : t -> string -> reason:string -> unit
+(** Count a failure with the table's breaker (re-opens a half-open
+    probe; no-op when the table never failed before). *)
 
 val note_table_success : t -> string -> unit
 (** Record a successful use; closes a half-open breaker. *)

@@ -1,4 +1,4 @@
-module Crc32 = Trex_util.Crc32
+module Framing = Trex_util.Framing
 module Metrics = Trex_obs.Metrics
 module Json = Trex_obs.Json
 
@@ -41,10 +41,6 @@ type pending = {
 }
 
 let magic = "TREXMF1\n"
-let magic_len = String.length magic
-
-(* A length field above this is a corrupt header, not a huge record. *)
-let max_payload = 1 lsl 24
 
 type op_state = {
   mutable s_op : string;
@@ -265,65 +261,16 @@ let apply_record t r =
       | Some s -> s.s_resolved <- true
       | None -> Metrics.incr m_corrupt)
 
-(* ------------------------------------------------------------------ *)
-(* Framing (same discipline as the query journal)                      *)
-
-let frame payload =
-  let len = String.length payload in
-  let b = Bytes.create (8 + len) in
-  Bytes.set_int32_le b 0 (Int32.of_int len);
-  Bytes.set_int32_le b 4 (Crc32.string payload);
-  Bytes.blit_string payload 0 b 8 len;
-  b
-
-(* Sweep [contents] (already past the magic): valid records oldest
-   first, corrupt-frame count, offset where the valid region ends, and
-   whether the tail was torn. *)
-let scan contents =
-  let n = String.length contents in
-  let records = ref [] in
-  let corrupt = ref 0 in
-  let rec go pos =
-    if pos = n then (pos, false)
-    else if pos + 8 > n then (pos, true) (* torn header *)
-    else
-      let len = Int32.to_int (String.get_int32_le contents pos) in
-      let crc = String.get_int32_le contents (pos + 4) in
-      if len < 0 || len > max_payload then (pos, true) (* corrupt header *)
-      else if pos + 8 + len > n then (pos, true) (* torn payload *)
-      else begin
-        let payload = String.sub contents (pos + 8) len in
-        (if Crc32.string payload <> crc then incr corrupt
-         else
-           match record_of_json (Json.parse payload) with
-           | Some r -> records := r :: !records
-           | None -> incr corrupt
-           | exception Json.Parse_error _ -> incr corrupt);
-        go (pos + 8 + len)
-      end
-  in
-  let valid_end, torn = go 0 in
-  (List.rev !records, !corrupt, valid_end, torn)
+(* Framed-payload codec for {!Trex_util.Framing} (same on-disk
+   discipline as the query journal): undecodable JSON is a corrupt
+   frame. *)
+let decode payload =
+  match record_of_json (Json.parse payload) with
+  | r -> r
+  | exception Json.Parse_error _ -> None
 
 (* ------------------------------------------------------------------ *)
 (* Lifecycle                                                           *)
-
-let read_all fd =
-  let size = (Unix.fstat fd).Unix.st_size in
-  let b = Bytes.create size in
-  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
-  let rec fill off =
-    if off < size then
-      match Unix.read fd b off (size - off) with 0 -> off | n -> fill (off + n)
-    else off
-  in
-  let got = fill 0 in
-  Bytes.sub_string b 0 got
-
-let write_all fd b =
-  let len = Bytes.length b in
-  let rec go off = if off < len then go (off + Unix.write fd b off (len - off)) in
-  go 0
 
 let make backend records =
   let t =
@@ -350,40 +297,11 @@ let make backend records =
 let in_memory () = make Mem []
 
 let open_file file_path =
-  let fd = Unix.openfile file_path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
-  let contents = read_all fd in
-  let records =
-    if contents = "" then begin
-      write_all fd (Bytes.of_string magic);
-      []
-    end
-    else if
-      String.length contents < magic_len || String.sub contents 0 magic_len <> magic
-    then begin
-      (* Not a manifest we wrote (or a magic torn mid-write): nothing
-         salvageable, start over. *)
-      Metrics.incr m_corrupt;
-      Unix.ftruncate fd 0;
-      ignore (Unix.lseek fd 0 Unix.SEEK_SET);
-      write_all fd (Bytes.of_string magic);
-      []
-    end
-    else begin
-      let body =
-        String.sub contents magic_len (String.length contents - magic_len)
-      in
-      let records, corrupt, valid_end, torn = scan body in
-      Metrics.add m_corrupt corrupt;
-      Metrics.add m_recovered (List.length records);
-      if torn then begin
-        Metrics.incr m_torn;
-        Unix.ftruncate fd (magic_len + valid_end)
-      end;
-      records
-    end
-  in
-  ignore (Unix.lseek fd 0 Unix.SEEK_END);
-  make (File { fd; file_path }) records
+  let swept = Framing.open_file ~magic ~decode file_path in
+  Metrics.add m_corrupt swept.Framing.corrupt;
+  Metrics.add m_recovered (List.length swept.Framing.records);
+  if swept.Framing.torn then Metrics.incr m_torn;
+  make (File { fd = swept.Framing.fd; file_path }) swept.Framing.records
 
 let path t = match t.backend with Mem -> None | File f -> Some f.file_path
 let records t = List.rev t.stored
@@ -400,7 +318,7 @@ let append t r =
   if t.closed then invalid_arg "Manifest.append: manifest is closed";
   (match t.backend with
   | Mem -> ()
-  | File { fd; _ } -> write_all fd (frame (Json.to_string (record_to_json r))));
+  | File { fd; _ } -> Framing.append fd (Json.to_string (record_to_json r)));
   apply_record t r;
   t.stored <- r :: t.stored;
   t.count <- t.count + 1;
@@ -438,10 +356,8 @@ let compact t =
     (match t.backend with
     | Mem -> ()
     | File { fd; _ } ->
-        Unix.ftruncate fd 0;
-        ignore (Unix.lseek fd 0 Unix.SEEK_SET);
-        write_all fd (Bytes.of_string magic);
-        write_all fd (frame (Json.to_string (record_to_json checkpoint)));
+        Framing.reset ~magic fd;
+        Framing.append fd (Json.to_string (record_to_json checkpoint));
         Unix.fsync fd);
     Hashtbl.reset t.ops;
     t.order <- [];

@@ -13,6 +13,8 @@ let of_unsorted items =
   |> List.map (fun (element, score) -> { element; score })
   |> List.sort compare_entry
 
+let merge lists = List.sort compare_entry (List.concat lists)
+
 let rec top_k t k =
   if k <= 0 then []
   else match t with [] -> [] | e :: rest -> e :: top_k rest (k - 1)

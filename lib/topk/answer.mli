@@ -7,6 +7,11 @@ type t = entry list
     returns the same ranking. *)
 
 val of_unsorted : (Trex_invindex.Types.element * float) list -> t
+
+val merge : t list -> t
+(** Merge already-sorted answer lists into one ranking (descending
+    score, document-order tie-break) — the scatter-gather combine. *)
+
 val top_k : t -> int -> t
 val size : t -> int
 

@@ -108,19 +108,12 @@ let run ?guard index ~sids ~terms =
   end
 
 let term_weight index ~scoring ~corpus term element_length tf =
-  let df =
-    match Index.term_stats index term with
-    | Some row -> row.Trex_invindex.Tables.Terms.df
-    | None -> 0
-  in
+  let df = Index.term_df index term in
   Scorer.score scoring ~corpus ~df ~tf ~element_length
 
 let corpus_of index =
-  let stats = Index.stats index in
-  {
-    Scorer.doc_count = stats.doc_count;
-    avg_element_length = stats.avg_element_length;
-  }
+  let doc_count, avg_element_length = Index.scoring_corpus index in
+  { Scorer.doc_count; avg_element_length }
 
 let score_results index ~scoring ~terms results =
   let corpus = corpus_of index in

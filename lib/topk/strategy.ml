@@ -45,7 +45,7 @@ type outcome = {
   detail : string;
 }
 
-let evaluate_inner index ~scoring ~sids ~terms ~k ?guard method_ =
+let evaluate_inner index ~scoring ~sids ~terms ~k ?guard ?floor method_ =
   match method_ with
   | Era_method ->
       let clock = Stopclock.create () in
@@ -63,7 +63,9 @@ let evaluate_inner index ~scoring ~sids ~terms ~k ?guard method_ =
       }
   | Ta_method | Ita_method ->
       let ideal_heap = method_ = Ita_method in
-      let answers, stats = Ta.run index ~sids ~terms ~k ~ideal_heap ?guard () in
+      let answers, stats =
+        Ta.run index ~sids ~terms ~k ~ideal_heap ?floor ?guard ()
+      in
       {
         method_used = method_;
         answers;
@@ -125,7 +127,7 @@ let with_journal index ~sids ~terms ~k ~summary run =
         result)
   end
 
-let evaluate index ~scoring ~sids ~terms ~k ?guard method_ =
+let evaluate index ~scoring ~sids ~terms ~k ?guard ?floor method_ =
   let name = method_to_string method_ in
   with_journal index ~sids ~terms ~k
     ~summary:(fun o -> (o, 0))
@@ -133,7 +135,8 @@ let evaluate index ~scoring ~sids ~terms ~k ?guard method_ =
       let outcome =
         Span.with_ ~name:("eval." ^ name)
           ~attrs:[ ("strategy", name); ("k", string_of_int k) ]
-          (fun () -> evaluate_inner index ~scoring ~sids ~terms ~k ?guard method_)
+          (fun () ->
+            evaluate_inner index ~scoring ~sids ~terms ~k ?guard ?floor method_)
       in
       Metrics.incr (Metrics.counter ("strategy.runs." ^ name));
       if outcome.degraded then Metrics.incr m_degraded_runs;
@@ -200,7 +203,8 @@ let choose index ~sids ~terms ~k =
 
 type failover = { failed : method_; error : string }
 
-let evaluate_resilient index ~scoring ~sids ~terms ~k ?guard ?method_ () =
+let evaluate_resilient index ~scoring ~sids ~terms ~k ?guard ?floor ?method_ ()
+    =
   let env = Trex_invindex.Index.env index in
   (* A failure inside a redundant-index method trips that method's
      tables and re-plans over the survivors, so TA falls back to Merge
@@ -212,18 +216,40 @@ let evaluate_resilient index ~scoring ~sids ~terms ~k ?guard ?method_ () =
     let m =
       match forced with Some m -> m | None -> choose index ~sids ~terms ~k
     in
-    match evaluate index ~scoring ~sids ~terms ~k ?guard m with
+    let tables = tables_of_method m in
+    (* Consuming admission: a half-open table hands this evaluation its
+       single probe slot. Remember which tables are probing so every
+       exit path resolves the slot — a degraded run or an escaped guard
+       abort fails the probe (re-opening the breaker) instead of
+       leaking it half-open forever. *)
+    List.iter (fun tbl -> ignore (Env.admit_table env tbl)) tables;
+    let probes = List.filter (Env.table_probing env) tables in
+    let fail_probes reason =
+      List.iter (fun tbl -> Env.fail_table env tbl ~reason) probes
+    in
+    match evaluate index ~scoring ~sids ~terms ~k ?guard ?floor m with
     | outcome ->
-        List.iter (Env.note_table_success env) (tables_of_method m);
+        if outcome.degraded && probes <> [] then begin
+          (* The probe proved nothing: the budget expired before the
+             table served a complete run. Re-open rather than close on
+             an unverified table. *)
+          fail_probes "half-open probe expired its budget (degraded run)";
+          List.iter
+            (fun tbl ->
+              if not (List.mem tbl probes) then Env.note_table_success env tbl)
+            tables
+        end
+        else List.iter (Env.note_table_success env) tables;
         (outcome, List.rev failovers)
     | exception ((Pager.Corruption _ | Retry.Exhausted _ | Rpl.Stale_generation _) as e)
-      when tables_of_method m <> [] ->
+      when tables <> [] ->
         let error = Printexc.to_string e in
-        List.iter
-          (fun tbl -> Env.trip_table env tbl ~reason:error)
-          (tables_of_method m);
+        List.iter (fun tbl -> Env.trip_table env tbl ~reason:error) tables;
         Metrics.incr m_fallbacks;
         go None ({ failed = m; error } :: failovers)
+    | exception (Guard.Budget_exceeded _ as e) ->
+        fail_probes "half-open probe aborted by guard budget";
+        raise e
   in
   with_journal index ~sids ~terms ~k
     ~summary:(fun (o, fos) -> (o, List.length fos))

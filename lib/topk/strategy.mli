@@ -39,9 +39,14 @@ val evaluate :
   terms:string list ->
   k:int ->
   ?guard:Trex_resilience.Guard.t ->
+  ?floor:float ->
   method_ ->
   outcome
-(** @raise Rpl.Cursor.Missing_list when the method's indexes are not
+(** [floor] is a score k answers are already known to achieve elsewhere
+    (the sharded coordinator's global k-th score); only TA/ITA consume
+    it — see {!Ta.run} — the other methods compute complete answers
+    that the caller filters.
+    @raise Rpl.Cursor.Missing_list when the method's indexes are not
     materialized. *)
 
 val available : Trex_invindex.Index.t -> sids:int list -> terms:string list -> method_ list
@@ -58,6 +63,7 @@ val evaluate_resilient :
   terms:string list ->
   k:int ->
   ?guard:Trex_resilience.Guard.t ->
+  ?floor:float ->
   ?method_:method_ ->
   unit ->
   outcome * failover list
@@ -67,9 +73,13 @@ val evaluate_resilient :
     inside a redundant-index method trips that method's tables' breakers and
     re-plans over the surviving methods — TA falls back to Merge falls
     back to ERA — recording one {!failover} per abandoned method and
-    bumping ["resilience.fallbacks"]. A success records itself with the
-    method's breakers (closing a half-open probe). ERA failures
-    propagate: the base tables have no redundant substitute. *)
+    bumping ["resilience.fallbacks"]. A complete success records itself
+    with the method's breakers (closing a half-open probe); when the
+    evaluation was a half-open table's probe and it either came back
+    degraded or was aborted by {!Trex_resilience.Guard.Budget_exceeded},
+    the probe is {e failed} — the breaker re-opens instead of leaking
+    the probe slot. ERA failures propagate: the base tables have no
+    redundant substitute. *)
 
 val choose :
   Trex_invindex.Index.t -> sids:int list -> terms:string list -> k:int -> method_

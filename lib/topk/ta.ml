@@ -59,7 +59,7 @@ type term_stream = {
 }
 
 let run index ~sids ~terms ~k ?(ideal_heap = false) ?(use_full_rpls = false)
-    ?guard () =
+    ?(floor = 0.0) ?guard () =
   if k <= 0 then invalid_arg "Ta.run: k must be positive";
   if terms = [] then invalid_arg "Ta.run: no terms";
   let clock = Stopclock.create () in
@@ -230,8 +230,16 @@ let run index ~sids ~terms ~k ?(ideal_heap = false) ?(use_full_rpls = false)
          if !until_next_check <= 0 then begin
            until_next_check := check_interval;
            let tau = threshold () in
-           let w = current_w () in
-           if !live_count >= k && w >= tau && not (some_candidate_can_beat w)
+           (* The floor acts as a k-th score already achieved elsewhere
+              (scatter-gather): entries at or below it cannot enter the
+              global top-k, so stopping is sound as soon as neither the
+              threshold nor any partial candidate can exceed
+              [max w floor] — even before k candidates are live. *)
+           let w = Float.max (current_w ()) floor in
+           if
+             (!live_count >= k || floor > 0.0)
+             && w >= tau
+             && not (some_candidate_can_beat w)
            then begin
              stopped_early := true;
              running := false
@@ -245,8 +253,12 @@ let run index ~sids ~terms ~k ?(ideal_heap = false) ?(use_full_rpls = false)
      if (not !stopped_early) && Array.exists (fun c -> c.bound > 0.0) cursors
      then begin
        let tau = threshold () in
-       let w = current_w () in
-       if not (!live_count >= k && w >= tau && not (some_candidate_can_beat w))
+       let w = Float.max (current_w ()) floor in
+       if
+         not
+           ((!live_count >= k || floor > 0.0)
+           && w >= tau
+           && not (some_candidate_can_beat w))
        then raise Truncated_rpl
      end
    with Guard.Budget_exceeded _ -> degraded := true);

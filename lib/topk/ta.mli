@@ -43,6 +43,7 @@ val run :
   k:int ->
   ?ideal_heap:bool ->
   ?use_full_rpls:bool ->
+  ?floor:float ->
   ?guard:Trex_resilience.Guard.t ->
   unit ->
   Answer.t * stats
@@ -52,6 +53,14 @@ val run :
     [use_full_rpls] it consumes each term's full RPL and {e skips}
     foreign-sid entries — the paper's original access pattern (§3.3),
     materialized by {!Rpl.Full.build}.
+
+    [floor] (default 0) is a score known to be achieved by k answers
+    elsewhere — the sharded coordinator's current global k-th score.
+    The run may stop as soon as neither the threshold nor any partial
+    candidate can exceed [floor]: every returned entry scoring
+    {e strictly above} [floor] is exact and complete, while entries at
+    or below it may be partial sums (their true rank is outside the
+    global top-k, so scatter-gather filters them out).
 
     [guard] is ticked on every cursor advance and heap operation; on
     expiry the run returns the current candidates' partial-sum top-k

@@ -1,0 +1,96 @@
+type 'a swept = {
+  fd : Unix.file_descr;
+  records : 'a list;
+  corrupt : int;
+  torn : bool;
+}
+
+(* A length field above this is a corrupt header, not a huge record. *)
+let max_payload = 1 lsl 24
+
+let frame payload =
+  let len = String.length payload in
+  let b = Bytes.create (8 + len) in
+  Bytes.set_int32_le b 0 (Int32.of_int len);
+  Bytes.set_int32_le b 4 (Crc32.string payload);
+  Bytes.blit_string payload 0 b 8 len;
+  b
+
+let scan ~decode contents =
+  let n = String.length contents in
+  let records = ref [] in
+  let corrupt = ref 0 in
+  let rec go pos =
+    if pos = n then (pos, false)
+    else if pos + 8 > n then (pos, true) (* torn header *)
+    else
+      let len = Int32.to_int (String.get_int32_le contents pos) in
+      let crc = String.get_int32_le contents (pos + 4) in
+      if len < 0 || len > max_payload then (pos, true) (* corrupt header *)
+      else if pos + 8 + len > n then (pos, true) (* torn payload *)
+      else begin
+        let payload = String.sub contents (pos + 8) len in
+        (if Crc32.string payload <> crc then incr corrupt
+         else
+           match decode payload with
+           | Some r -> records := r :: !records
+           | None -> incr corrupt);
+        go (pos + 8 + len)
+      end
+  in
+  let valid_end, torn = go 0 in
+  (List.rev !records, !corrupt, valid_end, torn)
+
+let read_all fd =
+  let size = (Unix.fstat fd).Unix.st_size in
+  let b = Bytes.create size in
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  let rec fill off =
+    if off < size then
+      match Unix.read fd b off (size - off) with 0 -> off | n -> fill (off + n)
+    else off
+  in
+  let got = fill 0 in
+  Bytes.sub_string b 0 got
+
+let write_all fd b =
+  let len = Bytes.length b in
+  let rec go off = if off < len then go (off + Unix.write fd b off (len - off)) in
+  go 0
+
+let reset ~magic fd =
+  Unix.ftruncate fd 0;
+  ignore (Unix.lseek fd 0 Unix.SEEK_SET);
+  write_all fd (Bytes.of_string magic)
+
+let append fd payload = write_all fd (frame payload)
+
+let open_file ~magic ~decode path =
+  let magic_len = String.length magic in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+  let contents = read_all fd in
+  let swept =
+    if contents = "" then begin
+      write_all fd (Bytes.of_string magic);
+      { fd; records = []; corrupt = 0; torn = false }
+    end
+    else if
+      String.length contents < magic_len
+      || String.sub contents 0 magic_len <> magic
+    then begin
+      (* Not a file we wrote (or a magic torn mid-write): there is no
+         valid prefix to preserve, so start the file over. *)
+      reset ~magic fd;
+      { fd; records = []; corrupt = 1; torn = false }
+    end
+    else begin
+      let body =
+        String.sub contents magic_len (String.length contents - magic_len)
+      in
+      let records, corrupt, valid_end, torn = scan ~decode body in
+      if torn then Unix.ftruncate fd (magic_len + valid_end);
+      { fd; records; corrupt; torn }
+    end
+  in
+  ignore (Unix.lseek fd 0 Unix.SEEK_END);
+  swept

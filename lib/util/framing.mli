@@ -1,0 +1,50 @@
+(** Append-only CRC32-framed record files — the shared on-disk
+    discipline of the query journal and the operation manifest.
+
+    Layout: a fixed magic string, then frames of
+    [u32 payload-length LE | u32 CRC32(payload) LE | payload]. The
+    reader skips frames whose CRC rejects the payload (corrupt) and
+    truncates the file at the first frame that runs past EOF (torn
+    tail), so a crash mid-append never poisons later appends.
+
+    The module is payload-agnostic: callers supply a [decode] that
+    parses one payload (returning [None] for undecodable ones, which
+    count as corrupt) and keep their own metric counters. *)
+
+type 'a swept = {
+  fd : Unix.file_descr;  (** positioned at EOF, ready to append *)
+  records : 'a list;  (** decoded records, oldest first *)
+  corrupt : int;  (** frames dropped: bad magic, bad CRC, undecodable *)
+  torn : bool;  (** a torn tail was truncated away *)
+}
+
+val open_file :
+  magic:string -> decode:(string -> 'a option) -> string -> 'a swept
+(** Open (creating if absent) and sweep a framed file. An empty file
+    gains the magic; a file with a foreign or torn magic is restarted
+    from scratch (counted as one corrupt record); a torn tail is
+    truncated to the last whole frame. *)
+
+val frame : string -> bytes
+(** One encoded frame: 8-byte header then the payload. *)
+
+val append : Unix.file_descr -> string -> unit
+(** Append one framed payload at the current offset (not synced). *)
+
+val reset : magic:string -> Unix.file_descr -> unit
+(** Truncate to zero and rewrite the magic (for compaction). *)
+
+val scan :
+  decode:(string -> 'a option) -> string -> 'a list * int * int * bool
+(** [scan ~decode body] sweeps frames in [body] (already past the
+    magic): decoded records oldest first, corrupt-frame count, byte
+    offset where the valid region ends, and whether the tail was
+    torn. *)
+
+val read_all : Unix.file_descr -> string
+(** Whole file contents from offset 0. *)
+
+val write_all : Unix.file_descr -> bytes -> unit
+
+val max_payload : int
+(** Frames claiming a longer payload are treated as corrupt headers. *)

@@ -170,6 +170,101 @@ let test_breaker_lifecycle () =
   check Alcotest.int "three openings counted" 3
     (metric "resilience.breaker_trips" - trips0)
 
+(* A reference model of the breaker state machine, checked against the
+   implementation over random operation sequences: the breaker must
+   track the model exactly (no invalid transition is reachable), and
+   once the cooldown elapses it must always be able to re-close via a
+   single successful probe. Threshold 2; the cooldown starts effectively
+   infinite and an explicit "elapse" operation drops it to zero (time
+   is modeled as a sticky bit — before the drop nothing has elapsed,
+   after it everything has). *)
+type breaker_model = {
+  mutable m_state : Breaker.state;
+  mutable m_failures : int;
+  mutable m_probe : bool;
+  mutable m_elapsed : bool;
+}
+
+let prop_breaker_matches_model =
+  QCheck.Test.make ~name:"breaker follows the reference model" ~count:500
+    QCheck.(list (int_bound 4))
+    (fun ops ->
+      let b = Breaker.create ~failure_threshold:2 ~cooldown_s:1e9 "model" in
+      let m =
+        { m_state = Breaker.Closed; m_failures = 0; m_probe = false; m_elapsed = false }
+      in
+      let model_trip () =
+        m.m_state <- Breaker.Open;
+        m.m_probe <- false
+      in
+      let apply op =
+        match op with
+        | 0 ->
+            let expect =
+              match m.m_state with
+              | Breaker.Closed -> true
+              | Breaker.Half_open ->
+                  if m.m_probe then false
+                  else begin
+                    m.m_probe <- true;
+                    true
+                  end
+              | Breaker.Open ->
+                  if m.m_elapsed then begin
+                    m.m_state <- Breaker.Half_open;
+                    m.m_probe <- true;
+                    true
+                  end
+                  else false
+            in
+            Breaker.allow b = expect
+        | 1 ->
+            Breaker.record_success b;
+            m.m_state <- Breaker.Closed;
+            m.m_failures <- 0;
+            m.m_probe <- false;
+            true
+        | 2 ->
+            Breaker.record_failure b ~reason:"model";
+            m.m_failures <- m.m_failures + 1;
+            (match m.m_state with
+            | Breaker.Half_open -> model_trip ()
+            | Breaker.Closed -> if m.m_failures >= 2 then model_trip ()
+            | Breaker.Open -> ());
+            true
+        | 3 ->
+            Breaker.trip b ~reason:"model";
+            model_trip ();
+            true
+        | _ ->
+            Breaker.set_cooldown b 0.0;
+            m.m_elapsed <- true;
+            true
+      in
+      let agrees () =
+        Breaker.state b = m.m_state
+        && Breaker.probing b = (m.m_state = Breaker.Half_open && m.m_probe)
+        && Breaker.ready b
+           = (match m.m_state with
+             | Breaker.Closed -> true
+             | Breaker.Half_open -> not m.m_probe
+             | Breaker.Open -> m.m_elapsed)
+      in
+      let ok = List.for_all (fun op -> apply op && agrees ()) ops in
+      (* Liveness: whatever state the sequence left behind, an elapsed
+         cooldown plus one successful probe must re-close the circuit. *)
+      Breaker.set_cooldown b 0.0;
+      let reclosed =
+        (match Breaker.state b with
+        | Breaker.Closed -> true
+        | Breaker.Open -> Breaker.allow b && Breaker.state b = Breaker.Half_open
+        | Breaker.Half_open -> Breaker.probing b || Breaker.allow b)
+        &&
+        (Breaker.record_success b;
+         Breaker.state b = Breaker.Closed && Breaker.allow b)
+      in
+      ok && reclosed)
+
 (* ---- pager transient faults ---- *)
 
 let key i = Printf.sprintf "key-%06d" i
@@ -575,7 +670,10 @@ let () =
           Alcotest.test_case "exhausts typed" `Quick test_retry_exhausts_typed;
         ] );
       ( "breaker",
-        [ Alcotest.test_case "lifecycle" `Quick test_breaker_lifecycle ] );
+        [
+          Alcotest.test_case "lifecycle" `Quick test_breaker_lifecycle;
+          QCheck_alcotest.to_alcotest prop_breaker_matches_model;
+        ] );
       ( "pager",
         [
           Alcotest.test_case "transient reads masked" `Quick
