@@ -1,22 +1,30 @@
 (* Diff two trex-bench-v1 documents and gate on latency regression.
 
      dune exec bench/compare.exe -- [--threshold F] [--min-ms F] \
-       BASELINE.json CURRENT.json
+       [--gate-counter NAME]... BASELINE.json CURRENT.json
+
+   --gate-counter (repeatable) additionally fails the comparison when
+   the named per-row counter (e.g. postings_bytes, physical_reads)
+   grows past 1 + threshold on any matched row — exact measurements
+   are gated row-by-row, not by median.
 
    Exit codes: 0 no regression; 1 usage or schema error; 3 the median
-   current/baseline latency ratio exceeded 1 + threshold. Per-row
-   regressions are printed either way (see Trex_obs.Bench_compare). *)
+   current/baseline latency ratio exceeded 1 + threshold or a gated
+   counter regressed. Per-row regressions are printed either way (see
+   Trex_obs.Bench_compare). *)
 
 module Bench_compare = Trex_obs.Bench_compare
 
 let usage () =
   prerr_endline
-    "usage: compare [--threshold F] [--min-ms F] BASELINE.json CURRENT.json";
+    "usage: compare [--threshold F] [--min-ms F] [--gate-counter NAME]... \
+     BASELINE.json CURRENT.json";
   exit 1
 
 let () =
   let threshold = ref 0.25 in
   let min_ms = ref 0.05 in
+  let counters = ref [] in
   let files = ref [] in
   let rec parse = function
     | [] -> ()
@@ -26,7 +34,10 @@ let () =
     | "--min-ms" :: v :: rest ->
         min_ms := float_of_string v;
         parse rest
-    | [ ("--threshold" | "--min-ms") ] -> usage ()
+    | "--gate-counter" :: v :: rest ->
+        counters := v :: !counters;
+        parse rest
+    | [ ("--threshold" | "--min-ms" | "--gate-counter") ] -> usage ()
     | f :: rest ->
         files := f :: !files;
         parse rest
@@ -36,7 +47,7 @@ let () =
   | [ baseline; current ] -> (
       match
         Bench_compare.compare_files ~threshold:!threshold ~min_ms:!min_ms
-          baseline current
+          ~counters:(List.rev !counters) baseline current
       with
       | Error msg ->
           Printf.eprintf "bench-compare: %s\n" msg;

@@ -60,11 +60,15 @@ val build :
   ?summary_criterion:Summary.criterion ->
   ?alias:Alias.t ->
   ?analyzer:Trex_text.Analyzer.config ->
+  ?compress:bool ->
   ?scoring:Scorer.config ->
   (string * string) Seq.t ->
   t
 (** Index a collection of (name, xml) documents. Defaults: alias
-    incoming summary, default analyzer, BM25 scoring. *)
+    incoming summary, default analyzer, BM25 scoring, block-compressed
+    posting storage ([compress], default [true]; pass [false] for the
+    v1 fixed-width chunk layout — answers are identical either way, see
+    DESIGN.md §8). *)
 
 val attach : env:Env.t -> ?verify:bool -> ?scoring:Scorer.config -> unit -> t
 (** Re-open a previously built engine. With [~verify:true] every storage

@@ -24,6 +24,7 @@ type t = {
   env : Env.t;
   summary : Summary.t;
   analyzer : Analyzer.config;
+  compress : bool;
   mutable stats : stats;
   mutable overrides : scoring_overrides option;
 }
@@ -31,6 +32,7 @@ type t = {
 let env t = t.env
 let summary t = t.summary
 let analyzer t = t.analyzer
+let compressed t = t.compress
 let stats t = t.stats
 let set_scoring_overrides t o = t.overrides <- Some o
 let clear_scoring_overrides t = t.overrides <- None
@@ -96,7 +98,7 @@ let doc_postings analyzer (doc : Dom.doc) =
   walk doc.root;
   List.concat (List.rev !acc)
 
-let build ~env ~summary ?(analyzer = Analyzer.default) docs =
+let build ~env ~summary ?(analyzer = Analyzer.default) ?(compress = true) docs =
   let element_rows = ref [] in
   let postings : (string, (int * int) list ref) Hashtbl.t = Hashtbl.create 4096 in
   let doc_rows = ref [] in
@@ -171,23 +173,29 @@ let build ~env ~summary ?(analyzer = Analyzer.default) docs =
     Hashtbl.fold (fun tok _ acc -> tok :: acc) postings []
     |> List.sort String.compare
   in
+  let chunk_rows ~token positions =
+    if compress then Tables.Posting_lists.segment_rows ~token positions
+    else begin
+      let rec chunks acc = function
+        | [] -> List.rev acc
+        | l ->
+            let rec take n acc rest =
+              match (n, rest) with
+              | 0, _ | _, [] -> (List.rev acc, rest)
+              | n, x :: tl -> take (n - 1) (x :: acc) tl
+            in
+            let chunk, rest = take chunk_size [] l in
+            chunks (Tables.Posting_lists.encode_chunk ~token chunk :: acc) rest
+      in
+      chunks [] positions
+    end
+  in
   let posting_rows token =
     let cell = Hashtbl.find postings token in
     let positions =
       List.rev_map (fun (docid, offset) -> { Types.docid; offset }) !cell
     in
-    let rec chunks acc = function
-      | [] -> List.rev acc
-      | l ->
-          let rec take n acc rest =
-            match (n, rest) with
-            | 0, _ | _, [] -> (List.rev acc, rest)
-            | n, x :: tl -> take (n - 1) (x :: acc) tl
-          in
-          let chunk, rest = take chunk_size [] l in
-          chunks (Tables.Posting_lists.encode_chunk ~token chunk :: acc) rest
-    in
-    chunks [] positions
+    chunk_rows ~token positions
   in
   let postings_tbl = Env.table env Tables.Posting_lists.name in
   let posting_seq =
@@ -240,8 +248,11 @@ let build ~env ~summary ?(analyzer = Analyzer.default) docs =
   Bptree.insert meta ~key:(meta_key "summary") ~value:(Summary.to_string summary);
   Bptree.insert meta ~key:(meta_key "analyzer") ~value:(encode_analyzer analyzer);
   Bptree.insert meta ~key:(meta_key "stats") ~value:(encode_stats stats);
+  Bptree.insert meta
+    ~key:(meta_key "postings_layout")
+    ~value:(if compress then "blocked" else "raw");
   Env.flush env;
-  { env; summary; analyzer; stats; overrides = None }
+  { env; summary; analyzer; compress; stats; overrides = None }
 
 let attach env =
   let meta = Env.table env Tables.meta_table in
@@ -250,10 +261,19 @@ let attach env =
     | Some v -> v
     | None -> failwith (Printf.sprintf "Index.attach: missing meta key %s" name)
   in
+  (* Environments predating the layout key hold v1 chunks only; keep
+     appending v1 there so a pure-raw env stays pure-raw. Reads always
+     dispatch per value, so either way is safe. *)
+  let compress =
+    match Bptree.find meta (meta_key "postings_layout") with
+    | Some "blocked" -> true
+    | Some _ | None -> false
+  in
   {
     env;
     summary = Summary.of_string (get "summary");
     analyzer = decode_analyzer (get "analyzer");
+    compress;
     stats = decode_stats (get "stats");
     overrides = None;
   }
@@ -330,32 +350,57 @@ module Posting_iter = struct
     cursor : Bptree.Cursor.cursor;
     prefix : string;
     mutable chunk : Types.pos list;
+    mutable segment : (Codec.Block.t * int) option;
+        (* current v2 segment and next undecoded block index: blocks
+           are decoded one at a time as the chunk drains *)
     mutable exhausted : bool;
   }
 
   let create t token =
     let tbl = Env.table t.env Tables.Posting_lists.name in
     let prefix = Tables.Posting_lists.token_prefix token in
-    { cursor = Bptree.Cursor.seek tbl prefix; prefix; chunk = []; exhausted = false }
+    {
+      cursor = Bptree.Cursor.seek tbl prefix;
+      prefix;
+      chunk = [];
+      segment = None;
+      exhausted = false;
+    }
 
   let rec next_position it =
     match it.chunk with
     | p :: rest ->
         it.chunk <- rest;
         p
-    | [] ->
-        if it.exhausted then Types.m_pos
-        else begin
-          match Bptree.Cursor.next it.cursor with
-          | Some (k, v)
-            when String.length k >= String.length it.prefix
-                 && String.sub k 0 (String.length it.prefix) = it.prefix ->
-              it.chunk <- Tables.Posting_lists.decode_chunk v;
-              next_position it
-          | Some _ | None ->
-              it.exhausted <- true;
-              Types.m_pos
-        end
+    | [] -> (
+        match it.segment with
+        | Some (seg, i) when i < Codec.Block.block_count seg ->
+            let info =
+              Tables.Posting_lists.decode_block_header (Codec.Block.header seg i)
+            in
+            it.chunk <-
+              Tables.Posting_lists.decode_block info (Codec.Block.payload seg i);
+            it.segment <- Some (seg, i + 1);
+            next_position it
+        | _ ->
+            it.segment <- None;
+            if it.exhausted then Types.m_pos
+            else begin
+              match Bptree.Cursor.next it.cursor with
+              | Some (k, v)
+                when String.length k >= String.length it.prefix
+                     && String.sub k 0 (String.length it.prefix) = it.prefix -> (
+                  match Codec.Block.of_string v with
+                  | Some seg ->
+                      it.segment <- Some (seg, 0);
+                      next_position it
+                  | None ->
+                      it.chunk <- Tables.Posting_lists.decode_chunk v;
+                      next_position it)
+              | Some _ | None ->
+                  it.exhausted <- true;
+                  Types.m_pos
+            end)
 end
 
 module Element_iter = struct
@@ -440,20 +485,26 @@ let add_document ?invalidation t ~name ~xml =
     (fun term cell ->
       doc_terms := term :: !doc_terms;
       let positions = List.rev !cell in
-      let rec chunked = function
-        | [] -> ()
-        | l ->
-            let rec take n acc rest =
-              match (n, rest) with
-              | 0, _ | _, [] -> (List.rev acc, rest)
-              | n, x :: tl -> take (n - 1) (x :: acc) tl
-            in
-            let chunk, rest = take chunk_size [] l in
-            put Tables.Posting_lists.name
-              (Tables.Posting_lists.encode_chunk ~token:term chunk);
-            chunked rest
-      in
-      chunked positions;
+      if t.compress then
+        List.iter
+          (fun row -> put Tables.Posting_lists.name row)
+          (Tables.Posting_lists.segment_rows ~token:term positions)
+      else begin
+        let rec chunked = function
+          | [] -> ()
+          | l ->
+              let rec take n acc rest =
+                match (n, rest) with
+                | 0, _ | _, [] -> (List.rev acc, rest)
+                | n, x :: tl -> take (n - 1) (x :: acc) tl
+              in
+              let chunk, rest = take chunk_size [] l in
+              put Tables.Posting_lists.name
+                (Tables.Posting_lists.encode_chunk ~token:term chunk);
+              chunked rest
+        in
+        chunked positions
+      end;
       (* Terms rows are logged as absolute post-state (not +1 deltas)
          so replaying the step is idempotent. *)
       let row =

@@ -21,11 +21,17 @@ val build :
   env:Trex_storage.Env.t ->
   summary:Trex_summary.Summary.t ->
   ?analyzer:Trex_text.Analyzer.config ->
+  ?compress:bool ->
   (string * string) Seq.t ->
   t
 (** [build ~env ~summary docs] parses each [(name, xml)] document,
     assigns docids in sequence order, grows the summary, and bulk-loads
-    the tables into [env]. @raise Trex_xml.Sax.Malformed on bad input. *)
+    the tables into [env]. [compress] (default [true]) stores posting
+    lists as block-compressed segments instead of v1 fixed-size chunks;
+    the choice is recorded in the [meta] table and honoured by
+    {!add_document}. Reads always dispatch on the per-value format
+    marker, so either layout (or a mix) is served identically.
+    @raise Trex_xml.Sax.Malformed on bad input. *)
 
 val attach : Trex_storage.Env.t -> t
 (** Re-open an index previously built in this environment (metadata,
@@ -59,6 +65,10 @@ val add_document :
 val env : t -> Trex_storage.Env.t
 val summary : t -> Trex_summary.Summary.t
 val analyzer : t -> Trex_text.Analyzer.config
+
+val compressed : t -> bool
+(** Whether new posting chunks are written block-compressed. *)
+
 val stats : t -> stats
 
 val term_stats : t -> string -> Tables.Terms.row option

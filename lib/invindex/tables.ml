@@ -58,16 +58,185 @@ module Posting_lists = struct
     let r = Codec.Reader.of_string v in
     let n = Codec.Reader.varint r in
     let prev = ref { Types.docid = 0; offset = 0 } in
-    List.init n (fun _ ->
-        let ddoc = Codec.Reader.varint r in
-        let docid = !prev.docid + ddoc in
-        let offset =
-          if ddoc = 0 then !prev.offset + Codec.Reader.varint r
-          else Codec.Reader.varint r
-        in
-        let p = { Types.docid; offset } in
-        prev := p;
-        p)
+    (* Explicit in-order loop: [List.init] applies its function in an
+       unspecified order, which scrambles a stateful reader. *)
+    let out = ref [] in
+    for _ = 1 to n do
+      let ddoc = Codec.Reader.varint r in
+      let docid = !prev.docid + ddoc in
+      let offset =
+        if ddoc = 0 then !prev.offset + Codec.Reader.varint r
+        else Codec.Reader.varint r
+      in
+      let p = { Types.docid; offset } in
+      prev := p;
+      out := p :: !out
+    done;
+    List.rev !out
+
+  (* ---- v2: block-compressed segments ----
+
+     Several delta-encoded blocks share one table value behind a
+     [Codec.Block] skip directory, so a posting list costs one key per
+     ~1.5KB instead of one per 64 positions and decodes lazily per
+     block. Values are self-describing (segments open with a negative
+     marker varint, v1 chunks with a non-negative count), so both
+     layouts can coexist in one table. *)
+
+  let block_entries = 128
+  let segment_budget = 1536
+
+  type block_info = {
+    first : Types.pos;
+    last_docid : int;
+    count : int;
+    w_gap : int;  (** bit width of the docid-gap stream *)
+    w_delta : int;  (** bit width of same-doc offset deltas *)
+    w_abs : int;  (** bit width of doc-change absolute offsets *)
+  }
+
+  (* Frame-of-reference block layout. The first position lives in the
+     header; the remaining [count - 1] split into three bit-packed
+     streams, each at the narrowest width its block needs:
+
+       gaps    docid deltas (one per entry; 0 = same document)
+       deltas  offset - previous offset, for entries whose gap is 0
+       abs     absolute offset, for entries whose gap is > 0
+
+     Splitting offsets by gap keeps the common same-doc deltas (a few
+     bits) from being widened to absolute-offset width, which a single
+     packed stream — or plain varints, which spend 8 bits per value
+     minimum — would force. The decoder recovers each stream's length
+     from the gap stream alone, so no per-entry tags are stored. *)
+  let encode_block positions =
+    match positions with
+    | [] -> invalid_arg "Posting_lists.encode_block: empty block"
+    | (first : Types.pos) :: rest ->
+        let last = List.fold_left (fun _ p -> p) first positions in
+        let n = List.length positions in
+        let gaps = Array.make (n - 1) 0 in
+        let deltas = ref [] and abss = ref [] in
+        let prev = ref first in
+        List.iteri
+          (fun i (p : Types.pos) ->
+            let g = p.docid - !prev.docid in
+            gaps.(i) <- g;
+            if g = 0 then deltas := (p.offset - !prev.offset) :: !deltas
+            else abss := p.offset :: !abss;
+            prev := p)
+          rest;
+        let deltas = Array.of_list (List.rev !deltas) in
+        let abss = Array.of_list (List.rev !abss) in
+        let w_gap = Codec.Bitpack.width gaps in
+        let w_delta = Codec.Bitpack.width deltas in
+        let w_abs = Codec.Bitpack.width abss in
+        let h = Codec.Buf.create ~capacity:16 () in
+        Codec.Buf.add_uvarint h first.docid;
+        Codec.Buf.add_uvarint h first.offset;
+        Codec.Buf.add_uvarint h (last.Types.docid - first.docid);
+        Codec.Buf.add_uvarint h n;
+        Codec.Buf.add_uvarint h w_gap;
+        Codec.Buf.add_uvarint h w_delta;
+        Codec.Buf.add_uvarint h w_abs;
+        let b = Codec.Buf.create ~capacity:256 () in
+        Codec.Bitpack.pack b ~width:w_gap gaps;
+        Codec.Bitpack.pack b ~width:w_delta deltas;
+        Codec.Bitpack.pack b ~width:w_abs abss;
+        (Codec.Buf.contents h, Codec.Buf.contents b)
+
+  let decode_block_header r =
+    let docid = Codec.Reader.uvarint r in
+    let offset = Codec.Reader.uvarint r in
+    let last_docid = docid + Codec.Reader.uvarint r in
+    let count = Codec.Reader.uvarint r in
+    if count < 1 then
+      raise (Codec.Reader.Malformed "Posting_lists: empty block");
+    let w_gap = Codec.Reader.uvarint r in
+    let w_delta = Codec.Reader.uvarint r in
+    let w_abs = Codec.Reader.uvarint r in
+    { first = { Types.docid; offset }; last_docid; count; w_gap; w_delta; w_abs }
+
+  let decode_block info r =
+    let n = info.count in
+    let gaps = Codec.Bitpack.unpack r ~width:info.w_gap ~count:(n - 1) in
+    let n_abs = Array.fold_left (fun a g -> if g = 0 then a else a + 1) 0 gaps in
+    let deltas =
+      Codec.Bitpack.unpack r ~width:info.w_delta ~count:(n - 1 - n_abs)
+    in
+    let abss = Codec.Bitpack.unpack r ~width:info.w_abs ~count:n_abs in
+    let prev = ref info.first in
+    let di = ref 0 and ai = ref 0 in
+    let out = ref [ info.first ] in
+    for i = 0 to n - 2 do
+      let p =
+        if gaps.(i) = 0 then begin
+          let p =
+            { Types.docid = !prev.docid; offset = !prev.offset + deltas.(!di) }
+          in
+          incr di;
+          p
+        end
+        else begin
+          let p = { Types.docid = !prev.docid + gaps.(i); offset = abss.(!ai) } in
+          incr ai;
+          p
+        end
+      in
+      prev := p;
+      out := p :: !out
+    done;
+    List.rev !out
+
+  (* Cut a sorted position list into (key, segment-value) rows, packing
+     blocks until the byte budget (which keeps every row comfortably
+     inside the B+tree entry budget even with long tokens). *)
+  let segment_rows ~token positions =
+    let rows = ref [] in
+    let w = ref (Codec.Block.Writer.create ()) in
+    let seg_first = ref None in
+    let flush () =
+      match !seg_first with
+      | None -> ()
+      | Some first ->
+          rows := (key ~token ~first, Codec.Block.Writer.contents !w) :: !rows;
+          w := Codec.Block.Writer.create ();
+          seg_first := None
+    in
+    let rec take n acc rest =
+      match (n, rest) with
+      | 0, _ | _, [] -> (List.rev acc, rest)
+      | n, x :: tl -> take (n - 1) (x :: acc) tl
+    in
+    let rec loop = function
+      | [] -> ()
+      | l ->
+          let block, rest = take block_entries [] l in
+          let header, payload = encode_block block in
+          if
+            (not (Codec.Block.Writer.is_empty !w))
+            && Codec.Block.Writer.byte_estimate !w
+               + String.length header + String.length payload
+               > segment_budget
+          then flush ();
+          if !seg_first = None then seg_first := Some (List.hd block);
+          Codec.Block.Writer.add !w ~header ~payload;
+          loop rest
+    in
+    loop positions;
+    flush ();
+    List.rev !rows
+
+  (* Decode any posting value, v1 chunk or v2 segment, eagerly. *)
+  let decode_value v =
+    match Codec.Block.of_string v with
+    | None -> decode_chunk v
+    | Some seg ->
+        let out = ref [] in
+        for i = 0 to Codec.Block.block_count seg - 1 do
+          let info = decode_block_header (Codec.Block.header seg i) in
+          out := decode_block info (Codec.Block.payload seg i) :: !out
+        done;
+        List.concat (List.rev !out)
 end
 
 module Documents = struct

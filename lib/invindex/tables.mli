@@ -27,10 +27,39 @@ module Posting_lists : sig
   val key : token:string -> first:Types.pos -> string
 
   val encode_chunk : token:string -> Types.pos list -> string * string
-  (** One row holding consecutive positions; the chunk key is the first
-      position. The list must be non-empty and position-sorted. *)
+  (** One v1 row holding consecutive positions; the chunk key is the
+      first position. The list must be non-empty and position-sorted. *)
 
   val decode_chunk : string -> Types.pos list
+
+  (** {2 Block-compressed segments (v2)}
+
+      Frame-of-reference bit-packed blocks (see DESIGN.md §7) behind a
+      {!Trex_util.Codec.Block} skip directory. Values are
+      self-describing, so v1 chunks and v2 segments can coexist in one
+      table and {!decode_value} reads either. *)
+
+  type block_info = {
+    first : Types.pos;
+    last_docid : int;
+    count : int;
+    w_gap : int;  (** bit width of the docid-gap stream *)
+    w_delta : int;  (** bit width of same-doc offset deltas *)
+    w_abs : int;  (** bit width of doc-change absolute offsets *)
+  }
+  (** Skip entry of one block: decode is only needed for blocks whose
+      [first.docid .. last_docid] range matters. *)
+
+  val segment_rows : token:string -> Types.pos list -> (string * string) list
+  (** Cut a non-empty position-sorted list into segment rows, packing
+      ~[block_entries]-position blocks until a byte budget that keeps
+      every row inside the B+tree entry budget. *)
+
+  val decode_block_header : Trex_util.Codec.Reader.t -> block_info
+  val decode_block : block_info -> Trex_util.Codec.Reader.t -> Types.pos list
+
+  val decode_value : string -> Types.pos list
+  (** Eagerly decode a posting value of either format. *)
 end
 
 module Documents : sig

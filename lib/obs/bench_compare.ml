@@ -8,6 +8,17 @@ type row_diff = {
   ratio : float;
 }
 
+type counter_diff = {
+  c_query : string;
+  c_strategy : string;
+  c_k : int;
+  c_occurrence : int;
+  c_name : string;
+  c_base : int;
+  c_cur : int;
+  c_ratio : float;
+}
+
 type report = {
   section : string;
   matched : int;
@@ -16,10 +27,17 @@ type report = {
   only_current : int;
   median_ratio : float;
   regressions : row_diff list;
+  counter_regressions : counter_diff list;
   regressed : bool;
 }
 
-type row = { r_query : string; r_strategy : string; r_k : int; r_ms : float }
+type row = {
+  r_query : string;
+  r_strategy : string;
+  r_k : int;
+  r_ms : float;
+  r_counters : (string * int) list;
+}
 
 let ( let* ) = Result.bind
 
@@ -65,6 +83,18 @@ let rows_of doc =
                   | Some (Json.Int i) -> Some (float_of_int i)
                   | _ -> None
                 in
+                let counters =
+                  match Json.member "counters" r with
+                  | Some (Json.Obj fields) ->
+                      List.filter_map
+                        (fun (name, v) ->
+                          match v with
+                          | Json.Int i -> Some (name, i)
+                          | Json.Float f -> Some (name, int_of_float f)
+                          | _ -> None)
+                        fields
+                  | _ -> []
+                in
                 match (str "strategy", num "k", num "ms") with
                 | Some strategy, Some kf, Some ms ->
                     Some
@@ -73,6 +103,7 @@ let rows_of doc =
                         r_strategy = strategy;
                         r_k = int_of_float kf;
                         r_ms = ms;
+                        r_counters = counters;
                       }
                 | _ -> None)
               records
@@ -105,7 +136,8 @@ let median = function
       let n = Array.length a in
       if n mod 2 = 1 then a.(n / 2) else (a.((n / 2) - 1) +. a.(n / 2)) /. 2.0
 
-let compare_docs ~threshold ?(min_ms = 0.05) base_doc cur_doc =
+let compare_docs ~threshold ?(min_ms = 0.05) ?(counters = []) base_doc cur_doc
+    =
   let* base_section, base_rows = rows_of base_doc in
   let* cur_section, cur_rows = rows_of cur_doc in
   let* () =
@@ -119,6 +151,7 @@ let compare_docs ~threshold ?(min_ms = 0.05) base_doc cur_doc =
   List.iter (fun (k, r) -> Hashtbl.replace base_tbl k r) (keyed base_rows);
   let matched = ref 0 and only_current = ref 0 in
   let ratios = ref [] and regressions = ref [] in
+  let counter_regressions = ref [] in
   List.iter
     (fun ((key, cur) : _ * row) ->
       match Hashtbl.find_opt base_tbl key with
@@ -126,6 +159,41 @@ let compare_docs ~threshold ?(min_ms = 0.05) base_doc cur_doc =
       | Some base ->
           incr matched;
           Hashtbl.remove base_tbl key;
+          (* Gated counters are exact, not timing noise: any growth past
+             the threshold on a matched row regresses, and a gated
+             counter present in the baseline but missing from the
+             current run is reported too (as shrinking to 0 it passes,
+             vanishing it must not go unnoticed — ratio infinity). *)
+          List.iter
+            (fun name ->
+              match List.assoc_opt name base.r_counters with
+              | None -> ()
+              | Some b ->
+                  let c =
+                    match List.assoc_opt name cur.r_counters with
+                    | Some c -> c
+                    | None -> max_int
+                  in
+                  let ratio =
+                    if b = 0 then if c = 0 then 1.0 else infinity
+                    else if c = max_int then infinity
+                    else float_of_int c /. float_of_int b
+                  in
+                  if ratio > 1.0 +. threshold then
+                    let _, _, _, occ = key in
+                    counter_regressions :=
+                      {
+                        c_query = cur.r_query;
+                        c_strategy = cur.r_strategy;
+                        c_k = cur.r_k;
+                        c_occurrence = occ;
+                        c_name = name;
+                        c_base = b;
+                        c_cur = (if c = max_int then 0 else c);
+                        c_ratio = ratio;
+                      }
+                      :: !counter_regressions)
+            counters;
           if base.r_ms >= min_ms then begin
             let ratio = cur.r_ms /. base.r_ms in
             ratios := ratio :: !ratios;
@@ -155,7 +223,10 @@ let compare_docs ~threshold ?(min_ms = 0.05) base_doc cur_doc =
       median_ratio;
       regressions =
         List.sort (fun a b -> compare b.ratio a.ratio) !regressions;
-      regressed = median_ratio > 1.0 +. threshold;
+      counter_regressions =
+        List.sort (fun a b -> compare b.c_ratio a.c_ratio) !counter_regressions;
+      regressed =
+        median_ratio > 1.0 +. threshold || !counter_regressions <> [];
     }
 
 let read_file p =
@@ -164,7 +235,7 @@ let read_file p =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let compare_files ~threshold ?min_ms base_path cur_path =
+let compare_files ~threshold ?min_ms ?counters base_path cur_path =
   let load what p =
     match read_file p with
     | exception Sys_error e -> Error (Printf.sprintf "%s: %s" what e)
@@ -175,7 +246,7 @@ let compare_files ~threshold ?min_ms base_path cur_path =
   in
   let* base = load "baseline" base_path in
   let* cur = load "current" cur_path in
-  compare_docs ~threshold ?min_ms base cur
+  compare_docs ~threshold ?min_ms ?counters base cur
 
 let pp_report fmt r =
   Format.fprintf fmt "@[<v>section %s: %s (median ratio %.2fx over %d rows)@,"
@@ -189,4 +260,10 @@ let pp_report fmt r =
       Format.fprintf fmt "  %s %s k=%d#%d: %.3f ms -> %.3f ms (%.2fx)@,"
         d.query d.strategy d.k d.occurrence d.base_ms d.cur_ms d.ratio)
     r.regressions;
+  List.iter
+    (fun (d : counter_diff) ->
+      Format.fprintf fmt "  %s %s k=%d#%d counter %s: %d -> %d (%.2fx)@,"
+        d.c_query d.c_strategy d.c_k d.c_occurrence d.c_name d.c_base d.c_cur
+        d.c_ratio)
+    r.counter_regressions;
   Format.fprintf fmt "@]"

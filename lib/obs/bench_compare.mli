@@ -12,7 +12,15 @@
     ratios: [regressed] is true when that median exceeds
     [1 + threshold]. Individual rows beyond the threshold are listed
     regardless of the verdict, so a single pathological query is
-    visible even when the median is fine. *)
+    visible even when the median is fine.
+
+    [counters] names record counters gated {e per row} rather than by
+    median: counters are exact measurements (bytes on disk, physical
+    reads), so any matched row whose gated counter grows past
+    [1 + threshold] — or loses the counter entirely — regresses the
+    comparison on its own. Ungated counters are ignored, and a gated
+    counter absent from the {e baseline} row is skipped (new
+    instrumentation is not a regression). *)
 
 type row_diff = {
   query : string;
@@ -24,6 +32,17 @@ type row_diff = {
   ratio : float;
 }
 
+type counter_diff = {
+  c_query : string;
+  c_strategy : string;
+  c_k : int;
+  c_occurrence : int;
+  c_name : string;
+  c_base : int;
+  c_cur : int;  (** 0 when the counter vanished from the current row *)
+  c_ratio : float;
+}
+
 type report = {
   section : string;
   matched : int;  (** Rows present in both documents. *)
@@ -32,16 +51,28 @@ type report = {
   only_current : int;
   median_ratio : float;  (** 1.0 when nothing was comparable. *)
   regressions : row_diff list;  (** Rows with [ratio > 1 + threshold]. *)
+  counter_regressions : counter_diff list;
+      (** Gated counters past the threshold on matched rows. *)
   regressed : bool;
 }
 
 val compare_docs :
-  threshold:float -> ?min_ms:float -> Json.t -> Json.t -> (report, string) result
+  threshold:float ->
+  ?min_ms:float ->
+  ?counters:string list ->
+  Json.t ->
+  Json.t ->
+  (report, string) result
 (** [compare_docs ~threshold baseline current]. [Error] on schema or
     section mismatch. *)
 
 val compare_files :
-  threshold:float -> ?min_ms:float -> string -> string -> (report, string) result
+  threshold:float ->
+  ?min_ms:float ->
+  ?counters:string list ->
+  string ->
+  string ->
+  (report, string) result
 (** Same, reading both documents from files. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -1,6 +1,11 @@
 module Rpl = Trex_topk.Rpl
 
-type choice = No_index | Use_erpl | Use_rpl
+type choice =
+  | No_index
+  | Use_erpl
+  | Use_rpl
+  | Use_erpl_raw
+  | Use_rpl_raw
 
 type plan = {
   decisions : (string * choice) list;
@@ -12,6 +17,19 @@ let choice_to_string = function
   | No_index -> "none"
   | Use_erpl -> "ERPL (Merge)"
   | Use_rpl -> "RPL (TA)"
+  | Use_erpl_raw -> "ERPL raw (Merge)"
+  | Use_rpl_raw -> "RPL raw (TA)"
+
+let layout_of_choice = function
+  | No_index -> None
+  | Use_erpl | Use_rpl -> Some Rpl.Compressed
+  | Use_erpl_raw | Use_rpl_raw -> Some Rpl.Raw
+
+(* The solvers weigh every choice, raw layouts included. Both layouts
+   serve identical answers, so a raw option carries the same saving at
+   (usually) a higher price — it wins only when the catalogs say raw is
+   no larger (tiny lists where block headers outweigh the gaps). *)
+let all_choices = [ Use_erpl; Use_rpl; Use_erpl_raw; Use_rpl_raw ]
 
 (* A materializable list, identified across queries so sharing is
    accounted once. *)
@@ -34,23 +52,24 @@ let dedup_lists lists =
       end)
     lists
 
-let lists_of_choice (p : Cost.profile) = function
+let lists_of_choice (p : Cost.profile) choice =
+  let conv kind lists =
+    dedup_lists
+      (List.map
+         (fun ((l : Cost.list_id), bytes) -> ((kind, l.term, l.sid), bytes))
+         lists)
+  in
+  match choice with
   | No_index -> []
-  | Use_erpl ->
-      dedup_lists
-        (List.map
-           (fun ((l : Cost.list_id), bytes) -> ((Rpl.Erpl, l.term, l.sid), bytes))
-           p.erpl_lists)
-  | Use_rpl ->
-      dedup_lists
-        (List.map
-           (fun ((l : Cost.list_id), bytes) -> ((Rpl.Rpl, l.term, l.sid), bytes))
-           p.rpl_lists)
+  | Use_erpl -> conv Rpl.Erpl p.erpl_lists
+  | Use_rpl -> conv Rpl.Rpl p.rpl_lists
+  | Use_erpl_raw -> conv Rpl.Erpl p.erpl_lists_raw
+  | Use_rpl_raw -> conv Rpl.Rpl p.rpl_lists_raw
 
 let saving_of_choice p = function
   | No_index -> 0.0
-  | Use_erpl -> Cost.saving_merge p
-  | Use_rpl -> Cost.saving_ta p
+  | Use_erpl | Use_erpl_raw -> Cost.saving_merge p
+  | Use_rpl | Use_rpl_raw -> Cost.saving_ta p
 
 let add_lists set lists =
   List.fold_left
@@ -109,7 +128,7 @@ let best_single ~budget profiles =
             match !best with
             | Some (_, _, s) when s >= saving -> ()
             | Some _ | None -> best := Some (p.id, choice, saving))
-        [ Use_erpl; Use_rpl ])
+        all_choices)
     profiles;
   let table = Hashtbl.create 1 in
   (match !best with
@@ -143,7 +162,7 @@ let greedy ~budget profiles =
                   | Some _ | None -> best := Some (p, choice, ratio)
                 end
               end)
-            [ Use_erpl; Use_rpl ])
+            all_choices)
       profiles;
     match !best with
     | None -> finished := true
@@ -190,7 +209,7 @@ let branch_and_bound ~budget profiles =
             explore (i + 1) set' (used + cost) (saving +. saving_of_choice arr.(i) choice);
             current.(i) <- No_index
           end)
-        [ Use_rpl; Use_erpl; No_index ]
+        [ Use_rpl; Use_erpl; Use_rpl_raw; Use_erpl_raw; No_index ]
   in
   explore 0 List_set.empty 0 0.0;
   let table = Hashtbl.create 8 in
@@ -213,20 +232,29 @@ let apply index ~scoring ~workload ?(profiles = []) plan =
       (fun (id, choice) ->
         match choice with
         | No_index -> ()
-        | Use_erpl | Use_rpl -> (
+        | Use_erpl | Use_rpl | Use_erpl_raw | Use_rpl_raw -> (
             match Workload.find workload id with
             | None -> invalid_arg (Printf.sprintf "Advisor.apply: unknown query %s" id)
             | Some q ->
-                let kinds = [ (if choice = Use_erpl then Rpl.Erpl else Rpl.Rpl) ] in
+                let kinds =
+                  [ (match choice with
+                    | Use_erpl | Use_erpl_raw -> Rpl.Erpl
+                    | _ -> Rpl.Rpl) ]
+                in
                 let rpl_prefix =
-                  if choice = Use_rpl then
+                  if choice = Use_rpl || choice = Use_rpl_raw then
                     List.find_opt (fun (p : Cost.profile) -> p.id = id) profiles
                     |> Fun.flip Option.bind (fun (p : Cost.profile) -> p.rpl_prefix)
                   else None
                 in
+                let layout =
+                  match layout_of_choice choice with
+                  | Some l -> l
+                  | None -> Rpl.Compressed
+                in
                 ignore
                   (Rpl.build index ~scoring ~sids:q.sids ~terms:q.terms ~kinds
-                     ?rpl_prefix ())))
+                     ?rpl_prefix ~layout ())))
       plan.decisions;
     Trex_storage.Env.commit_op env o
   with

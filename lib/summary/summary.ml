@@ -289,12 +289,15 @@ let of_string s =
       | c -> failwith ("Summary.of_string: bad criterion " ^ c)
     in
     let n_alias = Codec.Reader.varint r in
-    let alias_bindings =
-      List.init n_alias (fun _ ->
-          let s = Codec.Reader.string r in
-          let c = Codec.Reader.string r in
-          (s, c))
-    in
+    (* explicit in-order loop: List.init's evaluation order is
+       unspecified, which would scramble a stateful reader *)
+    let alias_bindings = ref [] in
+    for _ = 1 to n_alias do
+      let s = Codec.Reader.string r in
+      let c = Codec.Reader.string r in
+      alias_bindings := (s, c) :: !alias_bindings
+    done;
+    let alias_bindings = List.rev !alias_bindings in
     let t = create ~alias:(Alias.of_list alias_bindings) criterion in
     let n_nodes = Codec.Reader.varint r in
     for _ = 1 to n_nodes do

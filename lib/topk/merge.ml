@@ -10,6 +10,7 @@ let m_elements_merged = Metrics.counter "merge.elements_merged"
 type stats = {
   entries_read : int;
   elements_merged : int;
+  blocks_decoded : int;
   elapsed_seconds : float;
   degraded : bool;
 }
@@ -90,6 +91,9 @@ let run ?guard index ~sids ~terms =
   let entries_read =
     Array.fold_left (fun acc c -> acc + Rpl.Cursor.entries_read c) 0 cursors
   in
+  let blocks_decoded =
+    Array.fold_left (fun acc c -> acc + Rpl.Cursor.blocks_decoded c) 0 cursors
+  in
   Metrics.incr m_runs;
   Metrics.add m_entries_read entries_read;
   Metrics.add m_elements_merged !merged_count;
@@ -97,6 +101,7 @@ let run ?guard index ~sids ~terms =
     {
       entries_read;
       elements_merged = !merged_count;
+      blocks_decoded;
       elapsed_seconds = Stopclock.elapsed clock;
       degraded = !degraded;
     } )

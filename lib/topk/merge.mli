@@ -10,6 +10,8 @@
 type stats = {
   entries_read : int;  (** ERPL entries consumed across all terms *)
   elements_merged : int;  (** distinct elements in the merged vector *)
+  blocks_decoded : int;
+      (** compressed ERPL blocks decoded; 0 over raw-layout lists *)
   elapsed_seconds : float;
   degraded : bool;
       (** the guard expired and the answers are a position-prefix of

@@ -15,8 +15,10 @@ let m_merged_read = Metrics.counter "rpl.merged.entries_read"
 
 type entry = { element : Types.element; score : float }
 type kind = Rpl | Erpl
+type layout = Raw | Compressed
 
 let kind_to_string = function Rpl -> "RPL" | Erpl -> "ERPL"
+let layout_to_string = function Raw -> "raw" | Compressed -> "compressed"
 let table_name = function Rpl -> "rpls" | Erpl -> "erpls"
 let catalog_name = function Rpl -> "rpl_catalog" | Erpl -> "erpl_catalog"
 
@@ -68,43 +70,331 @@ let encode_chunk ~sid entries =
 let decode_chunk ~sid v =
   let r = Codec.Reader.of_string v in
   let n = Codec.Reader.varint r in
-  List.init n (fun _ ->
-      let score = Codec.Reader.float r in
-      let docid = Codec.Reader.varint r in
-      let endpos = Codec.Reader.varint r in
-      let length = Codec.Reader.varint r in
-      { element = { Types.sid; docid; endpos; length }; score })
+  (* Explicit in-order loop: [List.init] applies its function in an
+     unspecified order, which would scramble the stateful reader. *)
+  let out = ref [] in
+  for _ = 1 to n do
+    let score = Codec.Reader.float r in
+    let docid = Codec.Reader.varint r in
+    let endpos = Codec.Reader.varint r in
+    let length = Codec.Reader.varint r in
+    out := { element = { Types.sid; docid; endpos; length }; score } :: !out
+  done;
+  List.rev !out
+
+(* ---- block-compressed segments (v2) ----
+
+   Several delta-encoded blocks share one table value behind a
+   [Codec.Block] skip directory. Exact scores are dictionary-coded per
+   segment (each distinct float stored once, entries carry indices), so
+   returned scores are bit-identical to the raw layout — the skip
+   directory's per-block score maxima are quantized {e up} separately
+   and used only as rank-safe pruning bounds. Block headers carry the
+   docid range and last position so a cursor can skip whole blocks by
+   score bound (TA's floor) or by position (Merge-style seeks) without
+   decoding them, plus — for full-term lists — a 63-bit sid-hash bitmap
+   so foreign-extent blocks are never decoded at all. *)
+
+let block_entries = 64
+let segment_budget = 1536
+
+(* Incremental per-segment score dictionary. *)
+module Dict = struct
+  type t = {
+    tbl : (float, int) Hashtbl.t;
+    mutable rev : float list;
+    mutable n : int;
+  }
+
+  let create () = { tbl = Hashtbl.create 64; rev = []; n = 0 }
+
+  let index d s =
+    match Hashtbl.find_opt d.tbl s with
+    | Some i -> i
+    | None ->
+        let i = d.n in
+        Hashtbl.add d.tbl s i;
+        d.rev <- s :: d.rev;
+        d.n <- d.n + 1;
+        i
+
+  let news d entries =
+    (* Distinct scores of [entries] not yet in the dictionary. *)
+    let seen = Hashtbl.create 8 in
+    List.filter_map
+      (fun { score; _ } ->
+        if Hashtbl.mem d.tbl score || Hashtbl.mem seen score then None
+        else begin
+          Hashtbl.add seen score ();
+          Some score
+        end)
+      entries
+
+  let encode d =
+    let b = Codec.Buf.create ~capacity:((8 * d.n) + 4) () in
+    Codec.Buf.add_uvarint b d.n;
+    List.iter (fun s -> Codec.Buf.add_float b s) (List.rev d.rev);
+    Codec.Buf.contents b
+end
+
+let decode_dict extra =
+  let r = Codec.Reader.of_string extra in
+  let n = Codec.Reader.uvarint r in
+  let a = Array.make n 0.0 in
+  for i = 0 to n - 1 do
+    a.(i) <- Codec.Reader.float r
+  done;
+  a
+
+type block_info = {
+  blk_count : int;
+  blk_qmax : int; (* quantized-up max score: sound pruning bound *)
+  blk_min_docid : int;
+  blk_max_docid : int;
+  blk_last_endpos : int; (* endpos of the last entry (position order) *)
+  blk_sids : int; (* 63-bit sid-hash bitmap; 0 in per-(term,sid) lists *)
+}
+
+let sid_bit sid = 1 lsl (sid mod 63)
+
+let encode_block ~with_sid dict entries =
+  match entries with
+  | [] -> invalid_arg "Rpl.encode_block: empty block"
+  | _ ->
+      let qmax = ref 0 and min_doc = ref max_int and max_doc = ref 0 in
+      let bitmap = ref 0 in
+      let last = ref (List.hd entries) in
+      List.iter
+        (fun ({ element = e; score } as entry) ->
+          qmax := max !qmax (Codec.Block.quantize_up score);
+          min_doc := min !min_doc e.Types.docid;
+          max_doc := max !max_doc e.Types.docid;
+          bitmap := !bitmap lor sid_bit e.Types.sid;
+          last := entry)
+        entries;
+      let h = Codec.Buf.create ~capacity:24 () in
+      Codec.Buf.add_uvarint h (List.length entries);
+      Codec.Buf.add_uvarint h !qmax;
+      Codec.Buf.add_uvarint h !min_doc;
+      Codec.Buf.add_uvarint h (!max_doc - !min_doc);
+      Codec.Buf.add_uvarint h !last.element.Types.endpos;
+      if with_sid then Codec.Buf.add_uvarint h !bitmap;
+      (* Payload: parallel bit-packed streams (score index, [sid],
+         zig-zag docid delta, zig-zag endpos delta, length), each
+         preceded by its uvarint width. Frame-of-reference per stream:
+         a block's score indexes or deltas rarely need more than a few
+         bits, where per-entry varints spend at least eight. Widths
+         live in the payload, not the skip-entry header, so skipped
+         blocks never read them. *)
+      let n = List.length entries in
+      let idxs = Array.make n 0
+      and sids = Array.make (if with_sid then n else 0) 0
+      and zdocs = Array.make n 0
+      and zends = Array.make n 0
+      and lens = Array.make n 0 in
+      let zz v = (v lsl 1) lxor (v asr 62) in
+      let prev_doc = ref !min_doc and prev_end = ref 0 in
+      List.iteri
+        (fun i { element = e; score } ->
+          idxs.(i) <- Dict.index dict score;
+          if with_sid then sids.(i) <- e.Types.sid;
+          zdocs.(i) <- zz (e.docid - !prev_doc);
+          zends.(i) <- zz (e.endpos - !prev_end);
+          lens.(i) <- e.length;
+          prev_doc := e.docid;
+          prev_end := e.endpos)
+        entries;
+      let b = Codec.Buf.create ~capacity:256 () in
+      let put a =
+        let w = Codec.Bitpack.width a in
+        Codec.Buf.add_uvarint b w;
+        Codec.Bitpack.pack b ~width:w a
+      in
+      put idxs;
+      if with_sid then put sids;
+      put zdocs;
+      put zends;
+      put lens;
+      (Codec.Buf.contents h, Codec.Buf.contents b)
+
+let decode_block_header ~with_sid r =
+  let blk_count = Codec.Reader.uvarint r in
+  let blk_qmax = Codec.Reader.uvarint r in
+  let blk_min_docid = Codec.Reader.uvarint r in
+  let blk_max_docid = blk_min_docid + Codec.Reader.uvarint r in
+  let blk_last_endpos = Codec.Reader.uvarint r in
+  let blk_sids = if with_sid then Codec.Reader.uvarint r else 0 in
+  { blk_count; blk_qmax; blk_min_docid; blk_max_docid; blk_last_endpos; blk_sids }
+
+let decode_block ~with_sid ~sid dict info r =
+  let n = info.blk_count in
+  let stream () =
+    let w = Codec.Reader.uvarint r in
+    Codec.Bitpack.unpack r ~width:w ~count:n
+  in
+  let idxs = stream () in
+  let sids = if with_sid then stream () else [||] in
+  let zdocs = stream () in
+  let zends = stream () in
+  let lens = stream () in
+  let unzz z = (z lsr 1) lxor (-(z land 1)) in
+  let prev_doc = ref info.blk_min_docid and prev_end = ref 0 in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    let idx = idxs.(i) in
+    if idx >= Array.length dict then
+      raise (Codec.Reader.Malformed "Rpl.decode_block: score index out of range");
+    let score = dict.(idx) in
+    let sid = if with_sid then sids.(i) else sid in
+    let docid = !prev_doc + unzz zdocs.(i) in
+    let endpos = !prev_end + unzz zends.(i) in
+    let length = lens.(i) in
+    prev_doc := docid;
+    prev_end := endpos;
+    out := { element = { Types.sid; docid; endpos; length }; score } :: !out
+  done;
+  List.rev !out
+
+(* Cut a sorted entry list into (key, segment) rows: blocks of
+   [block_entries] entries, segments flushed just before the byte
+   budget so every row stays inside the B+tree entry budget. The
+   dictionary grows per segment; a block whose addition would overflow
+   is re-encoded against the next segment's fresh dictionary. *)
+let segment_rows ~with_sid ~key_of_first entries =
+  let rec chunk_blocks acc = function
+    | [] -> List.rev acc
+    | l ->
+        let rec take n acc rest =
+          match (n, rest) with
+          | 0, _ | _, [] -> (List.rev acc, rest)
+          | n, x :: tl -> take (n - 1) (x :: acc) tl
+        in
+        let block, rest = take block_entries [] l in
+        chunk_blocks (block :: acc) rest
+  in
+  let rows = ref [] in
+  let w = ref (Codec.Block.Writer.create ()) in
+  let dict = ref (Dict.create ()) in
+  let seg_first = ref None in
+  let flush () =
+    match !seg_first with
+    | None -> ()
+    | Some first ->
+        rows :=
+          (key_of_first first, Codec.Block.Writer.contents ~extra:(Dict.encode !dict) !w)
+          :: !rows;
+        w := Codec.Block.Writer.create ();
+        dict := Dict.create ();
+        seg_first := None
+  in
+  List.iter
+    (fun block ->
+      let news = Dict.news !dict block in
+      let header, payload = encode_block ~with_sid !dict block in
+      let projected =
+        Codec.Block.Writer.byte_estimate !w
+        + String.length header + String.length payload
+        + (8 * (!dict).Dict.n) + 16
+      in
+      if (not (Codec.Block.Writer.is_empty !w)) && projected > segment_budget then begin
+        (* The dictionary already holds this block's new scores; they
+           must not leak into the flushed segment's dictionary, so roll
+           them back before flushing and re-encode against the fresh
+           one. *)
+        let d = !dict in
+        List.iter (fun s -> Hashtbl.remove d.Dict.tbl s) news;
+        d.Dict.n <- d.Dict.n - List.length news;
+        d.Dict.rev <-
+          (let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+           drop (List.length news) d.Dict.rev);
+        flush ();
+        let header, payload = encode_block ~with_sid !dict block in
+        seg_first := Some (List.hd block);
+        Codec.Block.Writer.add !w ~header ~payload
+      end
+      else begin
+        if !seg_first = None then seg_first := Some (List.hd block);
+        Codec.Block.Writer.add !w ~header ~payload
+      end)
+    (chunk_blocks [] entries);
+  flush ();
+  List.rev !rows
 
 (* ---- catalog ---- *)
 
 let catalog_key ~term ~sid = pair_prefix ~term ~sid
 
-(* Catalog rows: entry count, encoded bytes, and — for truncated RPL
-   prefixes — the score bound below which entries were dropped. *)
-type catalog_row = { cat_entries : int; cat_bytes : int; cat_bound : float }
+(* Catalog rows: entry count, stored bytes, what the list would cost
+   raw (for the advisor's layout pricing), the layout, and — for
+   truncated RPL prefixes — an {e explicit} truncated flag plus the
+   score bound below which entries were dropped.
+
+   v1 rows encoded the truncation flag as [bound > 0.0], so a truncated
+   list whose bound happened to be 0.0 round-tripped as untruncated and
+   TA would never learn it had to certify. v2 rows store the flag
+   explicitly and open with a negative version marker (v1 rows start
+   with a non-negative entry count), so both row versions are read
+   transparently. *)
+type catalog_row = {
+  cat_entries : int;
+  cat_bytes : int;
+  cat_raw_bytes : int;
+  cat_bound : float;
+  cat_truncated : bool;
+  cat_layout : layout;
+}
+
+let catalog_row_marker = -2
+
+let decode_catalog_row v =
+  let r = Codec.Reader.of_string v in
+  let first = Codec.Reader.varint r in
+  if first >= 0 then begin
+    (* v1: entries, bytes, bound-present flag doubling as truncation. *)
+    let cat_bytes = Codec.Reader.varint r in
+    let cat_truncated = Codec.Reader.varint r = 1 in
+    let cat_bound = if cat_truncated then Codec.Reader.float r else 0.0 in
+    {
+      cat_entries = first;
+      cat_bytes;
+      cat_raw_bytes = cat_bytes;
+      cat_bound;
+      cat_truncated;
+      cat_layout = Raw;
+    }
+  end
+  else if first = catalog_row_marker then begin
+    let cat_entries = Codec.Reader.uvarint r in
+    let cat_bytes = Codec.Reader.uvarint r in
+    let cat_raw_bytes = Codec.Reader.uvarint r in
+    let flags = Codec.Reader.uvarint r in
+    let cat_truncated = flags land 1 <> 0 in
+    let cat_layout = if flags land 2 <> 0 then Compressed else Raw in
+    let cat_bound = if cat_truncated then Codec.Reader.float r else 0.0 in
+    { cat_entries; cat_bytes; cat_raw_bytes; cat_bound; cat_truncated; cat_layout }
+  end
+  else raise (Codec.Reader.Malformed "Rpl: unknown catalog row version")
 
 let catalog_find index kind ~term ~sid =
   let tbl = Env.table (Index.env index) (catalog_name kind) in
   match Bptree.find tbl (catalog_key ~term ~sid) with
   | None -> None
-  | Some v ->
-      let r = Codec.Reader.of_string v in
-      let cat_entries = Codec.Reader.varint r in
-      let cat_bytes = Codec.Reader.varint r in
-      let truncated = Codec.Reader.varint r = 1 in
-      let cat_bound = if truncated then Codec.Reader.float r else 0.0 in
-      Some { cat_entries; cat_bytes; cat_bound }
+  | Some v -> Some (decode_catalog_row v)
 
-let catalog_put index kind ~term ~sid ~entries ~bytes ~bound =
+let catalog_put index kind ~term ~sid ~entries ~bytes ~raw_bytes ~truncated
+    ~bound ~layout =
   let tbl = Env.table (Index.env index) (catalog_name kind) in
-  let b = Codec.Buf.create ~capacity:16 () in
-  Codec.Buf.add_varint b entries;
-  Codec.Buf.add_varint b bytes;
-  if bound > 0.0 then begin
-    Codec.Buf.add_varint b 1;
-    Codec.Buf.add_float b bound
-  end
-  else Codec.Buf.add_varint b 0;
+  let b = Codec.Buf.create ~capacity:24 () in
+  Codec.Buf.add_varint b catalog_row_marker;
+  Codec.Buf.add_uvarint b entries;
+  Codec.Buf.add_uvarint b bytes;
+  Codec.Buf.add_uvarint b raw_bytes;
+  let flags =
+    (if truncated then 1 else 0)
+    lor (match layout with Compressed -> 2 | Raw -> 0)
+  in
+  Codec.Buf.add_uvarint b flags;
+  if truncated then Codec.Buf.add_float b bound;
   Bptree.insert tbl ~key:(catalog_key ~term ~sid) ~value:(Codec.Buf.contents b)
 
 let is_materialized index kind ~term ~sid =
@@ -124,16 +414,29 @@ let list_entries index kind ~term ~sid =
 let list_bound index kind ~term ~sid =
   match catalog_find index kind ~term ~sid with Some c -> c.cat_bound | None -> 0.0
 
+let list_truncated index kind ~term ~sid =
+  match catalog_find index kind ~term ~sid with
+  | Some c -> c.cat_truncated
+  | None -> false
+
+let list_layout index kind ~term ~sid =
+  match catalog_find index kind ~term ~sid with
+  | Some c -> Some c.cat_layout
+  | None -> None
+
+let list_raw_bytes index kind ~term ~sid =
+  match catalog_find index kind ~term ~sid with
+  | Some c -> c.cat_raw_bytes
+  | None -> 0
+
 let catalog index kind =
   let tbl = Env.table (Index.env index) (catalog_name kind) in
   let out = ref [] in
   Bptree.iter tbl (fun k v ->
       let term, p = Codec.string_of_key k ~pos:0 in
       let sid, _ = Codec.int_of_key k ~pos:p in
-      let r = Codec.Reader.of_string v in
-      let entries = Codec.Reader.varint r in
-      let bytes = Codec.Reader.varint r in
-      out := (term, sid, entries, bytes) :: !out);
+      let row = decode_catalog_row v in
+      out := (term, sid, row.cat_entries, row.cat_bytes) :: !out);
   List.rev !out
 
 let total_bytes index kind =
@@ -171,11 +474,29 @@ let rec list_take n = function
   | [] -> []
   | x :: rest -> if n <= 0 then [] else x :: list_take (n - 1) rest
 
-let write_list index kind ~term ~sid ?prefix entries =
+let raw_rows kind ~term ~sid sorted =
+  List.filter_map
+    (fun chunk ->
+      match chunk with
+      | [] -> None
+      | first :: _ ->
+          Some (chunk_key kind ~term ~sid first, encode_chunk ~sid chunk))
+    (chunks_of chunk_size sorted)
+
+let compressed_rows kind ~term ~sid sorted =
+  segment_rows ~with_sid:false
+    ~key_of_first:(fun first -> chunk_key kind ~term ~sid first)
+    sorted
+
+let rows_bytes rows =
+  List.fold_left (fun acc (k, v) -> acc + String.length k + String.length v) 0 rows
+
+let write_list index kind ~term ~sid ?prefix ?(layout = Compressed) entries =
   let tbl = Env.table (Index.env index) (table_name kind) in
   (* Clear any chunks left under this pair (e.g. from a list whose drop
-     removed the catalog row but crashed before the chunks) so the new
-     list never interleaves with stale entries. *)
+     removed the catalog row but crashed before the chunks, or a list
+     being rebuilt in the other layout) so the new list never
+     interleaves with stale entries. *)
   let stale = ref [] in
   Bptree.iter_prefix tbl ~prefix:(pair_prefix ~term ~sid) (fun k _ ->
       stale := k :: !stale);
@@ -186,35 +507,41 @@ let write_list index kind ~term ~sid ?prefix entries =
       entries
   in
   (* RPL prefixes (paper §4): keep only the best [n] entries and record
-     the bound every dropped entry is below. *)
-  let sorted, bound =
+     the bound every dropped entry is below, with an explicit truncated
+     flag (a bound of 0.0 must still certify). *)
+  let sorted, bound, truncated =
     match (kind, prefix) with
     | Rpl, Some n when List.length sorted > n ->
         let kept = list_take n sorted in
         let bound =
           match List.rev kept with last :: _ -> last.score | [] -> 0.0
         in
-        (kept, bound)
-    | (Rpl | Erpl), _ -> (sorted, 0.0)
+        (kept, bound, true)
+    | (Rpl | Erpl), _ -> (sorted, 0.0, false)
   in
-  let bytes = ref 0 in
-  List.iter
-    (fun chunk ->
-      match chunk with
-      | [] -> ()
-      | first :: _ ->
-          let key = chunk_key kind ~term ~sid first in
-          let value = encode_chunk ~sid chunk in
-          bytes := !bytes + String.length key + String.length value;
-          Bptree.insert tbl ~key ~value)
-    (chunks_of chunk_size sorted);
-  catalog_put index kind ~term ~sid ~entries:(List.length sorted) ~bytes:!bytes
-    ~bound;
-  (List.length sorted, !bytes)
+  (* Both encodings are priced so the advisor can weigh compressed
+     against raw materialization; only the chosen one is stored. *)
+  let raw = raw_rows kind ~term ~sid sorted in
+  let raw_bytes = rows_bytes raw in
+  let rows =
+    match layout with Raw -> raw | Compressed -> compressed_rows kind ~term ~sid sorted
+  in
+  let bytes = rows_bytes rows in
+  List.iter (fun (key, value) -> Bptree.insert tbl ~key ~value) rows;
+  catalog_put index kind ~term ~sid ~entries:(List.length sorted) ~bytes
+    ~raw_bytes ~truncated ~bound ~layout;
+  (List.length sorted, bytes)
 
-let build index ~scoring ~sids ~terms ~kinds ?rpl_prefix () =
+let build index ~scoring ~sids ~terms ~kinds ?rpl_prefix ?(layout = Compressed) () =
   let sids = List.sort_uniq compare sids in
-  let missing kind term sid = not (is_materialized index kind ~term ~sid) in
+  (* A list materialized in the other layout counts as missing: asking
+     for a layout rebuilds it through the same manifest-guarded path,
+     which is also how pre-existing raw environments migrate. *)
+  let missing kind term sid =
+    match catalog_find index kind ~term ~sid with
+    | None -> true
+    | Some row -> row.cat_layout <> layout
+  in
   let work =
     List.concat_map
       (fun kind ->
@@ -274,7 +601,9 @@ let build index ~scoring ~sids ~terms ~kinds ?rpl_prefix () =
              | Some c -> !c
              | None -> []
            in
-           let n, sz = write_list index kind ~term ~sid ?prefix:rpl_prefix entries in
+           let n, sz =
+             write_list index kind ~term ~sid ?prefix:rpl_prefix ~layout entries
+           in
            built := (term, sid) :: !built;
            entries_written := !entries_written + n;
            bytes := !bytes + sz)
@@ -353,13 +682,17 @@ module Full = struct
   let decode_chunk v =
     let r = Codec.Reader.of_string v in
     let n = Codec.Reader.varint r in
-    List.init n (fun _ ->
-        let score = Codec.Reader.float r in
-        let sid = Codec.Reader.varint r in
-        let docid = Codec.Reader.varint r in
-        let endpos = Codec.Reader.varint r in
-        let length = Codec.Reader.varint r in
-        { element = { Types.sid; docid; endpos; length }; score })
+    (* In-order loop, not [List.init]: the reader is stateful. *)
+    let out = ref [] in
+    for _ = 1 to n do
+      let score = Codec.Reader.float r in
+      let sid = Codec.Reader.varint r in
+      let docid = Codec.Reader.varint r in
+      let endpos = Codec.Reader.varint r in
+      let length = Codec.Reader.varint r in
+      out := { element = { Types.sid; docid; endpos; length }; score } :: !out
+    done;
+    List.rev !out
 
   let catalog_find index ~term =
     let tbl = Env.table (Index.env index) catalog_name in
@@ -378,7 +711,7 @@ module Full = struct
   let list_bytes index ~term =
     match catalog_find index ~term with Some (_, b) -> b | None -> 0
 
-  let build index ~scoring ~terms =
+  let build index ~scoring ?(layout = Compressed) ~terms () =
     let missing = List.filter (fun t -> not (is_materialized index ~term:t)) terms in
     if missing = [] then
       {
@@ -407,17 +740,29 @@ module Full = struct
                List.map (fun (element, score) -> { element; score }) scored
                |> List.sort compare_rpl_order
              in
+             let rows =
+               match layout with
+               | Raw ->
+                   List.filter_map
+                     (fun chunk ->
+                       match chunk with
+                       | [] -> None
+                       | first :: _ -> Some (chunk_key ~term first, encode_chunk chunk))
+                     (chunks_of chunk_size sorted)
+               | Compressed ->
+                   (* Full-term segments carry the sid both per entry
+                      and as a per-block bitmap, so a cursor can skip
+                      whole foreign-extent blocks undecoded. *)
+                   segment_rows ~with_sid:true
+                     ~key_of_first:(fun first -> chunk_key ~term first)
+                     sorted
+             in
              let list_bytes = ref 0 in
              List.iter
-               (fun chunk ->
-                 match chunk with
-                 | [] -> ()
-                 | first :: _ ->
-                     let key = chunk_key ~term first in
-                     let value = encode_chunk chunk in
-                     list_bytes := !list_bytes + String.length key + String.length value;
-                     Bptree.insert tbl ~key ~value)
-               (chunks_of chunk_size sorted);
+               (fun (key, value) ->
+                 list_bytes := !list_bytes + String.length key + String.length value;
+                 Bptree.insert tbl ~key ~value)
+               rows;
              let b = Codec.Buf.create ~capacity:8 () in
              Codec.Buf.add_varint b (List.length sorted);
              Codec.Buf.add_varint b !list_bytes;
@@ -457,14 +802,24 @@ module Full = struct
       Manifest.Remove_prefix { table = table_name; prefix };
     ]
 
+  type seg_state = {
+    fs_seg : Codec.Block.t;
+    fs_dict : float array;
+    mutable fs_next : int;
+  }
+
   type cursor = {
     f_cursor : Bptree.Cursor.cursor;
     f_prefix : string;
     f_sids : (int, unit) Hashtbl.t;
+    f_bitmap : int; (* union of the query sids' hash bits *)
     mutable f_chunk : entry list;
+    mutable f_seg : seg_state option;
     mutable f_done : bool;
     mutable f_read : int;
     mutable f_skipped : int;
+    mutable f_blocks_decoded : int;
+    mutable f_blocks_skipped : int;
   }
 
   exception Missing of string
@@ -481,10 +836,14 @@ module Full = struct
       f_cursor = Bptree.Cursor.seek tbl prefix;
       f_prefix = prefix;
       f_sids;
+      f_bitmap = List.fold_left (fun acc s -> acc lor sid_bit s) 0 sids;
       f_chunk = [];
+      f_seg = None;
       f_done = false;
       f_read = 0;
       f_skipped = 0;
+      f_blocks_decoded = 0;
+      f_blocks_skipped = 0;
     }
 
   let rec next c =
@@ -499,22 +858,63 @@ module Full = struct
           Metrics.incr m_full_skipped;
           next c
         end
-    | [] ->
-        if c.f_done then None
-        else begin
-          match Bptree.Cursor.next c.f_cursor with
-          | Some (k, v)
-            when String.length k >= String.length c.f_prefix
-                 && String.sub k 0 (String.length c.f_prefix) = c.f_prefix ->
-              c.f_chunk <- decode_chunk v;
+    | [] -> (
+        match c.f_seg with
+        | Some st when st.fs_next < Codec.Block.block_count st.fs_seg ->
+            let i = st.fs_next in
+            st.fs_next <- i + 1;
+            let info =
+              decode_block_header ~with_sid:true (Codec.Block.header st.fs_seg i)
+            in
+            (* The bitmap can collide (sid mod 63), so a hit may still
+               hold only foreign sids — decoded entries are re-checked
+               above. A miss is definitive: skip the block undecoded.
+               These entries are counted skipped but not read: never
+               touching them is exactly the access the paper's skip
+               pattern pays for. *)
+            if info.blk_sids land c.f_bitmap = 0 then begin
+              c.f_blocks_skipped <- c.f_blocks_skipped + 1;
+              c.f_skipped <- c.f_skipped + info.blk_count;
+              Metrics.add m_full_skipped info.blk_count;
               next c
-          | Some _ | None ->
-              c.f_done <- true;
-              None
-        end
+            end
+            else begin
+              c.f_blocks_decoded <- c.f_blocks_decoded + 1;
+              c.f_chunk <-
+                decode_block ~with_sid:true ~sid:0 st.fs_dict info
+                  (Codec.Block.payload st.fs_seg i);
+              next c
+            end
+        | _ ->
+            c.f_seg <- None;
+            if c.f_done then None
+            else begin
+              match Bptree.Cursor.next c.f_cursor with
+              | Some (k, v)
+                when String.length k >= String.length c.f_prefix
+                     && String.sub k 0 (String.length c.f_prefix) = c.f_prefix -> (
+                  match Codec.Block.of_string v with
+                  | Some seg ->
+                      c.f_seg <-
+                        Some
+                          {
+                            fs_seg = seg;
+                            fs_dict = decode_dict (Codec.Block.extra seg);
+                            fs_next = 0;
+                          };
+                      next c
+                  | None ->
+                      c.f_chunk <- decode_chunk v;
+                      next c)
+              | Some _ | None ->
+                  c.f_done <- true;
+                  None
+            end)
 
   let entries_read c = c.f_read
   let entries_skipped c = c.f_skipped
+  let blocks_decoded c = c.f_blocks_decoded
+  let blocks_skipped c = c.f_blocks_skipped
 end
 
 (* ---- cursors ---- *)
@@ -522,39 +922,128 @@ end
 module Cursor = struct
   exception Missing_list of { kind : kind; term : string; sid : int }
 
-  (* One (term, sid) stream: lazily decoded chunks behind a B+tree
-     cursor constrained to the pair prefix. *)
+  type seg_state = {
+    ss_seg : Codec.Block.t;
+    ss_dict : float array;
+    mutable ss_next : int;
+  }
+
+  (* One (term, sid) stream: lazily decoded blocks behind a B+tree
+     cursor constrained to the pair prefix. Blocks whose skip entry
+     proves them irrelevant — everything at or below the score bound
+     (RPLs, descending) or strictly before the position target (ERPLs,
+     ascending) — are never decoded. *)
   type stream = {
     s_cursor : Bptree.Cursor.cursor;
     s_prefix : string;
     s_sid : int;
+    s_kind : kind;
+    mutable s_bound : float;
+        (* score floor: entries at or below it cannot matter to the
+           caller, so RPL blocks with qmax <= bound end the stream *)
+    mutable s_skip : (int * int) option; (* (docid, endpos) target *)
     mutable s_chunk : entry list;
+    mutable s_seg : seg_state option;
     mutable s_done : bool;
+    mutable s_skipped_by_bound : bool;
+    mutable s_dyn_bound : float;
+    mutable s_blocks_decoded : int;
+    mutable s_blocks_skipped : int;
+    mutable s_entries_skipped : int;
   }
 
-  let stream_next s =
+  let pos_of (e : entry) = (e.element.Types.docid, e.element.Types.endpos)
+
+  (* Drop decoded entries before the position target, then clear it. *)
+  let apply_skip s chunk =
+    match s.s_skip with
+    | None -> chunk
+    | Some target ->
+        let rec drop = function
+          | e :: rest when pos_of e < target ->
+              s.s_entries_skipped <- s.s_entries_skipped + 1;
+              drop rest
+          | l -> l
+        in
+        let l = drop chunk in
+        if l <> [] then s.s_skip <- None;
+        l
+
+  let rec stream_next s =
     match s.s_chunk with
     | e :: rest ->
         s.s_chunk <- rest;
         Some e
-    | [] ->
-        if s.s_done then None
-        else begin
-          match Bptree.Cursor.next s.s_cursor with
-          | Some (k, v)
-            when String.length k >= String.length s.s_prefix
-                 && String.sub k 0 (String.length s.s_prefix) = s.s_prefix -> (
-              match decode_chunk ~sid:s.s_sid v with
-              | e :: rest ->
-                  s.s_chunk <- rest;
-                  Some e
-              | [] ->
-                  s.s_done <- true;
-                  None)
-          | Some _ | None ->
+    | [] -> (
+        match s.s_seg with
+        | Some st when st.ss_next < Codec.Block.block_count st.ss_seg ->
+            let i = st.ss_next in
+            let info =
+              decode_block_header ~with_sid:false (Codec.Block.header st.ss_seg i)
+            in
+            if
+              s.s_kind = Rpl && s.s_bound > 0.0
+              && Codec.Block.dequantize info.blk_qmax <= s.s_bound
+            then begin
+              (* Descending score order: every entry from this block on
+                 is at or below the bound. The quantized max is >= the
+                 true max, so stopping here is rank-safe. *)
+              s.s_skipped_by_bound <- true;
+              s.s_dyn_bound <-
+                Float.max s.s_dyn_bound (Codec.Block.dequantize info.blk_qmax);
+              s.s_blocks_skipped <-
+                s.s_blocks_skipped + (Codec.Block.block_count st.ss_seg - i);
+              s.s_seg <- None;
               s.s_done <- true;
               None
-        end
+            end
+            else if
+              s.s_kind = Erpl
+              && (match s.s_skip with
+                 | Some target -> (info.blk_max_docid, info.blk_last_endpos) < target
+                 | None -> false)
+            then begin
+              (* Position order: the whole block lies before the seek
+                 target. *)
+              st.ss_next <- i + 1;
+              s.s_blocks_skipped <- s.s_blocks_skipped + 1;
+              s.s_entries_skipped <- s.s_entries_skipped + info.blk_count;
+              stream_next s
+            end
+            else begin
+              st.ss_next <- i + 1;
+              s.s_blocks_decoded <- s.s_blocks_decoded + 1;
+              s.s_chunk <-
+                apply_skip s
+                  (decode_block ~with_sid:false ~sid:s.s_sid st.ss_dict info
+                     (Codec.Block.payload st.ss_seg i));
+              stream_next s
+            end
+        | _ ->
+            s.s_seg <- None;
+            if s.s_done then None
+            else begin
+              match Bptree.Cursor.next s.s_cursor with
+              | Some (k, v)
+                when String.length k >= String.length s.s_prefix
+                     && String.sub k 0 (String.length s.s_prefix) = s.s_prefix -> (
+                  match Codec.Block.of_string v with
+                  | Some seg ->
+                      s.s_seg <-
+                        Some
+                          {
+                            ss_seg = seg;
+                            ss_dict = decode_dict (Codec.Block.extra seg);
+                            ss_next = 0;
+                          };
+                      stream_next s
+                  | None ->
+                      s.s_chunk <- apply_skip s (decode_chunk ~sid:s.s_sid v);
+                      stream_next s)
+              | Some _ | None ->
+                  s.s_done <- true;
+                  None
+            end)
 
   (* K-way merge of the streams with a heap ordered by the kind's entry
      order. *)
@@ -572,9 +1061,10 @@ module Cursor = struct
     streams : stream array;
     heap : Merge_heap.t;
     mutable read : int;
-    bound : float;
+    static_bound : float;
         (* max truncation bound among the merged lists: every entry the
            stored prefixes dropped scores at most this *)
+    static_truncated : bool;
   }
 
   let create index kind ~term ~sids =
@@ -582,24 +1072,32 @@ module Cursor = struct
     check_generation index (catalog_name kind);
     let tbl = Env.table (Index.env index) (table_name kind) in
     let sids = List.sort_uniq compare sids in
-    let bound =
-      List.fold_left
-        (fun acc sid -> Float.max acc (list_bound index kind ~term ~sid))
-        0.0 sids
-    in
+    let static_bound = ref 0.0 and static_truncated = ref false in
     let streams =
       sids
       |> List.map (fun sid ->
-             if not (is_materialized index kind ~term ~sid) then
-               raise (Missing_list { kind; term; sid });
-             let prefix = pair_prefix ~term ~sid in
-             {
-               s_cursor = Bptree.Cursor.seek tbl prefix;
-               s_prefix = prefix;
-               s_sid = sid;
-               s_chunk = [];
-               s_done = false;
-             })
+             match catalog_find index kind ~term ~sid with
+             | None -> raise (Missing_list { kind; term; sid })
+             | Some row ->
+                 static_bound := Float.max !static_bound row.cat_bound;
+                 if row.cat_truncated then static_truncated := true;
+                 let prefix = pair_prefix ~term ~sid in
+                 {
+                   s_cursor = Bptree.Cursor.seek tbl prefix;
+                   s_prefix = prefix;
+                   s_sid = sid;
+                   s_kind = kind;
+                   s_bound = 0.0;
+                   s_skip = None;
+                   s_chunk = [];
+                   s_seg = None;
+                   s_done = false;
+                   s_skipped_by_bound = false;
+                   s_dyn_bound = 0.0;
+                   s_blocks_decoded = 0;
+                   s_blocks_skipped = 0;
+                   s_entries_skipped = 0;
+                 })
       |> Array.of_list
     in
     let heap = Merge_heap.create () in
@@ -609,7 +1107,21 @@ module Cursor = struct
         | Some e -> Merge_heap.push heap (i, e, kind)
         | None -> ())
       streams;
-    { kind; streams; heap; read = 0; bound }
+    {
+      kind;
+      streams;
+      heap;
+      read = 0;
+      static_bound = !static_bound;
+      static_truncated = !static_truncated;
+    }
+
+  (* Install a score floor after creation (RPL cursors): the heads
+     already buffered stay — only yet-undecoded blocks are pruned,
+     which keeps the returned stream a prefix of the unbounded one. *)
+  let set_bound t bound =
+    if t.kind <> Rpl then invalid_arg "Rpl.Cursor.set_bound: RPL cursors only";
+    Array.iter (fun s -> s.s_bound <- bound) t.streams
 
   let next t =
     match Merge_heap.pop t.heap with
@@ -622,6 +1134,49 @@ module Cursor = struct
         Metrics.incr m_merged_read;
         Some e
 
+  (* Advance every ERPL stream past entries positioned before
+     (docid, endpos): blocks entirely before the target are dropped by
+     their skip entry without being decoded. Already-buffered heap
+     heads before the target are discarded. *)
+  let skip_to t ~docid ~endpos =
+    if t.kind <> Erpl then invalid_arg "Rpl.Cursor.skip_to: ERPL cursors only";
+    let target = (docid, endpos) in
+    let rec drain acc =
+      match Merge_heap.pop t.heap with
+      | None -> acc
+      | Some x -> drain (x :: acc)
+    in
+    List.iter
+      (fun (i, e, k) ->
+        if pos_of e >= target then Merge_heap.push t.heap (i, e, k)
+        else begin
+          let s = t.streams.(i) in
+          s.s_entries_skipped <- s.s_entries_skipped + 1;
+          s.s_skip <- Some target;
+          s.s_chunk <- apply_skip s s.s_chunk;
+          match stream_next s with
+          | Some e' -> Merge_heap.push t.heap (i, e', k)
+          | None -> ()
+        end)
+      (drain [])
+
   let entries_read t = t.read
-  let truncation_bound t = t.bound
+
+  let entries_skipped t =
+    Array.fold_left (fun acc s -> acc + s.s_entries_skipped) 0 t.streams
+
+  let blocks_decoded t =
+    Array.fold_left (fun acc s -> acc + s.s_blocks_decoded) 0 t.streams
+
+  let blocks_skipped t =
+    Array.fold_left (fun acc s -> acc + s.s_blocks_skipped) 0 t.streams
+
+  let truncation_bound t =
+    Array.fold_left
+      (fun acc s -> Float.max acc s.s_dyn_bound)
+      t.static_bound t.streams
+
+  let truncated t =
+    t.static_truncated
+    || Array.exists (fun s -> s.s_skipped_by_bound) t.streams
 end

@@ -21,7 +21,18 @@ type entry = { element : Trex_invindex.Types.element; score : float }
 
 type kind = Rpl | Erpl
 
+type layout = Raw | Compressed
+(** How a list's chunks are stored. [Raw] is the v1 fixed-width chunk
+    codec; [Compressed] packs delta+varint blocks with
+    dictionary-coded exact scores into {!Trex_util.Codec.Block}
+    segments whose skip directory lets cursors skip whole blocks by
+    score bound or position without decoding them. Values are
+    self-describing, so cursors read either layout (or a mix)
+    transparently; returned entries — scores included — are identical.
+    See DESIGN.md §7. *)
+
 val kind_to_string : kind -> string
+val layout_to_string : layout -> string
 
 val table_name : kind -> string
 (** Env table holding the lists ("rpls" / "erpls"); exposed so the
@@ -52,10 +63,14 @@ val build :
   terms:string list ->
   kinds:kind list ->
   ?rpl_prefix:int ->
+  ?layout:layout ->
   unit ->
   build_report
 (** Run ERA once over (sids, terms) and materialize the missing lists
-    of the requested kinds. Idempotent per (kind, term, sid).
+    of the requested kinds. Idempotent per (kind, term, sid, layout): a
+    list already stored in [layout] (default [Compressed]) is reused, a
+    list stored in the {e other} layout is rebuilt — which is also how
+    environments written before compression migrate.
 
     [rpl_prefix] stores only the [n] highest-scoring entries of each
     RPL — the paper's observation (§4) that "only the part of the RPLs
@@ -81,6 +96,18 @@ val list_bound : Trex_invindex.Index.t -> kind -> term:string -> sid:int -> floa
 (** Truncation bound of a prefix-materialized RPL: entries that were
     dropped all score at most this. [0.] for complete lists or absent
     catalogs. *)
+
+val list_truncated : Trex_invindex.Index.t -> kind -> term:string -> sid:int -> bool
+(** Whether the stored list is a truncated prefix. Carried explicitly
+    in the catalog row — a bound of 0.0 does not mean complete. *)
+
+val list_layout : Trex_invindex.Index.t -> kind -> term:string -> sid:int -> layout option
+(** Stored layout of a materialized list; [None] when absent. *)
+
+val list_raw_bytes : Trex_invindex.Index.t -> kind -> term:string -> sid:int -> int
+(** What the list costs (or would cost) stored raw — recorded at write
+    time so the advisor can price compressed against raw
+    materialization. Equals {!list_bytes} for raw lists. *)
 
 val drop : Trex_invindex.Index.t -> kind -> term:string -> sid:int -> unit
 (** Remove one list and its catalog entry (catalog row first, so a
@@ -114,10 +141,14 @@ module Full : sig
   val build :
     Trex_invindex.Index.t ->
     scoring:Trex_scoring.Scorer.config ->
+    ?layout:layout ->
     terms:string list ->
+    unit ->
     build_report
   (** Materialize the full RPL of each term not yet built (one ERA pass
-      over all summary extents). *)
+      over all summary extents). Compressed full-term segments carry a
+      per-block sid bitmap, so the skip-scanning cursor drops whole
+      foreign-extent blocks without decoding them. *)
 
   val is_materialized : Trex_invindex.Index.t -> term:string -> bool
   val list_entries : Trex_invindex.Index.t -> term:string -> int
@@ -141,9 +172,15 @@ module Full : sig
   (** Next entry whose sid belongs to the query, descending score. *)
 
   val entries_read : cursor -> int
-  (** All entries consumed, including skipped ones. *)
+  (** Entries decoded and consumed. Entries inside bitmap-skipped
+      blocks are counted by {!entries_skipped} but never read — the
+      access the skip directory avoids. *)
 
   val entries_skipped : cursor -> int
+
+  val blocks_decoded : cursor -> int
+  val blocks_skipped : cursor -> int
+  (** Blocks dropped by the per-block sid bitmap, undecoded. *)
 end
 
 (** Merged read cursors over the materialized lists of one term,
@@ -153,18 +190,53 @@ module Cursor : sig
 
   exception Missing_list of { kind : kind; term : string; sid : int }
 
-  val create : Trex_invindex.Index.t -> kind -> term:string -> sids:int list -> t
+  val create :
+    Trex_invindex.Index.t ->
+    kind ->
+    term:string ->
+    sids:int list ->
+    t
   (** @raise Missing_list if any required (term, sid) list is absent.
       @raise Stale_generation when the kind's tables are blocked
         pending manifest resolution. *)
+
+  val set_bound : t -> float -> unit
+  (** RPL cursors only: install a score floor the caller has already
+      achieved (e.g. the scatter-gather global k-th score). Entries at
+      or below it cannot matter, so compressed blocks whose quantized
+      max is within the bound are skipped undecoded and the stream ends
+      there — the skip is recorded as a dynamic truncation
+      ({!truncation_bound}/{!truncated}), keeping TA's certification
+      obligation explicit. Entries already buffered when the bound is
+      installed are still returned, so the stream stays a prefix of the
+      unbounded one. [0.0] disables the skip.
+      @raise Invalid_argument on an ERPL cursor. *)
 
   val next : t -> entry option
   (** Descending score for {!Rpl}; document position order for
       {!Erpl}. *)
 
+  val skip_to : t -> docid:int -> endpos:int -> unit
+  (** ERPL cursors only: discard every entry positioned before
+      (docid, endpos). Blocks entirely before the target are dropped by
+      their skip entry without being decoded ({!blocks_skipped}).
+      @raise Invalid_argument on an RPL cursor. *)
+
   val entries_read : t -> int
+
+  val entries_skipped : t -> int
+  (** Entries dropped by {!skip_to} (decoded or not). *)
+
+  val blocks_decoded : t -> int
+  val blocks_skipped : t -> int
 
   val truncation_bound : t -> float
   (** Upper bound on the score of any entry the materialized prefixes
-      dropped; [0.] when every merged list is complete. *)
+      dropped {e or} bound-skipping left undecoded; [0.] when every
+      merged list is complete and unskipped. *)
+
+  val truncated : t -> bool
+  (** Whether any merged list is incomplete — stored truncated flag or
+      a bound-skip this cursor performed. Unlike [truncation_bound > 0.]
+      this is exact even when the bound is 0.0. *)
 end

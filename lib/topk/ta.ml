@@ -15,6 +15,7 @@ let m_heap_ops = Metrics.counter "ta.heap_operations"
 let m_heap_pushes = Metrics.counter "ta.heap_pushes"
 let m_heap_evictions = Metrics.counter "ta.heap_evictions"
 let m_candidates = Metrics.counter "ta.candidates"
+let m_blocks_skipped = Metrics.counter "ta.blocks_skipped"
 
 type stats = {
   sorted_accesses : int;
@@ -23,6 +24,7 @@ type stats = {
   heap_pushes : int;
   heap_evictions : int;
   candidates : int;
+  blocks_skipped : int;
   stopped_early : bool;
   elapsed_seconds : float;
   heap_seconds : float;
@@ -55,7 +57,14 @@ type term_stream = {
   pull : unit -> Rpl.entry option;
   reads : unit -> int; (* entries consumed, skipped included *)
   skipped : unit -> int;
-  bound : float; (* scores past the stored prefix are at most this *)
+  blocks_skipped : unit -> int; (* compressed blocks dropped undecoded *)
+  bound : unit -> float;
+      (* scores past what the stream served are at most this; dynamic
+         because bound-skipping a compressed block truncates the stream
+         at run time *)
+  truncated : unit -> bool;
+      (* the stream is an incomplete prefix — stored truncated flag or
+         a bound skip; exact even when [bound () = 0.0] *)
 }
 
 let run index ~sids ~terms ~k ?(ideal_heap = false) ?(use_full_rpls = false)
@@ -84,16 +93,27 @@ let run index ~sids ~terms ~k ?(ideal_heap = false) ?(use_full_rpls = false)
         pull = (fun () -> Rpl.Full.next c);
         reads = (fun () -> Rpl.Full.entries_read c);
         skipped = (fun () -> Rpl.Full.entries_skipped c);
-        bound = 0.0 (* full-term lists are never prefix-truncated *);
+        blocks_skipped = (fun () -> Rpl.Full.blocks_skipped c);
+        bound = (fun () -> 0.0) (* full lists are never truncated *);
+        truncated = (fun () -> false);
       }
     end
     else begin
       let c = Rpl.Cursor.create index Rpl.Rpl ~term ~sids in
+      (* A single-term query can end its stream at the floor: dropped
+         entries score at most the floor, so the exhaustion threshold
+         stays within [w] and certification below always succeeds. With
+         several terms the per-stream bounds sum past the floor, so the
+         skip could forfeit a certifiable answer — leave it off and let
+         the threshold test stop the run instead. *)
+      if floor > 0.0 && n = 1 then Rpl.Cursor.set_bound c floor;
       {
         pull = (fun () -> Rpl.Cursor.next c);
         reads = (fun () -> Rpl.Cursor.entries_read c);
-        skipped = (fun () -> 0);
-        bound = Rpl.Cursor.truncation_bound c;
+        skipped = (fun () -> Rpl.Cursor.entries_skipped c);
+        blocks_skipped = (fun () -> Rpl.Cursor.blocks_skipped c);
+        bound = (fun () -> Rpl.Cursor.truncation_bound c);
+        truncated = (fun () -> Rpl.Cursor.truncated c);
       }
     end
   in
@@ -219,9 +239,9 @@ let run index ~sids ~terms ~k ?(ideal_heap = false) ?(use_full_rpls = false)
                accept_entry t entry
            | None ->
                exhausted.(t) <- true;
-               (* Entries past a truncated prefix score at most the
-                  recorded bound. *)
-               last_seen.(t) <- cursors.(t).bound
+               (* Entries past a truncated prefix (stored or
+                  bound-skipped) score at most the recorded bound. *)
+               last_seen.(t) <- cursors.(t).bound ()
          end
        done;
        if not !progressed then running := false
@@ -249,8 +269,11 @@ let run index ~sids ~terms ~k ?(ideal_heap = false) ?(use_full_rpls = false)
      done;
      (* With truncated prefixes an exhausted run must still certify the
         top-k before answering: unseen (dropped) entries are bounded by
-        the truncation bounds, so the usual threshold test applies. *)
-     if (not !stopped_early) && Array.exists (fun c -> c.bound > 0.0) cursors
+        the truncation bounds, so the usual threshold test applies. The
+        explicit truncated flag — not [bound > 0.0] — decides whether
+        certification is owed: a truncated list whose dropped entries
+        all scored 0.0 is still incomplete. *)
+     if (not !stopped_early) && Array.exists (fun c -> c.truncated ()) cursors
      then begin
        let tau = threshold () in
        let w = Float.max (current_w ()) floor in
@@ -270,12 +293,16 @@ let run index ~sids ~terms ~k ?(ideal_heap = false) ?(use_full_rpls = false)
   let elapsed = Stopclock.elapsed clock in
   let total_reads = Array.fold_left (fun acc c -> acc + c.reads ()) 0 cursors in
   let total_skipped = Array.fold_left (fun acc c -> acc + c.skipped ()) 0 cursors in
+  let total_blocks_skipped =
+    Array.fold_left (fun acc c -> acc + c.blocks_skipped ()) 0 cursors
+  in
   Metrics.incr (if ideal_heap then m_ita_runs else m_runs);
   if !stopped_early then Metrics.incr m_early_stops;
   Metrics.add m_sorted total_reads;
   Metrics.add m_skipped total_skipped;
   Metrics.add m_heap_ops (Topk_heap.operations heap);
   Metrics.add m_candidates (Hashtbl.length candidates);
+  Metrics.add m_blocks_skipped total_blocks_skipped;
   ( top,
     {
       sorted_accesses = total_reads;
@@ -284,6 +311,7 @@ let run index ~sids ~terms ~k ?(ideal_heap = false) ?(use_full_rpls = false)
       heap_pushes = Metrics.value m_heap_pushes - pushes0;
       heap_evictions = Metrics.value m_heap_evictions - evictions0;
       candidates = Hashtbl.length candidates;
+      blocks_skipped = total_blocks_skipped;
       stopped_early = !stopped_early;
       elapsed_seconds = elapsed;
       heap_seconds = Stopclock.paused_time clock;

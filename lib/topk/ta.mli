@@ -20,6 +20,9 @@ type stats = {
   heap_pushes : int;
   heap_evictions : int;
   candidates : int;  (** distinct elements touched *)
+  blocks_skipped : int;
+      (** compressed blocks dropped undecoded — the full layout's sid
+          bitmap and the single-term floor skip (see DESIGN.md §7) *)
   stopped_early : bool;  (** threshold fired before exhausting lists *)
   elapsed_seconds : float;  (** heap time excluded when [ideal_heap] *)
   heap_seconds : float;  (** measured only when [ideal_heap] *)

@@ -45,7 +45,13 @@ module Buf : sig
   val create : ?capacity:int -> unit -> t
   val contents : t -> string
   val add_varint : t -> int -> unit
+
+  val add_uvarint : t -> int -> unit
+  (** Plain (non-zig-zag) LEB128 for values that are non-negative by
+      construction. @raise Invalid_argument on a negative argument. *)
+
   val add_int64_le : t -> int64 -> unit
+  val add_int32_le : t -> int32 -> unit
   val add_float : t -> float -> unit
   val add_string : t -> string -> unit
 
@@ -61,11 +67,107 @@ module Reader : sig
   val of_string : string -> t
   val pos : t -> int
   val at_end : t -> bool
+
   val varint : t -> int
+  (** @raise Malformed on an encoding longer than 9 bytes (which would
+      silently wrap past 63 bits) or with a redundant trailing zero
+      group, so corrupt input fails instead of decoding to garbage. *)
+
+  val uvarint : t -> int
+  (** Decodes {!Buf.add_uvarint}. Same malformed-input guarantees as
+      {!varint}. *)
+
   val int64_le : t -> int64
+  val int32_le : t -> int32
   val float : t -> float
   val string : t -> string
   val raw : t -> int -> string
 
   exception Truncated
+  (** Input ended mid-value. *)
+
+  exception Malformed of string
+  (** Input is structurally invalid (overlong varint, bad checksum,
+      unknown format marker); retrying with more bytes cannot help. *)
+end
+
+(** Fixed-width bit packing for frame-of-reference block compression:
+    [count] values of [width] bits each, LSB-first within and across
+    bytes, no per-value terminator. Callers pick [width] per block (see
+    {!Bitpack.width}) so narrow local ranges cost narrow fields even
+    when the global range is wide. *)
+module Bitpack : sig
+  val max_width : int
+  (** 56 — keeps every intermediate shift below OCaml's 63-bit int. *)
+
+  val width : int array -> int
+  (** Bits needed for the largest value ([0] for an all-zero or empty
+      array). Values must be non-negative. *)
+
+  val pack : Buf.t -> width:int -> int array -> unit
+  (** @raise Invalid_argument if [width] is outside
+      [0..max_width] or any value needs more than [width] bits. *)
+
+  val unpack : Reader.t -> width:int -> count:int -> int array
+  (** Inverse of {!pack}; consumes exactly the packed bytes.
+      @raise Reader.Malformed if [width] or [count] is out of range
+      (corrupt input, not a programming error). *)
+end
+
+(** Block-compressed segments: several delta-encoded blocks packed into
+    one table value behind a skip directory of caller-defined per-block
+    headers, CRC-protected, with lazy per-block decoding. The leading
+    varint of a segment is negative, while every v1 row codec starts
+    with a non-negative count — so values are self-describing and both
+    formats can coexist in one table. *)
+module Block : sig
+  val scale : float
+  (** Quantization step denominator for skip-entry score bounds. *)
+
+  val quantize_up : float -> int
+  (** Smallest quantized value [>=] the score — sound as an upper
+      bound for rank-safe pruning. *)
+
+  val dequantize : int -> float
+
+  module Writer : sig
+    type t
+
+    val create : unit -> t
+    val is_empty : t -> bool
+    val block_count : t -> int
+
+    val add : t -> header:string -> payload:string -> unit
+    (** Append one block. [header] is the caller's skip entry (decoded
+        back via {!header}); [payload] its encoded entries. *)
+
+    val byte_estimate : t -> int
+    (** Upper-ish bound on [contents] size, for byte-budgeted flushing. *)
+
+    val contents : ?extra:string -> t -> string
+    (** Serialize; [extra] is an optional segment-level header (e.g. a
+        score dictionary) available before any block is decoded. *)
+  end
+
+  type t
+
+  val of_string : string -> t option
+  (** [None] if the value is a v1 (non-segment) encoding; the parsed
+      directory otherwise. Payloads are not decoded here.
+      @raise Reader.Malformed on checksum mismatch, unknown marker or
+      an inconsistent directory. *)
+
+  val is_segment : string -> bool
+
+  val extra : t -> string
+  val block_count : t -> int
+
+  val header : t -> int -> Reader.t
+  (** Reader over block [i]'s skip-entry header. *)
+
+  val payload : t -> int -> Reader.t
+  (** Reader over block [i]'s payload — the only per-block decode cost
+      paid for skipped blocks is never paid at all. *)
+
+  val payload_bytes : t -> int -> int
 end

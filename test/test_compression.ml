@@ -1,0 +1,340 @@
+(* Raw vs block-compressed layout equivalence.
+
+   Compression must be invisible to every reader: identical positions
+   from posting iterators, identical entries — exact scores included —
+   from RPL/ERPL cursors, identical rankings from ERA/TA/Merge. These
+   tests build the same corpus in both layouts and compare. *)
+
+module Env = Trex_storage.Env
+module Summary = Trex_summary.Summary
+module Types = Trex_invindex.Types
+module Index = Trex_invindex.Index
+module Tables = Trex_invindex.Tables
+module Scorer = Trex_scoring.Scorer
+module Answer = Trex_topk.Answer
+module Era = Trex_topk.Era
+module Rpl = Trex_topk.Rpl
+module Ta = Trex_topk.Ta
+module Merge = Trex_topk.Merge
+
+let check = Alcotest.check
+let scoring = Scorer.default
+
+let build_pair ?(doc_count = 25) ?(seed = 11) () =
+  let mk compress =
+    let coll = Trex_corpus.Gen.ieee ~doc_count ~seed () in
+    let env = Env.in_memory () in
+    let summary = Summary.create ~alias:coll.alias Summary.Incoming in
+    let index = Index.build ~env ~summary ~compress (coll.docs ()) in
+    (index, summary)
+  in
+  (mk false, mk true)
+
+let fixture = lazy (build_pair ())
+
+let queries (index, summary) =
+  let translate nexi =
+    let q = Trex_nexi.Parser.parse nexi in
+    let t =
+      Trex_nexi.Translate.translate ~summary
+        ~normalize:(Index.normalize_term index) q
+    in
+    (Trex_nexi.Translate.all_sids t, Trex_nexi.Translate.all_terms t)
+  in
+  List.map translate
+    [
+      "//article//sec[about(., introduction information retrieval)]";
+      "//bdy//*[about(., model checking state)]";
+      "//article[about(., ontologies)]";
+    ]
+
+(* ---- posting segments ---- *)
+
+(* The segment codec is exercised directly: cut, re-read, compare. *)
+let test_posting_segment_roundtrip () =
+  let positions =
+    (* Several docs, bursts of same-doc offsets, one sparse doc far
+       away — exercises all three bit-packed streams. *)
+    let out = ref [] in
+    for doc = 0 to 200 do
+      let docid = if doc = 200 then 100000 else doc * 3 in
+      for i = 0 to 17 do
+        out := { Types.docid; offset = (i * (doc + 7)) + doc } :: !out
+      done
+    done;
+    List.sort compare (List.rev !out)
+  in
+  let rows = Tables.Posting_lists.segment_rows ~token:"tok" positions in
+  Alcotest.(check bool) "several rows" true (List.length rows > 1);
+  let decoded =
+    List.concat_map (fun (_, v) -> Tables.Posting_lists.decode_value v) rows
+  in
+  Alcotest.(check int) "count" (List.length positions) (List.length decoded);
+  Alcotest.(check bool) "positions identical" true (positions = decoded)
+
+let test_posting_layouts_agree () =
+  let (raw, raw_summary), (comp, _) = Lazy.force fixture in
+  List.iter
+    (fun (sids, terms) ->
+      let score ix =
+        Era.score_results ix ~scoring ~terms (fst (Era.run ix ~sids ~terms))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "ERA identical (%d sids, %d terms)" (List.length sids)
+           (List.length terms))
+        true
+        (Answer.equal ~eps:0.0 (score raw) (score comp)))
+    (queries (raw, raw_summary))
+
+(* ---- RPL/ERPL cursors ---- *)
+
+let materialize index ~sids ~terms ~layout =
+  ignore (Rpl.build index ~scoring ~sids ~terms ~kinds:[ Rpl.Rpl; Rpl.Erpl ] ~layout ())
+
+let drain c =
+  let out = ref [] in
+  let rec go () =
+    match Rpl.Cursor.next c with
+    | Some e ->
+        out := e :: !out;
+        go ()
+    | None -> List.rev !out
+  in
+  go ()
+
+let entry_eq (a : Rpl.entry) (b : Rpl.entry) =
+  Types.compare_element a.element b.element = 0 && a.score = b.score
+
+let test_cursor_layouts_agree () =
+  let (raw, summary), (comp, _) = Lazy.force fixture in
+  List.iter
+    (fun (sids, terms) ->
+      materialize raw ~sids ~terms ~layout:Rpl.Raw;
+      materialize comp ~sids ~terms ~layout:Rpl.Compressed;
+      List.iter
+        (fun kind ->
+          List.iter
+            (fun term ->
+              let a = drain (Rpl.Cursor.create raw kind ~term ~sids) in
+              let b = drain (Rpl.Cursor.create comp kind ~term ~sids) in
+              Alcotest.(check bool)
+                (Printf.sprintf "%s %s bit-identical" (Rpl.kind_to_string kind)
+                   term)
+                true
+                (List.length a = List.length b && List.for_all2 entry_eq a b))
+            terms)
+        [ Rpl.Rpl; Rpl.Erpl ])
+    (queries (raw, summary))
+
+let test_skip_to_equals_filtered_scan () =
+  let (raw, summary), (comp, _) = Lazy.force fixture in
+  let sids, terms = List.hd (queries (raw, summary)) in
+  materialize raw ~sids ~terms ~layout:Rpl.Raw;
+  materialize comp ~sids ~terms ~layout:Rpl.Compressed;
+  let term = List.hd terms in
+  let full = drain (Rpl.Cursor.create comp Rpl.Erpl ~term ~sids) in
+  Alcotest.(check bool) "fixture has entries" true (List.length full > 4);
+  (* Aim at the position of an entry past the middle of the stream. *)
+  let target = List.nth full (List.length full / 2) in
+  let docid = target.Rpl.element.Types.docid
+  and endpos = target.Rpl.element.Types.endpos in
+  let expected =
+    List.filter
+      (fun (e : Rpl.entry) ->
+        e.element.Types.docid > docid
+        || (e.element.Types.docid = docid && e.element.Types.endpos >= endpos))
+      full
+  in
+  List.iter
+    (fun index ->
+      let c = Rpl.Cursor.create index Rpl.Erpl ~term ~sids in
+      Rpl.Cursor.skip_to c ~docid ~endpos;
+      let got = drain c in
+      Alcotest.(check bool) "skip_to = filtered scan" true
+        (List.length got = List.length expected
+        && List.for_all2 entry_eq got expected);
+      Alcotest.(check bool) "skips recorded" true
+        (Rpl.Cursor.entries_skipped c > 0))
+    [ raw; comp ]
+
+let test_set_bound_yields_prefix () =
+  let (raw, summary), (comp, _) = Lazy.force fixture in
+  let sids, terms = List.hd (queries (raw, summary)) in
+  materialize raw ~sids ~terms ~layout:Rpl.Raw;
+  materialize comp ~sids ~terms ~layout:Rpl.Compressed;
+  let term = List.hd terms in
+  let sid = [ List.hd sids ] in
+  let full = drain (Rpl.Cursor.create comp Rpl.Rpl ~term ~sids:sid) in
+  if List.length full > 2 then begin
+    (* Floor at the median score: everything above it must survive. *)
+    let floor = (List.nth full (List.length full / 2)).Rpl.score in
+    let c = Rpl.Cursor.create comp Rpl.Rpl ~term ~sids:sid in
+    Rpl.Cursor.set_bound c floor;
+    let bounded = drain c in
+    let rec is_prefix a b =
+      match (a, b) with
+      | [], _ -> true
+      | x :: a, y :: b -> entry_eq x y && is_prefix a b
+      | _ :: _, [] -> false
+    in
+    Alcotest.(check bool) "bounded stream is a prefix" true
+      (is_prefix bounded full);
+    List.iter
+      (fun (e : Rpl.entry) ->
+        if e.score > floor then
+          Alcotest.(check bool) "above-floor entry kept" true
+            (List.exists (entry_eq e) bounded))
+      full;
+    if List.length bounded < List.length full then begin
+      Alcotest.(check bool) "skip flagged as truncation" true
+        (Rpl.Cursor.truncated c);
+      Alcotest.(check bool) "bound recorded" true
+        (Rpl.Cursor.truncation_bound c > 0.0)
+    end
+  end;
+  (* ERPL cursors must refuse a score bound. *)
+  let e = Rpl.Cursor.create comp Rpl.Erpl ~term ~sids:sid in
+  Alcotest.check_raises "ERPL set_bound rejected"
+    (Invalid_argument "Rpl.Cursor.set_bound: RPL cursors only") (fun () ->
+      Rpl.Cursor.set_bound e 1.0)
+
+(* ---- catalog truncation flag ---- *)
+
+let test_catalog_truncation_flag () =
+  (* Fresh index: [Rpl.build] reuses existing complete lists, which
+     would turn the prefix build below into a no-op. *)
+  let _, (comp, summary) = build_pair ~doc_count:8 ~seed:5 () in
+  let sids, terms = List.hd (queries (comp, summary)) in
+  let term = List.hd terms and sid = List.hd sids in
+  ignore
+    (Rpl.build comp ~scoring ~sids:[ sid ] ~terms:[ term ] ~kinds:[ Rpl.Rpl ]
+       ~rpl_prefix:1 ());
+  Alcotest.(check bool) "prefix list flagged truncated" true
+    (Rpl.list_truncated comp Rpl.Rpl ~term ~sid);
+  let c = Rpl.Cursor.create comp Rpl.Rpl ~term ~sids:[ sid ] in
+  Alcotest.(check bool) "cursor sees the flag" true (Rpl.Cursor.truncated c);
+  Rpl.drop comp Rpl.Rpl ~term ~sid;
+  ignore
+    (Rpl.build comp ~scoring ~sids:[ sid ] ~terms:[ term ] ~kinds:[ Rpl.Rpl ] ());
+  Alcotest.(check bool) "complete list not truncated" false
+    (Rpl.list_truncated comp Rpl.Rpl ~term ~sid);
+  check (Alcotest.float 0.0) "complete list bound 0.0" 0.0
+    (Rpl.list_bound comp Rpl.Rpl ~term ~sid)
+
+(* ---- strategy rank identity ---- *)
+
+let test_strategies_rank_identical_across_layouts () =
+  let (raw, summary), (comp, _) = Lazy.force fixture in
+  List.iter
+    (fun (sids, terms) ->
+      materialize raw ~sids ~terms ~layout:Rpl.Raw;
+      materialize comp ~sids ~terms ~layout:Rpl.Compressed;
+      let ta ix = fst (Ta.run ix ~sids ~terms ~k:10 ()) in
+      let merge ix = fst (Merge.run ix ~sids ~terms) in
+      Alcotest.(check bool) "TA identical" true
+        (Answer.equal ~eps:0.0 (ta raw) (ta comp));
+      Alcotest.(check bool) "Merge identical" true
+        (Answer.equal ~eps:0.0 (merge raw) (merge comp)))
+    (queries (raw, summary))
+
+let test_full_rpl_skip_identical () =
+  let (raw, summary), (comp, _) = Lazy.force fixture in
+  let sids, terms = List.hd (queries (raw, summary)) in
+  ignore (Rpl.Full.build raw ~scoring ~layout:Rpl.Raw ~terms ());
+  ignore (Rpl.Full.build comp ~scoring ~layout:Rpl.Compressed ~terms ());
+  materialize raw ~sids ~terms ~layout:Rpl.Raw;
+  materialize comp ~sids ~terms ~layout:Rpl.Compressed;
+  let run ix ~use_full_rpls =
+    fst (Ta.run ix ~sids ~terms ~k:10 ~use_full_rpls ())
+  in
+  let base = run raw ~use_full_rpls:false in
+  List.iter
+    (fun (name, answers) ->
+      Alcotest.(check bool) (name ^ " identical") true
+        (Answer.equal ~eps:0.0 base answers))
+    [
+      ("full-rpl raw", run raw ~use_full_rpls:true);
+      ("full-rpl compressed", run comp ~use_full_rpls:true);
+      ("pair compressed", run comp ~use_full_rpls:false);
+    ]
+
+(* Compressed full-term segments carry a per-block sid bitmap; skipped
+   blocks must actually be skipped, not just produce the same answer.
+   A single rare sid is the best case: blocks without its hash bit are
+   dropped undecoded. *)
+let test_full_rpl_bitmap_skips_blocks () =
+  (* Enough docs that a term's full RPL spans several blocks, some of
+     which hold only foreign-extent entries. *)
+  let _, (comp, summary) = build_pair ~doc_count:60 ~seed:3 () in
+  let _, terms = List.hd (queries (comp, summary)) in
+  ignore (Rpl.Full.build comp ~scoring ~layout:Rpl.Compressed ~terms ());
+  let term = List.hd terms in
+  let drain_full c =
+    let out = ref [] in
+    let rec go () =
+      match Rpl.Full.next c with
+      | Some e ->
+          out := e :: !out;
+          go ()
+      | None -> List.rev !out
+    in
+    go ()
+  in
+  (* Census pass over every extent, then target the rarest sid. *)
+  let all_sids = Summary.sids summary in
+  let everything = drain_full (Rpl.Full.cursor comp ~term ~sids:all_sids) in
+  Alcotest.(check bool) "multi-block fixture" true
+    (List.length everything > 256);
+  let by_sid = Hashtbl.create 16 in
+  List.iter
+    (fun (e : Rpl.entry) ->
+      let s = e.element.Types.sid in
+      Hashtbl.replace by_sid s (1 + Option.value ~default:0 (Hashtbl.find_opt by_sid s)))
+    everything;
+  let rare, _ =
+    Hashtbl.fold
+      (fun s n (bs, bn) -> if n < bn then (s, n) else (bs, bn))
+      by_sid (-1, max_int)
+  in
+  let c = Rpl.Full.cursor comp ~term ~sids:[ rare ] in
+  let got = drain_full c in
+  let expected =
+    List.filter (fun (e : Rpl.entry) -> e.element.Types.sid = rare) everything
+  in
+  Alcotest.(check bool) "skip-scan equals filtered scan" true
+    (List.length got = List.length expected
+    && List.for_all2 entry_eq got expected);
+  Alcotest.(check bool) "blocks skipped by bitmap" true
+    (Rpl.Full.blocks_skipped c > 0)
+
+let () =
+  Alcotest.run "trex_compression"
+    [
+      ( "postings",
+        [
+          Alcotest.test_case "segment roundtrip" `Quick
+            test_posting_segment_roundtrip;
+          Alcotest.test_case "layouts agree under ERA" `Quick
+            test_posting_layouts_agree;
+        ] );
+      ( "cursors",
+        [
+          Alcotest.test_case "entries bit-identical" `Quick
+            test_cursor_layouts_agree;
+          Alcotest.test_case "skip_to = filtered scan" `Quick
+            test_skip_to_equals_filtered_scan;
+          Alcotest.test_case "set_bound yields a prefix" `Quick
+            test_set_bound_yields_prefix;
+          Alcotest.test_case "catalog truncation flag" `Quick
+            test_catalog_truncation_flag;
+        ] );
+      ( "strategies",
+        [
+          Alcotest.test_case "rank identity across layouts" `Quick
+            test_strategies_rank_identical_across_layouts;
+          Alcotest.test_case "full-RPL skip identical" `Quick
+            test_full_rpl_skip_identical;
+          Alcotest.test_case "sid bitmap skips blocks" `Quick
+            test_full_rpl_bitmap_skips_blocks;
+        ] );
+    ]

@@ -595,7 +595,7 @@ let test_full_rpl_build_and_skipping_ta () =
   match queries_for_agreement index summary with
   | (sids, terms) :: _ ->
       ignore (Rpl.build index ~scoring ~sids ~terms ~kinds:[ Rpl.Rpl ] ());
-      let report = Rpl.Full.build index ~scoring ~terms in
+      let report = Rpl.Full.build index ~scoring ~terms () in
       Alcotest.(check bool) "entries written" true (report.entries_written > 0);
       List.iter
         (fun term ->
@@ -612,7 +612,7 @@ let test_full_rpl_build_and_skipping_ta () =
             (Rpl.Full.list_entries index ~term >= merged))
         terms;
       (* Idempotent. *)
-      let report2 = Rpl.Full.build index ~scoring ~terms in
+      let report2 = Rpl.Full.build index ~scoring ~terms () in
       check Alcotest.int "reused" (List.length terms) report2.pairs_reused;
       (* Skip-scanning TA agrees with the default layout. *)
       List.iter
@@ -645,7 +645,7 @@ let test_full_rpl_missing_and_drop () =
        ignore (Rpl.Full.cursor index ~term:"red" ~sids:[ 1 ]);
        false
      with Rpl.Full.Missing _ -> true);
-  ignore (Rpl.Full.build index ~scoring ~terms:[ "red" ]);
+  ignore (Rpl.Full.build index ~scoring ~terms:[ "red" ] ());
   Alcotest.(check bool) "built" true (Rpl.Full.is_materialized index ~term:"red");
   Rpl.Full.drop index ~term:"red";
   Alcotest.(check bool) "dropped" false (Rpl.Full.is_materialized index ~term:"red")
@@ -654,7 +654,7 @@ let test_full_rpl_descending_and_complete () =
   let index, summary = tiny () in
   let sid_b = sid_of summary [ "a"; "b" ] in
   let sid_c = sid_of summary [ "a"; "c" ] in
-  ignore (Rpl.Full.build index ~scoring ~terms:[ "fox" ]);
+  ignore (Rpl.Full.build index ~scoring ~terms:[ "fox" ] ());
   let c = Rpl.Full.cursor index ~term:"fox" ~sids:[ sid_b; sid_c ] in
   let rec drain prev acc =
     match Rpl.Full.next c with

@@ -347,6 +347,124 @@ let prop_crc32_bit_flip_detected =
       Trex_util.Crc32.string s
       <> Trex_util.Crc32.bytes b ~pos:0 ~len:(Bytes.length b))
 
+(* ---- varint strictness, bit packing, block segments ---- *)
+
+let test_malformed_varints () =
+  let reject name s =
+    let r = Codec.Reader.of_string s in
+    match Codec.Reader.uvarint r with
+    | _ -> Alcotest.failf "%s decoded" name
+    | exception Codec.Reader.Malformed _ -> ()
+  in
+  (* Overlong: a redundant trailing zero group re-encodes the same
+     value with more bytes. *)
+  reject "overlong 0x80 0x00" "\x80\x00";
+  (* Too long: ten continuation groups shift past bit 63. *)
+  reject "ten continuation bytes" (String.make 10 '\x81');
+  let r = Codec.Reader.of_string "\x80" in
+  Alcotest.check_raises "truncated mid-varint" Codec.Reader.Truncated
+    (fun () -> ignore (Codec.Reader.uvarint r))
+
+let prop_uvarint_roundtrip =
+  QCheck.Test.make ~name:"uvarint roundtrip" ~count:500
+    QCheck.(map abs int)
+    (fun n ->
+      let n = abs n in
+      let b = Codec.Buf.create () in
+      Codec.Buf.add_uvarint b n;
+      Codec.Reader.uvarint (Codec.Reader.of_string (Codec.Buf.contents b)) = n)
+
+let prop_bitpack_roundtrip =
+  QCheck.Test.make ~name:"bitpack roundtrip at exact width" ~count:500
+    QCheck.(pair (int_bound Codec.Bitpack.max_width) (list small_nat))
+    (fun (extra_width, l) ->
+      let values = Array.of_list l in
+      let w = min Codec.Bitpack.max_width (Codec.Bitpack.width values + (extra_width mod 3)) in
+      let b = Codec.Buf.create () in
+      Codec.Bitpack.pack b ~width:w values;
+      let s = Codec.Buf.contents b in
+      (* Packed size is exactly ceil(count * width / 8). *)
+      String.length s = ((Array.length values * w) + 7) / 8
+      && Codec.Bitpack.unpack (Codec.Reader.of_string s) ~width:w
+           ~count:(Array.length values)
+         = values)
+
+let test_bitpack_bounds () =
+  let b = Codec.Buf.create () in
+  Alcotest.check_raises "value wider than width"
+    (Invalid_argument "Codec.Bitpack.pack: value exceeds width") (fun () ->
+      Codec.Bitpack.pack b ~width:2 [| 4 |]);
+  Alcotest.check_raises "width over max"
+    (Invalid_argument "Codec.Bitpack.pack: width out of range") (fun () ->
+      Codec.Bitpack.pack b ~width:57 [| 0 |]);
+  (match
+     Codec.Bitpack.unpack (Codec.Reader.of_string "") ~width:57 ~count:0
+   with
+  | _ -> Alcotest.fail "unpack accepted width 57"
+  | exception Codec.Reader.Malformed _ -> ());
+  (* max_width itself round-trips the largest value. *)
+  let v = (1 lsl Codec.Bitpack.max_width) - 1 in
+  let b = Codec.Buf.create () in
+  Codec.Bitpack.pack b ~width:Codec.Bitpack.max_width [| v; 0; v |];
+  check (Alcotest.array Alcotest.int) "56-bit values" [| v; 0; v |]
+    (Codec.Bitpack.unpack
+       (Codec.Reader.of_string (Codec.Buf.contents b))
+       ~width:Codec.Bitpack.max_width ~count:3)
+
+let segment_gen =
+  (* A segment of 1-6 blocks with random short header/payload strings,
+     plus an optional extra. *)
+  QCheck.Gen.(
+    let str = string_size ~gen:printable (1 -- 12) in
+    triple (string_size ~gen:printable (0 -- 8))
+      (list_size (1 -- 6) (pair str str))
+      (pair small_nat small_nat))
+
+let prop_block_segment_roundtrip =
+  QCheck.Test.make ~name:"block segment roundtrip" ~count:300
+    (QCheck.make segment_gen)
+    (fun (extra, blocks, _) ->
+      let w = Codec.Block.Writer.create () in
+      List.iter
+        (fun (header, payload) -> Codec.Block.Writer.add w ~header ~payload)
+        blocks;
+      let s = Codec.Block.Writer.contents ~extra w in
+      match Codec.Block.of_string s with
+      | None -> false
+      | Some seg ->
+          Codec.Block.extra seg = extra
+          && Codec.Block.block_count seg = List.length blocks
+          && List.for_all2
+               (fun i (header, payload) ->
+                 let h = Codec.Block.header seg i in
+                 let p = Codec.Block.payload seg i in
+                 Codec.Reader.raw h (String.length header) = header
+                 && Codec.Reader.raw p (String.length payload) = payload)
+               (List.init (List.length blocks) Fun.id)
+               blocks)
+
+let prop_block_segment_corruption_detected =
+  QCheck.Test.make ~name:"corrupt segment never decodes" ~count:300
+    (QCheck.make segment_gen)
+    (fun (extra, blocks, (byte, bit)) ->
+      let w = Codec.Block.Writer.create () in
+      List.iter
+        (fun (header, payload) -> Codec.Block.Writer.add w ~header ~payload)
+        blocks;
+      let s = Codec.Block.Writer.contents ~extra w in
+      let b = Bytes.of_string s in
+      let byte = byte mod Bytes.length b and bit = bit mod 8 in
+      Bytes.set b byte
+        (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+      (* A single flipped bit must never yield a valid segment: the CRC
+         rejects it (Malformed), the length prefix overruns (Truncated),
+         or the marker no longer reads as a segment (None — handed to
+         the v1 decoder, which has its own checks). *)
+      match Codec.Block.of_string (Bytes.to_string b) with
+      | None -> true
+      | Some _ -> false
+      | exception (Codec.Reader.Malformed _ | Codec.Reader.Truncated) -> true)
+
 let qtest = QCheck_alcotest.to_alcotest
 
 let () =
@@ -367,6 +485,16 @@ let () =
           qtest prop_string_key_roundtrip;
           qtest prop_varint_roundtrip;
           qtest prop_float_key_order;
+        ] );
+      ( "compression-codec",
+        [
+          Alcotest.test_case "malformed varints rejected" `Quick
+            test_malformed_varints;
+          Alcotest.test_case "bitpack bounds" `Quick test_bitpack_bounds;
+          qtest prop_uvarint_roundtrip;
+          qtest prop_bitpack_roundtrip;
+          qtest prop_block_segment_roundtrip;
+          qtest prop_block_segment_corruption_detected;
         ] );
       ( "prng",
         [
