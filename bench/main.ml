@@ -23,6 +23,8 @@
                      disk, cold-cache physical reads, rank identity
      shard         - sharded scatter-gather: shard count vs latency,
                      degraded serving, split/merge rebalance cost
+     shard_proc    - process-isolated workers: supervised scatter vs
+                     the in-process coordinator, spawn/handshake cost
      effectiveness - P@10/MAP/nDCG against the generator's topic ground
                      truth; BM25 vs TF-IDF
      bechamel      - one Bechamel Test.make per table/figure family
@@ -34,12 +36,28 @@
 module Gen = Trex_corpus.Gen
 module Queries = Trex_corpus.Queries
 module Shard = Trex_shard.Shard
+module Supervisor = Trex_shard.Supervisor
 module Summary = Trex_summary.Summary
 module Strategy = Trex.Strategy
 module Translate = Trex.Translate
 
 let quick = ref false
 let sections = ref []
+
+(* Supervised shard workers exec their parent's binary, so the bench
+   must answer the shard-worker argv before any section parsing. *)
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "shard-worker" :: rest ->
+      let rec get key = function
+        | k :: v :: _ when k = key -> v
+        | _ :: tl -> get key tl
+        | [] ->
+            prerr_endline ("shard-worker: missing " ^ key);
+            exit 2
+      in
+      Supervisor.worker_main ~dir:(get "--dir" rest) ~shard:(get "--shard" rest) ()
+  | _ -> ()
 
 let () =
   let rec parse = function
@@ -65,9 +83,9 @@ let header title = Printf.printf "\n=== %s ===\n%!" title
 (* ---- timing protocol ---- *)
 
 let time_once f =
-  let t0 = Unix.gettimeofday () in
+  let t0 = Trex_util.Stopclock.now () in
   let result = f () in
-  (result, Unix.gettimeofday () -. t0)
+  (result, Trex_util.Stopclock.now () -. t0)
 
 (* Five runs, drop best and worst, average the rest (paper §5.1). *)
 let trim_mean times =
@@ -802,6 +820,64 @@ let section_shard () =
     [ 1; 2; 4; 8 ];
   Bench_out.flush ~quick:!quick "shard"
 
+(* ---- section: shard_proc ---- *)
+
+let section_shard_proc () =
+  header
+    "PROCESS-ISOLATED WORKERS: supervised scatter vs in-process coordinator";
+  let coll = Gen.ieee ~doc_count:(if !quick then 40 else 120) ~seed:88 () in
+  let docs = List.of_seq (coll.docs ()) in
+  let q = Queries.find "270" in
+  let k = 10 in
+  let answer_sig (r : Shard.result) =
+    List.map
+      (fun (e : Trex.Answer.entry) ->
+        ( e.Trex.Answer.element.Trex.Types.docid,
+          e.Trex.Answer.element.Trex.Types.endpos,
+          e.Trex.Answer.score ))
+      r.Shard.answers
+  in
+  Printf.printf "%8s | %12s %12s %12s\n" "shards" "in-proc ms" "process ms"
+    "spawn ms";
+  List.iter
+    (fun n ->
+      let dir = Filename.temp_file "trex_bench_sproc" "" in
+      Sys.remove dir;
+      Unix.mkdir dir 0o755;
+      let t = Shard.create ~dir ~shards:n ~alias:coll.alias docs in
+      let t_in = robust_time (fun () -> ignore (Shard.query t ~k q.nexi)) in
+      let in_sig = answer_sig (Shard.query t ~k q.nexi) in
+      Shard.close t;
+      Bench_out.record ~section:"shard_proc" ~query:q.id ~strategy:"in-process"
+        ~k ~ms:(t_in *. 1e3)
+        [ ("shards", n); ("degraded_shards", 0) ];
+      (* Spawn + readiness handshake, timed once: fork/exec every worker
+         and wait for all Hellos — a per-open cost, not per-query. *)
+      let t0 = Trex_util.Stopclock.now () in
+      let sup = Supervisor.create dir in
+      if not (Supervisor.await_healthy sup) then
+        failwith "shard_proc: workers never became healthy";
+      let t_spawn = (Trex_util.Stopclock.now () -. t0) *. 1e3 in
+      Fun.protect ~finally:(fun () -> Supervisor.close sup) @@ fun () ->
+      let t_proc = robust_time (fun () -> ignore (Supervisor.query sup ~k q.nexi)) in
+      let r = Supervisor.query sup ~k q.nexi in
+      if r.Shard.degraded_shards <> [] then
+        failwith "shard_proc: healthy scatter came back degraded";
+      if answer_sig r <> in_sig then
+        failwith
+          "shard_proc: process-path answers differ from the in-process \
+           coordinator";
+      Bench_out.record ~section:"shard_proc" ~query:q.id ~strategy:"process" ~k
+        ~ms:(t_proc *. 1e3)
+        [ ("shards", n); ("degraded_shards", 0) ];
+      Bench_out.record ~section:"shard_proc" ~query:q.id ~strategy:"spawn" ~k
+        ~ms:t_spawn [ ("shards", n) ];
+      Printf.printf "%8d | %12.2f %12.2f %12.2f\n" n (t_in *. 1e3)
+        (t_proc *. 1e3) t_spawn)
+    [ 2; 4 ];
+  Printf.printf "rank identity: process scatter bit-identical to in-process\n";
+  Bench_out.flush ~quick:!quick "shard_proc"
+
 (* ---- section: effectiveness ---- *)
 
 (* The generator records which topics each document was written around;
@@ -978,5 +1054,6 @@ let () =
   if want "io" then section_io ();
   if want "compression" then section_compression ();
   if want "shard" then section_shard ();
+  if want "shard_proc" then section_shard_proc ();
   if want "bechamel" then section_bechamel ();
   Printf.printf "\ndone.\n"

@@ -733,6 +733,7 @@ let advise_cmd =
 (* ---- shard ---- *)
 
 module Shard = Trex_shard.Shard
+module Supervisor = Trex_shard.Supervisor
 
 let shard_dir_arg =
   Arg.(required & opt (some string) None
@@ -786,7 +787,19 @@ let shard_query_cmd =
     Arg.(value & opt (some int) None
          & info [ "page-budget" ] ~doc:"page-read budget for the whole query (exit 3)")
   in
-  let run dir nexi k method_ strict deadline_ms page_budget =
+  let process =
+    Arg.(value & flag
+         & info [ "process" ]
+             ~doc:"run each shard in its own supervised worker process \
+                   (crash containment: a dying shard degrades the answer \
+                   instead of the coordinator)")
+  in
+  let fanout =
+    Arg.(value & opt (some int) None
+         & info [ "fanout" ]
+             ~doc:"with $(b,--process): scatter wave size (default: all shards)")
+  in
+  let run dir nexi k method_ strict deadline_ms page_budget process fanout =
     let m =
       Option.map
         (function
@@ -797,8 +810,26 @@ let shard_query_cmd =
           | other -> failwith (Printf.sprintf "unknown method %S" other))
         method_
     in
-    let t = Shard.open_ dir in
-    let r = Shard.query t ~k ?method_:m ~strict ?deadline_ms ?page_budget nexi in
+    let r =
+      if process then begin
+        (* Open/close first so rebalance recovery and the stale-artifact
+           sweep run; the supervisor itself only reads the map. *)
+        Shard.close (Shard.open_ dir);
+        let s = Supervisor.create dir in
+        Fun.protect
+          ~finally:(fun () -> Supervisor.close s)
+          (fun () ->
+            ignore (Supervisor.await_healthy s);
+            Supervisor.query s ~k ?method_:m ~strict ?deadline_ms ?page_budget
+              ?fanout nexi)
+      end
+      else begin
+        let t = Shard.open_ dir in
+        Fun.protect
+          ~finally:(fun () -> Shard.close t)
+          (fun () -> Shard.query t ~k ?method_:m ~strict ?deadline_ms ?page_budget nexi)
+      end
+    in
     Printf.printf "%d answers from %d shard(s)\n" (List.length r.answers)
       (List.length r.reports);
     List.iter
@@ -823,15 +854,20 @@ let shard_query_cmd =
         (fun (name, reason) -> Printf.printf "  missing %s: %s\n" name reason)
         r.degraded_shards
     end;
-    Shard.close t;
     if r.degraded then exit 3
   in
   Cmd.v (Cmd.info "query" ~doc:"Scatter-gather a NEXI query across the shards")
     Term.(const run $ shard_dir_arg $ nexi $ k $ method_ $ strict $ deadline_ms
-          $ page_budget)
+          $ page_budget $ process $ fanout)
 
 let shard_health_cmd =
-  let run dir =
+  let workers =
+    Arg.(value & flag
+         & info [ "workers" ]
+             ~doc:"also spawn the process supervisor and report the worker \
+                   table (state, pid, restarts, breaker, heartbeat age)")
+  in
+  let run dir workers =
     let t = Shard.open_ dir in
     let rows = Shard.health t in
     List.iter
@@ -849,12 +885,43 @@ let shard_health_cmd =
       List.exists (fun (h : Shard.health) -> h.h_breaker = Trex.Breaker.Open) rows
     in
     Shard.close t;
-    if unresolved || quarantined then exit 2 else if open_breaker then exit 4
+    let workers_unhealthy =
+      if not workers then false
+      else begin
+        let s = Supervisor.create dir in
+        Fun.protect
+          ~finally:(fun () -> Supervisor.close s)
+          (fun () ->
+            let healthy = Supervisor.await_healthy s in
+            Printf.printf "workers:\n";
+            List.iter
+              (fun (h : Supervisor.worker_health) ->
+                Printf.printf
+                  "  %s: state=%s pid=%s restarts=%d breaker=%s beat=%s\n"
+                  h.w_shard
+                  (match h.w_state with
+                  | Supervisor.Starting -> "starting"
+                  | Supervisor.Ready -> "ready"
+                  | Supervisor.Busy -> "busy"
+                  | Supervisor.Stopped -> "stopped"
+                  | Supervisor.Escalated -> "escalated")
+                  (match h.w_pid with Some p -> string_of_int p | None -> "-")
+                  h.w_restarts
+                  (Trex.Breaker.state_to_string h.w_breaker)
+                  (match h.w_beat_age_s with
+                  | Some a -> Printf.sprintf "%.1fs" a
+                  | None -> "-"))
+              (Supervisor.health s);
+            not healthy)
+      end
+    in
+    if unresolved || quarantined then exit 2
+    else if open_breaker || workers_unhealthy then exit 4
   in
   Cmd.v
     (Cmd.info "health"
-       ~doc:"Report shard map, attachment and breaker state (exit 2 quarantined, 4 open breaker)")
-    Term.(const run $ shard_dir_arg)
+       ~doc:"Report shard map, attachment and breaker state (exit 2 quarantined, 4 open breaker; with --workers, also the supervised worker-process table)")
+    Term.(const run $ shard_dir_arg $ workers)
 
 let shard_rebalance_cmd =
   let split =
@@ -917,6 +984,20 @@ let shard_cmd =
     [ shard_create_cmd; shard_query_cmd; shard_health_cmd; shard_rebalance_cmd ]
 
 let () =
+  (* Worker mode dispatches before cmdliner: the supervisor execs this
+     very binary with a fixed argv and the protocol already wired onto
+     stdin/stdout, so no flag parsing may touch those fds first. *)
+  (match Array.to_list Sys.argv with
+  | _ :: "shard-worker" :: rest ->
+      let rec get key = function
+        | k :: v :: _ when k = key -> v
+        | _ :: tl -> get key tl
+        | [] ->
+            prerr_endline ("shard-worker: missing " ^ key);
+            exit 2
+      in
+      Supervisor.worker_main ~dir:(get "--dir" rest) ~shard:(get "--shard" rest) ()
+  | _ -> ());
   let doc = "TReX: self-managing top-k (summary, keyword) indexes for XML retrieval" in
   let info = Cmd.info "trex" ~version:"1.0.0" ~doc in
   exit

@@ -228,7 +228,7 @@ type started = {
 
 let start_query () =
   {
-    s_t0 = Unix.gettimeofday ();
+    s_t0 = Trex_util.Stopclock.now ();
     s_reads = Metrics.value c_reads;
     s_hits = Metrics.value c_hits;
     s_misses = Metrics.value c_misses;
@@ -243,7 +243,11 @@ let canonical ~sids ~terms =
 
 let finish_query t started ~strategy ~sids ~terms ~k ~degraded ?(fallbacks = 0)
     ?(spans = []) () =
-  let now = Unix.gettimeofday () in
+  (* The record timestamp is wall time (absolute, human-facing); the
+     duration is measured on the monotonic clock so a wall step mid-
+     query cannot journal a negative or absurd latency. *)
+  let now = Trex_util.Stopclock.wall () in
+  let mono = Trex_util.Stopclock.now () in
   let hits = Metrics.value c_hits - started.s_hits in
   let misses = Metrics.value c_misses - started.s_misses in
   let lookups = hits + misses in
@@ -259,7 +263,7 @@ let finish_query t started ~strategy ~sids ~terms ~k ~degraded ?(fallbacks = 0)
       label;
       strategy;
       k;
-      wall_ms = (now -. started.s_t0) *. 1e3;
+      wall_ms = (mono -. started.s_t0) *. 1e3;
       pages_read = Metrics.value c_reads - started.s_reads;
       cache_hit_ratio =
         (if lookups = 0 then 0.0

@@ -1,4 +1,5 @@
 module Metrics = Trex_obs.Metrics
+module Stopclock = Trex_util.Stopclock
 
 let m_trips = Metrics.counter "resilience.breaker_trips"
 let m_closes = Metrics.counter "resilience.breaker_closes"
@@ -48,7 +49,7 @@ let pp_state fmt s = Format.pp_print_string fmt (state_to_string s)
 let trip t ~reason =
   if t.state <> Open then Metrics.incr m_trips;
   t.state <- Open;
-  t.opened_at <- Unix.gettimeofday ();
+  t.opened_at <- Stopclock.now ();
   t.last_reason <- Some reason;
   t.probe_inflight <- false
 
@@ -76,7 +77,7 @@ let allow t =
         true
       end
   | Open ->
-      if Unix.gettimeofday () -. t.opened_at >= t.cooldown_s then begin
+      if Stopclock.now () -. t.opened_at >= t.cooldown_s then begin
         t.state <- Half_open;
         t.probe_inflight <- true;
         true
@@ -89,4 +90,4 @@ let ready t =
   match t.state with
   | Closed -> true
   | Half_open -> not t.probe_inflight
-  | Open -> Unix.gettimeofday () -. t.opened_at >= t.cooldown_s
+  | Open -> Stopclock.now () -. t.opened_at >= t.cooldown_s

@@ -9,8 +9,10 @@
     and [Autopilot.maybe_heal] drives rebuild + probing.
 
     State transitions bump ["resilience.breaker_trips"] and
-    ["resilience.breaker_closes"]. Time is wall-clock; the cooldown is
-    mutable so tests (and the autopilot) can force immediate probes. *)
+    ["resilience.breaker_closes"]. Time is the monotonic
+    {!Trex_util.Stopclock.now} clock, so a wall-clock step can neither
+    end a cooldown early nor extend it; the cooldown is mutable so
+    tests (and the autopilot) can force immediate probes. *)
 
 type state = Closed | Open | Half_open
 type t

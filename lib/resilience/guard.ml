@@ -10,8 +10,10 @@ type reason = Deadline | Page_budget
 
 exception Budget_exceeded of { reason : reason; detail : string }
 
+module Stopclock = Trex_util.Stopclock
+
 type t = {
-  deadline : float option; (* absolute, Unix.gettimeofday *)
+  deadline : float option; (* absolute, Stopclock.now (monotonic) *)
   deadline_ms : float option; (* as requested, for messages *)
   page_budget : int option;
   pages_at_start : int;
@@ -36,7 +38,7 @@ let () =
 let create ?deadline_ms ?page_budget ?(check_every = 16) () =
   {
     deadline =
-      Option.map (fun ms -> Unix.gettimeofday () +. (ms /. 1000.)) deadline_ms;
+      Option.map (fun ms -> Stopclock.now () +. (ms /. 1000.)) deadline_ms;
     deadline_ms;
     page_budget;
     pages_at_start = Metrics.value m_physical_reads;
@@ -48,12 +50,12 @@ let unlimited = create ()
 let pages_used t = Metrics.value m_physical_reads - t.pages_at_start
 
 let remaining_ms t =
-  Option.map (fun d -> (d -. Unix.gettimeofday ()) *. 1000.) t.deadline
+  Option.map (fun d -> (d -. Stopclock.now ()) *. 1000.) t.deadline
 
 let expired t =
   (* >= so a zero deadline expires even within the same clock tick *)
   match t.deadline with
-  | Some d when Unix.gettimeofday () >= d -> Some Deadline
+  | Some d when Stopclock.now () >= d -> Some Deadline
   | _ -> (
       match t.page_budget with
       | Some budget when pages_used t > budget -> Some Page_budget

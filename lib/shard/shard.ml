@@ -23,6 +23,7 @@ let m_degraded = Metrics.counter "shard.degraded_queries"
 let m_skipped = Metrics.counter "shard.shards_skipped"
 let m_early = Metrics.counter "shard.early_terminations"
 let m_rebalances = Metrics.counter "shard.rebalances"
+let m_stale_sweeps = Metrics.counter "supervisor.stale_sweeps"
 
 let map_file = "SHARDMAP.json"
 let stats_file = "CORPUS_STATS.json"
@@ -252,6 +253,82 @@ let load_stats dir =
     | s -> Some s
     | exception _ -> None
 
+let overrides_of_stats stats =
+  {
+    Index.corpus_doc_count = stats.s_doc_count;
+    corpus_avg_element_length = stats.s_avg_element_length;
+    global_df = (fun token -> Hashtbl.find_opt stats.s_df token);
+  }
+
+(* Worker-side attach: one shard environment with the corpus-wide
+   scoring overrides installed, exactly as [attach_all] does for the
+   in-process coordinator — the process boundary must not change a
+   single score. Opened through table recovery, not plain [on_disk]: a
+   SIGKILLed predecessor is a genuine crash and may have left a table
+   (typically a lazily-created RPL catalog) whose creation never
+   committed; the recovery path reinitializes it instead of poisoning
+   every future worker with [Pager.Corruption] at first touch. *)
+let attach_shard ~dir name =
+  let env, _reports = Env.open_with_recovery (Filename.concat dir name) in
+  match Index.attach env with
+  | exception e ->
+      Env.close env;
+      raise e
+  | index ->
+      (match load_stats dir with
+      | Some stats -> Index.set_scoring_overrides index (overrides_of_stats stats)
+      | None -> ());
+      (env, index)
+
+(* ---- stale worker artifacts ----
+
+   A crashed coordinator can orphan per-shard worker droppings
+   ([worker.pid], and any [worker.sock] from hypothetical
+   socket-file transports). Like the stale [.compact-tmp] sweep in the
+   storage layer, coordinator open removes the ones whose owning
+   process is gone, so shard directories never accumulate dead
+   artifacts across crash cycles. A pid file whose process is still
+   alive is left alone (pid reuse makes killing it a gamble; the live
+   orphan exits on its own when its socketpair closes). *)
+
+let worker_pid_file = "worker.pid"
+
+let pid_alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  | exception _ -> true
+
+let sweep_stale_worker_artifacts dir infos =
+  let swept = ref 0 in
+  let remove path =
+    match Sys.remove path with
+    | () ->
+        incr swept;
+        Metrics.incr m_stale_sweeps
+    | exception Sys_error _ -> ()
+  in
+  List.iter
+    (fun info ->
+      let sdir = Filename.concat dir info.name in
+      let pidf = Filename.concat sdir worker_pid_file in
+      (if Sys.file_exists pidf then
+         let stale =
+           match
+             let ic = open_in_bin pidf in
+             Fun.protect
+               ~finally:(fun () -> close_in_noerr ic)
+               (fun () -> int_of_string (String.trim (input_line ic)))
+           with
+           | pid -> not (pid_alive pid)
+           | exception _ -> true (* unparseable: never a live worker *)
+         in
+         if stale then remove pidf);
+      let sockf = Filename.concat sdir "worker.sock" in
+      if Sys.file_exists sockf then remove sockf)
+    infos;
+  !swept
+
 (* ---- open / recovery ---- *)
 
 (* Resolve pending rebalance operations, oldest first. Uncommitted ops
@@ -352,13 +429,7 @@ let install_overrides t =
         | Some s -> s
         | None -> stats_of_indexes (List.map (fun a -> a.a_index) attached)
       in
-      let overrides =
-        {
-          Index.corpus_doc_count = stats.s_doc_count;
-          corpus_avg_element_length = stats.s_avg_element_length;
-          global_df = (fun token -> Hashtbl.find_opt stats.s_df token);
-        }
-      in
+      let overrides = overrides_of_stats stats in
       List.iter (fun a -> Index.set_scoring_overrides a.a_index overrides) attached
 
 (* (Re-)attach every servable shard of the map. Shards that fail to
@@ -390,9 +461,12 @@ let attach_all t pre_blocked =
   t.blocked <- blocked.contents;
   install_overrides t
 
+let load_map dir = sort_infos (read_map dir).infos
+
 let open_ ?(scoring = Scorer.default) dir =
   let manifest = Manifest.open_file (Filename.concat dir manifest_file) in
   let map, pre_blocked, unresolved_ops = recover manifest dir in
+  ignore (sweep_stale_worker_artifacts dir (sort_infos map.infos));
   let t =
     {
       t_dir = dir;
@@ -494,7 +568,7 @@ let query t ?(k = 10) ?method_ ?(strict = false) ?deadline_ms ?page_budget nexi 
   Metrics.incr m_queries;
   Obs.Span.with_ ~name:"shard.query" @@ fun () ->
   let ast = Nexi_parser.parse nexi in
-  let started = Unix.gettimeofday () in
+  let started = Trex_util.Stopclock.now () in
   let pages_spent = ref 0 in
   let merged = ref ([] : Answer.t) in
   let tags = ref [] in
@@ -515,7 +589,7 @@ let query t ?(k = 10) ?method_ ?(strict = false) ?deadline_ms ?page_budget nexi 
       in
       let remaining_ms =
         Option.map
-          (fun d -> d -. ((Unix.gettimeofday () -. started) *. 1000.0))
+          (fun d -> d -. ((Trex_util.Stopclock.now () -. started) *. 1000.0))
           deadline_ms
       in
       let remaining_pages = Option.map (fun p -> p - !pages_spent) page_budget in

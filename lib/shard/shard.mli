@@ -88,6 +88,25 @@ val breaker : t -> string -> Trex_resilience.Breaker.t
 (** The named shard's circuit breaker (created on demand; breakers
     survive rebalance by name). *)
 
+val load_map : string -> shard_info list
+(** The shard map of a coordinator directory, ascending [base], without
+    opening the coordinator — how a {!Supervisor} learns the layout
+    before spawning workers (no recovery is run; open the coordinator
+    first if rebalance operations may be pending). *)
+
+val attach_shard :
+  dir:string -> string -> Trex_storage.Env.t * Trex_invindex.Index.t
+(** [attach_shard ~dir name] opens the single shard [dir/name] with the
+    coordinator's corpus-wide scoring overrides installed — the
+    worker-process side of {!Supervisor}. The caller owns the returned
+    environment. *)
+
+val sweep_stale_worker_artifacts : string -> shard_info list -> int
+(** Remove orphaned worker droppings ([worker.pid] whose process is
+    gone, any [worker.sock]) from the given shard directories,
+    returning how many were removed; each removal bumps
+    ["supervisor.stale_sweeps"]. {!open_} runs this sweep itself. *)
+
 val index_of : t -> string -> Trex_invindex.Index.t option
 (** The attached shard's index, corpus-wide scoring overrides
     installed — for tests and tools that evaluate one shard directly;

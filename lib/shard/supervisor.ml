@@ -1,0 +1,803 @@
+module Env = Trex_storage.Env
+module Index = Trex_invindex.Index
+module Nexi_parser = Trex_nexi.Parser
+module Translate = Trex_nexi.Translate
+module Answer = Trex_topk.Answer
+module Strategy = Trex_topk.Strategy
+module Breaker = Trex_resilience.Breaker
+module Guard = Trex_resilience.Guard
+module Retry = Trex_resilience.Retry
+module Scorer = Trex_scoring.Scorer
+module Framing = Trex_util.Framing
+module Stopclock = Trex_util.Stopclock
+module Obs = Trex_obs
+module Metrics = Trex_obs.Metrics
+
+let m_spawns = Metrics.counter "supervisor.spawns"
+let m_restarts = Metrics.counter "supervisor.restarts"
+let m_hb_timeouts = Metrics.counter "supervisor.heartbeat_timeouts"
+let m_kills = Metrics.counter "supervisor.kills"
+let m_escalations = Metrics.counter "supervisor.escalations"
+let m_queries = Metrics.counter "shard.queries"
+let m_degraded = Metrics.counter "shard.degraded_queries"
+let m_skipped = Metrics.counter "shard.shards_skipped"
+let m_early = Metrics.counter "shard.early_terminations"
+
+type config = {
+  heartbeat_interval_s : float;
+  heartbeat_timeout_s : float;
+  deadline_grace_ms : float;
+  max_restarts : int;
+  restart_policy : Retry.policy;
+}
+
+let default_config =
+  {
+    heartbeat_interval_s = 0.5;
+    heartbeat_timeout_s = 2.0;
+    deadline_grace_ms = 250.0;
+    max_restarts = 3;
+    restart_policy = { Retry.default_policy with base_delay_ms = 10.0 };
+  }
+
+type worker_state = Starting | Ready | Busy | Stopped | Escalated
+
+type worker_health = {
+  w_shard : string;
+  w_state : worker_state;
+  w_pid : int option;
+  w_restarts : int;
+  w_breaker : Breaker.state;
+  w_beat_age_s : float option;
+}
+
+(* One live worker process: the coordinator's end of the socketpair and
+   the incremental frame decoder for its byte stream. *)
+type proc = { p_pid : int; p_fd : Unix.file_descr; p_decoder : Framing.Decoder.t }
+
+type phase =
+  | P_starting of float  (** spawn time, awaiting Hello *)
+  | P_ready
+  | P_busy  (** a query dispatch is outstanding *)
+  | P_stopped of float  (** dead; respawn not before this time *)
+  | P_escalated  (** restarts exhausted; breaker owns recovery *)
+
+type worker = {
+  info : Shard.shard_info;
+  breaker : Breaker.t;
+  mutable proc : proc option;
+  mutable phase : phase;
+  mutable restarts : int;  (* consecutive, reset by a successful answer *)
+  mutable last_beat : float;  (* Stopclock.now of last hello/pong/answer *)
+  mutable ping_seq : int;
+  mutable ping_outstanding : (int * float) option;
+  mutable pending_fault : string option;
+}
+
+type t = {
+  t_dir : string;
+  config : config;
+  scoring : Scorer.config;
+  workers : worker list;  (* ascending base *)
+  mutable closed : bool;
+}
+
+let dir t = t.t_dir
+let shards t = List.map (fun w -> w.info) t.workers
+
+let find_worker t name =
+  match List.find_opt (fun w -> w.info.Shard.name = name) t.workers with
+  | Some w -> w
+  | None -> invalid_arg (Printf.sprintf "Supervisor: unknown shard %S" name)
+
+let breaker t name = (find_worker t name).breaker
+
+let worker_pid t name =
+  Option.map (fun p -> p.p_pid) (find_worker t name).proc
+
+let set_fault t ~shard spec = (find_worker t shard).pending_fault <- spec
+
+(* ---- spawning ---- *)
+
+let spawn t w =
+  Metrics.incr m_spawns;
+  let coord_fd, worker_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* Later spawns' execs must not inherit this worker's coordinator
+     end, or a dead worker's EOF would never arrive. *)
+  Unix.set_close_on_exec coord_fd;
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      (* Child: the socketpair becomes stdin/stdout, then exec the
+         coordinator's own binary in worker mode. *)
+      Unix.dup2 worker_fd Unix.stdin;
+      Unix.dup2 worker_fd Unix.stdout;
+      if worker_fd <> Unix.stdin && worker_fd <> Unix.stdout then
+        Unix.close worker_fd;
+      let prog = Sys.executable_name in
+      let argv =
+        [| prog; "shard-worker"; "--dir"; t.t_dir; "--shard"; w.info.Shard.name |]
+      in
+      (try Unix.execv prog argv with _ -> ());
+      exit 127
+  | pid ->
+      Unix.close worker_fd;
+      w.proc <-
+        Some { p_pid = pid; p_fd = coord_fd; p_decoder = Framing.Decoder.create () };
+      w.phase <- P_starting (Stopclock.now ());
+      w.ping_outstanding <- None
+
+(* ---- death and restart ---- *)
+
+let reap pid = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
+
+let kill_proc p =
+  (try Unix.kill p.p_pid Sys.sigkill with Unix.Unix_error _ -> ());
+  reap p.p_pid;
+  try Unix.close p.p_fd with Unix.Unix_error _ -> ()
+
+(* The worker is gone (exit, EPIPE, corrupt stream, heartbeat timeout,
+   deadline kill). Schedule the restart — capped exponential backoff
+   from the retry policy — or escalate to the breaker once the restart
+   budget is spent. A death while the breaker was half-open fails the
+   probe explicitly so the slot is not leaked. *)
+let on_death t w reason =
+  (match w.proc with Some p -> kill_proc p | None -> ());
+  w.proc <- None;
+  w.ping_outstanding <- None;
+  if Breaker.probing w.breaker then
+    Breaker.record_failure w.breaker ~reason:("probe worker died: " ^ reason);
+  if w.restarts >= t.config.max_restarts then begin
+    w.phase <- P_escalated;
+    Metrics.incr m_escalations;
+    if Breaker.state w.breaker <> Breaker.Open then
+      Breaker.trip w.breaker
+        ~reason:
+          (Printf.sprintf "%d consecutive worker restarts; last: %s" w.restarts
+             reason)
+  end
+  else begin
+    let delays = Retry.backoff_delays_ms t.config.restart_policy in
+    let delay_ms =
+      match delays with
+      | [] -> 0.0
+      | l -> List.nth l (min w.restarts (List.length l - 1))
+    in
+    w.restarts <- w.restarts + 1;
+    w.phase <- P_stopped (Stopclock.now () +. (delay_ms /. 1000.0));
+    Metrics.incr m_restarts
+  end
+
+(* ---- frame I/O ---- *)
+
+let rec eintr_read fd b =
+  match Unix.read fd b 0 (Bytes.length b) with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> eintr_read fd b
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) -> 0
+
+let send t w msg =
+  match w.proc with
+  | None -> false
+  | Some p -> (
+      match Framing.append p.p_fd (Wire.encode_request msg) with
+      | () -> true
+      | exception Unix.Unix_error _ ->
+          on_death t w "write to worker failed (EPIPE)";
+          false)
+
+let readable fds timeout =
+  match Unix.select fds [] [] timeout with
+  | r, _, _ -> r
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> []
+
+(* Pump one worker's fd without blocking: read whatever is buffered,
+   hand every complete frame to [handle]. Returns [false] when the
+   worker died (EOF / corrupt stream) — [on_death] has already run. *)
+let pump t w ~handle =
+  match w.proc with
+  | None -> false
+  | Some p -> (
+      let rec frames () =
+        match Framing.Decoder.next p.p_decoder with
+        | Some payload ->
+            handle (Wire.decode_response payload);
+            frames ()
+        | None -> true
+      in
+      let chunk = Bytes.create 65536 in
+      let rec drain () =
+        if readable [ p.p_fd ] 0.0 = [] then true
+        else
+          match eintr_read p.p_fd chunk with
+          | 0 ->
+              on_death t w "worker exited (EOF)";
+              false
+          | n ->
+              Framing.Decoder.feed p.p_decoder chunk 0 n;
+              if frames () then drain () else false
+      in
+      match drain () with
+      | alive -> alive
+      | exception (Framing.Corrupt_frame e | Wire.Protocol_error e) ->
+          on_death t w ("protocol corruption: " ^ e);
+          false)
+
+(* Frames that can arrive outside a query gather. *)
+let idle_handle w = function
+  | Wire.Hello _ ->
+      w.last_beat <- Stopclock.now ();
+      w.phase <- P_ready;
+      if Breaker.probing w.breaker then Breaker.record_success w.breaker
+  | Wire.Pong seq ->
+      w.last_beat <- Stopclock.now ();
+      (match w.ping_outstanding with
+      | Some (s, _) when s = seq -> w.ping_outstanding <- None
+      | _ -> ())
+  | Wire.Answer _ -> () (* stale answer from an abandoned query: drop *)
+
+(* ---- supervision tick ---- *)
+
+let tick t =
+  if not t.closed then
+    let now = Stopclock.now () in
+    List.iter
+      (fun w ->
+        match w.phase with
+        | P_stopped until -> if now >= until then spawn t w
+        | P_escalated ->
+            (* The breaker owns recovery: once the cooldown admits a
+               half-open probe, the probe is a fresh worker process. *)
+            if Breaker.allow w.breaker then spawn t w
+        | P_starting since ->
+            if pump t w ~handle:(idle_handle w) then
+              if
+                (match w.phase with P_starting _ -> true | _ -> false)
+                && now -. since > t.config.heartbeat_timeout_s
+              then begin
+                Metrics.incr m_kills;
+                on_death t w "readiness handshake timed out"
+              end
+        | P_ready ->
+            if pump t w ~handle:(idle_handle w) then (
+              match w.ping_outstanding with
+              | Some (_, sent) when now -. sent > t.config.heartbeat_timeout_s ->
+                  Metrics.incr m_hb_timeouts;
+                  Metrics.incr m_kills;
+                  on_death t w "heartbeat timeout"
+              | Some _ -> ()
+              | None ->
+                  if now -. w.last_beat >= t.config.heartbeat_interval_s then begin
+                    w.ping_seq <- w.ping_seq + 1;
+                    if send t w (Wire.Ping w.ping_seq) then
+                      w.ping_outstanding <- Some (w.ping_seq, now)
+                  end)
+        | P_busy -> () (* the query gather owns this fd right now *))
+      t.workers
+
+let await_healthy ?(timeout_s = 5.0) t =
+  let deadline = Stopclock.now () +. timeout_s in
+  let rec go () =
+    tick t;
+    if List.for_all (fun w -> w.phase = P_ready) t.workers then true
+    else if Stopclock.now () >= deadline then false
+    else begin
+      (* Sleep on the starting workers' fds so hellos wake us early. *)
+      let fds =
+        List.filter_map
+          (fun w ->
+            match (w.phase, w.proc) with
+            | (P_starting _ | P_ready), Some p -> Some p.p_fd
+            | _ -> None)
+          t.workers
+      in
+      ignore (readable fds 0.01);
+      go ()
+    end
+  in
+  go ()
+
+(* ---- lifecycle ---- *)
+
+let create ?(config = default_config) ?(scoring = Scorer.default) dir =
+  (* A worker death between our write and the kernel's delivery must
+     surface as EPIPE on the write, not SIGPIPE to the coordinator. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let infos = Shard.load_map dir in
+  ignore (Shard.sweep_stale_worker_artifacts dir infos);
+  let t =
+    {
+      t_dir = dir;
+      config;
+      scoring;
+      workers =
+        List.map
+          (fun info ->
+            {
+              info;
+              breaker = Breaker.create ("shard." ^ info.Shard.name);
+              proc = None;
+              phase = P_stopped 0.0;
+              restarts = 0;
+              last_beat = 0.0;
+              ping_seq = 0;
+              ping_outstanding = None;
+              pending_fault = None;
+            })
+          infos;
+      closed = false;
+    }
+  in
+  List.iter (fun w -> spawn t w) t.workers;
+  t
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    List.iter
+      (fun w ->
+        match w.proc with
+        | None -> ()
+        | Some p -> (
+            (try Framing.append p.p_fd (Wire.encode_request Wire.Shutdown)
+             with Unix.Unix_error _ -> ());
+            (* Give the worker a moment to exit cleanly, then insist. *)
+            let rec wait tries =
+              match Unix.waitpid [ Unix.WNOHANG ] p.p_pid with
+              | 0, _ ->
+                  if tries > 0 then begin
+                    ignore (Unix.select [] [] [] 0.02);
+                    wait (tries - 1)
+                  end
+                  else begin
+                    (try Unix.kill p.p_pid Sys.sigkill with Unix.Unix_error _ -> ());
+                    reap p.p_pid
+                  end
+              | _ -> ()
+              | exception Unix.Unix_error _ -> ()
+            in
+            wait 25;
+            (try Unix.close p.p_fd with Unix.Unix_error _ -> ());
+            w.proc <- None))
+      t.workers
+  end
+
+let health t =
+  let now = Stopclock.now () in
+  List.map
+    (fun w ->
+      {
+        w_shard = w.info.Shard.name;
+        w_state =
+          (match w.phase with
+          | P_starting _ -> Starting
+          | P_ready -> Ready
+          | P_busy -> Busy
+          | P_stopped _ -> Stopped
+          | P_escalated -> Escalated);
+        w_pid = Option.map (fun p -> p.p_pid) w.proc;
+        w_restarts = w.restarts;
+        w_breaker = Breaker.state w.breaker;
+        w_beat_age_s = (if w.last_beat = 0.0 then None else Some (now -. w.last_beat));
+      })
+    t.workers
+
+(* ---- query: concurrent scatter, supervised gather ---- *)
+
+type dispatch = {
+  d_worker : worker;
+  d_floor : float;
+  d_sent_at : float;
+  d_kill_at : float option;  (* deadline slice + grace; None = no deadline *)
+  mutable d_done : bool;
+}
+
+let query t ?(k = 10) ?method_ ?(strict = false) ?deadline_ms ?page_budget ?fanout
+    nexi =
+  Metrics.incr m_queries;
+  Obs.Span.with_ ~name:"supervisor.query"
+    ~attrs:[ ("k", string_of_int k); ("workers", string_of_int (List.length t.workers)) ]
+  @@ fun () ->
+  let started = Stopclock.now () in
+  (* Give workers still handshaking a chance to come up before we
+     declare them unavailable — bounded by the query's own deadline. *)
+  if List.exists (fun w -> match w.phase with P_starting _ -> true | _ -> false)
+       t.workers
+  then
+    ignore
+      (await_healthy
+         ~timeout_s:
+           (match deadline_ms with
+           | Some d -> Float.min (d /. 1000.0) t.config.heartbeat_timeout_s
+           | None -> t.config.heartbeat_timeout_s)
+         t);
+  let pages_spent = ref 0 in
+  let merged = ref ([] : Answer.t) in
+  let tags = ref [] in
+  let reports = ref [] in
+  let tag name reason = tags := (name, reason) :: !tags in
+  let wave_size =
+    match fanout with Some f when f > 0 -> f | _ -> max 1 (List.length t.workers)
+  in
+  let rec waves = function
+    | [] -> ()
+    | workers ->
+        let wave = List.filteri (fun i _ -> i < wave_size) workers in
+        let rest = List.filteri (fun i _ -> i >= wave_size) workers in
+        run_wave wave;
+        waves rest
+  and run_wave wave =
+    (* The global k-th score at dispatch: every worker in this wave may
+       prune below it; later waves see the improved floor. *)
+    let floor =
+      if List.length !merged >= k then (List.nth !merged (k - 1)).Answer.score
+      else 0.0
+    in
+    let remaining_ms =
+      Option.map
+        (fun d -> d -. ((Stopclock.now () -. started) *. 1000.0))
+        deadline_ms
+    in
+    let remaining_pages = Option.map (fun p -> p - !pages_spent) page_budget in
+    let exhausted =
+      (match remaining_ms with Some ms -> ms <= 0.0 | None -> false)
+      || match remaining_pages with Some p -> p <= 0 | None -> false
+    in
+    (* Dispatch phase. *)
+    let ready, unavailable =
+      List.partition (fun w -> w.phase = P_ready) wave
+    in
+    List.iter
+      (fun w ->
+        let name = w.info.Shard.name in
+        Metrics.incr m_skipped;
+        match w.phase with
+        | P_starting _ -> tag name "worker not ready (starting)"
+        | P_stopped _ -> tag name "worker restarting (backing off)"
+        | P_escalated -> tag name "circuit open (restarts exhausted)"
+        | P_busy | P_ready -> tag name "worker unavailable")
+      unavailable;
+    if exhausted then
+      List.iter
+        (fun w ->
+          Metrics.incr m_skipped;
+          tag w.info.Shard.name "query budget exhausted before this shard")
+        ready
+    else begin
+      let active = List.length ready in
+      let page_slice =
+        Option.map (fun p -> max 1 (p / max 1 active)) remaining_pages
+      in
+      let dispatches =
+        List.filter_map
+          (fun w ->
+            let name = w.info.Shard.name in
+            if not (Breaker.allow w.breaker) then begin
+              Metrics.incr m_skipped;
+              tag name "circuit open (cooling down)";
+              None
+            end
+            else begin
+              if floor > 0.0 then Metrics.incr m_early;
+              let fault = w.pending_fault in
+              w.pending_fault <- None;
+              let q =
+                Wire.Query
+                  {
+                    Wire.q_nexi = nexi;
+                    q_k = k;
+                    q_method = method_;
+                    q_strict = strict;
+                    q_floor = floor;
+                    q_deadline_ms = remaining_ms;
+                    q_page_budget = page_slice;
+                    q_scoring = t.scoring;
+                    q_fault = fault;
+                  }
+              in
+              let now = Stopclock.now () in
+              if send t w q then begin
+                w.phase <- P_busy;
+                Some
+                  {
+                    d_worker = w;
+                    d_floor = floor;
+                    d_sent_at = now;
+                    d_kill_at =
+                      Option.map
+                        (fun ms ->
+                          now +. ((ms +. t.config.deadline_grace_ms) /. 1000.0))
+                        remaining_ms;
+                    d_done = false;
+                  }
+              end
+              else begin
+                Metrics.incr m_skipped;
+                tag name "worker died at dispatch";
+                None
+              end
+            end)
+          ready
+      in
+      gather dispatches
+    end
+  and gather dispatches =
+    let pending () = List.filter (fun d -> not d.d_done) dispatches in
+    let finish d = d.d_done <- true in
+    let accept d (a : Wire.answer) =
+      let w = d.d_worker in
+      let name = w.info.Shard.name in
+      let base = w.info.Shard.base in
+      w.last_beat <- Stopclock.now ();
+      w.phase <- P_ready;
+      w.restarts <- 0;
+      if a.Wire.a_degraded then begin
+        tag name "budget expired mid-shard (partial shard answers)";
+        if Breaker.probing w.breaker then
+          Breaker.record_failure w.breaker
+            ~reason:"half-open probe came back degraded"
+      end
+      else Breaker.record_success w.breaker;
+      pages_spent := !pages_spent + a.Wire.a_pages_used;
+      let kept =
+        List.map
+          (fun (e : Answer.entry) ->
+            {
+              e with
+              Answer.element =
+                {
+                  e.Answer.element with
+                  Trex_invindex.Types.docid =
+                    e.Answer.element.Trex_invindex.Types.docid + base;
+                };
+            })
+          a.Wire.a_answers
+      in
+      merged := Answer.top_k (Answer.merge [ !merged; kept ]) k;
+      let elapsed_ms = (Stopclock.now () -. d.d_sent_at) *. 1000.0 in
+      Obs.Span.with_ ~name:"supervisor.worker"
+        ~attrs:
+          [
+            ("worker", name);
+            ("pid", match w.proc with Some p -> string_of_int p.p_pid | None -> "-");
+            ("ms", Printf.sprintf "%.3f" elapsed_ms);
+          ]
+        (fun () -> ());
+      reports :=
+        {
+          Shard.r_shard = name;
+          r_method = a.Wire.a_method;
+          r_entries_read = a.Wire.a_entries_read;
+          r_elapsed_seconds = a.Wire.a_elapsed_s;
+          r_kept = List.length kept;
+          r_floor = d.d_floor;
+        }
+        :: !reports;
+      finish d
+    in
+    let rec loop () =
+      match pending () with
+      | [] -> ()
+      | ps ->
+          let now = Stopclock.now () in
+          (* Kill workers that blew their deadline slice. *)
+          List.iter
+            (fun d ->
+              match d.d_kill_at with
+              | Some at when now >= at ->
+                  Metrics.incr m_kills;
+                  Metrics.incr m_skipped;
+                  tag d.d_worker.info.Shard.name
+                    "deadline exceeded (worker killed)";
+                  on_death t d.d_worker "killed for blowing its deadline slice";
+                  finish d
+              | _ -> ())
+            ps;
+          (match pending () with
+          | [] -> ()
+          | ps ->
+              let timeout =
+                List.fold_left
+                  (fun acc d ->
+                    match d.d_kill_at with
+                    | Some at -> Float.min acc (Float.max 0.0 (at -. now))
+                    | None -> acc)
+                  0.1 ps
+              in
+              let fds =
+                List.filter_map
+                  (fun d -> Option.map (fun p -> p.p_fd) d.d_worker.proc)
+                  ps
+              in
+              let ready_fds = readable fds timeout in
+              List.iter
+                (fun d ->
+                  let w = d.d_worker in
+                  match w.proc with
+                  | Some p when List.mem p.p_fd ready_fds ->
+                      let handle = function
+                        | Wire.Answer a -> accept d a
+                        | Wire.Pong seq -> idle_handle w (Wire.Pong seq)
+                        | Wire.Hello _ -> ()
+                      in
+                      if not (pump t w ~handle) then begin
+                        (* pump ran on_death; tag unless the answer
+                           made it out before the stream died. *)
+                        if not d.d_done then begin
+                          Metrics.incr m_skipped;
+                          tag w.info.Shard.name "worker died mid-query";
+                          finish d
+                        end
+                      end
+                  | Some _ -> () (* no data this round; keep waiting *)
+                  | None ->
+                      if not d.d_done then begin
+                        Metrics.incr m_skipped;
+                        tag w.info.Shard.name "worker died mid-query";
+                        finish d
+                      end)
+                ps;
+              loop ())
+    in
+    loop ()
+  in
+  waves t.workers;
+  let degraded_shards = List.rev !tags in
+  if degraded_shards <> [] then Metrics.incr m_degraded;
+  {
+    Shard.answers = !merged;
+    k;
+    degraded = degraded_shards <> [];
+    degraded_shards;
+    reports = List.rev !reports;
+  }
+
+(* ---- the worker process ---- *)
+
+let worker_main ~dir ~shard () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* Private copies of the protocol fds; stdout then aliases stderr so
+     a stray [print_string] anywhere below cannot tear a frame. *)
+  let rx = Unix.dup Unix.stdin and tx = Unix.dup Unix.stdout in
+  Unix.dup2 Unix.stderr Unix.stdout;
+  let sdir = Filename.concat dir shard in
+  let pid_path = Filename.concat sdir "worker.pid" in
+  (try
+     let oc = open_out pid_path in
+     output_string oc (string_of_int (Unix.getpid ()) ^ "\n");
+     close_out oc
+   with Sys_error _ -> ());
+  let cleanup () = try Sys.remove pid_path with Sys_error _ -> () in
+  let send resp = Framing.write_all tx (Framing.frame (Wire.encode_response resp)) in
+  (* One-shot fault injection: armed by the query message or, for whole
+     processes under CLI/CI gates, by the environment. *)
+  let armed =
+    ref
+      (match Sys.getenv_opt "TREX_WORKER_FAULT" with
+      | Some s when s <> "" -> Some s
+      | _ -> None)
+  in
+  let fault_point point =
+    match !armed with
+    | Some spec -> (
+        match String.index_opt spec ':' with
+        | Some i
+          when String.sub spec (i + 1) (String.length spec - i - 1) = point -> (
+            armed := None;
+            match String.sub spec 0 i with
+            | "kill" -> Unix.kill (Unix.getpid ()) Sys.sigkill
+            | "exit" ->
+                cleanup ();
+                exit 3
+            | "stop" -> Unix.kill (Unix.getpid ()) Sys.sigstop
+            | "wedge" -> ignore (Unix.select [] [] [] 3600.0)
+            | _ -> ())
+        | _ -> ())
+    | None -> ()
+  in
+  let env, index =
+    match Shard.attach_shard ~dir shard with
+    | pair -> pair
+    | exception e ->
+        Printf.eprintf "shard-worker %s: attach failed: %s\n%!" shard
+          (Printexc.to_string e);
+        cleanup ();
+        exit 1
+  in
+  let docs = (Index.stats index).Index.doc_count in
+  send (Wire.Hello { h_shard = shard; h_pid = Unix.getpid (); h_docs = docs });
+  let evaluate (q : Wire.query) =
+    let t0 = Stopclock.now () in
+    let guard =
+      match (q.Wire.q_deadline_ms, q.Wire.q_page_budget) with
+      | None, None -> None
+      | d, p -> Some (Guard.create ?deadline_ms:d ?page_budget:p ())
+    in
+    let pages () = match guard with Some g -> Guard.pages_used g | None -> 0 in
+    let ast = Nexi_parser.parse q.Wire.q_nexi in
+    let translation =
+      Translate.translate ~summary:(Index.summary index)
+        ~normalize:(Index.normalize_term index) ast
+    in
+    let sids = Translate.all_sids translation in
+    let terms = Translate.all_terms translation in
+    if sids = [] || terms = [] then
+      {
+        Wire.a_degraded = false;
+        a_method = None;
+        a_entries_read = 0;
+        a_elapsed_s = Stopclock.now () -. t0;
+        a_pages_used = pages ();
+        a_answers = [];
+      }
+    else begin
+      let outcome, _fallbacks =
+        Strategy.evaluate_resilient index ~scoring:q.Wire.q_scoring ~sids ~terms
+          ~k:q.Wire.q_k ?guard ~floor:q.Wire.q_floor ?method_:q.Wire.q_method ()
+      in
+      let target = translation.Translate.target_sids in
+      (* Floor and strict filters mirror the in-process coordinator;
+         truncation to k is sound because the merge order is total, so
+         an entry outside this shard's top k is outside the global
+         top k too. *)
+      let kept =
+        List.filter
+          (fun (e : Answer.entry) ->
+            e.Answer.score > q.Wire.q_floor
+            && ((not q.Wire.q_strict)
+               || List.mem e.Answer.element.Trex_invindex.Types.sid target))
+          outcome.Strategy.answers
+      in
+      {
+        Wire.a_degraded = outcome.Strategy.degraded;
+        a_method = Some outcome.Strategy.method_used;
+        a_entries_read = outcome.Strategy.entries_read;
+        a_elapsed_s = outcome.Strategy.elapsed_seconds;
+        a_pages_used = pages ();
+        a_answers = Answer.top_k kept q.Wire.q_k;
+      }
+    end
+  in
+  let decoder = Framing.Decoder.create () in
+  let rec loop () =
+    match Framing.recv rx decoder with
+    | None ->
+        (* Coordinator went away: nothing left to serve. *)
+        Env.close env;
+        cleanup ();
+        exit 0
+    | Some payload ->
+        (match Wire.decode_request payload with
+        | Wire.Ping seq -> send (Wire.Pong seq)
+        | Wire.Shutdown ->
+            Env.close env;
+            cleanup ();
+            exit 0
+        | Wire.Query q ->
+            (match q.Wire.q_fault with Some f -> armed := Some f | None -> ());
+            fault_point "mid-decode";
+            let answer =
+              match evaluate q with
+              | a -> a
+              | exception e ->
+                  (* Containment is the point: an exploding evaluation
+                     kills this worker, not the coordinator. *)
+                  Printf.eprintf "shard-worker %s: query failed: %s\n%!" shard
+                    (Printexc.to_string e);
+                  Env.close env;
+                  cleanup ();
+                  exit 2
+            in
+            fault_point "pre-reply";
+            send (Wire.Answer answer);
+            fault_point "post-reply");
+        loop ()
+  in
+  try loop ()
+  with
+  | Framing.Corrupt_frame e | Wire.Protocol_error e ->
+    Printf.eprintf "shard-worker %s: protocol error: %s\n%!" shard e;
+    Env.close env;
+    cleanup ();
+    exit 2

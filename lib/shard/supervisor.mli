@@ -1,0 +1,145 @@
+(** Process-isolated shard workers: supervised scatter-gather.
+
+    The in-process coordinator ({!Shard.query}) contains shard faults
+    only as far as OCaml exceptions reach — a segfault, a runaway
+    allocation or a wedged loop in one shard takes the whole engine
+    down. This supervisor moves each shard into its own worker process
+    ([trex_cli shard-worker], fork/exec'd from the coordinator) and
+    speaks {!Wire} messages over a socketpair, so the blast radius of
+    any shard failure is one process:
+
+    - {b Lifecycle.} Each worker is spawned, handshaken (it sends
+      [Hello] once its index is attached), heartbeated ([Ping]/[Pong]
+      while idle), and on any death — exit, EPIPE, heartbeat timeout,
+      deadline kill, protocol corruption — restarted with capped
+      exponential backoff from a {!Trex_resilience.Retry.policy}. After
+      [max_restarts] consecutive restarts without a successful answer
+      the shard's {!Trex_resilience.Breaker} is tripped (escalation):
+      queries degrade to tagged partials until the cooldown elapses,
+      then one respawn is admitted as the half-open probe.
+    - {b Scatter.} {!query} dispatches to all ready workers
+      concurrently (waves of [fanout]), threading the global k-th-score
+      floor at each wave and carving each worker's deadline/page-budget
+      slice from what remains; a worker that blows its deadline slice
+      is SIGKILLed and restarted. Results merge exactly as the
+      in-process coordinator's — same floor filter, same base offsets —
+      so a query over all-healthy workers is answer-identical to
+      {!Shard.query} and to the single-environment engine.
+    - {b Worker state machine.} [Starting → Ready ⇄ Busy], any death →
+      [Stopped(backoff)] → [Starting]; restarts exhausted →
+      [Escalated] → (breaker cooldown) → [Starting] as probe. See
+      DESIGN.md §6.
+
+    The supervisor is single-threaded: heartbeats and restarts advance
+    inside {!query}, {!tick} and {!await_healthy} — an idle coordinator
+    must call {!tick} periodically (the CLI and tests do). *)
+
+type config = {
+  heartbeat_interval_s : float;  (** idle ping cadence (default 0.5) *)
+  heartbeat_timeout_s : float;
+      (** no [Pong]/[Hello] for this long → kill and restart
+          (default 2.0); also bounds the readiness handshake *)
+  deadline_grace_ms : float;
+      (** slack past a worker's deadline slice before it is killed
+          (default 250) — covers wire and scheduling latency *)
+  max_restarts : int;
+      (** consecutive restarts (no successful answer between) before
+          escalating to the breaker (default 3) *)
+  restart_policy : Trex_resilience.Retry.policy;
+      (** backoff schedule between restarts ([sleep] is unused — the
+          supervisor schedules respawns on its own clock) *)
+}
+
+val default_config : config
+
+type worker_state = Starting | Ready | Busy | Stopped | Escalated
+
+type worker_health = {
+  w_shard : string;
+  w_state : worker_state;
+  w_pid : int option;  (** [None] when no process is running *)
+  w_restarts : int;  (** consecutive restarts since the last answer *)
+  w_breaker : Trex_resilience.Breaker.state;
+  w_beat_age_s : float option;
+      (** seconds since the last sign of life (hello/pong/answer) *)
+}
+
+type t
+
+val create : ?config:config -> ?scoring:Trex_scoring.Scorer.config -> string -> t
+(** Open coordinator directory [dir] in process-isolated mode: read the
+    shard map, sweep stale worker artifacts, and spawn one worker per
+    shard (handshakes complete asynchronously — see {!await_healthy}).
+    Ignores [SIGPIPE] process-wide (a dead worker must surface as
+    [EPIPE], not kill the coordinator). Rebalance recovery is {e not}
+    run; open the directory with {!Shard.open_} first if operations may
+    be pending. *)
+
+val close : t -> unit
+(** Politely [Shutdown] every worker, reap stragglers with SIGKILL. *)
+
+val dir : t -> string
+val shards : t -> Shard.shard_info list
+
+val breaker : t -> string -> Trex_resilience.Breaker.t
+(** The named shard's breaker (escalation target). *)
+
+val worker_pid : t -> string -> int option
+(** The live worker process for a shard, if any — this is how the kill
+    matrix aims its external [SIGKILL]s (the "pre-scatter" point). *)
+
+val health : t -> worker_health list
+
+val tick : t -> unit
+(** Advance supervision: pump worker fds, send due heartbeats, kill
+    heartbeat-timeouts, respawn workers whose backoff elapsed, admit
+    escalated workers' half-open probes. Non-blocking. *)
+
+val await_healthy : ?timeout_s:float -> t -> bool
+(** Drive {!tick} until every worker is [Ready] (true) or the timeout
+    elapses (false, default 5s). Escalated workers count as unhealthy:
+    callers that expect them to recover must clear or shorten the
+    breaker cooldown first. *)
+
+val set_fault : t -> shard:string -> string option -> unit
+(** Arm a one-shot ["action:point"] fault to ride along on the next
+    query dispatched to [shard] (see {!worker_main}); [None] disarms. *)
+
+val query :
+  t ->
+  ?k:int ->
+  ?method_:Trex_topk.Strategy.method_ ->
+  ?strict:bool ->
+  ?deadline_ms:float ->
+  ?page_budget:int ->
+  ?fanout:int ->
+  string ->
+  Shard.result
+(** Scatter a NEXI query across the workers in waves of [fanout]
+    (default: all at once), gather and merge. Identical semantics to
+    {!Shard.query}: the floor is the global k-th score at each wave's
+    dispatch; [deadline_ms]/[page_budget] bound the whole query, each
+    wave receiving the remainder (pages split evenly across the wave);
+    every shard that could not contribute fully — worker dead,
+    restarting, escalated, killed for its deadline, budget exhausted
+    before dispatch — is tagged in [degraded_shards] and the answers
+    remain a sound ranking of the surviving shards' holdings. *)
+
+val worker_main : dir:string -> shard:string -> unit -> 'a
+(** The worker-process entry point ([trex_cli shard-worker --dir D
+    --shard S] — and the test/bench executables dispatch here too,
+    since workers exec their parent's binary). Attaches the shard with
+    corpus-wide scoring overrides, writes [worker.pid], answers
+    {!Wire} requests over stdin/stdout (the protocol fds are dup'd
+    away and stdout is re-pointed at stderr first, so stray prints
+    cannot tear frames), and exits on [Shutdown] or EOF. Never
+    returns.
+
+    Fault arming (for the kill matrix): a query's [q_fault] — or the
+    [TREX_WORKER_FAULT] environment variable at startup — arms one
+    ["action:point"] fault, where action ∈ [kill] (SIGKILL self),
+    [exit] (exit 3), [stop] (SIGSTOP self, the heartbeat wedge),
+    [wedge] (sleep forever) and point ∈ [mid-decode] (before
+    evaluating), [pre-reply] (after evaluating, before the answer
+    frame), [post-reply] (after the answer frame). Faults fire once
+    and disarm. *)

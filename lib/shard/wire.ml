@@ -1,0 +1,215 @@
+module Json = Trex_obs.Json
+module Strategy = Trex_topk.Strategy
+module Answer = Trex_topk.Answer
+module Types = Trex_invindex.Types
+module Scorer = Trex_scoring.Scorer
+
+exception Protocol_error of string
+
+type query = {
+  q_nexi : string;
+  q_k : int;
+  q_method : Strategy.method_ option;
+  q_strict : bool;
+  q_floor : float;
+  q_deadline_ms : float option;
+  q_page_budget : int option;
+  q_scoring : Scorer.config;
+  q_fault : string option;
+}
+
+type request = Ping of int | Query of query | Shutdown
+
+type answer = {
+  a_degraded : bool;
+  a_method : Strategy.method_ option;
+  a_entries_read : int;
+  a_elapsed_s : float;
+  a_pages_used : int;
+  a_answers : Answer.t;
+}
+
+type response =
+  | Hello of { h_shard : string; h_pid : int; h_docs : int }
+  | Pong of int
+  | Answer of answer
+
+(* ---- field accessors (decode side) ---- *)
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Protocol_error s)) fmt
+
+let get field j =
+  match Json.member field j with
+  | Some v -> v
+  | None -> fail "missing field %S" field
+
+let get_int field j =
+  match get field j with Json.Int i -> i | _ -> fail "field %S: expected int" field
+
+let get_float field j =
+  match get field j with
+  | Json.Float f -> f
+  | Json.Int i -> float_of_int i
+  | _ -> fail "field %S: expected number" field
+
+let get_bool field j =
+  match get field j with
+  | Json.Bool b -> b
+  | _ -> fail "field %S: expected bool" field
+
+let opt_member field j =
+  match Json.member field j with Some Json.Null | None -> None | Some v -> Some v
+
+let method_of_string s =
+  match
+    List.find_opt (fun m -> Strategy.method_to_string m = s) Strategy.all_methods
+  with
+  | Some m -> m
+  | None -> fail "unknown method %S" s
+
+let opt_field field f = function None -> [] | Some v -> [ (field, f v) ]
+
+(* ---- scoring config ---- *)
+
+let scoring_to_json = function
+  | Scorer.Bm25 { k1; b } ->
+      Json.Obj [ ("bm25", Json.Obj [ ("k1", Json.Float k1); ("b", Json.Float b) ]) ]
+  | Scorer.Tf_idf -> Json.String "tf_idf"
+
+let scoring_of_json = function
+  | Json.String "tf_idf" -> Scorer.Tf_idf
+  | Json.Obj _ as j -> (
+      match Json.member "bm25" j with
+      | Some o -> Scorer.Bm25 { k1 = get_float "k1" o; b = get_float "b" o }
+      | None -> fail "scoring: unknown config")
+  | _ -> fail "scoring: unknown config"
+
+(* ---- answers ---- *)
+
+let entry_to_json (e : Answer.entry) =
+  let el = e.Answer.element in
+  Json.Obj
+    [
+      ("sid", Json.Int el.Types.sid);
+      ("docid", Json.Int el.Types.docid);
+      ("endpos", Json.Int el.Types.endpos);
+      ("length", Json.Int el.Types.length);
+      ("score", Json.Float e.Answer.score);
+    ]
+
+let entry_of_json j =
+  {
+    Answer.element =
+      {
+        Types.sid = get_int "sid" j;
+        docid = get_int "docid" j;
+        endpos = get_int "endpos" j;
+        length = get_int "length" j;
+      };
+    score = get_float "score" j;
+  }
+
+(* ---- requests ---- *)
+
+let encode_request r =
+  let j =
+    match r with
+    | Ping seq -> Json.Obj [ ("ping", Json.Int seq) ]
+    | Shutdown -> Json.Obj [ ("shutdown", Json.Bool true) ]
+    | Query q ->
+        Json.Obj
+          (("query", Json.String q.q_nexi)
+          :: ("k", Json.Int q.q_k)
+          :: ("strict", Json.Bool q.q_strict)
+          :: ("floor", Json.Float q.q_floor)
+          :: ("scoring", scoring_to_json q.q_scoring)
+          :: (opt_field "method"
+                (fun m -> Json.String (Strategy.method_to_string m))
+                q.q_method
+             @ opt_field "deadline_ms" (fun f -> Json.Float f) q.q_deadline_ms
+             @ opt_field "page_budget" (fun i -> Json.Int i) q.q_page_budget
+             @ opt_field "fault" (fun s -> Json.String s) q.q_fault))
+  in
+  Json.to_string j
+
+let decode_request s =
+  let j = try Json.parse s with Json.Parse_error e -> fail "bad request JSON: %s" e in
+  match (Json.member "ping" j, Json.member "shutdown" j, Json.member "query" j) with
+  | Some (Json.Int seq), _, _ -> Ping seq
+  | _, Some _, _ -> Shutdown
+  | _, _, Some (Json.String nexi) ->
+      Query
+        {
+          q_nexi = nexi;
+          q_k = get_int "k" j;
+          q_method =
+            Option.map
+              (function Json.String s -> method_of_string s | _ -> fail "method")
+              (opt_member "method" j);
+          q_strict = get_bool "strict" j;
+          q_floor = get_float "floor" j;
+          q_deadline_ms =
+            Option.map
+              (function
+                | Json.Float f -> f
+                | Json.Int i -> float_of_int i
+                | _ -> fail "deadline_ms")
+              (opt_member "deadline_ms" j);
+          q_page_budget =
+            Option.map
+              (function Json.Int i -> i | _ -> fail "page_budget")
+              (opt_member "page_budget" j);
+          q_scoring = scoring_of_json (get "scoring" j);
+          q_fault =
+            Option.map
+              (function Json.String s -> s | _ -> fail "fault")
+              (opt_member "fault" j);
+        }
+  | _ -> fail "unrecognized request"
+
+(* ---- responses ---- *)
+
+let encode_response r =
+  let j =
+    match r with
+    | Hello { h_shard; h_pid; h_docs } ->
+        Json.Obj
+          [
+            ("hello", Json.String h_shard);
+            ("pid", Json.Int h_pid);
+            ("docs", Json.Int h_docs);
+          ]
+    | Pong seq -> Json.Obj [ ("pong", Json.Int seq) ]
+    | Answer a ->
+        Json.Obj
+          (("degraded", Json.Bool a.a_degraded)
+          :: ("entries_read", Json.Int a.a_entries_read)
+          :: ("elapsed_s", Json.Float a.a_elapsed_s)
+          :: ("pages_used", Json.Int a.a_pages_used)
+          :: ("answers", Json.List (List.map entry_to_json a.a_answers))
+          :: opt_field "method"
+               (fun m -> Json.String (Strategy.method_to_string m))
+               a.a_method)
+  in
+  Json.to_string j
+
+let decode_response s =
+  let j = try Json.parse s with Json.Parse_error e -> fail "bad response JSON: %s" e in
+  match (Json.member "hello" j, Json.member "pong" j, Json.member "answers" j) with
+  | Some (Json.String shard), _, _ ->
+      Hello { h_shard = shard; h_pid = get_int "pid" j; h_docs = get_int "docs" j }
+  | _, Some (Json.Int seq), _ -> Pong seq
+  | _, _, Some (Json.List entries) ->
+      Answer
+        {
+          a_degraded = get_bool "degraded" j;
+          a_method =
+            Option.map
+              (function Json.String s -> method_of_string s | _ -> fail "method")
+              (opt_member "method" j);
+          a_entries_read = get_int "entries_read" j;
+          a_elapsed_s = get_float "elapsed_s" j;
+          a_pages_used = get_int "pages_used" j;
+          a_answers = List.map entry_of_json entries;
+        }
+  | _ -> fail "unrecognized response"

@@ -1,0 +1,52 @@
+(** Coordinator ↔ shard-worker wire messages.
+
+    The supervisor and its worker processes speak JSON payloads inside
+    {!Trex_util.Framing} CRC32 frames over a socketpair. JSON keeps the
+    protocol debuggable (a captured frame is readable) and the printer's
+    [%.17g] floats round-trip [float] exactly, so scores cross the wire
+    bit-identical and the coordinator's merged ranking matches the
+    single-environment engine answer for answer.
+
+    Docids in {!answer} are {e shard-local}; the coordinator adds the
+    shard's base. Decoding a malformed payload raises {!Protocol_error}
+    — like a CRC failure, it is connection-fatal (the supervisor treats
+    it as a worker failure and restarts the process). *)
+
+exception Protocol_error of string
+
+type query = {
+  q_nexi : string;
+  q_k : int;
+  q_method : Trex_topk.Strategy.method_ option;  (** force one method *)
+  q_strict : bool;
+  q_floor : float;  (** global k-th score at dispatch time *)
+  q_deadline_ms : float option;  (** this worker's slice of the deadline *)
+  q_page_budget : int option;  (** this worker's slice of the page budget *)
+  q_scoring : Trex_scoring.Scorer.config;
+  q_fault : string option;
+      (** one-shot fault to arm before evaluating, ["action:point"]
+          (e.g. ["kill:pre-reply"]) — see {!Supervisor.worker_main} *)
+}
+
+type request = Ping of int  (** heartbeat, echo the seq *) | Query of query | Shutdown
+
+type answer = {
+  a_degraded : bool;  (** the worker's guard expired mid-evaluation *)
+  a_method : Trex_topk.Strategy.method_ option;
+      (** [None]: no matching structure in this shard (empty success) *)
+  a_entries_read : int;
+  a_elapsed_s : float;
+  a_pages_used : int;  (** physical page reads charged to the budget *)
+  a_answers : Trex_topk.Answer.t;  (** shard-local docids *)
+}
+
+type response =
+  | Hello of { h_shard : string; h_pid : int; h_docs : int }
+      (** readiness handshake, sent once after the worker attaches *)
+  | Pong of int
+  | Answer of answer
+
+val encode_request : request -> string
+val decode_request : string -> request
+val encode_response : response -> string
+val decode_response : string -> response

@@ -41,13 +41,34 @@ let scan ~decode contents =
   let valid_end, torn = go 0 in
   (List.rev !records, !corrupt, valid_end, torn)
 
+(* ---- EINTR-safe raw I/O ----
+
+   These loops back both the on-disk journals/manifests and the
+   supervisor's socketpair wire protocol. On sockets and pipes a
+   signal (SIGCHLD from a dying worker, a profiler's SIGPROF) can
+   interrupt the call at any byte boundary, and writes are routinely
+   short — both must be resumed, not surfaced, or a heartbeat could
+   tear a frame mid-payload. *)
+
+let rec intr_read fd b off len =
+  match Unix.read fd b off len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> intr_read fd b off len
+
+let rec intr_write fd b off len =
+  match Unix.write fd b off len with
+  | n -> n
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> intr_write fd b off len
+
 let read_all fd =
   let size = (Unix.fstat fd).Unix.st_size in
   let b = Bytes.create size in
   ignore (Unix.lseek fd 0 Unix.SEEK_SET);
   let rec fill off =
     if off < size then
-      match Unix.read fd b off (size - off) with 0 -> off | n -> fill (off + n)
+      match intr_read fd b off (size - off) with
+      | 0 -> off
+      | n -> fill (off + n)
     else off
   in
   let got = fill 0 in
@@ -55,7 +76,9 @@ let read_all fd =
 
 let write_all fd b =
   let len = Bytes.length b in
-  let rec go off = if off < len then go (off + Unix.write fd b off (len - off)) in
+  let rec go off =
+    if off < len then go (off + intr_write fd b off (len - off))
+  in
   go 0
 
 let reset ~magic fd =
@@ -94,3 +117,63 @@ let open_file ~magic ~decode path =
   in
   ignore (Unix.lseek fd 0 Unix.SEEK_END);
   swept
+
+(* ---- incremental stream decoder ---- *)
+
+exception Corrupt_frame of string
+
+module Decoder = struct
+  type t = { buf : Buffer.t; mutable pos : int }
+
+  let create () = { buf = Buffer.create 256; pos = 0 }
+  let feed t b off len = Buffer.add_subbytes t.buf b off len
+  let feed_string t s = Buffer.add_string t.buf s
+  let buffered t = Buffer.length t.buf - t.pos
+
+  (* Drop consumed bytes once they dominate the buffer, so a long-lived
+     connection doesn't grow it without bound. *)
+  let compact t =
+    if t.pos > 4096 && t.pos * 2 > Buffer.length t.buf then begin
+      let rest = Buffer.sub t.buf t.pos (Buffer.length t.buf - t.pos) in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf rest;
+      t.pos <- 0
+    end
+
+  let next t =
+    let avail = Buffer.length t.buf - t.pos in
+    if avail < 8 then None
+    else begin
+      let header = Buffer.sub t.buf t.pos 8 in
+      let len = Int32.to_int (String.get_int32_le header 0) in
+      let crc = String.get_int32_le header 4 in
+      if len < 0 || len > max_payload then
+        raise (Corrupt_frame (Printf.sprintf "absurd frame length %d" len));
+      if avail < 8 + len then None
+      else begin
+        let payload = Buffer.sub t.buf (t.pos + 8) len in
+        if Crc32.string payload <> crc then
+          raise (Corrupt_frame "frame payload fails its CRC32");
+        t.pos <- t.pos + 8 + len;
+        compact t;
+        Some payload
+      end
+    end
+end
+
+let recv fd decoder =
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Decoder.next decoder with
+    | Some payload -> Some payload
+    | None -> (
+        match intr_read fd chunk 0 (Bytes.length chunk) with
+        | 0 ->
+            if Decoder.buffered decoder > 0 then
+              raise (Corrupt_frame "EOF inside a frame")
+            else None
+        | n ->
+            Decoder.feed decoder chunk 0 n;
+            go ())
+  in
+  go ()

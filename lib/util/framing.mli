@@ -1,11 +1,19 @@
-(** Append-only CRC32-framed record files — the shared on-disk
-    discipline of the query journal and the operation manifest.
+(** CRC32-framed records — the shared frame discipline of the on-disk
+    journal/manifest files {e and} the shard supervisor's socketpair
+    wire protocol.
 
-    Layout: a fixed magic string, then frames of
-    [u32 payload-length LE | u32 CRC32(payload) LE | payload]. The
-    reader skips frames whose CRC rejects the payload (corrupt) and
-    truncates the file at the first frame that runs past EOF (torn
-    tail), so a crash mid-append never poisons later appends.
+    Layout: frames of
+    [u32 payload-length LE | u32 CRC32(payload) LE | payload]; on-disk
+    files prefix a fixed magic string. The file reader skips frames
+    whose CRC rejects the payload (corrupt) and truncates the file at
+    the first frame that runs past EOF (torn tail), so a crash
+    mid-append never poisons later appends. The stream {!Decoder}
+    treats the same failures as connection-fatal ({!Corrupt_frame}) —
+    a socket has no "later frames" worth salvaging past a corrupt one.
+
+    All raw I/O here is EINTR-safe and resumes short reads/writes, so
+    the discipline holds on sockets and pipes (where signals and
+    partial transfers are routine), not just regular files.
 
     The module is payload-agnostic: callers supply a [decode] that
     parses one payload (returning [None] for undecodable ones, which
@@ -45,6 +53,39 @@ val read_all : Unix.file_descr -> string
 (** Whole file contents from offset 0. *)
 
 val write_all : Unix.file_descr -> bytes -> unit
+(** Write every byte, resuming short writes and EINTR — safe on
+    sockets and pipes as well as regular files. *)
 
 val max_payload : int
 (** Frames claiming a longer payload are treated as corrupt headers. *)
+
+exception Corrupt_frame of string
+(** A stream frame that can never complete: absurd length header, CRC
+    mismatch, or EOF landing inside a frame. Unlike the file sweep
+    (which skips and continues), stream corruption is fatal to the
+    connection — the supervisor treats it as a worker failure. *)
+
+(** Incremental decoder for framed byte streams (sockets), where
+    frames arrive in arbitrary chunks: feed whatever [read] returned,
+    take out every complete frame. The chunking of the input never
+    changes the decoded sequence (see the qcheck property in
+    [test_util.ml]). *)
+module Decoder : sig
+  type t
+
+  val create : unit -> t
+  val feed : t -> bytes -> int -> int -> unit
+  val feed_string : t -> string -> unit
+
+  val next : t -> string option
+  (** The next complete payload, or [None] when more bytes are needed.
+      @raise Corrupt_frame on a frame that can never decode. *)
+
+  val buffered : t -> int
+  (** Bytes fed but not yet consumed by {!next}. *)
+end
+
+val recv : Unix.file_descr -> Decoder.t -> string option
+(** Blocking read of the next frame from a stream fd through [decoder]
+    (EINTR-safe). [None] on a clean EOF at a frame boundary.
+    @raise Corrupt_frame on corruption or EOF inside a frame. *)

@@ -1,0 +1,28 @@
+/* Monotonic clock source for Stopclock.now.
+
+   Guard deadlines, breaker cooldowns and supervisor heartbeat timeouts
+   must not fire spuriously (or hang) when the wall clock steps — NTP
+   slews, manual resets, suspend/resume. CLOCK_MONOTONIC ticks at a
+   steady rate from an arbitrary origin and never goes backwards; the
+   gettimeofday fallback only exists for platforms without it (the
+   OCaml side additionally clamps to be non-decreasing). */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value trex_monotonic_seconds(value unit)
+{
+  (void)unit;
+#if defined(CLOCK_MONOTONIC)
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+    return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec / 1e9);
+#endif
+  {
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec / 1e6);
+  }
+}

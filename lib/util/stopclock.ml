@@ -1,11 +1,23 @@
+external monotonic_seconds : unit -> float = "trex_monotonic_seconds"
+
+(* The stub falls back to gettimeofday on platforms without
+   CLOCK_MONOTONIC; clamping makes [now] non-decreasing even there, so
+   deadline arithmetic never sees time run backwards. *)
+let last_now = ref (monotonic_seconds ())
+
+let now () =
+  let t = monotonic_seconds () in
+  if t > !last_now then last_now := t;
+  !last_now
+
+let wall () = Unix.gettimeofday ()
+
 type t = {
   mutable acc : float; (* seconds accumulated while running *)
   mutable paused_acc : float; (* seconds accumulated while paused *)
   mutable mark : float; (* time of the last state change *)
   mutable running : bool;
 }
-
-let now () = Unix.gettimeofday ()
 
 let create () = { acc = 0.0; paused_acc = 0.0; mark = now (); running = true }
 

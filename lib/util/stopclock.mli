@@ -1,8 +1,26 @@
-(** Pausable wall-clock timer.
+(** Monotonic time source and pausable timer.
 
-    Realizes the paper's ITA ("ideal heap management") measurement: TA
-    is run normally but the clock is paused around heap operations, so
-    their cost is excluded from the reported time. *)
+    {!now} is the engine's one clock for measuring {e durations}: guard
+    deadlines, breaker cooldowns, supervisor heartbeat timeouts and all
+    timers read it. It is backed by [CLOCK_MONOTONIC] (C stub), so a
+    wall-clock step — NTP slew, manual reset, suspend — can neither
+    fire a deadline spuriously nor stall one forever. {!wall} remains
+    for the only legitimate wall-clock uses: journal record timestamps
+    and other human-facing absolute times.
+
+    The timer type realizes the paper's ITA ("ideal heap management")
+    measurement: TA is run normally but the clock is paused around heap
+    operations, so their cost is excluded from the reported time. *)
+
+val now : unit -> float
+(** Monotonic seconds from an arbitrary origin; never decreases.
+    Differences are durations; absolute values are meaningless across
+    processes or reboots. *)
+
+val wall : unit -> float
+(** [Unix.gettimeofday] — wall-clock seconds since the epoch, for
+    record timestamps only. Subject to clock steps: never use it to
+    arm or check a deadline. *)
 
 type t
 

@@ -170,6 +170,60 @@ let test_breaker_lifecycle () =
   check Alcotest.int "three openings counted" 3
     (metric "resilience.breaker_trips" - trips0)
 
+(* Two flapping workers restarted on the shared backoff schedule (the
+   supervisor indexes [backoff_delays_ms] by restart count, clamped to
+   the last entry) must keep independent probe slots: one worker's
+   in-flight half-open probe must neither take nor block the other's,
+   and each circuit resolves on its own probe outcome alone. *)
+let test_probe_slots_independent () =
+  let policy =
+    { Retry.max_attempts = 4; base_delay_ms = 1.0; max_delay_ms = 4.0; sleep = ignore }
+  in
+  let delays = Retry.backoff_delays_ms policy in
+  let delay_for restarts =
+    List.nth delays (min restarts (List.length delays - 1))
+  in
+  (* Past the end of the schedule the supervisor keeps paying the cap,
+     never wraps back to the aggressive base delay. *)
+  check (Alcotest.float 1e-9) "clamped past the schedule" policy.max_delay_ms
+    (delay_for 100);
+  let a = Breaker.create ~failure_threshold:2 ~cooldown_s:1e9 "worker-a" in
+  let b = Breaker.create ~failure_threshold:2 ~cooldown_s:1e9 "worker-b" in
+  (* Restart storm: interleaved crash-loops burn both restart budgets. *)
+  List.iter
+    (fun _delay ->
+      Breaker.record_failure a ~reason:"crash loop";
+      Breaker.record_failure b ~reason:"crash loop")
+    delays;
+  Alcotest.(check bool) "a escalated open" true (Breaker.state a = Breaker.Open);
+  Alcotest.(check bool) "b escalated open" true (Breaker.state b = Breaker.Open);
+  Breaker.set_cooldown a 0.0;
+  Breaker.set_cooldown b 0.0;
+  (* A claims its probe slot first... *)
+  Alcotest.(check bool) "a admits its probe" true (Breaker.allow a);
+  Alcotest.(check bool) "a probe in flight" true (Breaker.probing a);
+  (* ...which must not starve B's slot, nor open A's to a second caller. *)
+  Alcotest.(check bool) "b admits its probe despite a's" true (Breaker.allow b);
+  Alcotest.(check bool) "a rejects a second probe" false (Breaker.allow a);
+  Alcotest.(check bool) "b rejects a second probe" false (Breaker.allow b);
+  (* A's probe dies: only A re-opens; B's probe is still live. *)
+  Breaker.record_failure a ~reason:"probe died";
+  Alcotest.(check bool) "a re-opened alone" true (Breaker.state a = Breaker.Open);
+  Alcotest.(check bool) "b probe survived a's failure" true (Breaker.probing b);
+  Breaker.record_success b;
+  Alcotest.(check bool) "b closed on its own probe" true
+    (Breaker.state b = Breaker.Closed);
+  Alcotest.(check bool) "closed b admits traffic freely" true
+    (Breaker.allow b && Breaker.allow b);
+  (* A pays another capped backoff round, then converges too. *)
+  check (Alcotest.float 1e-9) "a still at the capped delay" policy.max_delay_ms
+    (delay_for (List.length delays + 3));
+  Breaker.set_cooldown a 0.0;
+  Alcotest.(check bool) "a re-probes after cooldown" true (Breaker.allow a);
+  Breaker.record_success a;
+  Alcotest.(check bool) "a closed independently" true
+    (Breaker.state a = Breaker.Closed)
+
 (* A reference model of the breaker state machine, checked against the
    implementation over random operation sequences: the breaker must
    track the model exactly (no invalid transition is reachable), and
@@ -672,6 +726,8 @@ let () =
       ( "breaker",
         [
           Alcotest.test_case "lifecycle" `Quick test_breaker_lifecycle;
+          Alcotest.test_case "probe slots independent under restart storm"
+            `Quick test_probe_slots_independent;
           QCheck_alcotest.to_alcotest prop_breaker_matches_model;
         ] );
       ( "pager",

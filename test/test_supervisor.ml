@@ -1,0 +1,548 @@
+(* Process-isolated shard worker suite.
+
+   The contract under test (DESIGN.md §6): with every worker process
+   healthy, supervised scatter-gather is answer-identical to the
+   in-process coordinator and to the single-environment engine; a
+   worker killed, wedged, stopped or crashed at any seeded point
+   degrades the answer to a tagged sound partial naming the dead
+   shard — never a wrong answer, never a dead coordinator; and after
+   the supervisor restarts the worker, a follow-up query returns the
+   full untagged answer. Escalation hands persistent flappers to the
+   shard's circuit breaker, whose half-open probe respawns them.
+
+   The supervisor execs its own binary in worker mode, so this
+   executable dispatches to [Supervisor.worker_main] when invoked as
+   [shard-worker] (see the bottom of the file).
+
+   TREX_SOAK_SEEDS widens the seeded kill-matrix soak (CI runs 8). *)
+
+module Env = Trex_storage.Env
+module Breaker = Trex_resilience.Breaker
+module Retry = Trex_resilience.Retry
+module Metrics = Trex_obs.Metrics
+module Shard = Trex_shard.Shard
+module Supervisor = Trex_shard.Supervisor
+module Wire = Trex_shard.Wire
+module Strategy = Trex_topk.Strategy
+module Answer = Trex_topk.Answer
+module Types = Trex_invindex.Types
+
+let check = Alcotest.check
+let metric name = Metrics.value (Metrics.counter name)
+
+let temp_dir () =
+  let dir = Filename.temp_file "trex_supervisor" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  dir
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+      Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+      Unix.rmdir path
+  | _ -> Sys.remove path
+  | exception Unix.Unix_error (Unix.ENOENT, _, _) -> ()
+
+let nexi = "//article//sec[about(., information retrieval)]"
+let nexi2 = "//article//p[about(., database systems)]"
+
+(* One corpus on disk as a 3-shard coordinator, plus a single-env
+   in-memory baseline engine over the same documents. *)
+let build_coordinator ~docs:doc_count ~seed =
+  let coll = Trex_corpus.Gen.ieee ~doc_count ~seed () in
+  let docs = List.of_seq (coll.docs ()) in
+  let env = Env.in_memory () in
+  let engine = Trex.build ~env ~alias:coll.alias (List.to_seq docs) in
+  let dir = temp_dir () in
+  Shard.close (Shard.create ~dir ~shards:3 ~alias:coll.alias docs);
+  (dir, engine)
+
+let baseline engine ?method_ ~k q =
+  (Trex.query engine ~k ?method_ q).Trex.strategy.Strategy.answers
+
+(* Rank identity over (docid, endpos, length, score) — shard summaries
+   number sids locally, so sid labels legitimately differ. *)
+let answers_testable =
+  let entry_sig (e : Answer.entry) =
+    (e.element.Types.docid, e.element.Types.endpos, e.element.Types.length)
+  in
+  let equal a b =
+    List.compare_lengths a b = 0
+    && List.for_all2
+         (fun (x : Answer.entry) (y : Answer.entry) ->
+           entry_sig x = entry_sig y
+           && Float.abs (x.Answer.score -. y.Answer.score) <= 1e-9)
+         a b
+  in
+  Alcotest.testable Answer.pp equal
+
+(* The exact answer over every document outside the lost shards. *)
+let surviving_baseline engine infos ~lost ~k q =
+  let full = baseline engine ~k:1_000_000 q in
+  let ranges =
+    List.filter_map
+      (fun (i : Shard.shard_info) ->
+        if List.mem i.Shard.name lost then Some (i.base, i.base + i.docs)
+        else None)
+      infos
+  in
+  let kept =
+    List.filter
+      (fun (e : Answer.entry) ->
+        not
+          (List.exists
+             (fun (lo, hi) ->
+               e.element.Types.docid >= lo && e.element.Types.docid < hi)
+             ranges))
+      full
+  in
+  Answer.top_k kept k
+
+(* Tight timings so the suite exercises heartbeats and restarts in
+   tens of milliseconds instead of seconds. *)
+let fast_config =
+  {
+    Supervisor.heartbeat_interval_s = 0.05;
+    heartbeat_timeout_s = 0.5;
+    deadline_grace_ms = 150.0;
+    max_restarts = 3;
+    restart_policy =
+      { Retry.default_policy with base_delay_ms = 5.0; max_delay_ms = 20.0 };
+  }
+
+let with_supervisor ?(config = fast_config) dir f =
+  let s = Supervisor.create ~config dir in
+  Fun.protect ~finally:(fun () -> Supervisor.close s) (fun () -> f s)
+
+let require_healthy ?(timeout_s = 10.0) s =
+  if not (Supervisor.await_healthy ~timeout_s s) then
+    Alcotest.fail "workers did not become healthy in time"
+
+(* ---- wire roundtrips ---- *)
+
+let test_wire_roundtrip () =
+  let q =
+    Wire.Query
+      {
+        Wire.q_nexi = nexi;
+        q_k = 7;
+        q_method = Some Strategy.Ta_method;
+        q_strict = true;
+        q_floor = 0.123456789012345678;
+        q_deadline_ms = Some 1234.5;
+        q_page_budget = Some 99;
+        q_scoring = Trex_scoring.Scorer.default;
+        q_fault = Some "kill:pre-reply";
+      }
+  in
+  (match Wire.decode_request (Wire.encode_request q) with
+  | Wire.Query q' ->
+      Alcotest.(check string) "nexi" nexi q'.Wire.q_nexi;
+      Alcotest.(check int) "k" 7 q'.Wire.q_k;
+      Alcotest.(check bool) "floor is bit-identical" true
+        (q'.Wire.q_floor = 0.123456789012345678);
+      Alcotest.(check (option string)) "fault" (Some "kill:pre-reply")
+        q'.Wire.q_fault
+  | _ -> Alcotest.fail "query did not roundtrip");
+  let entry score =
+    {
+      Answer.element = { Types.sid = 3; docid = 5; endpos = 120; length = 17 };
+      score;
+    }
+  in
+  let a =
+    Wire.Answer
+      {
+        Wire.a_degraded = true;
+        a_method = Some Strategy.Merge_method;
+        a_entries_read = 42;
+        a_elapsed_s = 0.0375;
+        a_pages_used = 6;
+        a_answers = [ entry 0.9876543210123456; entry 1e-300 ];
+      }
+  in
+  match Wire.decode_response (Wire.encode_response a) with
+  | Wire.Answer a' ->
+      Alcotest.(check bool) "degraded" true a'.Wire.a_degraded;
+      Alcotest.(check int) "pages" 6 a'.Wire.a_pages_used;
+      check answers_testable "entries bit-identical"
+        [ entry 0.9876543210123456; entry 1e-300 ]
+        a'.Wire.a_answers
+  | _ -> Alcotest.fail "answer did not roundtrip"
+
+(* ---- healthy path: rank identity through worker processes ---- *)
+
+let test_rank_identity () =
+  let dir, engine = build_coordinator ~docs:24 ~seed:42 in
+  with_supervisor dir @@ fun s ->
+  require_healthy s;
+  List.iter
+    (fun q ->
+      List.iter
+        (fun k ->
+          let r = Supervisor.query s ~k q in
+          Alcotest.(check bool)
+            (Printf.sprintf "untagged (k=%d)" k)
+            false r.Shard.degraded;
+          check answers_testable
+            (Printf.sprintf "process scatter = single env (k=%d)" k)
+            (baseline engine ~k q) r.Shard.answers)
+        [ 1; 5; 10 ])
+    [ nexi; nexi2 ];
+  let r = Supervisor.query s ~k:5 nexi in
+  Alcotest.(check int) "every shard reports" 3 (List.length r.Shard.reports);
+  rm_rf dir
+
+(* fanout=1 serializes the scatter into waves, so later waves receive a
+   non-zero floor — results must not change. *)
+let test_rank_identity_waved () =
+  let dir, engine = build_coordinator ~docs:24 ~seed:43 in
+  with_supervisor dir @@ fun s ->
+  require_healthy s;
+  let r = Supervisor.query s ~k:3 ~fanout:1 nexi in
+  Alcotest.(check bool) "untagged" false r.Shard.degraded;
+  check answers_testable "waved scatter = single env" (baseline engine ~k:3 nexi)
+    r.Shard.answers;
+  Alcotest.(check bool) "a later wave saw a floor" true
+    (List.exists (fun (rep : Shard.shard_report) -> rep.r_floor > 0.0)
+       r.Shard.reports);
+  rm_rf dir
+
+(* ---- the kill matrix ----
+
+   Each case arms one fault, asserts the degraded query is a tagged
+   sound partial (identical to the exact answer over the surviving
+   shards), waits for the supervisor to restart the worker, and
+   asserts the follow-up query is the full untagged answer. *)
+
+let victim = "shard-001"
+
+type matrix_case = {
+  c_name : string;
+  c_fault : string option;  (* armed on the victim's next query *)
+  c_deadline_ms : float option;
+  c_pre : Supervisor.t -> unit;  (* fired just before the query *)
+  c_answers_full : bool;
+      (* the victim's answer escapes before the fault fires *)
+}
+
+let nothing _ = ()
+
+let matrix =
+  [
+    {
+      c_name = "pre-scatter";
+      c_fault = None;
+      c_deadline_ms = None;
+      c_pre =
+        (fun s ->
+          match Supervisor.worker_pid s victim with
+          | Some pid -> Unix.kill pid Sys.sigkill
+          | None -> Alcotest.fail "victim has no live worker");
+      c_answers_full = false;
+    };
+    {
+      c_name = "kill:mid-decode";
+      c_fault = Some "kill:mid-decode";
+      c_deadline_ms = None;
+      c_pre = nothing;
+      c_answers_full = false;
+    };
+    {
+      c_name = "exit:mid-decode";
+      c_fault = Some "exit:mid-decode";
+      c_deadline_ms = None;
+      c_pre = nothing;
+      c_answers_full = false;
+    };
+    {
+      c_name = "kill:pre-reply";
+      c_fault = Some "kill:pre-reply";
+      c_deadline_ms = None;
+      c_pre = nothing;
+      c_answers_full = false;
+    };
+    {
+      c_name = "wedge:mid-decode";
+      c_fault = Some "wedge:mid-decode";
+      c_deadline_ms = Some 800.0;
+      c_pre = nothing;
+      c_answers_full = false;
+    };
+    {
+      c_name = "stop:post-reply";
+      c_fault = Some "stop:post-reply";
+      c_deadline_ms = None;
+      c_pre = nothing;
+      c_answers_full = true;
+    };
+  ]
+
+let run_matrix_case engine infos s case ~k ~q =
+  (match case.c_fault with
+  | Some f -> Supervisor.set_fault s ~shard:victim (Some f)
+  | None -> ());
+  case.c_pre s;
+  let r = Supervisor.query s ~k ?deadline_ms:case.c_deadline_ms q in
+  if case.c_answers_full then begin
+    (* The fault fires after the answer frame: this query is whole;
+       the damage surfaces through heartbeats below. *)
+    Alcotest.(check bool) (case.c_name ^ ": untagged") false r.Shard.degraded;
+    check answers_testable
+      (case.c_name ^ ": full answer")
+      (baseline engine ~k q) r.Shard.answers;
+    (* Drive supervision until the heartbeat timeout reaps the stopped
+       worker. *)
+    let t0 = Unix.gettimeofday () in
+    let before = metric "supervisor.heartbeat_timeouts" in
+    while
+      metric "supervisor.heartbeat_timeouts" = before
+      && Unix.gettimeofday () -. t0 < 10.0
+    do
+      Supervisor.tick s;
+      ignore (Unix.select [] [] [] 0.02)
+    done;
+    Alcotest.(check bool)
+      (case.c_name ^ ": heartbeat timeout fired")
+      true
+      (metric "supervisor.heartbeat_timeouts" > before)
+  end
+  else begin
+    Alcotest.(check bool) (case.c_name ^ ": degraded") true r.Shard.degraded;
+    Alcotest.(check bool)
+      (case.c_name ^ ": victim tagged")
+      true
+      (List.mem_assoc victim r.Shard.degraded_shards);
+    check answers_testable
+      (case.c_name ^ ": sound partial over survivors")
+      (surviving_baseline engine infos ~lost:[ victim ] ~k q)
+      r.Shard.answers
+  end;
+  (* Recovery: the worker restarts and the next query is whole. *)
+  require_healthy s;
+  let r2 = Supervisor.query s ~k q in
+  Alcotest.(check bool) (case.c_name ^ ": recovered untagged") false
+    r2.Shard.degraded;
+  check answers_testable
+    (case.c_name ^ ": recovered full answer")
+    (baseline engine ~k q) r2.Shard.answers
+
+let test_kill_matrix () =
+  let dir, engine = build_coordinator ~docs:18 ~seed:77 in
+  with_supervisor dir @@ fun s ->
+  require_healthy s;
+  let infos = Supervisor.shards s in
+  let spawns0 = metric "supervisor.spawns" in
+  let restarts0 = metric "supervisor.restarts" in
+  List.iter (fun case -> run_matrix_case engine infos s case ~k:5 ~q:nexi) matrix;
+  Alcotest.(check bool) "every case respawned a worker" true
+    (metric "supervisor.spawns" - spawns0 >= List.length matrix);
+  Alcotest.(check bool) "restarts were counted" true
+    (metric "supervisor.restarts" - restarts0 >= List.length matrix);
+  rm_rf dir
+
+(* ---- escalation to the breaker, recovery via half-open probe ---- *)
+
+let test_escalation_and_probe () =
+  let dir, engine = build_coordinator ~docs:12 ~seed:99 in
+  let config = { fast_config with Supervisor.max_restarts = 1 } in
+  with_supervisor ~config dir @@ fun s ->
+  require_healthy s;
+  let b = Supervisor.breaker s victim in
+  let esc0 = metric "supervisor.escalations" in
+  (* Two deaths with no successful answer between exhaust the restart
+     budget (max_restarts = 1) and trip the breaker. *)
+  let rec flap n =
+    if Breaker.state b <> Breaker.Open then begin
+      if n > 40 then Alcotest.fail "victim never escalated";
+      Supervisor.set_fault s ~shard:victim (Some "kill:mid-decode");
+      ignore (Supervisor.query s ~k:3 nexi);
+      (* Let the backoff elapse and the worker respawn so the next
+         fault has a live target. *)
+      ignore (Supervisor.await_healthy ~timeout_s:2.0 s);
+      flap (n + 1)
+    end
+  in
+  flap 0;
+  Alcotest.(check bool) "escalation was counted" true
+    (metric "supervisor.escalations" > esc0);
+  (* While escalated: queries degrade to tagged sound partials. *)
+  let r = Supervisor.query s ~k:3 nexi in
+  Alcotest.(check bool) "degraded while escalated" true r.Shard.degraded;
+  check answers_testable "escalated partial is sound"
+    (surviving_baseline engine (Supervisor.shards s) ~lost:[ victim ] ~k:3 nexi)
+    r.Shard.answers;
+  (* Cooldown over: the next tick admits a respawn as the half-open
+     probe; its successful handshake closes the circuit. *)
+  Breaker.set_cooldown b 0.0;
+  require_healthy s;
+  Alcotest.(check bool) "probe closed the breaker" true
+    (Breaker.state b = Breaker.Closed);
+  let r2 = Supervisor.query s ~k:3 nexi in
+  Alcotest.(check bool) "recovered untagged" false r2.Shard.degraded;
+  check answers_testable "recovered full answer" (baseline engine ~k:3 nexi)
+    r2.Shard.answers;
+  rm_rf dir
+
+(* Two flapping workers escalate independently and neither starves the
+   other's half-open probe slot: both breakers close once their own
+   probe handshakes. *)
+let test_probe_storm_two_workers () =
+  let dir, engine = build_coordinator ~docs:12 ~seed:101 in
+  let config = { fast_config with Supervisor.max_restarts = 0 } in
+  with_supervisor ~config dir @@ fun s ->
+  require_healthy s;
+  let victims = [ "shard-000"; "shard-002" ] in
+  List.iter
+    (fun v -> Supervisor.set_fault s ~shard:v (Some "kill:mid-decode"))
+    victims;
+  (* max_restarts = 0: the first death escalates immediately — both
+     victims trip their breakers in the same query. *)
+  let r = Supervisor.query s ~k:3 nexi in
+  Alcotest.(check bool) "both victims tagged" true
+    (List.for_all (fun v -> List.mem_assoc v r.Shard.degraded_shards) victims);
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) (v ^ " breaker open") true
+        (Breaker.state (Supervisor.breaker s v) = Breaker.Open))
+    victims;
+  check answers_testable "double-loss partial is sound"
+    (surviving_baseline engine (Supervisor.shards s) ~lost:victims ~k:3 nexi)
+    r.Shard.answers;
+  (* Clear both cooldowns; both probes must be admitted — one worker's
+     probe slot is per-breaker, not global. *)
+  List.iter (fun v -> Breaker.set_cooldown (Supervisor.breaker s v) 0.0) victims;
+  require_healthy s;
+  List.iter
+    (fun v ->
+      Alcotest.(check bool) (v ^ " breaker closed by its own probe") true
+        (Breaker.state (Supervisor.breaker s v) = Breaker.Closed))
+    victims;
+  let r2 = Supervisor.query s ~k:3 nexi in
+  Alcotest.(check bool) "recovered untagged" false r2.Shard.degraded;
+  check answers_testable "recovered full answer" (baseline engine ~k:3 nexi)
+    r2.Shard.answers;
+  rm_rf dir
+
+(* ---- stale worker artifacts are swept at coordinator open ---- *)
+
+let test_stale_artifact_sweep () =
+  let dir, _engine = build_coordinator ~docs:12 ~seed:7 in
+  (* A dead-for-sure pid: a reaped child. *)
+  let dead_pid =
+    match Unix.fork () with
+    | 0 -> Unix._exit 0
+    | pid ->
+        ignore (Unix.waitpid [] pid);
+        pid
+  in
+  let sdir = Filename.concat dir "shard-000" in
+  let write path text =
+    let oc = open_out path in
+    output_string oc text;
+    close_out oc
+  in
+  write (Filename.concat sdir "worker.pid") (string_of_int dead_pid ^ "\n");
+  write (Filename.concat (Filename.concat dir "shard-001") "worker.pid") "garbage\n";
+  write (Filename.concat sdir "worker.sock") "";
+  (* A pid file naming a live process must be left alone. *)
+  let live =
+    Filename.concat (Filename.concat dir "shard-002") "worker.pid"
+  in
+  write live (string_of_int (Unix.getpid ()) ^ "\n");
+  let before = metric "supervisor.stale_sweeps" in
+  let t = Shard.open_ dir in
+  Shard.close t;
+  check Alcotest.int "three stale artifacts swept" 3
+    (metric "supervisor.stale_sweeps" - before);
+  Alcotest.(check bool) "dead pid file removed" false
+    (Sys.file_exists (Filename.concat sdir "worker.pid"));
+  Alcotest.(check bool) "socket path removed" false
+    (Sys.file_exists (Filename.concat sdir "worker.sock"));
+  Alcotest.(check bool) "live pid file kept" true (Sys.file_exists live);
+  Sys.remove live;
+  (* The supervisor leaves a live worker.pid behind only on unclean
+     death; a clean close removes it. *)
+  with_supervisor dir (fun s ->
+      require_healthy s;
+      Alcotest.(check bool) "worker wrote its pid file" true
+        (Sys.file_exists (Filename.concat sdir "worker.pid")));
+  let t0 = Unix.gettimeofday () in
+  while
+    Sys.file_exists (Filename.concat sdir "worker.pid")
+    && Unix.gettimeofday () -. t0 < 5.0
+  do
+    ignore (Unix.select [] [] [] 0.02)
+  done;
+  Alcotest.(check bool) "clean shutdown removed the pid file" false
+    (Sys.file_exists (Filename.concat sdir "worker.pid"));
+  rm_rf dir
+
+(* ---- seeded kill-matrix soak ---- *)
+
+let soak_seeds () =
+  match Sys.getenv_opt "TREX_SOAK_SEEDS" with
+  | Some s -> max 1 (int_of_string s)
+  | None -> 3
+
+let test_soak () =
+  let dir, engine = build_coordinator ~docs:18 ~seed:1234 in
+  with_supervisor dir @@ fun s ->
+  require_healthy s;
+  let infos = Supervisor.shards s in
+  let queries = [ nexi; nexi2 ] in
+  let exact = ref 0 and degraded = ref 0 in
+  for seed = 1 to soak_seeds () do
+    let case = List.nth matrix (seed mod List.length matrix) in
+    let q = List.nth queries (seed mod List.length queries) in
+    let k = 3 + (seed mod 5) in
+    run_matrix_case engine infos s case ~k ~q;
+    if case.c_answers_full then incr exact else incr degraded
+  done;
+  Printf.printf "supervisor soak: %d degraded cases, %d wedge cases\n%!" !degraded
+    !exact;
+  Alcotest.(check bool) "soak exercised degraded cases" true (!degraded > 0);
+  rm_rf dir
+
+let () =
+  (* The supervisor execs this very binary as its worker: dispatch
+     before Alcotest ever sees argv. *)
+  (match Array.to_list Sys.argv with
+  | _ :: "shard-worker" :: rest ->
+      let rec get key = function
+        | k :: v :: _ when k = key -> v
+        | _ :: tl -> get key tl
+        | [] ->
+            prerr_endline ("shard-worker: missing " ^ key);
+            exit 2
+      in
+      Supervisor.worker_main ~dir:(get "--dir" rest) ~shard:(get "--shard" rest)
+        ()
+  | _ -> ());
+  Alcotest.run "trex_supervisor"
+    [
+      ("wire", [ Alcotest.test_case "message roundtrips" `Quick test_wire_roundtrip ]);
+      ( "identity",
+        [
+          Alcotest.test_case "rank-identical through worker processes" `Quick
+            test_rank_identity;
+          Alcotest.test_case "rank-identical with waved scatter (floor)" `Quick
+            test_rank_identity_waved;
+        ] );
+      ( "kill-matrix",
+        [ Alcotest.test_case "all seeded kill points" `Quick test_kill_matrix ] );
+      ( "escalation",
+        [
+          Alcotest.test_case "restart budget trips the breaker; probe recovers"
+            `Quick test_escalation_and_probe;
+          Alcotest.test_case "two flappers keep independent probe slots" `Quick
+            test_probe_storm_two_workers;
+        ] );
+      ( "hygiene",
+        [
+          Alcotest.test_case "stale worker artifacts swept at open" `Quick
+            test_stale_artifact_sweep;
+        ] );
+      ("soak", [ Alcotest.test_case "seeded kill soak" `Slow test_soak ]);
+    ]

@@ -6,6 +6,7 @@ module Zipf = Trex_util.Zipf
 module Heap = Trex_util.Heap
 module Stopclock = Trex_util.Stopclock
 module Counters = Trex_util.Counters
+module Framing = Trex_util.Framing
 
 let check = Alcotest.check
 
@@ -284,6 +285,22 @@ let test_stopclock_accounting () =
   Alcotest.(check bool) "elapsed within wall" true (e <= wall +. eps);
   Alcotest.(check bool) "elapsed+paused within wall" true (e +. p <= wall +. eps)
 
+(* [now] is CLOCK_MONOTONIC with a non-decreasing clamp: consecutive
+   reads never go backwards and real elapsed time is reflected. *)
+let test_stopclock_now_monotonic () =
+  let prev = ref (Stopclock.now ()) in
+  for _ = 1 to 10_000 do
+    let t = Stopclock.now () in
+    Alcotest.(check bool) "never decreases" true (t >= !prev);
+    prev := t
+  done
+
+let test_stopclock_now_advances () =
+  let t0 = Stopclock.now () in
+  spin 0.01;
+  let t1 = Stopclock.now () in
+  Alcotest.(check bool) "advances with elapsed time" true (t1 -. t0 >= 0.008)
+
 (* ---- Counters ---- *)
 
 let test_counters () =
@@ -346,6 +363,102 @@ let prop_crc32_bit_flip_detected =
       Bytes.set b byte (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
       Trex_util.Crc32.string s
       <> Trex_util.Crc32.bytes b ~pos:0 ~len:(Bytes.length b))
+
+(* ---- framing: incremental stream decoder ---- *)
+
+(* Cut a byte stream into chunks at positions drawn from [cuts],
+   simulating the short reads/writes a socket delivers. *)
+let chunks_of stream cuts =
+  let n = String.length stream in
+  let rec go pos cuts acc =
+    if pos >= n then List.rev acc
+    else
+      let take =
+        match cuts with c :: _ -> min (c + 1) (n - pos) | [] -> n - pos
+      in
+      let rest = match cuts with _ :: r -> r | [] -> [] in
+      go (pos + take) rest (String.sub stream pos take :: acc)
+  in
+  go 0 cuts []
+
+let prop_framing_chunked_decode =
+  let open QCheck in
+  Test.make ~name:"frame decoding is chunking-invariant" ~count:300
+    (pair
+       (list_of_size Gen.(0 -- 12) (string_of_size Gen.(0 -- 64)))
+       (list_of_size Gen.(0 -- 40) (int_bound 16)))
+    (fun (payloads, cuts) ->
+      let stream =
+        String.concat ""
+          (List.map (fun p -> Bytes.to_string (Framing.frame p)) payloads)
+      in
+      let d = Framing.Decoder.create () in
+      let out = ref [] in
+      let rec drain () =
+        match Framing.Decoder.next d with
+        | Some p ->
+            out := p :: !out;
+            drain ()
+        | None -> ()
+      in
+      List.iter
+        (fun chunk ->
+          Framing.Decoder.feed_string d chunk;
+          drain ())
+        (chunks_of stream cuts);
+      List.rev !out = payloads && Framing.Decoder.buffered d = 0)
+
+let prop_framing_corruption_detected =
+  let open QCheck in
+  Test.make ~name:"decoder rejects any payload bit flip" ~count:200
+    (pair (string_of_size Gen.(1 -- 64)) (pair small_nat small_nat))
+    (fun (payload, (byte, bit)) ->
+      let b = Framing.frame payload in
+      let byte = 8 + (byte mod String.length payload) and bit = bit mod 8 in
+      Bytes.set b byte
+        (Char.chr (Char.code (Bytes.get b byte) lxor (1 lsl bit)));
+      let d = Framing.Decoder.create () in
+      Framing.Decoder.feed d b 0 (Bytes.length b);
+      match Framing.Decoder.next d with
+      | exception Framing.Corrupt_frame _ -> true
+      | _ -> false)
+
+let test_framing_decoder_absurd_length () =
+  let d = Framing.Decoder.create () in
+  let b = Bytes.make 8 '\x00' in
+  Bytes.set_int32_le b 0 0x7f000000l;
+  Framing.Decoder.feed d b 0 8;
+  match Framing.Decoder.next d with
+  | exception Framing.Corrupt_frame _ -> ()
+  | _ -> Alcotest.fail "absurd length header must raise Corrupt_frame"
+
+(* write_all / recv across a real socketpair: multi-frame traffic with
+   one payload larger than recv's 64KiB read chunk, then a clean EOF. *)
+let test_framing_socketpair_roundtrip () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let payloads = [ "alpha"; ""; String.init 70_000 (fun i -> Char.chr (i mod 251)) ] in
+  List.iter (fun p -> Framing.append a p) payloads;
+  Unix.close a;
+  let d = Framing.Decoder.create () in
+  List.iter
+    (fun expect ->
+      match Framing.recv b d with
+      | Some got -> Alcotest.(check string) "payload" expect got
+      | None -> Alcotest.fail "premature EOF")
+    payloads;
+  Alcotest.(check bool) "clean EOF" true (Framing.recv b d = None);
+  Unix.close b
+
+let test_framing_eof_inside_frame () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let whole = Framing.frame "cut short" in
+  Framing.write_all a (Bytes.sub whole 0 (Bytes.length whole - 3));
+  Unix.close a;
+  let d = Framing.Decoder.create () in
+  (match Framing.recv b d with
+  | exception Framing.Corrupt_frame _ -> ()
+  | _ -> Alcotest.fail "EOF inside a frame must raise Corrupt_frame");
+  Unix.close b
 
 (* ---- varint strictness, bit packing, block segments ---- *)
 
@@ -523,6 +636,8 @@ let () =
           Alcotest.test_case "pause excludes time" `Quick test_stopclock_pause_excludes_time;
           Alcotest.test_case "idempotent pause/resume" `Quick test_stopclock_idempotent_pause;
           Alcotest.test_case "pause/resume accounting" `Quick test_stopclock_accounting;
+          Alcotest.test_case "now never decreases" `Quick test_stopclock_now_monotonic;
+          Alcotest.test_case "now advances" `Quick test_stopclock_now_advances;
         ] );
       ( "counters",
         [
@@ -535,5 +650,16 @@ let () =
           Alcotest.test_case "known vectors" `Quick test_crc32_vectors;
           Alcotest.test_case "chaining" `Quick test_crc32_chaining;
           qtest prop_crc32_bit_flip_detected;
+        ] );
+      ( "framing",
+        [
+          qtest prop_framing_chunked_decode;
+          qtest prop_framing_corruption_detected;
+          Alcotest.test_case "absurd length header" `Quick
+            test_framing_decoder_absurd_length;
+          Alcotest.test_case "socketpair roundtrip" `Quick
+            test_framing_socketpair_roundtrip;
+          Alcotest.test_case "EOF inside a frame" `Quick
+            test_framing_eof_inside_frame;
         ] );
     ]
