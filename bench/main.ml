@@ -25,6 +25,8 @@
                      degraded serving, split/merge rebalance cost
      shard_proc    - process-isolated workers: supervised scatter vs
                      the in-process coordinator, spawn/handshake cost
+     telemetry     - cross-process telemetry harvest overhead: supervised
+                     scatter untraced vs traced vs traced+journaled
      effectiveness - P@10/MAP/nDCG against the generator's topic ground
                      truth; BM25 vs TF-IDF
      bechamel      - one Bechamel Test.make per table/figure family
@@ -878,6 +880,54 @@ let section_shard_proc () =
   Printf.printf "rank identity: process scatter bit-identical to in-process\n";
   Bench_out.flush ~quick:!quick "shard_proc"
 
+(* ---- section: telemetry ---- *)
+
+(* What the cross-process harvest costs: the same supervised scatter
+   with telemetry off, with span tracing on (workers trace and ship
+   their trees over the wire), and with tracing + journaling (workers
+   additionally build and ship a journal record; the coordinator
+   appends one merged record per query). *)
+let section_telemetry () =
+  header "TELEMETRY: cross-process harvest overhead on supervised scatter";
+  let coll = Gen.ieee ~doc_count:(if !quick then 40 else 120) ~seed:88 () in
+  let docs = List.of_seq (coll.docs ()) in
+  let q = Queries.find "270" in
+  let k = 10 in
+  let dir = Filename.temp_file "trex_bench_telem" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  Shard.close (Shard.create ~dir ~shards:3 ~alias:coll.alias docs);
+  let sup = Supervisor.create dir in
+  if not (Supervisor.await_healthy sup) then
+    failwith "telemetry: workers never became healthy";
+  Fun.protect ~finally:(fun () -> Supervisor.close sup) @@ fun () ->
+  let timed ~trace ~journal =
+    Trex.Obs.Span.set_enabled trace;
+    Trex.Obs.Journal.set_enabled journal;
+    Fun.protect
+      ~finally:(fun () ->
+        Trex.Obs.Span.set_enabled false;
+        Trex.Obs.Journal.set_enabled false;
+        Trex.Obs.Span.reset ())
+      (fun () -> robust_time (fun () -> ignore (Supervisor.query sup ~k q.nexi)))
+  in
+  let t_off = timed ~trace:false ~journal:false in
+  let t_trace = timed ~trace:true ~journal:false in
+  let t_full = timed ~trace:true ~journal:true in
+  let pct t = (t /. t_off -. 1.0) *. 100.0 in
+  Printf.printf "%-16s | %10s %10s\n" "mode" "ms" "overhead";
+  Printf.printf "%-16s | %10.2f %10s\n" "off" (t_off *. 1e3) "-";
+  Printf.printf "%-16s | %10.2f %9.1f%%\n" "trace" (t_trace *. 1e3) (pct t_trace);
+  Printf.printf "%-16s | %10.2f %9.1f%%\n" "trace+journal" (t_full *. 1e3)
+    (pct t_full);
+  Bench_out.record ~section:"telemetry" ~query:q.id ~strategy:"off" ~k
+    ~ms:(t_off *. 1e3) [ ("shards", 3) ];
+  Bench_out.record ~section:"telemetry" ~query:q.id ~strategy:"trace" ~k
+    ~ms:(t_trace *. 1e3) [ ("shards", 3) ];
+  Bench_out.record ~section:"telemetry" ~query:q.id ~strategy:"trace+journal"
+    ~k ~ms:(t_full *. 1e3) [ ("shards", 3) ];
+  Bench_out.flush ~quick:!quick "telemetry"
+
 (* ---- section: effectiveness ---- *)
 
 (* The generator records which topics each document was written around;
@@ -1055,5 +1105,6 @@ let () =
   if want "compression" then section_compression ();
   if want "shard" then section_shard ();
   if want "shard_proc" then section_shard_proc ();
+  if want "telemetry" then section_telemetry ();
   if want "bechamel" then section_bechamel ();
   Printf.printf "\ndone.\n"

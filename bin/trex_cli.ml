@@ -138,6 +138,13 @@ let query_cmd =
     Arg.(value & flag
          & info [ "trace" ] ~doc:"print a tree of timed spans after the answers")
   in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"write the query's span forest as Chrome trace-event JSON \
+                   to $(docv) (open in chrome://tracing or Perfetto); \
+                   implies span collection")
+  in
   let deadline_ms =
     Arg.(value & opt (some float) None
          & info [ "deadline-ms" ]
@@ -156,11 +163,11 @@ let query_cmd =
              ~doc:"append a telemetry record for this query to the env's \
                    persistent journal (inspect with the journal subcommand)")
   in
-  let run env nexi k method_ strict structured trace deadline_ms page_budget
-      journal =
+  let run env nexi k method_ strict structured trace trace_out deadline_ms
+      page_budget journal =
     let storage = Trex.Env.on_disk env in
     let engine = Trex.attach ~env:storage () in
-    if trace then Trex.Obs.Span.set_enabled true;
+    if trace || trace_out <> None then Trex.Obs.Span.set_enabled true;
     if journal then Trex.Obs.Journal.set_enabled true;
     let outcome =
       if structured then
@@ -202,6 +209,18 @@ let query_cmd =
       Printf.printf "trace:\n";
       Format.printf "%a@." Trex.Obs.Span.pp_tree (Trex.Obs.Span.roots ())
     end;
+    (match trace_out with
+    | Some path ->
+        Trex.Obs.Export.write path
+          [
+            {
+              Trex.Obs.Export.p_pid = Unix.getpid ();
+              p_name = "trex";
+              p_spans = Trex.Obs.Span.roots ();
+            };
+          ];
+        Printf.printf "trace written to %s\n" path
+    | None -> ());
     if journal then
       Printf.printf "journaled to %s (%d record(s) on file)\n"
         (Option.value ~default:"<memory>" (Trex.Env.journal_path storage))
@@ -211,7 +230,7 @@ let query_cmd =
   in
   Cmd.v (Cmd.info "query" ~doc:"Evaluate a NEXI query")
     Term.(const run $ env_arg $ nexi $ k $ method_ $ strict $ structured $ trace
-          $ deadline_ms $ page_budget $ journal)
+          $ trace_out $ deadline_ms $ page_budget $ journal)
 
 (* ---- materialize ---- *)
 
@@ -430,12 +449,30 @@ let health_cmd =
 (* ---- journal ---- *)
 
 (* Shared loader: a typo'd env path or a journal-less env is a user
-   error (exit 1), not a reason to mint an empty journal. *)
+   error (exit 1), not a reason to mint an empty journal. A shard
+   coordinator directory (it holds SHARDS.mf, not an Env) is served its
+   supervised-query journal, written by shard query --process
+   --journal. *)
 let load_journal_records cmd env =
   if not (Sys.file_exists env && Sys.is_directory env) then begin
     Printf.eprintf "trex %s: no index directory at %s\n" cmd env;
     exit 1
   end;
+  if Sys.file_exists (Filename.concat env "SHARDS.mf") then begin
+    let path = Filename.concat env "query_journal.qj" in
+    if not (Sys.file_exists path) then begin
+      Printf.eprintf
+        "trex %s: no coordinator journal in %s (run shard query --process \
+         --journal first)\n"
+        cmd env;
+      exit 1
+    end;
+    let j = Trex.Obs.Journal.open_file path in
+    let records = Trex.Obs.Journal.records j in
+    Trex.Obs.Journal.close j;
+    records
+  end
+  else
   let storage = Trex.Env.on_disk env in
   if not (Trex.Env.has_journal storage) then begin
     Printf.eprintf
@@ -799,7 +836,33 @@ let shard_query_cmd =
          & info [ "fanout" ]
              ~doc:"with $(b,--process): scatter wave size (default: all shards)")
   in
-  let run dir nexi k method_ strict deadline_ms page_budget process fanout =
+  let trace =
+    Arg.(value & flag
+         & info [ "trace" ]
+             ~doc:"print the merged span tree after the answers; with \
+                   $(b,--process) the workers' spans are harvested over the \
+                   wire and grafted under each supervisor.worker span")
+  in
+  let trace_out =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"write the merged span forest as Chrome trace-event JSON \
+                   to $(docv); with $(b,--process) each worker's subtree \
+                   lands on its own process track; implies span collection")
+  in
+  let journal =
+    Arg.(value & flag
+         & info [ "journal" ]
+             ~doc:"journal telemetry for this query: with $(b,--process) one \
+                   coordinator record (with per-shard breakdown) in \
+                   DIR/query_journal.qj, otherwise per-shard records in each \
+                   shard's own journal")
+  in
+  let run dir nexi k method_ strict deadline_ms page_budget process fanout
+      trace trace_out journal =
+    let want_trace = trace || trace_out <> None in
+    if want_trace then Trex.Obs.Span.set_enabled true;
+    if journal then Trex.Obs.Journal.set_enabled true;
     let m =
       Option.map
         (function
@@ -854,11 +917,36 @@ let shard_query_cmd =
         (fun (name, reason) -> Printf.printf "  missing %s: %s\n" name reason)
         r.degraded_shards
     end;
+    if trace then begin
+      Printf.printf "trace:\n";
+      Format.printf "%a@." Trex.Obs.Span.pp_tree (Trex.Obs.Span.roots ())
+    end;
+    (match trace_out with
+    | Some path ->
+        Trex.Obs.Export.write path
+          [
+            {
+              Trex.Obs.Export.p_pid = Unix.getpid ();
+              p_name = (if process then "trex coordinator" else "trex");
+              p_spans = Trex.Obs.Span.roots ();
+            };
+          ];
+        Printf.printf "trace written to %s\n" path
+    | None -> ());
+    if journal then
+      if process then
+        Printf.printf "journaled to %s\n"
+          (Filename.concat dir "query_journal.qj")
+      else
+        Printf.printf
+          "journaled per shard (inspect with: trex journal tail --env \
+           %s/<shard>)\n"
+          dir;
     if r.degraded then exit 3
   in
   Cmd.v (Cmd.info "query" ~doc:"Scatter-gather a NEXI query across the shards")
     Term.(const run $ shard_dir_arg $ nexi $ k $ method_ $ strict $ deadline_ms
-          $ page_budget $ process $ fanout)
+          $ page_budget $ process $ fanout $ trace $ trace_out $ journal)
 
 let shard_health_cmd =
   let workers =
@@ -897,7 +985,8 @@ let shard_health_cmd =
             List.iter
               (fun (h : Supervisor.worker_health) ->
                 Printf.printf
-                  "  %s: state=%s pid=%s restarts=%d breaker=%s beat=%s\n"
+                  "  %s: state=%s pid=%s restarts=%d/%d-lifetime breaker=%s \
+                   beat=%s\n"
                   h.w_shard
                   (match h.w_state with
                   | Supervisor.Starting -> "starting"
@@ -906,7 +995,7 @@ let shard_health_cmd =
                   | Supervisor.Stopped -> "stopped"
                   | Supervisor.Escalated -> "escalated")
                   (match h.w_pid with Some p -> string_of_int p | None -> "-")
-                  h.w_restarts
+                  h.w_restarts h.w_total_restarts
                   (Trex.Breaker.state_to_string h.w_breaker)
                   (match h.w_beat_age_s with
                   | Some a -> Printf.sprintf "%.1fs" a

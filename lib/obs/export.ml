@@ -1,0 +1,120 @@
+type process = { p_pid : int; p_name : string; p_spans : Span.t list }
+
+(* A span whose attrs carry ("pid", n) was harvested from another
+   process (the supervisor stamps worker pids when grafting); its whole
+   subtree belongs to that pid unless a descendant re-stamps. *)
+let pid_of_attrs attrs =
+  match List.assoc_opt "pid" attrs with
+  | Some s -> int_of_string_opt s
+  | None -> None
+
+let label_of_attrs attrs =
+  match List.assoc_opt "worker" attrs with
+  | Some _ as w -> w
+  | None -> List.assoc_opt "shard" attrs
+
+(* Minimum known monotonic start across the forest — the trace's t=0.
+   Spans decoded without a start ([start_s = 0.]) are laid out
+   sequentially inside their parent instead. *)
+let rec min_start acc (s : Span.t) =
+  let acc =
+    if s.Span.start_s > 0.0 then min acc s.Span.start_s else acc
+  in
+  List.fold_left min_start acc s.Span.children
+
+let chrome_trace processes =
+  let t0 =
+    List.fold_left
+      (fun acc p -> List.fold_left min_start acc p.p_spans)
+      infinity
+      processes
+  in
+  let t0 = if Float.is_finite t0 then t0 else 0.0 in
+  let us s = s *. 1e6 in
+  let events = ref [] in
+  (* pid -> display name, for process_name metadata events. *)
+  let names : (int, string) Hashtbl.t = Hashtbl.create 8 in
+  let note_pid pid name =
+    if not (Hashtbl.mem names pid) then Hashtbl.add names pid name
+  in
+  let rec walk ~pid ~cursor (s : Span.t) =
+    let pid =
+      match pid_of_attrs s.Span.attrs with
+      | Some p ->
+          note_pid p
+            (match label_of_attrs s.Span.attrs with
+            | Some w -> "worker " ^ w
+            | None -> Printf.sprintf "worker pid %d" p);
+          p
+      | None -> pid
+    in
+    let start =
+      if s.Span.start_s > 0.0 then s.Span.start_s -. t0 else cursor
+    in
+    let args =
+      List.map (fun (k, v) -> (k, Json.String v)) s.Span.attrs
+    in
+    events :=
+      Json.Obj
+        ([
+           ("name", Json.String s.Span.name);
+           ("cat", Json.String "span");
+           ("ph", Json.String "X");
+           ("ts", Json.Float (us start));
+           ("dur", Json.Float (us s.Span.seconds));
+           ("pid", Json.Int pid);
+           ("tid", Json.Int pid);
+         ]
+        @ if args = [] then [] else [ ("args", Json.Obj args) ])
+      :: !events;
+    ignore
+      (List.fold_left
+         (fun cursor child ->
+           walk ~pid ~cursor child;
+           let next =
+             if child.Span.start_s > 0.0 then
+               child.Span.start_s -. t0 +. child.Span.seconds
+             else cursor +. child.Span.seconds
+           in
+           next)
+         start s.Span.children)
+  in
+  List.iter
+    (fun p ->
+      note_pid p.p_pid p.p_name;
+      ignore
+        (List.fold_left
+           (fun cursor s ->
+             walk ~pid:p.p_pid ~cursor s;
+             if s.Span.start_s > 0.0 then
+               s.Span.start_s -. t0 +. s.Span.seconds
+             else cursor +. s.Span.seconds)
+           0.0 p.p_spans))
+    processes;
+  let metadata =
+    Hashtbl.fold
+      (fun pid name acc ->
+        Json.Obj
+          [
+            ("name", Json.String "process_name");
+            ("ph", Json.String "M");
+            ("pid", Json.Int pid);
+            ("tid", Json.Int 0);
+            ("args", Json.Obj [ ("name", Json.String name) ]);
+          ]
+        :: acc)
+      names []
+  in
+  Json.Obj
+    [
+      ("traceEvents", Json.List (metadata @ List.rev !events));
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write path processes =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~pretty:true (chrome_trace processes));
+      output_char oc '\n')

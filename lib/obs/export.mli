@@ -1,0 +1,31 @@
+(** Chrome trace-event (catapult) JSON export of span forests.
+
+    The output loads directly in [chrome://tracing] or Perfetto: one
+    complete-duration event (["ph": "X"]) per span, timestamps and
+    durations in microseconds, span attributes as [args], plus a
+    [process_name] metadata event per process. Each {!process} maps to
+    a Chrome pid/tid pair; spans whose attributes carry [("pid", n)] —
+    the supervisor stamps worker pids when it grafts harvested span
+    trees — are re-homed to that pid together with their subtree, so a
+    merged coordinator trace renders worker work on the worker's own
+    track.
+
+    Timestamps: all [Span.start_s] values come from the system-wide
+    monotonic clock, so the minimum across the forest becomes the
+    trace's t=0. Spans without a start ([start_s = 0.], e.g. decoded
+    from a peer that predates start stamping) are laid out
+    sequentially inside their parent — durations stay exact, only
+    their placement is synthesized. *)
+
+type process = {
+  p_pid : int;
+  p_name : string;  (** Display name for the pid's track. *)
+  p_spans : Span.t list;
+}
+
+val chrome_trace : process list -> Json.t
+(** [{"traceEvents": [...], "displayTimeUnit": "ms"}] *)
+
+val write : string -> process list -> unit
+(** Write [chrome_trace] pretty-printed to a file. Raises [Sys_error]
+    on I/O failure. *)

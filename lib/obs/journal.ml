@@ -241,7 +241,7 @@ let canonical ~sids ~terms =
   ^ "|"
   ^ String.concat "," (List.sort String.compare terms)
 
-let finish_query t started ~strategy ~sids ~terms ~k ~degraded ?(fallbacks = 0)
+let build_record started ~strategy ~sids ~terms ~k ~degraded ?(fallbacks = 0)
     ?(spans = []) () =
   (* The record timestamp is wall time (absolute, human-facing); the
      duration is measured on the monotonic clock so a wall step mid-
@@ -255,8 +255,7 @@ let finish_query t started ~strategy ~sids ~terms ~k ~degraded ?(fallbacks = 0)
   let digest =
     if label <> "" then digest_of label else digest_of (canonical ~sids ~terms)
   in
-  append t
-    {
+  {
       qid = 0;
       ts = now;
       digest;
@@ -276,3 +275,9 @@ let finish_query t started ~strategy ~sids ~terms ~k ~degraded ?(fallbacks = 0)
       terms;
       spans;
     }
+
+let finish_query t started ~strategy ~sids ~terms ~k ~degraded ?(fallbacks = 0)
+    ?(spans = []) () =
+  append t
+    (build_record started ~strategy ~sids ~terms ~k ~degraded ~fallbacks ~spans
+       ())

@@ -109,6 +109,23 @@ type started
 
 val start_query : unit -> started
 
+val build_record :
+  started ->
+  strategy:string ->
+  sids:int list ->
+  terms:string list ->
+  k:int ->
+  degraded:bool ->
+  ?fallbacks:int ->
+  ?spans:(string * float) list ->
+  unit ->
+  record
+(** Compute the deltas and build a record {e without} appending it
+    anywhere ([qid] is left 0 — [append] assigns the real one). Worker
+    processes use this to ship a journal record over the wire instead
+    of persisting it locally; the coordinator appends the merged
+    record to its own journal. *)
+
 val finish_query :
   t ->
   started ->

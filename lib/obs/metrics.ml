@@ -144,6 +144,24 @@ let counters_with_prefix prefix =
     (fun (name, _) -> String.starts_with ~prefix name)
     (counters ())
 
+let counters_delta before after =
+  let base = Hashtbl.create 64 in
+  List.iter (fun (name, v) -> Hashtbl.replace base name v) before;
+  List.filter_map
+    (fun (name, v) ->
+      let d = v - Option.value ~default:0 (Hashtbl.find_opt base name) in
+      if d = 0 then None else Some (name, d))
+    after
+
+let absorb_counters ?prefix deltas =
+  List.iter
+    (fun (name, d) ->
+      add (counter name) d;
+      match prefix with
+      | Some p -> add (counter (p ^ name)) d
+      | None -> ())
+    deltas
+
 (* Zero in place: handed-out handles must keep pointing at the cells
    the registry reads (the same invariant Counters.reset maintains). *)
 let reset () =

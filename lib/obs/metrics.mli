@@ -66,6 +66,19 @@ val histograms : unit -> (string * histogram_snapshot) list
 
 val counters_with_prefix : string -> (string * int) list
 
+val counters_delta :
+  (string * int) list -> (string * int) list -> (string * int) list
+(** [counters_delta before after] — per-counter [after - before],
+    dropping zero entries. Counters absent from [before] count from 0.
+    Both arguments are [counters ()] snapshots; used to ship a worker
+    process's per-query counter movement over the wire. *)
+
+val absorb_counters : ?prefix:string -> (string * int) list -> unit
+(** Fold a counter delta (from a peer process) into this registry: each
+    [(name, n)] is added to the counter [name], and — when [prefix] is
+    given — also to [prefix ^ name], yielding both a merged total and a
+    per-source view (e.g. [worker.shard-001.pager.physical_reads]). *)
+
 val reset : unit -> unit
 (** Zero every metric in place. Handles stay registered and live —
     holders keep incrementing the same cells the registry reads. *)

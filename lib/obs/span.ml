@@ -3,6 +3,7 @@ module Stopclock = Trex_util.Stopclock
 type t = {
   name : string;
   seconds : float;
+  start_s : float;
   attrs : (string * string) list;
   children : t list;
 }
@@ -11,6 +12,7 @@ type frame = {
   f_name : string;
   f_attrs : (string * string) list;
   f_clock : Stopclock.t;
+  f_start : float;
   mutable f_children : t list; (* newest first *)
 }
 
@@ -27,12 +29,17 @@ let reset () =
   finished := [];
   last_completed := None
 
+let attach span =
+  match !stack with
+  | parent :: _ -> parent.f_children <- span :: parent.f_children
+  | [] -> finished := span :: !finished
+
 let with_ ~name ?(attrs = []) f =
   if not !enabled_flag then f ()
   else begin
     let fr =
       { f_name = name; f_attrs = attrs; f_clock = Stopclock.create ();
-        f_children = [] }
+        f_start = Stopclock.now (); f_children = [] }
     in
     stack := fr :: !stack;
     Fun.protect
@@ -50,17 +57,25 @@ let with_ ~name ?(attrs = []) f =
         in
         pop ();
         let span =
-          { name; seconds; attrs = fr.f_attrs;
+          { name; seconds; start_s = fr.f_start; attrs = fr.f_attrs;
             children = List.rev fr.f_children }
         in
         Metrics.observe
           (Metrics.histogram ("span." ^ name ^ ".ms"))
           (seconds *. 1e3);
         last_completed := Some span;
-        match !stack with
-        | parent :: _ -> parent.f_children <- span :: parent.f_children
-        | [] -> finished := span :: !finished)
+        attach span)
       f
+  end
+
+let emit ~name ?(attrs = []) ?(start_s = 0.0) ~seconds ?(children = []) () =
+  if !enabled_flag then begin
+    let span = { name; seconds; start_s; attrs; children } in
+    Metrics.observe
+      (Metrics.histogram ("span." ^ name ^ ".ms"))
+      (seconds *. 1e3);
+    last_completed := Some span;
+    attach span
   end
 
 let roots () = List.rev !finished
@@ -69,6 +84,7 @@ let last () = !last_completed
 let summarize ?(max_entries = 32) span =
   let acc = ref [] in
   let n = ref 0 in
+  let dropped = ref 0 in
   let rec go prefix s =
     if !n < max_entries then begin
       let path = if prefix = "" then s.name else prefix ^ "/" ^ s.name in
@@ -76,14 +92,21 @@ let summarize ?(max_entries = 32) span =
       incr n;
       List.iter (go path) s.children
     end
+    else begin
+      incr dropped;
+      List.iter (go prefix) s.children
+    end
   in
   go "" span;
-  List.rev !acc
+  let entries = List.rev !acc in
+  if !dropped = 0 then entries
+  else entries @ [ ("…truncated", float_of_int !dropped) ]
 
 let rec to_json_one span =
   Json.Obj
     (("name", Json.String span.name)
      :: ("ms", Json.Float (span.seconds *. 1e3))
+     :: ("start_s", Json.Float span.start_s)
      ::
      (if span.attrs = [] then []
       else
@@ -95,6 +118,36 @@ let rec to_json_one span =
     @ [ ("children", Json.List (List.map to_json_one span.children)) ])
 
 let to_json spans = Json.List (List.map to_json_one spans)
+
+let num = function
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let rec of_json_one j =
+  match (Json.member "name" j, num (Json.member "ms" j)) with
+  | Some (Json.String name), Some ms ->
+      let attrs =
+        match Json.member "attrs" j with
+        | Some (Json.Obj fields) ->
+            List.filter_map
+              (fun (k, v) ->
+                match v with Json.String s -> Some (k, s) | _ -> None)
+              fields
+        | _ -> []
+      in
+      let start_s = Option.value ~default:0.0 (num (Json.member "start_s" j)) in
+      let children =
+        match Json.member "children" j with
+        | Some (Json.List l) -> List.filter_map of_json_one l
+        | _ -> []
+      in
+      Some { name; seconds = ms /. 1e3; start_s; attrs; children }
+  | _ -> None
+
+let of_json = function
+  | Json.List l -> List.filter_map of_json_one l
+  | _ -> []
 
 let pp_tree fmt spans =
   let rec pp depth span =

@@ -15,6 +15,12 @@
 type t = {
   name : string;
   seconds : float;
+  start_s : float;
+      (** Monotonic start timestamp ({!Trex_util.Stopclock.now}), in
+          seconds. CLOCK_MONOTONIC is system-wide on Linux, so spans
+          harvested from worker processes on the same machine share this
+          time base with coordinator spans; [0.] means "unknown" (e.g.
+          decoded from a peer that did not send one). *)
   attrs : (string * string) list;
   children : t list;
 }
@@ -25,6 +31,20 @@ val enabled : unit -> bool
 val with_ : name:string -> ?attrs:(string * string) list -> (unit -> 'a) -> 'a
 (** Exceptions propagate; the span is still recorded. *)
 
+val emit :
+  name:string ->
+  ?attrs:(string * string) list ->
+  ?start_s:float ->
+  seconds:float ->
+  ?children:t list ->
+  unit ->
+  unit
+(** Record a pre-timed, already-completed span — used to graft span
+    trees harvested from another process under the currently open frame
+    (or as a new root when none is open). Feeds the same
+    ["span." ^ name ^ ".ms"] histogram as [with_]. No-op when tracing
+    is disabled. *)
+
 val roots : unit -> t list
 (** Completed top-level spans, oldest first. *)
 
@@ -34,11 +54,22 @@ val last : unit -> t option
     closed a span retrieve its timing tree without threading it out. *)
 
 val summarize : ?max_entries:int -> t -> (string * float) list
-(** Depth-first flattening to [("parent/child" path, ms)] pairs,
-    capped at [max_entries] (default 32). *)
+(** Depth-first flattening to [("parent/child" path, ms)] pairs.
+
+    The output is capped at [max_entries] (default 32) path entries to
+    bound journal-record size; when the tree is larger, a final
+    sentinel entry [("…truncated", n)] is appended, where [n] counts
+    the spans that were dropped — truncation is visible, never
+    silent. *)
 
 val reset : unit -> unit
 (** Drop completed and in-progress spans. Leaves [enabled] unchanged. *)
 
 val to_json : t list -> Json.t
+
+val of_json : Json.t -> t list
+(** Inverse of [to_json], lenient: nodes missing a [name] or [ms]
+    member are skipped (as are their subtrees); a non-list document
+    decodes to []. Telemetry decode must degrade, not raise. *)
+
 val pp_tree : Format.formatter -> t list -> unit

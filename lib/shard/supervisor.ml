@@ -47,6 +47,7 @@ type worker_health = {
   w_state : worker_state;
   w_pid : int option;
   w_restarts : int;
+  w_total_restarts : int;
   w_breaker : Breaker.state;
   w_beat_age_s : float option;
 }
@@ -68,6 +69,7 @@ type worker = {
   mutable proc : proc option;
   mutable phase : phase;
   mutable restarts : int;  (* consecutive, reset by a successful answer *)
+  mutable total_restarts : int;  (* lifetime deaths, never reset *)
   mutable last_beat : float;  (* Stopclock.now of last hello/pong/answer *)
   mutable ping_seq : int;
   mutable ping_outstanding : (int * float) option;
@@ -80,7 +82,22 @@ type t = {
   scoring : Scorer.config;
   workers : worker list;  (* ascending base *)
   mutable closed : bool;
+  mutable qseq : int;  (* trace-id sequence for supervised queries *)
+  mutable journal : Obs.Journal.t option;  (* coordinator journal, lazy *)
 }
+
+(* The shard coordinator directory is not an [Env] directory, so the
+   supervised-query journal lives directly beside SHARDMAP.json under
+   the same file name envs use. *)
+let journal_of t =
+  match t.journal with
+  | Some j -> j
+  | None ->
+      let j =
+        Obs.Journal.open_file (Filename.concat t.t_dir "query_journal.qj")
+      in
+      t.journal <- Some j;
+      j
 
 let dir t = t.t_dir
 let shards t = List.map (fun w -> w.info) t.workers
@@ -146,6 +163,7 @@ let on_death t w reason =
   (match w.proc with Some p -> kill_proc p | None -> ());
   w.proc <- None;
   w.ping_outstanding <- None;
+  w.total_restarts <- w.total_restarts + 1;
   if Breaker.probing w.breaker then
     Breaker.record_failure w.breaker ~reason:("probe worker died: " ^ reason);
   if w.restarts >= t.config.max_restarts then begin
@@ -230,10 +248,16 @@ let idle_handle w = function
       w.last_beat <- Stopclock.now ();
       w.phase <- P_ready;
       if Breaker.probing w.breaker then Breaker.record_success w.breaker
-  | Wire.Pong seq ->
-      w.last_beat <- Stopclock.now ();
-      (match w.ping_outstanding with
-      | Some (s, _) when s = seq -> w.ping_outstanding <- None
+  | Wire.Pong seq -> (
+      (* Only a Pong matching the outstanding Ping counts as a beat: a
+         stale seq (e.g. from a pre-restart worker incarnation, or a
+         worker echoing garbage) must neither clear the outstanding
+         ping nor refresh liveness — otherwise a wedged worker could
+         dodge the heartbeat timeout forever on replayed Pongs. *)
+      match w.ping_outstanding with
+      | Some (s, _) when s = seq ->
+          w.last_beat <- Stopclock.now ();
+          w.ping_outstanding <- None
       | _ -> ())
   | Wire.Answer _ -> () (* stale answer from an abandoned query: drop *)
 
@@ -320,6 +344,7 @@ let create ?(config = default_config) ?(scoring = Scorer.default) dir =
               proc = None;
               phase = P_stopped 0.0;
               restarts = 0;
+              total_restarts = 0;
               last_beat = 0.0;
               ping_seq = 0;
               ping_outstanding = None;
@@ -327,6 +352,8 @@ let create ?(config = default_config) ?(scoring = Scorer.default) dir =
             })
           infos;
       closed = false;
+      qseq = 0;
+      journal = None;
     }
   in
   List.iter (fun w -> spawn t w) t.workers;
@@ -360,7 +387,12 @@ let close t =
             wait 25;
             (try Unix.close p.p_fd with Unix.Unix_error _ -> ());
             w.proc <- None))
-      t.workers
+      t.workers;
+    match t.journal with
+    | Some j ->
+        Obs.Journal.close j;
+        t.journal <- None
+    | None -> ()
   end
 
 let health t =
@@ -378,6 +410,7 @@ let health t =
           | P_escalated -> Escalated);
         w_pid = Option.map (fun p -> p.p_pid) w.proc;
         w_restarts = w.restarts;
+        w_total_restarts = w.total_restarts;
         w_breaker = Breaker.state w.breaker;
         w_beat_age_s = (if w.last_beat = 0.0 then None else Some (now -. w.last_beat));
       })
@@ -393,11 +426,82 @@ type dispatch = {
   mutable d_done : bool;
 }
 
+(* A worker that never delivered its answer (death, deadline kill)
+   leaves a tagged, child-less [supervisor.worker] span: the merged
+   trace shows the partial tree honestly instead of omitting the
+   shard. *)
+let emit_lost_worker_span w ~sent_at ~reason =
+  Obs.Span.emit ~name:"supervisor.worker"
+    ~attrs:[ ("worker", w.info.Shard.name); ("lost", reason) ]
+    ~start_s:sent_at
+    ~seconds:(Stopclock.now () -. sent_at)
+    ()
+
+(* One coordinator-level journal record per supervised query, built
+   from the registry deltas (worker counter deltas were absorbed during
+   the gather, so pages_read/heap_ops are fleet totals) with a
+   per-shard breakdown in [spans]: the harvested span summary, each
+   shard's worker-side wall ms, and a ["lost:<shard>"] marker per shard
+   that degraded without delivering telemetry. *)
+let journal_supervised t started ~nexi ~k ~(result : Shard.result)
+    ~worker_records =
+  let j = journal_of t in
+  let span_summary =
+    if Obs.Span.enabled () then
+      match Obs.Span.last () with
+      | Some s -> Obs.Span.summarize s
+      | None -> []
+    else []
+  in
+  let breakdown =
+    List.map
+      (fun (name, (r : Obs.Journal.record)) ->
+        ("shard:" ^ name, r.Obs.Journal.wall_ms))
+      worker_records
+  in
+  let lost =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (name, _reason) ->
+           if List.mem_assoc name worker_records then None
+           else Some ("lost:" ^ name, 0.0))
+         result.Shard.degraded_shards)
+  in
+  let sids =
+    List.sort_uniq compare
+      (List.concat_map (fun (_, r) -> r.Obs.Journal.sids) worker_records)
+  in
+  let terms =
+    List.sort_uniq String.compare
+      (List.concat_map (fun (_, r) -> r.Obs.Journal.terms) worker_records)
+  in
+  Obs.Journal.set_label (Some nexi);
+  Fun.protect
+    ~finally:(fun () -> Obs.Journal.set_label None)
+    (fun () ->
+      ignore
+        (Obs.Journal.finish_query j started ~strategy:"supervised" ~sids ~terms
+           ~k ~degraded:result.Shard.degraded
+           ~spans:(span_summary @ breakdown @ lost)
+           ()))
+
 let query t ?(k = 10) ?method_ ?(strict = false) ?deadline_ms ?page_budget ?fanout
     nexi =
   Metrics.incr m_queries;
+  let trace = Obs.Span.enabled () in
+  let jrnl = Obs.Journal.enabled () in
+  let j_started = if jrnl then Some (Obs.Journal.start_query ()) else None in
+  t.qseq <- t.qseq + 1;
+  let trace_id =
+    Printf.sprintf "%s-%d" (Obs.Journal.digest_of nexi) t.qseq
+  in
+  let worker_records = ref ([] : (string * Obs.Journal.record) list) in
+  let result =
   Obs.Span.with_ ~name:"supervisor.query"
-    ~attrs:[ ("k", string_of_int k); ("workers", string_of_int (List.length t.workers)) ]
+    ~attrs:
+      [ ("k", string_of_int k);
+        ("workers", string_of_int (List.length t.workers));
+        ("trace_id", trace_id) ]
   @@ fun () ->
   let started = Stopclock.now () in
   (* Give workers still handshaking a chance to come up before we
@@ -494,6 +598,9 @@ let query t ?(k = 10) ?method_ ?(strict = false) ?deadline_ms ?page_budget ?fano
                     q_page_budget = page_slice;
                     q_scoring = t.scoring;
                     q_fault = fault;
+                    q_trace = trace;
+                    q_journal = jrnl;
+                    q_trace_id = (if trace then Some trace_id else None);
                   }
               in
               let now = Stopclock.now () in
@@ -540,6 +647,15 @@ let query t ?(k = 10) ?method_ ?(strict = false) ?deadline_ms ?page_budget ?fano
       end
       else Breaker.record_success w.breaker;
       pages_spent := !pages_spent + a.Wire.a_pages_used;
+      (* Harvest the worker's telemetry: fold its counter delta into
+         this registry (both the bare name — the merged fleet total —
+         and a per-shard [worker.<shard>.*] view), keep its journal
+         record for the coordinator-level breakdown. *)
+      Metrics.absorb_counters ~prefix:("worker." ^ name ^ ".")
+        a.Wire.a_counters;
+      (match a.Wire.a_journal with
+      | Some r -> worker_records := (name, r) :: !worker_records
+      | None -> ());
       let kept =
         List.map
           (fun (e : Answer.entry) ->
@@ -555,15 +671,23 @@ let query t ?(k = 10) ?method_ ?(strict = false) ?deadline_ms ?page_budget ?fano
           a.Wire.a_answers
       in
       merged := Answer.top_k (Answer.merge [ !merged; kept ]) k;
-      let elapsed_ms = (Stopclock.now () -. d.d_sent_at) *. 1000.0 in
-      Obs.Span.with_ ~name:"supervisor.worker"
+      (* Graft the worker's span tree under a [supervisor.worker] span
+         spanning the full round trip; the pid attribute re-homes the
+         subtree onto the worker's own track in a Chrome trace. *)
+      Obs.Span.emit ~name:"supervisor.worker"
         ~attrs:
           [
             ("worker", name);
-            ("pid", match w.proc with Some p -> string_of_int p.p_pid | None -> "-");
-            ("ms", Printf.sprintf "%.3f" elapsed_ms);
+            (* "worker_pid", not "pid": the round trip is coordinator-
+               observed time and must stay on the coordinator's trace
+               track; only the grafted children (stamped "pid" by the
+               worker itself) re-home to the worker's track. *)
+            ( "worker_pid",
+              match w.proc with Some p -> string_of_int p.p_pid | None -> "-" );
           ]
-        (fun () -> ());
+        ~start_s:d.d_sent_at
+        ~seconds:(Stopclock.now () -. d.d_sent_at)
+        ~children:a.Wire.a_spans ();
       reports :=
         {
           Shard.r_shard = name;
@@ -590,6 +714,8 @@ let query t ?(k = 10) ?method_ ?(strict = false) ?deadline_ms ?page_budget ?fano
                   Metrics.incr m_skipped;
                   tag d.d_worker.info.Shard.name
                     "deadline exceeded (worker killed)";
+                  emit_lost_worker_span d.d_worker ~sent_at:d.d_sent_at
+                    ~reason:"deadline exceeded (worker killed)";
                   on_death t d.d_worker "killed for blowing its deadline slice";
                   finish d
               | _ -> ())
@@ -627,6 +753,8 @@ let query t ?(k = 10) ?method_ ?(strict = false) ?deadline_ms ?page_budget ?fano
                         if not d.d_done then begin
                           Metrics.incr m_skipped;
                           tag w.info.Shard.name "worker died mid-query";
+                          emit_lost_worker_span w ~sent_at:d.d_sent_at
+                            ~reason:"worker died mid-query";
                           finish d
                         end
                       end
@@ -635,6 +763,8 @@ let query t ?(k = 10) ?method_ ?(strict = false) ?deadline_ms ?page_budget ?fano
                       if not d.d_done then begin
                         Metrics.incr m_skipped;
                         tag w.info.Shard.name "worker died mid-query";
+                        emit_lost_worker_span w ~sent_at:d.d_sent_at
+                          ~reason:"worker died mid-query";
                         finish d
                       end)
                 ps;
@@ -652,6 +782,15 @@ let query t ?(k = 10) ?method_ ?(strict = false) ?deadline_ms ?page_budget ?fano
     degraded_shards;
     reports = List.rev !reports;
   }
+  in
+  (* The journal record is built after the root span closes so its span
+     summary covers the whole supervised evaluation. *)
+  (match j_started with
+  | Some started ->
+      journal_supervised t started ~nexi ~k ~result
+        ~worker_records:(List.rev !worker_records)
+  | None -> ());
+  result
 
 (* ---- the worker process ---- *)
 
@@ -706,7 +845,10 @@ let worker_main ~dir ~shard () =
         exit 1
   in
   let docs = (Index.stats index).Index.doc_count in
-  send (Wire.Hello { h_shard = shard; h_pid = Unix.getpid (); h_docs = docs });
+  send
+    (Wire.Hello
+       { h_shard = shard; h_pid = Unix.getpid (); h_docs = docs;
+         h_wire = Wire.version });
   let evaluate (q : Wire.query) =
     let t0 = Stopclock.now () in
     let guard =
@@ -723,14 +865,19 @@ let worker_main ~dir ~shard () =
     let sids = Translate.all_sids translation in
     let terms = Translate.all_terms translation in
     if sids = [] || terms = [] then
-      {
-        Wire.a_degraded = false;
-        a_method = None;
-        a_entries_read = 0;
-        a_elapsed_s = Stopclock.now () -. t0;
-        a_pages_used = pages ();
-        a_answers = [];
-      }
+      ( {
+          Wire.a_degraded = false;
+          a_method = None;
+          a_entries_read = 0;
+          a_elapsed_s = Stopclock.now () -. t0;
+          a_pages_used = pages ();
+          a_answers = [];
+          a_spans = [];
+          a_counters = [];
+          a_journal = None;
+        },
+        sids,
+        terms )
     else begin
       let outcome, _fallbacks =
         Strategy.evaluate_resilient index ~scoring:q.Wire.q_scoring ~sids ~terms
@@ -749,14 +896,19 @@ let worker_main ~dir ~shard () =
                || List.mem e.Answer.element.Trex_invindex.Types.sid target))
           outcome.Strategy.answers
       in
-      {
-        Wire.a_degraded = outcome.Strategy.degraded;
-        a_method = Some outcome.Strategy.method_used;
-        a_entries_read = outcome.Strategy.entries_read;
-        a_elapsed_s = outcome.Strategy.elapsed_seconds;
-        a_pages_used = pages ();
-        a_answers = Answer.top_k kept q.Wire.q_k;
-      }
+      ( {
+          Wire.a_degraded = outcome.Strategy.degraded;
+          a_method = Some outcome.Strategy.method_used;
+          a_entries_read = outcome.Strategy.entries_read;
+          a_elapsed_s = outcome.Strategy.elapsed_seconds;
+          a_pages_used = pages ();
+          a_answers = Answer.top_k kept q.Wire.q_k;
+          a_spans = [];
+          a_counters = [];
+          a_journal = None;
+        },
+        sids,
+        terms )
     end
   in
   let decoder = Framing.Decoder.create () in
@@ -769,7 +921,16 @@ let worker_main ~dir ~shard () =
         exit 0
     | Some payload ->
         (match Wire.decode_request payload with
-        | Wire.Ping seq -> send (Wire.Pong seq)
+        | Wire.Ping seq -> (
+            (* "stale-pong:ping" simulates a pre-restart incarnation's
+               Pong surviving into the new conversation: the reply
+               carries a seq the coordinator never sent to {e this}
+               incarnation, and must not count as a heartbeat. *)
+            match !armed with
+            | Some "stale-pong:ping" ->
+                armed := None;
+                send (Wire.Pong (seq - 1))
+            | _ -> send (Wire.Pong seq))
         | Wire.Shutdown ->
             Env.close env;
             cleanup ();
@@ -777,9 +938,35 @@ let worker_main ~dir ~shard () =
         | Wire.Query q ->
             (match q.Wire.q_fault with Some f -> armed := Some f | None -> ());
             fault_point "mid-decode";
-            let answer =
-              match evaluate q with
-              | a -> a
+            (* Telemetry harvest: snapshot the registry, optionally
+               trace, evaluate, then ship span tree + counter delta +
+               journal record in the answer. The journal record is
+               built, never persisted, worker-side — the coordinator
+               owns the journal file. *)
+            let before = Metrics.counters () in
+            let j_started =
+              if q.Wire.q_journal then Some (Obs.Journal.start_query ())
+              else None
+            in
+            if q.Wire.q_trace then begin
+              Obs.Span.reset ();
+              Obs.Span.set_enabled true
+            end;
+            let root_attrs =
+              ("shard", shard)
+              :: ("pid", string_of_int (Unix.getpid ()))
+              ::
+              (match q.Wire.q_trace_id with
+              | Some id -> [ ("trace_id", id) ]
+              | None -> [])
+            in
+            let answer, sids, terms =
+              match
+                Obs.Span.with_ ~name:("shard.query." ^ shard)
+                  ~attrs:root_attrs
+                  (fun () -> evaluate q)
+              with
+              | r -> r
               | exception e ->
                   (* Containment is the point: an exploding evaluation
                      kills this worker, not the coordinator. *)
@@ -788,6 +975,41 @@ let worker_main ~dir ~shard () =
                   Env.close env;
                   cleanup ();
                   exit 2
+            in
+            let spans = if q.Wire.q_trace then Obs.Span.roots () else [] in
+            let span_summary =
+              if q.Wire.q_trace then
+                match Obs.Span.last () with
+                | Some s -> Obs.Span.summarize s
+                | None -> []
+              else []
+            in
+            if q.Wire.q_trace then begin
+              Obs.Span.set_enabled false;
+              Obs.Span.reset ()
+            end;
+            let counters = Metrics.counters_delta before (Metrics.counters ()) in
+            let record =
+              Option.map
+                (fun st ->
+                  Obs.Journal.set_label
+                    (Some ("shard:" ^ shard ^ "|" ^ q.Wire.q_nexi));
+                  Fun.protect
+                    ~finally:(fun () -> Obs.Journal.set_label None)
+                    (fun () ->
+                      Obs.Journal.build_record st
+                        ~strategy:
+                          (match answer.Wire.a_method with
+                          | Some m -> Strategy.method_to_string m
+                          | None -> "none")
+                        ~sids ~terms ~k:q.Wire.q_k
+                        ~degraded:answer.Wire.a_degraded ~spans:span_summary ()))
+                j_started
+            in
+            let answer =
+              { answer with
+                Wire.a_spans = spans; a_counters = counters; a_journal = record
+              }
             in
             fault_point "pre-reply";
             send (Wire.Answer answer);

@@ -29,6 +29,17 @@
       [Stopped(backoff)] → [Starting]; restarts exhausted →
       [Escalated] → (breaker cooldown) → [Starting] as probe. See
       DESIGN.md §6.
+    - {b Telemetry harvest.} When span tracing / journaling is enabled
+      coordinator-side, each dispatch asks the worker to trace and to
+      build (not persist) a journal record; the answer ships the
+      worker's span tree, a registry counter delta, and that record.
+      The coordinator grafts the span tree under a [supervisor.worker]
+      span, folds the counter delta into its own registry (merged
+      totals plus per-shard [worker.<shard>.*] views), and appends one
+      coordinator-level record per supervised query — with per-shard
+      breakdown — to [<dir>/query_journal.qj]. A worker that dies
+      mid-query leaves a tagged partial trace and contributes nothing
+      to the registry or journal: telemetry degrades, it never lies.
 
     The supervisor is single-threaded: heartbeats and restarts advance
     inside {!query}, {!tick} and {!await_healthy} — an idle coordinator
@@ -59,6 +70,9 @@ type worker_health = {
   w_state : worker_state;
   w_pid : int option;  (** [None] when no process is running *)
   w_restarts : int;  (** consecutive restarts since the last answer *)
+  w_total_restarts : int;
+      (** lifetime worker deaths (restarts + escalations), never
+          reset — the "how flaky has this shard been" number *)
   w_breaker : Trex_resilience.Breaker.state;
   w_beat_age_s : float option;
       (** seconds since the last sign of life (hello/pong/answer) *)
@@ -139,7 +153,9 @@ val worker_main : dir:string -> shard:string -> unit -> 'a
     [TREX_WORKER_FAULT] environment variable at startup — arms one
     ["action:point"] fault, where action ∈ [kill] (SIGKILL self),
     [exit] (exit 3), [stop] (SIGSTOP self, the heartbeat wedge),
-    [wedge] (sleep forever) and point ∈ [mid-decode] (before
-    evaluating), [pre-reply] (after evaluating, before the answer
-    frame), [post-reply] (after the answer frame). Faults fire once
-    and disarm. *)
+    [wedge] (sleep forever), [stale-pong] (answer the next [Ping] with
+    a stale sequence number — a heartbeat-integrity fault, point
+    [ping]) and point ∈ [mid-decode] (before evaluating), [pre-reply]
+    (after evaluating, before the answer frame), [post-reply] (after
+    the answer frame), [ping] (on the next heartbeat). Faults fire
+    once and disarm. *)

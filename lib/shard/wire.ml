@@ -1,10 +1,20 @@
 module Json = Trex_obs.Json
+module Span = Trex_obs.Span
+module Journal = Trex_obs.Journal
 module Strategy = Trex_topk.Strategy
 module Answer = Trex_topk.Answer
 module Types = Trex_invindex.Types
 module Scorer = Trex_scoring.Scorer
 
 exception Protocol_error of string
+
+(* Bumped whenever a message gains or changes a field. The worker
+   announces its version in Hello; the coordinator refuses a mismatch
+   (and an old worker that never sends one). A version-2 worker decoding
+   a version-1 query fails on the missing telemetry fields — so a mixed
+   fleet fails loud in both directions rather than silently dropping
+   telemetry. *)
+let version = 2
 
 type query = {
   q_nexi : string;
@@ -16,6 +26,9 @@ type query = {
   q_page_budget : int option;
   q_scoring : Scorer.config;
   q_fault : string option;
+  q_trace : bool;
+  q_journal : bool;
+  q_trace_id : string option;
 }
 
 type request = Ping of int | Query of query | Shutdown
@@ -27,10 +40,13 @@ type answer = {
   a_elapsed_s : float;
   a_pages_used : int;
   a_answers : Answer.t;
+  a_spans : Span.t list;
+  a_counters : (string * int) list;
+  a_journal : Journal.record option;
 }
 
 type response =
-  | Hello of { h_shard : string; h_pid : int; h_docs : int }
+  | Hello of { h_shard : string; h_pid : int; h_docs : int; h_wire : int }
   | Pong of int
   | Answer of answer
 
@@ -123,12 +139,15 @@ let encode_request r =
           :: ("strict", Json.Bool q.q_strict)
           :: ("floor", Json.Float q.q_floor)
           :: ("scoring", scoring_to_json q.q_scoring)
+          :: ("trace", Json.Bool q.q_trace)
+          :: ("journal", Json.Bool q.q_journal)
           :: (opt_field "method"
                 (fun m -> Json.String (Strategy.method_to_string m))
                 q.q_method
              @ opt_field "deadline_ms" (fun f -> Json.Float f) q.q_deadline_ms
              @ opt_field "page_budget" (fun i -> Json.Int i) q.q_page_budget
-             @ opt_field "fault" (fun s -> Json.String s) q.q_fault))
+             @ opt_field "fault" (fun s -> Json.String s) q.q_fault
+             @ opt_field "trace_id" (fun s -> Json.String s) q.q_trace_id))
   in
   Json.to_string j
 
@@ -164,6 +183,14 @@ let decode_request s =
             Option.map
               (function Json.String s -> s | _ -> fail "fault")
               (opt_member "fault" j);
+          (* Required since wire v2: a coordinator that omits them is a
+             version-1 binary and must fail loud, not run untelemetered. *)
+          q_trace = get_bool "trace" j;
+          q_journal = get_bool "journal" j;
+          q_trace_id =
+            Option.map
+              (function Json.String s -> s | _ -> fail "trace_id")
+              (opt_member "trace_id" j);
         }
   | _ -> fail "unrecognized request"
 
@@ -172,12 +199,13 @@ let decode_request s =
 let encode_response r =
   let j =
     match r with
-    | Hello { h_shard; h_pid; h_docs } ->
+    | Hello { h_shard; h_pid; h_docs; h_wire } ->
         Json.Obj
           [
             ("hello", Json.String h_shard);
             ("pid", Json.Int h_pid);
             ("docs", Json.Int h_docs);
+            ("wire", Json.Int h_wire);
           ]
     | Pong seq -> Json.Obj [ ("pong", Json.Int seq) ]
     | Answer a ->
@@ -187,9 +215,14 @@ let encode_response r =
           :: ("elapsed_s", Json.Float a.a_elapsed_s)
           :: ("pages_used", Json.Int a.a_pages_used)
           :: ("answers", Json.List (List.map entry_to_json a.a_answers))
-          :: opt_field "method"
-               (fun m -> Json.String (Strategy.method_to_string m))
-               a.a_method)
+          :: ("spans", Span.to_json a.a_spans)
+          :: ( "counters",
+               Json.Obj (List.map (fun (n, v) -> (n, Json.Int v)) a.a_counters)
+             )
+          :: (opt_field "method"
+                (fun m -> Json.String (Strategy.method_to_string m))
+                a.a_method
+             @ opt_field "journal" Journal.record_to_json a.a_journal))
   in
   Json.to_string j
 
@@ -197,7 +230,22 @@ let decode_response s =
   let j = try Json.parse s with Json.Parse_error e -> fail "bad response JSON: %s" e in
   match (Json.member "hello" j, Json.member "pong" j, Json.member "answers" j) with
   | Some (Json.String shard), _, _ ->
-      Hello { h_shard = shard; h_pid = get_int "pid" j; h_docs = get_int "docs" j }
+      let h_wire =
+        match Json.member "wire" j with
+        | Some (Json.Int v) -> v
+        | Some _ -> fail "field \"wire\": expected int"
+        | None ->
+            fail
+              "wire version mismatch: worker %S predates versioning (wire v1), \
+               coordinator speaks v%d"
+              shard version
+      in
+      if h_wire <> version then
+        fail "wire version mismatch: worker %S speaks v%d, coordinator v%d"
+          shard h_wire version;
+      Hello
+        { h_shard = shard; h_pid = get_int "pid" j; h_docs = get_int "docs" j;
+          h_wire }
   | _, Some (Json.Int seq), _ -> Pong seq
   | _, _, Some (Json.List entries) ->
       Answer
@@ -211,5 +259,21 @@ let decode_response s =
           a_elapsed_s = get_float "elapsed_s" j;
           a_pages_used = get_int "pages_used" j;
           a_answers = List.map entry_of_json entries;
+          (* Telemetry decode is lenient: versioning is enforced at the
+             Hello handshake, and a missing payload degrades to "no
+             telemetry", never to a poisoned merge. *)
+          a_spans =
+            (match Json.member "spans" j with
+            | Some (Json.List _ as l) -> Span.of_json l
+            | _ -> []);
+          a_counters =
+            (match Json.member "counters" j with
+            | Some (Json.Obj fields) ->
+                List.filter_map
+                  (fun (n, v) ->
+                    match v with Json.Int i -> Some (n, i) | _ -> None)
+                  fields
+            | _ -> []);
+          a_journal = Option.bind (opt_member "journal" j) Journal.record_of_json;
         }
   | _ -> fail "unrecognized response"

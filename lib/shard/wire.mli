@@ -10,9 +10,20 @@
     Docids in {!answer} are {e shard-local}; the coordinator adds the
     shard's base. Decoding a malformed payload raises {!Protocol_error}
     — like a CRC failure, it is connection-fatal (the supervisor treats
-    it as a worker failure and restarts the process). *)
+    it as a worker failure and restarts the process).
+
+    {b Versioning.} [version] is the wire revision both ends must
+    share. A worker announces its version in {!response.Hello}; the
+    coordinator's decoder raises {!Protocol_error} on a mismatch (or a
+    missing version field, which identifies a v1 worker), and a newer
+    worker decoding an older coordinator's query fails on the missing
+    telemetry fields — a mid-upgrade mixed fleet fails loud in both
+    directions instead of silently dropping telemetry. *)
 
 exception Protocol_error of string
+
+val version : int
+(** Current wire revision (2: per-query telemetry harvest). *)
 
 type query = {
   q_nexi : string;
@@ -26,6 +37,15 @@ type query = {
   q_fault : string option;
       (** one-shot fault to arm before evaluating, ["action:point"]
           (e.g. ["kill:pre-reply"]) — see {!Supervisor.worker_main} *)
+  q_trace : bool;
+      (** collect a span tree during evaluation and ship it in the
+          answer *)
+  q_journal : bool;
+      (** build (not persist) a journal record and ship it in the
+          answer *)
+  q_trace_id : string option;
+      (** coordinator-chosen id stamped on the worker's root span so a
+          multi-query trace stays attributable *)
 }
 
 type request = Ping of int  (** heartbeat, echo the seq *) | Query of query | Shutdown
@@ -38,11 +58,22 @@ type answer = {
   a_elapsed_s : float;
   a_pages_used : int;  (** physical page reads charged to the budget *)
   a_answers : Trex_topk.Answer.t;  (** shard-local docids *)
+  a_spans : Trex_obs.Span.t list;
+      (** the worker's span tree for this query ([] unless
+          [q_trace]) *)
+  a_counters : (string * int) list;
+      (** registry counter delta over the evaluation — what the
+          coordinator folds into its own registry *)
+  a_journal : Trex_obs.Journal.record option;
+      (** the worker's journal record ([None] unless [q_journal]);
+          built with {!Trex_obs.Journal.build_record}, never persisted
+          worker-side *)
 }
 
 type response =
-  | Hello of { h_shard : string; h_pid : int; h_docs : int }
-      (** readiness handshake, sent once after the worker attaches *)
+  | Hello of { h_shard : string; h_pid : int; h_docs : int; h_wire : int }
+      (** readiness handshake, sent once after the worker attaches;
+          [h_wire] must equal [version] or decoding fails *)
   | Pong of int
   | Answer of answer
 

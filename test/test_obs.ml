@@ -201,8 +201,15 @@ let test_span_last_and_summarize () =
             "paths depth-first"
             [ "outer"; "outer/mid"; "outer/mid/leaf" ]
             (List.map fst (Span.summarize s));
-          check Alcotest.int "max_entries caps" 2
-            (List.length (Span.summarize ~max_entries:2 s)))
+          (* Truncation is visible: the cap keeps max_entries path
+             entries and appends one sentinel counting the dropped
+             spans. *)
+          match List.rev (Span.summarize ~max_entries:2 s) with
+          | (sentinel, dropped) :: kept ->
+              check Alcotest.int "max_entries caps" 2 (List.length kept);
+              check Alcotest.string "sentinel appended" "…truncated" sentinel;
+              check (Alcotest.float 0.0) "dropped count" 1.0 dropped
+          | [] -> Alcotest.fail "summarize returned nothing")
 
 let test_span_json () =
   with_tracing (fun () ->
@@ -218,6 +225,147 @@ let test_span_json () =
             | Some (Json.String s) -> Some s
             | _ -> None)
       | _ -> Alcotest.fail "unexpected shape")
+
+let test_span_of_json_roundtrip () =
+  let leaf =
+    {
+      Span.name = "leaf";
+      seconds = 0.002;
+      start_s = 50.25;
+      attrs = [ ("pid", "77") ];
+      children = [];
+    }
+  in
+  let root =
+    {
+      Span.name = "root";
+      seconds = 0.004;
+      start_s = 50.0;
+      attrs = [];
+      children = [ leaf ];
+    }
+  in
+  (match Span.of_json (Span.to_json [ root ]) with
+  | [ r ] ->
+      check Alcotest.string "root name" "root" r.Span.name;
+      check (Alcotest.float 1e-12) "seconds" 0.004 r.Span.seconds;
+      check (Alcotest.float 1e-12) "start" 50.0 r.Span.start_s;
+      (match r.Span.children with
+      | [ l ] ->
+          check Alcotest.string "leaf name" "leaf" l.Span.name;
+          check
+            (Alcotest.list (Alcotest.pair Alcotest.string Alcotest.string))
+            "leaf attrs" [ ("pid", "77") ] l.Span.attrs
+      | _ -> Alcotest.fail "children lost")
+  | l -> Alcotest.failf "expected one root, got %d" (List.length l));
+  (* Lenient decode: malformed nodes are skipped, never raised on. *)
+  check Alcotest.int "non-list decodes empty" 0
+    (List.length (Span.of_json (Json.String "junk")));
+  match Json.parse {|[{"ms": 3.0}, {"name": "ok", "ms": 1.0}]|} with
+  | j ->
+      check Alcotest.int "nameless node skipped" 1 (List.length (Span.of_json j))
+
+(* ---- metrics: cross-process delta/absorb ---- *)
+
+let test_counters_delta_and_absorb () =
+  let a = Metrics.counter "test.delta.a" in
+  let b = Metrics.counter "test.delta.b" in
+  let before = Metrics.counters () in
+  Metrics.add a 5;
+  Metrics.add b 2;
+  let delta = Metrics.counters_delta before (Metrics.counters ()) in
+  check Alcotest.int "a moved by 5" 5 (List.assoc "test.delta.a" delta);
+  check Alcotest.int "b moved by 2" 2 (List.assoc "test.delta.b" delta);
+  Alcotest.(check bool) "unmoved counters dropped" false
+    (List.exists (fun (n, _) -> n = "test.counter.basic") delta);
+  (* Absorbing a worker's delta: merged total plus a per-source view. *)
+  let va = Metrics.value a in
+  Metrics.absorb_counters ~prefix:"worker.s0." delta;
+  check Alcotest.int "merged total" (va + 5) (Metrics.value a);
+  check Alcotest.int "per-source view" 5
+    (Metrics.value (Metrics.counter "worker.s0.test.delta.a"))
+
+(* ---- Chrome trace export ---- *)
+
+let test_chrome_trace_export () =
+  let module Export = Trex_obs.Export in
+  let worker_span =
+    {
+      Span.name = "shard.query.shard-000";
+      seconds = 0.002;
+      start_s = 100.001;
+      attrs = [ ("pid", "4343"); ("shard", "shard-000") ];
+      children = [];
+    }
+  in
+  let root =
+    {
+      Span.name = "supervisor.query";
+      seconds = 0.005;
+      start_s = 100.0;
+      attrs = [ ("k", "5") ];
+      children =
+        [
+          {
+            Span.name = "supervisor.worker";
+            seconds = 0.003;
+            start_s = 100.0005;
+            attrs = [ ("worker", "shard-000"); ("worker_pid", "4343") ];
+            children = [ worker_span ];
+          };
+        ];
+    }
+  in
+  let doc =
+    Export.chrome_trace
+      [ { Export.p_pid = 1000; p_name = "coordinator"; p_spans = [ root ] } ]
+  in
+  (* The document survives its own printer and has the catapult shape. *)
+  let doc = Json.parse (Json.to_string ~pretty:true doc) in
+  let events =
+    match Json.member "traceEvents" doc with
+    | Some (Json.List l) -> l
+    | _ -> Alcotest.fail "no traceEvents array"
+  in
+  let complete =
+    List.filter
+      (fun e -> Json.member "ph" e = Some (Json.String "X"))
+      events
+  in
+  check Alcotest.int "three complete events" 3 (List.length complete);
+  let pid_of e =
+    match Json.member "pid" e with Some (Json.Int p) -> p | _ -> -1 in
+  let pids = List.sort_uniq compare (List.map pid_of complete) in
+  check (Alcotest.list Alcotest.int)
+    "coordinator and worker pids both present" [ 1000; 4343 ] pids;
+  (* supervisor.worker stays on the coordinator track; the worker's own
+     span re-homes to its pid. *)
+  let find name =
+    List.find
+      (fun e -> Json.member "name" e = Some (Json.String name))
+      complete
+  in
+  check Alcotest.int "round trip on coordinator track" 1000
+    (pid_of (find "supervisor.worker"));
+  check Alcotest.int "worker span on worker track" 4343
+    (pid_of (find "shard.query.shard-000"));
+  (* Timestamps are normalized to the earliest start, in microseconds. *)
+  let ts_of e =
+    match Json.member "ts" e with
+    | Some (Json.Float ts) -> ts
+    | Some (Json.Int ts) -> float_of_int ts
+    | _ -> Alcotest.fail "no ts"
+  in
+  check (Alcotest.float 1e-6) "t0 is zero" 0.0 (ts_of (find "supervisor.query"));
+  check (Alcotest.float 1e-3) "offset in us" 1000.0
+    (ts_of (find "shard.query.shard-000"));
+  (* Metadata names both processes. *)
+  let metadata =
+    List.filter
+      (fun e -> Json.member "ph" e = Some (Json.String "M"))
+      events
+  in
+  check Alcotest.int "one process_name per pid" 2 (List.length metadata)
 
 (* ---- JSON ---- *)
 
@@ -423,6 +571,8 @@ let () =
           Alcotest.test_case "counter basic" `Quick test_counter_basic;
           Alcotest.test_case "counter listed" `Quick test_counter_listed;
           Alcotest.test_case "counters_with_prefix" `Quick test_counters_with_prefix;
+          Alcotest.test_case "delta and absorb" `Quick
+            test_counters_delta_and_absorb;
           Alcotest.test_case "reset keeps handles" `Quick
             test_registry_reset_keeps_handles;
           Alcotest.test_case "gauge" `Quick test_gauge;
@@ -445,6 +595,13 @@ let () =
           Alcotest.test_case "last and summarize" `Quick
             test_span_last_and_summarize;
           Alcotest.test_case "to_json" `Quick test_span_json;
+          Alcotest.test_case "of_json roundtrip" `Quick
+            test_span_of_json_roundtrip;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "chrome trace events" `Quick
+            test_chrome_trace_export;
         ] );
       ( "bench_compare",
         [

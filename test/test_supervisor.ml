@@ -20,6 +20,8 @@ module Env = Trex_storage.Env
 module Breaker = Trex_resilience.Breaker
 module Retry = Trex_resilience.Retry
 module Metrics = Trex_obs.Metrics
+module Span = Trex_obs.Span
+module Journal = Trex_obs.Journal
 module Shard = Trex_shard.Shard
 module Supervisor = Trex_shard.Supervisor
 module Wire = Trex_shard.Wire
@@ -134,6 +136,9 @@ let test_wire_roundtrip () =
         q_page_budget = Some 99;
         q_scoring = Trex_scoring.Scorer.default;
         q_fault = Some "kill:pre-reply";
+        q_trace = true;
+        q_journal = true;
+        q_trace_id = Some "deadbeef-7";
       }
   in
   (match Wire.decode_request (Wire.encode_request q) with
@@ -143,12 +148,54 @@ let test_wire_roundtrip () =
       Alcotest.(check bool) "floor is bit-identical" true
         (q'.Wire.q_floor = 0.123456789012345678);
       Alcotest.(check (option string)) "fault" (Some "kill:pre-reply")
-        q'.Wire.q_fault
+        q'.Wire.q_fault;
+      Alcotest.(check bool) "trace flag" true q'.Wire.q_trace;
+      Alcotest.(check bool) "journal flag" true q'.Wire.q_journal;
+      Alcotest.(check (option string)) "trace id" (Some "deadbeef-7")
+        q'.Wire.q_trace_id
   | _ -> Alcotest.fail "query did not roundtrip");
   let entry score =
     {
       Answer.element = { Types.sid = 3; docid = 5; endpos = 120; length = 17 };
       score;
+    }
+  in
+  let leaf =
+    {
+      Span.name = "eval.ta";
+      seconds = 0.002;
+      start_s = 101.5;
+      attrs = [ ("strategy", "ta") ];
+      children = [];
+    }
+  in
+  let root =
+    {
+      Span.name = "shard.query.shard-001";
+      seconds = 0.003;
+      start_s = 101.4;
+      attrs = [ ("pid", "4242") ];
+      children = [ leaf ];
+    }
+  in
+  let wrecord =
+    {
+      Journal.qid = 0;
+      ts = 1700000000.0;
+      digest = "0badcafe";
+      label = "shard:shard-001|" ^ nexi;
+      strategy = "ta";
+      k = 7;
+      wall_ms = 3.25;
+      pages_read = 11;
+      cache_hit_ratio = 0.5;
+      heap_ops = 17;
+      degraded = false;
+      fallbacks = 0;
+      retried = false;
+      sids = [ 2; 9 ];
+      terms = [ "xml" ];
+      spans = [ ("shard.query.shard-001", 3.0) ];
     }
   in
   let a =
@@ -160,6 +207,9 @@ let test_wire_roundtrip () =
         a_elapsed_s = 0.0375;
         a_pages_used = 6;
         a_answers = [ entry 0.9876543210123456; entry 1e-300 ];
+        a_spans = [ root ];
+        a_counters = [ ("pager.physical_reads", 11); ("ta.heap_operations", 17) ];
+        a_journal = Some wrecord;
       }
   in
   match Wire.decode_response (Wire.encode_response a) with
@@ -168,8 +218,50 @@ let test_wire_roundtrip () =
       Alcotest.(check int) "pages" 6 a'.Wire.a_pages_used;
       check answers_testable "entries bit-identical"
         [ entry 0.9876543210123456; entry 1e-300 ]
-        a'.Wire.a_answers
+        a'.Wire.a_answers;
+      (match a'.Wire.a_spans with
+      | [ r ] ->
+          Alcotest.(check string) "span root" "shard.query.shard-001" r.Span.name;
+          Alcotest.(check (float 1e-12)) "span start survives" 101.4 r.Span.start_s;
+          (match r.Span.children with
+          | [ l ] -> Alcotest.(check string) "span child" "eval.ta" l.Span.name
+          | _ -> Alcotest.fail "span children did not roundtrip")
+      | _ -> Alcotest.fail "spans did not roundtrip");
+      Alcotest.(check (list (pair string int)))
+        "counters roundtrip"
+        [ ("pager.physical_reads", 11); ("ta.heap_operations", 17) ]
+        a'.Wire.a_counters;
+      (match a'.Wire.a_journal with
+      | Some r ->
+          Alcotest.(check string) "journal strategy" "ta" r.Journal.strategy;
+          Alcotest.(check int) "journal pages" 11 r.Journal.pages_read;
+          Alcotest.(check (list int)) "journal sids" [ 2; 9 ] r.Journal.sids
+      | None -> Alcotest.fail "journal record did not roundtrip")
   | _ -> Alcotest.fail "answer did not roundtrip"
+
+(* A worker that predates wire versioning (no "wire" member in Hello)
+   or speaks a different revision must be rejected at decode — the
+   supervisor then treats it as a worker failure, so a mixed fleet
+   fails loud instead of silently dropping telemetry. *)
+let test_wire_version_mismatch () =
+  let expect_mismatch json =
+    match Wire.decode_response json with
+    | exception Wire.Protocol_error e ->
+        Alcotest.(check bool)
+          (Printf.sprintf "error names the mismatch: %s" e)
+          true
+          (String.length e >= 12 && String.sub e 0 12 = "wire version")
+    | _ -> Alcotest.fail "stale Hello was accepted"
+  in
+  expect_mismatch {|{"hello":"shard-001","pid":42,"docs":7}|};
+  expect_mismatch {|{"hello":"shard-001","pid":42,"docs":7,"wire":1}|};
+  match
+    Wire.decode_response
+      (Printf.sprintf {|{"hello":"shard-001","pid":42,"docs":7,"wire":%d}|}
+         Wire.version)
+  with
+  | Wire.Hello h -> Alcotest.(check int) "current version accepted" Wire.version h.h_wire
+  | _ -> Alcotest.fail "current-version Hello rejected"
 
 (* ---- healthy path: rank identity through worker processes ---- *)
 
@@ -479,6 +571,260 @@ let test_stale_artifact_sweep () =
     (Sys.file_exists (Filename.concat sdir "worker.pid"));
   rm_rf dir
 
+(* ---- cross-process telemetry harvest ---- *)
+
+let with_telemetry f =
+  Span.set_enabled true;
+  Journal.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Span.set_enabled false;
+      Journal.set_enabled false;
+      Span.reset ())
+    f
+
+let find_supervisor_root () =
+  match
+    List.find_opt
+      (fun (s : Span.t) -> s.Span.name = "supervisor.query")
+      (Span.roots ())
+  with
+  | Some s -> s
+  | None -> Alcotest.fail "no supervisor.query span was recorded"
+
+(* The acceptance bar for the harvest: the merged registry's counters
+   for the process path equal the in-process path for the same query,
+   per-shard worker.<shard>.* views exist, the merged span tree carries
+   worker-side spans under supervisor.worker, and the coordinator
+   journals one record per supervised query with per-shard breakdown.
+   Two levellers make the comparison exact: fanout:1 serializes the
+   scatter so the floor evolves exactly as the in-process coordinator's
+   sequential loop (concurrent waves see weaker floors and legitimately
+   read more), and a warm-up query runs on the in-process path first —
+   workers arrive warm because the Hello handshake's [Index.stats] scan
+   pages the shard in, so the cold-cache miss/hit split would otherwise
+   differ while the work stays identical. *)
+let test_telemetry_merge () =
+  let dir, _engine = build_coordinator ~docs:24 ~seed:55 in
+  let tracked =
+    [
+      "pager.physical_reads";
+      "pager.cache_hits";
+      "era.positions_scanned";
+      "era.elements_emitted";
+      "ta.heap_operations";
+      "strategy.runs.ERA";
+    ]
+  in
+  let deltas f =
+    let before = List.map metric tracked in
+    let r = f () in
+    (r, List.map2 (fun n b -> metric n - b) tracked before)
+  in
+  let t = Shard.open_ dir in
+  ignore (Shard.query t ~k:5 nexi) (* warm the page cache *);
+  let r_in, in_deltas = deltas (fun () -> Shard.query t ~k:5 nexi) in
+  Shard.close t;
+  Alcotest.(check bool) "in-process work is visible (hits > 0)" true
+    (List.nth in_deltas 1 > 0);
+  with_telemetry @@ fun () ->
+  with_supervisor dir (fun s ->
+      require_healthy s;
+      Span.reset ();
+      let wb = metric "worker.shard-000.pager.cache_hits" in
+      let r, proc_deltas =
+        deltas (fun () -> Supervisor.query s ~k:5 ~fanout:1 nexi)
+      in
+      Alcotest.(check bool) "untagged" false r.Shard.degraded;
+      check answers_testable "answers identical across paths"
+        r_in.Shard.answers r.Shard.answers;
+      List.iteri
+        (fun i n ->
+          check Alcotest.int
+            (n ^ ": merged process-path delta = in-process delta")
+            (List.nth in_deltas i) (List.nth proc_deltas i))
+        tracked;
+      Alcotest.(check bool) "per-shard worker.* view absorbed" true
+        (metric "worker.shard-000.pager.cache_hits" > wb);
+      (* One merged tree: every worker's spans grafted under its
+         supervisor.worker span. *)
+      let root = find_supervisor_root () in
+      let workers =
+        List.filter
+          (fun (c : Span.t) -> c.Span.name = "supervisor.worker")
+          root.Span.children
+      in
+      Alcotest.(check int) "one supervisor.worker span per shard" 3
+        (List.length workers);
+      List.iter
+        (fun (w : Span.t) ->
+          Alcotest.(check bool)
+            "worker-side shard.query.* span grafted underneath" true
+            (List.exists
+               (fun (c : Span.t) ->
+                 String.starts_with ~prefix:"shard.query." c.Span.name)
+               w.Span.children))
+        workers);
+  (* The coordinator journal saw the supervised query. *)
+  let j = Journal.open_file (Filename.concat dir "query_journal.qj") in
+  let recs = Journal.records j in
+  Journal.close j;
+  (match recs with
+  | [ r ] ->
+      Alcotest.(check string) "strategy" "supervised" r.Journal.strategy;
+      Alcotest.(check string) "label is the NEXI text" nexi r.Journal.label;
+      Alcotest.(check bool) "untagged" false r.Journal.degraded;
+      (* Workers run warm (Hello's stats scan pages the shard in), so
+         physical reads are 0; the absorbed cache hits still surface in
+         the record's hit ratio — the fleet's pager activity was
+         journaled, not lost. *)
+      Alcotest.(check bool) "fleet pager activity absorbed" true
+        (r.Journal.cache_hit_ratio > 0.0);
+      Alcotest.(check bool) "terms harvested from workers" true
+        (r.Journal.terms <> []);
+      List.iter
+        (fun shard ->
+          Alcotest.(check bool)
+            ("per-shard breakdown entry for " ^ shard)
+            true
+            (List.mem_assoc ("shard:" ^ shard) r.Journal.spans))
+        [ "shard-000"; "shard-001"; "shard-002" ];
+      Alcotest.(check bool) "span summary journaled" true
+        (List.mem_assoc "supervisor.query" r.Journal.spans)
+  | recs ->
+      Alcotest.failf "expected exactly one coordinator record, got %d"
+        (List.length recs));
+  rm_rf dir
+
+(* Worker death mid-query: telemetry degrades — the merged tree keeps a
+   tagged, child-less span for the lost worker, the registry absorbs
+   nothing from it, and the journal record marks the shard lost. *)
+let test_degraded_telemetry () =
+  let dir, engine = build_coordinator ~docs:18 ~seed:66 in
+  with_telemetry @@ fun () ->
+  with_supervisor dir (fun s ->
+      require_healthy s;
+      Supervisor.set_fault s ~shard:victim (Some "kill:pre-reply");
+      Span.reset ();
+      let vb = metric ("worker." ^ victim ^ ".pager.cache_hits") in
+      let r = Supervisor.query s ~k:5 nexi in
+      Alcotest.(check bool) "degraded" true r.Shard.degraded;
+      check answers_testable "sound partial over survivors"
+        (surviving_baseline engine (Supervisor.shards s) ~lost:[ victim ] ~k:5
+           nexi)
+        r.Shard.answers;
+      Alcotest.(check int) "dead worker poisoned no counters" vb
+        (metric ("worker." ^ victim ^ ".pager.cache_hits"));
+      let root = find_supervisor_root () in
+      let workers =
+        List.filter
+          (fun (c : Span.t) -> c.Span.name = "supervisor.worker")
+          root.Span.children
+      in
+      Alcotest.(check int) "every shard represented in the tree" 3
+        (List.length workers);
+      match
+        List.filter
+          (fun (w : Span.t) -> List.mem_assoc "lost" w.Span.attrs)
+          workers
+      with
+      | [ lost ] ->
+          Alcotest.(check (option string))
+            "lost span names the victim" (Some victim)
+            (List.assoc_opt "worker" lost.Span.attrs);
+          Alcotest.(check int) "lost span has no harvested children" 0
+            (List.length lost.Span.children)
+      | l -> Alcotest.failf "expected one lost-worker span, got %d" (List.length l));
+  let j = Journal.open_file (Filename.concat dir "query_journal.qj") in
+  let recs = Journal.records j in
+  Journal.close j;
+  (match recs with
+  | [ r ] ->
+      Alcotest.(check bool) "record tagged degraded" true r.Journal.degraded;
+      Alcotest.(check bool) "lost shard marked in breakdown" true
+        (List.mem_assoc ("lost:" ^ victim) r.Journal.spans);
+      Alcotest.(check bool) "survivors still broken down" true
+        (List.mem_assoc "shard:shard-000" r.Journal.spans)
+  | recs ->
+      Alcotest.failf "expected exactly one coordinator record, got %d"
+        (List.length recs));
+  rm_rf dir
+
+(* ---- heartbeat sequence integrity ----
+
+   A Pong carrying a stale sequence number (the signature of a
+   pre-restart worker incarnation) must satisfy neither the
+   outstanding Ping nor the liveness clock: the heartbeat timeout
+   still fires and the worker is restarted. *)
+let test_stale_pong_is_not_a_heartbeat () =
+  let dir, engine = build_coordinator ~docs:12 ~seed:88 in
+  with_supervisor dir @@ fun s ->
+  require_healthy s;
+  Supervisor.set_fault s ~shard:victim (Some "stale-pong:ping");
+  let r = Supervisor.query s ~k:3 nexi in
+  Alcotest.(check bool) "arming query is whole" false r.Shard.degraded;
+  let before = metric "supervisor.heartbeat_timeouts" in
+  let t0 = Unix.gettimeofday () in
+  while
+    metric "supervisor.heartbeat_timeouts" = before
+    && Unix.gettimeofday () -. t0 < 10.0
+  do
+    Supervisor.tick s;
+    ignore (Unix.select [] [] [] 0.01)
+  done;
+  Alcotest.(check bool) "stale pong did not satisfy the ping" true
+    (metric "supervisor.heartbeat_timeouts" > before);
+  require_healthy s;
+  let r2 = Supervisor.query s ~k:3 nexi in
+  Alcotest.(check bool) "recovered untagged" false r2.Shard.degraded;
+  check answers_testable "recovered full answer" (baseline engine ~k:3 nexi)
+    r2.Shard.answers;
+  rm_rf dir
+
+(* ---- worker health report (what `shard health --workers` prints) ---- *)
+
+let test_worker_health_report () =
+  let dir, _engine = build_coordinator ~docs:12 ~seed:21 in
+  with_supervisor dir @@ fun s ->
+  require_healthy s;
+  let rows = Supervisor.health s in
+  Alcotest.(check int) "one row per shard" 3 (List.length rows);
+  List.iter
+    (fun h ->
+      Alcotest.(check bool) (h.Supervisor.w_shard ^ " ready") true
+        (h.Supervisor.w_state = Supervisor.Ready);
+      Alcotest.(check bool) "live pid reported" true (h.Supervisor.w_pid <> None);
+      Alcotest.(check int) "no lifetime restarts yet" 0
+        h.Supervisor.w_total_restarts;
+      Alcotest.(check bool) "heartbeat age known" true
+        (h.Supervisor.w_beat_age_s <> None))
+    rows;
+  (* One kill: after recovery and a successful answer, the consecutive
+     counter resets but the lifetime count must survive. *)
+  Supervisor.set_fault s ~shard:victim (Some "kill:mid-decode");
+  ignore (Supervisor.query s ~k:3 nexi);
+  require_healthy s;
+  ignore (Supervisor.query s ~k:3 nexi);
+  let h =
+    List.find (fun h -> h.Supervisor.w_shard = victim) (Supervisor.health s)
+  in
+  Alcotest.(check int) "consecutive restarts reset by success" 0
+    h.Supervisor.w_restarts;
+  Alcotest.(check bool) "lifetime restart count retained" true
+    (h.Supervisor.w_total_restarts >= 1);
+  Alcotest.(check bool) "restarted worker has a live pid" true
+    (h.Supervisor.w_pid <> None);
+  let untouched =
+    List.filter (fun h -> h.Supervisor.w_shard <> victim) (Supervisor.health s)
+  in
+  List.iter
+    (fun h ->
+      Alcotest.(check int)
+        (h.Supervisor.w_shard ^ " kept a clean lifetime count")
+        0 h.Supervisor.w_total_restarts)
+    untouched;
+  rm_rf dir
+
 (* ---- seeded kill-matrix soak ---- *)
 
 let soak_seeds () =
@@ -522,7 +868,12 @@ let () =
   | _ -> ());
   Alcotest.run "trex_supervisor"
     [
-      ("wire", [ Alcotest.test_case "message roundtrips" `Quick test_wire_roundtrip ]);
+      ( "wire",
+        [
+          Alcotest.test_case "message roundtrips" `Quick test_wire_roundtrip;
+          Alcotest.test_case "version mismatch fails loud" `Quick
+            test_wire_version_mismatch;
+        ] );
       ( "identity",
         [
           Alcotest.test_case "rank-identical through worker processes" `Quick
@@ -538,6 +889,23 @@ let () =
             `Quick test_escalation_and_probe;
           Alcotest.test_case "two flappers keep independent probe slots" `Quick
             test_probe_storm_two_workers;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "harvest merges spans, counters, journal" `Quick
+            test_telemetry_merge;
+          Alcotest.test_case "worker death degrades telemetry, never poisons"
+            `Quick test_degraded_telemetry;
+        ] );
+      ( "heartbeat",
+        [
+          Alcotest.test_case "stale pong is not a heartbeat" `Quick
+            test_stale_pong_is_not_a_heartbeat;
+        ] );
+      ( "health",
+        [
+          Alcotest.test_case "per-worker restart counts, pid, beat age" `Quick
+            test_worker_health_report;
         ] );
       ( "hygiene",
         [
