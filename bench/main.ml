@@ -27,6 +27,10 @@
                      the in-process coordinator, spawn/handshake cost
      telemetry     - cross-process telemetry harvest overhead: supervised
                      scatter untraced vs traced vs traced+journaled
+     serve         - network front door: transport overhead vs a direct
+                     query, sustained QPS with p50/p99, shed rate at 2x
+                     the measured capacity, socketpair vs loopback-TCP
+                     worker transport
      effectiveness - P@10/MAP/nDCG against the generator's topic ground
                      truth; BM25 vs TF-IDF
      bechamel      - one Bechamel Test.make per table/figure family
@@ -51,14 +55,22 @@ let sections = ref []
 let () =
   match Array.to_list Sys.argv with
   | _ :: "shard-worker" :: rest ->
-      let rec get key = function
-        | k :: v :: _ when k = key -> v
-        | _ :: tl -> get key tl
-        | [] ->
+      let rec get_opt key = function
+        | k :: v :: _ when k = key -> Some v
+        | _ :: tl -> get_opt key tl
+        | [] -> None
+      in
+      let get key =
+        match get_opt key rest with
+        | Some v -> v
+        | None ->
             prerr_endline ("shard-worker: missing " ^ key);
             exit 2
       in
-      Supervisor.worker_main ~dir:(get "--dir" rest) ~shard:(get "--shard" rest) ()
+      let dir = get "--dir" and shard = get "--shard" in
+      (match get_opt "--listen" rest with
+      | Some addr -> Supervisor.worker_listen ~dir ~shard ~addr ()
+      | None -> Supervisor.worker_main ~dir ~shard ())
   | _ -> ()
 
 let () =
@@ -928,6 +940,260 @@ let section_telemetry () =
     ~k ~ms:(t_full *. 1e3) [ ("shards", 3) ];
   Bench_out.flush ~quick:!quick "telemetry"
 
+(* ---- section: serve ---- *)
+
+(* The network front door: what the framed TCP transport and admission
+   control add on top of a direct query (closed-loop sustained rate,
+   p50/p99), whether shedding holds the "every request terminates as
+   answer or typed Shed" contract once offered load is pushed to 2x
+   the measured capacity against a short queue, and what moving a
+   supervised worker from a socketpair to a loopback-TCP listener
+   costs per scatter. *)
+let section_serve () =
+  header "SERVE: front-door overhead, overload shedding, worker transport";
+  let module Serve = Trex_serve.Serve in
+  let module Wire = Trex_shard.Wire in
+  let coll = Gen.ieee ~doc_count:(if !quick then 30 else 80) ~seed:88 () in
+  let docs = List.of_seq (coll.docs ()) in
+  let q = Queries.find "270" in
+  let k = 10 in
+  let dir = Filename.temp_file "trex_bench_serve" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let build_env = Trex.Env.on_disk dir in
+  ignore (Trex.build ~env:build_env ~alias:coll.alias (List.to_seq docs));
+  Trex.Env.close build_env;
+  let answer_sig answers =
+    List.map
+      (fun (e : Trex.Answer.entry) ->
+        ( e.Trex.Answer.element.Trex.Types.docid,
+          e.Trex.Answer.element.Trex.Types.endpos,
+          e.Trex.Answer.score ))
+      answers
+  in
+  (* Direct baseline: same on-disk env, no transport, no queue. *)
+  let t_direct, direct_sig =
+    let env = Trex.Env.on_disk dir in
+    let engine = Trex.attach ~env () in
+    Fun.protect ~finally:(fun () -> Trex.Env.close env) @@ fun () ->
+    let t = robust_time (fun () -> ignore (Trex.query engine ~k q.nexi)) in
+    let o = Trex.query engine ~k q.nexi in
+    (t, answer_sig (Trex.Answer.top_k o.Trex.strategy.Strategy.answers k))
+  in
+  let fork_server ?(policy = Serve.default_policy) dir =
+    let listen = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt listen Unix.SO_REUSEADDR true;
+    Unix.bind listen (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+    Unix.listen listen 64;
+    let port =
+      match Unix.getsockname listen with
+      | Unix.ADDR_INET (_, p) -> p
+      | _ -> assert false
+    in
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        let code =
+          try Serve.run ~policy ~listen_fd:listen ~dir ~addr:"-" ()
+          with _ -> 9
+        in
+        Unix._exit code
+    | pid ->
+        Unix.close listen;
+        (pid, Printf.sprintf "127.0.0.1:%d" port)
+  in
+  let with_server ?policy dir f =
+    let pid, addr = fork_server ?policy dir in
+    Fun.protect
+      ~finally:(fun () ->
+        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+        try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
+      (fun () -> f addr)
+  in
+  let cq =
+    {
+      Wire.c_nexi = q.nexi;
+      c_k = k;
+      c_method = None;
+      c_strict = false;
+      c_deadline_ms = Some 10_000.0;
+      c_page_budget = None;
+    }
+  in
+  (* Closed loop on one connection: sustained rate and percentiles. *)
+  let n_seq = if !quick then 40 else 150 in
+  let lat =
+    with_server dir @@ fun addr ->
+    let c = Serve.Client.connect addr in
+    Fun.protect ~finally:(fun () -> Serve.Client.close c) @@ fun () ->
+    (match Serve.Client.request c cq with
+    | Serve.Client.Answer a ->
+        if answer_sig a.Wire.ca_answers <> direct_sig then
+          failwith "serve: front-door answers differ from the direct query"
+    | _ -> failwith "serve: warmup request did not answer");
+    Array.init n_seq (fun _ ->
+        let t0 = Trex_util.Stopclock.now () in
+        match Serve.Client.request c cq with
+        | Serve.Client.Answer _ -> Trex_util.Stopclock.now () -. t0
+        | _ -> failwith "serve: unloaded request was shed")
+  in
+  Array.sort compare lat;
+  let mean = Array.fold_left ( +. ) 0.0 lat /. float_of_int n_seq in
+  let pct p =
+    lat.(min (n_seq - 1) (int_of_float (p *. float_of_int (n_seq - 1) +. 0.5)))
+  in
+  let p50 = pct 0.50 and p99 = pct 0.99 in
+  let qps = 1.0 /. mean in
+  Bench_out.record ~section:"serve" ~query:q.id ~strategy:"direct" ~k
+    ~ms:(t_direct *. 1e3) [];
+  Bench_out.record ~section:"serve" ~query:q.id ~strategy:"sequential" ~k
+    ~ms:(mean *. 1e3)
+    [
+      ("qps", int_of_float qps);
+      ("p50_us", int_of_float (p50 *. 1e6));
+      ("p99_us", int_of_float (p99 *. 1e6));
+    ];
+  Printf.printf "%-18s | %10.3f ms\n" "direct (no net)" (t_direct *. 1e3);
+  Printf.printf
+    "%-18s | %10.3f ms  p50 %.3f  p99 %.3f  (%.0f qps sustained)\n"
+    "front door" (mean *. 1e3) (p50 *. 1e3) (p99 *. 1e3) qps;
+  (* Offered load at 2x the measured capacity against a short queue:
+     every request must still terminate as exactly one of answer or
+     typed Shed — overload makes the server fast and honest. *)
+  let offered_qps = 2.0 *. qps in
+  let n_over =
+    max 24 (int_of_float (offered_qps *. if !quick then 1.0 else 2.0))
+  in
+  let n_conns = 4 in
+  let answered = ref 0 and shed = ref 0 in
+  let t_over =
+    with_server ~policy:{ Serve.default_policy with queue_limit = 4 } dir
+    @@ fun addr ->
+    let conns = Array.init n_conns (fun _ -> Serve.Client.connect addr) in
+    Fun.protect ~finally:(fun () -> Array.iter Serve.Client.close conns)
+    @@ fun () ->
+    let interval = 1.0 /. offered_qps in
+    let t0 = Trex_util.Stopclock.now () in
+    for i = 0 to n_over - 1 do
+      Serve.Client.send conns.(i mod n_conns) (Wire.Client_query cq);
+      let d = t0 +. (float_of_int (i + 1) *. interval) -. Trex_util.Stopclock.now () in
+      if d > 0.0 then Unix.sleepf d
+    done;
+    Array.iteri
+      (fun ci c ->
+        for _ = 1 to (n_over - ci + n_conns - 1) / n_conns do
+          match Serve.Client.collect_terminal ~timeout_s:60.0 c with
+          | Serve.Client.Answer _ -> incr answered
+          | Serve.Client.Shed _ -> incr shed
+          | Serve.Client.Draining ->
+              failwith "serve: server drained mid-overload"
+        done)
+      conns;
+    Trex_util.Stopclock.now () -. t0
+  in
+  if !answered + !shed <> n_over then
+    failwith "serve: a request terminated as neither answer nor Shed";
+  let shed_pct = 100.0 *. float_of_int !shed /. float_of_int n_over in
+  Bench_out.record ~section:"serve" ~query:q.id ~strategy:"overload-2x" ~k
+    ~ms:(t_over *. 1e3)
+    [
+      ("offered_qps", int_of_float offered_qps);
+      ("answered", !answered);
+      ("shed", !shed);
+      ("shed_pct", int_of_float shed_pct);
+    ];
+  Printf.printf
+    "%-18s | offered %.0f qps: %d answered, %d shed (%.0f%%), all terminal\n"
+    "overload 2x" offered_qps !answered !shed shed_pct;
+  (* Worker transport: the same 2-shard supervised scatter with
+     socketpair children vs loopback-TCP listeners. *)
+  let sdir = Filename.temp_file "trex_bench_serve_sh" "" in
+  Sys.remove sdir;
+  Unix.mkdir sdir 0o755;
+  Shard.close (Shard.create ~dir:sdir ~shards:2 ~alias:coll.alias docs);
+  let timed_scatter ?remote () =
+    let sup = Supervisor.create ?remote sdir in
+    Fun.protect ~finally:(fun () -> Supervisor.close sup) @@ fun () ->
+    if not (Supervisor.await_healthy sup) then
+      failwith "serve: workers never became healthy";
+    let r = Supervisor.query sup ~k q.nexi in
+    if r.Shard.degraded_shards <> [] then
+      failwith "serve: healthy scatter came back degraded";
+    robust_time (fun () -> ignore (Supervisor.query sup ~k q.nexi))
+  in
+  let t_pair = timed_scatter () in
+  let spawn_listen_worker ~dir ~shard =
+    let r, w = Unix.pipe () in
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+        Unix.close r;
+        Unix.dup2 w Unix.stderr;
+        if w <> Unix.stderr then Unix.close w;
+        let prog = Sys.executable_name in
+        let argv =
+          [| prog; "shard-worker"; "--dir"; dir; "--shard"; shard;
+             "--listen"; "127.0.0.1:0" |]
+        in
+        (try Unix.execv prog argv with _ -> ());
+        exit 127
+    | pid ->
+        Unix.close w;
+        let buf = Buffer.create 64 in
+        let chunk = Bytes.create 256 in
+        let rec find () =
+          let s = Buffer.contents buf in
+          match String.index_opt s '\n' with
+          | Some i ->
+              let line = String.sub s 0 i in
+              Buffer.clear buf;
+              Buffer.add_string buf
+                (String.sub s (i + 1) (String.length s - i - 1));
+              if String.length line > 10 && String.sub line 0 10 = "LISTENING "
+              then String.sub line 10 (String.length line - 10)
+              else find ()
+          | None -> (
+              match Unix.read r chunk 0 (Bytes.length chunk) with
+              | 0 -> failwith "serve: listen worker died before announcing"
+              | n ->
+                  Buffer.add_subbytes buf chunk 0 n;
+                  find ())
+        in
+        let addr = find () in
+        (pid, r, addr)
+  in
+  let workers =
+    List.map
+      (fun (i : Shard.shard_info) ->
+        (i.Shard.name, spawn_listen_worker ~dir:sdir ~shard:i.Shard.name))
+      (Shard.load_map sdir)
+  in
+  let t_tcp =
+    Fun.protect
+      ~finally:(fun () ->
+        List.iter
+          (fun (_, (pid, r, _)) ->
+            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+            (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+            try Unix.close r with Unix.Unix_error _ -> ())
+          workers)
+      (fun () ->
+        timed_scatter
+          ~remote:(List.map (fun (n, (_, _, a)) -> (n, a)) workers)
+          ())
+  in
+  Bench_out.record ~section:"serve" ~query:q.id ~strategy:"worker-socketpair"
+    ~k ~ms:(t_pair *. 1e3) [ ("shards", 2) ];
+  Bench_out.record ~section:"serve" ~query:q.id ~strategy:"worker-tcp" ~k
+    ~ms:(t_tcp *. 1e3) [ ("shards", 2) ];
+  Printf.printf "%-18s | %10.3f ms per scatter (2 shards)\n"
+    "worker socketpair" (t_pair *. 1e3);
+  Printf.printf "%-18s | %10.3f ms per scatter (2 shards, loopback TCP)\n"
+    "worker tcp" (t_tcp *. 1e3);
+  Bench_out.flush ~quick:!quick "serve"
+
 (* ---- section: effectiveness ---- *)
 
 (* The generator records which topics each document was written around;
@@ -1106,5 +1372,6 @@ let () =
   if want "shard" then section_shard ();
   if want "shard_proc" then section_shard_proc ();
   if want "telemetry" then section_telemetry ();
+  if want "serve" then section_serve ();
   if want "bechamel" then section_bechamel ();
   Printf.printf "\ndone.\n"

@@ -15,12 +15,16 @@
      autopilot    replay the journal into the advisor and replan
      xpath        evaluate an XPath expression over an XML file
      shard        sharded coordinator: create | query | health | rebalance
+     serve        network front door: admission control + graceful drain
+     client       query a serve daemon over TCP
 
    Exit codes: 0 ok; 1 generic failure; 2 verify found corruption or an
    unresolvable manifest operation (also shard health with quarantined
    shards); 3 query answered degraded (budget expired, or a sharded
    query missing shards); 4 health found an open circuit breaker; 5
-   autopilot had too few journaled observations to replan.
+   autopilot had too few journaled observations to replan; 6 the serve
+   daemon shed the request (admission control); 7 the serve daemon is
+   draining or unreachable.
 
    Example session:
      dune exec bin/trex_cli.exe -- gen --collection ieee --docs 100 --out /tmp/docs
@@ -1072,24 +1076,202 @@ let shard_cmd =
     (Cmd.info "shard" ~doc:"Sharded scatter-gather coordinator")
     [ shard_create_cmd; shard_query_cmd; shard_health_cmd; shard_rebalance_cmd ]
 
+(* ---- serve / client: the network front door ---- *)
+
+module Serve = Trex_serve.Serve
+module Wire = Trex_shard.Wire
+
+let parse_remotes specs =
+  List.map
+    (fun spec ->
+      match String.index_opt spec '=' with
+      | Some i ->
+          ( String.sub spec 0 i,
+            String.sub spec (i + 1) (String.length spec - i - 1) )
+      | None ->
+          failwith (Printf.sprintf "--remote expects NAME=HOST:PORT, got %S" spec))
+    specs
+
+let method_of_string = function
+  | "era" -> Trex.Strategy.Era_method
+  | "ta" -> Trex.Strategy.Ta_method
+  | "ita" -> Trex.Strategy.Ita_method
+  | "merge" -> Trex.Strategy.Merge_method
+  | other -> failwith (Printf.sprintf "unknown method %S" other)
+
+let serve_cmd =
+  let dir =
+    Arg.(required & opt (some string) None
+         & info [ "dir" ] ~docv:"DIR"
+             ~doc:"index environment, or shard-coordinator directory \
+                   (detected by SHARDMAP.json) served through supervised \
+                   worker processes")
+  in
+  let addr =
+    Arg.(value & opt string "127.0.0.1:7690"
+         & info [ "addr" ] ~docv:"HOST:PORT"
+             ~doc:"listen address (port 0 binds an ephemeral port; the bound \
+                   address is printed as SERVING HOST:PORT)")
+  in
+  let remote =
+    Arg.(value & opt_all string []
+         & info [ "remote" ] ~docv:"NAME=HOST:PORT"
+             ~doc:"serve shard NAME through a long-lived remote worker \
+                   (trex shard-worker --listen) instead of a local child; \
+                   repeatable")
+  in
+  let queue_limit =
+    Arg.(value & opt int Serve.default_policy.queue_limit
+         & info [ "queue-limit" ]
+             ~doc:"admitted-but-unstarted requests before new ones are shed")
+  in
+  let default_deadline_ms =
+    Arg.(value & opt float Serve.default_policy.default_deadline_ms
+         & info [ "default-deadline-ms" ]
+             ~doc:"deadline assigned to requests that carry none")
+  in
+  let max_deadline_ms =
+    Arg.(value & opt float Serve.default_policy.max_deadline_ms
+         & info [ "max-deadline-ms" ] ~doc:"clamp on client-requested deadlines")
+  in
+  let drain_budget_s =
+    Arg.(value & opt float Serve.default_policy.drain_budget_s
+         & info [ "drain-budget-s" ]
+             ~doc:"on SIGTERM, finish or shed queued work within this bound")
+  in
+  let journal =
+    Arg.(value & flag
+         & info [ "journal" ]
+             ~doc:"also journal backend query telemetry (shed/drained \
+                   requests are always journaled to DIR/serve_journal.qj)")
+  in
+  let run dir addr remote queue_limit default_deadline_ms max_deadline_ms
+      drain_budget_s journal =
+    if journal then Trex.Obs.Journal.set_enabled true;
+    let policy =
+      {
+        Serve.default_policy with
+        queue_limit;
+        default_deadline_ms;
+        max_deadline_ms;
+        drain_budget_s;
+      }
+    in
+    exit
+      (Serve.run ~policy ~remote:(parse_remotes remote)
+         ~on_ready:(fun bound -> Printf.printf "SERVING %s\n%!" bound)
+         ~dir ~addr ())
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Serve an index over TCP with admission control and graceful drain")
+    Term.(const run $ dir $ addr $ remote $ queue_limit $ default_deadline_ms
+          $ max_deadline_ms $ drain_budget_s $ journal)
+
+let client_cmd =
+  let nexi = Arg.(required & pos 0 (some string) None & info [] ~docv:"NEXI") in
+  let addr =
+    Arg.(required & opt (some string) None
+         & info [ "addr" ] ~docv:"HOST:PORT" ~doc:"serve daemon to query")
+  in
+  let k = Arg.(value & opt int 10 & info [ "k" ] ~doc:"answers to return") in
+  let method_ =
+    Arg.(value & opt (some string) None & info [ "method" ] ~doc:"era|ta|ita|merge")
+  in
+  let strict = Arg.(value & flag & info [ "strict" ] ~doc:"strict interpretation") in
+  let deadline_ms =
+    Arg.(value & opt (some float) None
+         & info [ "deadline-ms" ]
+             ~doc:"request deadline shipped to the server (clamped by its \
+                   policy); the server sheds rather than queueing past it")
+  in
+  let page_budget =
+    Arg.(value & opt (some int) None
+         & info [ "page-budget" ] ~doc:"page-read budget shipped to the server")
+  in
+  let timeout_s =
+    Arg.(value & opt float 30.0
+         & info [ "timeout-s" ] ~doc:"client-side connect/reply deadline")
+  in
+  let run addr nexi k method_ strict deadline_ms page_budget timeout_s =
+    let cq =
+      {
+        Wire.c_nexi = nexi;
+        c_k = k;
+        c_method = Option.map method_of_string method_;
+        c_strict = strict;
+        c_deadline_ms = deadline_ms;
+        c_page_budget = page_budget;
+      }
+    in
+    match
+      let c = Serve.Client.connect ~timeout_s addr in
+      Fun.protect
+        ~finally:(fun () -> Serve.Client.close c)
+        (fun () -> Serve.Client.request ~timeout_s c cq)
+    with
+    | exception Serve.Client.Unreachable msg ->
+        Printf.eprintf "unreachable: %s\n" msg;
+        exit 7
+    | Serve.Client.Draining ->
+        Printf.printf "DRAINING: the server is going away; retry elsewhere\n";
+        exit 7
+    | Serve.Client.Shed { retry_after_ms; reason } ->
+        Printf.printf "SHED: %s (retry after %.0f ms)\n" reason retry_after_ms;
+        exit 6
+    | Serve.Client.Answer a ->
+        Printf.printf "%d answers (k=%d) in %.2f ms%s\n"
+          (List.length a.Wire.ca_answers)
+          a.Wire.ca_k
+          (a.Wire.ca_elapsed_s *. 1000.0)
+          (match a.Wire.ca_method with Some m -> " via " ^ m | None -> "");
+        List.iteri
+          (fun i (e : Trex.Answer.entry) ->
+            Printf.printf "%2d. [%.4f] doc=%d sid=%d end=%d\n" (i + 1) e.score
+              e.element.Trex.Types.docid e.element.Trex.Types.sid
+              e.element.Trex.Types.endpos)
+          a.Wire.ca_answers;
+        if a.Wire.ca_degraded then begin
+          Printf.printf "DEGRADED: answers are a sound but possibly-partial ranking\n";
+          List.iter
+            (fun (source, reason) -> Printf.printf "  %s: %s\n" source reason)
+            a.Wire.ca_tags;
+          exit 3
+        end
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Query a serve daemon (exit 0 ok, 3 degraded, 6 shed, 7 \
+             draining/unreachable)")
+    Term.(const run $ addr $ nexi $ k $ method_ $ strict $ deadline_ms
+          $ page_budget $ timeout_s)
+
 let () =
   (* Worker mode dispatches before cmdliner: the supervisor execs this
      very binary with a fixed argv and the protocol already wired onto
      stdin/stdout, so no flag parsing may touch those fds first. *)
   (match Array.to_list Sys.argv with
   | _ :: "shard-worker" :: rest ->
-      let rec get key = function
-        | k :: v :: _ when k = key -> v
-        | _ :: tl -> get key tl
-        | [] ->
+      let rec get_opt key = function
+        | k :: v :: _ when k = key -> Some v
+        | _ :: tl -> get_opt key tl
+        | [] -> None
+      in
+      let get key =
+        match get_opt key rest with
+        | Some v -> v
+        | None ->
             prerr_endline ("shard-worker: missing " ^ key);
             exit 2
       in
-      Supervisor.worker_main ~dir:(get "--dir" rest) ~shard:(get "--shard" rest) ()
+      let dir = get "--dir" and shard = get "--shard" in
+      (match get_opt "--listen" rest with
+      | Some addr -> Supervisor.worker_listen ~dir ~shard ~addr ()
+      | None -> Supervisor.worker_main ~dir ~shard ())
   | _ -> ());
   let doc = "TReX: self-managing top-k (summary, keyword) indexes for XML retrieval" in
   let info = Cmd.info "trex" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ gen_cmd; index_cmd; add_cmd; query_cmd; materialize_cmd; stats_cmd; advise_cmd; vacuum_cmd; verify_cmd; health_cmd; journal_cmd; autopilot_cmd; xpath_cmd; shard_cmd ]))
+          [ gen_cmd; index_cmd; add_cmd; query_cmd; materialize_cmd; stats_cmd; advise_cmd; vacuum_cmd; verify_cmd; health_cmd; journal_cmd; autopilot_cmd; xpath_cmd; shard_cmd; serve_cmd; client_cmd ]))

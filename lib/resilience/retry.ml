@@ -1,12 +1,16 @@
 module Metrics = Trex_obs.Metrics
+module Prng = Trex_util.Prng
 
 let m_retries = Metrics.counter "resilience.retries"
 let m_exhaustions = Metrics.counter "resilience.retry_exhaustions"
+
+type jitter = No_jitter | Decorrelated of { seed : int }
 
 type policy = {
   max_attempts : int;
   base_delay_ms : float;
   max_delay_ms : float;
+  jitter : jitter;
   sleep : float -> unit;
 }
 
@@ -15,6 +19,7 @@ let default_policy =
     max_attempts = 4;
     base_delay_ms = 1.0;
     max_delay_ms = 16.0;
+    jitter = No_jitter;
     sleep = Unix.sleepf;
   }
 
@@ -34,13 +39,35 @@ let delay_ms policy ~retry_index =
   Float.min policy.max_delay_ms
     (policy.base_delay_ms *. Float.pow 2.0 (float_of_int retry_index))
 
-let backoff_delays_ms policy =
-  List.init
-    (max 0 (policy.max_attempts - 1))
-    (fun i -> delay_ms policy ~retry_index:i)
+let backoff_delays_ms ?(salt = 0) policy =
+  let n = max 0 (policy.max_attempts - 1) in
+  match policy.jitter with
+  | No_jitter -> List.init n (fun i -> delay_ms policy ~retry_index:i)
+  | Decorrelated { seed } ->
+      (* Decorrelated jitter (the "sleep = min(cap, uniform(base,
+         prev*3))" recurrence): each delay is drawn from a window that
+         grows with the previous *realized* delay, so a fleet of peers
+         that failed at the same instant spreads out instead of
+         re-converging on the doubling schedule's fixed points. Seeded
+         through a splitmix PRNG — same (seed, salt) replays the same
+         schedule, different salts (one per peer) decorrelate. *)
+      let rng = Prng.create (seed lxor (salt * 0x9e3779b9)) in
+      let prev = ref policy.base_delay_ms in
+      List.init n (fun _ ->
+          let hi = Float.max policy.base_delay_ms (!prev *. 3.0) in
+          let d =
+            Float.min policy.max_delay_ms
+              (policy.base_delay_ms
+              +. Prng.float rng (hi -. policy.base_delay_ms))
+          in
+          prev := d;
+          d)
 
 let with_retries ?(policy = default_policy) ?(name = "io") ~retryable f =
   let max_attempts = max 1 policy.max_attempts in
+  (* One schedule per call, salted by the call-site name so concurrent
+     retriers of different operations don't share a jitter stream. *)
+  let delays = Array.of_list (backoff_delays_ms ~salt:(Hashtbl.hash name) policy) in
   let rec go attempt =
     try f ()
     with e when retryable e ->
@@ -50,7 +77,11 @@ let with_retries ?(policy = default_policy) ?(name = "io") ~retryable f =
       end
       else begin
         Metrics.incr m_retries;
-        policy.sleep (delay_ms policy ~retry_index:(attempt - 1) /. 1000.);
+        let d =
+          if attempt - 1 < Array.length delays then delays.(attempt - 1)
+          else delay_ms policy ~retry_index:(attempt - 1)
+        in
+        policy.sleep (d /. 1000.);
         go (attempt + 1)
       end
   in

@@ -29,6 +29,7 @@ type config = {
   deadline_grace_ms : float;
   max_restarts : int;
   restart_policy : Retry.policy;
+  connect_timeout_s : float;
 }
 
 let default_config =
@@ -38,7 +39,12 @@ let default_config =
     deadline_grace_ms = 250.0;
     max_restarts = 3;
     restart_policy = { Retry.default_policy with base_delay_ms = 10.0 };
+    connect_timeout_s = 1.0;
   }
+
+(* Where a shard's worker lives: a fork/exec'd child on a socketpair,
+   or a long-lived remote process reached over TCP. *)
+type endpoint = Local | Tcp of string
 
 type worker_state = Starting | Ready | Busy | Stopped | Escalated
 
@@ -52,9 +58,14 @@ type worker_health = {
   w_beat_age_s : float option;
 }
 
-(* One live worker process: the coordinator's end of the socketpair and
-   the incremental frame decoder for its byte stream. *)
-type proc = { p_pid : int; p_fd : Unix.file_descr; p_decoder : Framing.Decoder.t }
+(* One live worker conversation: the coordinator's end of the
+   socketpair (or TCP connection — then [p_pid = None]) and the
+   incremental frame decoder for its byte stream. *)
+type proc = {
+  p_pid : int option;
+  p_fd : Unix.file_descr;
+  p_decoder : Framing.Decoder.t;
+}
 
 type phase =
   | P_starting of float  (** spawn time, awaiting Hello *)
@@ -65,6 +76,7 @@ type phase =
 
 type worker = {
   info : Shard.shard_info;
+  endpoint : endpoint;
   breaker : Breaker.t;
   mutable proc : proc option;
   mutable phase : phase;
@@ -110,14 +122,68 @@ let find_worker t name =
 let breaker t name = (find_worker t name).breaker
 
 let worker_pid t name =
-  Option.map (fun p -> p.p_pid) (find_worker t name).proc
+  Option.bind (find_worker t name).proc (fun p -> p.p_pid)
 
 let set_fault t ~shard spec = (find_worker t shard).pending_fault <- spec
 
 (* ---- spawning ---- *)
 
-let spawn t w =
-  Metrics.incr m_spawns;
+(* "HOST:PORT" → sockaddr. Raises [Invalid_argument] on junk — a bad
+   address is a configuration error, not a transient fault. *)
+let sockaddr_of_string addr =
+  match String.rindex_opt addr ':' with
+  | None -> invalid_arg (Printf.sprintf "bad worker address %S (want HOST:PORT)" addr)
+  | Some i -> (
+      let host = String.sub addr 0 i in
+      let port =
+        match int_of_string_opt (String.sub addr (i + 1) (String.length addr - i - 1)) with
+        | Some p when p >= 0 && p < 65536 -> p
+        | _ -> invalid_arg (Printf.sprintf "bad port in worker address %S" addr)
+      in
+      let host = if host = "" then "127.0.0.1" else host in
+      match Unix.inet_addr_of_string host with
+      | ip -> Unix.ADDR_INET (ip, port)
+      | exception Failure _ -> (
+          match Unix.gethostbyname host with
+          | { Unix.h_addr_list = [||]; _ } | (exception Not_found) ->
+              invalid_arg (Printf.sprintf "cannot resolve worker host %S" host)
+          | { Unix.h_addr_list; _ } -> Unix.ADDR_INET (h_addr_list.(0), port)))
+
+(* Bounded non-blocking connect: None on refusal or timeout (the
+   caller schedules a jittered reconnect), Some fd — blocking again —
+   on success. *)
+let connect_with_timeout sockaddr ~timeout_s =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.set_close_on_exec fd;
+  Unix.set_nonblock fd;
+  let fail () =
+    (try Unix.close fd with Unix.Unix_error _ -> ());
+    None
+  in
+  let finish () =
+    match Unix.getsockopt_error fd with
+    | None ->
+        Unix.clear_nonblock fd;
+        Some fd
+    | Some _ -> fail ()
+  in
+  match Unix.connect fd sockaddr with
+  | () -> finish ()
+  | exception Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK), _, _) -> (
+      let deadline = Stopclock.now () +. timeout_s in
+      let rec wait () =
+        let remaining = deadline -. Stopclock.now () in
+        if remaining <= 0.0 then fail ()
+        else
+          match Unix.select [] [ fd ] [] remaining with
+          | _, [], _ -> wait ()
+          | _, _ :: _, _ -> finish ()
+          | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait ()
+      in
+      wait ())
+  | exception Unix.Unix_error _ -> fail ()
+
+let spawn_local t w =
   let coord_fd, worker_fd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
   (* Later spawns' execs must not inherit this worker's coordinator
      end, or a dead worker's EOF would never arrive. *)
@@ -141,17 +207,44 @@ let spawn t w =
   | pid ->
       Unix.close worker_fd;
       w.proc <-
-        Some { p_pid = pid; p_fd = coord_fd; p_decoder = Framing.Decoder.create () };
+        Some
+          { p_pid = Some pid; p_fd = coord_fd; p_decoder = Framing.Decoder.create () };
       w.phase <- P_starting (Stopclock.now ());
       w.ping_outstanding <- None
+
+(* Forward-declared: remote connect failures reuse the death/backoff
+   path, which is defined below. *)
+let on_connect_failure = ref (fun _t _w _reason -> ())
+
+let spawn_remote t w addr =
+  match connect_with_timeout (sockaddr_of_string addr) ~timeout_s:t.config.connect_timeout_s with
+  | Some fd ->
+      w.proc <-
+        Some { p_pid = None; p_fd = fd; p_decoder = Framing.Decoder.create () };
+      w.phase <- P_starting (Stopclock.now ());
+      w.ping_outstanding <- None
+  | None ->
+      !on_connect_failure t w
+        (Printf.sprintf "connect to %s refused or timed out" addr)
+
+let spawn t w =
+  Metrics.incr m_spawns;
+  match w.endpoint with
+  | Local -> spawn_local t w
+  | Tcp addr -> spawn_remote t w addr
 
 (* ---- death and restart ---- *)
 
 let reap pid = try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ()
 
 let kill_proc p =
-  (try Unix.kill p.p_pid Sys.sigkill with Unix.Unix_error _ -> ());
-  reap p.p_pid;
+  (* A remote worker has no pid to kill: dropping the connection is the
+     kill — the worker notices EOF/EPIPE and returns to accept. *)
+  (match p.p_pid with
+  | Some pid ->
+      (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+      reap pid
+  | None -> ());
   try Unix.close p.p_fd with Unix.Unix_error _ -> ()
 
 (* The worker is gone (exit, EPIPE, corrupt stream, heartbeat timeout,
@@ -176,7 +269,15 @@ let on_death t w reason =
              reason)
   end
   else begin
-    let delays = Retry.backoff_delays_ms t.config.restart_policy in
+    (* Salted per shard: under a Decorrelated restart policy a fleet of
+       remote workers cut off together reconnects spread out, not as a
+       thundering herd. With the default No_jitter policy the salt is
+       inert and the schedule replays exactly. *)
+    let delays =
+      Retry.backoff_delays_ms
+        ~salt:(Hashtbl.hash w.info.Shard.name)
+        t.config.restart_policy
+    in
     let delay_ms =
       match delays with
       | [] -> 0.0
@@ -186,6 +287,8 @@ let on_death t w reason =
     w.phase <- P_stopped (Stopclock.now () +. (delay_ms /. 1000.0));
     Metrics.incr m_restarts
   end
+
+let () = on_connect_failure := fun t w reason -> on_death t w reason
 
 (* ---- frame I/O ---- *)
 
@@ -260,6 +363,8 @@ let idle_handle w = function
           w.ping_outstanding <- None
       | _ -> ())
   | Wire.Answer _ -> () (* stale answer from an abandoned query: drop *)
+  | Wire.Client_answer _ | Wire.Shed _ | Wire.Drain ->
+      () (* client-facing messages have no business on a worker stream *)
 
 (* ---- supervision tick ---- *)
 
@@ -324,12 +429,18 @@ let await_healthy ?(timeout_s = 5.0) t =
 
 (* ---- lifecycle ---- *)
 
-let create ?(config = default_config) ?(scoring = Scorer.default) dir =
+let create ?(config = default_config) ?(scoring = Scorer.default) ?(remote = [])
+    dir =
   (* A worker death between our write and the kernel's delivery must
      surface as EPIPE on the write, not SIGPIPE to the coordinator. *)
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let infos = Shard.load_map dir in
   ignore (Shard.sweep_stale_worker_artifacts dir infos);
+  List.iter
+    (fun (name, _) ->
+      if not (List.exists (fun i -> i.Shard.name = name) infos) then
+        invalid_arg (Printf.sprintf "Supervisor: remote endpoint for unknown shard %S" name))
+    remote;
   let t =
     {
       t_dir = dir;
@@ -340,6 +451,10 @@ let create ?(config = default_config) ?(scoring = Scorer.default) dir =
           (fun info ->
             {
               info;
+              endpoint =
+                (match List.assoc_opt info.Shard.name remote with
+                | Some addr -> Tcp addr
+                | None -> Local);
               breaker = Breaker.create ("shard." ^ info.Shard.name);
               proc = None;
               phase = P_stopped 0.0;
@@ -366,27 +481,33 @@ let close t =
       (fun w ->
         match w.proc with
         | None -> ()
-        | Some p -> (
-            (try Framing.append p.p_fd (Wire.encode_request Wire.Shutdown)
-             with Unix.Unix_error _ -> ());
-            (* Give the worker a moment to exit cleanly, then insist. *)
-            let rec wait tries =
-              match Unix.waitpid [ Unix.WNOHANG ] p.p_pid with
-              | 0, _ ->
-                  if tries > 0 then begin
-                    ignore (Unix.select [] [] [] 0.02);
-                    wait (tries - 1)
-                  end
-                  else begin
-                    (try Unix.kill p.p_pid Sys.sigkill with Unix.Unix_error _ -> ());
-                    reap p.p_pid
-                  end
-              | _ -> ()
-              | exception Unix.Unix_error _ -> ()
-            in
-            wait 25;
+        | Some p ->
+            (match p.p_pid with
+            | Some pid ->
+                (try Framing.append p.p_fd (Wire.encode_request Wire.Shutdown)
+                 with Unix.Unix_error _ -> ());
+                (* Give the worker a moment to exit cleanly, then insist. *)
+                let rec wait tries =
+                  match Unix.waitpid [ Unix.WNOHANG ] pid with
+                  | 0, _ ->
+                      if tries > 0 then begin
+                        ignore (Unix.select [] [] [] 0.02);
+                        wait (tries - 1)
+                      end
+                      else begin
+                        (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+                        reap pid
+                      end
+                  | _ -> ()
+                  | exception Unix.Unix_error _ -> ()
+                in
+                wait 25
+            | None ->
+                (* A remote worker outlives this coordinator by design:
+                   no Shutdown — just hang up, it returns to accept. *)
+                ());
             (try Unix.close p.p_fd with Unix.Unix_error _ -> ());
-            w.proc <- None))
+            w.proc <- None)
       t.workers;
     match t.journal with
     | Some j ->
@@ -408,7 +529,7 @@ let health t =
           | P_busy -> Busy
           | P_stopped _ -> Stopped
           | P_escalated -> Escalated);
-        w_pid = Option.map (fun p -> p.p_pid) w.proc;
+        w_pid = Option.bind w.proc (fun p -> p.p_pid);
         w_restarts = w.restarts;
         w_total_restarts = w.total_restarts;
         w_breaker = Breaker.state w.breaker;
@@ -683,7 +804,10 @@ let query t ?(k = 10) ?method_ ?(strict = false) ?deadline_ms ?page_budget ?fano
                track; only the grafted children (stamped "pid" by the
                worker itself) re-home to the worker's track. *)
             ( "worker_pid",
-              match w.proc with Some p -> string_of_int p.p_pid | None -> "-" );
+              match w.proc with
+              | Some { p_pid = Some pid; _ } -> string_of_int pid
+              | Some { p_pid = None; _ } -> "remote"
+              | None -> "-" );
           ]
         ~start_s:d.d_sent_at
         ~seconds:(Stopclock.now () -. d.d_sent_at)
@@ -745,7 +869,9 @@ let query t ?(k = 10) ?method_ ?(strict = false) ?deadline_ms ?page_budget ?fano
                       let handle = function
                         | Wire.Answer a -> accept d a
                         | Wire.Pong seq -> idle_handle w (Wire.Pong seq)
-                        | Wire.Hello _ -> ()
+                        | Wire.Hello _ | Wire.Client_answer _ | Wire.Shed _
+                        | Wire.Drain ->
+                            ()
                       in
                       if not (pump t w ~handle) then begin
                         (* pump ran on_death; tag unless the answer
@@ -794,56 +920,45 @@ let query t ?(k = 10) ?method_ ?(strict = false) ?deadline_ms ?page_budget ?fano
 
 (* ---- the worker process ---- *)
 
-let worker_main ~dir ~shard () =
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
-  (* Private copies of the protocol fds; stdout then aliases stderr so
-     a stray [print_string] anywhere below cannot tear a frame. *)
-  let rx = Unix.dup Unix.stdin and tx = Unix.dup Unix.stdout in
-  Unix.dup2 Unix.stderr Unix.stdout;
-  let sdir = Filename.concat dir shard in
-  let pid_path = Filename.concat sdir "worker.pid" in
-  (try
-     let oc = open_out pid_path in
-     output_string oc (string_of_int (Unix.getpid ()) ^ "\n");
-     close_out oc
-   with Sys_error _ -> ());
-  let cleanup () = try Sys.remove pid_path with Sys_error _ -> () in
+(* How long a half-sent frame may sit on a worker's request stream
+   before the worker declares the peer broken (see
+   [Framing.recv_deadline]). Generous versus the heartbeat interval so
+   it only ever fires on a genuinely torn or malicious stream. *)
+let frame_read_timeout_s = 10.0
+
+(* One-shot fault injection: armed by the query message or, for whole
+   processes under CLI/CI gates, by the environment. *)
+let make_fault_point ~armed ~cleanup point =
+  match !armed with
+  | Some spec -> (
+      match String.index_opt spec ':' with
+      | Some i when String.sub spec (i + 1) (String.length spec - i - 1) = point
+        -> (
+          armed := None;
+          match String.sub spec 0 i with
+          | "kill" -> Unix.kill (Unix.getpid ()) Sys.sigkill
+          | "exit" ->
+              cleanup ();
+              exit 3
+          | "stop" -> Unix.kill (Unix.getpid ()) Sys.sigstop
+          | "wedge" -> ignore (Unix.select [] [] [] 3600.0)
+          | _ -> ())
+      | _ -> ())
+  | None -> ()
+
+let env_fault () =
+  match Sys.getenv_opt "TREX_WORKER_FAULT" with
+  | Some s when s <> "" -> Some s
+  | _ -> None
+
+(* One coordinator conversation over (rx, tx): Hello, then answer
+   requests until the peer hangs up. Returns how the conversation
+   ended; [Shutdown] and an exploding evaluation exit the process in
+   place (containment is the point). Shared by the socketpair worker
+   (one conversation, then exit) and the TCP listen worker (one
+   conversation per accepted connection). *)
+let serve_worker_conn ~shard ~env ~index ~armed ~fault_point ~cleanup rx tx =
   let send resp = Framing.write_all tx (Framing.frame (Wire.encode_response resp)) in
-  (* One-shot fault injection: armed by the query message or, for whole
-     processes under CLI/CI gates, by the environment. *)
-  let armed =
-    ref
-      (match Sys.getenv_opt "TREX_WORKER_FAULT" with
-      | Some s when s <> "" -> Some s
-      | _ -> None)
-  in
-  let fault_point point =
-    match !armed with
-    | Some spec -> (
-        match String.index_opt spec ':' with
-        | Some i
-          when String.sub spec (i + 1) (String.length spec - i - 1) = point -> (
-            armed := None;
-            match String.sub spec 0 i with
-            | "kill" -> Unix.kill (Unix.getpid ()) Sys.sigkill
-            | "exit" ->
-                cleanup ();
-                exit 3
-            | "stop" -> Unix.kill (Unix.getpid ()) Sys.sigstop
-            | "wedge" -> ignore (Unix.select [] [] [] 3600.0)
-            | _ -> ())
-        | _ -> ())
-    | None -> ()
-  in
-  let env, index =
-    match Shard.attach_shard ~dir shard with
-    | pair -> pair
-    | exception e ->
-        Printf.eprintf "shard-worker %s: attach failed: %s\n%!" shard
-          (Printexc.to_string e);
-        cleanup ();
-        exit 1
-  in
   let docs = (Index.stats index).Index.doc_count in
   send
     (Wire.Hello
@@ -913,13 +1028,18 @@ let worker_main ~dir ~shard () =
   in
   let decoder = Framing.Decoder.create () in
   let rec loop () =
-    match Framing.recv rx decoder with
-    | None ->
-        (* Coordinator went away: nothing left to serve. *)
-        Env.close env;
-        cleanup ();
-        exit 0
-    | Some payload ->
+    (* Deadline-bounded wait for the next request/heartbeat frame: the
+       deadline is anchored at the first byte of an incomplete frame,
+       so a coordinator (or, in listen mode, any peer) that tears or
+       dribbles a frame cannot wedge this worker forever. *)
+    match
+      Framing.recv_deadline ~frame_timeout_s:frame_read_timeout_s rx decoder
+    with
+    | Framing.Eof | Framing.Idle_timeout ->
+        (* Coordinator went away: this conversation is over. *)
+        `Peer_gone
+    | Framing.Frame_timeout -> `Torn
+    | Framing.Frame payload ->
         (match Wire.decode_request payload with
         | Wire.Ping seq -> (
             (* "stale-pong:ping" simulates a pre-restart incarnation's
@@ -935,6 +1055,9 @@ let worker_main ~dir ~shard () =
             Env.close env;
             cleanup ();
             exit 0
+        | Wire.Client_query _ ->
+            (* Clients talk to the serve front door, not to workers. *)
+            raise (Wire.Protocol_error "client_query sent to a shard worker")
         | Wire.Query q ->
             (match q.Wire.q_fault with Some f -> armed := Some f | None -> ());
             fault_point "mid-decode";
@@ -1017,9 +1140,95 @@ let worker_main ~dir ~shard () =
         loop ()
   in
   try loop ()
-  with
-  | Framing.Corrupt_frame e | Wire.Protocol_error e ->
-    Printf.eprintf "shard-worker %s: protocol error: %s\n%!" shard e;
-    Env.close env;
-    cleanup ();
-    exit 2
+  with Framing.Corrupt_frame e | Wire.Protocol_error e -> `Protocol e
+
+let worker_attach ~dir ~shard ~cleanup =
+  match Shard.attach_shard ~dir shard with
+  | pair -> pair
+  | exception e ->
+      Printf.eprintf "shard-worker %s: attach failed: %s\n%!" shard
+        (Printexc.to_string e);
+      cleanup ();
+      exit 1
+
+let worker_main ~dir ~shard () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* Private copies of the protocol fds; stdout then aliases stderr so
+     a stray [print_string] anywhere below cannot tear a frame. *)
+  let rx = Unix.dup Unix.stdin and tx = Unix.dup Unix.stdout in
+  Unix.dup2 Unix.stderr Unix.stdout;
+  let sdir = Filename.concat dir shard in
+  let pid_path = Filename.concat sdir "worker.pid" in
+  (try
+     let oc = open_out pid_path in
+     output_string oc (string_of_int (Unix.getpid ()) ^ "\n");
+     close_out oc
+   with Sys_error _ -> ());
+  let cleanup () = try Sys.remove pid_path with Sys_error _ -> () in
+  let armed = ref (env_fault ()) in
+  let fault_point = make_fault_point ~armed ~cleanup in
+  let env, index = worker_attach ~dir ~shard ~cleanup in
+  match serve_worker_conn ~shard ~env ~index ~armed ~fault_point ~cleanup rx tx with
+  | `Peer_gone ->
+      Env.close env;
+      cleanup ();
+      exit 0
+  | `Torn ->
+      Printf.eprintf "shard-worker %s: torn frame (read deadline)\n%!" shard;
+      Env.close env;
+      cleanup ();
+      exit 2
+  | `Protocol e ->
+      Printf.eprintf "shard-worker %s: protocol error: %s\n%!" shard e;
+      Env.close env;
+      cleanup ();
+      exit 2
+
+(* A remote worker: bind, announce the bound address on stderr, then
+   serve one coordinator conversation per accepted connection, forever.
+   Its lifetime is decoupled from any coordinator — a coordinator
+   hanging up (or being killed) just returns this process to accept;
+   protocol corruption costs the connection, not the process. *)
+let worker_listen ~dir ~shard ~addr () =
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let lfd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lfd Unix.SO_REUSEADDR true;
+  (match Unix.bind lfd (sockaddr_of_string addr) with
+  | () -> ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Printf.eprintf "shard-worker %s: cannot bind %s: %s\n%!" shard addr
+        (Unix.error_message e);
+      exit 1);
+  Unix.listen lfd 8;
+  (match Unix.getsockname lfd with
+  | Unix.ADDR_INET (ip, port) ->
+      (* Parseable by whoever spawned us — how tests learn a port 0. *)
+      Printf.eprintf "LISTENING %s:%d\n%!" (Unix.string_of_inet_addr ip) port
+  | _ -> ());
+  let cleanup () = () in
+  let armed = ref (env_fault ()) in
+  let fault_point = make_fault_point ~armed ~cleanup in
+  let env, index = worker_attach ~dir ~shard ~cleanup in
+  ignore env;
+  let rec accept_loop () =
+    match Unix.accept lfd with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+    | conn, _peer ->
+        (match
+           serve_worker_conn ~shard ~env ~index ~armed ~fault_point ~cleanup
+             conn conn
+         with
+        | `Peer_gone -> ()
+        | `Torn ->
+            Printf.eprintf "shard-worker %s: torn frame (read deadline)\n%!"
+              shard
+        | `Protocol e ->
+            Printf.eprintf "shard-worker %s: protocol error: %s\n%!" shard e
+        | exception Unix.Unix_error _ ->
+            (* A send into a vanished coordinator (EPIPE) ends the
+               conversation, not the worker. *)
+            ());
+        (try Unix.close conn with Unix.Unix_error _ -> ());
+        accept_loop ()
+  in
+  accept_loop ()

@@ -58,7 +58,15 @@ type config = {
           escalating to the breaker (default 3) *)
   restart_policy : Trex_resilience.Retry.policy;
       (** backoff schedule between restarts ([sleep] is unused — the
-          supervisor schedules respawns on its own clock) *)
+          supervisor schedules respawns on its own clock). The schedule
+          is salted per shard, so a {!Trex_resilience.Retry.Decorrelated}
+          policy keeps a fleet of reconnecting remote workers from
+          thundering-herding; the default [No_jitter] stays
+          bit-replayable *)
+  connect_timeout_s : float;
+      (** bound on a remote (TCP) worker connect (default 1.0); a
+          refused or timed-out connect counts as a worker death and
+          follows the same backoff/escalation path *)
 }
 
 val default_config : config
@@ -80,14 +88,28 @@ type worker_health = {
 
 type t
 
-val create : ?config:config -> ?scoring:Trex_scoring.Scorer.config -> string -> t
+val create :
+  ?config:config ->
+  ?scoring:Trex_scoring.Scorer.config ->
+  ?remote:(string * string) list ->
+  string ->
+  t
 (** Open coordinator directory [dir] in process-isolated mode: read the
     shard map, sweep stale worker artifacts, and spawn one worker per
     shard (handshakes complete asynchronously — see {!await_healthy}).
     Ignores [SIGPIPE] process-wide (a dead worker must surface as
     [EPIPE], not kill the coordinator). Rebalance recovery is {e not}
     run; open the directory with {!Shard.open_} first if operations may
-    be pending. *)
+    be pending.
+
+    [remote] maps shard names to ["HOST:PORT"] addresses of long-lived
+    {!worker_listen} processes. A remote shard's "spawn" is a bounded
+    TCP connect; every other part of the state machine — Hello
+    handshake, heartbeats, deadline kills (a dropped connection), the
+    telemetry harvest, backoff restarts, breaker escalation — is
+    identical to a local worker, and reconnects follow the same
+    (optionally jittered) restart policy. Unknown names raise
+    [Invalid_argument]. *)
 
 val close : t -> unit
 (** Politely [Shutdown] every worker, reap stragglers with SIGKILL. *)
@@ -159,3 +181,14 @@ val worker_main : dir:string -> shard:string -> unit -> 'a
     (after evaluating, before the answer frame), [post-reply] (after
     the answer frame), [ping] (on the next heartbeat). Faults fire
     once and disarm. *)
+
+val worker_listen : dir:string -> shard:string -> addr:string -> unit -> 'a
+(** The remote-worker entry point ([trex_cli shard-worker --dir D
+    --shard S --listen HOST:PORT]). Binds [addr] (printing the bound
+    address to stderr as ["LISTENING HOST:PORT"] — useful with port
+    0), attaches the shard once, then serves one coordinator
+    conversation per accepted connection: same protocol, same fault
+    points, same telemetry harvest as {!worker_main}. A coordinator
+    hanging up — or killing the connection to enforce a deadline —
+    returns the process to accept; its lifetime is decoupled from any
+    coordinator. Exits on [Shutdown]. Never returns. *)

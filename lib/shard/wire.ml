@@ -13,8 +13,11 @@ exception Protocol_error of string
    (and an old worker that never sends one). A version-2 worker decoding
    a version-1 query fails on the missing telemetry fields — so a mixed
    fleet fails loud in both directions rather than silently dropping
-   telemetry. *)
-let version = 2
+   telemetry. Version 3 adds the client-facing serving messages
+   (Client_query / Client_answer / Shed / Drain) and remote worker
+   endpoints; the same Hello equality check covers servers and remote
+   workers, so a mid-upgrade mixed fleet still fails loud. *)
+let version = 3
 
 type query = {
   q_nexi : string;
@@ -31,7 +34,20 @@ type query = {
   q_trace_id : string option;
 }
 
-type request = Ping of int | Query of query | Shutdown
+(* What a front-door client asks: no floor/scoring/fault/telemetry
+   knobs — those belong to the coordinator↔worker conversation. The
+   deadline and page budget are {e requests}; the server clamps them
+   to its own policy. *)
+type client_query = {
+  c_nexi : string;
+  c_k : int;
+  c_method : Strategy.method_ option;
+  c_strict : bool;
+  c_deadline_ms : float option;
+  c_page_budget : int option;
+}
+
+type request = Ping of int | Query of query | Client_query of client_query | Shutdown
 
 type answer = {
   a_degraded : bool;
@@ -45,10 +61,22 @@ type answer = {
   a_journal : Journal.record option;
 }
 
+type client_answer = {
+  ca_answers : Answer.t;
+  ca_k : int;
+  ca_degraded : bool;
+  ca_tags : (string * string) list;
+  ca_method : string option;
+  ca_elapsed_s : float;
+}
+
 type response =
   | Hello of { h_shard : string; h_pid : int; h_docs : int; h_wire : int }
   | Pong of int
   | Answer of answer
+  | Client_answer of client_answer
+  | Shed of { retry_after_ms : float; reason : string }
+  | Drain
 
 (* ---- field accessors (decode side) ---- *)
 
@@ -132,6 +160,16 @@ let encode_request r =
     match r with
     | Ping seq -> Json.Obj [ ("ping", Json.Int seq) ]
     | Shutdown -> Json.Obj [ ("shutdown", Json.Bool true) ]
+    | Client_query c ->
+        Json.Obj
+          (("client_query", Json.String c.c_nexi)
+          :: ("k", Json.Int c.c_k)
+          :: ("strict", Json.Bool c.c_strict)
+          :: (opt_field "method"
+                (fun m -> Json.String (Strategy.method_to_string m))
+                c.c_method
+             @ opt_field "deadline_ms" (fun f -> Json.Float f) c.c_deadline_ms
+             @ opt_field "page_budget" (fun i -> Json.Int i) c.c_page_budget))
     | Query q ->
         Json.Obj
           (("query", Json.String q.q_nexi)
@@ -153,10 +191,37 @@ let encode_request r =
 
 let decode_request s =
   let j = try Json.parse s with Json.Parse_error e -> fail "bad request JSON: %s" e in
-  match (Json.member "ping" j, Json.member "shutdown" j, Json.member "query" j) with
-  | Some (Json.Int seq), _, _ -> Ping seq
-  | _, Some _, _ -> Shutdown
-  | _, _, Some (Json.String nexi) ->
+  match
+    ( Json.member "ping" j,
+      Json.member "shutdown" j,
+      Json.member "client_query" j,
+      Json.member "query" j )
+  with
+  | Some (Json.Int seq), _, _, _ -> Ping seq
+  | _, Some _, _, _ -> Shutdown
+  | _, _, Some (Json.String nexi), _ ->
+      Client_query
+        {
+          c_nexi = nexi;
+          c_k = get_int "k" j;
+          c_method =
+            Option.map
+              (function Json.String s -> method_of_string s | _ -> fail "method")
+              (opt_member "method" j);
+          c_strict = get_bool "strict" j;
+          c_deadline_ms =
+            Option.map
+              (function
+                | Json.Float f -> f
+                | Json.Int i -> float_of_int i
+                | _ -> fail "deadline_ms")
+              (opt_member "deadline_ms" j);
+          c_page_budget =
+            Option.map
+              (function Json.Int i -> i | _ -> fail "page_budget")
+              (opt_member "page_budget" j);
+        }
+  | _, _, _, Some (Json.String nexi) ->
       Query
         {
           q_nexi = nexi;
@@ -208,6 +273,23 @@ let encode_response r =
             ("wire", Json.Int h_wire);
           ]
     | Pong seq -> Json.Obj [ ("pong", Json.Int seq) ]
+    | Shed { retry_after_ms; reason } ->
+        Json.Obj
+          [ ("shed", Json.Float retry_after_ms); ("reason", Json.String reason) ]
+    | Drain -> Json.Obj [ ("drain", Json.Bool true) ]
+    | Client_answer ca ->
+        Json.Obj
+          (("client_answer", Json.Bool true)
+          :: ("answers", Json.List (List.map entry_to_json ca.ca_answers))
+          :: ("k", Json.Int ca.ca_k)
+          :: ("degraded", Json.Bool ca.ca_degraded)
+          :: ( "tags",
+               Json.List
+                 (List.map
+                    (fun (n, r) -> Json.List [ Json.String n; Json.String r ])
+                    ca.ca_tags) )
+          :: ("elapsed_s", Json.Float ca.ca_elapsed_s)
+          :: opt_field "method" (fun s -> Json.String s) ca.ca_method)
     | Answer a ->
         Json.Obj
           (("degraded", Json.Bool a.a_degraded)
@@ -226,8 +308,56 @@ let encode_response r =
   in
   Json.to_string j
 
+let decode_tags j =
+  match Json.member "tags" j with
+  | Some (Json.List l) ->
+      List.map
+        (function
+          | Json.List [ Json.String n; Json.String r ] -> (n, r)
+          | _ -> fail "tags")
+        l
+  | _ -> fail "tags"
+
 let decode_response s =
   let j = try Json.parse s with Json.Parse_error e -> fail "bad response JSON: %s" e in
+  match Json.member "shed" j with
+  | Some v ->
+      let retry_after_ms =
+        match v with
+        | Json.Float f -> f
+        | Json.Int i -> float_of_int i
+        | _ -> fail "shed: expected number"
+      in
+      let reason =
+        match Json.member "reason" j with
+        | Some (Json.String r) -> r
+        | _ -> "overloaded"
+      in
+      Shed { retry_after_ms; reason }
+  | None -> (
+  match Json.member "drain" j with
+  | Some _ -> Drain
+  | None -> (
+  match Json.member "client_answer" j with
+  | Some _ ->
+      let entries =
+        match Json.member "answers" j with
+        | Some (Json.List l) -> List.map entry_of_json l
+        | _ -> fail "client_answer: missing answers"
+      in
+      Client_answer
+        {
+          ca_answers = entries;
+          ca_k = get_int "k" j;
+          ca_degraded = get_bool "degraded" j;
+          ca_tags = decode_tags j;
+          ca_method =
+            Option.map
+              (function Json.String s -> s | _ -> fail "method")
+              (opt_member "method" j);
+          ca_elapsed_s = get_float "elapsed_s" j;
+        }
+  | None -> (
   match (Json.member "hello" j, Json.member "pong" j, Json.member "answers" j) with
   | Some (Json.String shard), _, _ ->
       let h_wire =
@@ -276,4 +406,4 @@ let decode_response s =
             | _ -> []);
           a_journal = Option.bind (opt_member "journal" j) Journal.record_of_json;
         }
-  | _ -> fail "unrecognized response"
+  | _ -> fail "unrecognized response")))

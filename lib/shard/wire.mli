@@ -1,8 +1,10 @@
-(** Coordinator ↔ shard-worker wire messages.
+(** Coordinator ↔ shard-worker and client ↔ server wire messages.
 
-    The supervisor and its worker processes speak JSON payloads inside
-    {!Trex_util.Framing} CRC32 frames over a socketpair. JSON keeps the
-    protocol debuggable (a captured frame is readable) and the printer's
+    The supervisor and its worker processes — and, since v3, front-door
+    clients and the {!Trex_serve} daemon, plus remote (TCP) shard
+    workers — speak JSON payloads inside {!Trex_util.Framing} CRC32
+    frames over a socketpair or TCP stream. JSON keeps the protocol
+    debuggable (a captured frame is readable) and the printer's
     [%.17g] floats round-trip [float] exactly, so scores cross the wire
     bit-identical and the coordinator's merged ranking matches the
     single-environment engine answer for answer.
@@ -23,7 +25,8 @@
 exception Protocol_error of string
 
 val version : int
-(** Current wire revision (2: per-query telemetry harvest). *)
+(** Current wire revision (3: client serving messages + remote
+    workers; 2 added the per-query telemetry harvest). *)
 
 type query = {
   q_nexi : string;
@@ -48,7 +51,25 @@ type query = {
           multi-query trace stays attributable *)
 }
 
-type request = Ping of int  (** heartbeat, echo the seq *) | Query of query | Shutdown
+(** A front-door client's request. Unlike {!query} it carries no
+    floor, scoring, fault, or telemetry knobs — those belong to the
+    coordinator↔worker conversation. The deadline and page budget are
+    {e requests}: the server clamps them to its own policy before
+    carving a {!Trex_resilience.Guard} slice. *)
+type client_query = {
+  c_nexi : string;
+  c_k : int;
+  c_method : Trex_topk.Strategy.method_ option;
+  c_strict : bool;
+  c_deadline_ms : float option;
+  c_page_budget : int option;
+}
+
+type request =
+  | Ping of int  (** heartbeat, echo the seq *)
+  | Query of query
+  | Client_query of client_query
+  | Shutdown
 
 type answer = {
   a_degraded : bool;  (** the worker's guard expired mid-evaluation *)
@@ -70,12 +91,35 @@ type answer = {
           worker-side *)
 }
 
+(** What a front-door client gets back: global docids, the "never
+    wrong, possibly partial, always tagged" contract on the wire. *)
+type client_answer = {
+  ca_answers : Trex_topk.Answer.t;  (** global (coordinator) docids *)
+  ca_k : int;
+  ca_degraded : bool;
+  ca_tags : (string * string) list;
+      (** (source, reason) for every degradation — shard names under a
+          coordinator, table/strategy names under a single env *)
+  ca_method : string option;
+  ca_elapsed_s : float;  (** server-side evaluation wall time *)
+}
+
 type response =
   | Hello of { h_shard : string; h_pid : int; h_docs : int; h_wire : int }
-      (** readiness handshake, sent once after the worker attaches;
-          [h_wire] must equal [version] or decoding fails *)
+      (** readiness handshake, sent once after the worker attaches (or
+          by the serve daemon on accept); [h_wire] must equal [version]
+          or decoding fails *)
   | Pong of int
   | Answer of answer
+  | Client_answer of client_answer
+  | Shed of { retry_after_ms : float; reason : string }
+      (** admission control refused the request {e before} queueing it:
+          try again after [retry_after_ms]. Terminal for the request,
+          not the connection. *)
+  | Drain
+      (** the server is draining (SIGTERM): it will not accept new
+          work; finish reading in-flight replies and reconnect
+          elsewhere *)
 
 val encode_request : request -> string
 val decode_request : string -> request

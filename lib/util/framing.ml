@@ -177,3 +177,80 @@ let recv fd decoder =
             go ())
   in
   go ()
+
+(* ---- deadline-bounded frame read ----
+
+   The deadlines are {e absolute} points on the monotonic clock,
+   computed once and re-checked around every select/read: a peer that
+   dribbles one byte at a time resets nothing, so it can never extend
+   its deadline (the slowloris defense — see the qcheck property in
+   test_util.ml). EINTR on the select or read resumes with whatever
+   time remains. *)
+
+type deadline_outcome =
+  | Frame of string
+  | Eof  (** clean EOF at a frame boundary *)
+  | Idle_timeout  (** no frame started within [idle_timeout_s] *)
+  | Frame_timeout
+      (** a frame started (bytes buffered) but did not complete within
+          [frame_timeout_s] of its first byte *)
+
+let rec select_readable fd timeout =
+  match Unix.select [ fd ] [] [] timeout with
+  | r, _, _ -> r <> []
+  | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      (* The caller recomputes the remaining time from the absolute
+         deadline, so treating EINTR as "nothing readable yet" can only
+         shorten the wait, never extend it. *)
+      if timeout = 0.0 then false else select_readable fd 0.0
+
+let recv_deadline ?idle_timeout_s ?frame_timeout_s fd decoder =
+  let now () = Stopclock.now () in
+  let idle_deadline = Option.map (fun t -> now () +. t) idle_timeout_s in
+  (* Anchored when the first byte of an incomplete frame is seen —
+     including bytes already buffered by a previous read. *)
+  let frame_deadline =
+    ref
+      (match frame_timeout_s with
+      | Some t when Decoder.buffered decoder > 0 -> Some (now () +. t)
+      | _ -> None)
+  in
+  let chunk = Bytes.create 65536 in
+  let rec go () =
+    match Decoder.next decoder with
+    | Some payload -> Frame payload
+    | None ->
+        let mid_frame = Decoder.buffered decoder > 0 in
+        let deadline =
+          if mid_frame then begin
+            (match (!frame_deadline, frame_timeout_s) with
+            | None, Some t -> frame_deadline := Some (now () +. t)
+            | _ -> ());
+            !frame_deadline
+          end
+          else begin
+            frame_deadline := None;
+            idle_deadline
+          end
+        in
+        let remaining =
+          match deadline with
+          | None -> -1.0 (* wait forever *)
+          | Some d -> d -. now ()
+        in
+        if remaining = -1.0 || remaining > 0.0 then begin
+          if select_readable fd remaining then
+            match intr_read fd chunk 0 (Bytes.length chunk) with
+            | 0 ->
+                if Decoder.buffered decoder > 0 then
+                  raise (Corrupt_frame "EOF inside a frame")
+                else Eof
+            | n ->
+                Decoder.feed decoder chunk 0 n;
+                go ()
+          else go ()
+        end
+        else if mid_frame then Frame_timeout
+        else Idle_timeout
+  in
+  go ()

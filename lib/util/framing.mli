@@ -89,3 +89,28 @@ val recv : Unix.file_descr -> Decoder.t -> string option
 (** Blocking read of the next frame from a stream fd through [decoder]
     (EINTR-safe). [None] on a clean EOF at a frame boundary.
     @raise Corrupt_frame on corruption or EOF inside a frame. *)
+
+type deadline_outcome =
+  | Frame of string  (** a complete frame arrived in time *)
+  | Eof  (** clean EOF at a frame boundary *)
+  | Idle_timeout  (** no frame started within [idle_timeout_s] *)
+  | Frame_timeout
+      (** a frame started (bytes buffered) but did not complete within
+          [frame_timeout_s] of its first byte *)
+
+val recv_deadline :
+  ?idle_timeout_s:float ->
+  ?frame_timeout_s:float ->
+  Unix.file_descr ->
+  Decoder.t ->
+  deadline_outcome
+(** [recv fd decoder] with monotonic-clock deadlines. Both deadlines
+    are {e absolute} (anchored once, via {!Stopclock.now}): the idle
+    deadline when the call starts with no partial frame buffered, the
+    frame deadline at the first byte of an incomplete frame. Because
+    nothing re-arms on subsequent bytes, a peer dribbling one byte at
+    a time can never extend either deadline — this is the slowloris
+    defense used for the serve front door's connection read deadline
+    and the shard worker's request/heartbeat wait. Omitted timeouts
+    wait forever (degenerating to {!recv}).
+    @raise Corrupt_frame on corruption or EOF inside a frame. *)

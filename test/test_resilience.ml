@@ -77,11 +77,69 @@ let test_guard_page_budget () =
 
 let test_backoff_schedule () =
   let p =
-    { Retry.max_attempts = 5; base_delay_ms = 1.0; max_delay_ms = 4.0; sleep = ignore }
+    { Retry.max_attempts = 5; base_delay_ms = 1.0; max_delay_ms = 4.0;
+      jitter = Retry.No_jitter; sleep = ignore }
   in
   check
     (Alcotest.list (Alcotest.float 1e-9))
     "doubles then caps" [ 1.0; 2.0; 4.0; 4.0 ] (Retry.backoff_delays_ms p)
+
+let test_decorrelated_jitter () =
+  let p =
+    { Retry.max_attempts = 8; base_delay_ms = 2.0; max_delay_ms = 50.0;
+      jitter = Retry.Decorrelated { seed = 42 }; sleep = ignore }
+  in
+  let a = Retry.backoff_delays_ms ~salt:1 p in
+  (* Deterministic: the same (seed, salt) replays the same schedule. *)
+  check
+    (Alcotest.list (Alcotest.float 1e-12))
+    "replayable" a
+    (Retry.backoff_delays_ms ~salt:1 p);
+  check Alcotest.int "full length" 7 (List.length a);
+  (* Bounded: every delay within [base, cap]. *)
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "delay %g within [base, cap]" d)
+        true
+        (d >= p.Retry.base_delay_ms && d <= p.Retry.max_delay_ms))
+    a;
+  (* Decorrelated: distinct salts (one per reconnecting peer) and
+     distinct seeds yield distinct schedules — no thundering herd. *)
+  let b = Retry.backoff_delays_ms ~salt:2 p in
+  Alcotest.(check bool) "salts decorrelate" true (a <> b);
+  let c =
+    Retry.backoff_delays_ms ~salt:1
+      { p with Retry.jitter = Retry.Decorrelated { seed = 43 } }
+  in
+  Alcotest.(check bool) "seeds decorrelate" true (a <> c);
+  (* The default stays pure capped-exponential. *)
+  check
+    (Alcotest.list (Alcotest.float 1e-9))
+    "no-jitter default unchanged" [ 1.0; 2.0; 4.0 ]
+    (Retry.backoff_delays_ms ~salt:7 Retry.default_policy)
+
+let test_jittered_retry_sleeps_its_schedule () =
+  let slept = ref [] in
+  let policy =
+    { Retry.max_attempts = 4; base_delay_ms = 1.0; max_delay_ms = 16.0;
+      jitter = Retry.Decorrelated { seed = 7 };
+      sleep = (fun s -> slept := s :: !slept) }
+  in
+  (match
+     Retry.with_retries ~policy ~name:"jittered" ~retryable:(fun _ -> true)
+       (fun () -> failwith "always")
+   with
+  | _ -> Alcotest.fail "expected Exhausted"
+  | exception Retry.Exhausted _ -> ());
+  let expect =
+    List.map
+      (fun ms -> ms /. 1000.)
+      (Retry.backoff_delays_ms ~salt:(Hashtbl.hash "jittered") policy)
+  in
+  check
+    (Alcotest.list (Alcotest.float 1e-12))
+    "slept exactly the salted schedule" expect (List.rev !slept)
 
 let test_retry_recovers () =
   let slept = ref [] in
@@ -90,6 +148,7 @@ let test_retry_recovers () =
       Retry.max_attempts = 4;
       base_delay_ms = 1.0;
       max_delay_ms = 16.0;
+      jitter = Retry.No_jitter;
       sleep = (fun s -> slept := s :: !slept);
     }
   in
@@ -177,7 +236,8 @@ let test_breaker_lifecycle () =
    and each circuit resolves on its own probe outcome alone. *)
 let test_probe_slots_independent () =
   let policy =
-    { Retry.max_attempts = 4; base_delay_ms = 1.0; max_delay_ms = 4.0; sleep = ignore }
+    { Retry.max_attempts = 4; base_delay_ms = 1.0; max_delay_ms = 4.0;
+      jitter = Retry.No_jitter; sleep = ignore }
   in
   let delays = Retry.backoff_delays_ms policy in
   let delay_for restarts =
@@ -720,6 +780,9 @@ let () =
       ( "retry",
         [
           Alcotest.test_case "backoff schedule" `Quick test_backoff_schedule;
+          Alcotest.test_case "decorrelated jitter" `Quick test_decorrelated_jitter;
+          Alcotest.test_case "jittered retry sleeps its schedule" `Quick
+            test_jittered_retry_sleeps_its_schedule;
           Alcotest.test_case "recovers after transients" `Quick test_retry_recovers;
           Alcotest.test_case "exhausts typed" `Quick test_retry_exhausts_typed;
         ] );

@@ -111,10 +111,11 @@ let fast_config =
     max_restarts = 3;
     restart_policy =
       { Retry.default_policy with base_delay_ms = 5.0; max_delay_ms = 20.0 };
+    connect_timeout_s = 1.0;
   }
 
-let with_supervisor ?(config = fast_config) dir f =
-  let s = Supervisor.create ~config dir in
+let with_supervisor ?(config = fast_config) ?remote dir f =
+  let s = Supervisor.create ~config ?remote dir in
   Fun.protect ~finally:(fun () -> Supervisor.close s) (fun () -> f s)
 
 let require_healthy ?(timeout_s = 10.0) s =
@@ -262,6 +263,68 @@ let test_wire_version_mismatch () =
   with
   | Wire.Hello h -> Alcotest.(check int) "current version accepted" Wire.version h.h_wire
   | _ -> Alcotest.fail "current-version Hello rejected"
+
+(* v3 serving messages: client query/answer, shed, drain. *)
+let test_wire_client_roundtrip () =
+  let cq =
+    Wire.Client_query
+      {
+        Wire.c_nexi = nexi;
+        c_k = 9;
+        c_method = Some Strategy.Merge_method;
+        c_strict = true;
+        c_deadline_ms = Some 250.0;
+        c_page_budget = Some 64;
+      }
+  in
+  (match Wire.decode_request (Wire.encode_request cq) with
+  | Wire.Client_query c ->
+      Alcotest.(check string) "nexi" nexi c.Wire.c_nexi;
+      Alcotest.(check int) "k" 9 c.Wire.c_k;
+      Alcotest.(check bool) "strict" true c.Wire.c_strict;
+      Alcotest.(check (option (float 1e-9))) "deadline" (Some 250.0)
+        c.Wire.c_deadline_ms;
+      Alcotest.(check (option int)) "page budget" (Some 64) c.Wire.c_page_budget
+  | _ -> Alcotest.fail "client query did not roundtrip");
+  let entry =
+    {
+      Answer.element = { Types.sid = 3; docid = 105; endpos = 120; length = 17 };
+      score = 0.5000000000000012;
+    }
+  in
+  let ca =
+    Wire.Client_answer
+      {
+        Wire.ca_answers = [ entry ];
+        ca_k = 9;
+        ca_degraded = true;
+        ca_tags = [ ("shard-001", "worker died mid-query") ];
+        ca_method = Some "merge";
+        ca_elapsed_s = 0.0125;
+      }
+  in
+  (match Wire.decode_response (Wire.encode_response ca) with
+  | Wire.Client_answer c ->
+      check answers_testable "answers bit-identical" [ entry ] c.Wire.ca_answers;
+      Alcotest.(check bool) "degraded" true c.Wire.ca_degraded;
+      Alcotest.(check (list (pair string string)))
+        "tags"
+        [ ("shard-001", "worker died mid-query") ]
+        c.Wire.ca_tags;
+      Alcotest.(check (option string)) "method" (Some "merge") c.Wire.ca_method
+  | _ -> Alcotest.fail "client answer did not roundtrip");
+  (match
+     Wire.decode_response
+       (Wire.encode_response
+          (Wire.Shed { retry_after_ms = 75.5; reason = "queue full" }))
+   with
+  | Wire.Shed { retry_after_ms; reason } ->
+      Alcotest.(check (float 1e-9)) "retry_after" 75.5 retry_after_ms;
+      Alcotest.(check string) "reason" "queue full" reason
+  | _ -> Alcotest.fail "shed did not roundtrip");
+  match Wire.decode_response (Wire.encode_response Wire.Drain) with
+  | Wire.Drain -> ()
+  | _ -> Alcotest.fail "drain did not roundtrip"
 
 (* ---- healthy path: rank identity through worker processes ---- *)
 
@@ -851,20 +914,148 @@ let test_soak () =
   Alcotest.(check bool) "soak exercised degraded cases" true (!degraded > 0);
   rm_rf dir
 
+(* ---- remote (TCP) workers ---- *)
+
+(* Fork/exec this binary as a long-lived listen worker on an ephemeral
+   port, and read the "LISTENING host:port" announcement off its
+   stderr. *)
+let spawn_listen_worker ~dir ~shard =
+  let r, w = Unix.pipe () in
+  flush stdout;
+  flush stderr;
+  match Unix.fork () with
+  | 0 ->
+      Unix.close r;
+      Unix.dup2 w Unix.stderr;
+      if w <> Unix.stderr then Unix.close w;
+      let prog = Sys.executable_name in
+      let argv =
+        [| prog; "shard-worker"; "--dir"; dir; "--shard"; shard;
+           "--listen"; "127.0.0.1:0" |]
+      in
+      (try Unix.execv prog argv with _ -> ());
+      exit 127
+  | pid ->
+      Unix.close w;
+      let buf = Buffer.create 64 in
+      let chunk = Bytes.create 256 in
+      let rec find () =
+        let s = Buffer.contents buf in
+        match String.index_opt s '\n' with
+        | Some i ->
+            let line = String.sub s 0 i in
+            Buffer.clear buf;
+            Buffer.add_string buf
+              (String.sub s (i + 1) (String.length s - i - 1));
+            if String.length line > 10 && String.sub line 0 10 = "LISTENING "
+            then String.sub line 10 (String.length line - 10)
+            else find ()
+        | None -> (
+            match Unix.read r chunk 0 (Bytes.length chunk) with
+            | 0 -> Alcotest.fail "listen worker died before announcing its port"
+            | n ->
+                Buffer.add_subbytes buf chunk 0 n;
+                find ())
+      in
+      let addr = find () in
+      (pid, r, addr)
+
+let reap_listen_worker (pid, rfd, _addr) =
+  (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+  (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+  try Unix.close rfd with Unix.Unix_error _ -> ()
+
+(* One shard served by a remote TCP worker, the rest by local
+   socketpair children: healthy scatter is rank-identical to the
+   single-env baseline (so the telemetry-era protocol, floor filter and
+   base offsets all survive the network hop), and SIGKILLing the remote
+   process mid-query degrades to a tagged sound partial that keeps
+   holding on subsequent queries — reconnects are refused, backoff and
+   breaker escalation own the socket, the coordinator never wedges. *)
+let test_remote_worker_identity_and_kill () =
+  let dir, engine = build_coordinator ~docs:24 ~seed:11 in
+  let infos = Shard.load_map dir in
+  let rname = (List.hd infos).Shard.name in
+  let handle = spawn_listen_worker ~dir ~shard:rname in
+  let _, _, addr = handle in
+  Fun.protect
+    ~finally:(fun () ->
+      reap_listen_worker handle;
+      rm_rf dir)
+  @@ fun () ->
+  with_supervisor ~remote:[ (rname, addr) ] dir @@ fun s ->
+  require_healthy s;
+  let r = Supervisor.query s ~k:10 nexi in
+  Alcotest.(check bool) "healthy remote scatter untagged" false r.Shard.degraded;
+  Alcotest.(check int) "every shard reports" 3 (List.length r.Shard.reports);
+  check answers_testable "remote scatter = single env" (baseline engine ~k:10 nexi)
+    r.Shard.answers;
+  (* Kill the remote worker mid-query via the armed fault (the fault
+     rides the query and SIGKILLs before evaluating). *)
+  Supervisor.set_fault s ~shard:rname (Some "kill:mid-decode");
+  let r = Supervisor.query s ~k:10 nexi in
+  Alcotest.(check bool) "kill mid-query degrades" true r.Shard.degraded;
+  Alcotest.(check bool)
+    "tag names the remote shard" true
+    (List.mem_assoc rname r.Shard.degraded_shards);
+  check answers_testable "partial = surviving shards exactly"
+    (surviving_baseline engine infos ~lost:[ rname ] ~k:10 nexi)
+    r.Shard.answers;
+  (* The listener is gone for good: reconnects are refused, so further
+     queries stay tagged sound partials (no wedge, no wrong answers). *)
+  let r = Supervisor.query s ~k:5 nexi2 in
+  Alcotest.(check bool) "still degraded while unreachable" true r.Shard.degraded;
+  check answers_testable "still the surviving-shard answer"
+    (surviving_baseline engine infos ~lost:[ rname ] ~k:5 nexi2)
+    r.Shard.answers
+
+(* A remote worker outlives its coordinator: when one supervisor hangs
+   up, the listener returns to accept and serves the next one the full
+   untagged answer. *)
+let test_remote_worker_survives_coordinator () =
+  let dir, engine = build_coordinator ~docs:18 ~seed:13 in
+  let infos = Shard.load_map dir in
+  let rname = (List.hd infos).Shard.name in
+  let handle = spawn_listen_worker ~dir ~shard:rname in
+  let _, _, addr = handle in
+  Fun.protect
+    ~finally:(fun () ->
+      reap_listen_worker handle;
+      rm_rf dir)
+  @@ fun () ->
+  let run () =
+    with_supervisor ~remote:[ (rname, addr) ] dir @@ fun s ->
+    require_healthy s;
+    let r = Supervisor.query s ~k:7 nexi in
+    Alcotest.(check bool) "untagged" false r.Shard.degraded;
+    check answers_testable "rank identity" (baseline engine ~k:7 nexi)
+      r.Shard.answers
+  in
+  run ();
+  (* Second coordinator, same listener process. *)
+  run ()
+
 let () =
   (* The supervisor execs this very binary as its worker: dispatch
      before Alcotest ever sees argv. *)
   (match Array.to_list Sys.argv with
   | _ :: "shard-worker" :: rest ->
-      let rec get key = function
-        | k :: v :: _ when k = key -> v
-        | _ :: tl -> get key tl
-        | [] ->
+      let rec get_opt key = function
+        | k :: v :: _ when k = key -> Some v
+        | _ :: tl -> get_opt key tl
+        | [] -> None
+      in
+      let get key =
+        match get_opt key rest with
+        | Some v -> v
+        | None ->
             prerr_endline ("shard-worker: missing " ^ key);
             exit 2
       in
-      Supervisor.worker_main ~dir:(get "--dir" rest) ~shard:(get "--shard" rest)
-        ()
+      let dir = get "--dir" and shard = get "--shard" in
+      (match get_opt "--listen" rest with
+      | Some addr -> Supervisor.worker_listen ~dir ~shard ~addr ()
+      | None -> Supervisor.worker_main ~dir ~shard ())
   | _ -> ());
   Alcotest.run "trex_supervisor"
     [
@@ -873,6 +1064,8 @@ let () =
           Alcotest.test_case "message roundtrips" `Quick test_wire_roundtrip;
           Alcotest.test_case "version mismatch fails loud" `Quick
             test_wire_version_mismatch;
+          Alcotest.test_case "client message roundtrips" `Quick
+            test_wire_client_roundtrip;
         ] );
       ( "identity",
         [
@@ -911,6 +1104,13 @@ let () =
         [
           Alcotest.test_case "stale worker artifacts swept at open" `Quick
             test_stale_artifact_sweep;
+        ] );
+      ( "remote",
+        [
+          Alcotest.test_case "TCP worker: rank identity, kill, sound partial"
+            `Quick test_remote_worker_identity_and_kill;
+          Alcotest.test_case "listener outlives its coordinators" `Quick
+            test_remote_worker_survives_coordinator;
         ] );
       ("soak", [ Alcotest.test_case "seeded kill soak" `Slow test_soak ]);
     ]

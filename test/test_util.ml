@@ -460,6 +460,87 @@ let test_framing_eof_inside_frame () =
   | _ -> Alcotest.fail "EOF inside a frame must raise Corrupt_frame");
   Unix.close b
 
+(* ---- framing: deadline-bounded reads ---- *)
+
+let test_recv_deadline_basics () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (* Idle peer → Idle_timeout, promptly. *)
+  let d = Framing.Decoder.create () in
+  let t0 = Trex_util.Stopclock.now () in
+  (match Framing.recv_deadline ~idle_timeout_s:0.03 b d with
+  | Framing.Idle_timeout -> ()
+  | _ -> Alcotest.fail "expected Idle_timeout on a silent peer");
+  let dt = Trex_util.Stopclock.now () -. t0 in
+  Alcotest.(check bool) "idle timeout fired promptly" true (dt < 1.0);
+  (* A whole frame already buffered beats both deadlines. *)
+  Framing.append a "prompt";
+  (match Framing.recv_deadline ~idle_timeout_s:0.03 ~frame_timeout_s:0.03 b d with
+  | Framing.Frame p -> Alcotest.(check string) "payload" "prompt" p
+  | _ -> Alcotest.fail "expected the buffered frame");
+  (* Clean EOF at a frame boundary. *)
+  Unix.close a;
+  (match Framing.recv_deadline ~idle_timeout_s:1.0 b d with
+  | Framing.Eof -> ()
+  | _ -> Alcotest.fail "expected Eof");
+  Unix.close b
+
+let test_recv_deadline_eof_inside_frame () =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let whole = Framing.frame "cut short" in
+  Framing.write_all a (Bytes.sub whole 0 (Bytes.length whole - 3));
+  Unix.close a;
+  let d = Framing.Decoder.create () in
+  (match Framing.recv_deadline ~frame_timeout_s:1.0 b d with
+  | exception Framing.Corrupt_frame _ -> ()
+  | _ -> Alcotest.fail "EOF inside a frame must raise Corrupt_frame");
+  Unix.close b
+
+(* The slowloris property: a peer dribbling a frame byte-by-byte keeps
+   the stream "active" (every inter-byte gap is well under the frame
+   deadline) yet must NOT be able to extend that deadline — the read
+   returns Frame_timeout at the absolute deadline, long before the
+   dribble would have completed the frame. *)
+let prop_recv_deadline_dribble_cannot_extend =
+  let open QCheck in
+  Test.make ~name:"byte dribble cannot extend the frame deadline" ~count:8
+    (pair (string_of_size Gen.(8 -- 24)) (int_bound 3))
+    (fun (payload, jitter) ->
+      let frame = Framing.frame payload in
+      let n = Bytes.length frame in
+      let gap_s = 0.015 +. (0.002 *. float_of_int jitter) in
+      let deadline_s = 0.06 in
+      (* The dribble alone would need far longer than the deadline. *)
+      assert (float_of_int (n - 1) *. gap_s > 2.0 *. deadline_s);
+      let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      flush stdout;
+      flush stderr;
+      match Unix.fork () with
+      | 0 ->
+          (* Child: dribble one byte per gap, forever as far as the
+             parent's deadline is concerned. *)
+          Unix.close b;
+          (try
+             for i = 0 to n - 1 do
+               Framing.write_all a (Bytes.sub frame i 1);
+               ignore (Unix.select [] [] [] gap_s)
+             done
+           with _ -> ());
+          Unix._exit 0
+      | pid ->
+          Unix.close a;
+          let d = Framing.Decoder.create () in
+          let t0 = Trex_util.Stopclock.now () in
+          let outcome = Framing.recv_deadline ~frame_timeout_s:deadline_s b d in
+          let dt = Trex_util.Stopclock.now () -. t0 in
+          Unix.close b;
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+          (* Timed out as a torn frame, at the deadline — not at the
+             dribble's own pace (which would be ≥ (n-1) * gap). *)
+          outcome = Framing.Frame_timeout
+          && dt >= deadline_s *. 0.5
+          && dt < float_of_int (n - 1) *. gap_s)
+
 (* ---- varint strictness, bit packing, block segments ---- *)
 
 let test_malformed_varints () =
@@ -661,5 +742,10 @@ let () =
             test_framing_socketpair_roundtrip;
           Alcotest.test_case "EOF inside a frame" `Quick
             test_framing_eof_inside_frame;
+          Alcotest.test_case "recv_deadline basics" `Quick
+            test_recv_deadline_basics;
+          Alcotest.test_case "recv_deadline EOF inside frame" `Quick
+            test_recv_deadline_eof_inside_frame;
+          qtest prop_recv_deadline_dribble_cannot_extend;
         ] );
     ]
